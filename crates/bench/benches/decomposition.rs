@@ -1,0 +1,53 @@
+//! Criterion companion to Fig. 6: deadline-decomposition runtime vs. DAG
+//! size, plus the demand-vs-critical-path ablation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use flowtime::decompose::{decompose, DecomposeConfig, Decomposer};
+use flowtime_dag::{JobSpec, ResourceVec, Workflow, WorkflowBuilder, WorkflowId};
+use flowtime_workload::shapes;
+
+fn workflow(nodes: usize, edges: usize, seed: u64) -> Workflow {
+    let layers = (nodes / 10).clamp(3, 20);
+    let edge_list = shapes::layered_random(nodes, layers, edges, seed);
+    let mut b = WorkflowBuilder::new(WorkflowId::new(seed), "bench");
+    for i in 0..nodes {
+        b.add_job(JobSpec::new(
+            format!("j{i}"),
+            40 + (i as u64 % 160),
+            1 + (i as u64 % 5),
+            ResourceVec::new([1, 2048]),
+        ));
+    }
+    for (from, to) in edge_list {
+        b.add_dep(from, to).expect("unique edges");
+    }
+    b.window(0, 100_000).build().expect("valid")
+}
+
+fn bench_decomposition(c: &mut Criterion) {
+    let config = DecomposeConfig::new(ResourceVec::new([500, 1_048_576]));
+    let mut group = c.benchmark_group("fig6_decomposition");
+    for &(nodes, edges) in &[(10usize, 20usize), (50, 350), (100, 1400), (200, 5700)] {
+        let wf = workflow(nodes, edges, 7);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{nodes}n_{}e", wf.dag().edge_count())),
+            &wf,
+            |b, wf| b.iter(|| decompose(wf, &config).expect("valid")),
+        );
+    }
+    group.finish();
+
+    let mut ablation = c.benchmark_group("decomposer_ablation");
+    let wf = workflow(100, 1400, 7);
+    ablation.bench_function("resource_demand", |b| {
+        b.iter(|| decompose(&wf, &config).expect("valid"))
+    });
+    let cp = config.clone().with_decomposer(Decomposer::CriticalPath);
+    ablation.bench_function("critical_path", |b| {
+        b.iter(|| decompose(&wf, &cp).expect("valid"))
+    });
+    ablation.finish();
+}
+
+criterion_group!(benches, bench_decomposition);
+criterion_main!(benches);

@@ -1,0 +1,85 @@
+//! Per-slot scheduling cost of every algorithm on a shared mid-size
+//! workload state, plus the lexicographic-depth ablation called out in
+//! DESIGN.md (min-max only vs. bounded lexmin refinement).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use flowtime::lp_sched::{LevelingProblem, PlanJob, SolverBackend};
+use flowtime_bench::experiments::{Algo, WorkflowExperiment};
+use flowtime_dag::{JobId, ResourceVec};
+use flowtime_sim::{ClusterConfig, Engine};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Full-run wall time per algorithm on a trimmed workload: measures the
+/// end-to-end scheduling overhead (the simulator itself is the same for
+/// all, so differences are scheduler cost).
+fn bench_schedulers(c: &mut Criterion) {
+    let cluster = ClusterConfig::new(ResourceVec::new([48, 196_608]), 10.0);
+    let exp = WorkflowExperiment {
+        workflows: 2,
+        jobs_per_workflow: 8,
+        adhoc_horizon: 80,
+        adhoc_rate: 0.2,
+        ..Default::default()
+    };
+    let workload = exp.build(&cluster);
+    let mut group = c.benchmark_group("scheduler_full_run");
+    group.sample_size(10);
+    for algo in Algo::FIG4 {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(algo.name()),
+            &workload,
+            |b, wl| {
+                b.iter(|| {
+                    let mut s = algo.make(&cluster);
+                    Engine::new(cluster.clone(), wl.clone(), 1_000_000)
+                        .expect("valid")
+                        .run(s.as_mut())
+                        .expect("completes")
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Lexicographic depth ablation on one placement problem.
+fn bench_lex_depth(c: &mut Criterion) {
+    // Small instance: each refinement round costs up to NECESSITY_BUDGET
+    // trial LP solves, and degenerate trial LPs are the slow path of the
+    // dense simplex — the *depth scaling* is the point of this group, not
+    // absolute size.
+    let mut rng = StdRng::seed_from_u64(3);
+    let slots = 24usize;
+    let jobs: Vec<PlanJob> = (0..8)
+        .map(|i| {
+            let start = rng.gen_range(0..slots - 8);
+            let len = rng.gen_range(8..=slots - start);
+            PlanJob {
+                id: JobId::new(i),
+                window: (start, start + len),
+                demand: rng.gen_range(10..40),
+                per_task: ResourceVec::new([1, 2048]),
+                per_slot_cap: Some(rng.gen_range(4..12)),
+            }
+        })
+        .collect();
+    let problem = LevelingProblem {
+        slot_caps: vec![ResourceVec::new([40, 81_920]); slots],
+        jobs,
+    };
+    assert!(problem.solve(SolverBackend::ParametricFlow).is_ok());
+    let mut group = c.benchmark_group("lexmin_depth");
+    group.sample_size(10);
+    for rounds in [1usize, 2, 4] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(rounds),
+            &problem,
+            |b, p| b.iter(|| p.solve(SolverBackend::Simplex { lex_rounds: rounds }).expect("ok")),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_schedulers, bench_lex_depth);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Criterion companion to Fig. 7: placement-solver latency vs. the number
+//! of deadline jobs, for both exact backends, on the paper's 500-core /
+//! 1 TB / 100-slot configuration.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use flowtime::lp_sched::{LevelingProblem, PlanJob, SolverBackend};
+use flowtime_dag::{JobId, ResourceVec};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const SLOTS: usize = 100;
+
+fn instance(jobs: usize, seed: u64) -> LevelingProblem {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut plan_jobs = Vec::with_capacity(jobs);
+    for i in 0..jobs {
+        let start = rng.gen_range(0..SLOTS - 25);
+        let len = rng.gen_range(25..=SLOTS - start);
+        plan_jobs.push(PlanJob {
+            id: JobId::new(i as u64),
+            window: (start, start + len),
+            demand: rng.gen_range(80..260),
+            per_task: ResourceVec::new([1, 2048]),
+            per_slot_cap: Some(rng.gen_range(20..80)),
+        });
+    }
+    LevelingProblem {
+        slot_caps: vec![ResourceVec::new([500, 1_048_576]); SLOTS],
+        jobs: plan_jobs,
+    }
+}
+
+fn feasible_instance(jobs: usize) -> LevelingProblem {
+    let mut offset = 0u64;
+    loop {
+        let candidate = instance(jobs, 42 + jobs as u64 + offset * 1000);
+        if candidate.solve(SolverBackend::ParametricFlow).is_ok() {
+            return candidate;
+        }
+        offset += 1;
+        assert!(offset < 50, "no feasible instance found");
+    }
+}
+
+fn bench_solver(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7_solver_latency");
+    group.sample_size(10);
+    for &jobs in &[10usize, 30, 60] {
+        let problem = feasible_instance(jobs);
+        group.bench_with_input(BenchmarkId::new("flow", jobs), &problem, |b, p| {
+            b.iter(|| p.solve(SolverBackend::ParametricFlow).expect("feasible"))
+        });
+        group.bench_with_input(BenchmarkId::new("simplex", jobs), &problem, |b, p| {
+            b.iter(|| p.solve(SolverBackend::Simplex { lex_rounds: 1 }).expect("feasible"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_solver);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Fig. 4 — deadline-aware workflows sharing the cluster with ad-hoc jobs.
+//!
+//! Reproduces all three panels of the paper's headline comparison:
+//! (a) completion-minus-deadline deltas, (b) the number of jobs missing
+//! their (decomposed) deadlines, (c) the average ad-hoc job turnaround —
+//! for FlowTime, CORA, EDF, Fair, FIFO (plus the Morpheus baseline named
+//! in Section VII-A).
+//!
+//! Usage: `fig4 [seed] [--quick]`
+
+use flowtime_bench::experiments::{run, summarize, testbed_cluster, Algo, WorkflowExperiment};
+use flowtime_bench::report;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let seed = args
+        .iter()
+        .find_map(|a| a.parse::<u64>().ok())
+        .unwrap_or(20180702);
+
+    let cluster = testbed_cluster();
+    let exp = if quick {
+        WorkflowExperiment {
+            workflows: 3,
+            jobs_per_workflow: 8,
+            adhoc_horizon: 150,
+            seed,
+            ..Default::default()
+        }
+    } else {
+        WorkflowExperiment { seed, ..Default::default() }
+    };
+
+    println!(
+        "fig4: {} workflows x {} jobs, adhoc rate {}/slot over {} slots, seed {}",
+        exp.workflows, exp.jobs_per_workflow, exp.adhoc_rate, exp.adhoc_horizon, exp.seed
+    );
+    let mut rows = Vec::new();
+    for algo in Algo::FIG4 {
+        let workload = exp.build(&cluster);
+        let t0 = std::time::Instant::now();
+        let metrics = run(algo, &cluster, workload);
+        let row = summarize(algo, &metrics);
+        println!(
+            "  {:<12} done in {:>6.1}s wall ({} jobs)",
+            algo.name(),
+            t0.elapsed().as_secs_f64(),
+            metrics.completed_jobs()
+        );
+        rows.push(row);
+    }
+    println!();
+    print!("{}", report::render_table("Fig. 4 — deadlines and ad-hoc turnaround", &rows));
+    report::persist("fig4", &rows);
+}

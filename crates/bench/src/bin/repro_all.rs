@@ -1,0 +1,48 @@
+//! Runs the full reproduction suite: Fig. 1, 4, 5, 6, 7 and the
+//! trace-driven simulation, in sequence, by invoking the sibling binaries.
+//!
+//! Usage: `repro_all [--quick]` (quick mode trims run counts).
+
+use std::process::Command;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let this = std::env::current_exe().expect("own path");
+    let dir = this.parent().expect("bin dir").to_path_buf();
+    let runs: Vec<(&str, Vec<&str>)> = vec![
+        ("fig1", vec![]),
+        ("fig4", if quick { vec!["--quick"] } else { vec![] }),
+        ("fig5", vec![]),
+        (
+            "fig6",
+            if quick {
+                vec!["--runs", "50", "--warmup", "5"]
+            } else {
+                vec![]
+            },
+        ),
+        (
+            "fig7",
+            if quick {
+                vec!["--max-jobs", "40", "--reps", "2"]
+            } else {
+                vec![]
+            },
+        ),
+        ("trace_sim", if quick { vec!["--workflows", "4"] } else { vec![] }),
+        ("ablation", vec![]),
+        ("robustness", vec![]),
+    ];
+    for (bin, args) in runs {
+        println!("\n================ {bin} {} ================\n", args.join(" "));
+        let status = Command::new(dir.join(bin))
+            .args(&args)
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
+        if !status.success() {
+            eprintln!("{bin} exited with {status}");
+            std::process::exit(1);
+        }
+    }
+    println!("\nall experiments completed; JSON results in ./results/");
+}

@@ -1,0 +1,16 @@
+//! Experiment harness regenerating every table and figure of the FlowTime
+//! paper's evaluation (Section VII).
+//!
+//! Each paper figure has a binary in `src/bin/` (`fig1`, `fig4`, `fig5`,
+//! `fig6`, `fig7`, `trace_sim`) plus a `repro_all` driver; Criterion
+//! micro-benches live in `benches/`. This library holds the shared
+//! machinery: workload construction, the scheduler factory, metric
+//! summarization, and table rendering.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod report;
+
+pub use experiments::{Algo, SummaryRow};

@@ -1,0 +1,86 @@
+//! Tiny dependency-free flag parser.
+
+use std::collections::HashMap;
+
+/// Parsed `--flag value` pairs plus positional arguments.
+#[derive(Debug, Default)]
+pub struct Args {
+    pub positional: Vec<String>,
+    flags: HashMap<String, String>,
+}
+
+impl Args {
+    /// Parses `argv` into flags (`--key value`) and positionals. A flag
+    /// followed by another flag or nothing gets an empty value (presence
+    /// flag).
+    pub fn parse(argv: &[String]) -> Args {
+        let mut out = Args::default();
+        let mut i = 0;
+        while i < argv.len() {
+            let a = &argv[i];
+            if let Some(key) = a.strip_prefix("--") {
+                let value = argv
+                    .get(i + 1)
+                    .filter(|v| !v.starts_with("--"))
+                    .cloned();
+                if value.is_some() {
+                    i += 1;
+                }
+                out.flags.insert(key.to_string(), value.unwrap_or_default());
+            } else {
+                out.positional.push(a.clone());
+            }
+            i += 1;
+        }
+        out
+    }
+
+    /// String value of a flag.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.flags.get(key).map(String::as_str)
+    }
+
+    /// Parsed numeric value of a flag, or `default`.
+    pub fn get_or<T: std::str::FromStr>(&self, key: &str, default: T) -> T {
+        self.get(key).and_then(|v| v.parse().ok()).unwrap_or(default)
+    }
+
+    /// True if the flag is present (with or without a value).
+    pub fn has(&self, key: &str) -> bool {
+        self.flags.contains_key(key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &[&str]) -> Vec<String> {
+        s.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_flags_and_positionals() {
+        let a = Args::parse(&argv(&["simulate", "--trace", "t.jsonl", "--quiet", "--n", "5"]));
+        assert_eq!(a.positional, vec!["simulate"]);
+        assert_eq!(a.get("trace"), Some("t.jsonl"));
+        assert!(a.has("quiet"));
+        assert_eq!(a.get_or("n", 0u64), 5);
+        assert_eq!(a.get_or("missing", 7u64), 7);
+    }
+
+    #[test]
+    fn flag_followed_by_flag_is_presence() {
+        let a = Args::parse(&argv(&["--a", "--b", "x"]));
+        assert!(a.has("a"));
+        assert_eq!(a.get("a"), Some(""));
+        assert_eq!(a.get("b"), Some("x"));
+    }
+
+    #[test]
+    fn empty_input() {
+        let a = Args::parse(&[]);
+        assert!(a.positional.is_empty());
+        assert!(!a.has("anything"));
+    }
+}

@@ -1,0 +1,287 @@
+//! CLI subcommands.
+
+use crate::args::Args;
+use flowtime::decompose::{decompose, slack::slacked_windows, DecomposeConfig};
+use flowtime::{
+    CoraScheduler, EdfScheduler, FairScheduler, FifoScheduler, FlowTimeConfig, FlowTimeScheduler,
+    MorpheusScheduler,
+};
+use flowtime_dag::ResourceVec;
+use flowtime_sim::{ClusterConfig, Engine, Metrics, Scheduler};
+use flowtime_workload::trace::{ProductionTraceConfig, Trace};
+use std::error::Error;
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+
+type CliResult = Result<(), Box<dyn Error>>;
+
+const USAGE: &str = "\
+flowtime-cli — FlowTime scheduling simulations (ICDCS 2018 reproduction)
+
+USAGE:
+  flowtime-cli generate  --out <trace.jsonl> [--workflows N] [--seed S]
+                         [--cores C] [--mem-mb M] [--looseness X]
+  flowtime-cli simulate  --trace <trace.jsonl> --scheduler <name>
+                         [--out metrics.json] [--gantt]
+  flowtime-cli compare   --trace <trace.jsonl>
+  flowtime-cli decompose --trace <trace.jsonl> [--index I] [--slack S]
+
+SCHEDULERS: flowtime, flowtime-no-ds, edf, fifo, fair, cora, morpheus
+";
+
+/// Dispatches a parsed command line.
+pub fn dispatch(argv: &[String]) -> CliResult {
+    let args = Args::parse(argv);
+    match args.positional.first().map(String::as_str) {
+        Some("generate") => generate(&args),
+        Some("simulate") => simulate(&args),
+        Some("compare") => compare(&args),
+        Some("decompose") => decompose_cmd(&args),
+        Some("help") | None => {
+            print!("{USAGE}");
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command `{other}`\n\n{USAGE}").into()),
+    }
+}
+
+fn load_trace(args: &Args) -> Result<Trace, Box<dyn Error>> {
+    let path = args.get("trace").ok_or("--trace <file> is required")?;
+    let file = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+    Ok(Trace::read_jsonl(BufReader::new(file))?)
+}
+
+fn make_scheduler(name: &str, cluster: &ClusterConfig) -> Result<Box<dyn Scheduler>, Box<dyn Error>> {
+    Ok(match name {
+        "flowtime" => Box::new(FlowTimeScheduler::new(cluster.clone(), FlowTimeConfig::default())),
+        "flowtime-no-ds" => Box::new(FlowTimeScheduler::new(
+            cluster.clone(),
+            FlowTimeConfig { slack_slots: 0, ..Default::default() },
+        )),
+        "edf" => Box::new(EdfScheduler::new()),
+        "fifo" => Box::new(FifoScheduler::new()),
+        "fair" => Box::new(FairScheduler::new()),
+        "cora" => Box::new(CoraScheduler::new(cluster.clone())),
+        "morpheus" => Box::new(MorpheusScheduler::new(cluster.clone())),
+        other => return Err(format!("unknown scheduler `{other}`").into()),
+    })
+}
+
+fn attach_milestones(trace: &mut Trace) {
+    let cfg = DecomposeConfig::new(trace.cluster.capacity());
+    for sub in &mut trace.workload.workflows {
+        if sub.job_deadlines.is_none() {
+            if let Ok(d) = decompose(&sub.workflow, &cfg) {
+                sub.job_deadlines = Some(d.job_deadlines());
+            }
+        }
+    }
+}
+
+fn run_one(trace: &Trace, scheduler: &mut dyn Scheduler) -> Result<Metrics, Box<dyn Error>> {
+    let outcome = Engine::new(trace.cluster.clone(), trace.workload.clone(), 10_000_000)?
+        .run(scheduler)?;
+    Ok(outcome.metrics)
+}
+
+fn summary_line(name: &str, m: &Metrics) -> String {
+    format!(
+        "{:<16} jobs {:>4}  misses {:>3}  wf-misses {:>2}  adhoc-tat {:>8.1}s  util {:.3}",
+        name,
+        m.completed_jobs(),
+        m.job_deadline_misses(),
+        m.workflow_deadline_misses(),
+        m.avg_adhoc_turnaround_seconds().unwrap_or(0.0),
+        m.avg_peak_utilization(),
+    )
+}
+
+fn generate(args: &Args) -> CliResult {
+    let out = args.get("out").ok_or("--out <file> is required")?;
+    let cores = args.get_or("cores", 160u64);
+    let mem = args.get_or("mem-mb", cores * 4096);
+    let cluster = ClusterConfig::new(ResourceVec::new([cores, mem]), 10.0);
+    let config = ProductionTraceConfig {
+        workflows: args.get_or("workflows", 10usize),
+        looseness: args.get_or("looseness", 6.0f64),
+        ..Default::default()
+    };
+    let trace = Trace::synthesize_production(cluster, &config, args.get_or("seed", 7u64));
+    let file = File::create(out).map_err(|e| format!("cannot create {out}: {e}"))?;
+    trace.write_jsonl(BufWriter::new(file))?;
+    println!(
+        "wrote {}: {} workflows / {} deadline jobs / {} ad-hoc jobs",
+        out,
+        trace.workload.workflows.len(),
+        trace.workload.workflows.iter().map(|w| w.workflow.len()).sum::<usize>(),
+        trace.workload.adhoc.len()
+    );
+    Ok(())
+}
+
+fn simulate(args: &Args) -> CliResult {
+    let mut trace = load_trace(args)?;
+    attach_milestones(&mut trace);
+    let name = args.get("scheduler").unwrap_or("flowtime");
+    let mut scheduler = make_scheduler(name, &trace.cluster)?;
+    let want_gantt = args.has("gantt");
+    let mut engine = Engine::new(trace.cluster.clone(), trace.workload.clone(), 10_000_000)?;
+    if want_gantt {
+        engine = engine.with_timeline();
+    }
+    let outcome = engine.run(scheduler.as_mut())?;
+    let metrics = outcome.metrics;
+    println!("{}", summary_line(scheduler.name(), &metrics));
+    if let Some(tl) = &outcome.timeline {
+        print!("{}", flowtime_sim::timeline::render_gantt(tl, Some(&metrics), 100));
+    }
+    if let Some(out) = args.get("out") {
+        let file = File::create(out).map_err(|e| format!("cannot create {out}: {e}"))?;
+        serde_json::to_writer_pretty(BufWriter::new(file), &metrics)?;
+        println!("full metrics written to {out}");
+    }
+    Ok(())
+}
+
+fn compare(args: &Args) -> CliResult {
+    let mut trace = load_trace(args)?;
+    attach_milestones(&mut trace);
+    for name in ["flowtime", "cora", "edf", "fair", "fifo", "morpheus"] {
+        let mut scheduler = make_scheduler(name, &trace.cluster)?;
+        let metrics = run_one(&trace, scheduler.as_mut())?;
+        println!("{}", summary_line(scheduler.name(), &metrics));
+    }
+    Ok(())
+}
+
+fn decompose_cmd(args: &Args) -> CliResult {
+    let trace = load_trace(args)?;
+    let index = args.get_or("index", 0usize);
+    let slack = args.get_or("slack", 6u64);
+    let sub = trace
+        .workload
+        .workflows
+        .get(index)
+        .ok_or_else(|| format!("trace has no workflow #{index}"))?;
+    let wf = &sub.workflow;
+    let d = decompose(wf, &DecomposeConfig::new(trace.cluster.capacity()))?;
+    let slacked = slacked_windows(&d, slack);
+    println!(
+        "{} `{}`: window [{}, {}), {} jobs, {} level sets, method {:?}",
+        wf.id(),
+        wf.name(),
+        wf.submit_slot(),
+        wf.deadline_slot(),
+        wf.len(),
+        d.sets.len(),
+        d.method_used
+    );
+    for (set_idx, set) in d.sets.iter().enumerate() {
+        let w = d.set_windows[set_idx];
+        println!(
+            "  set {set_idx}: window [{:>5}, {:>5})  min-rt {:>4}  jobs {:?}",
+            w.start, w.deadline, d.set_min_runtimes[set_idx], set
+        );
+    }
+    println!("\nper-job milestones (with {slack}-slot slack in parentheses):");
+    for (node, (w, s)) in d.windows.iter().zip(&slacked).enumerate() {
+        println!(
+            "  {:<28} due {:>5} ({:>5})",
+            wf.job(node).name(),
+            w.deadline,
+            s.deadline
+        );
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &[&str]) -> Vec<String> {
+        s.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn help_and_unknown_commands() {
+        assert!(dispatch(&argv(&["help"])).is_ok());
+        assert!(dispatch(&[]).is_ok());
+        assert!(dispatch(&argv(&["frobnicate"])).is_err());
+    }
+
+    #[test]
+    fn simulate_requires_trace() {
+        assert!(dispatch(&argv(&["simulate"])).is_err());
+    }
+
+    #[test]
+    fn scheduler_factory_knows_all_names() {
+        let cluster = ClusterConfig::new(ResourceVec::new([4, 4096]), 10.0);
+        for name in ["flowtime", "flowtime-no-ds", "edf", "fifo", "fair", "cora", "morpheus"] {
+            assert!(make_scheduler(name, &cluster).is_ok(), "{name}");
+        }
+        assert!(make_scheduler("nope", &cluster).is_err());
+    }
+
+    #[test]
+    fn generate_simulate_round_trip() {
+        let dir = std::env::temp_dir().join("flowtime-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace_path = dir.join("t.jsonl");
+        let metrics_path = dir.join("m.json");
+        dispatch(&argv(&[
+            "generate",
+            "--out",
+            trace_path.to_str().unwrap(),
+            "--workflows",
+            "2",
+            "--cores",
+            "64",
+            "--seed",
+            "3",
+        ]))
+        .unwrap();
+        dispatch(&argv(&[
+            "simulate",
+            "--trace",
+            trace_path.to_str().unwrap(),
+            "--scheduler",
+            "flowtime",
+            "--out",
+            metrics_path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let written = std::fs::read_to_string(&metrics_path).unwrap();
+        let metrics: Metrics = serde_json::from_str(&written).unwrap();
+        assert!(metrics.completed_jobs() > 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn decompose_prints_windows() {
+        let dir = std::env::temp_dir().join("flowtime-cli-test-d");
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace_path = dir.join("t.jsonl");
+        dispatch(&argv(&[
+            "generate",
+            "--out",
+            trace_path.to_str().unwrap(),
+            "--workflows",
+            "1",
+            "--seed",
+            "5",
+        ]))
+        .unwrap();
+        dispatch(&argv(&["decompose", "--trace", trace_path.to_str().unwrap()])).unwrap();
+        assert!(dispatch(&argv(&[
+            "decompose",
+            "--trace",
+            trace_path.to_str().unwrap(),
+            "--index",
+            "99",
+        ]))
+        .is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,81 @@
+//! Runtime-proportional (critical-path) window splitting.
+//!
+//! The traditional decomposition of Yu et al. [7]: each node set's share of
+//! the workflow window is proportional to its runtime along the critical
+//! path (with level-set grouping, the per-set runtime is the slowest member
+//! job's minimum runtime — the segment of the critical path crossing that
+//! level). The paper uses this both as the comparison baseline of Fig. 3
+//! and as the fallback when the window is tighter than the summed minimum
+//! runtimes (footnote 1).
+
+use super::demand_split::proportional_integer_split;
+
+/// Splits `window` slots across sets proportionally to per-set minimum
+/// runtimes, guaranteeing every set at least one slot. The output sums to
+/// exactly `window`; callers ensure `window >= sets.len()`.
+pub(crate) fn split(sets: &[Vec<usize>], min_rt: &[u64], window: u64) -> Vec<u64> {
+    debug_assert_eq!(sets.len(), min_rt.len());
+    debug_assert!(window >= sets.len() as u64);
+    let weights: Vec<f64> = min_rt.iter().map(|&m| m as f64).collect();
+    let mut alloc = proportional_integer_split(&weights, window);
+    // Guarantee non-empty windows: move slots from the richest sets to any
+    // set that landed on zero.
+    while let Some(zero) = alloc.iter().position(|&d| d == 0) {
+        let richest = alloc
+            .iter()
+            .enumerate()
+            .max_by_key(|&(_, &d)| d)
+            .map(|(i, _)| i)
+            .expect("non-empty");
+        debug_assert!(alloc[richest] > 1, "window >= sets.len() guarantees a donor");
+        alloc[richest] -= 1;
+        alloc[zero] += 1;
+    }
+    alloc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn proportional_to_runtime() {
+        let sets = vec![vec![0], vec![1], vec![2]];
+        let alloc = split(&sets, &[10, 20, 10], 120);
+        assert_eq!(alloc, vec![30, 60, 30]);
+    }
+
+    #[test]
+    fn compresses_tight_windows() {
+        // Total min runtime 40, window only 20: proportional compression.
+        let sets = vec![vec![0], vec![1]];
+        let alloc = split(&sets, &[30, 10], 20);
+        assert_eq!(alloc.iter().sum::<u64>(), 20);
+        assert_eq!(alloc, vec![15, 5]);
+    }
+
+    #[test]
+    fn zero_runtime_sets_still_get_a_slot() {
+        let sets = vec![vec![0], vec![1], vec![2]];
+        let alloc = split(&sets, &[0, 100, 0], 10);
+        assert_eq!(alloc.iter().sum::<u64>(), 10);
+        assert!(alloc.iter().all(|&d| d >= 1));
+        assert_eq!(*alloc.iter().max().unwrap(), alloc[1]);
+    }
+
+    #[test]
+    fn fig3_traditional_one_third() {
+        // Fork-join with equal runtimes: the middle set gets 1/3 of the
+        // window under the traditional scheme regardless of its width.
+        let sets = vec![vec![0], (1..=9).collect(), vec![10]];
+        let alloc = split(&sets, &[10, 10, 10], 300);
+        assert_eq!(alloc, vec![100, 100, 100]);
+    }
+
+    #[test]
+    fn exact_min_window() {
+        let sets = vec![vec![0], vec![1], vec![2]];
+        let alloc = split(&sets, &[0, 0, 0], 3);
+        assert_eq!(alloc, vec![1, 1, 1]);
+    }
+}

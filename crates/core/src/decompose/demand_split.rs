@@ -1,0 +1,151 @@
+//! Demand-proportional window splitting (paper Section IV-B).
+//!
+//! After reserving each node set's minimum runtime, the remaining window is
+//! distributed proportionally to the *total resource demand* of each set —
+//! "the number of tasks, the task running time and the resource requirement
+//! of each task". Multi-resource demands are collapsed to a scalar by the
+//! same normalization as the paper's objective: the dominant share
+//! `max_r demand_r / C_r`.
+
+use flowtime_dag::{ResourceVec, Workflow, NUM_RESOURCES};
+
+/// Normalized (dominant-resource) demand of one set of jobs.
+pub(crate) fn set_demand(workflow: &Workflow, set: &[usize], capacity: &ResourceVec) -> f64 {
+    let total = set
+        .iter()
+        .fold(ResourceVec::zero(), |acc, &j| acc + workflow.job(j).total_demand());
+    let mut share = 0.0f64;
+    for r in 0..NUM_RESOURCES {
+        let cap = capacity.dim(r);
+        if cap > 0 {
+            share = share.max(total.dim(r) as f64 / cap as f64);
+        }
+    }
+    share
+}
+
+/// Splits `window` slots across sets: each gets its minimum runtime plus a
+/// demand-proportional share of the remainder. Requires
+/// `Σ min_rt <= window`; the output sums to exactly `window`.
+pub(crate) fn split(
+    workflow: &Workflow,
+    sets: &[Vec<usize>],
+    min_rt: &[u64],
+    window: u64,
+    capacity: &ResourceVec,
+) -> Vec<u64> {
+    let total_min: u64 = min_rt.iter().sum();
+    debug_assert!(total_min <= window);
+    let remaining = window - total_min;
+    let demands: Vec<f64> = sets
+        .iter()
+        .map(|set| set_demand(workflow, set, capacity))
+        .collect();
+    let extra = proportional_integer_split(&demands, remaining);
+    min_rt
+        .iter()
+        .zip(extra.iter())
+        .map(|(&m, &e)| (m + e).max(1))
+        .scan(0i64, |debt, d| {
+            // The `.max(1)` floor can oversubscribe by one slot for
+            // zero-min-runtime sets; repay from later sets (> 1 slot).
+            let mut d = d as i64;
+            if *debt > 0 && d > 1 {
+                let pay = (*debt).min(d - 1);
+                d -= pay;
+                *debt -= pay;
+            }
+            Some(d as u64)
+        })
+        .collect::<Vec<u64>>()
+}
+
+/// Largest-remainder integer apportionment of `total` units across weights.
+/// Zero or degenerate weights fall back to an even split.
+pub(crate) fn proportional_integer_split(weights: &[f64], total: u64) -> Vec<u64> {
+    let n = weights.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let sum: f64 = weights.iter().sum();
+    let effective: Vec<f64> = if sum > 0.0 && sum.is_finite() {
+        weights.iter().map(|&w| w.max(0.0) / sum).collect()
+    } else {
+        vec![1.0 / n as f64; n]
+    };
+    let ideal: Vec<f64> = effective.iter().map(|f| f * total as f64).collect();
+    let mut alloc: Vec<u64> = ideal.iter().map(|&x| x.floor() as u64).collect();
+    let assigned: u64 = alloc.iter().sum();
+    let mut leftovers: Vec<(usize, f64)> = ideal
+        .iter()
+        .enumerate()
+        .map(|(i, &x)| (i, x - x.floor()))
+        .collect();
+    leftovers.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+    let mut shortfall = total - assigned;
+    for (i, _) in leftovers {
+        if shortfall == 0 {
+            break;
+        }
+        alloc[i] += 1;
+        shortfall -= 1;
+    }
+    alloc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flowtime_dag::{JobSpec, WorkflowBuilder, WorkflowId};
+
+    #[test]
+    fn proportional_split_is_exact_and_fair() {
+        let alloc = proportional_integer_split(&[1.0, 1.0, 2.0], 8);
+        assert_eq!(alloc.iter().sum::<u64>(), 8);
+        assert_eq!(alloc, vec![2, 2, 4]);
+    }
+
+    #[test]
+    fn proportional_split_handles_zero_weights() {
+        let alloc = proportional_integer_split(&[0.0, 0.0], 5);
+        assert_eq!(alloc.iter().sum::<u64>(), 5);
+        let alloc = proportional_integer_split(&[], 5);
+        assert!(alloc.is_empty());
+    }
+
+    #[test]
+    fn proportional_split_largest_remainder() {
+        // 10 split as 3.33 / 3.33 / 3.33 -> 4/3/3 (first index wins ties).
+        let alloc = proportional_integer_split(&[1.0, 1.0, 1.0], 10);
+        assert_eq!(alloc.iter().sum::<u64>(), 10);
+        assert_eq!(alloc[0], 4);
+    }
+
+    #[test]
+    fn set_demand_uses_dominant_resource() {
+        let mut b = WorkflowBuilder::new(WorkflowId::new(1), "w");
+        // 10 tasks x 2 slots x <1 cpu, 8192 mem> = <20, 163840>.
+        b.add_job(JobSpec::new("mem-heavy", 10, 2, ResourceVec::new([1, 8192])));
+        let wf = b.window(0, 10).build().unwrap();
+        // Capacity <100, 102400>: cpu share 0.2, mem share 1.6 -> 1.6.
+        let d = set_demand(&wf, &[0], &ResourceVec::new([100, 102_400]));
+        assert!((d - 1.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn split_reserves_min_runtime_and_sums_to_window() {
+        let mut b = WorkflowBuilder::new(WorkflowId::new(1), "w");
+        let a = b.add_job(JobSpec::new("a", 4, 5, ResourceVec::new([1, 1024])).with_max_parallel(2));
+        let c = b.add_job(JobSpec::new("c", 100, 1, ResourceVec::new([1, 1024])));
+        b.add_dep(a, c).unwrap();
+        let wf = b.window(0, 50).build().unwrap();
+        let sets = wf.level_sets();
+        let min_rt = vec![10, 1];
+        let out = split(&wf, &sets, &min_rt, 50, &ResourceVec::new([100, 102_400]));
+        assert_eq!(out.iter().sum::<u64>(), 50);
+        assert!(out[0] >= 10 && out[1] >= 1);
+        // Set 1 has 5x the demand of set 0 (100 vs 20 task-slots) and
+        // receives the lion's share of the 39 spare slots.
+        assert!(out[1] > out[0]);
+    }
+}

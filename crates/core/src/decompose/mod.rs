@@ -1,0 +1,340 @@
+//! Deadline decomposition (paper Section IV).
+//!
+//! Transforms a workflow deadline into per-job deadlines in three steps:
+//!
+//! 1. Group the DAG into **node sets** — topological level sets, computed by
+//!    the adapted Kahn's algorithm of
+//!    [`flowtime_dag::level_sets`] (Section IV-A, Fig. 3).
+//! 2. Reserve each set's **minimum runtime** (the largest member job's
+//!    minimum runtime) and distribute the remaining window across sets
+//!    **proportionally to their total resource demand**
+//!    ([`demand_split`], Section IV-B). When the window cannot even cover
+//!    the minimum runtimes, fall back to the critical-path proportional
+//!    decomposition of Yu et al. [7] ([`critical_path`], footnote 1).
+//! 3. Optionally subtract a **deadline slack** from each job's scheduling
+//!    deadline ([`slack`], Section VII-B.2) so demand is met slightly early,
+//!    absorbing runtime-estimation errors.
+
+pub mod critical_path;
+pub mod demand_split;
+pub mod slack;
+
+use crate::error::CoreError;
+use flowtime_dag::{ResourceVec, Workflow};
+use serde::{Deserialize, Serialize};
+
+/// The absolute slot window `[start, deadline)` assigned to one job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct JobWindow {
+    /// Earliest slot the job is expected to start.
+    pub start: u64,
+    /// Decomposed deadline (exclusive): the job should finish by the end of
+    /// slot `deadline - 1`.
+    pub deadline: u64,
+}
+
+impl JobWindow {
+    /// Window length in slots.
+    pub fn len(&self) -> u64 {
+        self.deadline.saturating_sub(self.start)
+    }
+
+    /// True if the window contains no slots (never produced by a
+    /// successful decomposition).
+    pub fn is_empty(&self) -> bool {
+        self.deadline <= self.start
+    }
+}
+
+/// Which decomposition strategy to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum Decomposer {
+    /// The paper's strategy: reserve minimum runtimes, split the remaining
+    /// window by node-set resource demand. Falls back to
+    /// [`Decomposer::CriticalPath`] when the window is tighter than the sum
+    /// of minimum runtimes.
+    #[default]
+    ResourceDemand,
+    /// The traditional strategy of Yu et al. [7]: split the window
+    /// proportionally to per-set runtimes, ignoring resource demand. Used
+    /// as the paper's comparison baseline (Fig. 3) and as the tight-window
+    /// fallback.
+    CriticalPath,
+}
+
+/// Decomposition parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DecomposeConfig {
+    /// Cluster capacity used to normalize multi-resource demands into a
+    /// single comparable share (the same normalization as the paper's
+    /// `z_t^r / C_t^r` objective).
+    pub capacity: ResourceVec,
+    /// Strategy selector.
+    pub decomposer: Decomposer,
+}
+
+impl DecomposeConfig {
+    /// Demand-proportional decomposition against the given cluster capacity.
+    pub fn new(capacity: ResourceVec) -> Self {
+        DecomposeConfig { capacity, decomposer: Decomposer::ResourceDemand }
+    }
+
+    /// Switches strategy.
+    #[must_use]
+    pub fn with_decomposer(mut self, decomposer: Decomposer) -> Self {
+        self.decomposer = decomposer;
+        self
+    }
+}
+
+/// The result of decomposing one workflow.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Decomposition {
+    /// Per-job windows, indexed by DAG node.
+    pub windows: Vec<JobWindow>,
+    /// The node sets used, in topological order.
+    pub sets: Vec<Vec<usize>>,
+    /// Per-set windows, parallel to `sets`.
+    pub set_windows: Vec<JobWindow>,
+    /// Capacity-aware minimum runtime of each set, parallel to `sets` —
+    /// the floor below which deadline slack must not push a deadline.
+    pub set_min_runtimes: Vec<u64>,
+    /// Which strategy actually produced the result (demand-based requests
+    /// may fall back to critical-path under tight windows).
+    pub method_used: Decomposer,
+}
+
+impl Decomposition {
+    /// Per-node deadlines (the `deadline` field of each window) — the
+    /// milestone vector handed to the simulator's metrics.
+    pub fn job_deadlines(&self) -> Vec<u64> {
+        self.windows.iter().map(|w| w.deadline).collect()
+    }
+}
+
+/// Decomposes `workflow`'s deadline into per-job windows.
+///
+/// # Errors
+///
+/// [`CoreError::WindowTooTight`] if the workflow window has fewer slots
+/// than level sets (some job would get an empty window under any strategy).
+///
+/// # Example
+///
+/// The paper's fork-join example: the parallel middle set receives the
+/// demand-weighted share of the window rather than the runtime-weighted
+/// third.
+///
+/// ```
+/// use flowtime::decompose::{decompose, DecomposeConfig};
+/// use flowtime_dag::prelude::*;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let n = 9; // parallel middle jobs
+/// let mut b = WorkflowBuilder::new(WorkflowId::new(1), "fork-join");
+/// let spec = JobSpec::new("j", 10, 1, ResourceVec::new([1, 1024]));
+/// let head = b.add_job(spec.clone());
+/// let mids: Vec<_> = (0..n).map(|_| b.add_job(spec.clone())).collect();
+/// let tail = b.add_job(spec.clone());
+/// for &m in &mids {
+///     b.add_dep(head, m)?;
+///     b.add_dep(m, tail)?;
+/// }
+/// let wf = b.window(0, 1100).build()?;
+/// let d = decompose(&wf, &DecomposeConfig::new(ResourceVec::new([100, 102400])))?;
+/// // Middle set demand is 9/11 of the total; its window share approaches
+/// // (n)/(n+2) of the deadline, far above the traditional 1/3.
+/// let mid = d.set_windows[1];
+/// assert!(mid.len() > 1100 * 2 / 3);
+/// # Ok(())
+/// # }
+/// ```
+pub fn decompose(workflow: &Workflow, config: &DecomposeConfig) -> Result<Decomposition, CoreError> {
+    let sets = workflow.level_sets();
+    let window = workflow.window_slots();
+    if (sets.len() as u64) > window {
+        return Err(CoreError::WindowTooTight { level_sets: sets.len(), window });
+    }
+    // Per-set minimum runtime, *capacity-aware*: the largest member job's
+    // minimum runtime with its wave width capped by what the cluster can
+    // host, floored by the whole set's aggregate demand (parallel jobs
+    // share the cluster, so a set of many wide jobs cannot finish faster
+    // than its normalized demand in slot-equivalents).
+    let min_rt: Vec<u64> = sets
+        .iter()
+        .map(|set| {
+            let per_job = set
+                .iter()
+                .map(|&j| {
+                    let job = workflow.job(j);
+                    let cluster_width = job.per_task().times_fitting(&config.capacity).max(1);
+                    let width = job.effective_parallel().min(cluster_width).max(1);
+                    job.tasks().div_ceil(width) * job.task_slots()
+                })
+                .max()
+                .unwrap_or(0);
+            let demand_floor =
+                demand_split::set_demand(workflow, set, &config.capacity).ceil() as u64;
+            per_job.max(demand_floor)
+        })
+        .collect();
+    let total_min: u64 = min_rt.iter().sum();
+
+    let (durations, method_used) = match config.decomposer {
+        Decomposer::ResourceDemand if total_min <= window => (
+            demand_split::split(workflow, &sets, &min_rt, window, &config.capacity),
+            Decomposer::ResourceDemand,
+        ),
+        // Tight window (paper footnote 1) or explicit request: critical
+        // path / runtime-proportional split.
+        _ => (
+            critical_path::split(&sets, &min_rt, window),
+            Decomposer::CriticalPath,
+        ),
+    };
+    debug_assert_eq!(durations.iter().sum::<u64>(), window);
+
+    let mut set_windows = Vec::with_capacity(sets.len());
+    let mut cursor = workflow.submit_slot();
+    for &d in &durations {
+        set_windows.push(JobWindow { start: cursor, deadline: cursor + d });
+        cursor += d;
+    }
+    let mut windows = vec![JobWindow { start: 0, deadline: 0 }; workflow.len()];
+    for (set, w) in sets.iter().zip(set_windows.iter()) {
+        for &j in set {
+            windows[j] = *w;
+        }
+    }
+    Ok(Decomposition { windows, sets, set_windows, set_min_runtimes: min_rt, method_used })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flowtime_dag::{JobSpec, WorkflowBuilder, WorkflowId};
+
+    fn spec(tasks: u64, dur: u64) -> JobSpec {
+        JobSpec::new("j", tasks, dur, ResourceVec::new([1, 1024]))
+    }
+
+    fn config() -> DecomposeConfig {
+        DecomposeConfig::new(ResourceVec::new([100, 102_400]))
+    }
+
+    fn fork_join(n_mid: usize, window: u64, mid_tasks: u64) -> Workflow {
+        let mut b = WorkflowBuilder::new(WorkflowId::new(1), "fj");
+        let head = b.add_job(spec(10, 1));
+        let mids: Vec<_> = (0..n_mid).map(|_| b.add_job(spec(mid_tasks, 1))).collect();
+        let tail = b.add_job(spec(10, 1));
+        for &m in &mids {
+            b.add_dep(head, m).unwrap();
+            b.add_dep(m, tail).unwrap();
+        }
+        b.window(0, window).build().unwrap()
+    }
+
+    #[test]
+    fn windows_partition_the_workflow_window() {
+        let wf = fork_join(4, 300, 10);
+        let d = decompose(&wf, &config()).unwrap();
+        assert_eq!(d.set_windows.first().unwrap().start, 0);
+        assert_eq!(d.set_windows.last().unwrap().deadline, 300);
+        for pair in d.set_windows.windows(2) {
+            assert_eq!(pair[0].deadline, pair[1].start);
+        }
+        for w in &d.windows {
+            assert!(!w.is_empty());
+        }
+    }
+
+    #[test]
+    fn paper_fig3_demand_share_beats_one_third() {
+        // 9 equal parallel middles: demand share 9/11 of total, so the
+        // middle window should dwarf the traditional 1/3.
+        let wf = fork_join(9, 1100, 10);
+        let d = decompose(&wf, &config()).unwrap();
+        assert_eq!(d.method_used, Decomposer::ResourceDemand);
+        let mid = d.set_windows[1];
+        assert!(mid.len() > 1100 * 2 / 3, "mid window = {}", mid.len());
+        // Traditional decomposition keeps it near 1/3.
+        let cp = decompose(&wf, &config().with_decomposer(Decomposer::CriticalPath)).unwrap();
+        let mid_cp = cp.set_windows[1];
+        assert!((mid_cp.len() as i64 - 1100 / 3).abs() <= 2, "cp mid = {}", mid_cp.len());
+    }
+
+    #[test]
+    fn tight_window_falls_back_to_critical_path() {
+        // min runtimes: three sets of 10-task 1-slot jobs with max_parallel 1
+        // -> 10 slots each, total 30 > window 20.
+        let mut b = WorkflowBuilder::new(WorkflowId::new(1), "tight");
+        let a = b.add_job(spec(10, 1).with_max_parallel(1));
+        let c = b.add_job(spec(10, 1).with_max_parallel(1));
+        let e = b.add_job(spec(10, 1).with_max_parallel(1));
+        b.add_dep(a, c).unwrap();
+        b.add_dep(c, e).unwrap();
+        let wf = b.window(0, 20).build().unwrap();
+        let d = decompose(&wf, &config()).unwrap();
+        assert_eq!(d.method_used, Decomposer::CriticalPath);
+        assert_eq!(d.set_windows.iter().map(JobWindow::len).sum::<u64>(), 20);
+    }
+
+    #[test]
+    fn window_smaller_than_levels_errors() {
+        let mut b = WorkflowBuilder::new(WorkflowId::new(1), "w");
+        let a = b.add_job(spec(1, 1));
+        let c = b.add_job(spec(1, 1));
+        let e = b.add_job(spec(1, 1));
+        b.add_dep(a, c).unwrap();
+        b.add_dep(c, e).unwrap();
+        let wf = b.window(0, 2).build().unwrap();
+        assert!(matches!(
+            decompose(&wf, &config()),
+            Err(CoreError::WindowTooTight { level_sets: 3, window: 2 })
+        ));
+    }
+
+    #[test]
+    fn single_job_gets_whole_window() {
+        let mut b = WorkflowBuilder::new(WorkflowId::new(1), "one");
+        b.add_job(spec(5, 2));
+        let wf = b.window(10, 60).build().unwrap();
+        let d = decompose(&wf, &config()).unwrap();
+        assert_eq!(d.windows, vec![JobWindow { start: 10, deadline: 60 }]);
+        assert_eq!(d.job_deadlines(), vec![60]);
+    }
+
+    #[test]
+    fn parallel_jobs_share_a_window() {
+        let wf = fork_join(5, 200, 10);
+        let d = decompose(&wf, &config()).unwrap();
+        for &j in &d.sets[1] {
+            assert_eq!(d.windows[j], d.set_windows[1]);
+        }
+    }
+
+    #[test]
+    fn submit_offset_respected() {
+        let mut b = WorkflowBuilder::new(WorkflowId::new(1), "off");
+        let a = b.add_job(spec(4, 1));
+        let c = b.add_job(spec(4, 1));
+        b.add_dep(a, c).unwrap();
+        let wf = b.window(100, 200).build().unwrap();
+        let d = decompose(&wf, &config()).unwrap();
+        assert_eq!(d.set_windows[0].start, 100);
+        assert_eq!(d.set_windows[1].deadline, 200);
+    }
+
+    #[test]
+    fn min_runtimes_always_covered_in_demand_mode() {
+        // Big disparity: tiny head, huge middle; head still gets >= its
+        // minimum runtime.
+        let mut b = WorkflowBuilder::new(WorkflowId::new(1), "m");
+        let head = b.add_job(spec(2, 3).with_max_parallel(1)); // min rt 6
+        let mid = b.add_job(spec(500, 1));
+        b.add_dep(head, mid).unwrap();
+        let wf = b.window(0, 100).build().unwrap();
+        let d = decompose(&wf, &config()).unwrap();
+        assert!(d.set_windows[0].len() >= 6);
+    }
+}

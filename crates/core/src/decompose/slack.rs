@@ -1,0 +1,94 @@
+//! Deadline slack (paper Section VII-B.2).
+//!
+//! Scheduling exactly against decomposed deadlines can allocate resources
+//! "at the very last minute", so any runtime under-estimate turns directly
+//! into a deadline miss. FlowTime therefore plans against deadlines pulled
+//! *earlier* by a fixed slack (60 s in the paper), while the reported
+//! metrics still use the true milestones. The `FlowTime_no_ds` ablation of
+//! Fig. 5 corresponds to a slack of zero.
+
+use super::{Decomposition, JobWindow};
+
+/// Returns the scheduling windows of `decomposition` with each deadline
+/// pulled `slack_slots` earlier, floored so every window keeps at least its
+/// set's capacity-aware minimum runtime (a window slacked below its minimum
+/// runtime would be trivially infeasible). Window starts are unchanged.
+///
+/// # Example
+///
+/// ```
+/// use flowtime::decompose::{slack::slacked_windows, Decomposition, Decomposer, JobWindow};
+/// let d = Decomposition {
+///     windows: vec![JobWindow { start: 0, deadline: 10 }],
+///     sets: vec![vec![0]],
+///     set_windows: vec![JobWindow { start: 0, deadline: 10 }],
+///     set_min_runtimes: vec![2],
+///     method_used: Decomposer::ResourceDemand,
+/// };
+/// assert_eq!(slacked_windows(&d, 6)[0], JobWindow { start: 0, deadline: 4 });
+/// assert_eq!(slacked_windows(&d, 100)[0], JobWindow { start: 0, deadline: 2 });
+/// ```
+pub fn slacked_windows(decomposition: &Decomposition, slack_slots: u64) -> Vec<JobWindow> {
+    // Map each job to its set's minimum runtime floor.
+    let mut floor = vec![1u64; decomposition.windows.len()];
+    for (set, &min_rt) in decomposition.sets.iter().zip(&decomposition.set_min_runtimes) {
+        for &j in set {
+            floor[j] = min_rt.max(1);
+        }
+    }
+    decomposition
+        .windows
+        .iter()
+        .zip(&floor)
+        .map(|(w, &fl)| JobWindow {
+            start: w.start,
+            // Pull the deadline earlier by the slack, but no earlier than
+            // the minimum-runtime floor — and never *later* than the
+            // original deadline (compressed fallback windows can be
+            // shorter than their minimum runtime).
+            deadline: w
+                .deadline
+                .saturating_sub(slack_slots)
+                .max(w.start + fl)
+                .min(w.deadline)
+                .max(w.start + 1),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decompose::Decomposer;
+
+    fn decomposition(windows: Vec<JobWindow>) -> Decomposition {
+        Decomposition {
+            sets: vec![(0..windows.len()).collect()],
+            set_windows: windows.clone(),
+            set_min_runtimes: vec![1],
+            windows,
+            method_used: Decomposer::ResourceDemand,
+        }
+    }
+
+    #[test]
+    fn zero_slack_is_identity() {
+        let d = decomposition(vec![JobWindow { start: 5, deadline: 20 }]);
+        assert_eq!(slacked_windows(&d, 0), d.windows);
+    }
+
+    #[test]
+    fn slack_shrinks_deadline_not_start() {
+        let d = decomposition(vec![JobWindow { start: 5, deadline: 20 }]);
+        let w = slacked_windows(&d, 6);
+        assert_eq!(w[0], JobWindow { start: 5, deadline: 14 });
+    }
+
+    #[test]
+    fn slack_never_empties_a_window() {
+        let d = decomposition(vec![JobWindow { start: 5, deadline: 8 }]);
+        let w = slacked_windows(&d, 50);
+        assert_eq!(w[0], JobWindow { start: 5, deadline: 6 });
+        assert!(!w[0].is_empty());
+    }
+}

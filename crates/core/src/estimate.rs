@@ -1,0 +1,210 @@
+//! History-based runtime estimation for recurring workflows.
+//!
+//! The paper's information model (Section II-A) assumes recurring
+//! workflows come with estimated per-job demands and runtimes; in
+//! production those estimates come from *prior runs* (exactly how Morpheus
+//! infers its SLOs). This module is that provenance: record each run's
+//! actual per-job work, query mean or quantile estimates, and re-spec a
+//! workflow template with them.
+//!
+//! Quantile estimates (`estimate_quantile(0.9)`) are the principled
+//! counterpart of the paper's fixed deadline slack: padding the *estimate*
+//! instead of (or in addition to) pulling the deadline forward.
+
+use flowtime_dag::{DagError, JobSpec, Workflow, WorkflowBuilder};
+use std::collections::HashMap;
+
+/// A sliding window of per-run, per-job actual work samples for recurring
+/// workflows, keyed by workflow name.
+///
+/// # Example
+///
+/// ```
+/// use flowtime::estimate::RunHistory;
+/// let mut h = RunHistory::new(5);
+/// h.record("nightly", &[100, 210]);
+/// h.record("nightly", &[120, 190]);
+/// assert_eq!(h.estimate_mean("nightly"), Some(vec![110, 200]));
+/// assert_eq!(h.runs("nightly"), 2);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct RunHistory {
+    window: usize,
+    samples: HashMap<String, Vec<Vec<u64>>>,
+}
+
+impl RunHistory {
+    /// Creates a history keeping the most recent `window` runs per
+    /// workflow (0 is treated as 1).
+    pub fn new(window: usize) -> Self {
+        RunHistory { window: window.max(1), samples: HashMap::new() }
+    }
+
+    /// Records the actual per-job work of one completed run.
+    ///
+    /// Runs whose job count differs from previously recorded runs of the
+    /// same name reset the history (the workflow's shape changed).
+    pub fn record(&mut self, name: &str, actual_work: &[u64]) {
+        let runs = self.samples.entry(name.to_string()).or_default();
+        if runs.last().is_some_and(|prev| prev.len() != actual_work.len()) {
+            runs.clear();
+        }
+        runs.push(actual_work.to_vec());
+        let window = self.window;
+        if runs.len() > window {
+            let excess = runs.len() - window;
+            runs.drain(..excess);
+        }
+    }
+
+    /// Number of recorded runs for `name`.
+    pub fn runs(&self, name: &str) -> usize {
+        self.samples.get(name).map_or(0, Vec::len)
+    }
+
+    /// Per-job mean of the recorded runs (rounded), if any exist.
+    pub fn estimate_mean(&self, name: &str) -> Option<Vec<u64>> {
+        let runs = self.samples.get(name).filter(|r| !r.is_empty())?;
+        let jobs = runs.last().expect("non-empty").len();
+        let mut out = Vec::with_capacity(jobs);
+        for j in 0..jobs {
+            let total: u64 = runs.iter().map(|r| r[j]).sum();
+            out.push(((total as f64) / runs.len() as f64).round() as u64);
+        }
+        Some(out)
+    }
+
+    /// Per-job `q`-quantile (0.0–1.0) of the recorded runs — padding the
+    /// estimate against under-estimation the way deadline slack pads the
+    /// deadline.
+    pub fn estimate_quantile(&self, name: &str, q: f64) -> Option<Vec<u64>> {
+        let runs = self.samples.get(name).filter(|r| !r.is_empty())?;
+        let jobs = runs.last().expect("non-empty").len();
+        let q = q.clamp(0.0, 1.0);
+        let mut out = Vec::with_capacity(jobs);
+        for j in 0..jobs {
+            let mut values: Vec<u64> = runs.iter().map(|r| r[j]).collect();
+            values.sort_unstable();
+            let idx = ((values.len() - 1) as f64 * q).round() as usize;
+            out.push(values[idx]);
+        }
+        Some(out)
+    }
+
+    /// Rebuilds `template` with its per-job *work* re-specced to
+    /// `estimates` (task counts scale; per-task duration and container
+    /// shape are preserved).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`DagError`] (never for a well-formed template and an
+    /// estimate vector of matching length; mismatched lengths return
+    /// [`DagError::NodeOutOfRange`]).
+    pub fn respec(template: &Workflow, estimates: &[u64]) -> Result<Workflow, DagError> {
+        if estimates.len() != template.len() {
+            return Err(DagError::NodeOutOfRange {
+                node: estimates.len(),
+                len: template.len(),
+            });
+        }
+        let mut b = WorkflowBuilder::new(template.id(), template.name().to_string());
+        for (job, &est) in template.jobs().iter().zip(estimates) {
+            let tasks = est.div_ceil(job.task_slots().max(1)).max(1);
+            let mut spec = JobSpec::new(job.name(), tasks, job.task_slots(), job.per_task());
+            if let Some(p) = job.max_parallel() {
+                spec = spec.with_max_parallel(p);
+            }
+            b.add_job(spec);
+        }
+        for (from, to) in template.dag().edges() {
+            b.add_dep(from, to)?;
+        }
+        b.window(template.submit_slot(), template.deadline_slot()).build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flowtime_dag::{ResourceVec, WorkflowId};
+
+    #[test]
+    fn mean_and_quantile() {
+        let mut h = RunHistory::new(10);
+        for w in [100u64, 110, 120, 200] {
+            h.record("wf", &[w]);
+        }
+        assert_eq!(h.estimate_mean("wf"), Some(vec![133]));
+        assert_eq!(h.estimate_quantile("wf", 0.0), Some(vec![100]));
+        assert_eq!(h.estimate_quantile("wf", 1.0), Some(vec![200]));
+        let p67 = h.estimate_quantile("wf", 0.67).unwrap()[0];
+        assert!(p67 == 120 || p67 == 110, "{p67}");
+    }
+
+    #[test]
+    fn window_evicts_old_runs() {
+        let mut h = RunHistory::new(2);
+        h.record("wf", &[100]);
+        h.record("wf", &[200]);
+        h.record("wf", &[300]);
+        assert_eq!(h.runs("wf"), 2);
+        assert_eq!(h.estimate_mean("wf"), Some(vec![250]));
+    }
+
+    #[test]
+    fn shape_change_resets_history() {
+        let mut h = RunHistory::new(5);
+        h.record("wf", &[1, 2]);
+        h.record("wf", &[1, 2, 3]);
+        assert_eq!(h.runs("wf"), 1);
+        assert_eq!(h.estimate_mean("wf"), Some(vec![1, 2, 3]));
+    }
+
+    #[test]
+    fn unknown_workflow_is_none() {
+        let h = RunHistory::new(3);
+        assert_eq!(h.estimate_mean("nope"), None);
+        assert_eq!(h.estimate_quantile("nope", 0.5), None);
+        assert_eq!(h.runs("nope"), 0);
+    }
+
+    #[test]
+    fn respec_scales_tasks_and_keeps_structure() {
+        let mut b = WorkflowBuilder::new(WorkflowId::new(1), "t");
+        let a = b.add_job(JobSpec::new("a", 10, 2, ResourceVec::new([1, 1024])));
+        let c = b.add_job(
+            JobSpec::new("c", 5, 4, ResourceVec::new([1, 2048])).with_max_parallel(3),
+        );
+        b.add_dep(a, c).unwrap();
+        let template = b.window(0, 100).build().unwrap();
+        // New estimates: 30 and 43 task-slots of work.
+        let respec = RunHistory::respec(&template, &[30, 43]).unwrap();
+        assert_eq!(respec.job(0).work(), 30); // 15 tasks x 2 slots
+        assert_eq!(respec.job(1).tasks(), 11); // ceil(43/4)
+        assert_eq!(respec.job(1).max_parallel(), Some(3));
+        assert_eq!(respec.dag().edge_count(), 1);
+        assert_eq!(respec.window_slots(), 100);
+    }
+
+    #[test]
+    fn respec_validates_length() {
+        let mut b = WorkflowBuilder::new(WorkflowId::new(1), "t");
+        b.add_job(JobSpec::new("a", 1, 1, ResourceVec::new([1, 1])));
+        let template = b.window(0, 10).build().unwrap();
+        assert!(RunHistory::respec(&template, &[1, 2]).is_err());
+    }
+
+    #[test]
+    fn learned_estimates_converge_on_stationary_workloads() {
+        // Feed a noisy-but-stationary history; the mean estimate should
+        // land near the true mean.
+        let mut h = RunHistory::new(20);
+        let truth = 500i64;
+        for i in 0..20i64 {
+            let noise = (i % 5) * 10 - 20; // -20..20
+            h.record("wf", &[(truth + noise) as u64]);
+        }
+        let est = h.estimate_mean("wf").unwrap()[0] as i64;
+        assert!((est - truth).abs() <= 5, "estimate {est}");
+    }
+}

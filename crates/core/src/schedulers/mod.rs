@@ -1,0 +1,28 @@
+//! Scheduling algorithms: FlowTime and the paper's baselines.
+//!
+//! All schedulers implement [`flowtime_sim::Scheduler`] and are compared in
+//! the paper's evaluation (Section VII):
+//!
+//! | Scheduler | Paper role | Deadline knowledge | Ad-hoc treatment |
+//! |-----------|------------|--------------------|------------------|
+//! | [`FlowTimeScheduler`] | the contribution | decomposed per-job windows, LP leveling | residual capacity, fair-shared |
+//! | [`EdfScheduler`] | baseline | workflow deadlines, earliest first | starved while deadline work exists |
+//! | [`FifoScheduler`] | baseline | none | arrival order with everything else |
+//! | [`FairScheduler`] | baseline | none | max-min fair share with everything else |
+//! | [`CoraScheduler`] | baseline (CORA, INFOCOM'15) | per-job deadlines (traditional decomposition), utility water-filling | deadline-sensitive utility share |
+//! | [`MorpheusScheduler`] | baseline (Morpheus, OSDI'16) | per-job SLOs inferred from history, skyline reservations | leftover, FIFO |
+
+mod cora;
+mod edf;
+mod fair;
+mod fifo;
+mod flowtime;
+mod morpheus;
+pub(crate) mod util;
+
+pub use cora::CoraScheduler;
+pub use edf::EdfScheduler;
+pub use fair::FairScheduler;
+pub use fifo::FifoScheduler;
+pub use flowtime::{FlowTimeConfig, FlowTimeScheduler};
+pub use morpheus::MorpheusScheduler;

@@ -1,0 +1,139 @@
+//! Shared slot-filling machinery for schedulers.
+
+use flowtime_dag::{JobId, ResourceVec};
+use flowtime_sim::{Allocation, JobView};
+use std::collections::BTreeMap;
+
+/// Tracks free capacity and per-job grants while a scheduler fills one
+/// slot, enforcing both resource headroom and per-job task caps.
+#[derive(Debug, Clone)]
+pub(crate) struct SlotFiller {
+    free: ResourceVec,
+    granted: BTreeMap<JobId, u64>,
+}
+
+impl SlotFiller {
+    pub fn new(capacity: ResourceVec) -> Self {
+        SlotFiller { free: capacity, granted: BTreeMap::new() }
+    }
+
+    /// Remaining free capacity.
+    #[allow(dead_code)] // part of the filler's API; exercised in tests
+    pub fn free(&self) -> ResourceVec {
+        self.free
+    }
+
+    /// Tasks already granted to `job` this slot.
+    pub fn granted(&self, job: JobId) -> u64 {
+        self.granted.get(&job).copied().unwrap_or(0)
+    }
+
+    /// The most additional tasks `job` could still receive.
+    pub fn headroom(&self, job: &JobView) -> u64 {
+        let by_cap = job.max_tasks_this_slot.saturating_sub(self.granted(job.id));
+        let by_resources = job.per_task.times_fitting(&self.free);
+        by_cap.min(by_resources)
+    }
+
+    /// Grants up to `want` tasks to `job`; returns the number granted.
+    pub fn grant(&mut self, job: &JobView, want: u64) -> u64 {
+        let give = want.min(self.headroom(job));
+        if give > 0 {
+            self.free -= job.per_task * give;
+            *self.granted.entry(job.id).or_insert(0) += give;
+        }
+        give
+    }
+
+    /// Grants each job in order as many tasks as fit (FIFO-style greedy).
+    pub fn greedy_fill<'a>(&mut self, jobs: impl IntoIterator<Item = &'a JobView>) {
+        for job in jobs {
+            self.grant(job, u64::MAX);
+        }
+    }
+
+    /// Max-min fair share: repeatedly grants one task to each job in a
+    /// round-robin until nothing fits any more.
+    pub fn fair_fill(&mut self, jobs: &[&JobView]) {
+        loop {
+            let mut progressed = false;
+            for job in jobs {
+                if self.grant(job, 1) > 0 {
+                    progressed = true;
+                }
+            }
+            if !progressed {
+                break;
+            }
+        }
+    }
+
+    /// Finalizes into the engine's [`Allocation`].
+    pub fn into_allocation(self) -> Allocation {
+        self.granted.into_iter().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flowtime_sim::JobClass;
+
+    fn view(id: u64, per_task: ResourceVec, cap: u64) -> JobView {
+        JobView {
+            id: JobId::new(id),
+            class: JobClass::AdHoc,
+            per_task,
+            arrival_slot: 0,
+            ready_slot: Some(0),
+            estimated_remaining: None,
+            estimated_total: None,
+            task_slots: None,
+            max_tasks_this_slot: cap,
+            deadline_slot: None,
+            done_work: 0,
+        }
+    }
+
+    #[test]
+    fn grant_respects_resources_and_caps() {
+        let mut f = SlotFiller::new(ResourceVec::new([10, 10240]));
+        let j = view(1, ResourceVec::new([2, 1024]), 3);
+        assert_eq!(f.grant(&j, 10), 3); // capped by tasks
+        assert_eq!(f.granted(JobId::new(1)), 3);
+        assert_eq!(f.free(), ResourceVec::new([4, 10240 - 3072]));
+        let wide = view(2, ResourceVec::new([3, 1024]), 99);
+        assert_eq!(f.grant(&wide, 10), 1); // capped by cpu (4/3)
+    }
+
+    #[test]
+    fn greedy_fill_is_fifo_biased() {
+        let mut f = SlotFiller::new(ResourceVec::new([4, 4096]));
+        let a = view(1, ResourceVec::new([1, 1024]), 10);
+        let b = view(2, ResourceVec::new([1, 1024]), 10);
+        f.greedy_fill([&a, &b]);
+        assert_eq!(f.granted(JobId::new(1)), 4);
+        assert_eq!(f.granted(JobId::new(2)), 0);
+    }
+
+    #[test]
+    fn fair_fill_balances() {
+        let mut f = SlotFiller::new(ResourceVec::new([5, 5120]));
+        let a = view(1, ResourceVec::new([1, 1024]), 10);
+        let b = view(2, ResourceVec::new([1, 1024]), 10);
+        f.fair_fill(&[&a, &b]);
+        let ga = f.granted(JobId::new(1));
+        let gb = f.granted(JobId::new(2));
+        assert_eq!(ga + gb, 5);
+        assert!((ga as i64 - gb as i64).abs() <= 1);
+    }
+
+    #[test]
+    fn into_allocation_round_trips() {
+        let mut f = SlotFiller::new(ResourceVec::new([4, 4096]));
+        let a = view(7, ResourceVec::new([1, 1024]), 2);
+        f.grant(&a, 2);
+        let alloc = f.into_allocation();
+        assert_eq!(alloc.get(JobId::new(7)), 2);
+    }
+}

@@ -1,0 +1,160 @@
+//! Critical-path analysis.
+//!
+//! The critical path is the node-weight-heaviest source-to-sink path of the
+//! workflow DAG, with each node weighted by its job's minimum runtime. The
+//! paper uses it in two places: the traditional decomposer it compares
+//! against (Yu et al. [7], Section IV-B) and the fallback decomposer used
+//! when the workflow window is tighter than the sum of per-set minimum
+//! runtimes (footnote 1).
+
+use crate::error::DagError;
+use crate::graph::Dag;
+use crate::topo::topological_order;
+
+/// A critical path through a node-weighted DAG.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CriticalPath {
+    /// Nodes along the path, in topological order (source first).
+    pub nodes: Vec<usize>,
+    /// Total weight of the path (sum of node weights along it).
+    pub length: u64,
+}
+
+impl CriticalPath {
+    /// Computes the critical path of `dag` under per-node `weights`.
+    ///
+    /// Weights are typically job minimum runtimes in slots
+    /// ([`crate::JobSpec::min_runtime_slots`]).
+    ///
+    /// # Errors
+    ///
+    /// * [`DagError::Cycle`] if the graph is not acyclic.
+    /// * [`DagError::NodeOutOfRange`] if `weights.len() != dag.len()`.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use flowtime_dag::{Dag, CriticalPath};
+    /// # fn main() -> Result<(), flowtime_dag::DagError> {
+    /// // Diamond: 0 -> {1, 2} -> 3, node 2 is the heavy branch.
+    /// let dag = Dag::from_edges(4, [(0,1),(0,2),(1,3),(2,3)])?;
+    /// let cp = CriticalPath::compute(&dag, &[2, 1, 10, 2])?;
+    /// assert_eq!(cp.nodes, vec![0, 2, 3]);
+    /// assert_eq!(cp.length, 14);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn compute(dag: &Dag, weights: &[u64]) -> Result<Self, DagError> {
+        if weights.len() != dag.len() {
+            return Err(DagError::NodeOutOfRange {
+                node: weights.len(),
+                len: dag.len(),
+            });
+        }
+        if dag.is_empty() {
+            return Ok(CriticalPath { nodes: Vec::new(), length: 0 });
+        }
+        let order = topological_order(dag)?;
+        // dist[v] = heaviest path ending at v (inclusive of v's weight).
+        let mut dist = vec![0u64; dag.len()];
+        let mut best_pred: Vec<Option<usize>> = vec![None; dag.len()];
+        for &v in &order {
+            let mut incoming = 0;
+            for &p in dag.predecessors(v) {
+                if dist[p] >= incoming {
+                    incoming = dist[p];
+                    best_pred[v] = Some(p);
+                }
+            }
+            dist[v] = incoming + weights[v];
+        }
+        let (end, length) = dist
+            .iter()
+            .copied()
+            .enumerate()
+            .max_by_key(|&(_, d)| d)
+            .expect("non-empty dag");
+        let mut nodes = vec![end];
+        let mut cur = end;
+        while let Some(p) = best_pred[cur] {
+            nodes.push(p);
+            cur = p;
+        }
+        nodes.reverse();
+        Ok(CriticalPath { nodes, length })
+    }
+
+    /// True if `node` lies on this critical path.
+    pub fn contains(&self, node: usize) -> bool {
+        self.nodes.contains(&node)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chain_path_is_whole_chain() {
+        let dag = Dag::from_edges(3, [(0, 1), (1, 2)]).unwrap();
+        let cp = CriticalPath::compute(&dag, &[5, 7, 3]).unwrap();
+        assert_eq!(cp.nodes, vec![0, 1, 2]);
+        assert_eq!(cp.length, 15);
+        assert!(cp.contains(1));
+        assert!(!cp.contains(99));
+    }
+
+    #[test]
+    fn picks_heavier_branch() {
+        let dag = Dag::from_edges(4, [(0, 1), (0, 2), (1, 3), (2, 3)]).unwrap();
+        let cp = CriticalPath::compute(&dag, &[1, 100, 1, 1]).unwrap();
+        assert_eq!(cp.nodes, vec![0, 1, 3]);
+        assert_eq!(cp.length, 102);
+    }
+
+    #[test]
+    fn fork_join_equal_weights_matches_paper() {
+        // Fig. 3 with equal runtimes: critical path is 1 -> 2 -> n+1 (3 hops).
+        let n_mid = 4;
+        let mut edges = Vec::new();
+        for m in 1..=n_mid {
+            edges.push((0, m));
+            edges.push((m, n_mid + 1));
+        }
+        let dag = Dag::from_edges(n_mid + 2, edges).unwrap();
+        let cp = CriticalPath::compute(&dag, &vec![10; n_mid + 2]).unwrap();
+        assert_eq!(cp.nodes.len(), 3);
+        assert_eq!(cp.length, 30);
+    }
+
+    #[test]
+    fn disconnected_components_pick_global_max() {
+        // Two chains: 0->1 (weights 1,1) and 2->3 (weights 10, 10).
+        let dag = Dag::from_edges(4, [(0, 1), (2, 3)]).unwrap();
+        let cp = CriticalPath::compute(&dag, &[1, 1, 10, 10]).unwrap();
+        assert_eq!(cp.nodes, vec![2, 3]);
+        assert_eq!(cp.length, 20);
+    }
+
+    #[test]
+    fn weight_length_mismatch_errors() {
+        let dag = Dag::new(2);
+        assert!(CriticalPath::compute(&dag, &[1]).is_err());
+    }
+
+    #[test]
+    fn empty_dag() {
+        let cp = CriticalPath::compute(&Dag::new(0), &[]).unwrap();
+        assert!(cp.nodes.is_empty());
+        assert_eq!(cp.length, 0);
+    }
+
+    #[test]
+    fn cycle_detected() {
+        let dag = Dag::from_edges(2, [(0, 1), (1, 0)]).unwrap();
+        assert!(matches!(
+            CriticalPath::compute(&dag, &[1, 1]),
+            Err(DagError::Cycle { .. })
+        ));
+    }
+}

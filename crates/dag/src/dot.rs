@@ -1,0 +1,111 @@
+//! Graphviz DOT export for workflows.
+//!
+//! Render with e.g. `dot -Tsvg workflow.dot -o workflow.svg` to inspect a
+//! DAG's level structure — node labels carry the job name, task geometry,
+//! and total demand.
+
+use crate::topo::node_levels;
+use crate::workflow::Workflow;
+use std::fmt::Write as _;
+
+/// Renders `workflow` as a DOT digraph, ranking nodes by topological level
+/// so Graphviz lays the paper's "node sets" out as columns.
+///
+/// # Example
+///
+/// ```
+/// use flowtime_dag::prelude::*;
+/// use flowtime_dag::dot::to_dot;
+/// # fn main() -> Result<(), DagError> {
+/// let mut b = WorkflowBuilder::new(WorkflowId::new(1), "etl");
+/// let a = b.add_job(JobSpec::new("extract", 4, 2, ResourceVec::new([1, 1024])));
+/// let c = b.add_job(JobSpec::new("load", 2, 1, ResourceVec::new([1, 1024])));
+/// b.add_dep(a, c)?;
+/// let dot = to_dot(&b.window(0, 50).build()?);
+/// assert!(dot.starts_with("digraph"));
+/// assert!(dot.contains("extract"));
+/// assert!(dot.contains("n0 -> n1"));
+/// # Ok(())
+/// # }
+/// ```
+pub fn to_dot(workflow: &Workflow) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph {:?} {{", workflow.name());
+    let _ = writeln!(out, "  rankdir=LR;");
+    let _ = writeln!(out, "  node [shape=box, fontname=\"monospace\"];");
+    let levels = node_levels(workflow.dag()).expect("workflows are acyclic");
+    for (node, job) in workflow.jobs().iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "  n{node} [label=\"{}\\n{}x{} slots\\n{}\"];",
+            escape(job.name()),
+            job.tasks(),
+            job.task_slots(),
+            job.total_demand()
+        );
+    }
+    // Same-rank groups per level set.
+    let max_level = levels.iter().copied().max().unwrap_or(0);
+    for level in 0..=max_level {
+        let members: Vec<String> = levels
+            .iter()
+            .enumerate()
+            .filter(|&(_, &l)| l == level)
+            .map(|(n, _)| format!("n{n}"))
+            .collect();
+        if members.len() > 1 {
+            let _ = writeln!(out, "  {{ rank=same; {}; }}", members.join("; "));
+        }
+    }
+    for (from, to) in workflow.dag().edges() {
+        let _ = writeln!(out, "  n{from} -> n{to};");
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::WorkflowId;
+    use crate::job::JobSpec;
+    use crate::resources::ResourceVec;
+    use crate::workflow::WorkflowBuilder;
+
+    fn fork_join() -> Workflow {
+        let mut b = WorkflowBuilder::new(WorkflowId::new(1), "fj");
+        let spec = JobSpec::new("j", 4, 1, ResourceVec::new([1, 1024]));
+        let head = b.add_job(spec.clone());
+        let m1 = b.add_job(spec.clone());
+        let m2 = b.add_job(spec.clone());
+        let tail = b.add_job(spec);
+        for m in [m1, m2] {
+            b.add_dep(head, m).unwrap();
+            b.add_dep(m, tail).unwrap();
+        }
+        b.window(0, 50).build().unwrap()
+    }
+
+    #[test]
+    fn dot_contains_all_nodes_and_edges() {
+        let dot = to_dot(&fork_join());
+        for n in 0..4 {
+            assert!(dot.contains(&format!("n{n} [label=")), "{dot}");
+        }
+        assert_eq!(dot.matches(" -> ").count(), 4);
+        assert!(dot.contains("rank=same; n1; n2"), "{dot}");
+        assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn names_are_escaped() {
+        let mut b = WorkflowBuilder::new(WorkflowId::new(1), "w");
+        b.add_job(JobSpec::new("say \"hi\"", 1, 1, ResourceVec::new([1, 1])));
+        let dot = to_dot(&b.window(0, 5).build().unwrap());
+        assert!(dot.contains("say \\\"hi\\\""));
+    }
+}

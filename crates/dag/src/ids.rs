@@ -1,0 +1,117 @@
+//! Typed identifiers for jobs and workflows.
+//!
+//! Newtypes keep workflow-level and job-level bookkeeping statically distinct
+//! (a `JobId` can never be passed where a `WorkflowId` is expected), following
+//! the C-NEWTYPE guideline.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a single job (a node of a workflow DAG, or an ad-hoc job).
+///
+/// # Example
+///
+/// ```
+/// use flowtime_dag::JobId;
+/// let id = JobId::new(7);
+/// assert_eq!(id.as_u64(), 7);
+/// assert_eq!(id.to_string(), "job-7");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct JobId(u64);
+
+impl JobId {
+    /// Creates a job identifier from a raw integer.
+    pub const fn new(raw: u64) -> Self {
+        JobId(raw)
+    }
+
+    /// Returns the raw integer value.
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for JobId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "job-{}", self.0)
+    }
+}
+
+impl From<u64> for JobId {
+    fn from(raw: u64) -> Self {
+        JobId(raw)
+    }
+}
+
+/// Identifier of a workflow (a deadline-aware DAG of jobs).
+///
+/// # Example
+///
+/// ```
+/// use flowtime_dag::WorkflowId;
+/// let id = WorkflowId::new(3);
+/// assert_eq!(id.to_string(), "wf-3");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct WorkflowId(u64);
+
+impl WorkflowId {
+    /// Creates a workflow identifier from a raw integer.
+    pub const fn new(raw: u64) -> Self {
+        WorkflowId(raw)
+    }
+
+    /// Returns the raw integer value.
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for WorkflowId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "wf-{}", self.0)
+    }
+}
+
+impl From<u64> for WorkflowId {
+    fn from(raw: u64) -> Self {
+        WorkflowId(raw)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn job_id_round_trip() {
+        let id = JobId::new(42);
+        assert_eq!(id.as_u64(), 42);
+        assert_eq!(JobId::from(42), id);
+    }
+
+    #[test]
+    fn workflow_id_round_trip() {
+        let id = WorkflowId::new(9);
+        assert_eq!(id.as_u64(), 9);
+        assert_eq!(WorkflowId::from(9), id);
+    }
+
+    #[test]
+    fn ids_are_hashable_and_ordered() {
+        let mut set = HashSet::new();
+        set.insert(JobId::new(1));
+        set.insert(JobId::new(1));
+        set.insert(JobId::new(2));
+        assert_eq!(set.len(), 2);
+        assert!(JobId::new(1) < JobId::new(2));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(JobId::new(5).to_string(), "job-5");
+        assert_eq!(WorkflowId::new(5).to_string(), "wf-5");
+    }
+}

@@ -1,0 +1,333 @@
+//! Multi-resource vectors.
+//!
+//! The paper's formulation ranges over resource types `r ∈ R`; its
+//! experiments use two (CPU cores and memory, e.g. the Fig. 7 cluster of
+//! 500 cores and 1 TB of memory). We fix `|R| =` [`NUM_RESOURCES`] `= 2` and
+//! represent quantities as a small fixed-size array, which keeps arithmetic
+//! allocation-free throughout the scheduler's inner loops.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Index, IndexMut, Mul, Sub, SubAssign};
+
+/// Number of resource dimensions tracked by the scheduler.
+pub const NUM_RESOURCES: usize = 2;
+
+/// The resource dimensions of a [`ResourceVec`].
+///
+/// # Example
+///
+/// ```
+/// use flowtime_dag::{ResourceKind, ResourceVec};
+/// let v = ResourceVec::new([4, 8192]);
+/// assert_eq!(v[ResourceKind::Cpu], 4);
+/// assert_eq!(v[ResourceKind::MemoryMb], 8192);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ResourceKind {
+    /// CPU, in whole cores (YARN vcores are integral, which is what motivates
+    /// the paper's integrality constraint Eq. (5)).
+    Cpu,
+    /// Memory, in mebibytes.
+    MemoryMb,
+}
+
+impl ResourceKind {
+    /// All resource kinds, in index order.
+    pub const ALL: [ResourceKind; NUM_RESOURCES] = [ResourceKind::Cpu, ResourceKind::MemoryMb];
+
+    /// The array index of this resource kind.
+    pub const fn index(self) -> usize {
+        match self {
+            ResourceKind::Cpu => 0,
+            ResourceKind::MemoryMb => 1,
+        }
+    }
+}
+
+impl fmt::Display for ResourceKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ResourceKind::Cpu => f.write_str("cpu"),
+            ResourceKind::MemoryMb => f.write_str("mem_mb"),
+        }
+    }
+}
+
+/// A non-negative quantity of each resource kind.
+///
+/// Arithmetic panics on overflow in debug builds (standard Rust semantics);
+/// [`ResourceVec::saturating_sub`] is provided for the common "remaining
+/// capacity" computation where clamping at zero is the intended behaviour.
+///
+/// # Example
+///
+/// ```
+/// use flowtime_dag::ResourceVec;
+/// let cap = ResourceVec::new([500, 1_048_576]); // 500 cores, 1 TiB
+/// let task = ResourceVec::new([1, 2048]);
+/// let ten_tasks = task * 10;
+/// assert!(ten_tasks.fits_within(&cap));
+/// assert_eq!(cap.saturating_sub(&ten_tasks), ResourceVec::new([490, 1_028_096]));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct ResourceVec([u64; NUM_RESOURCES]);
+
+impl ResourceVec {
+    /// Creates a resource vector from raw per-kind quantities,
+    /// ordered as [`ResourceKind::ALL`].
+    pub const fn new(raw: [u64; NUM_RESOURCES]) -> Self {
+        ResourceVec(raw)
+    }
+
+    /// The zero vector.
+    pub const fn zero() -> Self {
+        ResourceVec([0; NUM_RESOURCES])
+    }
+
+    /// A vector with `amount` in every dimension.
+    pub const fn splat(amount: u64) -> Self {
+        ResourceVec([amount; NUM_RESOURCES])
+    }
+
+    /// Returns the underlying array.
+    pub const fn as_array(&self) -> [u64; NUM_RESOURCES] {
+        self.0
+    }
+
+    /// Returns the quantity of resource `kind`.
+    pub const fn get(&self, kind: ResourceKind) -> u64 {
+        self.0[kind.index()]
+    }
+
+    /// Returns the quantity at raw dimension `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= NUM_RESOURCES`.
+    pub fn dim(&self, r: usize) -> u64 {
+        self.0[r]
+    }
+
+    /// True if every component is zero.
+    pub fn is_zero(&self) -> bool {
+        self.0.iter().all(|&v| v == 0)
+    }
+
+    /// True if `self[r] <= cap[r]` for every resource `r`
+    /// (component-wise domination, the capacity check of Eq. (4)).
+    pub fn fits_within(&self, cap: &ResourceVec) -> bool {
+        self.0.iter().zip(cap.0.iter()).all(|(a, b)| a <= b)
+    }
+
+    /// Component-wise subtraction clamped at zero.
+    pub fn saturating_sub(&self, other: &ResourceVec) -> ResourceVec {
+        let mut out = [0; NUM_RESOURCES];
+        for (o, (a, b)) in out.iter_mut().zip(self.0.iter().zip(other.0.iter())) {
+            *o = a.saturating_sub(*b);
+        }
+        ResourceVec(out)
+    }
+
+    /// Component-wise checked subtraction; `None` if any component would
+    /// go negative.
+    pub fn checked_sub(&self, other: &ResourceVec) -> Option<ResourceVec> {
+        let mut out = [0; NUM_RESOURCES];
+        for (o, (a, b)) in out.iter_mut().zip(self.0.iter().zip(other.0.iter())) {
+            *o = a.checked_sub(*b)?;
+        }
+        Some(ResourceVec(out))
+    }
+
+    /// Component-wise minimum.
+    pub fn min(&self, other: &ResourceVec) -> ResourceVec {
+        let mut out = [0; NUM_RESOURCES];
+        for (o, (a, b)) in out.iter_mut().zip(self.0.iter().zip(other.0.iter())) {
+            *o = (*a).min(*b);
+        }
+        ResourceVec(out)
+    }
+
+    /// Component-wise maximum.
+    pub fn max(&self, other: &ResourceVec) -> ResourceVec {
+        let mut out = [0; NUM_RESOURCES];
+        for (o, (a, b)) in out.iter_mut().zip(self.0.iter().zip(other.0.iter())) {
+            *o = (*a).max(*b);
+        }
+        ResourceVec(out)
+    }
+
+    /// The largest `q` such that `q * self` fits within `cap`
+    /// (how many unit-tasks of shape `self` the capacity can host).
+    /// Returns `u64::MAX` if `self` is zero.
+    pub fn times_fitting(&self, cap: &ResourceVec) -> u64 {
+        let mut q = u64::MAX;
+        for (need, have) in self.0.iter().zip(cap.0.iter()) {
+            if *need > 0 {
+                q = q.min(have / need);
+            }
+        }
+        q
+    }
+
+    /// The maximum over resources of `self[r] / cap[r]`, the normalized load
+    /// `max_r z^r / C^r` of the paper's objective (Eq. (1)). Dimensions with
+    /// zero capacity are skipped.
+    pub fn max_normalized_by(&self, cap: &ResourceVec) -> f64 {
+        let mut worst = 0.0f64;
+        for (used, have) in self.0.iter().zip(cap.0.iter()) {
+            if *have > 0 {
+                worst = worst.max(*used as f64 / *have as f64);
+            }
+        }
+        worst
+    }
+}
+
+impl Index<ResourceKind> for ResourceVec {
+    type Output = u64;
+    fn index(&self, kind: ResourceKind) -> &u64 {
+        &self.0[kind.index()]
+    }
+}
+
+impl IndexMut<ResourceKind> for ResourceVec {
+    fn index_mut(&mut self, kind: ResourceKind) -> &mut u64 {
+        &mut self.0[kind.index()]
+    }
+}
+
+impl Add for ResourceVec {
+    type Output = ResourceVec;
+    fn add(self, rhs: ResourceVec) -> ResourceVec {
+        let mut out = self.0;
+        for (o, b) in out.iter_mut().zip(rhs.0.iter()) {
+            *o += b;
+        }
+        ResourceVec(out)
+    }
+}
+
+impl AddAssign for ResourceVec {
+    fn add_assign(&mut self, rhs: ResourceVec) {
+        for (o, b) in self.0.iter_mut().zip(rhs.0.iter()) {
+            *o += b;
+        }
+    }
+}
+
+impl Sub for ResourceVec {
+    type Output = ResourceVec;
+    /// # Panics
+    ///
+    /// Panics if any component underflows (in debug builds); use
+    /// [`ResourceVec::saturating_sub`] or [`ResourceVec::checked_sub`] when
+    /// clamping is intended.
+    fn sub(self, rhs: ResourceVec) -> ResourceVec {
+        let mut out = self.0;
+        for (o, b) in out.iter_mut().zip(rhs.0.iter()) {
+            *o -= b;
+        }
+        ResourceVec(out)
+    }
+}
+
+impl SubAssign for ResourceVec {
+    fn sub_assign(&mut self, rhs: ResourceVec) {
+        for (o, b) in self.0.iter_mut().zip(rhs.0.iter()) {
+            *o -= b;
+        }
+    }
+}
+
+impl Mul<u64> for ResourceVec {
+    type Output = ResourceVec;
+    fn mul(self, rhs: u64) -> ResourceVec {
+        let mut out = self.0;
+        for o in out.iter_mut() {
+            *o *= rhs;
+        }
+        ResourceVec(out)
+    }
+}
+
+impl fmt::Display for ResourceVec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "<cpu={}, mem_mb={}>",
+            self.0[ResourceKind::Cpu.index()],
+            self.0[ResourceKind::MemoryMb.index()]
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_basics() {
+        let a = ResourceVec::new([4, 100]);
+        let b = ResourceVec::new([1, 50]);
+        assert_eq!(a + b, ResourceVec::new([5, 150]));
+        assert_eq!(a - b, ResourceVec::new([3, 50]));
+        assert_eq!(b * 3, ResourceVec::new([3, 150]));
+        let mut c = a;
+        c += b;
+        c -= b;
+        assert_eq!(c, a);
+    }
+
+    #[test]
+    fn saturating_and_checked_sub() {
+        let a = ResourceVec::new([1, 100]);
+        let b = ResourceVec::new([2, 50]);
+        assert_eq!(a.saturating_sub(&b), ResourceVec::new([0, 50]));
+        assert_eq!(a.checked_sub(&b), None);
+        assert_eq!(b.checked_sub(&b), Some(ResourceVec::zero()));
+    }
+
+    #[test]
+    fn fits_and_times_fitting() {
+        let cap = ResourceVec::new([10, 100]);
+        let task = ResourceVec::new([2, 30]);
+        assert!(task.fits_within(&cap));
+        assert_eq!(task.times_fitting(&cap), 3); // mem-bound: 100/30 = 3
+        assert_eq!(ResourceVec::zero().times_fitting(&cap), u64::MAX);
+    }
+
+    #[test]
+    fn min_max_components() {
+        let a = ResourceVec::new([4, 10]);
+        let b = ResourceVec::new([2, 20]);
+        assert_eq!(a.min(&b), ResourceVec::new([2, 10]));
+        assert_eq!(a.max(&b), ResourceVec::new([4, 20]));
+    }
+
+    #[test]
+    fn normalized_load() {
+        let cap = ResourceVec::new([10, 100]);
+        let used = ResourceVec::new([5, 80]);
+        let norm = used.max_normalized_by(&cap);
+        assert!((norm - 0.8).abs() < 1e-12);
+        // Zero-capacity dimensions are skipped, not a division by zero.
+        let cap0 = ResourceVec::new([10, 0]);
+        assert!((used.max_normalized_by(&cap0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn indexing_by_kind() {
+        let mut v = ResourceVec::zero();
+        v[ResourceKind::Cpu] = 7;
+        assert_eq!(v[ResourceKind::Cpu], 7);
+        assert_eq!(v.dim(0), 7);
+        assert_eq!(v.get(ResourceKind::MemoryMb), 0);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert!(!format!("{}", ResourceVec::zero()).is_empty());
+        assert!(!format!("{:?}", ResourceVec::zero()).is_empty());
+    }
+}

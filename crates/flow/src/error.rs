@@ -1,0 +1,59 @@
+//! Error types for flow-based solvers.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by flow network construction and the leveling solvers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum FlowError {
+    /// An edge endpoint referred to a node that does not exist.
+    NodeOutOfRange {
+        /// Offending node index.
+        node: usize,
+        /// Number of nodes in the network.
+        len: usize,
+    },
+    /// A scheduling instance cannot place all demand within its windows and
+    /// capacities, even at 100% utilization.
+    Infeasible,
+    /// A job's window is empty or extends beyond the horizon.
+    InvalidWindow {
+        /// Index of the offending job.
+        job: usize,
+    },
+}
+
+impl fmt::Display for FlowError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FlowError::NodeOutOfRange { node, len } => {
+                write!(f, "node {node} out of range for network of {len} nodes")
+            }
+            FlowError::Infeasible => {
+                f.write_str("demand cannot be placed within windows and capacities")
+            }
+            FlowError::InvalidWindow { job } => {
+                write!(f, "job {job} has an empty or out-of-horizon window")
+            }
+        }
+    }
+}
+
+impl Error for FlowError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_nonempty() {
+        for e in [
+            FlowError::NodeOutOfRange { node: 1, len: 0 },
+            FlowError::Infeasible,
+            FlowError::InvalidWindow { job: 3 },
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

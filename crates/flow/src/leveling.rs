@@ -1,0 +1,566 @@
+//! Parametric lexicographic load leveling.
+//!
+//! This module answers the paper's scheduling question (Eq. (1)) exactly for
+//! unit-width allocations: place every deadline job's demand inside its
+//! `[start, end)` window so that the *normalized peak load* profile is
+//! lexicographically minimal — first minimize the worst slot's `z_t / C_t`,
+//! then the next worst among the remaining free slots, and so on.
+//!
+//! Algorithm:
+//!
+//! 1. **Parametric search** for the minimal peak ratio `λ`: feasibility at a
+//!    given `λ` (slot caps `⌊λ·C_t⌋`) is one max-flow; bisection converges
+//!    to the minimal feasible breakpoint. When all free slot capacities are
+//!    equal the search runs directly over integer per-slot loads and is
+//!    exact by construction.
+//! 2. **Min-cut slot fixing** for the lexicographic refinement: at the
+//!    optimal `λ`, slots that cannot shed load (their capacity arc is
+//!    saturated and they cannot reach the sink in the residual graph) are
+//!    *peak-critical*; their caps are frozen and the search repeats over the
+//!    remaining slots.
+//!
+//! Total unimodularity of the underlying polytope means the returned
+//! allocation is integral — the combinatorial counterpart of the paper's
+//! Lemma 2 argument for the LP.
+
+use crate::dinic::Dinic;
+use crate::error::FlowError;
+use crate::graph::{EdgeId, FlowNetwork};
+use crate::min_cost::CostFlowNetwork;
+
+/// One deadline-aware job for the leveler.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LevelingJob {
+    /// First usable slot (inclusive) — the job's arrival/ready slot `a_i`.
+    pub start: usize,
+    /// One past the last usable slot (exclusive) — the deadline `d_i`.
+    pub end: usize,
+    /// Total demand in allocation units (e.g. task-slots).
+    pub demand: u64,
+    /// Optional cap on units placed in any single slot (max parallelism).
+    pub per_slot_cap: Option<u64>,
+}
+
+/// A leveling instance over a slot horizon.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct LevelingInstance {
+    /// Capacity `C_t` of each slot, in allocation units.
+    pub slot_caps: Vec<u64>,
+    /// The deadline jobs to place.
+    pub jobs: Vec<LevelingJob>,
+}
+
+/// The result of a leveling solve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LevelingSolution {
+    /// `allocation[job][slot]` units placed, dense over the horizon.
+    pub allocation: Vec<Vec<u64>>,
+    /// Per-slot total load `z_t`.
+    pub slot_loads: Vec<u64>,
+    /// The achieved `max_t z_t / C_t`.
+    pub peak_ratio: f64,
+}
+
+impl LevelingInstance {
+    /// Horizon length in slots.
+    pub fn horizon(&self) -> usize {
+        self.slot_caps.len()
+    }
+
+    fn validate(&self) -> Result<(), FlowError> {
+        let horizon = self.horizon();
+        for (idx, job) in self.jobs.iter().enumerate() {
+            if job.start >= job.end || job.end > horizon {
+                return Err(FlowError::InvalidWindow { job: idx });
+            }
+        }
+        Ok(())
+    }
+
+    /// Minimizes only the single worst normalized slot load
+    /// (one round of the lexicographic process).
+    ///
+    /// # Errors
+    ///
+    /// * [`FlowError::InvalidWindow`] for malformed jobs.
+    /// * [`FlowError::Infeasible`] if demand does not fit even at full
+    ///   capacity.
+    pub fn solve_minmax(&self) -> Result<LevelingSolution, FlowError> {
+        self.validate()?;
+        let fixed = vec![None; self.horizon()];
+        let (_, solution) = self.minmax_round(&fixed)?;
+        Ok(solution)
+    }
+
+    /// Computes the full lexicographic min-max allocation.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`LevelingInstance::solve_minmax`].
+    pub fn solve_lexmin(&self) -> Result<LevelingSolution, FlowError> {
+        // Each round fixes at least one slot, so `horizon + 1` rounds are
+        // always enough for the exact lexicographic optimum.
+        self.solve_lexmin_rounds(self.horizon() + 1)
+    }
+
+    /// Like [`LevelingInstance::solve_lexmin`] but with a bounded number of
+    /// refinement rounds — the first round is always the exact min-max;
+    /// further rounds refine lexicographically until the budget runs out.
+    /// Schedulers use this to keep re-planning latency bounded on long
+    /// horizons.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`LevelingInstance::solve_minmax`].
+    pub fn solve_lexmin_rounds(&self, max_rounds: usize) -> Result<LevelingSolution, FlowError> {
+        self.validate()?;
+        let horizon = self.horizon();
+        let mut fixed: Vec<Option<u64>> = vec![None; horizon];
+        let mut last = None;
+        for _ in 0..max_rounds.max(1) {
+            let (caps, solution) = self.minmax_round(&fixed)?;
+            let critical = self.critical_slots(&caps, &fixed);
+            last = Some(solution);
+            let mut fixed_any = false;
+            for t in 0..horizon {
+                if fixed[t].is_none() && critical[t] {
+                    fixed[t] = Some(caps[t]);
+                    fixed_any = true;
+                }
+            }
+            if !fixed_any {
+                // No free slot is pinned at the peak: the remaining profile
+                // is already lexicographically settled by the caps in use.
+                // Freeze all saturated free slots to make progress; if none
+                // are saturated we are done.
+                let loads = &last.as_ref().expect("just set").slot_loads;
+                let mut saturated_any = false;
+                for t in 0..horizon {
+                    if fixed[t].is_none() && caps[t] > 0 && loads[t] == caps[t] {
+                        fixed[t] = Some(caps[t]);
+                        saturated_any = true;
+                    }
+                }
+                if !saturated_any {
+                    break;
+                }
+            }
+            if fixed.iter().all(Option::is_some) {
+                break;
+            }
+        }
+        Ok(last.expect("at least one round runs"))
+    }
+
+    /// Places all demand within per-slot caps `caps`, choosing — among all
+    /// feasible placements — one that *front-loads* work: each unit in
+    /// slot `t` costs `t` in a min-cost max-flow, so jobs finish as early
+    /// as the caps allow. An alternative secondary objective to the
+    /// lexicographic refinement (work-conserving rather than flat).
+    ///
+    /// # Errors
+    ///
+    /// * [`FlowError::InvalidWindow`] for malformed jobs.
+    /// * [`FlowError::Infeasible`] if demand does not fit under `caps`.
+    pub fn solve_earliest_within(&self, caps: &[u64]) -> Result<LevelingSolution, FlowError> {
+        self.validate()?;
+        let n_jobs = self.jobs.len();
+        let horizon = self.horizon();
+        let caps_len = caps.len().min(horizon);
+        let source = 0usize;
+        let job_base = 1usize;
+        let slot_base = 1 + n_jobs;
+        let sink = 1 + n_jobs + horizon;
+        let mut net = CostFlowNetwork::new(sink + 1);
+        let mut placements = Vec::new();
+        for (j, job) in self.jobs.iter().enumerate() {
+            net.add_edge(source, job_base + j, job.demand, 0)?;
+            let per_slot = job.per_slot_cap.unwrap_or(job.demand).min(job.demand);
+            for t in job.start..job.end {
+                let e = net.add_edge(job_base + j, slot_base + t, per_slot, t as i64)?;
+                placements.push((j, t, e));
+            }
+        }
+        for (t, &cap) in caps.iter().enumerate().take(caps_len) {
+            net.add_edge(slot_base + t, sink, cap.min(self.slot_caps[t]), 0)?;
+        }
+        let total: u64 = self.jobs.iter().map(|j| j.demand).sum();
+        let (flow, _cost) = net.min_cost_max_flow(source, sink);
+        if flow < total {
+            return Err(FlowError::Infeasible);
+        }
+        let mut allocation = vec![vec![0u64; horizon]; n_jobs];
+        let mut slot_loads = vec![0u64; horizon];
+        for (j, t, e) in placements {
+            let f = net.flow(e);
+            allocation[j][t] = f;
+            slot_loads[t] += f;
+        }
+        let peak_ratio = slot_loads
+            .iter()
+            .zip(self.slot_caps.iter())
+            .filter(|&(_, &c)| c > 0)
+            .map(|(&z, &c)| z as f64 / c as f64)
+            .fold(0.0f64, f64::max);
+        Ok(LevelingSolution { allocation, slot_loads, peak_ratio })
+    }
+
+    /// One parametric round: minimal peak over free slots given `fixed`
+    /// caps. Returns the caps in effect and the allocation found.
+    fn minmax_round(
+        &self,
+        fixed: &[Option<u64>],
+    ) -> Result<(Vec<u64>, LevelingSolution), FlowError> {
+        // Feasibility requires the full-capacity instance to fit.
+        if !self.feasible(&self.caps_at(1.0, fixed))? {
+            return Err(FlowError::Infeasible);
+        }
+        let free_caps: Vec<u64> = (0..self.horizon())
+            .filter(|&t| fixed[t].is_none())
+            .map(|t| self.slot_caps[t])
+            .collect();
+        let uniform = free_caps.windows(2).all(|w| w[0] == w[1]);
+        let caps = if let (true, Some(&c)) = (uniform, free_caps.first()) {
+            // Exact integer search over the per-slot load bound `m`.
+            let (mut lo, mut hi) = (0u64, c);
+            while lo < hi {
+                let mid = lo + (hi - lo) / 2;
+                let caps = self.caps_with_free_bound(mid, fixed);
+                if self.feasible(&caps)? {
+                    hi = mid;
+                } else {
+                    lo = mid + 1;
+                }
+            }
+            self.caps_with_free_bound(lo, fixed)
+        } else {
+            // Bisection on the real ratio λ; integer caps change only at
+            // breakpoints k/C_t, so 60 iterations pin the minimal one for
+            // any realistic capacity magnitude.
+            let (mut lo, mut hi) = (0.0f64, 1.0f64);
+            for _ in 0..60 {
+                let mid = 0.5 * (lo + hi);
+                if self.feasible(&self.caps_at(mid, fixed))? {
+                    hi = mid;
+                } else {
+                    lo = mid;
+                }
+            }
+            self.caps_at(hi, fixed)
+        };
+        let solution = self.allocate(&caps)?;
+        Ok((caps, solution))
+    }
+
+    fn caps_at(&self, lambda: f64, fixed: &[Option<u64>]) -> Vec<u64> {
+        self.slot_caps
+            .iter()
+            .enumerate()
+            .map(|(t, &c)| match fixed[t] {
+                Some(f) => f,
+                None => ((lambda * c as f64) + 1e-9).floor() as u64,
+            })
+            .collect()
+    }
+
+    fn caps_with_free_bound(&self, bound: u64, fixed: &[Option<u64>]) -> Vec<u64> {
+        self.slot_caps
+            .iter()
+            .enumerate()
+            .map(|(t, &c)| match fixed[t] {
+                Some(f) => f,
+                None => bound.min(c),
+            })
+            .collect()
+    }
+
+    fn build_network(&self, caps: &[u64]) -> (FlowNetwork, Vec<(usize, usize, EdgeId)>, usize, usize) {
+        let n_jobs = self.jobs.len();
+        let n_slots = self.horizon();
+        let source = 0usize;
+        let job_base = 1usize;
+        let slot_base = 1 + n_jobs;
+        let sink = 1 + n_jobs + n_slots;
+        let mut net = FlowNetwork::new(sink + 1);
+        let mut placements = Vec::new();
+        for (j, job) in self.jobs.iter().enumerate() {
+            net.add_edge(source, job_base + j, job.demand).expect("valid node");
+            let per_slot = job.per_slot_cap.unwrap_or(job.demand).min(job.demand);
+            for t in job.start..job.end {
+                let e = net
+                    .add_edge(job_base + j, slot_base + t, per_slot)
+                    .expect("valid node");
+                placements.push((j, t, e));
+            }
+        }
+        for (t, &cap) in caps.iter().enumerate() {
+            net.add_edge(slot_base + t, sink, cap).expect("valid node");
+        }
+        (net, placements, source, sink)
+    }
+
+    fn feasible(&self, caps: &[u64]) -> Result<bool, FlowError> {
+        let total: u64 = self.jobs.iter().map(|j| j.demand).sum();
+        let (mut net, _, source, sink) = self.build_network(caps);
+        let flow = Dinic::new(&mut net).max_flow(source, sink);
+        Ok(flow == total)
+    }
+
+    fn allocate(&self, caps: &[u64]) -> Result<LevelingSolution, FlowError> {
+        let total: u64 = self.jobs.iter().map(|j| j.demand).sum();
+        let (mut net, placements, source, sink) = self.build_network(caps);
+        let flow = Dinic::new(&mut net).max_flow(source, sink);
+        if flow < total {
+            return Err(FlowError::Infeasible);
+        }
+        let horizon = self.horizon();
+        let mut allocation = vec![vec![0u64; horizon]; self.jobs.len()];
+        let mut slot_loads = vec![0u64; horizon];
+        for (j, t, e) in placements {
+            let f = net.flow(e);
+            allocation[j][t] = f;
+            slot_loads[t] += f;
+        }
+        let peak_ratio = slot_loads
+            .iter()
+            .zip(self.slot_caps.iter())
+            .filter(|&(_, &c)| c > 0)
+            .map(|(&z, &c)| z as f64 / c as f64)
+            .fold(0.0f64, f64::max);
+        Ok(LevelingSolution { allocation, slot_loads, peak_ratio })
+    }
+
+    /// Free slots that cannot shed load at the given caps: the capacity arc
+    /// is saturated and the slot node cannot reach the sink in the residual
+    /// graph (so no rerouting exists). These are pinned in every feasible
+    /// allocation at these caps.
+    fn critical_slots(&self, caps: &[u64], fixed: &[Option<u64>]) -> Vec<bool> {
+        let n_jobs = self.jobs.len();
+        let n_slots = self.horizon();
+        let slot_base = 1 + n_jobs;
+        let sink = 1 + n_jobs + n_slots;
+        let (mut net, _, source, _) = self.build_network(caps);
+        Dinic::new(&mut net).max_flow(source, sink);
+        // Reverse reachability to the sink over residual arcs.
+        let n = net.len();
+        let mut radj: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (v, arcs) in net.adj.iter().enumerate() {
+            for arc in arcs {
+                if arc.cap > 0 {
+                    radj[arc.to].push(v);
+                }
+            }
+        }
+        let mut can_reach_sink = vec![false; n];
+        let mut stack = vec![sink];
+        can_reach_sink[sink] = true;
+        while let Some(v) = stack.pop() {
+            for &p in &radj[v] {
+                if !can_reach_sink[p] {
+                    can_reach_sink[p] = true;
+                    stack.push(p);
+                }
+            }
+        }
+        (0..n_slots)
+            .map(|t| fixed[t].is_none() && caps[t] > 0 && !can_reach_sink[slot_base + t])
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn job(start: usize, end: usize, demand: u64) -> LevelingJob {
+        LevelingJob { start, end, demand, per_slot_cap: None }
+    }
+
+    fn check_valid(inst: &LevelingInstance, sol: &LevelingSolution) {
+        for (j, alloc) in sol.allocation.iter().enumerate() {
+            let total: u64 = alloc.iter().sum();
+            assert_eq!(total, inst.jobs[j].demand, "job {j} demand");
+            for (t, &a) in alloc.iter().enumerate() {
+                if a > 0 {
+                    assert!(t >= inst.jobs[j].start && t < inst.jobs[j].end, "window");
+                    if let Some(cap) = inst.jobs[j].per_slot_cap {
+                        assert!(a <= cap, "per-slot cap");
+                    }
+                }
+            }
+        }
+        for (t, &load) in sol.slot_loads.iter().enumerate() {
+            assert!(load <= inst.slot_caps[t], "capacity at {t}");
+        }
+    }
+
+    #[test]
+    fn levels_uniform_demand_evenly() {
+        let inst = LevelingInstance {
+            slot_caps: vec![10; 4],
+            jobs: vec![job(0, 4, 12), job(0, 4, 8)],
+        };
+        let sol = inst.solve_lexmin().unwrap();
+        check_valid(&inst, &sol);
+        assert_eq!(sol.slot_loads, vec![5, 5, 5, 5]);
+        assert!((sol.peak_ratio - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tight_window_forces_peak() {
+        // Job 0 must cram 8 units into slots [0,2); job 1 is flexible.
+        let inst = LevelingInstance {
+            slot_caps: vec![10; 4],
+            jobs: vec![job(0, 2, 8), job(0, 4, 8)],
+        };
+        let sol = inst.solve_lexmin().unwrap();
+        check_valid(&inst, &sol);
+        // Minimal peak is 4 (job 0 split evenly), and the flexible job's
+        // load levels the rest: loads 4,4,4,4.
+        assert_eq!(sol.slot_loads, vec![4, 4, 4, 4]);
+    }
+
+    #[test]
+    fn lexicographic_refinement_flattens_tail() {
+        // One rigid job pins slots 0-1 at 6; the flexible job should spread
+        // over slots 2..6 evenly rather than arbitrarily.
+        let inst = LevelingInstance {
+            slot_caps: vec![10; 6],
+            jobs: vec![job(0, 2, 12), job(2, 6, 8)],
+        };
+        let sol = inst.solve_lexmin().unwrap();
+        check_valid(&inst, &sol);
+        assert_eq!(&sol.slot_loads[..2], &[6, 6]);
+        assert_eq!(&sol.slot_loads[2..], &[2, 2, 2, 2]);
+    }
+
+    #[test]
+    fn respects_per_slot_caps() {
+        let inst = LevelingInstance {
+            slot_caps: vec![100; 5],
+            jobs: vec![LevelingJob { start: 0, end: 5, demand: 10, per_slot_cap: Some(2) }],
+        };
+        let sol = inst.solve_lexmin().unwrap();
+        check_valid(&inst, &sol);
+        assert_eq!(sol.slot_loads, vec![2, 2, 2, 2, 2]);
+    }
+
+    #[test]
+    fn infeasible_demand_detected() {
+        let inst = LevelingInstance {
+            slot_caps: vec![2; 2],
+            jobs: vec![job(0, 2, 5)],
+        };
+        assert_eq!(inst.solve_lexmin().unwrap_err(), FlowError::Infeasible);
+        assert_eq!(inst.solve_minmax().unwrap_err(), FlowError::Infeasible);
+    }
+
+    #[test]
+    fn invalid_window_detected() {
+        let inst = LevelingInstance {
+            slot_caps: vec![2; 2],
+            jobs: vec![job(1, 1, 1)],
+        };
+        assert_eq!(inst.solve_lexmin().unwrap_err(), FlowError::InvalidWindow { job: 0 });
+        let inst2 = LevelingInstance {
+            slot_caps: vec![2; 2],
+            jobs: vec![job(0, 3, 1)],
+        };
+        assert!(matches!(inst2.solve_lexmin(), Err(FlowError::InvalidWindow { .. })));
+    }
+
+    #[test]
+    fn heterogeneous_capacities_normalize() {
+        // Slot 0 has capacity 20, slot 1 capacity 10: leveling by *ratio*
+        // puts twice as much load on slot 0.
+        let inst = LevelingInstance {
+            slot_caps: vec![20, 10],
+            jobs: vec![job(0, 2, 15)],
+        };
+        let sol = inst.solve_lexmin().unwrap();
+        check_valid(&inst, &sol);
+        assert_eq!(sol.slot_loads, vec![10, 5]);
+        assert!((sol.peak_ratio - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_instance() {
+        let inst = LevelingInstance { slot_caps: vec![5; 3], jobs: vec![] };
+        let sol = inst.solve_lexmin().unwrap();
+        assert_eq!(sol.peak_ratio, 0.0);
+        assert_eq!(sol.slot_loads, vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn motivating_example_leaves_room_for_adhoc() {
+        // Paper Fig. 1: workflow W1 = two chained jobs, deadline slot 200,
+        // cluster capacity normalized to 1 "job-width" unit per slot... use
+        // 2 units/slot so the leveler can halve the footprint.
+        // Job1 work 100 units in window [0,100), job2 in [100, 200): but the
+        // leveler sees the *decomposed* windows; with loose deadlines it
+        // stretches each job across its window at half width.
+        let inst = LevelingInstance {
+            slot_caps: vec![2; 200],
+            jobs: vec![job(0, 100, 100), job(100, 200, 100)],
+        };
+        let sol = inst.solve_lexmin().unwrap();
+        check_valid(&inst, &sol);
+        // Exactly one unit per slot everywhere: half the cluster stays free
+        // for ad-hoc jobs at all times.
+        assert!(sol.slot_loads.iter().all(|&l| l == 1));
+        assert!((sol.peak_ratio - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn earliest_within_caps_front_loads() {
+        // 12 units over 6 slots with a per-slot cap of 3: the earliest
+        // placement fills slots 0..4 at the cap rather than leveling at 2.
+        let inst = LevelingInstance {
+            slot_caps: vec![10; 6],
+            jobs: vec![job(0, 6, 12)],
+        };
+        let early = inst.solve_earliest_within(&[3, 3, 3, 3, 3, 3]).unwrap();
+        assert_eq!(early.slot_loads, vec![3, 3, 3, 3, 0, 0]);
+        // The lexmin solution levels instead.
+        let level = inst.solve_lexmin().unwrap();
+        assert_eq!(level.slot_loads, vec![2, 2, 2, 2, 2, 2]);
+    }
+
+    #[test]
+    fn earliest_within_caps_respects_windows_and_demand() {
+        let inst = LevelingInstance {
+            slot_caps: vec![10; 4],
+            jobs: vec![job(1, 4, 6), job(0, 2, 4)],
+        };
+        let sol = inst.solve_earliest_within(&[5, 5, 5, 5]).unwrap();
+        check_valid(&inst, &sol);
+        // Job 1 (window 0..2) grabs slot 0 first; job 0 starts at slot 1.
+        assert!(sol.allocation[1][0] > 0);
+        assert_eq!(sol.allocation[0][0], 0);
+    }
+
+    #[test]
+    fn earliest_within_caps_detects_infeasible_caps() {
+        let inst = LevelingInstance {
+            slot_caps: vec![10; 2],
+            jobs: vec![job(0, 2, 10)],
+        };
+        assert_eq!(
+            inst.solve_earliest_within(&[2, 2]).unwrap_err(),
+            FlowError::Infeasible
+        );
+    }
+
+    #[test]
+    fn minmax_alone_does_not_flatten_tail() {
+        // solve_minmax only guarantees the single worst slot; this is the
+        // behavioural difference the lexicographic pass exists to fix.
+        let inst = LevelingInstance {
+            slot_caps: vec![10; 6],
+            jobs: vec![job(0, 2, 12), job(2, 6, 8)],
+        };
+        let minmax = inst.solve_minmax().unwrap();
+        check_valid(&inst, &minmax);
+        assert_eq!(minmax.slot_loads[..2].iter().max(), Some(&6));
+    }
+}

@@ -1,0 +1,242 @@
+//! Minimum-cost maximum flow (successive shortest augmenting paths).
+//!
+//! Used by [`crate::leveling::LevelingInstance::solve_earliest_within`] to
+//! realize an alternative secondary objective to the paper's lexicographic
+//! refinement: among all placements that respect a given per-slot cap
+//! profile (e.g. the optimal min-max peak), find the one that finishes
+//! work *earliest* — each unit placed in slot `t` costs `t`, so the
+//! min-cost flow front-loads every job as much as the caps allow.
+//!
+//! Implementation: SPFA-based successive shortest paths (Bellman–Ford
+//! queue relaxation handles the negative reduced costs that residual arcs
+//! introduce without needing potentials). Capacities and flow are `u64`,
+//! costs `i64`; complexity is fine for the scheduler's bipartite networks
+//! (thousands of arcs).
+
+use crate::error::FlowError;
+
+/// Handle to an edge of a [`CostFlowNetwork`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CostEdgeId(usize);
+
+#[derive(Debug, Clone)]
+struct CostArc {
+    to: usize,
+    cap: u64,
+    cost: i64,
+    rev: usize,
+    orig_cap: u64,
+}
+
+/// A directed flow network with per-unit arc costs.
+///
+/// # Example
+///
+/// ```
+/// use flowtime_flow::min_cost::CostFlowNetwork;
+/// # fn main() -> Result<(), flowtime_flow::FlowError> {
+/// let mut net = CostFlowNetwork::new(4);
+/// let cheap = net.add_edge(0, 1, 5, 1)?;
+/// let pricey = net.add_edge(0, 2, 5, 10)?;
+/// net.add_edge(1, 3, 3, 0)?;
+/// net.add_edge(2, 3, 5, 0)?;
+/// let (flow, cost) = net.min_cost_max_flow(0, 3);
+/// assert_eq!(flow, 8);
+/// assert_eq!(cost, 3 * 1 + 5 * 10);
+/// assert_eq!(net.flow(cheap), 3);
+/// assert_eq!(net.flow(pricey), 5);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct CostFlowNetwork {
+    adj: Vec<Vec<CostArc>>,
+    edges: Vec<(usize, usize)>,
+}
+
+impl CostFlowNetwork {
+    /// Creates a network with `n` nodes.
+    pub fn new(n: usize) -> Self {
+        CostFlowNetwork { adj: vec![Vec::new(); n], edges: Vec::new() }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// True if the network has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.adj.is_empty()
+    }
+
+    /// Adds a directed edge with capacity `cap` and per-unit `cost`.
+    ///
+    /// # Errors
+    ///
+    /// [`FlowError::NodeOutOfRange`] on bad endpoints.
+    pub fn add_edge(
+        &mut self,
+        from: usize,
+        to: usize,
+        cap: u64,
+        cost: i64,
+    ) -> Result<CostEdgeId, FlowError> {
+        let n = self.adj.len();
+        for node in [from, to] {
+            if node >= n {
+                return Err(FlowError::NodeOutOfRange { node, len: n });
+            }
+        }
+        let fwd = self.adj[from].len();
+        let rev = self.adj[to].len() + usize::from(from == to);
+        self.adj[from].push(CostArc { to, cap, cost, rev, orig_cap: cap });
+        self.adj[to].push(CostArc { to: from, cap: 0, cost: -cost, rev: fwd, orig_cap: 0 });
+        self.edges.push((from, fwd));
+        Ok(CostEdgeId(self.edges.len() - 1))
+    }
+
+    /// Flow carried by `edge` after a solve.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `edge` is not from this network.
+    pub fn flow(&self, edge: CostEdgeId) -> u64 {
+        let (node, idx) = self.edges[edge.0];
+        let arc = &self.adj[node][idx];
+        arc.orig_cap - arc.cap
+    }
+
+    /// Computes the maximum `source → sink` flow of minimum total cost.
+    /// Returns `(flow, cost)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `source` or `sink` is out of range.
+    pub fn min_cost_max_flow(&mut self, source: usize, sink: usize) -> (u64, i64) {
+        assert!(source < self.len() && sink < self.len());
+        let mut total_flow = 0u64;
+        let mut total_cost = 0i64;
+        if source == sink {
+            return (0, 0);
+        }
+        loop {
+            // SPFA shortest path by cost in the residual graph.
+            let n = self.len();
+            let mut dist = vec![i64::MAX; n];
+            let mut in_queue = vec![false; n];
+            let mut prev: Vec<Option<(usize, usize)>> = vec![None; n];
+            dist[source] = 0;
+            let mut queue = std::collections::VecDeque::new();
+            queue.push_back(source);
+            in_queue[source] = true;
+            while let Some(v) = queue.pop_front() {
+                in_queue[v] = false;
+                let dv = dist[v];
+                for (i, arc) in self.adj[v].iter().enumerate() {
+                    if arc.cap > 0 && dv.saturating_add(arc.cost) < dist[arc.to] {
+                        dist[arc.to] = dv + arc.cost;
+                        prev[arc.to] = Some((v, i));
+                        if !in_queue[arc.to] {
+                            queue.push_back(arc.to);
+                            in_queue[arc.to] = true;
+                        }
+                    }
+                }
+            }
+            if prev[sink].is_none() {
+                return (total_flow, total_cost);
+            }
+            // Bottleneck along the path.
+            let mut bottleneck = u64::MAX;
+            let mut v = sink;
+            while let Some((u, i)) = prev[v] {
+                bottleneck = bottleneck.min(self.adj[u][i].cap);
+                v = u;
+            }
+            // Augment.
+            let mut v = sink;
+            while let Some((u, i)) = prev[v] {
+                let rev = self.adj[u][i].rev;
+                self.adj[u][i].cap -= bottleneck;
+                let to = self.adj[u][i].to;
+                self.adj[to][rev].cap += bottleneck;
+                v = u;
+            }
+            total_flow += bottleneck;
+            total_cost += bottleneck as i64 * dist[sink];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prefers_cheap_paths() {
+        let mut net = CostFlowNetwork::new(4);
+        let cheap = net.add_edge(0, 1, 10, 1).unwrap();
+        let pricey = net.add_edge(0, 2, 10, 5).unwrap();
+        net.add_edge(1, 3, 4, 0).unwrap();
+        net.add_edge(2, 3, 10, 0).unwrap();
+        let (flow, cost) = net.min_cost_max_flow(0, 3);
+        assert_eq!(flow, 14);
+        assert_eq!(cost, 4 + 10 * 5);
+        assert_eq!(net.flow(cheap), 4);
+        assert_eq!(net.flow(pricey), 10);
+    }
+
+    #[test]
+    fn reroutes_through_residual_arcs() {
+        // Classic case where the optimal solution requires undoing part of
+        // an earlier augmenting path.
+        let mut net = CostFlowNetwork::new(4);
+        net.add_edge(0, 1, 1, 1).unwrap();
+        net.add_edge(0, 2, 1, 10).unwrap();
+        net.add_edge(1, 2, 1, -5).unwrap();
+        net.add_edge(1, 3, 1, 10).unwrap();
+        net.add_edge(2, 3, 2, 1).unwrap();
+        let (flow, cost) = net.min_cost_max_flow(0, 3);
+        assert_eq!(flow, 2);
+        // 0-1-2-3 (1 - 5 + 1 = -3) and 0-2-3 (11): total 8.
+        assert_eq!(cost, 8);
+    }
+
+    #[test]
+    fn zero_when_disconnected() {
+        let mut net = CostFlowNetwork::new(3);
+        net.add_edge(0, 1, 5, 1).unwrap();
+        assert_eq!(net.min_cost_max_flow(0, 2), (0, 0));
+        assert_eq!(net.min_cost_max_flow(0, 0), (0, 0));
+    }
+
+    #[test]
+    fn rejects_bad_nodes() {
+        let mut net = CostFlowNetwork::new(1);
+        assert!(net.add_edge(0, 9, 1, 1).is_err());
+    }
+
+    #[test]
+    fn matches_dinic_on_flow_value() {
+        // Min-cost max-flow must still find the *maximum* flow.
+        let mut cost_net = CostFlowNetwork::new(5);
+        let mut plain = crate::graph::FlowNetwork::new(5);
+        let edges = [
+            (0usize, 1usize, 7u64, 3i64),
+            (0, 2, 9, 1),
+            (1, 3, 5, 2),
+            (2, 3, 3, 4),
+            (1, 4, 4, 1),
+            (2, 4, 6, 2),
+            (3, 4, 9, 1),
+        ];
+        for &(u, v, c, w) in &edges {
+            cost_net.add_edge(u, v, c, w).unwrap();
+            plain.add_edge(u, v, c).unwrap();
+        }
+        let (flow, _) = cost_net.min_cost_max_flow(0, 4);
+        let dinic = crate::dinic::Dinic::new(&mut plain).max_flow(0, 4);
+        assert_eq!(flow, dinic);
+    }
+}

@@ -1,0 +1,183 @@
+//! Transportation-problem layer: place integral job demand into time slots.
+//!
+//! The scheduling polytope of the paper (constraints Eq. (2)–(5)) with
+//! unit-width tasks is a transportation polytope: supply nodes are jobs,
+//! demand-side nodes are time slots, and an arc exists wherever slot `t`
+//! lies within job `i`'s `[a_i, d_i]` window. Feasibility and an integral
+//! allocation follow from one max-flow run.
+
+use crate::dinic::Dinic;
+use crate::error::FlowError;
+use crate::graph::{EdgeId, FlowNetwork};
+
+/// A bipartite supply/capacity instance.
+#[derive(Debug, Clone, Default)]
+pub struct Transportation {
+    /// Demand of each supply node (job), in allocation units.
+    pub supplies: Vec<u64>,
+    /// Capacity of each sink-side node (slot), in allocation units.
+    pub slot_caps: Vec<u64>,
+    /// Admissible `(job, slot, max_units)` placements.
+    pub edges: Vec<(usize, usize, u64)>,
+}
+
+/// An integral allocation: `allocation[job]` lists `(slot, units)` pairs
+/// with positive units.
+pub type Allocation = Vec<Vec<(usize, u64)>>;
+
+impl Transportation {
+    /// Attempts to place all supply.
+    ///
+    /// Returns `Ok(Some(allocation))` when all demand fits, `Ok(None)` when
+    /// the instance is infeasible (max-flow is short of total supply).
+    ///
+    /// # Errors
+    ///
+    /// [`FlowError::NodeOutOfRange`] if an edge references an unknown job or
+    /// slot.
+    pub fn solve(&self) -> Result<Option<Allocation>, FlowError> {
+        let n_jobs = self.supplies.len();
+        let n_slots = self.slot_caps.len();
+        for &(j, s, _) in &self.edges {
+            if j >= n_jobs {
+                return Err(FlowError::NodeOutOfRange { node: j, len: n_jobs });
+            }
+            if s >= n_slots {
+                return Err(FlowError::NodeOutOfRange { node: s, len: n_slots });
+            }
+        }
+        // Nodes: 0 = source, 1..=n_jobs = jobs, then slots, then sink.
+        let source = 0usize;
+        let job_base = 1usize;
+        let slot_base = 1 + n_jobs;
+        let sink = 1 + n_jobs + n_slots;
+        let mut net = FlowNetwork::new(sink + 1);
+        for (j, &s) in self.supplies.iter().enumerate() {
+            net.add_edge(source, job_base + j, s)?;
+        }
+        let mut placement_edges: Vec<(usize, usize, EdgeId)> = Vec::with_capacity(self.edges.len());
+        for &(j, s, cap) in &self.edges {
+            let e = net.add_edge(job_base + j, slot_base + s, cap)?;
+            placement_edges.push((j, s, e));
+        }
+        for (s, &cap) in self.slot_caps.iter().enumerate() {
+            net.add_edge(slot_base + s, sink, cap)?;
+        }
+        let total: u64 = self.supplies.iter().sum();
+        let flow = Dinic::new(&mut net).max_flow(source, sink);
+        if flow < total {
+            return Ok(None);
+        }
+        let mut allocation: Allocation = vec![Vec::new(); n_jobs];
+        for (j, s, e) in placement_edges {
+            let f = net.flow(e);
+            if f > 0 {
+                allocation[j].push((s, f));
+            }
+        }
+        Ok(Some(allocation))
+    }
+
+    /// Total supply across all jobs.
+    pub fn total_supply(&self) -> u64 {
+        self.supplies.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn slot_loads(alloc: &Allocation, n_slots: usize) -> Vec<u64> {
+        let mut loads = vec![0u64; n_slots];
+        for per_job in alloc {
+            for &(s, f) in per_job {
+                loads[s] += f;
+            }
+        }
+        loads
+    }
+
+    #[test]
+    fn simple_feasible_placement() {
+        let inst = Transportation {
+            supplies: vec![4, 6],
+            slot_caps: vec![5, 5],
+            edges: vec![(0, 0, 4), (0, 1, 4), (1, 0, 6), (1, 1, 6)],
+        };
+        let alloc = inst.solve().unwrap().expect("feasible");
+        let per_job: Vec<u64> = alloc
+            .iter()
+            .map(|v| v.iter().map(|&(_, f)| f).sum())
+            .collect();
+        assert_eq!(per_job, vec![4, 6]);
+        let loads = slot_loads(&alloc, 2);
+        assert!(loads.iter().all(|&l| l <= 5));
+    }
+
+    #[test]
+    fn infeasible_when_capacity_short() {
+        let inst = Transportation {
+            supplies: vec![10],
+            slot_caps: vec![4, 4],
+            edges: vec![(0, 0, 10), (0, 1, 10)],
+        };
+        assert_eq!(inst.solve().unwrap(), None);
+    }
+
+    #[test]
+    fn window_restrictions_bind() {
+        // Job 1 may only use slot 0; job 0 must move to slot 1.
+        let inst = Transportation {
+            supplies: vec![3, 5],
+            slot_caps: vec![5, 5],
+            edges: vec![(0, 0, 3), (0, 1, 3), (1, 0, 5)],
+        };
+        let alloc = inst.solve().unwrap().expect("feasible");
+        assert_eq!(alloc[1], vec![(0, 5)]);
+        let loads = slot_loads(&alloc, 2);
+        assert_eq!(loads[0], 5 + alloc[0].iter().find(|&&(s, _)| s == 0).map_or(0, |&(_, f)| f));
+    }
+
+    #[test]
+    fn per_edge_caps_model_parallelism_limits() {
+        // 6 units over 3 slots with at most 2 per slot: must use all slots.
+        let inst = Transportation {
+            supplies: vec![6],
+            slot_caps: vec![10, 10, 10],
+            edges: vec![(0, 0, 2), (0, 1, 2), (0, 2, 2)],
+        };
+        let alloc = inst.solve().unwrap().expect("feasible");
+        let loads = slot_loads(&alloc, 3);
+        assert_eq!(loads, vec![2, 2, 2]);
+    }
+
+    #[test]
+    fn rejects_bad_edge_indices() {
+        let inst = Transportation {
+            supplies: vec![1],
+            slot_caps: vec![1],
+            edges: vec![(0, 7, 1)],
+        };
+        assert!(matches!(inst.solve(), Err(FlowError::NodeOutOfRange { .. })));
+    }
+
+    #[test]
+    fn empty_instance_is_trivially_feasible() {
+        let inst = Transportation::default();
+        assert_eq!(inst.solve().unwrap(), Some(Vec::new()));
+        assert_eq!(inst.total_supply(), 0);
+    }
+
+    #[test]
+    fn zero_supply_jobs_get_empty_allocations() {
+        let inst = Transportation {
+            supplies: vec![0, 2],
+            slot_caps: vec![2],
+            edges: vec![(0, 0, 5), (1, 0, 5)],
+        };
+        let alloc = inst.solve().unwrap().expect("feasible");
+        assert!(alloc[0].is_empty());
+        assert_eq!(alloc[1], vec![(0, 2)]);
+    }
+}

@@ -1,0 +1,83 @@
+//! Error types for LP construction and solving.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while building or solving a linear program.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum LpError {
+    /// A variable was declared with `lower > upper`, a non-finite lower
+    /// bound, or a NaN bound. (Free variables are not supported: every
+    /// quantity in the scheduling LPs is naturally lower-bounded.)
+    InvalidBounds {
+        /// Lower bound as given.
+        lower: f64,
+        /// Upper bound as given.
+        upper: f64,
+    },
+    /// A coefficient, objective entry, or right-hand side was NaN/infinite.
+    NonFiniteCoefficient,
+    /// A constraint referenced a variable that does not exist.
+    VarOutOfRange {
+        /// The raw variable index.
+        var: usize,
+        /// Number of declared variables.
+        len: usize,
+    },
+    /// The LP is infeasible (phase 1 terminated with positive residual).
+    Infeasible,
+    /// The LP is unbounded below.
+    Unbounded,
+    /// The iteration limit was exceeded before reaching optimality.
+    IterationLimit {
+        /// The limit that was hit.
+        limit: usize,
+    },
+}
+
+impl fmt::Display for LpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LpError::InvalidBounds { lower, upper } => {
+                write!(f, "invalid variable bounds [{lower}, {upper}]")
+            }
+            LpError::NonFiniteCoefficient => f.write_str("non-finite coefficient in problem data"),
+            LpError::VarOutOfRange { var, len } => {
+                write!(f, "variable {var} out of range for problem with {len} variables")
+            }
+            LpError::Infeasible => f.write_str("linear program is infeasible"),
+            LpError::Unbounded => f.write_str("linear program is unbounded"),
+            LpError::IterationLimit { limit } => {
+                write!(f, "simplex iteration limit of {limit} exceeded")
+            }
+        }
+    }
+}
+
+impl Error for LpError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_nonempty() {
+        for e in [
+            LpError::InvalidBounds { lower: 1.0, upper: 0.0 },
+            LpError::NonFiniteCoefficient,
+            LpError::VarOutOfRange { var: 4, len: 2 },
+            LpError::Infeasible,
+            LpError::Unbounded,
+            LpError::IterationLimit { limit: 10 },
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn is_send_sync_error() {
+        fn check<E: std::error::Error + Send + Sync + 'static>() {}
+        check::<LpError>();
+    }
+}

@@ -1,0 +1,53 @@
+//! A dense two-phase primal simplex linear-programming solver.
+//!
+//! The FlowTime paper (Section V) schedules deadline-aware jobs by solving a
+//! linear program with CPLEX. Mature LP solvers are not available as pure
+//! Rust crates, so this crate implements one from scratch:
+//!
+//! * [`Problem`] — an LP in the general form
+//!   `min cᵀx  s.t.  Ax {≤,=,≥} b,  l ≤ x ≤ u`,
+//!   built incrementally with [`Problem::add_var`] /
+//!   [`Problem::add_constraint`].
+//! * [`simplex::solve`] — a **bounded-variable two-phase primal simplex**
+//!   over a dense tableau. Variable upper bounds are handled implicitly
+//!   (non-basic variables may sit at either bound, via the column-flip
+//!   transformation), so the scheduling LP's per-slot parallelism caps do
+//!   not inflate the row count. Anti-cycling falls back to Bland's rule
+//!   after a stall.
+//!
+//! The solver is exact enough for the scheduling LPs of the paper: the
+//! constraint matrices there are totally unimodular (paper Lemma 2), so
+//! optimal bases are integral and the simplex returns integer allocations up
+//! to floating-point round-off.
+//!
+//! # Example
+//!
+//! ```
+//! use flowtime_lp::{Problem, Relation};
+//!
+//! # fn main() -> Result<(), flowtime_lp::LpError> {
+//! // max x + 2y  s.t.  x + y <= 4, y <= 3, x,y >= 0
+//! let mut p = Problem::new();
+//! let x = p.add_var(-1.0, 0.0, f64::INFINITY)?; // minimize -x - 2y
+//! let y = p.add_var(-2.0, 0.0, 3.0)?;
+//! p.add_constraint(&[(x, 1.0), (y, 1.0)], Relation::Le, 4.0)?;
+//! let sol = p.solve()?;
+//! assert!((sol.objective - (-7.0)).abs() < 1e-9); // x=1, y=3
+//! assert!((sol.value(x) - 1.0).abs() < 1e-9);
+//! assert!((sol.value(y) - 3.0).abs() < 1e-9);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod problem;
+pub mod simplex;
+pub mod solution;
+
+pub use error::LpError;
+pub use problem::{Problem, Relation, VarId};
+pub use simplex::SimplexOptions;
+pub use solution::{Solution, Status};

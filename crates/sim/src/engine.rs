@@ -1,0 +1,589 @@
+//! The simulation engine.
+
+use crate::cluster::ClusterConfig;
+use crate::error::SimError;
+use crate::job::{JobClass, JobRuntime, SimWorkload};
+use crate::metrics::{JobOutcome, Metrics, WorkflowOutcome};
+use crate::scheduler::Scheduler;
+use crate::placement::NodePool;
+use crate::state::{SimState, WorkflowInstance};
+use crate::timeline::{Timeline, TimelineEntry};
+use flowtime_dag::{JobId, ResourceVec};
+use std::collections::HashMap;
+
+/// Result of a completed simulation.
+#[derive(Debug, Clone)]
+pub struct SimOutcome {
+    /// Aggregated metrics.
+    pub metrics: Metrics,
+    /// Number of slots simulated until the last completion.
+    pub slots_elapsed: u64,
+    /// Full allocation recording, when enabled via
+    /// [`Engine::with_timeline`].
+    pub timeline: Option<Timeline>,
+    /// Per-slot count of tasks that would not have fit on any physical
+    /// node (fragmentation diagnostic), when enabled via
+    /// [`Engine::with_nodes`].
+    pub placement_shortfalls: Option<Vec<u64>>,
+}
+
+/// Drives a [`Scheduler`] over a [`SimWorkload`] slot by slot.
+///
+/// The engine is deterministic: identical workload, cluster, and scheduler
+/// state produce identical outcomes, which is what makes algorithm
+/// comparisons meaningful.
+pub struct Engine {
+    state: SimState,
+    max_slots: u64,
+    slot_loads: Vec<ResourceVec>,
+    slot_capacities: Vec<ResourceVec>,
+    timeline: Option<Timeline>,
+    nodes: Option<NodePool>,
+    placement_shortfalls: Vec<u64>,
+}
+
+impl Engine {
+    /// Builds an engine over `workload`, bounding the run at `max_slots`.
+    ///
+    /// Job ids are assigned densely: workflow jobs first (in submission
+    /// order, node order), then ad-hoc jobs in submission order.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::MalformedSubmission`] if a workflow's `actual_work` or
+    /// `job_deadlines` vector does not match its node count.
+    pub fn new(
+        cluster: ClusterConfig,
+        workload: SimWorkload,
+        max_slots: u64,
+    ) -> Result<Self, SimError> {
+        let mut jobs: Vec<JobRuntime> = Vec::new();
+        let mut workflows: Vec<WorkflowInstance> = Vec::new();
+        let mut next_id = 0u64;
+        for submission in workload.workflows {
+            let wf = &submission.workflow;
+            let n = wf.len();
+            if let Some(actual) = &submission.actual_work {
+                if actual.len() != n {
+                    return Err(SimError::MalformedSubmission {
+                        reason: "actual_work length differs from workflow size",
+                    });
+                }
+            }
+            if let Some(dls) = &submission.job_deadlines {
+                if dls.len() != n {
+                    return Err(SimError::MalformedSubmission {
+                        reason: "job_deadlines length differs from workflow size",
+                    });
+                }
+            }
+            let mut job_ids = Vec::with_capacity(n);
+            for (node, spec) in wf.jobs().iter().enumerate() {
+                let id = JobId::new(next_id);
+                next_id += 1;
+                let actual_work = submission
+                    .actual_work
+                    .as_ref()
+                    .map_or_else(|| spec.work(), |v| v[node]);
+                let is_source = wf.dag().predecessors(node).is_empty();
+                jobs.push(JobRuntime {
+                    id,
+                    class: JobClass::Deadline { workflow: wf.id(), node },
+                    estimate: spec.clone(),
+                    actual_work,
+                    arrival_slot: wf.submit_slot(),
+                    ready_slot: is_source.then_some(wf.submit_slot()),
+                    done_work: 0,
+                    completion_slot: None,
+                    deadline_slot: submission.job_deadlines.as_ref().map(|v| v[node]),
+                });
+                job_ids.push(id);
+            }
+            workflows.push(WorkflowInstance { submission, job_ids });
+        }
+        for adhoc in workload.adhoc {
+            let id = JobId::new(next_id);
+            next_id += 1;
+            jobs.push(JobRuntime {
+                id,
+                class: JobClass::AdHoc,
+                actual_work: adhoc.spec.work(),
+                estimate: adhoc.spec,
+                arrival_slot: adhoc.arrival_slot,
+                ready_slot: Some(adhoc.arrival_slot),
+                done_work: 0,
+                completion_slot: None,
+                deadline_slot: None,
+            });
+        }
+        let by_id: HashMap<JobId, usize> =
+            jobs.iter().enumerate().map(|(i, j)| (j.id, i)).collect();
+        Ok(Engine {
+            state: SimState { now: 0, cluster, jobs, workflows, by_id },
+            max_slots,
+            slot_loads: Vec::new(),
+            slot_capacities: Vec::new(),
+            timeline: None,
+            nodes: None,
+            placement_shortfalls: Vec::new(),
+        })
+    }
+
+    /// Enables per-allocation recording; the result is returned in
+    /// [`SimOutcome::timeline`] and can be rendered with
+    /// [`crate::timeline::render_gantt`].
+    #[must_use]
+    pub fn with_timeline(mut self) -> Self {
+        self.timeline = Some(Timeline::default());
+        self
+    }
+
+    /// Enables node-level placement diagnostics: each slot's allocation is
+    /// bin-packed onto `pool` and the unplaceable task count is recorded
+    /// in [`SimOutcome::placement_shortfalls`]. Measured, not enforced
+    /// (see [`crate::placement`]).
+    #[must_use]
+    pub fn with_nodes(mut self, pool: NodePool) -> Self {
+        self.nodes = Some(pool);
+        self
+    }
+
+    /// Runs `scheduler` to completion of all jobs.
+    ///
+    /// # Errors
+    ///
+    /// * Scheduler-misbehaviour errors ([`SimError::CapacityExceeded`],
+    ///   [`SimError::UnknownJob`], [`SimError::JobNotRunnable`],
+    ///   [`SimError::ParallelismExceeded`]).
+    /// * [`SimError::HorizonExhausted`] if jobs remain at `max_slots`.
+    pub fn run(mut self, scheduler: &mut dyn Scheduler) -> Result<SimOutcome, SimError> {
+        while self.state.now < self.max_slots {
+            if self.state.jobs.iter().all(JobRuntime::is_complete) {
+                return Ok(self.finish());
+            }
+            let allocation = scheduler.plan_slot(&self.state);
+            let now = self.state.now;
+
+            // Validate.
+            let pairs: Vec<(JobId, u64)> = allocation.iter().collect();
+            for &(id, q) in &pairs {
+                let Some(&idx) = self.state.by_id.get(&id) else {
+                    return Err(SimError::UnknownJob { job: id });
+                };
+                let job = &self.state.jobs[idx];
+                if job.arrival_slot > now || !job.is_runnable(now) {
+                    return Err(SimError::JobNotRunnable { job: id, slot: now });
+                }
+                let cap = job.estimate.effective_parallel().min(job.remaining_actual());
+                if q > cap {
+                    return Err(SimError::ParallelismExceeded { job: id, requested: q, cap });
+                }
+            }
+            let used = self.state.allocation_usage(&pairs);
+            if !used.fits_within(&self.state.capacity_now()) {
+                return Err(SimError::CapacityExceeded { slot: now });
+            }
+
+            // Apply: each allocated task performs one task-slot of work.
+            self.slot_loads.push(used);
+            self.slot_capacities.push(self.state.capacity_now());
+            if let Some(tl) = &mut self.timeline {
+                for &(id, q) in &pairs {
+                    tl.entries.push(TimelineEntry { slot: now, job: id, tasks: q });
+                }
+            }
+            if let Some(pool) = &self.nodes {
+                let requests: Vec<_> = pairs
+                    .iter()
+                    .map(|&(id, q)| {
+                        let shape = self.state.jobs[self.state.by_id[&id]].estimate.per_task();
+                        (id, shape, q)
+                    })
+                    .collect();
+                self.placement_shortfalls
+                    .push(pool.pack(&requests).unplaced_tasks());
+            }
+            for (id, q) in pairs {
+                let idx = self.state.by_id[&id];
+                let job = &mut self.state.jobs[idx];
+                job.done_work += q;
+                if job.done_work >= job.actual_work {
+                    job.completion_slot = Some(now + 1);
+                }
+            }
+            self.release_dependents(now);
+            self.state.now += 1;
+        }
+        if self.state.jobs.iter().all(JobRuntime::is_complete) {
+            Ok(self.finish())
+        } else {
+            let incomplete = self
+                .state
+                .jobs
+                .iter()
+                .filter(|j| !j.is_complete())
+                .count();
+            Err(SimError::HorizonExhausted { max_slots: self.max_slots, incomplete })
+        }
+    }
+
+    /// Marks workflow jobs ready once all their predecessors completed
+    /// during or before slot `now`; they become runnable from `now + 1`.
+    fn release_dependents(&mut self, now: u64) {
+        for w in 0..self.state.workflows.len() {
+            let n = self.state.workflows[w].job_ids.len();
+            for node in 0..n {
+                let id = self.state.workflows[w].job_ids[node];
+                let idx = self.state.by_id[&id];
+                if self.state.jobs[idx].ready_slot.is_some() {
+                    continue;
+                }
+                let dag = self.state.workflows[w].submission.workflow.dag();
+                let all_done = dag.predecessors(node).iter().all(|&p| {
+                    let pid = self.state.workflows[w].job_ids[p];
+                    self.state.jobs[self.state.by_id[&pid]].is_complete()
+                });
+                if all_done {
+                    self.state.jobs[idx].ready_slot = Some(now + 1);
+                }
+            }
+        }
+    }
+
+    fn finish(self) -> SimOutcome {
+        let slots_elapsed = self.state.now;
+        let job_outcomes: Vec<JobOutcome> = self
+            .state
+            .jobs
+            .iter()
+            .map(|j| JobOutcome {
+                id: j.id,
+                class: j.class,
+                arrival_slot: j.arrival_slot,
+                ready_slot: j.ready_slot.expect("completed jobs were ready"),
+                completion_slot: j.completion_slot.expect("run() returned complete"),
+                deadline_slot: j.deadline_slot,
+            })
+            .collect();
+        let workflow_outcomes: Vec<WorkflowOutcome> = self
+            .state
+            .workflows
+            .iter()
+            .map(|w| {
+                let completion = w
+                    .job_ids
+                    .iter()
+                    .map(|id| {
+                        self.state.jobs[self.state.by_id[id]]
+                            .completion_slot
+                            .expect("complete")
+                    })
+                    .max()
+                    .expect("workflows are non-empty");
+                WorkflowOutcome {
+                    id: w.submission.workflow.id(),
+                    deadline_slot: w.submission.workflow.deadline_slot(),
+                    completion_slot: completion,
+                }
+            })
+            .collect();
+        SimOutcome {
+            metrics: Metrics {
+                jobs: job_outcomes,
+                workflows: workflow_outcomes,
+                slot_loads: self.slot_loads,
+                slot_capacities: self.slot_capacities,
+                capacity: self.state.cluster.capacity(),
+                slot_seconds: self.state.cluster.slot_seconds(),
+            },
+            slots_elapsed,
+            timeline: self.timeline,
+            placement_shortfalls: self
+                .nodes
+                .is_some()
+                .then_some(self.placement_shortfalls),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::{AdhocSubmission, WorkflowSubmission};
+    use crate::scheduler::Allocation;
+    use flowtime_dag::{JobSpec, ResourceVec, WorkflowBuilder, WorkflowId};
+
+    /// Greedy FIFO test scheduler.
+    struct Greedy;
+    impl Scheduler for Greedy {
+        fn name(&self) -> &str {
+            "greedy"
+        }
+        fn plan_slot(&mut self, state: &SimState) -> Allocation {
+            let mut alloc = Allocation::new();
+            let mut free = state.capacity();
+            for job in state.runnable_jobs() {
+                let fit = job.per_task.times_fitting(&free).min(job.max_tasks_this_slot);
+                if fit > 0 {
+                    alloc.assign(job.id, fit);
+                    free -= job.per_task * fit;
+                }
+            }
+            alloc
+        }
+    }
+
+    fn cluster(cores: u64) -> ClusterConfig {
+        ClusterConfig::new(ResourceVec::new([cores, cores * 4096]), 10.0)
+    }
+
+    fn spec(tasks: u64, dur: u64) -> JobSpec {
+        JobSpec::new("j", tasks, dur, ResourceVec::new([1, 4096]))
+    }
+
+    fn chain_workflow(submit: u64, deadline: u64) -> WorkflowSubmission {
+        let mut b = WorkflowBuilder::new(WorkflowId::new(1), "chain");
+        let a = b.add_job(spec(4, 2));
+        let c = b.add_job(spec(4, 2));
+        b.add_dep(a, c).unwrap();
+        WorkflowSubmission::new(b.window(submit, deadline).build().unwrap())
+    }
+
+    #[test]
+    fn single_adhoc_job_runs_to_completion() {
+        let mut wl = SimWorkload::default();
+        wl.adhoc.push(AdhocSubmission::new(spec(8, 2), 3));
+        let engine = Engine::new(cluster(8), wl, 100).unwrap();
+        let out = engine.run(&mut Greedy).unwrap();
+        assert_eq!(out.metrics.completed_jobs(), 1);
+        let j = &out.metrics.jobs[0];
+        // 16 task-slots of work at up to 8 concurrent tasks: 2 slots.
+        assert_eq!(j.arrival_slot, 3);
+        assert_eq!(j.completion_slot, 5);
+        assert_eq!(j.turnaround_slots(), 2);
+    }
+
+    #[test]
+    fn workflow_dependencies_gate_execution() {
+        let mut wl = SimWorkload::default();
+        wl.workflows.push(chain_workflow(0, 100));
+        let out = Engine::new(cluster(8), wl, 200).unwrap().run(&mut Greedy).unwrap();
+        let jobs = &out.metrics.jobs;
+        // First job: 8 units at 4-wide = 2 slots, completes at slot 2.
+        assert_eq!(jobs[0].completion_slot, 2);
+        // Second becomes ready at slot 3 (released end of slot 1... the
+        // engine releases at completion, runnable the next slot).
+        assert!(jobs[1].ready_slot >= jobs[0].completion_slot);
+        assert!(jobs[1].completion_slot > jobs[0].completion_slot);
+        assert_eq!(out.metrics.workflows.len(), 1);
+        assert!(!out.metrics.workflows[0].missed_deadline());
+    }
+
+    #[test]
+    fn capacity_is_shared_and_enforced() {
+        // Two ad-hoc jobs that each want 8 tasks, cluster of 8 cores:
+        // greedy serves FIFO, so total never exceeds capacity and the
+        // second job is delayed.
+        let mut wl = SimWorkload::default();
+        wl.adhoc.push(AdhocSubmission::new(spec(8, 4), 0));
+        wl.adhoc.push(AdhocSubmission::new(spec(8, 4), 0));
+        let out = Engine::new(cluster(8), wl, 100).unwrap().run(&mut Greedy).unwrap();
+        for load in &out.metrics.slot_loads {
+            assert!(load.fits_within(&ResourceVec::new([8, 8 * 4096])));
+        }
+        let c0 = out.metrics.jobs[0].completion_slot;
+        let c1 = out.metrics.jobs[1].completion_slot;
+        assert_eq!(c0.min(c1), 4);
+        assert_eq!(c0.max(c1), 8);
+    }
+
+    #[test]
+    fn overallocation_is_rejected() {
+        struct Cheater;
+        impl Scheduler for Cheater {
+            fn name(&self) -> &str {
+                "cheater"
+            }
+            fn plan_slot(&mut self, state: &SimState) -> Allocation {
+                let mut a = Allocation::new();
+                for job in state.runnable_jobs() {
+                    a.assign(job.id, job.max_tasks_this_slot);
+                }
+                a
+            }
+        }
+        let mut wl = SimWorkload::default();
+        wl.adhoc.push(AdhocSubmission::new(spec(8, 4), 0));
+        wl.adhoc.push(AdhocSubmission::new(spec(8, 4), 0));
+        // Cluster of 8 cores cannot host 16 concurrent tasks.
+        let err = Engine::new(cluster(8), wl, 100).unwrap().run(&mut Cheater).unwrap_err();
+        assert_eq!(err, SimError::CapacityExceeded { slot: 0 });
+    }
+
+    #[test]
+    fn allocating_to_gated_job_is_rejected() {
+        struct EagerBeaver;
+        impl Scheduler for EagerBeaver {
+            fn name(&self) -> &str {
+                "eager"
+            }
+            fn plan_slot(&mut self, state: &SimState) -> Allocation {
+                // Allocates to *visible* (not necessarily ready) jobs.
+                let mut a = Allocation::new();
+                for job in state.visible_jobs() {
+                    a.assign(job.id, 1);
+                }
+                a
+            }
+        }
+        let mut wl = SimWorkload::default();
+        wl.workflows.push(chain_workflow(0, 100));
+        let err = Engine::new(cluster(8), wl, 100).unwrap().run(&mut EagerBeaver).unwrap_err();
+        assert!(matches!(err, SimError::JobNotRunnable { .. }));
+    }
+
+    #[test]
+    fn parallelism_cap_is_enforced() {
+        struct Wide;
+        impl Scheduler for Wide {
+            fn name(&self) -> &str {
+                "wide"
+            }
+            fn plan_slot(&mut self, state: &SimState) -> Allocation {
+                let mut a = Allocation::new();
+                for job in state.runnable_jobs() {
+                    a.assign(job.id, job.max_tasks_this_slot + 1);
+                }
+                a
+            }
+        }
+        let mut wl = SimWorkload::default();
+        wl.adhoc.push(AdhocSubmission::new(spec(4, 1), 0));
+        let err = Engine::new(cluster(64), wl, 100).unwrap().run(&mut Wide).unwrap_err();
+        assert!(matches!(err, SimError::ParallelismExceeded { .. }));
+    }
+
+    #[test]
+    fn horizon_exhaustion_reported() {
+        struct Lazy;
+        impl Scheduler for Lazy {
+            fn name(&self) -> &str {
+                "lazy"
+            }
+            fn plan_slot(&mut self, _: &SimState) -> Allocation {
+                Allocation::new()
+            }
+        }
+        let mut wl = SimWorkload::default();
+        wl.adhoc.push(AdhocSubmission::new(spec(1, 1), 0));
+        let err = Engine::new(cluster(8), wl, 5).unwrap().run(&mut Lazy).unwrap_err();
+        assert_eq!(err, SimError::HorizonExhausted { max_slots: 5, incomplete: 1 });
+    }
+
+    #[test]
+    fn actual_work_overrun_delays_completion() {
+        let mut sub = chain_workflow(0, 100);
+        // Estimates say 8 task-slots each; reality is 12 for the first job.
+        sub.actual_work = Some(vec![12, 8]);
+        let mut wl = SimWorkload::default();
+        wl.workflows.push(sub);
+        let out = Engine::new(cluster(8), wl, 200).unwrap().run(&mut Greedy).unwrap();
+        // 12 units at 4-wide = 3 slots.
+        assert_eq!(out.metrics.jobs[0].completion_slot, 3);
+    }
+
+    #[test]
+    fn malformed_submissions_rejected() {
+        let mut sub = chain_workflow(0, 100);
+        sub.actual_work = Some(vec![1]);
+        let mut wl = SimWorkload::default();
+        wl.workflows.push(sub);
+        assert!(matches!(
+            Engine::new(cluster(8), wl, 100),
+            Err(SimError::MalformedSubmission { .. })
+        ));
+        let mut sub2 = chain_workflow(0, 100);
+        sub2.job_deadlines = Some(vec![1, 2, 3]);
+        let mut wl2 = SimWorkload::default();
+        wl2.workflows.push(sub2);
+        assert!(Engine::new(cluster(8), wl2, 100).is_err());
+    }
+
+    #[test]
+    fn adhoc_size_is_hidden_from_views() {
+        let mut wl = SimWorkload::default();
+        wl.adhoc.push(AdhocSubmission::new(spec(8, 2), 0));
+        wl.workflows.push(chain_workflow(0, 100));
+        let engine = Engine::new(cluster(8), wl, 100).unwrap();
+        let views = engine.state.runnable_jobs();
+        for v in views {
+            match v.class {
+                JobClass::AdHoc => {
+                    assert_eq!(v.estimated_remaining, None);
+                    assert_eq!(v.estimated_total, None);
+                }
+                JobClass::Deadline { .. } => {
+                    assert!(v.estimated_remaining.is_some());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn job_deadline_milestones_flow_into_metrics() {
+        let sub = chain_workflow(0, 100).with_job_deadlines(vec![1, 100]);
+        let mut wl = SimWorkload::default();
+        wl.workflows.push(sub);
+        let out = Engine::new(cluster(8), wl, 200).unwrap().run(&mut Greedy).unwrap();
+        // First job needs 2 slots but milestone was 1: one miss.
+        assert_eq!(out.metrics.job_deadline_misses(), 1);
+    }
+
+    #[test]
+    fn timeline_records_all_allocations() {
+        let mut wl = SimWorkload::default();
+        wl.adhoc.push(AdhocSubmission::new(spec(8, 2), 0));
+        let out = Engine::new(cluster(8), wl, 100)
+            .unwrap()
+            .with_timeline()
+            .run(&mut Greedy)
+            .unwrap();
+        let tl = out.timeline.expect("enabled");
+        // Total recorded tasks equal the job's work.
+        let id = out.metrics.jobs[0].id;
+        assert_eq!(tl.total_for(id), 16);
+        let chart = crate::timeline::render_gantt(&tl, Some(&out.metrics), 40);
+        assert!(chart.contains("ad-hoc"));
+    }
+
+    #[test]
+    fn node_placement_diagnostics_record_shortfalls() {
+        // 8-core aggregate as 2x4-core nodes; a job with 3-core containers
+        // can only place 2 tasks (one per node) though aggregate fits 2.67.
+        let mut wl = SimWorkload::default();
+        wl.adhoc.push(AdhocSubmission::new(
+            JobSpec::new("wide", 2, 4, ResourceVec::new([3, 1024])),
+            0,
+        ));
+        let pool = crate::placement::NodePool::new(2, ResourceVec::new([4, 8192]));
+        let out = Engine::new(cluster(8), wl, 100)
+            .unwrap()
+            .with_nodes(pool)
+            .run(&mut Greedy)
+            .unwrap();
+        let shortfalls = out.placement_shortfalls.expect("enabled");
+        // Two 3-core tasks fit one per node: no shortfall in this layout.
+        assert_eq!(shortfalls.iter().sum::<u64>(), 0);
+        assert_eq!(out.metrics.completed_jobs(), 1);
+    }
+
+    #[test]
+    fn empty_workload_finishes_immediately() {
+        let out = Engine::new(cluster(8), SimWorkload::default(), 10)
+            .unwrap()
+            .run(&mut Greedy)
+            .unwrap();
+        assert_eq!(out.metrics.completed_jobs(), 0);
+        assert_eq!(out.slots_elapsed, 0);
+    }
+}

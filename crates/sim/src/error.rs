@@ -1,0 +1,99 @@
+//! Simulator error types.
+
+use flowtime_dag::JobId;
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while constructing or running a simulation.
+///
+/// Scheduler-misbehaviour variants ([`SimError::CapacityExceeded`] etc.) are
+/// deliberately hard failures: a scheduling experiment whose algorithm
+/// over-allocates silently would invalidate every reported metric.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// The scheduler allocated more resources than the cluster has.
+    CapacityExceeded {
+        /// Slot at which the violation occurred.
+        slot: u64,
+    },
+    /// The scheduler allocated to a job id the engine does not know.
+    UnknownJob {
+        /// The offending id.
+        job: JobId,
+    },
+    /// The scheduler allocated to a job that is not ready (dependencies
+    /// pending, not yet arrived, or already complete).
+    JobNotRunnable {
+        /// The offending id.
+        job: JobId,
+        /// Slot of the attempt.
+        slot: u64,
+    },
+    /// The scheduler exceeded a job's concurrency cap.
+    ParallelismExceeded {
+        /// The offending id.
+        job: JobId,
+        /// Requested concurrent tasks.
+        requested: u64,
+        /// The cap that applies this slot.
+        cap: u64,
+    },
+    /// The simulation hit its slot bound with incomplete jobs.
+    HorizonExhausted {
+        /// The configured bound.
+        max_slots: u64,
+        /// Number of jobs still incomplete.
+        incomplete: usize,
+    },
+    /// A workflow submission was internally inconsistent (e.g. a per-job
+    /// deadline vector of the wrong length).
+    MalformedSubmission {
+        /// Human-readable reason.
+        reason: &'static str,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::CapacityExceeded { slot } => {
+                write!(f, "allocation exceeds cluster capacity at slot {slot}")
+            }
+            SimError::UnknownJob { job } => write!(f, "allocation to unknown job {job}"),
+            SimError::JobNotRunnable { job, slot } => {
+                write!(f, "allocation to non-runnable job {job} at slot {slot}")
+            }
+            SimError::ParallelismExceeded { job, requested, cap } => {
+                write!(f, "job {job} allocated {requested} tasks, cap is {cap}")
+            }
+            SimError::HorizonExhausted { max_slots, incomplete } => {
+                write!(f, "simulation horizon of {max_slots} slots exhausted with {incomplete} incomplete jobs")
+            }
+            SimError::MalformedSubmission { reason } => {
+                write!(f, "malformed submission: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_render() {
+        for e in [
+            SimError::CapacityExceeded { slot: 1 },
+            SimError::UnknownJob { job: JobId::new(1) },
+            SimError::JobNotRunnable { job: JobId::new(1), slot: 2 },
+            SimError::ParallelismExceeded { job: JobId::new(1), requested: 5, cap: 2 },
+            SimError::HorizonExhausted { max_slots: 10, incomplete: 3 },
+            SimError::MalformedSubmission { reason: "x" },
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

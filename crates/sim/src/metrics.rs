@@ -1,0 +1,245 @@
+//! Experiment metrics.
+//!
+//! Mirrors the paper's evaluation metrics (Section VII-A): the number of
+//! jobs/workflows that meet their deadlines, the signed completion-minus-
+//! deadline deltas (Fig. 4(a)/5(a)), and the average turnaround time of
+//! ad-hoc jobs (Fig. 4(c)/5(c)).
+
+use crate::job::JobClass;
+use flowtime_dag::{JobId, ResourceVec, WorkflowId};
+use serde::{Deserialize, Serialize};
+
+/// Final record of one job.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobOutcome {
+    /// Job id.
+    pub id: JobId,
+    /// Workload class.
+    pub class: JobClass,
+    /// Submission slot.
+    pub arrival_slot: u64,
+    /// Slot dependencies were satisfied.
+    pub ready_slot: u64,
+    /// Completion slot (exclusive: the job finished at the end of
+    /// `completion_slot - 1`).
+    pub completion_slot: u64,
+    /// Milestone deadline, if tracked.
+    pub deadline_slot: Option<u64>,
+}
+
+impl JobOutcome {
+    /// Turnaround in slots: completion minus submission.
+    pub fn turnaround_slots(&self) -> u64 {
+        self.completion_slot - self.arrival_slot
+    }
+
+    /// Signed completion-minus-deadline delta in slots, if a milestone is
+    /// tracked (negative = early).
+    pub fn deadline_delta(&self) -> Option<i64> {
+        self.deadline_slot
+            .map(|d| self.completion_slot as i64 - d as i64)
+    }
+
+    /// True if the job had a milestone and missed it.
+    pub fn missed_deadline(&self) -> bool {
+        self.deadline_delta().is_some_and(|d| d > 0)
+    }
+}
+
+/// Final record of one workflow.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkflowOutcome {
+    /// Workflow id.
+    pub id: WorkflowId,
+    /// Workflow deadline `wd`.
+    pub deadline_slot: u64,
+    /// Completion slot of the last constituent job.
+    pub completion_slot: u64,
+}
+
+impl WorkflowOutcome {
+    /// True if the workflow finished after its deadline.
+    pub fn missed_deadline(&self) -> bool {
+        self.completion_slot > self.deadline_slot
+    }
+}
+
+/// Aggregated results of one simulation run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Metrics {
+    /// Per-job outcomes.
+    pub jobs: Vec<JobOutcome>,
+    /// Per-workflow outcomes.
+    pub workflows: Vec<WorkflowOutcome>,
+    /// Resource usage per simulated slot.
+    pub slot_loads: Vec<ResourceVec>,
+    /// Capacity in force per simulated slot (tracks time-varying windows).
+    pub slot_capacities: Vec<ResourceVec>,
+    /// Base cluster capacity.
+    pub capacity: ResourceVec,
+    /// Slot duration in seconds (for wall-clock conversions).
+    pub slot_seconds: f64,
+}
+
+impl Metrics {
+    /// Number of completed jobs (all of them — a run only ends when
+    /// everything finished).
+    pub fn completed_jobs(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Outcomes of deadline-class jobs with tracked milestones.
+    pub fn deadline_jobs(&self) -> impl Iterator<Item = &JobOutcome> {
+        self.jobs.iter().filter(|j| j.deadline_slot.is_some())
+    }
+
+    /// Outcomes of ad-hoc jobs.
+    pub fn adhoc_jobs(&self) -> impl Iterator<Item = &JobOutcome> {
+        self.jobs.iter().filter(|j| j.class.is_adhoc())
+    }
+
+    /// Number of milestone jobs that missed their deadline
+    /// (paper Fig. 4(b) / 5(b)).
+    pub fn job_deadline_misses(&self) -> usize {
+        self.deadline_jobs().filter(|j| j.missed_deadline()).count()
+    }
+
+    /// Signed completion-minus-deadline deltas in **seconds**
+    /// (paper Fig. 4(a) / 5(a)).
+    pub fn job_deadline_deltas_seconds(&self) -> Vec<f64> {
+        self.deadline_jobs()
+            .filter_map(JobOutcome::deadline_delta)
+            .map(|d| d as f64 * self.slot_seconds)
+            .collect()
+    }
+
+    /// Number of workflows that missed their deadline.
+    pub fn workflow_deadline_misses(&self) -> usize {
+        self.workflows.iter().filter(|w| w.missed_deadline()).count()
+    }
+
+    /// Average ad-hoc job turnaround in slots; `None` if there were none.
+    pub fn avg_adhoc_turnaround_slots(&self) -> Option<f64> {
+        let mut count = 0usize;
+        let mut total = 0u64;
+        for j in self.adhoc_jobs() {
+            count += 1;
+            total += j.turnaround_slots();
+        }
+        (count > 0).then(|| total as f64 / count as f64)
+    }
+
+    /// Average ad-hoc job turnaround in seconds (paper Fig. 4(c) / 5(c)).
+    pub fn avg_adhoc_turnaround_seconds(&self) -> Option<f64> {
+        self.avg_adhoc_turnaround_slots().map(|s| s * self.slot_seconds)
+    }
+
+    fn capacity_of_slot(&self, t: usize) -> ResourceVec {
+        self.slot_capacities.get(t).copied().unwrap_or(self.capacity)
+    }
+
+    /// Mean normalized cluster utilization over the run
+    /// (`max_r used/capacity-in-force`, averaged over simulated slots).
+    pub fn avg_peak_utilization(&self) -> f64 {
+        if self.slot_loads.is_empty() {
+            return 0.0;
+        }
+        let sum: f64 = self
+            .slot_loads
+            .iter()
+            .enumerate()
+            .map(|(t, l)| l.max_normalized_by(&self.capacity_of_slot(t)))
+            .sum();
+        sum / self.slot_loads.len() as f64
+    }
+
+    /// Peak normalized utilization over the whole run.
+    pub fn max_peak_utilization(&self) -> f64 {
+        self.slot_loads
+            .iter()
+            .enumerate()
+            .map(|(t, l)| l.max_normalized_by(&self.capacity_of_slot(t)))
+            .fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outcome(arrival: u64, completion: u64, deadline: Option<u64>, adhoc: bool) -> JobOutcome {
+        JobOutcome {
+            id: JobId::new(arrival * 100 + completion),
+            class: if adhoc {
+                JobClass::AdHoc
+            } else {
+                JobClass::Deadline { workflow: WorkflowId::new(1), node: 0 }
+            },
+            arrival_slot: arrival,
+            ready_slot: arrival,
+            completion_slot: completion,
+            deadline_slot: deadline,
+        }
+    }
+
+    fn metrics(jobs: Vec<JobOutcome>) -> Metrics {
+        Metrics {
+            jobs,
+            workflows: vec![
+                WorkflowOutcome { id: WorkflowId::new(1), deadline_slot: 10, completion_slot: 9 },
+                WorkflowOutcome { id: WorkflowId::new(2), deadline_slot: 10, completion_slot: 12 },
+            ],
+            slot_loads: vec![ResourceVec::new([5, 50]), ResourceVec::new([10, 20])],
+            slot_capacities: vec![ResourceVec::new([10, 100]), ResourceVec::new([10, 100])],
+            capacity: ResourceVec::new([10, 100]),
+            slot_seconds: 10.0,
+        }
+    }
+
+    #[test]
+    fn deadline_accounting() {
+        let m = metrics(vec![
+            outcome(0, 8, Some(10), false),
+            outcome(0, 12, Some(10), false),
+            outcome(0, 10, Some(10), false),
+        ]);
+        assert_eq!(m.job_deadline_misses(), 1);
+        assert_eq!(m.job_deadline_deltas_seconds(), vec![-20.0, 20.0, 0.0]);
+        assert_eq!(m.workflow_deadline_misses(), 1);
+    }
+
+    #[test]
+    fn turnaround_accounting() {
+        let m = metrics(vec![
+            outcome(0, 10, None, true),
+            outcome(5, 10, None, true),
+            outcome(0, 100, Some(50), false),
+        ]);
+        assert_eq!(m.avg_adhoc_turnaround_slots(), Some(7.5));
+        assert_eq!(m.avg_adhoc_turnaround_seconds(), Some(75.0));
+    }
+
+    #[test]
+    fn no_adhoc_jobs_is_none() {
+        let m = metrics(vec![outcome(0, 10, Some(20), false)]);
+        assert_eq!(m.avg_adhoc_turnaround_slots(), None);
+    }
+
+    #[test]
+    fn utilization_summaries() {
+        let m = metrics(vec![]);
+        // slot 0: max(0.5, 0.5) = 0.5; slot 1: max(1.0, 0.2) = 1.0
+        assert!((m.avg_peak_utilization() - 0.75).abs() < 1e-12);
+        assert!((m.max_peak_utilization() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn outcome_helpers() {
+        let j = outcome(2, 9, Some(7), false);
+        assert_eq!(j.turnaround_slots(), 7);
+        assert_eq!(j.deadline_delta(), Some(2));
+        assert!(j.missed_deadline());
+        assert!(!outcome(0, 7, Some(7), false).missed_deadline());
+        assert_eq!(outcome(0, 7, None, true).deadline_delta(), None);
+    }
+}

@@ -1,0 +1,123 @@
+//! The scheduler interface.
+
+use crate::state::SimState;
+use flowtime_dag::JobId;
+use std::collections::BTreeMap;
+
+/// A per-slot allocation decision: how many concurrent tasks each job runs
+/// during the coming slot.
+///
+/// Backed by a `BTreeMap` so iteration order — and therefore engine
+/// behaviour — is deterministic regardless of how the scheduler inserted
+/// entries.
+///
+/// # Example
+///
+/// ```
+/// use flowtime_sim::Allocation;
+/// use flowtime_dag::JobId;
+/// let mut alloc = Allocation::new();
+/// alloc.assign(JobId::new(1), 3);
+/// alloc.assign(JobId::new(1), 2); // accumulates
+/// assert_eq!(alloc.get(JobId::new(1)), 5);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Allocation {
+    tasks: BTreeMap<JobId, u64>,
+}
+
+impl Allocation {
+    /// An empty allocation (cluster idles this slot).
+    pub fn new() -> Self {
+        Allocation::default()
+    }
+
+    /// Adds `tasks` concurrent tasks for `job` (accumulating with prior
+    /// assignments). Zero-task assignments are ignored.
+    pub fn assign(&mut self, job: JobId, tasks: u64) {
+        if tasks > 0 {
+            *self.tasks.entry(job).or_insert(0) += tasks;
+        }
+    }
+
+    /// The tasks assigned to `job` (zero if unassigned).
+    pub fn get(&self, job: JobId) -> u64 {
+        self.tasks.get(&job).copied().unwrap_or(0)
+    }
+
+    /// Iterates `(job, tasks)` pairs in job-id order.
+    pub fn iter(&self) -> impl Iterator<Item = (JobId, u64)> + '_ {
+        self.tasks.iter().map(|(&id, &q)| (id, q))
+    }
+
+    /// Number of jobs with a positive assignment.
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// True if nothing is assigned.
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+}
+
+impl FromIterator<(JobId, u64)> for Allocation {
+    fn from_iter<I: IntoIterator<Item = (JobId, u64)>>(iter: I) -> Self {
+        let mut alloc = Allocation::new();
+        for (id, q) in iter {
+            alloc.assign(id, q);
+        }
+        alloc
+    }
+}
+
+impl Extend<(JobId, u64)> for Allocation {
+    fn extend<I: IntoIterator<Item = (JobId, u64)>>(&mut self, iter: I) {
+        for (id, q) in iter {
+            self.assign(id, q);
+        }
+    }
+}
+
+/// A scheduling algorithm under test.
+///
+/// The engine calls [`Scheduler::plan_slot`] once per slot with the current
+/// [`SimState`]; the returned [`Allocation`] is validated (capacity,
+/// readiness, parallelism caps) and applied for that slot. Schedulers carry
+/// their own persistent state (plans, decomposed deadlines, histories)
+/// across calls.
+pub trait Scheduler {
+    /// Short algorithm name used in reports (e.g. `"FlowTime"`, `"EDF"`).
+    fn name(&self) -> &str;
+
+    /// Decides the allocation for the slot `state.now()`.
+    fn plan_slot(&mut self, state: &SimState) -> Allocation;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocation_accumulates_and_ignores_zero() {
+        let mut a = Allocation::new();
+        a.assign(JobId::new(3), 0);
+        assert!(a.is_empty());
+        a.assign(JobId::new(3), 2);
+        a.assign(JobId::new(1), 1);
+        a.assign(JobId::new(3), 1);
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.get(JobId::new(3)), 3);
+        assert_eq!(a.get(JobId::new(9)), 0);
+        let order: Vec<_> = a.iter().map(|(id, _)| id).collect();
+        assert_eq!(order, vec![JobId::new(1), JobId::new(3)]);
+    }
+
+    #[test]
+    fn from_iterator_and_extend() {
+        let mut a: Allocation = [(JobId::new(1), 2), (JobId::new(2), 3)].into_iter().collect();
+        a.extend([(JobId::new(1), 1)]);
+        assert_eq!(a.get(JobId::new(1)), 3);
+        assert_eq!(a.get(JobId::new(2)), 3);
+    }
+}

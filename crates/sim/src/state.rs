@@ -1,0 +1,200 @@
+//! Scheduler-visible simulation state.
+//!
+//! [`SimState`] is the read-only interface handed to a
+//! [`crate::Scheduler`] each slot. It enforces the paper's information
+//! model: deadline-aware workflows are fully described (DAG, estimated
+//! demands, estimated runtimes — they are recurring), while ad-hoc jobs
+//! expose no size information ([`JobView::estimated_remaining`] is `None`).
+
+use crate::cluster::ClusterConfig;
+use crate::job::{JobClass, JobRuntime, WorkflowSubmission};
+use flowtime_dag::{JobId, ResourceVec, Workflow, WorkflowId};
+use std::collections::HashMap;
+
+/// Scheduler-visible snapshot of one job.
+#[derive(Debug, Clone)]
+pub struct JobView {
+    /// Unique job id.
+    pub id: JobId,
+    /// Workload class and workflow linkage.
+    pub class: JobClass,
+    /// Resources per concurrent task.
+    pub per_task: ResourceVec,
+    /// Slot the job was submitted.
+    pub arrival_slot: u64,
+    /// Slot the job became runnable (dependencies met), if it has.
+    pub ready_slot: Option<u64>,
+    /// Estimated remaining work in task-slots; `None` for ad-hoc jobs,
+    /// whose size is unknown to schedulers.
+    pub estimated_remaining: Option<u64>,
+    /// Estimated total work in task-slots; `None` for ad-hoc jobs.
+    pub estimated_total: Option<u64>,
+    /// Estimated duration of one task in slots; `None` for ad-hoc jobs.
+    pub task_slots: Option<u64>,
+    /// The most concurrent tasks the job can usefully run this slot
+    /// (its parallelism cap, shrunk by its currently pending tasks — the
+    /// analogue of a YARN application's outstanding container requests).
+    pub max_tasks_this_slot: u64,
+    /// Milestone deadline for this job, when tracked.
+    pub deadline_slot: Option<u64>,
+    /// Work completed so far, in task-slots.
+    pub done_work: u64,
+}
+
+impl JobView {
+    /// True if the job is an ad-hoc (best-effort) job.
+    pub fn is_adhoc(&self) -> bool {
+        self.class.is_adhoc()
+    }
+}
+
+/// Scheduler-visible snapshot of one workflow.
+#[derive(Debug, Clone)]
+pub struct WorkflowView<'a> {
+    /// The static description (DAG, estimated job specs, window).
+    pub workflow: &'a Workflow,
+    /// Engine job id of each DAG node.
+    pub job_ids: &'a [JobId],
+    /// Completion flag of each DAG node.
+    pub completed: Vec<bool>,
+}
+
+impl WorkflowView<'_> {
+    /// The workflow id.
+    pub fn id(&self) -> WorkflowId {
+        self.workflow.id()
+    }
+
+    /// True once every node has completed.
+    pub fn is_complete(&self) -> bool {
+        self.completed.iter().all(|&c| c)
+    }
+}
+
+pub(crate) struct WorkflowInstance {
+    pub submission: WorkflowSubmission,
+    pub job_ids: Vec<JobId>,
+}
+
+/// The engine's world state, exposed read-only to schedulers.
+pub struct SimState {
+    pub(crate) now: u64,
+    pub(crate) cluster: ClusterConfig,
+    pub(crate) jobs: Vec<JobRuntime>,
+    pub(crate) workflows: Vec<WorkflowInstance>,
+    pub(crate) by_id: HashMap<JobId, usize>,
+}
+
+impl SimState {
+    /// The current slot index.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Base cluster capacity (ignoring time-varying windows).
+    pub fn capacity(&self) -> ResourceVec {
+        self.cluster.capacity()
+    }
+
+    /// The capacity in force during the *current* slot — what an
+    /// allocation for this slot is validated against.
+    pub fn capacity_now(&self) -> ResourceVec {
+        self.cluster.capacity_at(self.now)
+    }
+
+    /// The capacity in force during an arbitrary slot (for planners that
+    /// look ahead across maintenance windows).
+    pub fn capacity_at(&self, slot: u64) -> ResourceVec {
+        self.cluster.capacity_at(slot)
+    }
+
+    /// Duration of one slot in seconds.
+    pub fn slot_seconds(&self) -> f64 {
+        self.cluster.slot_seconds()
+    }
+
+    fn view_of(&self, job: &JobRuntime) -> JobView {
+        let (estimated_remaining, estimated_total, task_slots) = match job.class {
+            JobClass::AdHoc => (None, None, None),
+            JobClass::Deadline { .. } => (
+                Some(job.estimated_remaining()),
+                Some(job.estimate.work()),
+                Some(job.estimate.task_slots()),
+            ),
+        };
+        JobView {
+            id: job.id,
+            class: job.class,
+            per_task: job.estimate.per_task(),
+            arrival_slot: job.arrival_slot,
+            ready_slot: job.ready_slot,
+            estimated_remaining,
+            estimated_total,
+            task_slots,
+            max_tasks_this_slot: job.estimate.effective_parallel().min(job.remaining_actual()),
+            deadline_slot: job.deadline_slot,
+            done_work: job.done_work,
+        }
+    }
+
+    /// Jobs that have arrived, are ready, and are incomplete — the set a
+    /// scheduler may allocate to this slot. Ordered by arrival slot, then
+    /// id, for determinism.
+    pub fn runnable_jobs(&self) -> Vec<JobView> {
+        let mut views: Vec<JobView> = self
+            .jobs
+            .iter()
+            .filter(|j| j.arrival_slot <= self.now && j.is_runnable(self.now))
+            .map(|j| self.view_of(j))
+            .collect();
+        views.sort_by_key(|v| (v.arrival_slot, v.id));
+        views
+    }
+
+    /// All arrived, incomplete jobs — including workflow jobs whose
+    /// dependencies are still pending (useful for planning ahead).
+    pub fn visible_jobs(&self) -> Vec<JobView> {
+        let mut views: Vec<JobView> = self
+            .jobs
+            .iter()
+            .filter(|j| j.arrival_slot <= self.now && !j.is_complete())
+            .map(|j| self.view_of(j))
+            .collect();
+        views.sort_by_key(|v| (v.arrival_slot, v.id));
+        views
+    }
+
+    /// Looks up one job by id (visible only once arrived).
+    pub fn job(&self, id: JobId) -> Option<JobView> {
+        self.by_id
+            .get(&id)
+            .map(|&idx| &self.jobs[idx])
+            .filter(|j| j.arrival_slot <= self.now)
+            .map(|j| self.view_of(j))
+    }
+
+    /// Workflows that have arrived, with per-node completion status.
+    pub fn workflows(&self) -> Vec<WorkflowView<'_>> {
+        self.workflows
+            .iter()
+            .filter(|w| w.submission.workflow.submit_slot() <= self.now)
+            .map(|w| WorkflowView {
+                workflow: &w.submission.workflow,
+                job_ids: &w.job_ids,
+                completed: w
+                    .job_ids
+                    .iter()
+                    .map(|id| self.jobs[self.by_id[id]].is_complete())
+                    .collect(),
+            })
+            .collect()
+    }
+
+    /// Sum of resources held by an allocation mapping `job → tasks`.
+    pub(crate) fn allocation_usage(&self, pairs: &[(JobId, u64)]) -> ResourceVec {
+        pairs.iter().fold(ResourceVec::zero(), |acc, &(id, q)| {
+            let job = &self.jobs[self.by_id[&id]];
+            acc + job.estimate.per_task() * q
+        })
+    }
+}

@@ -1,0 +1,297 @@
+//! Ad-hoc job streams.
+//!
+//! Ad-hoc jobs in the paper are best-effort, non-recurring, and unknown in
+//! size at submission. This generator produces a Poisson arrival process
+//! with log-normal sizes — the canonical datacenter workload shape: many small
+//! interactive queries, a heavy tail of larger analytics jobs.
+
+use flowtime_dag::{JobSpec, ResourceVec};
+use flowtime_sim::AdhocSubmission;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Temporal shape of the arrival process.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub enum ArrivalPattern {
+    /// Homogeneous Poisson arrivals at `rate_per_slot`.
+    #[default]
+    Poisson,
+    /// Diurnal modulation: the instantaneous rate is
+    /// `rate * (1 + amplitude * sin(2π t / period))`, clamped at zero —
+    /// the day/night swing of interactive query traffic.
+    Diurnal {
+        /// Relative swing in `[0, 1]`.
+        amplitude: f64,
+        /// Period in slots (e.g. one simulated day).
+        period: f64,
+    },
+    /// Markov-modulated on/off bursts: alternating busy and idle phases
+    /// with the given mean lengths (slots); arrivals only occur in busy
+    /// phases, at a rate scaled up to preserve the long-run mean.
+    Bursty {
+        /// Mean busy-phase length in slots.
+        mean_on: f64,
+        /// Mean idle-phase length in slots.
+        mean_off: f64,
+    },
+}
+
+/// Configuration of an ad-hoc stream.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AdhocStream {
+    /// Mean arrivals per slot (long-run average across patterns).
+    pub rate_per_slot: f64,
+    /// Temporal arrival pattern.
+    #[serde(default)]
+    pub pattern: ArrivalPattern,
+    /// Log-normal μ of the job *work* in task-slots.
+    pub work_mu: f64,
+    /// Log-normal σ of the job work.
+    pub work_sigma: f64,
+    /// Per-task container size.
+    pub container: ResourceVec,
+    /// Maximum tasks a job runs concurrently.
+    pub max_parallel: u64,
+}
+
+impl Default for AdhocStream {
+    fn default() -> Self {
+        AdhocStream {
+            rate_per_slot: 0.2,
+            pattern: ArrivalPattern::Poisson,
+            work_mu: 2.5,  // median ~12 task-slots
+            work_sigma: 0.8,
+            container: ResourceVec::new([1, 2048]),
+            max_parallel: 8,
+        }
+    }
+}
+
+impl AdhocStream {
+    /// Generates submissions over slots `[0, horizon)`, deterministic in
+    /// `seed`.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use flowtime_workload::AdhocStream;
+    /// let jobs = AdhocStream::default().generate(500, 42);
+    /// assert!(!jobs.is_empty());
+    /// assert!(jobs.windows(2).all(|w| w[0].arrival_slot <= w[1].arrival_slot));
+    /// ```
+    pub fn generate(&self, horizon: u64, seed: u64) -> Vec<AdhocSubmission> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut out = Vec::new();
+        // Non-homogeneous Poisson via thinning against the peak rate.
+        let peak_rate = self.peak_rate();
+        let mut t = 0.0f64;
+        let mut idx = 0usize;
+        let mut phase = BurstPhase::new(&self.pattern, &mut rng);
+        loop {
+            let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+            t += -u.ln() / peak_rate.max(1e-9);
+            let slot = t.floor() as u64;
+            if slot >= horizon {
+                break;
+            }
+            // Thinning: accept with probability rate(t)/peak.
+            let accept = self.instantaneous_rate(t, &mut phase, &mut rng) / peak_rate;
+            if rng.gen_range(0.0..1.0) >= accept {
+                continue;
+            }
+            let work = self.sample_work(&mut rng);
+            // Shape the work into tasks x duration: short tasks for small
+            // jobs, a few waves for larger ones.
+            let tasks = work.min(self.max_parallel.max(1));
+            let task_slots = work.div_ceil(tasks);
+            let spec = JobSpec::new(
+                format!("adhoc-{idx}"),
+                tasks,
+                task_slots,
+                self.container,
+            )
+            .with_max_parallel(self.max_parallel.max(1));
+            out.push(AdhocSubmission::new(spec, slot));
+            idx += 1;
+        }
+        out
+    }
+
+    /// The maximum instantaneous rate of the configured pattern.
+    fn peak_rate(&self) -> f64 {
+        match self.pattern {
+            ArrivalPattern::Poisson => self.rate_per_slot,
+            ArrivalPattern::Diurnal { amplitude, .. } => {
+                self.rate_per_slot * (1.0 + amplitude.clamp(0.0, 1.0))
+            }
+            ArrivalPattern::Bursty { mean_on, mean_off } => {
+                // Busy-phase rate preserves the long-run mean.
+                self.rate_per_slot * (mean_on + mean_off).max(1e-9) / mean_on.max(1e-9)
+            }
+        }
+    }
+
+    /// The instantaneous rate at continuous time `t`.
+    fn instantaneous_rate(&self, t: f64, phase: &mut BurstPhase, rng: &mut StdRng) -> f64 {
+        match self.pattern {
+            ArrivalPattern::Poisson => self.rate_per_slot,
+            ArrivalPattern::Diurnal { amplitude, period } => {
+                let swing = (2.0 * std::f64::consts::PI * t / period.max(1e-9)).sin();
+                (self.rate_per_slot * (1.0 + amplitude.clamp(0.0, 1.0) * swing)).max(0.0)
+            }
+            ArrivalPattern::Bursty { .. } => {
+                if phase.is_on(t, &self.pattern, rng) {
+                    self.peak_rate()
+                } else {
+                    0.0
+                }
+            }
+        }
+    }
+
+    /// One log-normal work sample in task-slots (at least 1).
+    fn sample_work(&self, rng: &mut StdRng) -> u64 {
+        // Box-Muller standard normal.
+        let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let u2: f64 = rng.gen_range(0.0..1.0);
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        (self.work_mu + self.work_sigma * z).exp().round().max(1.0) as u64
+    }
+}
+
+/// On/off phase tracker for the bursty pattern.
+struct BurstPhase {
+    on: bool,
+    until: f64,
+}
+
+impl BurstPhase {
+    fn new(pattern: &ArrivalPattern, rng: &mut StdRng) -> BurstPhase {
+        let mut phase = BurstPhase { on: true, until: 0.0 };
+        if let ArrivalPattern::Bursty { mean_on, .. } = pattern {
+            phase.until = sample_exp(*mean_on, rng);
+        }
+        phase
+    }
+
+    fn is_on(&mut self, t: f64, pattern: &ArrivalPattern, rng: &mut StdRng) -> bool {
+        let ArrivalPattern::Bursty { mean_on, mean_off } = pattern else {
+            return true;
+        };
+        while t >= self.until {
+            self.on = !self.on;
+            let mean = if self.on { *mean_on } else { *mean_off };
+            self.until += sample_exp(mean, rng);
+        }
+        self.on
+    }
+}
+
+fn sample_exp(mean: f64, rng: &mut StdRng) -> f64 {
+    let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+    -u.ln() * mean.max(1e-9)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_in_seed() {
+        let s = AdhocStream::default();
+        assert_eq!(s.generate(200, 7), s.generate(200, 7));
+        assert_ne!(s.generate(200, 7), s.generate(200, 8));
+    }
+
+    #[test]
+    fn rate_controls_volume() {
+        let slow = AdhocStream { rate_per_slot: 0.05, ..Default::default() };
+        let fast = AdhocStream { rate_per_slot: 1.0, ..Default::default() };
+        let ns = slow.generate(1000, 3).len();
+        let nf = fast.generate(1000, 3).len();
+        assert!(nf > ns * 5, "fast {nf} vs slow {ns}");
+        // Poisson mean ~ rate * horizon.
+        assert!((nf as f64) > 700.0 && (nf as f64) < 1300.0, "{nf}");
+    }
+
+    #[test]
+    fn arrivals_within_horizon_and_ordered() {
+        let jobs = AdhocStream::default().generate(300, 11);
+        for w in jobs.windows(2) {
+            assert!(w[0].arrival_slot <= w[1].arrival_slot);
+        }
+        assert!(jobs.iter().all(|j| j.arrival_slot < 300));
+    }
+
+    #[test]
+    fn specs_respect_parallelism() {
+        let s = AdhocStream { max_parallel: 4, ..Default::default() };
+        for j in s.generate(500, 5) {
+            assert!(j.spec.tasks() <= 4 || j.spec.max_parallel() == Some(4));
+            assert!(j.spec.work() >= 1);
+        }
+    }
+
+    #[test]
+    fn diurnal_rate_modulates_arrivals() {
+        let flat = AdhocStream { rate_per_slot: 0.5, ..Default::default() };
+        let diurnal = AdhocStream {
+            rate_per_slot: 0.5,
+            pattern: ArrivalPattern::Diurnal { amplitude: 1.0, period: 200.0 },
+            ..Default::default()
+        };
+        let horizon = 2000u64;
+        let nd = diurnal.generate(horizon, 21);
+        let nf = flat.generate(horizon, 21);
+        // Long-run volume is comparable...
+        let ratio = nd.len() as f64 / nf.len() as f64;
+        assert!((0.7..1.3).contains(&ratio), "volume ratio {ratio}");
+        // ...but the diurnal stream concentrates in rate peaks: compare
+        // quarter-period buckets (peak vs trough of the sine).
+        let count_in = |jobs: &[flowtime_sim::AdhocSubmission], lo: u64, hi: u64| {
+            jobs.iter().filter(|j| (lo..hi).contains(&j.arrival_slot)).count()
+        };
+        let mut peak = 0usize;
+        let mut trough = 0usize;
+        for cycle in 0..(horizon / 200) {
+            let base = cycle * 200;
+            peak += count_in(&nd, base, base + 100);
+            trough += count_in(&nd, base + 100, base + 200);
+        }
+        assert!(peak > trough * 2, "peak {peak} vs trough {trough}");
+    }
+
+    #[test]
+    fn bursty_pattern_clusters_arrivals() {
+        let bursty = AdhocStream {
+            rate_per_slot: 0.5,
+            pattern: ArrivalPattern::Bursty { mean_on: 20.0, mean_off: 80.0 },
+            ..Default::default()
+        };
+        let jobs = bursty.generate(3000, 33);
+        assert!(!jobs.is_empty());
+        // Long-run volume still tracks the nominal rate within a factor.
+        let expected = 0.5 * 3000.0;
+        let n = jobs.len() as f64;
+        assert!((expected * 0.5..expected * 1.6).contains(&n), "{n} arrivals");
+        // Clustering: the variance of per-100-slot counts far exceeds the
+        // Poisson variance (= mean).
+        let mut buckets = vec![0f64; 30];
+        for j in &jobs {
+            buckets[(j.arrival_slot / 100) as usize] += 1.0;
+        }
+        let mean = buckets.iter().sum::<f64>() / buckets.len() as f64;
+        let var = buckets.iter().map(|b| (b - mean).powi(2)).sum::<f64>() / buckets.len() as f64;
+        assert!(var > mean * 2.0, "var {var} vs mean {mean}");
+    }
+
+    #[test]
+    fn work_distribution_has_spread() {
+        let jobs = AdhocStream::default().generate(2000, 13);
+        let works: Vec<u64> = jobs.iter().map(|j| j.spec.work()).collect();
+        let min = works.iter().min().unwrap();
+        let max = works.iter().max().unwrap();
+        assert!(max > &(min * 4), "min {min} max {max}");
+    }
+}

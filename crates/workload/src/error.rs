@@ -1,0 +1,68 @@
+//! Workload crate errors.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors from trace serialization and workload construction.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum WorkloadError {
+    /// Underlying I/O failure while reading or writing a trace file.
+    Io(std::io::Error),
+    /// A trace line failed to parse.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// The serde error message.
+        message: String,
+    },
+    /// A generator was asked for an impossible configuration.
+    InvalidConfig {
+        /// Human-readable reason.
+        reason: &'static str,
+    },
+}
+
+impl fmt::Display for WorkloadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WorkloadError::Io(e) => write!(f, "trace io error: {e}"),
+            WorkloadError::Parse { line, message } => {
+                write!(f, "trace parse error at line {line}: {message}")
+            }
+            WorkloadError::InvalidConfig { reason } => {
+                write!(f, "invalid workload configuration: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for WorkloadError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            WorkloadError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for WorkloadError {
+    fn from(e: std::io::Error) -> Self {
+        WorkloadError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e: WorkloadError = std::io::Error::other("boom").into();
+        assert!(e.to_string().contains("boom"));
+        assert!(e.source().is_some());
+        let e = WorkloadError::Parse { line: 3, message: "bad".into() };
+        assert!(e.to_string().contains("line 3"));
+        assert!(WorkloadError::InvalidConfig { reason: "x" }.source().is_none());
+    }
+}

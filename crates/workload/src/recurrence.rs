@@ -1,0 +1,74 @@
+//! Recurring-workflow helpers.
+//!
+//! The paper's deadline workflows are "typically recurring, running on a
+//! daily, weekly or monthly basis" (Section I). This module stamps out the
+//! recurring instances of a template: one submission per period, ids
+//! offset, windows shifted.
+
+use flowtime_dag::{Workflow, WorkflowId};
+use flowtime_sim::WorkflowSubmission;
+
+/// Generates `count` recurring instances of `template`, one every
+/// `period_slots`, starting at the template's own submit slot. Instance
+/// `k` gets workflow id `base_id + k`.
+///
+/// # Example
+///
+/// ```
+/// use flowtime_dag::prelude::*;
+/// use flowtime_workload::recurrence::recur;
+/// # fn main() -> Result<(), DagError> {
+/// let mut b = WorkflowBuilder::new(WorkflowId::new(0), "daily");
+/// b.add_job(JobSpec::new("j", 4, 1, ResourceVec::new([1, 1024])));
+/// let template = b.window(10, 60).build()?;
+/// let runs = recur(&template, 100, 3, 360);
+/// assert_eq!(runs.len(), 3);
+/// assert_eq!(runs[2].workflow.submit_slot(), 10 + 2 * 360);
+/// assert_eq!(runs[2].workflow.id(), WorkflowId::new(102));
+/// # Ok(())
+/// # }
+/// ```
+pub fn recur(
+    template: &Workflow,
+    base_id: u64,
+    count: usize,
+    period_slots: u64,
+) -> Vec<WorkflowSubmission> {
+    (0..count)
+        .map(|k| {
+            let submit = template.submit_slot() + k as u64 * period_slots;
+            let wf = template.recur_at(WorkflowId::new(base_id + k as u64), submit);
+            WorkflowSubmission::new(wf)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flowtime_dag::{JobSpec, ResourceVec, WorkflowBuilder};
+
+    fn template() -> Workflow {
+        let mut b = WorkflowBuilder::new(WorkflowId::new(0), "t");
+        b.add_job(JobSpec::new("j", 4, 2, ResourceVec::new([1, 1024])));
+        b.window(5, 45).build().unwrap()
+    }
+
+    #[test]
+    fn instances_shift_and_keep_window_length() {
+        let runs = recur(&template(), 10, 4, 100);
+        assert_eq!(runs.len(), 4);
+        for (k, sub) in runs.iter().enumerate() {
+            let wf = &sub.workflow;
+            assert_eq!(wf.submit_slot(), 5 + k as u64 * 100);
+            assert_eq!(wf.window_slots(), 40);
+            assert_eq!(wf.id(), WorkflowId::new(10 + k as u64));
+            assert_eq!(wf.len(), 1);
+        }
+    }
+
+    #[test]
+    fn zero_count_is_empty() {
+        assert!(recur(&template(), 0, 0, 10).is_empty());
+    }
+}

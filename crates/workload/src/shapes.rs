@@ -1,0 +1,166 @@
+//! Parametric DAG topologies.
+//!
+//! Edge lists over dense node indices `0..n`, composable with any job
+//! specs. The random layered generator drives the Fig. 6 decomposition
+//! scalability sweep (10–200 nodes, up to 6 000 edges).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Edges of a linear chain `0 → 1 → … → n-1`.
+pub fn chain(n: usize) -> Vec<(usize, usize)> {
+    (1..n).map(|i| (i - 1, i)).collect()
+}
+
+/// Edges of the paper's Fig. 3 fork-join: `0 → {1..=mid} → mid+1`.
+/// Total nodes: `mid + 2`.
+pub fn fork_join(mid: usize) -> Vec<(usize, usize)> {
+    let mut edges = Vec::with_capacity(2 * mid);
+    for m in 1..=mid {
+        edges.push((0, m));
+        edges.push((m, mid + 1));
+    }
+    edges
+}
+
+/// Edges of a diamond of `width` parallel two-job branches:
+/// `0 → aᵢ → bᵢ → 2·width+1`.
+pub fn diamond(width: usize) -> Vec<(usize, usize)> {
+    let sink = 2 * width + 1;
+    let mut edges = Vec::with_capacity(3 * width);
+    for i in 0..width {
+        let a = 1 + 2 * i;
+        let b = 2 + 2 * i;
+        edges.push((0, a));
+        edges.push((a, b));
+        edges.push((b, sink));
+    }
+    edges
+}
+
+/// A random layered DAG: `nodes` nodes spread over `layers` layers; each
+/// non-first-layer node draws at least one parent from the previous layer;
+/// additional edges are added between random earlier/later layers until
+/// `target_edges` is reached (or the topology saturates). Deterministic in
+/// `seed`.
+///
+/// # Panics
+///
+/// Panics if `layers == 0` or `nodes < layers`.
+pub fn layered_random(nodes: usize, layers: usize, target_edges: usize, seed: u64) -> Vec<(usize, usize)> {
+    assert!(layers > 0 && nodes >= layers, "need at least one node per layer");
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Assign nodes to layers: one guaranteed each, remainder random.
+    let mut layer_of = vec![0usize; nodes];
+    for (l, node) in layer_of.iter_mut().enumerate().take(layers) {
+        *node = l;
+    }
+    for node in layer_of.iter_mut().skip(layers) {
+        *node = rng.gen_range(0..layers);
+    }
+    let mut by_layer: Vec<Vec<usize>> = vec![Vec::new(); layers];
+    for (node, &l) in layer_of.iter().enumerate() {
+        by_layer[l].push(node);
+    }
+    let mut edges: Vec<(usize, usize)> = Vec::new();
+    let mut have = std::collections::HashSet::new();
+    // Backbone: every node beyond layer 0 gets a parent in the previous
+    // non-empty layer.
+    for l in 1..layers {
+        let mut prev = l;
+        while prev > 0 && by_layer[prev - 1].is_empty() {
+            prev -= 1;
+        }
+        if prev == 0 {
+            continue;
+        }
+        let parents = &by_layer[prev - 1];
+        for &v in &by_layer[l] {
+            let p = parents[rng.gen_range(0..parents.len())];
+            if have.insert((p, v)) {
+                edges.push((p, v));
+            }
+        }
+    }
+    // Extra cross-layer edges up to the target.
+    let mut attempts = 0usize;
+    while edges.len() < target_edges && attempts < target_edges * 20 + 1000 {
+        attempts += 1;
+        let a = rng.gen_range(0..nodes);
+        let b = rng.gen_range(0..nodes);
+        let (from, to) = match layer_of[a].cmp(&layer_of[b]) {
+            std::cmp::Ordering::Less => (a, b),
+            std::cmp::Ordering::Greater => (b, a),
+            std::cmp::Ordering::Equal => continue,
+        };
+        if have.insert((from, to)) {
+            edges.push((from, to));
+        }
+    }
+    edges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flowtime_dag::{level_sets, topological_order, Dag};
+
+    #[test]
+    fn chain_is_linear() {
+        let edges = chain(4);
+        assert_eq!(edges, vec![(0, 1), (1, 2), (2, 3)]);
+        let dag = Dag::from_edges(4, edges).unwrap();
+        assert_eq!(level_sets(&dag).unwrap().len(), 4);
+    }
+
+    #[test]
+    fn chain_of_one_or_zero() {
+        assert!(chain(1).is_empty());
+        assert!(chain(0).is_empty());
+    }
+
+    #[test]
+    fn fork_join_levels() {
+        let edges = fork_join(5);
+        let dag = Dag::from_edges(7, edges).unwrap();
+        let sets = level_sets(&dag).unwrap();
+        assert_eq!(sets.len(), 3);
+        assert_eq!(sets[1].len(), 5);
+    }
+
+    #[test]
+    fn diamond_structure() {
+        let edges = diamond(3);
+        let dag = Dag::from_edges(8, edges).unwrap();
+        let sets = level_sets(&dag).unwrap();
+        assert_eq!(sets.len(), 4);
+        assert_eq!(sets[1].len(), 3);
+        assert_eq!(sets[2].len(), 3);
+    }
+
+    #[test]
+    fn layered_random_is_acyclic_and_deterministic() {
+        for seed in 0..5 {
+            let edges = layered_random(50, 6, 300, seed);
+            let dag = Dag::from_edges(50, edges.clone()).unwrap();
+            assert!(topological_order(&dag).is_ok(), "seed {seed} cyclic");
+            let again = layered_random(50, 6, 300, seed);
+            assert_eq!(edges, again, "seed {seed} not deterministic");
+        }
+    }
+
+    #[test]
+    fn layered_random_hits_edge_targets() {
+        let edges = layered_random(200, 10, 6000, 42);
+        // Dense request: should get reasonably close to the target.
+        assert!(edges.len() >= 4000, "only {} edges", edges.len());
+        let dag = Dag::from_edges(200, edges).unwrap();
+        assert!(topological_order(&dag).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node per layer")]
+    fn layered_random_validates() {
+        layered_random(3, 10, 5, 0);
+    }
+}

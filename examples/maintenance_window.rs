@@ -1,0 +1,74 @@
+//! Time-varying capacity (the paper's `C_t^r`, Eq. (4)): most of the
+//! cluster goes down for maintenance mid-experiment. FlowTime's per-slot
+//! capacity caps make the planner route deadline work around the outage,
+//! the engine enforces the reduced cap on every scheduler, and the
+//! deadline is still met with residual capacity left for queries.
+//!
+//! Run with: `cargo run --release --example maintenance_window`
+
+use flowtime::{EdfScheduler, FlowTimeConfig, FlowTimeScheduler};
+use flowtime_dag::prelude::*;
+use flowtime_sim::prelude::*;
+use flowtime_sim::Scheduler;
+
+fn cluster() -> ClusterConfig {
+    // 16 cores normally; slots 30..60 run at quarter capacity.
+    ClusterConfig::new(ResourceVec::new([16, 65_536]), 10.0)
+        .with_capacity_window(30, 60, ResourceVec::new([4, 16_384]))
+}
+
+fn workload() -> SimWorkload {
+    // A workflow whose window straddles the maintenance window: 480
+    // task-slots of work due by slot 100. Enough capacity exists overall,
+    // but only if the scheduler front-loads before the outage.
+    let mut b = WorkflowBuilder::new(WorkflowId::new(1), "pre-maintenance-etl");
+    let a = b.add_job(JobSpec::new("stage-a", 120, 2, ResourceVec::new([1, 2048])));
+    let c = b.add_job(JobSpec::new("stage-b", 120, 2, ResourceVec::new([1, 2048])));
+    b.add_dep(a, c).expect("valid");
+    let wf = b.window(0, 100).build().expect("valid workflow");
+    let mut wl = SimWorkload::default();
+    wl.workflows.push(WorkflowSubmission::new(wf));
+    wl.adhoc.push(AdhocSubmission::new(
+        JobSpec::new("query", 8, 1, ResourceVec::new([1, 2048])).with_max_parallel(4),
+        40, // arrives *during* the outage
+    ));
+    wl
+}
+
+fn run(name: &str, s: &mut dyn Scheduler) {
+    let out = Engine::new(cluster(), workload(), 100_000)
+        .expect("valid")
+        .run(s)
+        .expect("completes");
+    let m = &out.metrics;
+    let phase_load = |range: std::ops::Range<usize>| -> f64 {
+        let slots: Vec<u64> = range
+            .filter_map(|t| m.slot_loads.get(t).map(|l| l.dim(0)))
+            .collect();
+        if slots.is_empty() {
+            0.0
+        } else {
+            slots.iter().sum::<u64>() as f64 / slots.len() as f64
+        }
+    };
+    println!(
+        "{name:<9} workflow missed: {:<5}  adhoc turnaround: {:>4.0} s           cores used before/during/after outage: {:>4.1} / {:>4.1} / {:>4.1}",
+        m.workflow_deadline_misses() > 0,
+        m.avg_adhoc_turnaround_seconds().unwrap_or(0.0),
+        phase_load(0..30),
+        phase_load(30..60),
+        phase_load(60..100),
+    );
+}
+
+fn main() {
+    println!("cluster: 16 cores, reduced to 4 during slots 30..60\n");
+    run("EDF", &mut EdfScheduler::new());
+    run(
+        "FlowTime",
+        &mut FlowTimeScheduler::new(cluster(), FlowTimeConfig::default()),
+    );
+    println!(
+        "\nthe engine enforces the reduced cap on everyone; FlowTime's planner sees\n         the window in its per-slot caps (C_t^r) and still meets the deadline."
+    );
+}

@@ -1,0 +1,72 @@
+//! The paper's Fig. 1 motivating example, narrated.
+//!
+//! One workflow `W1` of two chained jobs (each needs the whole cluster for
+//! 100 time units) with deadline 200, plus ad-hoc jobs `A1` (arrives at 0)
+//! and `A2` (arrives at 100), each half-cluster-wide for 100 time units.
+//!
+//! EDF runs `W1` first at full width: `A1` waits 100 units, average ad-hoc
+//! turnaround (200 + 100) / 2 = 150. FlowTime knows the deadline is loose,
+//! stretches each workflow job to half width across its decomposed window,
+//! and serves both ad-hoc jobs immediately: average (100 + 100) / 2 = 100.
+//!
+//! Run with: `cargo run --release --example motivating_example`
+
+use flowtime::{EdfScheduler, FlowTimeConfig, FlowTimeScheduler};
+use flowtime_dag::{JobSpec, ResourceVec, WorkflowBuilder, WorkflowId};
+use flowtime_sim::prelude::*;
+use flowtime_sim::Scheduler;
+
+/// One slot = 10 time units of the figure; cluster width = 4 task slots.
+fn workload() -> SimWorkload {
+    let mut b = WorkflowBuilder::new(WorkflowId::new(1), "W1");
+    let j1 = b.add_job(JobSpec::new("job1", 20, 1, ResourceVec::new([1, 1024])));
+    let j2 = b.add_job(JobSpec::new("job2", 20, 1, ResourceVec::new([1, 1024])));
+    b.add_dep(j1, j2).expect("valid dependency");
+    let w1 = b.window(0, 20).build().expect("valid workflow");
+
+    let mut wl = SimWorkload::default();
+    wl.workflows.push(WorkflowSubmission::new(w1));
+    let adhoc = JobSpec::new("a", 20, 1, ResourceVec::new([1, 1024])).with_max_parallel(2);
+    wl.adhoc.push(AdhocSubmission::new(adhoc.clone(), 0));
+    wl.adhoc.push(AdhocSubmission::new(adhoc, 10));
+    wl
+}
+
+fn report(name: &str, scheduler: &mut dyn Scheduler) {
+    let cluster = ClusterConfig::new(ResourceVec::new([4, 4096]), 10.0);
+    let outcome = Engine::new(cluster, workload(), 1_000)
+        .expect("valid workload")
+        .with_timeline()
+        .run(scheduler)
+        .expect("scheduler completes");
+    let m = &outcome.metrics;
+    println!("{name}:");
+    println!("  workflow deadline met: {}", m.workflow_deadline_misses() == 0);
+    for job in m.adhoc_jobs() {
+        println!(
+            "  ad-hoc {} arrived t={} finished t={} (turnaround {})",
+            job.id,
+            job.arrival_slot * 10,
+            job.completion_slot * 10,
+            job.turnaround_slots() * 10
+        );
+    }
+    println!(
+        "  average ad-hoc turnaround: {:.0} time units",
+        m.avg_adhoc_turnaround_seconds().unwrap_or(0.0)
+    );
+    if let Some(tl) = &outcome.timeline {
+        print!("{}", flowtime_sim::timeline::render_gantt(tl, Some(m), 40));
+    }
+    println!();
+}
+
+fn main() {
+    let cluster = ClusterConfig::new(ResourceVec::new([4, 4096]), 10.0);
+    report("EDF (Fig. 1a)", &mut EdfScheduler::new());
+    report(
+        "FlowTime (Fig. 1b)",
+        &mut FlowTimeScheduler::new(cluster, FlowTimeConfig { slack_slots: 0, ..Default::default() }),
+    );
+    println!("paper: EDF averages 150, FlowTime 100 — both meet the deadline.");
+}

@@ -1,0 +1,89 @@
+//! Closing the loop on recurring workflows: estimates come from history.
+//!
+//! The paper assumes recurring workflows arrive with runtime estimates;
+//! in production those estimates are *learned* from prior runs. This
+//! example simulates five consecutive days of a pipeline whose true work
+//! differs from the original template by up to +30%. Day 1 schedules on
+//! the stale template estimates; later days schedule on the p75 of the
+//! recorded history (`flowtime::RunHistory`), and the deadline deltas
+//! tighten accordingly.
+//!
+//! Run with: `cargo run --release --example recurring_learning`
+
+use flowtime::decompose::{decompose, DecomposeConfig};
+use flowtime::{FlowTimeConfig, FlowTimeScheduler, RunHistory};
+use flowtime_dag::prelude::*;
+use flowtime_sim::prelude::*;
+
+const DAY_SLOTS: u64 = 250;
+
+fn template(day: u64) -> Workflow {
+    let mut b = WorkflowBuilder::new(WorkflowId::new(day), "revenue-report");
+    let ingest = b.add_job(JobSpec::new("ingest", 80, 2, ResourceVec::new([1, 2048])));
+    let join = b.add_job(JobSpec::new("join", 60, 3, ResourceVec::new([1, 2048])));
+    let report = b.add_job(JobSpec::new("report", 20, 2, ResourceVec::new([1, 2048])));
+    b.add_dep(ingest, join).expect("valid");
+    b.add_dep(join, report).expect("valid");
+    b.window(day * DAY_SLOTS, day * DAY_SLOTS + 95).build().expect("valid workflow")
+}
+
+/// The true work each day: consistently heavier than the template thinks.
+fn actual_work(day: u64) -> Vec<u64> {
+    let bump = |w: u64, pct: u64| w + w * pct / 100;
+    vec![
+        bump(160, 20 + (day * 7) % 10), // ingest: ~+20-29%
+        bump(180, 25 + (day * 3) % 6),  // join:   ~+25-30%
+        bump(40, 10),                   // report: +10%
+    ]
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cluster = ClusterConfig::new(ResourceVec::new([6, 24_576]), 10.0);
+    let mut history = RunHistory::new(7);
+
+    println!("day | estimates source | est. error | worst job delta (s) | misses");
+    for day in 0..5u64 {
+        let base = template(day);
+        // Re-spec the submission from history once we have any.
+        let (wf, source) = match history.estimate_quantile("revenue-report", 0.75) {
+            Some(est) => (RunHistory::respec(&base, &est)?, "learned p75"),
+            None => (base.clone(), "stale template"),
+        };
+        let milestones = decompose(&wf, &DecomposeConfig::new(cluster.capacity()))?
+            .job_deadlines();
+        let actual = actual_work(day);
+        let est_err: f64 = wf
+            .jobs()
+            .iter()
+            .zip(&actual)
+            .map(|(j, &a)| ((j.work() as f64 - a as f64) / a as f64).abs())
+            .sum::<f64>()
+            / wf.len() as f64;
+        let mut workload = SimWorkload::default();
+        workload.workflows.push(
+            WorkflowSubmission::new(wf)
+                .with_actual_work(actual.clone())
+                .with_job_deadlines(milestones),
+        );
+        let mut scheduler = FlowTimeScheduler::new(cluster.clone(), FlowTimeConfig::default());
+        let metrics = Engine::new(cluster.clone(), workload, 1_000_000)?
+            .run(&mut scheduler)?
+            .metrics;
+        let worst = metrics
+            .job_deadline_deltas_seconds()
+            .into_iter()
+            .fold(f64::NEG_INFINITY, f64::max);
+        println!(
+            "{:>3} | {:<16} | {:>9.1}% | {:>19.0} | {}",
+            day + 1,
+            source,
+            est_err * 100.0,
+            worst,
+            metrics.job_deadline_misses()
+        );
+        // Learn from what actually happened.
+        history.record("revenue-report", &actual);
+    }
+    println!("\nafter one observed run, the estimate error collapses: the learned p75 absorbs\nthe systematic overrun that the stale template missed.");
+    Ok(())
+}

@@ -1,0 +1,2 @@
+//! Umbrella crate: hosts the workspace examples and integration tests.
+pub use flowtime as core;

@@ -1,0 +1,114 @@
+//! Property-based tests of the deadline decomposer over random workflows.
+
+use flowtime::decompose::{decompose, slack::slacked_windows, DecomposeConfig, Decomposer};
+use flowtime_dag::{JobSpec, ResourceVec, Workflow, WorkflowBuilder, WorkflowId};
+use flowtime_workload::shapes;
+use proptest::prelude::*;
+
+fn random_workflow() -> impl Strategy<Value = Workflow> {
+    (4usize..40, 2usize..6, 0usize..80, 0u64..1000, 1u64..50).prop_map(
+        |(nodes, layers, extra_edges, seed, scale)| {
+            let layers = layers.min(nodes);
+            let edges = shapes::layered_random(nodes, layers, nodes + extra_edges, seed);
+            let mut b = WorkflowBuilder::new(WorkflowId::new(seed), "prop");
+            for i in 0..nodes {
+                b.add_job(JobSpec::new(
+                    format!("j{i}"),
+                    1 + (seed + i as u64) % (4 * scale),
+                    1 + (seed + i as u64) % 5,
+                    ResourceVec::new([1, 1024]),
+                ));
+            }
+            for (from, to) in edges {
+                b.add_dep(from, to).expect("unique edges");
+            }
+            // Window: somewhere between tight and very loose.
+            let window = (nodes as u64) * (2 + seed % 40);
+            b.window(seed % 100, seed % 100 + window).build().expect("valid")
+        },
+    )
+}
+
+fn config() -> DecomposeConfig {
+    DecomposeConfig::new(ResourceVec::new([64, 262_144]))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Set windows exactly partition the workflow window, in order.
+    #[test]
+    fn windows_partition_workflow_window(wf in random_workflow()) {
+        let d = decompose(&wf, &config()).unwrap();
+        prop_assert_eq!(d.set_windows.first().unwrap().start, wf.submit_slot());
+        prop_assert_eq!(d.set_windows.last().unwrap().deadline, wf.deadline_slot());
+        for pair in d.set_windows.windows(2) {
+            prop_assert_eq!(pair[0].deadline, pair[1].start);
+        }
+        for w in &d.windows {
+            prop_assert!(!w.is_empty());
+            prop_assert!(w.start >= wf.submit_slot());
+            prop_assert!(w.deadline <= wf.deadline_slot());
+        }
+    }
+
+    /// Milestones are topologically monotone: a job's deadline never
+    /// precedes a dependency's deadline.
+    #[test]
+    fn milestones_respect_dependencies(wf in random_workflow()) {
+        let d = decompose(&wf, &config()).unwrap();
+        for (from, to) in wf.dag().edges() {
+            prop_assert!(
+                d.windows[from].deadline <= d.windows[to].deadline,
+                "edge {}->{} deadlines {} > {}",
+                from, to, d.windows[from].deadline, d.windows[to].deadline
+            );
+            prop_assert!(d.windows[from].deadline <= d.windows[to].start + d.set_windows.len() as u64);
+        }
+    }
+
+    /// Jobs in the same level set share a window.
+    #[test]
+    fn level_sets_share_windows(wf in random_workflow()) {
+        let d = decompose(&wf, &config()).unwrap();
+        for (set, w) in d.sets.iter().zip(&d.set_windows) {
+            for &j in set {
+                prop_assert_eq!(d.windows[j], *w);
+            }
+        }
+    }
+
+    /// Both strategies produce valid partitions; the demand strategy gives
+    /// high-demand sets at least as much room as the runtime split when it
+    /// applies cleanly.
+    #[test]
+    fn critical_path_strategy_also_partitions(wf in random_workflow()) {
+        let d = decompose(&wf, &config().with_decomposer(Decomposer::CriticalPath)).unwrap();
+        prop_assert_eq!(d.method_used, Decomposer::CriticalPath);
+        let total: u64 = d.set_windows.iter().map(|w| w.len()).sum();
+        prop_assert_eq!(total, wf.window_slots());
+    }
+
+    /// Slack shrinks deadlines monotonically, keeps starts, never empties.
+    #[test]
+    fn slack_is_monotone_and_safe(wf in random_workflow(), s1 in 0u64..10, s2 in 0u64..10) {
+        let d = decompose(&wf, &config()).unwrap();
+        let (lo, hi) = (s1.min(s2), s1.max(s2));
+        let wlo = slacked_windows(&d, lo);
+        let whi = slacked_windows(&d, hi);
+        for ((orig, a), b) in d.windows.iter().zip(&wlo).zip(&whi) {
+            prop_assert_eq!(a.start, orig.start);
+            prop_assert!(b.deadline <= a.deadline);
+            prop_assert!(a.deadline <= orig.deadline);
+            prop_assert!(!b.is_empty());
+        }
+    }
+
+    /// Decomposition is a pure function of its inputs.
+    #[test]
+    fn deterministic(wf in random_workflow()) {
+        let a = decompose(&wf, &config()).unwrap();
+        let b = decompose(&wf, &config()).unwrap();
+        prop_assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,125 @@
+//! End-to-end runs of all six schedulers on one shared workload, checking
+//! the paper's qualitative claims hold and the engine's invariants are
+//! never violated.
+
+use flowtime::decompose::{decompose, DecomposeConfig};
+use flowtime::prelude::*;
+use flowtime_dag::{ResourceVec, WorkflowId};
+use flowtime_sim::prelude::*;
+use flowtime_sim::{Metrics, Scheduler};
+use flowtime_workload::{AdhocStream, ScientificShape};
+
+fn cluster() -> ClusterConfig {
+    ClusterConfig::new(ResourceVec::new([48, 196_608]), 10.0)
+}
+
+/// Two overlapping scientific workflows with loose-but-real deadlines plus
+/// a steady ad-hoc stream — a scaled-down Fig. 4.
+fn workload() -> SimWorkload {
+    let cluster = cluster();
+    let mut wl = SimWorkload::default();
+    for (i, shape) in [ScientificShape::Montage, ScientificShape::Sipht].iter().enumerate() {
+        let submit = i as u64 * 40;
+        let probe = shape
+            .workflow(WorkflowId::new(i as u64), 10, 4, 8, submit, submit + 1_000_000, 77 + i as u64)
+            .unwrap();
+        let demand_slots = probe
+            .total_demand()
+            .max_normalized_by(&cluster.capacity())
+            .ceil() as u64;
+        let window = (probe.min_makespan_slots().max(demand_slots)) * 5;
+        let wf = probe.recur_at(WorkflowId::new(i as u64), submit);
+        let wf = {
+            let mut b = flowtime_dag::WorkflowBuilder::new(wf.id(), wf.name().to_string());
+            for j in wf.jobs() {
+                b.add_job(j.clone());
+            }
+            for (a, b2) in wf.dag().edges() {
+                b.add_dep(a, b2).unwrap();
+            }
+            b.window(submit, submit + window).build().unwrap()
+        };
+        let milestones = decompose(&wf, &DecomposeConfig::new(cluster.capacity()))
+            .unwrap()
+            .job_deadlines();
+        wl.workflows
+            .push(WorkflowSubmission::new(wf).with_job_deadlines(milestones));
+    }
+    wl.adhoc = AdhocStream { rate_per_slot: 0.2, ..Default::default() }.generate(150, 5);
+    wl
+}
+
+fn run(scheduler: &mut dyn Scheduler) -> Metrics {
+    Engine::new(cluster(), workload(), 100_000)
+        .unwrap()
+        .run(scheduler)
+        .unwrap()
+        .metrics
+}
+
+fn all_metrics() -> Vec<(&'static str, Metrics)> {
+    let c = cluster();
+    vec![
+        ("FlowTime", run(&mut FlowTimeScheduler::new(c.clone(), FlowTimeConfig::default()))),
+        ("EDF", run(&mut EdfScheduler::new())),
+        ("FIFO", run(&mut FifoScheduler::new())),
+        ("Fair", run(&mut FairScheduler::new())),
+        ("CORA", run(&mut CoraScheduler::new(c.clone()))),
+        ("Morpheus", run(&mut MorpheusScheduler::new(c))),
+    ]
+}
+
+#[test]
+fn every_scheduler_completes_everything_within_capacity() {
+    let cap = cluster().capacity();
+    for (name, m) in all_metrics() {
+        assert!(m.completed_jobs() > 20, "{name} completed {}", m.completed_jobs());
+        for (slot, load) in m.slot_loads.iter().enumerate() {
+            assert!(load.fits_within(&cap), "{name} violated capacity at slot {slot}");
+        }
+        // Every ad-hoc job eventually finished.
+        assert!(m.adhoc_jobs().count() > 0, "{name} lost the ad-hoc jobs");
+    }
+}
+
+#[test]
+fn flowtime_meets_deadlines_at_least_as_well_as_deadline_oblivious_baselines() {
+    let results = all_metrics();
+    let misses = |name: &str| {
+        results
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, m)| m.job_deadline_misses())
+            .unwrap()
+    };
+    assert!(misses("FlowTime") <= misses("FIFO"));
+    assert!(misses("FlowTime") <= misses("Fair"));
+    assert!(misses("FlowTime") <= misses("CORA"));
+    assert_eq!(misses("FlowTime"), 0, "loose deadlines must all be met");
+}
+
+#[test]
+fn flowtime_serves_adhoc_faster_than_edf() {
+    let results = all_metrics();
+    let tat = |name: &str| {
+        results
+            .iter()
+            .find(|(n, _)| *n == name)
+            .and_then(|(_, m)| m.avg_adhoc_turnaround_slots())
+            .unwrap()
+    };
+    assert!(
+        tat("FlowTime") < tat("EDF"),
+        "FlowTime {} vs EDF {}",
+        tat("FlowTime"),
+        tat("EDF")
+    );
+}
+
+#[test]
+fn deterministic_across_repeated_runs() {
+    let c = cluster();
+    let a = run(&mut FlowTimeScheduler::new(c.clone(), FlowTimeConfig::default()));
+    let b = run(&mut FlowTimeScheduler::new(c, FlowTimeConfig::default()));
+    assert_eq!(a, b, "identical inputs must produce identical simulations");
+}

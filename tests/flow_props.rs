@@ -1,0 +1,117 @@
+//! Property-based tests of the max-flow substrate: max-flow/min-cut
+//! duality, conservation, and leveling optimality bounds.
+
+use flowtime_flow::leveling::{LevelingInstance, LevelingJob};
+use flowtime_flow::{Dinic, FlowNetwork};
+use proptest::prelude::*;
+
+/// Random small directed network with source 0 and sink n-1.
+fn network() -> impl Strategy<Value = (usize, Vec<(usize, usize, u64)>)> {
+    (3usize..9).prop_flat_map(|n| {
+        let edge = (0..n, 0..n, 1u64..30).prop_filter("no self-loop", |(a, b, _)| a != b);
+        proptest::collection::vec(edge, 1..25).prop_map(move |edges| (n, edges))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Max-flow equals the capacity of the discovered minimum cut.
+    #[test]
+    fn max_flow_equals_min_cut((n, edges) in network()) {
+        let mut net = FlowNetwork::new(n);
+        let handles: Vec<_> = edges
+            .iter()
+            .map(|&(a, b, c)| ((a, b, c), net.add_edge(a, b, c).unwrap()))
+            .collect();
+        let mut dinic = Dinic::new(&mut net);
+        let flow = dinic.max_flow(0, n - 1);
+        let source_side = dinic.min_cut_source_side(0);
+        prop_assert!(source_side[0]);
+        prop_assert!(!source_side[n - 1]);
+        let cut_capacity: u64 = handles
+            .iter()
+            .filter(|&&((a, b, _), _)| source_side[a] && !source_side[b])
+            .map(|&((_, _, c), _)| c)
+            .sum();
+        prop_assert_eq!(flow, cut_capacity);
+    }
+
+    /// Flow conservation holds at every internal node, and per-edge flow
+    /// respects capacity.
+    #[test]
+    fn conservation_and_capacity((n, edges) in network()) {
+        let mut net = FlowNetwork::new(n);
+        let handles: Vec<_> = edges
+            .iter()
+            .map(|&(a, b, c)| ((a, b, c), net.add_edge(a, b, c).unwrap()))
+            .collect();
+        let flow = Dinic::new(&mut net).max_flow(0, n - 1);
+        let mut balance = vec![0i64; n];
+        for ((a, b, c), e) in handles {
+            let f = net.flow(e);
+            prop_assert!(f <= c, "edge over capacity");
+            balance[a] -= f as i64;
+            balance[b] += f as i64;
+        }
+        prop_assert_eq!(balance[0], -(flow as i64));
+        prop_assert_eq!(balance[n - 1], flow as i64);
+        for (v, &b) in balance.iter().enumerate().take(n - 1).skip(1) {
+            prop_assert_eq!(b, 0, "conservation at {}", v);
+        }
+    }
+}
+
+/// Random feasible leveling instances.
+fn leveling() -> impl Strategy<Value = LevelingInstance> {
+    (3usize..10, 2u64..12).prop_flat_map(|(h, cap)| {
+        let job = (0..h, 1usize..h, 1u64..40).prop_map(move |(s, len, d)| {
+            let start = s.min(h - 1);
+            let end = (start + len).min(h).max(start + 1);
+            let demand = d.min(cap * (end - start) as u64);
+            LevelingJob { start, end, demand, per_slot_cap: None }
+        });
+        proptest::collection::vec(job, 1..5).prop_map(move |jobs| LevelingInstance {
+            slot_caps: vec![cap; h],
+            jobs,
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The lexmin peak is optimal: no feasible allocation has a lower max
+    /// load, verified against the average-load lower bound and the
+    /// single-job density lower bound.
+    #[test]
+    fn lexmin_peak_respects_lower_bounds(inst in leveling()) {
+        let cap = inst.slot_caps[0];
+        let Ok(sol) = inst.solve_lexmin() else { return Ok(()); };
+        // Demands are all satisfied within windows and caps.
+        for (job, alloc) in inst.jobs.iter().zip(&sol.allocation) {
+            let total: u64 = alloc.iter().sum();
+            prop_assert_eq!(total, job.demand);
+        }
+        // Lower bound 1: densest single job (demand / window / cap).
+        for job in &inst.jobs {
+            let density = job.demand as f64 / ((job.end - job.start) as f64 * cap as f64);
+            prop_assert!(sol.peak_ratio >= density - 1e-9);
+        }
+        // Upper bound sanity: a peak ratio is at most 1.
+        prop_assert!(sol.peak_ratio <= 1.0 + 1e-9);
+        // Minmax round can never beat lexmin's first level.
+        let minmax = inst.solve_minmax().unwrap();
+        prop_assert!((minmax.peak_ratio - sol.peak_ratio).abs() < 1e-6);
+    }
+
+    /// Leveling solutions never violate slot capacities.
+    #[test]
+    fn leveling_respects_capacity(inst in leveling()) {
+        if let Ok(sol) = inst.solve_lexmin() {
+            for (t, &load) in sol.slot_loads.iter().enumerate() {
+                prop_assert!(load <= inst.slot_caps[t]);
+            }
+        }
+    }
+}

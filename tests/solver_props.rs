@@ -1,0 +1,111 @@
+//! Property-based cross-validation of the two exact solver backends and
+//! the simplex itself.
+
+use flowtime::lp_sched::{backend::plan_peak, rounding, LevelingProblem, PlanJob, SolverBackend};
+use flowtime_dag::{JobId, ResourceVec};
+use flowtime_lp::{Problem, Relation};
+use proptest::prelude::*;
+
+/// A random feasible leveling instance with uniform task shape; jobs may
+/// carry per-slot parallelism caps.
+fn leveling_instance() -> impl Strategy<Value = LevelingProblem> {
+    let horizon = 4usize..12;
+    horizon.prop_flat_map(|h| {
+        let job = (0..h - 1usize, 1usize..=6, 1u64..=30, proptest::option::of(2u64..=8))
+            .prop_map(move |(start, len, demand, slot_cap)| {
+                let end = (start + len).min(h);
+                (start.min(end - 1), end, demand, slot_cap)
+            });
+        proptest::collection::vec(job, 1..6).prop_map(move |jobs| LevelingProblem {
+            slot_caps: vec![ResourceVec::new([10, 10_240]); h],
+            jobs: jobs
+                .into_iter()
+                .enumerate()
+                .map(|(i, (start, end, demand, slot_cap))| {
+                    // Cap demand so the job alone always fits its window.
+                    let cap = slot_cap.unwrap_or(10).min(10);
+                    let demand = demand.min(cap * (end - start) as u64);
+                    PlanJob {
+                        id: JobId::new(i as u64),
+                        window: (start, end),
+                        demand: demand.max(1).min(cap * (end - start) as u64).max(1),
+                        per_task: ResourceVec::new([1, 1024]),
+                        per_slot_cap: slot_cap,
+                    }
+                })
+                .collect(),
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The parametric-flow and simplex backends find the same optimal peak,
+    /// and both plans are feasible (Lemma 2 equivalence).
+    #[test]
+    fn backends_agree_on_min_max_peak(p in leveling_instance()) {
+        let total: u64 = p.jobs.iter().map(|j| j.demand).sum();
+        let capacity_total = 10 * p.horizon() as u64;
+        prop_assume!(total <= capacity_total);
+        let flow = p.solve(SolverBackend::ParametricFlow);
+        let lp = p.solve(SolverBackend::Simplex { lex_rounds: 1 });
+        match (flow, lp) {
+            (Ok(f), Ok(l)) => {
+                prop_assert!(rounding::is_feasible(&p, &f), "flow plan infeasible");
+                prop_assert!(rounding::is_feasible(&p, &l), "lp plan infeasible");
+                let pf = plan_peak(&p, &f);
+                let pl = plan_peak(&p, &l);
+                // Integral peaks on a 10-unit cluster are multiples of 0.1.
+                prop_assert!((pf - pl).abs() < 1e-6, "flow {pf} vs lp {pl}");
+            }
+            (Err(_), Err(_)) => {} // both agree it is infeasible
+            (f, l) => prop_assert!(false, "backends disagree on feasibility: {f:?} vs {l:?}"),
+        }
+    }
+
+    /// Simplex solutions are feasible and never beaten by random feasible
+    /// points (one-sided optimality check).
+    #[test]
+    fn simplex_dominates_random_feasible_points(
+        c0 in -5.0f64..5.0, c1 in -5.0f64..5.0,
+        b0 in 1.0f64..20.0, b1 in 1.0f64..20.0,
+        a00 in 0.1f64..3.0, a01 in 0.1f64..3.0,
+        a10 in 0.1f64..3.0, a11 in 0.1f64..3.0,
+        px in 0.0f64..1.0, py in 0.0f64..1.0,
+    ) {
+        let mut p = Problem::new();
+        let x = p.add_var(c0, 0.0, 10.0).unwrap();
+        let y = p.add_var(c1, 0.0, 10.0).unwrap();
+        p.add_constraint(&[(x, a00), (y, a01)], Relation::Le, b0).unwrap();
+        p.add_constraint(&[(x, a10), (y, a11)], Relation::Le, b1).unwrap();
+        let sol = p.solve().unwrap(); // origin is feasible, box-bounded: optimal exists
+        prop_assert!(p.is_feasible(&sol.x, 1e-6));
+        // A random candidate point, scaled into the feasible region.
+        let tx = (b0 / a00).min(b1 / a10).min(10.0) * px;
+        let ty = ((b0 - a00 * tx).max(0.0) / a01)
+            .min((b1 - a10 * tx).max(0.0) / a11)
+            .min(10.0)
+            * py;
+        prop_assert!(p.is_feasible(&[tx, ty], 1e-6));
+        prop_assert!(
+            sol.objective <= p.objective_at(&[tx, ty]) + 1e-6,
+            "candidate beat the 'optimum': {} < {}",
+            p.objective_at(&[tx, ty]),
+            sol.objective
+        );
+    }
+
+    /// Rounding preserves totals and feasibility for fractional inputs.
+    #[test]
+    fn rounding_preserves_demands(p in leveling_instance()) {
+        let total: u64 = p.jobs.iter().map(|j| j.demand).sum();
+        prop_assume!(total <= 10 * p.horizon() as u64);
+        if let Ok(plan) = p.solve(SolverBackend::Simplex { lex_rounds: 2 }) {
+            for job in &p.jobs {
+                let got: u64 = plan.tasks[&job.id].iter().sum();
+                prop_assert_eq!(got, job.demand, "job {} total", job.id);
+            }
+        }
+    }
+}

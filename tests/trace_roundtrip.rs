@@ -1,0 +1,60 @@
+//! Trace persistence and replay across crates.
+
+use flowtime::{FlowTimeConfig, FlowTimeScheduler};
+use flowtime_dag::ResourceVec;
+use flowtime_sim::{ClusterConfig, Engine};
+use flowtime_workload::trace::{ProductionTraceConfig, Trace};
+
+fn small_trace(seed: u64) -> Trace {
+    let cluster = ClusterConfig::new(ResourceVec::new([64, 262_144]), 10.0);
+    Trace::synthesize_production(
+        cluster,
+        &ProductionTraceConfig {
+            workflows: 3,
+            jobs_per_workflow: 8,
+            adhoc_horizon: 150,
+            ..Default::default()
+        },
+        seed,
+    )
+}
+
+#[test]
+fn trace_survives_serialization_and_replays_identically() {
+    let trace = small_trace(11);
+    let mut buf = Vec::new();
+    trace.write_jsonl(&mut buf).unwrap();
+    let reloaded = Trace::read_jsonl(std::io::BufReader::new(&buf[..])).unwrap();
+    assert_eq!(trace, reloaded);
+
+    let run = |t: &Trace| {
+        let mut s = FlowTimeScheduler::new(t.cluster.clone(), FlowTimeConfig::default());
+        Engine::new(t.cluster.clone(), t.workload.clone(), 1_000_000)
+            .unwrap()
+            .run(&mut s)
+            .unwrap()
+            .metrics
+    };
+    assert_eq!(run(&trace), run(&reloaded), "replay must be bit-identical");
+}
+
+#[test]
+fn production_trace_deadlines_are_loose_and_met_by_flowtime() {
+    let trace = small_trace(23);
+    for sub in &trace.workload.workflows {
+        let wf = &sub.workflow;
+        assert!(wf.window_slots() >= wf.min_makespan_slots() * 5);
+    }
+    let mut s = FlowTimeScheduler::new(trace.cluster.clone(), FlowTimeConfig::default());
+    let metrics = Engine::new(trace.cluster.clone(), trace.workload.clone(), 1_000_000)
+        .unwrap()
+        .run(&mut s)
+        .unwrap()
+        .metrics;
+    assert_eq!(metrics.workflow_deadline_misses(), 0);
+}
+
+#[test]
+fn different_seeds_differ() {
+    assert_ne!(small_trace(1), small_trace(2));
+}
