@@ -72,11 +72,12 @@ fn bench_lex_depth(c: &mut Criterion) {
     let mut group = c.benchmark_group("lexmin_depth");
     group.sample_size(10);
     for rounds in [1usize, 2, 4] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(rounds),
-            &problem,
-            |b, p| b.iter(|| p.solve(SolverBackend::Simplex { lex_rounds: rounds }).expect("ok")),
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(rounds), &problem, |b, p| {
+            b.iter(|| {
+                p.solve(SolverBackend::Simplex { lex_rounds: rounds })
+                    .expect("ok")
+            })
+        });
     }
     group.finish();
 }

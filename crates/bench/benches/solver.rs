@@ -51,7 +51,10 @@ fn bench_solver(c: &mut Criterion) {
             b.iter(|| p.solve(SolverBackend::ParametricFlow).expect("feasible"))
         });
         group.bench_with_input(BenchmarkId::new("simplex", jobs), &problem, |b, p| {
-            b.iter(|| p.solve(SolverBackend::Simplex { lex_rounds: 1 }).expect("feasible"))
+            b.iter(|| {
+                p.solve(SolverBackend::Simplex { lex_rounds: 1 })
+                    .expect("feasible")
+            })
         });
     }
     group.finish();

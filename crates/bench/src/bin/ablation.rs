@@ -48,36 +48,58 @@ fn main() {
         .unwrap_or(20180702);
 
     // --- 1. decomposer ablation (exact estimates) ------------------------
-    let exp = WorkflowExperiment { seed, ..Default::default() };
+    let exp = WorkflowExperiment {
+        seed,
+        ..Default::default()
+    };
     let rows = vec![
         run_config(
             "demand-split",
-            FlowTimeConfig { decomposer: Decomposer::ResourceDemand, ..Default::default() },
+            FlowTimeConfig {
+                decomposer: Decomposer::ResourceDemand,
+                ..Default::default()
+            },
             &exp,
         ),
         run_config(
             "critical-path",
-            FlowTimeConfig { decomposer: Decomposer::CriticalPath, ..Default::default() },
+            FlowTimeConfig {
+                decomposer: Decomposer::CriticalPath,
+                ..Default::default()
+            },
             &exp,
         ),
     ];
-    print!("{}", report::render_table("Ablation 1 — deadline decomposer", &rows));
+    print!(
+        "{}",
+        report::render_table("Ablation 1 — deadline decomposer", &rows)
+    );
     report::persist("ablation_decomposer", &rows);
 
     // --- 2. slack sweep under 20% under-estimation -----------------------
-    let noisy = WorkflowExperiment { overrun: 0.2, seed, ..Default::default() };
+    let noisy = WorkflowExperiment {
+        overrun: 0.2,
+        seed,
+        ..Default::default()
+    };
     let rows: Vec<_> = [0u64, 2, 6, 12]
         .into_iter()
         .map(|slack| {
             run_config(
                 &format!("slack={slack}"),
-                FlowTimeConfig { slack_slots: slack, ..Default::default() },
+                FlowTimeConfig {
+                    slack_slots: slack,
+                    ..Default::default()
+                },
                 &noisy,
             )
         })
         .collect();
     println!();
-    print!("{}", report::render_table("Ablation 2 — slack magnitude (20% overrun)", &rows));
+    print!(
+        "{}",
+        report::render_table("Ablation 2 — slack magnitude (20% overrun)", &rows)
+    );
     report::persist("ablation_slack", &rows);
 
     // --- 3. solver backend ----------------------------------------------
@@ -94,7 +116,10 @@ fn main() {
     let rows = vec![
         run_config(
             "flow backend",
-            FlowTimeConfig { backend: SolverBackend::ParametricFlow, ..Default::default() },
+            FlowTimeConfig {
+                backend: SolverBackend::ParametricFlow,
+                ..Default::default()
+            },
             &small,
         ),
         run_config(
@@ -107,6 +132,9 @@ fn main() {
         ),
     ];
     println!();
-    print!("{}", report::render_table("Ablation 3 — solver backend", &rows));
+    print!(
+        "{}",
+        report::render_table("Ablation 3 — solver backend", &rows)
+    );
     report::persist("ablation_backend", &rows);
 }

@@ -34,7 +34,9 @@ fn run(name: &str, scheduler: &mut dyn Scheduler) -> (f64, usize) {
         .run(scheduler)
         .unwrap_or_else(|e| panic!("{name}: {e}"));
     (
-        out.metrics.avg_adhoc_turnaround_seconds().expect("two ad-hoc jobs"),
+        out.metrics
+            .avg_adhoc_turnaround_seconds()
+            .expect("two ad-hoc jobs"),
         out.metrics.workflow_deadline_misses(),
     )
 }
@@ -46,11 +48,18 @@ fn main() {
     let (edf_tat, edf_miss) = run("EDF", &mut edf);
     let mut ft = FlowTimeScheduler::new(
         cluster,
-        FlowTimeConfig { slack_slots: 0, ..Default::default() },
+        FlowTimeConfig {
+            slack_slots: 0,
+            ..Default::default()
+        },
     );
     let (ft_tat, ft_miss) = run("FlowTime", &mut ft);
-    println!("  EDF     : avg ad-hoc turnaround {edf_tat:6.1} time units, workflow misses {edf_miss}");
-    println!("  FlowTime: avg ad-hoc turnaround {ft_tat:6.1} time units, workflow misses {ft_miss}");
+    println!(
+        "  EDF     : avg ad-hoc turnaround {edf_tat:6.1} time units, workflow misses {edf_miss}"
+    );
+    println!(
+        "  FlowTime: avg ad-hoc turnaround {ft_tat:6.1} time units, workflow misses {ft_miss}"
+    );
     println!("\npaper: EDF 150, our approach 100 (both meeting the deadline)");
     assert_eq!(edf_miss, 0);
     assert_eq!(ft_miss, 0);

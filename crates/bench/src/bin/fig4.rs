@@ -29,7 +29,10 @@ fn main() {
             ..Default::default()
         }
     } else {
-        WorkflowExperiment { seed, ..Default::default() }
+        WorkflowExperiment {
+            seed,
+            ..Default::default()
+        }
     };
 
     println!(
@@ -51,6 +54,9 @@ fn main() {
         rows.push(row);
     }
     println!();
-    print!("{}", report::render_table("Fig. 4 — deadlines and ad-hoc turnaround", &rows));
+    print!(
+        "{}",
+        report::render_table("Fig. 4 — deadlines and ad-hoc turnaround", &rows)
+    );
     report::persist("fig4", &rows);
 }

@@ -25,7 +25,11 @@ fn main() {
         .unwrap_or(0.2);
 
     let cluster = testbed_cluster();
-    let exp = WorkflowExperiment { overrun, seed, ..Default::default() };
+    let exp = WorkflowExperiment {
+        overrun,
+        seed,
+        ..Default::default()
+    };
     println!(
         "fig5: slack ablation with up to {:.0}% runtime under-estimation, seed {}",
         overrun * 100.0,
@@ -37,6 +41,9 @@ fn main() {
         rows.push(summarize(algo, &metrics));
     }
     println!();
-    print!("{}", report::render_table("Fig. 5 — effect of deadline slack", &rows));
+    print!(
+        "{}",
+        report::render_table("Fig. 5 — effect of deadline slack", &rows)
+    );
     report::persist("fig5", &rows);
 }

@@ -72,10 +72,17 @@ fn main() {
             }
             let mean_us = t0.elapsed().as_secs_f64() * 1e6 / runs as f64;
             println!("{nodes:>6} {edges:>7} {mean_us:>12.1}");
-            points.push(Point { nodes, edges, mean_us });
+            points.push(Point {
+                nodes,
+                edges,
+                mean_us,
+            });
         }
     }
     let worst = points.iter().map(|p| p.mean_us).fold(0.0, f64::max);
-    println!("\nworst case: {:.2} ms (paper: <= 3 s at 200 nodes / 6000 edges)", worst / 1e3);
+    println!(
+        "\nworst case: {:.2} ms (paper: <= 3 s at 200 nodes / 6000 edges)",
+        worst / 1e3
+    );
     flowtime_bench::report::persist("fig6", &points);
 }

@@ -74,9 +74,7 @@ fn main() {
     let max_jobs = get("--max-jobs", 100);
     let reps = get("--reps", 5);
 
-    println!(
-        "fig7: solver latency, {SLOTS} slots x 10 s, cluster 500 cores / 1 TB, {reps} reps"
-    );
+    println!("fig7: solver latency, {SLOTS} slots x 10 s, cluster 500 cores / 1 TB, {reps} reps");
     println!(
         "{:>6} {:>18} {:>18}",
         "jobs", "simplex LP (ms)", "param. flow (ms)"
@@ -98,8 +96,16 @@ fn main() {
         let lp_ms = measure(&problem, SolverBackend::Simplex { lex_rounds: 1 }, reps);
         let flow_ms = measure(&problem, SolverBackend::ParametricFlow, reps);
         println!("{jobs:>6} {lp_ms:>18.2} {flow_ms:>18.2}");
-        points.push(Point { jobs, backend: "simplex", mean_ms: lp_ms });
-        points.push(Point { jobs, backend: "flow", mean_ms: flow_ms });
+        points.push(Point {
+            jobs,
+            backend: "simplex",
+            mean_ms: lp_ms,
+        });
+        points.push(Point {
+            jobs,
+            backend: "flow",
+            mean_ms: flow_ms,
+        });
         jobs += 10;
     }
     flowtime_bench::report::persist("fig7", &points);

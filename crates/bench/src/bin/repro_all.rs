@@ -29,12 +29,22 @@ fn main() {
                 vec![]
             },
         ),
-        ("trace_sim", if quick { vec!["--workflows", "4"] } else { vec![] }),
+        (
+            "trace_sim",
+            if quick {
+                vec!["--workflows", "4"]
+            } else {
+                vec![]
+            },
+        ),
         ("ablation", vec![]),
         ("robustness", vec![]),
     ];
     for (bin, args) in runs {
-        println!("\n================ {bin} {} ================\n", args.join(" "));
+        println!(
+            "\n================ {bin} {} ================\n",
+            args.join(" ")
+        );
         let status = Command::new(dir.join(bin))
             .args(&args)
             .status()

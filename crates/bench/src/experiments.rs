@@ -6,7 +6,9 @@ use flowtime::{
     MorpheusScheduler,
 };
 use flowtime_dag::{ResourceVec, WorkflowId};
-use flowtime_sim::{ClusterConfig, Engine, Metrics, Scheduler, SimWorkload};
+use flowtime_sim::{
+    ClusterConfig, Engine, FaultConfig, FaultPlan, Metrics, Scheduler, SimWorkload,
+};
 use flowtime_workload::{AdhocStream, ScientificShape};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -76,7 +78,10 @@ impl Algo {
             )),
             Algo::FlowTimeNoDs => Box::new(FlowTimeScheduler::new(
                 cluster.clone(),
-                FlowTimeConfig { slack_slots: 0, ..Default::default() },
+                FlowTimeConfig {
+                    slack_slots: 0,
+                    ..Default::default()
+                },
             )),
             Algo::Cora => Box::new(CoraScheduler::new(cluster.clone())),
             Algo::Edf => Box::new(EdfScheduler::new()),
@@ -167,7 +172,9 @@ impl WorkflowExperiment {
                 for (from, to) in probe.dag().edges() {
                     b.add_dep(from, to).expect("valid edges");
                 }
-                b.window(submit, submit + window).build().expect("valid window")
+                b.window(submit, submit + window)
+                    .build()
+                    .expect("valid window")
             };
             // Scheduler-independent milestones from the paper's (unslacked)
             // demand decomposition: every algorithm is judged against the
@@ -201,6 +208,28 @@ impl WorkflowExperiment {
         workload.adhoc = stream.generate(self.adhoc_horizon, self.seed.wrapping_add(17));
         workload
     }
+}
+
+/// Builds an experiment's workload and then rewrites it (and the cluster)
+/// through a deterministic [`FaultPlan`]. Every algorithm compared on the
+/// returned pair sees the same misestimated runtimes, degraded capacity
+/// windows, and injected bursts.
+pub fn faulted_instance(
+    exp: &WorkflowExperiment,
+    cluster: &ClusterConfig,
+    config: FaultConfig,
+) -> (SimWorkload, ClusterConfig) {
+    let mut workload = exp.build(cluster);
+    let mut cluster = cluster.clone();
+    let horizon = workload
+        .workflows
+        .iter()
+        .map(|w| w.workflow.deadline_slot())
+        .max()
+        .unwrap_or(0)
+        .max(exp.adhoc_horizon);
+    FaultPlan::new(config).apply(&mut workload, &mut cluster, horizon);
+    (workload, cluster)
 }
 
 /// Runs `algo` on a workload, returning its metrics.
@@ -266,7 +295,10 @@ mod tests {
     #[test]
     fn workload_builds_with_milestones() {
         let cluster = testbed_cluster();
-        let exp = WorkflowExperiment { adhoc_horizon: 100, ..Default::default() };
+        let exp = WorkflowExperiment {
+            adhoc_horizon: 100,
+            ..Default::default()
+        };
         let wl = exp.build(&cluster);
         assert_eq!(wl.workflows.len(), 5);
         for sub in &wl.workflows {
@@ -275,6 +307,25 @@ mod tests {
             assert!(sub.actual_work.is_some());
         }
         assert!(!wl.adhoc.is_empty());
+    }
+
+    #[test]
+    fn faulted_instance_is_deterministic_and_diverges() {
+        let cluster = testbed_cluster();
+        let exp = WorkflowExperiment {
+            workflows: 2,
+            jobs_per_workflow: 6,
+            adhoc_horizon: 60,
+            ..Default::default()
+        };
+        let (wl_a, cl_a) = faulted_instance(&exp, &cluster, FaultConfig::mixed(9));
+        let (wl_b, cl_b) = faulted_instance(&exp, &cluster, FaultConfig::mixed(9));
+        assert_eq!(wl_a, wl_b);
+        assert_eq!(cl_a, cl_b);
+        let (wl_clean, cl_clean) = faulted_instance(&exp, &cluster, FaultConfig::none(9));
+        assert_eq!(wl_clean, exp.build(&cluster));
+        assert_eq!(cl_clean, cluster);
+        assert_ne!(wl_a, wl_clean);
     }
 
     #[test]

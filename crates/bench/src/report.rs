@@ -12,7 +12,14 @@ pub fn render_table(title: &str, rows: &[SummaryRow]) -> String {
     let _ = writeln!(
         out,
         "{:<16} {:>6} {:>8} {:>9} {:>12} {:>12} {:>14} {:>8}",
-        "algorithm", "jobs", "misses", "wf-miss", "max Δ (s)", "mean Δ (s)", "adhoc tat (s)", "util"
+        "algorithm",
+        "jobs",
+        "misses",
+        "wf-miss",
+        "max Δ (s)",
+        "mean Δ (s)",
+        "adhoc tat (s)",
+        "util"
     );
     for r in rows {
         let _ = writeln!(

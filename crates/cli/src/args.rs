@@ -19,10 +19,7 @@ impl Args {
         while i < argv.len() {
             let a = &argv[i];
             if let Some(key) = a.strip_prefix("--") {
-                let value = argv
-                    .get(i + 1)
-                    .filter(|v| !v.starts_with("--"))
-                    .cloned();
+                let value = argv.get(i + 1).filter(|v| !v.starts_with("--")).cloned();
                 if value.is_some() {
                     i += 1;
                 }
@@ -42,7 +39,9 @@ impl Args {
 
     /// Parsed numeric value of a flag, or `default`.
     pub fn get_or<T: std::str::FromStr>(&self, key: &str, default: T) -> T {
-        self.get(key).and_then(|v| v.parse().ok()).unwrap_or(default)
+        self.get(key)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
     }
 
     /// True if the flag is present (with or without a value).
@@ -61,7 +60,9 @@ mod tests {
 
     #[test]
     fn parses_flags_and_positionals() {
-        let a = Args::parse(&argv(&["simulate", "--trace", "t.jsonl", "--quiet", "--n", "5"]));
+        let a = Args::parse(&argv(&[
+            "simulate", "--trace", "t.jsonl", "--quiet", "--n", "5",
+        ]));
         assert_eq!(a.positional, vec!["simulate"]);
         assert_eq!(a.get("trace"), Some("t.jsonl"));
         assert!(a.has("quiet"));

@@ -7,7 +7,7 @@ use flowtime::{
     MorpheusScheduler,
 };
 use flowtime_dag::ResourceVec;
-use flowtime_sim::{ClusterConfig, Engine, Metrics, Scheduler};
+use flowtime_sim::{ClusterConfig, Engine, FaultConfig, FaultPlan, Metrics, Scheduler};
 use flowtime_workload::trace::{ProductionTraceConfig, Trace};
 use std::error::Error;
 use std::fs::File;
@@ -22,11 +22,18 @@ USAGE:
   flowtime-cli generate  --out <trace.jsonl> [--workflows N] [--seed S]
                          [--cores C] [--mem-mb M] [--looseness X]
   flowtime-cli simulate  --trace <trace.jsonl> --scheduler <name>
-                         [--out metrics.json] [--gantt]
-  flowtime-cli compare   --trace <trace.jsonl>
+                         [--out metrics.json] [--gantt] [FAULTS]
+  flowtime-cli compare   --trace <trace.jsonl> [FAULTS]
   flowtime-cli decompose --trace <trace.jsonl> [--index I] [--slack S]
 
 SCHEDULERS: flowtime, flowtime-no-ds, edf, fifo, fair, cora, morpheus
+
+FAULTS (deterministic injection, all derived from one seed):
+  --fault-seed S     enable fault injection with seed S
+  --misestimate X    log-normal sigma of actual/estimated runtime (default 0)
+  --churn X          fraction of capacity removed in churn windows (default 0)
+  --bursts N         extra ad-hoc jobs injected in bursts (default 0)
+  --submit-delay D   max workflow submission delay in slots (default 0)
 ";
 
 /// Dispatches a parsed command line.
@@ -51,12 +58,21 @@ fn load_trace(args: &Args) -> Result<Trace, Box<dyn Error>> {
     Ok(Trace::read_jsonl(BufReader::new(file))?)
 }
 
-fn make_scheduler(name: &str, cluster: &ClusterConfig) -> Result<Box<dyn Scheduler>, Box<dyn Error>> {
+fn make_scheduler(
+    name: &str,
+    cluster: &ClusterConfig,
+) -> Result<Box<dyn Scheduler>, Box<dyn Error>> {
     Ok(match name {
-        "flowtime" => Box::new(FlowTimeScheduler::new(cluster.clone(), FlowTimeConfig::default())),
+        "flowtime" => Box::new(FlowTimeScheduler::new(
+            cluster.clone(),
+            FlowTimeConfig::default(),
+        )),
         "flowtime-no-ds" => Box::new(FlowTimeScheduler::new(
             cluster.clone(),
-            FlowTimeConfig { slack_slots: 0, ..Default::default() },
+            FlowTimeConfig {
+                slack_slots: 0,
+                ..Default::default()
+            },
         )),
         "edf" => Box::new(EdfScheduler::new()),
         "fifo" => Box::new(FifoScheduler::new()),
@@ -65,6 +81,54 @@ fn make_scheduler(name: &str, cluster: &ClusterConfig) -> Result<Box<dyn Schedul
         "morpheus" => Box::new(MorpheusScheduler::new(cluster.clone())),
         other => return Err(format!("unknown scheduler `{other}`").into()),
     })
+}
+
+/// Parses `--key value` strictly: absent flags yield `default`, present
+/// flags must parse (a bare or malformed value must not silently disable a
+/// requested fault).
+fn parse_flag<T: std::str::FromStr>(
+    args: &Args,
+    key: &str,
+    default: T,
+) -> Result<T, Box<dyn Error>> {
+    match args.get(key) {
+        None => Ok(default),
+        Some(raw) => raw
+            .parse()
+            .map_err(|_| format!("--{key} requires a number, got `{raw}`").into()),
+    }
+}
+
+/// Applies the `--fault-seed` family of flags to a loaded trace, in place.
+/// No-op unless `--fault-seed` is present.
+fn apply_faults(args: &Args, trace: &mut Trace) -> CliResult {
+    if !args.has("fault-seed") {
+        for key in ["misestimate", "churn", "bursts", "submit-delay"] {
+            if args.has(key) {
+                return Err(format!("--{key} requires --fault-seed <S>").into());
+            }
+        }
+        return Ok(());
+    }
+    let config = FaultConfig::none(parse_flag(args, "fault-seed", 0u64)?)
+        .with_misestimate(parse_flag(args, "misestimate", 0.0f64)?)
+        .with_churn(parse_flag(args, "churn", 0.0f64)?)
+        .with_bursts(parse_flag(args, "bursts", 0usize)?)
+        .with_submit_delay(parse_flag(args, "submit-delay", 0u64)?);
+    // Bound churn/bursts by the busy part of the trace, not the engine's
+    // safety horizon.
+    let horizon = trace
+        .workload
+        .workflows
+        .iter()
+        .map(|w| w.workflow.deadline_slot())
+        .chain(trace.workload.adhoc.iter().map(|a| a.arrival_slot + 1))
+        .max()
+        .unwrap_or(0);
+    let mut cluster = trace.cluster.clone();
+    FaultPlan::new(config).apply(&mut trace.workload, &mut cluster, horizon);
+    trace.cluster = cluster;
+    Ok(())
 }
 
 fn attach_milestones(trace: &mut Trace) {
@@ -79,8 +143,8 @@ fn attach_milestones(trace: &mut Trace) {
 }
 
 fn run_one(trace: &Trace, scheduler: &mut dyn Scheduler) -> Result<Metrics, Box<dyn Error>> {
-    let outcome = Engine::new(trace.cluster.clone(), trace.workload.clone(), 10_000_000)?
-        .run(scheduler)?;
+    let outcome =
+        Engine::new(trace.cluster.clone(), trace.workload.clone(), 10_000_000)?.run(scheduler)?;
     Ok(outcome.metrics)
 }
 
@@ -113,7 +177,12 @@ fn generate(args: &Args) -> CliResult {
         "wrote {}: {} workflows / {} deadline jobs / {} ad-hoc jobs",
         out,
         trace.workload.workflows.len(),
-        trace.workload.workflows.iter().map(|w| w.workflow.len()).sum::<usize>(),
+        trace
+            .workload
+            .workflows
+            .iter()
+            .map(|w| w.workflow.len())
+            .sum::<usize>(),
         trace.workload.adhoc.len()
     );
     Ok(())
@@ -122,6 +191,7 @@ fn generate(args: &Args) -> CliResult {
 fn simulate(args: &Args) -> CliResult {
     let mut trace = load_trace(args)?;
     attach_milestones(&mut trace);
+    apply_faults(args, &mut trace)?;
     let name = args.get("scheduler").unwrap_or("flowtime");
     let mut scheduler = make_scheduler(name, &trace.cluster)?;
     let want_gantt = args.has("gantt");
@@ -133,7 +203,10 @@ fn simulate(args: &Args) -> CliResult {
     let metrics = outcome.metrics;
     println!("{}", summary_line(scheduler.name(), &metrics));
     if let Some(tl) = &outcome.timeline {
-        print!("{}", flowtime_sim::timeline::render_gantt(tl, Some(&metrics), 100));
+        print!(
+            "{}",
+            flowtime_sim::timeline::render_gantt(tl, Some(&metrics), 100)
+        );
     }
     if let Some(out) = args.get("out") {
         let file = File::create(out).map_err(|e| format!("cannot create {out}: {e}"))?;
@@ -146,6 +219,7 @@ fn simulate(args: &Args) -> CliResult {
 fn compare(args: &Args) -> CliResult {
     let mut trace = load_trace(args)?;
     attach_milestones(&mut trace);
+    apply_faults(args, &mut trace)?;
     for name in ["flowtime", "cora", "edf", "fair", "fifo", "morpheus"] {
         let mut scheduler = make_scheduler(name, &trace.cluster)?;
         let metrics = run_one(&trace, scheduler.as_mut())?;
@@ -218,7 +292,15 @@ mod tests {
     #[test]
     fn scheduler_factory_knows_all_names() {
         let cluster = ClusterConfig::new(ResourceVec::new([4, 4096]), 10.0);
-        for name in ["flowtime", "flowtime-no-ds", "edf", "fifo", "fair", "cora", "morpheus"] {
+        for name in [
+            "flowtime",
+            "flowtime-no-ds",
+            "edf",
+            "fifo",
+            "fair",
+            "cora",
+            "morpheus",
+        ] {
             assert!(make_scheduler(name, &cluster).is_ok(), "{name}");
         }
         assert!(make_scheduler("nope", &cluster).is_err());
@@ -259,6 +341,67 @@ mod tests {
     }
 
     #[test]
+    fn simulate_with_faults_is_deterministic_and_differs_from_baseline() {
+        let dir = std::env::temp_dir().join("flowtime-cli-test-f");
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace_path = dir.join("t.jsonl");
+        dispatch(&argv(&[
+            "generate",
+            "--out",
+            trace_path.to_str().unwrap(),
+            "--workflows",
+            "2",
+            "--cores",
+            "64",
+            "--seed",
+            "3",
+        ]))
+        .unwrap();
+        let run = |fault_args: &[&str], out: &std::path::Path| {
+            let mut a = vec![
+                "simulate",
+                "--trace",
+                trace_path.to_str().unwrap(),
+                "--scheduler",
+                "edf",
+                "--out",
+                out.to_str().unwrap(),
+            ];
+            a.extend_from_slice(fault_args);
+            dispatch(&argv(&a)).unwrap();
+            std::fs::read_to_string(out).unwrap()
+        };
+        // Malformed or orphaned fault flags must error, not silently run
+        // unfaulted.
+        for bad in [
+            vec!["--fault-seed", "abc"],
+            vec!["--fault-seed"],
+            vec!["--fault-seed", "1", "--churn", "banana"],
+            vec!["--misestimate", "0.3"],
+        ] {
+            let mut a = vec!["simulate", "--trace", trace_path.to_str().unwrap()];
+            a.extend_from_slice(&bad);
+            assert!(dispatch(&argv(&a)).is_err(), "{bad:?} should be rejected");
+        }
+        let faults = [
+            "--fault-seed",
+            "42",
+            "--misestimate",
+            "0.3",
+            "--churn",
+            "0.2",
+            "--bursts",
+            "4",
+        ];
+        let a = run(&faults, &dir.join("a.json"));
+        let b = run(&faults, &dir.join("b.json"));
+        let clean = run(&[], &dir.join("c.json"));
+        assert_eq!(a, b, "same fault seed must give byte-identical metrics");
+        assert_ne!(a, clean, "faulted run should diverge from baseline");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn decompose_prints_windows() {
         let dir = std::env::temp_dir().join("flowtime-cli-test-d");
         std::fs::create_dir_all(&dir).unwrap();
@@ -273,7 +416,12 @@ mod tests {
             "5",
         ]))
         .unwrap();
-        dispatch(&argv(&["decompose", "--trace", trace_path.to_str().unwrap()])).unwrap();
+        dispatch(&argv(&[
+            "decompose",
+            "--trace",
+            trace_path.to_str().unwrap(),
+        ]))
+        .unwrap();
         assert!(dispatch(&argv(&[
             "decompose",
             "--trace",

@@ -27,7 +27,10 @@ pub(crate) fn split(sets: &[Vec<usize>], min_rt: &[u64], window: u64) -> Vec<u64
             .max_by_key(|&(_, &d)| d)
             .map(|(i, _)| i)
             .expect("non-empty");
-        debug_assert!(alloc[richest] > 1, "window >= sets.len() guarantees a donor");
+        debug_assert!(
+            alloc[richest] > 1,
+            "window >= sets.len() guarantees a donor"
+        );
         alloc[richest] -= 1;
         alloc[zero] += 1;
     }

@@ -11,9 +11,9 @@ use flowtime_dag::{ResourceVec, Workflow, NUM_RESOURCES};
 
 /// Normalized (dominant-resource) demand of one set of jobs.
 pub(crate) fn set_demand(workflow: &Workflow, set: &[usize], capacity: &ResourceVec) -> f64 {
-    let total = set
-        .iter()
-        .fold(ResourceVec::zero(), |acc, &j| acc + workflow.job(j).total_demand());
+    let total = set.iter().fold(ResourceVec::zero(), |acc, &j| {
+        acc + workflow.job(j).total_demand()
+    });
     let mut share = 0.0f64;
     for r in 0..NUM_RESOURCES {
         let cap = capacity.dim(r);
@@ -125,7 +125,12 @@ mod tests {
     fn set_demand_uses_dominant_resource() {
         let mut b = WorkflowBuilder::new(WorkflowId::new(1), "w");
         // 10 tasks x 2 slots x <1 cpu, 8192 mem> = <20, 163840>.
-        b.add_job(JobSpec::new("mem-heavy", 10, 2, ResourceVec::new([1, 8192])));
+        b.add_job(JobSpec::new(
+            "mem-heavy",
+            10,
+            2,
+            ResourceVec::new([1, 8192]),
+        ));
         let wf = b.window(0, 10).build().unwrap();
         // Capacity <100, 102400>: cpu share 0.2, mem share 1.6 -> 1.6.
         let d = set_demand(&wf, &[0], &ResourceVec::new([100, 102_400]));
@@ -135,7 +140,8 @@ mod tests {
     #[test]
     fn split_reserves_min_runtime_and_sums_to_window() {
         let mut b = WorkflowBuilder::new(WorkflowId::new(1), "w");
-        let a = b.add_job(JobSpec::new("a", 4, 5, ResourceVec::new([1, 1024])).with_max_parallel(2));
+        let a =
+            b.add_job(JobSpec::new("a", 4, 5, ResourceVec::new([1, 1024])).with_max_parallel(2));
         let c = b.add_job(JobSpec::new("c", 100, 1, ResourceVec::new([1, 1024])));
         b.add_dep(a, c).unwrap();
         let wf = b.window(0, 50).build().unwrap();

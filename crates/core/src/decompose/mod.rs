@@ -76,7 +76,10 @@ pub struct DecomposeConfig {
 impl DecomposeConfig {
     /// Demand-proportional decomposition against the given cluster capacity.
     pub fn new(capacity: ResourceVec) -> Self {
-        DecomposeConfig { capacity, decomposer: Decomposer::ResourceDemand }
+        DecomposeConfig {
+            capacity,
+            decomposer: Decomposer::ResourceDemand,
+        }
     }
 
     /// Switches strategy.
@@ -149,11 +152,17 @@ impl Decomposition {
 /// # Ok(())
 /// # }
 /// ```
-pub fn decompose(workflow: &Workflow, config: &DecomposeConfig) -> Result<Decomposition, CoreError> {
+pub fn decompose(
+    workflow: &Workflow,
+    config: &DecomposeConfig,
+) -> Result<Decomposition, CoreError> {
     let sets = workflow.level_sets();
     let window = workflow.window_slots();
     if (sets.len() as u64) > window {
-        return Err(CoreError::WindowTooTight { level_sets: sets.len(), window });
+        return Err(CoreError::WindowTooTight {
+            level_sets: sets.len(),
+            window,
+        });
     }
     // Per-set minimum runtime, *capacity-aware*: the largest member job's
     // minimum runtime with its wave width capped by what the cluster can
@@ -197,16 +206,31 @@ pub fn decompose(workflow: &Workflow, config: &DecomposeConfig) -> Result<Decomp
     let mut set_windows = Vec::with_capacity(sets.len());
     let mut cursor = workflow.submit_slot();
     for &d in &durations {
-        set_windows.push(JobWindow { start: cursor, deadline: cursor + d });
+        set_windows.push(JobWindow {
+            start: cursor,
+            deadline: cursor + d,
+        });
         cursor += d;
     }
-    let mut windows = vec![JobWindow { start: 0, deadline: 0 }; workflow.len()];
+    let mut windows = vec![
+        JobWindow {
+            start: 0,
+            deadline: 0
+        };
+        workflow.len()
+    ];
     for (set, w) in sets.iter().zip(set_windows.iter()) {
         for &j in set {
             windows[j] = *w;
         }
     }
-    Ok(Decomposition { windows, sets, set_windows, set_min_runtimes: min_rt, method_used })
+    Ok(Decomposition {
+        windows,
+        sets,
+        set_windows,
+        set_min_runtimes: min_rt,
+        method_used,
+    })
 }
 
 #[cfg(test)]
@@ -260,7 +284,11 @@ mod tests {
         // Traditional decomposition keeps it near 1/3.
         let cp = decompose(&wf, &config().with_decomposer(Decomposer::CriticalPath)).unwrap();
         let mid_cp = cp.set_windows[1];
-        assert!((mid_cp.len() as i64 - 1100 / 3).abs() <= 2, "cp mid = {}", mid_cp.len());
+        assert!(
+            (mid_cp.len() as i64 - 1100 / 3).abs() <= 2,
+            "cp mid = {}",
+            mid_cp.len()
+        );
     }
 
     #[test]
@@ -290,7 +318,10 @@ mod tests {
         let wf = b.window(0, 2).build().unwrap();
         assert!(matches!(
             decompose(&wf, &config()),
-            Err(CoreError::WindowTooTight { level_sets: 3, window: 2 })
+            Err(CoreError::WindowTooTight {
+                level_sets: 3,
+                window: 2
+            })
         ));
     }
 
@@ -300,7 +331,13 @@ mod tests {
         b.add_job(spec(5, 2));
         let wf = b.window(10, 60).build().unwrap();
         let d = decompose(&wf, &config()).unwrap();
-        assert_eq!(d.windows, vec![JobWindow { start: 10, deadline: 60 }]);
+        assert_eq!(
+            d.windows,
+            vec![JobWindow {
+                start: 10,
+                deadline: 60
+            }]
+        );
         assert_eq!(d.job_deadlines(), vec![60]);
     }
 

@@ -31,7 +31,11 @@ use super::{Decomposition, JobWindow};
 pub fn slacked_windows(decomposition: &Decomposition, slack_slots: u64) -> Vec<JobWindow> {
     // Map each job to its set's minimum runtime floor.
     let mut floor = vec![1u64; decomposition.windows.len()];
-    for (set, &min_rt) in decomposition.sets.iter().zip(&decomposition.set_min_runtimes) {
+    for (set, &min_rt) in decomposition
+        .sets
+        .iter()
+        .zip(&decomposition.set_min_runtimes)
+    {
         for &j in set {
             floor[j] = min_rt.max(1);
         }
@@ -73,22 +77,43 @@ mod tests {
 
     #[test]
     fn zero_slack_is_identity() {
-        let d = decomposition(vec![JobWindow { start: 5, deadline: 20 }]);
+        let d = decomposition(vec![JobWindow {
+            start: 5,
+            deadline: 20,
+        }]);
         assert_eq!(slacked_windows(&d, 0), d.windows);
     }
 
     #[test]
     fn slack_shrinks_deadline_not_start() {
-        let d = decomposition(vec![JobWindow { start: 5, deadline: 20 }]);
+        let d = decomposition(vec![JobWindow {
+            start: 5,
+            deadline: 20,
+        }]);
         let w = slacked_windows(&d, 6);
-        assert_eq!(w[0], JobWindow { start: 5, deadline: 14 });
+        assert_eq!(
+            w[0],
+            JobWindow {
+                start: 5,
+                deadline: 14
+            }
+        );
     }
 
     #[test]
     fn slack_never_empties_a_window() {
-        let d = decomposition(vec![JobWindow { start: 5, deadline: 8 }]);
+        let d = decomposition(vec![JobWindow {
+            start: 5,
+            deadline: 8,
+        }]);
         let w = slacked_windows(&d, 50);
-        assert_eq!(w[0], JobWindow { start: 5, deadline: 6 });
+        assert_eq!(
+            w[0],
+            JobWindow {
+                start: 5,
+                deadline: 6
+            }
+        );
         assert!(!w[0].is_empty());
     }
 }

@@ -88,7 +88,10 @@ mod tests {
         assert!(e.to_string().contains("lp error"));
         let e: CoreError = FlowError::Infeasible.into();
         assert!(e.to_string().contains("flow error"));
-        let e = CoreError::WindowTooTight { level_sets: 3, window: 2 };
+        let e = CoreError::WindowTooTight {
+            level_sets: 3,
+            window: 2,
+        };
         assert!(e.source().is_none());
         assert!(!e.to_string().is_empty());
         assert!(!CoreError::BadHorizon { reason: "x" }.to_string().is_empty());

@@ -37,7 +37,10 @@ impl RunHistory {
     /// Creates a history keeping the most recent `window` runs per
     /// workflow (0 is treated as 1).
     pub fn new(window: usize) -> Self {
-        RunHistory { window: window.max(1), samples: HashMap::new() }
+        RunHistory {
+            window: window.max(1),
+            samples: HashMap::new(),
+        }
     }
 
     /// Records the actual per-job work of one completed run.
@@ -46,7 +49,10 @@ impl RunHistory {
     /// same name reset the history (the workflow's shape changed).
     pub fn record(&mut self, name: &str, actual_work: &[u64]) {
         let runs = self.samples.entry(name.to_string()).or_default();
-        if runs.last().is_some_and(|prev| prev.len() != actual_work.len()) {
+        if runs
+            .last()
+            .is_some_and(|prev| prev.len() != actual_work.len())
+        {
             runs.clear();
         }
         runs.push(actual_work.to_vec());
@@ -119,7 +125,8 @@ impl RunHistory {
         for (from, to) in template.dag().edges() {
             b.add_dep(from, to)?;
         }
-        b.window(template.submit_slot(), template.deadline_slot()).build()
+        b.window(template.submit_slot(), template.deadline_slot())
+            .build()
     }
 }
 
@@ -172,9 +179,8 @@ mod tests {
     fn respec_scales_tasks_and_keeps_structure() {
         let mut b = WorkflowBuilder::new(WorkflowId::new(1), "t");
         let a = b.add_job(JobSpec::new("a", 10, 2, ResourceVec::new([1, 1024])));
-        let c = b.add_job(
-            JobSpec::new("c", 5, 4, ResourceVec::new([1, 2048])).with_max_parallel(3),
-        );
+        let c =
+            b.add_job(JobSpec::new("c", 5, 4, ResourceVec::new([1, 2048])).with_max_parallel(3));
         b.add_dep(a, c).unwrap();
         let template = b.window(0, 100).build().unwrap();
         // New estimates: 30 and 43 task-slots of work.

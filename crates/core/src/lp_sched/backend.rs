@@ -24,7 +24,10 @@ const FLOW_LEX_ROUNDS: usize = 2;
 pub fn solve(leveling: &LevelingProblem, backend: SolverBackend) -> Result<Plan, CoreError> {
     leveling.validate()?;
     if leveling.jobs.is_empty() {
-        return Ok(Plan { tasks: HashMap::new(), horizon: leveling.horizon() });
+        return Ok(Plan {
+            tasks: HashMap::new(),
+            horizon: leveling.horizon(),
+        });
     }
     match backend {
         SolverBackend::ParametricFlow if uniform_shape(leveling).is_some() => {
@@ -80,7 +83,10 @@ fn solve_flow(leveling: &LevelingProblem, shape: ResourceVec) -> Result<Plan, Co
         .zip(sol.allocation)
         .map(|(j, alloc)| (j.id, alloc))
         .collect();
-    Ok(Plan { tasks, horizon: leveling.horizon() })
+    Ok(Plan {
+        tasks,
+        horizon: leveling.horizon(),
+    })
 }
 
 fn solve_simplex(leveling: &LevelingProblem, lex_rounds: usize) -> Result<Plan, CoreError> {
@@ -152,7 +158,10 @@ mod tests {
             per_task: ResourceVec::new([2, 512]),
             per_slot_cap: None,
         });
-        let p = LevelingProblem { slot_caps: caps(4, 10), jobs };
+        let p = LevelingProblem {
+            slot_caps: caps(4, 10),
+            jobs,
+        };
         let plan = p.solve(SolverBackend::ParametricFlow).unwrap();
         assert_eq!(plan.tasks[&JobId::new(1)].iter().sum::<u64>(), 8);
         assert_eq!(plan.tasks[&JobId::new(2)].iter().sum::<u64>(), 4);
@@ -160,7 +169,10 @@ mod tests {
 
     #[test]
     fn empty_jobs_trivial_plan() {
-        let p = LevelingProblem { slot_caps: caps(3, 4), jobs: vec![] };
+        let p = LevelingProblem {
+            slot_caps: caps(3, 4),
+            jobs: vec![],
+        };
         let plan = p.solve(SolverBackend::default()).unwrap();
         assert!(plan.tasks.is_empty());
         assert_eq!(plan.horizon, 3);

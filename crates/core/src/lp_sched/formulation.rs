@@ -164,7 +164,10 @@ mod tests {
 
     #[test]
     fn empty_problem_is_trivial() {
-        let p = LevelingProblem { slot_caps: vec![ResourceVec::new([1, 1]); 2], jobs: vec![] };
+        let p = LevelingProblem {
+            slot_caps: vec![ResourceVec::new([1, 1]); 2],
+            jobs: vec![],
+        };
         let f = build(&p, &HashMap::new()).unwrap();
         let sol = f.problem.solve().unwrap();
         assert!(sol.value(f.theta).abs() < 1e-9);

@@ -81,7 +81,11 @@ pub fn solve(leveling: &LevelingProblem, rounds: usize) -> Result<FractionalPlan
             first_peak = theta;
         }
         let loads = loads_of(leveling, &x);
-        result = Some(FractionalPlan { x, peak_ratio: first_peak, rounds_used: round + 1 });
+        result = Some(FractionalPlan {
+            x,
+            peak_ratio: first_peak,
+            rounds_used: round + 1,
+        });
         if round + 1 == rounds || theta <= 1e-9 {
             break;
         }
@@ -89,9 +93,7 @@ pub fn solve(leveling: &LevelingProblem, rounds: usize) -> Result<FractionalPlan
         let peaks: Vec<(usize, usize, f64)> = loads
             .iter()
             .enumerate()
-            .flat_map(|(t, load)| {
-                load.iter().enumerate().map(move |(r, &z)| (t, r, z))
-            })
+            .flat_map(|(t, load)| load.iter().enumerate().map(move |(r, &z)| (t, r, z)))
             .filter(|&(t, r, _)| !frozen.contains_key(&(t, r)))
             .filter(|&(t, r, _)| {
                 let cap = leveling.slot_caps[t].dim(r) as f64;
@@ -176,7 +178,11 @@ mod tests {
         assert!(plan.rounds_used >= 2);
         // Slots 2..6 should each carry ~2.0 of job 2.
         for t in 2..6 {
-            assert!((plan.x[1][t] - 2.0).abs() < 1e-5, "slot {t}: {}", plan.x[1][t]);
+            assert!(
+                (plan.x[1][t] - 2.0).abs() < 1e-5,
+                "slot {t}: {}",
+                plan.x[1][t]
+            );
         }
     }
 
@@ -208,7 +214,10 @@ mod tests {
 
     #[test]
     fn empty_problem_trivial() {
-        let p = LevelingProblem { slot_caps: uniform_caps(3, 4), jobs: vec![] };
+        let p = LevelingProblem {
+            slot_caps: uniform_caps(3, 4),
+            jobs: vec![],
+        };
         let plan = solve(&p, 3).unwrap();
         assert_eq!(plan.peak_ratio, 0.0);
         assert!(plan.x.is_empty());

@@ -48,7 +48,10 @@ pub struct PlanJob {
 impl PlanJob {
     /// The effective per-slot task cap (explicit cap or the whole demand).
     pub fn slot_cap(&self) -> u64 {
-        self.per_slot_cap.unwrap_or(self.demand).min(self.demand).max(1)
+        self.per_slot_cap
+            .unwrap_or(self.demand)
+            .min(self.demand)
+            .max(1)
     }
 }
 
@@ -76,10 +79,14 @@ impl LevelingProblem {
         let h = self.horizon();
         for job in &self.jobs {
             if job.window.0 >= job.window.1 {
-                return Err(CoreError::BadHorizon { reason: "empty job window" });
+                return Err(CoreError::BadHorizon {
+                    reason: "empty job window",
+                });
             }
             if job.window.1 > h {
-                return Err(CoreError::BadHorizon { reason: "job window beyond horizon" });
+                return Err(CoreError::BadHorizon {
+                    reason: "job window beyond horizon",
+                });
             }
         }
         Ok(())
@@ -96,8 +103,7 @@ impl LevelingProblem {
 }
 
 /// Which optimizer realizes the lexmin-max placement.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum SolverBackend {
     /// The paper's LP, solved by the workspace simplex with `lex_rounds`
     /// rounds of lexicographic peak freezing (1 = plain min-max).
@@ -111,7 +117,6 @@ pub enum SolverBackend {
     #[default]
     ParametricFlow,
 }
-
 
 /// An integral placement of deadline jobs over the horizon.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
@@ -177,7 +182,10 @@ mod tests {
 
     #[test]
     fn plan_accessors() {
-        let mut plan = Plan { tasks: HashMap::new(), horizon: 3 };
+        let mut plan = Plan {
+            tasks: HashMap::new(),
+            horizon: 3,
+        };
         plan.tasks.insert(JobId::new(1), vec![2, 0, 1]);
         assert_eq!(plan.tasks_at(JobId::new(1), 0), 2);
         assert_eq!(plan.tasks_at(JobId::new(1), 9), 0);

@@ -49,7 +49,11 @@ pub fn round_plan(leveling: &LevelingProblem, x: &[Vec<f64>]) -> Plan {
                 if headroom == 0 {
                     continue;
                 }
-                let take = if pass == 0 { 1 } else { headroom.min(remainder) };
+                let take = if pass == 0 {
+                    1
+                } else {
+                    headroom.min(remainder)
+                };
                 alloc[t] += take;
                 remainder -= take;
             }
@@ -195,14 +199,13 @@ mod tests {
     #[test]
     fn repair_moves_overflow() {
         // Two jobs rounded to collide at slot 0 on a 3-core cluster.
-        let p = problem(
-            vec![job(1, (0, 2), 2, None), job(2, (0, 2), 2, None)],
-            2,
-            3,
-        );
+        let p = problem(vec![job(1, (0, 2), 2, None), job(2, (0, 2), 2, None)], 2, 3);
         // Force both to put 2 tasks in slot 0 (4 > 3 capacity).
         let plan = round_plan(&p, &[vec![2.0, 0.0], vec![2.0, 0.0]]);
-        assert!(is_feasible(&p, &plan), "repair should shift one task: {plan:?}");
+        assert!(
+            is_feasible(&p, &plan),
+            "repair should shift one task: {plan:?}"
+        );
     }
 
     #[test]

@@ -142,7 +142,10 @@ mod tests {
         wl.workflows.push(WorkflowSubmission::new(wf));
         wl.adhoc.push(AdhocSubmission::new(spec(8), 0));
         let mut cora = CoraScheduler::new(cluster(4));
-        let out = Engine::new(cluster(4), wl, 1000).unwrap().run(&mut cora).unwrap();
+        let out = Engine::new(cluster(4), wl, 1000)
+            .unwrap()
+            .run(&mut cora)
+            .unwrap();
         // Deadline job needs rate 2/slot of 4 cores: ad-hoc gets service
         // well before the workflow finishes.
         let adhoc = out.metrics.adhoc_jobs().next().unwrap();
@@ -161,7 +164,10 @@ mod tests {
         let mut wl = SimWorkload::default();
         wl.workflows.push(WorkflowSubmission::new(wf));
         let mut cora = CoraScheduler::new(cluster(4));
-        let out = Engine::new(cluster(4), wl, 1000).unwrap().run(&mut cora).unwrap();
+        let out = Engine::new(cluster(4), wl, 1000)
+            .unwrap()
+            .run(&mut cora)
+            .unwrap();
         assert_eq!(out.metrics.workflow_deadline_misses(), 0);
     }
 }

@@ -48,9 +48,10 @@ impl Scheduler for EdfScheduler {
         let mut deadline_jobs: Vec<&_> = jobs.iter().filter(|j| !j.is_adhoc()).collect();
         deadline_jobs.sort_by_key(|j| {
             let wd = match j.class {
-                JobClass::Deadline { workflow, .. } => {
-                    workflow_deadline.get(&workflow).copied().unwrap_or(u64::MAX)
-                }
+                JobClass::Deadline { workflow, .. } => workflow_deadline
+                    .get(&workflow)
+                    .copied()
+                    .unwrap_or(u64::MAX),
                 JobClass::AdHoc => u64::MAX,
             };
             (wd, j.id)

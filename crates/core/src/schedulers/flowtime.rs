@@ -188,7 +188,10 @@ impl FlowTimeScheduler {
     /// Builds the leveling problem for the pending jobs as of `now`.
     fn build_problem(&self, state: &SimState, pending: &[JobView]) -> LevelingProblem {
         let now = state.now();
-        let default_window = JobWindow { start: now, deadline: now + 1 };
+        let default_window = JobWindow {
+            start: now,
+            deadline: now + 1,
+        };
         // Horizon: cover the latest scheduling deadline of pending jobs.
         let mut horizon = 1usize;
         let mut jobs = Vec::with_capacity(pending.len());
@@ -294,8 +297,7 @@ impl Scheduler for FlowTimeScheduler {
             }
         } else if self.degraded {
             // EDF-greedy fallback: most urgent scheduling deadline first.
-            let mut urgent: Vec<&JobView> =
-                runnable.iter().filter(|j| !j.is_adhoc()).collect();
+            let mut urgent: Vec<&JobView> = runnable.iter().filter(|j| !j.is_adhoc()).collect();
             urgent.sort_by_key(|j| {
                 (
                     self.windows.get(&j.id).map_or(u64::MAX, |w| w.deadline),
@@ -384,14 +386,22 @@ mod tests {
         wl.workflows.push(WorkflowSubmission::new(wf));
         // A1 at slot 0 and A2 at slot 10, each 20 task-slots (half-cluster
         // wide for 10 slots).
-        wl.adhoc.push(AdhocSubmission::new(spec(20, 1).with_max_parallel(2), 0));
-        wl.adhoc.push(AdhocSubmission::new(spec(20, 1).with_max_parallel(2), 10));
+        wl.adhoc
+            .push(AdhocSubmission::new(spec(20, 1).with_max_parallel(2), 0));
+        wl.adhoc
+            .push(AdhocSubmission::new(spec(20, 1).with_max_parallel(2), 10));
 
         let mut ft = FlowTimeScheduler::new(
             cluster(cores),
-            FlowTimeConfig { slack_slots: 0, ..Default::default() },
+            FlowTimeConfig {
+                slack_slots: 0,
+                ..Default::default()
+            },
         );
-        let out = Engine::new(cluster(cores), wl, 1000).unwrap().run(&mut ft).unwrap();
+        let out = Engine::new(cluster(cores), wl, 1000)
+            .unwrap()
+            .run(&mut ft)
+            .unwrap();
         // Deadline met...
         assert_eq!(out.metrics.workflow_deadline_misses(), 0);
         // ...and ad-hoc turnaround is near-optimal (each runs immediately
@@ -415,7 +425,10 @@ mod tests {
         let mut wl = SimWorkload::default();
         wl.workflows.push(sub);
         let mut ft = FlowTimeScheduler::new(cluster(4), FlowTimeConfig::default());
-        let out = Engine::new(cluster(4), wl, 1000).unwrap().run(&mut ft).unwrap();
+        let out = Engine::new(cluster(4), wl, 1000)
+            .unwrap()
+            .run(&mut ft)
+            .unwrap();
         assert_eq!(out.metrics.workflow_deadline_misses(), 0);
         assert!(ft.solves() >= 2, "overrun must trigger replanning");
     }
@@ -430,7 +443,10 @@ mod tests {
         let mut wl = SimWorkload::default();
         wl.workflows.push(WorkflowSubmission::new(wf));
         let mut ft = FlowTimeScheduler::new(cluster(8), FlowTimeConfig::default());
-        let out = Engine::new(cluster(8), wl, 1000).unwrap().run(&mut ft).unwrap();
+        let out = Engine::new(cluster(8), wl, 1000)
+            .unwrap()
+            .run(&mut ft)
+            .unwrap();
         // 16 units at width 8 -> 2 slots, despite the 100-slot window.
         assert_eq!(out.metrics.jobs[0].completion_slot, 2);
     }
@@ -445,7 +461,10 @@ mod tests {
         let mut wl = SimWorkload::default();
         wl.workflows.push(WorkflowSubmission::new(wf));
         let mut ft = FlowTimeScheduler::new(cluster(4), FlowTimeConfig::default());
-        let out = Engine::new(cluster(4), wl, 1000).unwrap().run(&mut ft).unwrap();
+        let out = Engine::new(cluster(4), wl, 1000)
+            .unwrap()
+            .run(&mut ft)
+            .unwrap();
         assert_eq!(out.metrics.completed_jobs(), 1);
         // 100 units at width 4 = 25 slots; deadline 5 is hopeless.
         assert_eq!(out.metrics.jobs[0].completion_slot, 25);
@@ -465,9 +484,15 @@ mod tests {
             let mut wl = SimWorkload::default();
             wl.workflows.push(WorkflowSubmission::new(wf));
             wl.adhoc.push(AdhocSubmission::new(spec(8, 1), 2));
-            let cfg = FlowTimeConfig { backend, ..Default::default() };
+            let cfg = FlowTimeConfig {
+                backend,
+                ..Default::default()
+            };
             let mut ft = FlowTimeScheduler::new(cluster(4), cfg);
-            let out = Engine::new(cluster(4), wl, 1000).unwrap().run(&mut ft).unwrap();
+            let out = Engine::new(cluster(4), wl, 1000)
+                .unwrap()
+                .run(&mut ft)
+                .unwrap();
             assert_eq!(out.metrics.workflow_deadline_misses(), 0, "{backend:?}");
         }
     }

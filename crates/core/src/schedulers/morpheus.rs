@@ -80,13 +80,7 @@ impl MorpheusScheduler {
             .workflows()
             .iter()
             .filter(|w| !self.seen_workflows.contains(&w.id()))
-            .map(|w| {
-                (
-                    w.id(),
-                    w.workflow.clone(),
-                    w.job_ids.to_vec(),
-                )
-            })
+            .map(|w| (w.id(), w.workflow.clone(), w.job_ids.to_vec()))
             .collect();
         for (wf_id, workflow, job_ids) in arrived {
             self.seen_workflows.insert(wf_id);
@@ -105,11 +99,14 @@ impl MorpheusScheduler {
                     let demand = job.work();
                     let width_cap = job.effective_parallel();
                     let per_task = job.per_task();
-                    let profile =
-                        self.reserve(demand, width_cap, per_task, start, slo, capacity);
+                    let profile = self.reserve(demand, width_cap, per_task, start, slo, capacity);
                     self.reservations.insert(
                         id,
-                        Reservation { origin: start, profile, slo },
+                        Reservation {
+                            origin: start,
+                            profile,
+                            slo,
+                        },
                     );
                 }
             }
@@ -187,15 +184,17 @@ impl Scheduler for MorpheusScheduler {
             if let Some(res) = self.reservations.get(&job.id) {
                 let backlog = res.cumulative_through(now).saturating_sub(job.done_work);
                 // Past the SLO, the whole remaining reservation is overdue.
-                let want = if now >= res.slo { res.total().saturating_sub(job.done_work) } else { backlog };
+                let want = if now >= res.slo {
+                    res.total().saturating_sub(job.done_work)
+                } else {
+                    backlog
+                };
                 if want > 0 {
                     reserved_jobs.push((job, want));
                 }
             }
         }
-        reserved_jobs.sort_by_key(|(job, _)| {
-            (self.reservations[&job.id].slo, job.id)
-        });
+        reserved_jobs.sort_by_key(|(job, _)| (self.reservations[&job.id].slo, job.id));
         for (job, want) in reserved_jobs {
             filler.grant(job, want);
         }
@@ -233,7 +232,10 @@ mod tests {
         let mut wl = SimWorkload::default();
         wl.workflows.push(WorkflowSubmission::new(wf));
         let mut m = MorpheusScheduler::new(cluster(4));
-        let out = Engine::new(cluster(4), wl, 1000).unwrap().run(&mut m).unwrap();
+        let out = Engine::new(cluster(4), wl, 1000)
+            .unwrap()
+            .run(&mut m)
+            .unwrap();
         assert_eq!(out.metrics.workflow_deadline_misses(), 0);
     }
 
@@ -248,9 +250,16 @@ mod tests {
         wl.workflows.push(WorkflowSubmission::new(wf));
         wl.adhoc.push(AdhocSubmission::new(spec(4), 0));
         let mut m = MorpheusScheduler::new(cluster(4));
-        let out = Engine::new(cluster(4), wl, 1000).unwrap().run(&mut m).unwrap();
+        let out = Engine::new(cluster(4), wl, 1000)
+            .unwrap()
+            .run(&mut m)
+            .unwrap();
         let adhoc = out.metrics.adhoc_jobs().next().unwrap();
-        assert!(adhoc.turnaround_slots() <= 3, "turnaround {}", adhoc.turnaround_slots());
+        assert!(
+            adhoc.turnaround_slots() <= 3,
+            "turnaround {}",
+            adhoc.turnaround_slots()
+        );
     }
 
     #[test]
@@ -260,7 +269,9 @@ mod tests {
         // exactly the failure mode FlowTime's demand decomposition fixes.
         let mut b = WorkflowBuilder::new(WorkflowId::new(1), "fj");
         let head = b.add_job(spec(4));
-        let mids: Vec<_> = (0..6).map(|_| b.add_job(spec(40).with_max_parallel(8))).collect();
+        let mids: Vec<_> = (0..6)
+            .map(|_| b.add_job(spec(40).with_max_parallel(8)))
+            .collect();
         let tail = b.add_job(spec(4));
         for &mid in &mids {
             b.add_dep(head, mid).unwrap();
@@ -274,7 +285,10 @@ mod tests {
         let mut wl = SimWorkload::default();
         wl.workflows.push(sub);
         let mut m = MorpheusScheduler::new(cluster(12));
-        let out = Engine::new(cluster(12), wl, 1000).unwrap().run(&mut m).unwrap();
+        let out = Engine::new(cluster(12), wl, 1000)
+            .unwrap()
+            .run(&mut m)
+            .unwrap();
         // The middle jobs blow through their inferred milestone.
         assert!(out.metrics.job_deadline_misses() > 0);
     }

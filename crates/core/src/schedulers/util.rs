@@ -14,7 +14,10 @@ pub(crate) struct SlotFiller {
 
 impl SlotFiller {
     pub fn new(capacity: ResourceVec) -> Self {
-        SlotFiller { free: capacity, granted: BTreeMap::new() }
+        SlotFiller {
+            free: capacity,
+            granted: BTreeMap::new(),
+        }
     }
 
     /// Remaining free capacity.

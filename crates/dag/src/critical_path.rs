@@ -52,7 +52,10 @@ impl CriticalPath {
             });
         }
         if dag.is_empty() {
-            return Ok(CriticalPath { nodes: Vec::new(), length: 0 });
+            return Ok(CriticalPath {
+                nodes: Vec::new(),
+                length: 0,
+            });
         }
         let order = topological_order(dag)?;
         // dist[v] = heaviest path ending at v (inclusive of v's weight).

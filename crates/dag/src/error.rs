@@ -74,7 +74,10 @@ impl fmt::Display for DagError {
             }
             DagError::EmptyWorkflow => f.write_str("workflow contains no jobs"),
             DagError::InvalidWindow { submit, deadline } => {
-                write!(f, "workflow deadline {deadline} is not after submit time {submit}")
+                write!(
+                    f,
+                    "workflow deadline {deadline} is not after submit time {submit}"
+                )
             }
             DagError::InvalidJob { index, reason } => {
                 write!(f, "job {index} is invalid: {reason}")
@@ -97,13 +100,22 @@ mod tests {
             DagError::DuplicateEdge { from: 0, to: 1 },
             DagError::Cycle { node: 2 },
             DagError::EmptyWorkflow,
-            DagError::InvalidWindow { submit: 5, deadline: 5 },
-            DagError::InvalidJob { index: 0, reason: "zero tasks" },
+            DagError::InvalidWindow {
+                submit: 5,
+                deadline: 5,
+            },
+            DagError::InvalidJob {
+                index: 0,
+                reason: "zero tasks",
+            },
         ];
         for e in errs {
             let msg = e.to_string();
             assert!(!msg.is_empty());
-            assert!(msg.chars().next().unwrap().is_lowercase() || msg.chars().next().unwrap().is_numeric());
+            assert!(
+                msg.chars().next().unwrap().is_lowercase()
+                    || msg.chars().next().unwrap().is_numeric()
+            );
         }
     }
 

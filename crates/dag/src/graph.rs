@@ -49,7 +49,10 @@ impl Dag {
     /// # Errors
     ///
     /// Returns the same errors as [`Dag::add_edge`].
-    pub fn from_edges(n: usize, edges: impl IntoIterator<Item = (usize, usize)>) -> Result<Self, DagError> {
+    pub fn from_edges(
+        n: usize,
+        edges: impl IntoIterator<Item = (usize, usize)>,
+    ) -> Result<Self, DagError> {
         let mut dag = Dag::new(n);
         for (from, to) in edges {
             dag.add_edge(from, to)?;
@@ -173,7 +176,10 @@ mod tests {
         let mut dag = Dag::new(2);
         assert_eq!(dag.add_edge(1, 1), Err(DagError::SelfLoop { node: 1 }));
         dag.add_edge(0, 1).unwrap();
-        assert_eq!(dag.add_edge(0, 1), Err(DagError::DuplicateEdge { from: 0, to: 1 }));
+        assert_eq!(
+            dag.add_edge(0, 1),
+            Err(DagError::DuplicateEdge { from: 0, to: 1 })
+        );
     }
 
     #[test]

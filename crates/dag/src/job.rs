@@ -45,7 +45,12 @@ impl JobSpec {
     /// Zero `tasks` or `task_slots` are permitted here and rejected at
     /// workflow build time ([`crate::WorkflowBuilder::build`]), so that
     /// specs can be constructed incrementally.
-    pub fn new(name: impl Into<String>, tasks: u64, task_slots: u64, per_task: ResourceVec) -> Self {
+    pub fn new(
+        name: impl Into<String>,
+        tasks: u64,
+        task_slots: u64,
+        per_task: ResourceVec,
+    ) -> Self {
         JobSpec {
             name: name.into(),
             tasks,
@@ -191,7 +196,9 @@ mod tests {
     fn validation_catches_degenerate_specs() {
         assert!(spec(0, 1).validate().is_err());
         assert!(spec(1, 0).validate().is_err());
-        assert!(JobSpec::new("t", 1, 1, ResourceVec::zero()).validate().is_err());
+        assert!(JobSpec::new("t", 1, 1, ResourceVec::zero())
+            .validate()
+            .is_err());
         assert!(spec(1, 1).with_max_parallel(0).validate().is_err());
         assert!(spec(1, 1).validate().is_ok());
     }

@@ -137,7 +137,10 @@ mod tests {
     #[test]
     fn detects_cycle() {
         let dag = Dag::from_edges(3, [(0, 1), (1, 2), (2, 0)]).unwrap();
-        assert!(matches!(topological_order(&dag), Err(DagError::Cycle { .. })));
+        assert!(matches!(
+            topological_order(&dag),
+            Err(DagError::Cycle { .. })
+        ));
         assert!(matches!(level_sets(&dag), Err(DagError::Cycle { .. })));
     }
 
@@ -161,12 +164,16 @@ mod tests {
 
     #[test]
     fn levels_are_antichains() {
-        let dag = Dag::from_edges(7, [(0, 1), (0, 2), (1, 3), (2, 3), (3, 4), (2, 5), (5, 6)]).unwrap();
+        let dag =
+            Dag::from_edges(7, [(0, 1), (0, 2), (1, 3), (2, 3), (3, 4), (2, 5), (5, 6)]).unwrap();
         let sets = level_sets(&dag).unwrap();
         for set in &sets {
             for &a in set {
                 for &b in set {
-                    assert!(!dag.successors(a).contains(&b), "{a} -> {b} within one level");
+                    assert!(
+                        !dag.successors(a).contains(&b),
+                        "{a} -> {b} within one level"
+                    );
                 }
             }
         }

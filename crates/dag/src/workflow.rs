@@ -205,7 +205,10 @@ impl WorkflowBuilder {
             return Err(DagError::SelfLoop { node: prerequisite });
         }
         if self.edges.contains(&(prerequisite, dependent)) {
-            return Err(DagError::DuplicateEdge { from: prerequisite, to: dependent });
+            return Err(DagError::DuplicateEdge {
+                from: prerequisite,
+                to: dependent,
+            });
         }
         self.edges.push((prerequisite, dependent));
         Ok(())
@@ -300,7 +303,10 @@ mod tests {
         let c = b.add_job(job(1, 1));
         b.add_dep(a, c).unwrap();
         b.add_dep(c, a).unwrap();
-        assert!(matches!(b.window(0, 10).build(), Err(DagError::Cycle { .. })));
+        assert!(matches!(
+            b.window(0, 10).build(),
+            Err(DagError::Cycle { .. })
+        ));
     }
 
     #[test]
@@ -349,7 +355,10 @@ mod tests {
     fn add_dep_validates_indices() {
         let mut b = WorkflowBuilder::new(WorkflowId::new(1), "w");
         let a = b.add_job(job(1, 1));
-        assert!(matches!(b.add_dep(a, 7), Err(DagError::NodeOutOfRange { .. })));
+        assert!(matches!(
+            b.add_dep(a, 7),
+            Err(DagError::NodeOutOfRange { .. })
+        ));
         assert!(matches!(b.add_dep(a, a), Err(DagError::SelfLoop { .. })));
     }
 }

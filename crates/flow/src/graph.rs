@@ -94,8 +94,18 @@ impl FlowNetwork {
         }
         let fwd_idx = self.adj[from].len();
         let rev_idx = self.adj[to].len() + usize::from(from == to);
-        self.adj[from].push(Arc { to, cap, rev: rev_idx, orig_cap: cap });
-        self.adj[to].push(Arc { to: from, cap: 0, rev: fwd_idx, orig_cap: 0 });
+        self.adj[from].push(Arc {
+            to,
+            cap,
+            rev: rev_idx,
+            orig_cap: cap,
+        });
+        self.adj[to].push(Arc {
+            to: from,
+            cap: 0,
+            rev: fwd_idx,
+            orig_cap: 0,
+        });
         self.edges.push((from, fwd_idx));
         Ok(EdgeId(self.edges.len() - 1))
     }

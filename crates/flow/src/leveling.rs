@@ -202,7 +202,11 @@ impl LevelingInstance {
             .filter(|&(_, &c)| c > 0)
             .map(|(&z, &c)| z as f64 / c as f64)
             .fold(0.0f64, f64::max);
-        Ok(LevelingSolution { allocation, slot_loads, peak_ratio })
+        Ok(LevelingSolution {
+            allocation,
+            slot_loads,
+            peak_ratio,
+        })
     }
 
     /// One parametric round: minimal peak over free slots given `fixed`
@@ -274,7 +278,10 @@ impl LevelingInstance {
             .collect()
     }
 
-    fn build_network(&self, caps: &[u64]) -> (FlowNetwork, Vec<(usize, usize, EdgeId)>, usize, usize) {
+    fn build_network(
+        &self,
+        caps: &[u64],
+    ) -> (FlowNetwork, Vec<(usize, usize, EdgeId)>, usize, usize) {
         let n_jobs = self.jobs.len();
         let n_slots = self.horizon();
         let source = 0usize;
@@ -284,7 +291,8 @@ impl LevelingInstance {
         let mut net = FlowNetwork::new(sink + 1);
         let mut placements = Vec::new();
         for (j, job) in self.jobs.iter().enumerate() {
-            net.add_edge(source, job_base + j, job.demand).expect("valid node");
+            net.add_edge(source, job_base + j, job.demand)
+                .expect("valid node");
             let per_slot = job.per_slot_cap.unwrap_or(job.demand).min(job.demand);
             for t in job.start..job.end {
                 let e = net
@@ -327,7 +335,11 @@ impl LevelingInstance {
             .filter(|&(_, &c)| c > 0)
             .map(|(&z, &c)| z as f64 / c as f64)
             .fold(0.0f64, f64::max);
-        Ok(LevelingSolution { allocation, slot_loads, peak_ratio })
+        Ok(LevelingSolution {
+            allocation,
+            slot_loads,
+            peak_ratio,
+        })
     }
 
     /// Free slots that cannot shed load at the given caps: the capacity arc
@@ -373,7 +385,12 @@ mod tests {
     use super::*;
 
     fn job(start: usize, end: usize, demand: u64) -> LevelingJob {
-        LevelingJob { start, end, demand, per_slot_cap: None }
+        LevelingJob {
+            start,
+            end,
+            demand,
+            per_slot_cap: None,
+        }
     }
 
     fn check_valid(inst: &LevelingInstance, sol: &LevelingSolution) {
@@ -438,7 +455,12 @@ mod tests {
     fn respects_per_slot_caps() {
         let inst = LevelingInstance {
             slot_caps: vec![100; 5],
-            jobs: vec![LevelingJob { start: 0, end: 5, demand: 10, per_slot_cap: Some(2) }],
+            jobs: vec![LevelingJob {
+                start: 0,
+                end: 5,
+                demand: 10,
+                per_slot_cap: Some(2),
+            }],
         };
         let sol = inst.solve_lexmin().unwrap();
         check_valid(&inst, &sol);
@@ -461,12 +483,18 @@ mod tests {
             slot_caps: vec![2; 2],
             jobs: vec![job(1, 1, 1)],
         };
-        assert_eq!(inst.solve_lexmin().unwrap_err(), FlowError::InvalidWindow { job: 0 });
+        assert_eq!(
+            inst.solve_lexmin().unwrap_err(),
+            FlowError::InvalidWindow { job: 0 }
+        );
         let inst2 = LevelingInstance {
             slot_caps: vec![2; 2],
             jobs: vec![job(0, 3, 1)],
         };
-        assert!(matches!(inst2.solve_lexmin(), Err(FlowError::InvalidWindow { .. })));
+        assert!(matches!(
+            inst2.solve_lexmin(),
+            Err(FlowError::InvalidWindow { .. })
+        ));
     }
 
     #[test]
@@ -485,7 +513,10 @@ mod tests {
 
     #[test]
     fn empty_instance() {
-        let inst = LevelingInstance { slot_caps: vec![5; 3], jobs: vec![] };
+        let inst = LevelingInstance {
+            slot_caps: vec![5; 3],
+            jobs: vec![],
+        };
         let sol = inst.solve_lexmin().unwrap();
         assert_eq!(sol.peak_ratio, 0.0);
         assert_eq!(sol.slot_loads, vec![0, 0, 0]);

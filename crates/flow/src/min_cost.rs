@@ -57,7 +57,10 @@ pub struct CostFlowNetwork {
 impl CostFlowNetwork {
     /// Creates a network with `n` nodes.
     pub fn new(n: usize) -> Self {
-        CostFlowNetwork { adj: vec![Vec::new(); n], edges: Vec::new() }
+        CostFlowNetwork {
+            adj: vec![Vec::new(); n],
+            edges: Vec::new(),
+        }
     }
 
     /// Number of nodes.
@@ -90,8 +93,20 @@ impl CostFlowNetwork {
         }
         let fwd = self.adj[from].len();
         let rev = self.adj[to].len() + usize::from(from == to);
-        self.adj[from].push(CostArc { to, cap, cost, rev, orig_cap: cap });
-        self.adj[to].push(CostArc { to: from, cap: 0, cost: -cost, rev: fwd, orig_cap: 0 });
+        self.adj[from].push(CostArc {
+            to,
+            cap,
+            cost,
+            rev,
+            orig_cap: cap,
+        });
+        self.adj[to].push(CostArc {
+            to: from,
+            cap: 0,
+            cost: -cost,
+            rev: fwd,
+            orig_cap: 0,
+        });
         self.edges.push((from, fwd));
         Ok(CostEdgeId(self.edges.len() - 1))
     }

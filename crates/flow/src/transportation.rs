@@ -40,10 +40,16 @@ impl Transportation {
         let n_slots = self.slot_caps.len();
         for &(j, s, _) in &self.edges {
             if j >= n_jobs {
-                return Err(FlowError::NodeOutOfRange { node: j, len: n_jobs });
+                return Err(FlowError::NodeOutOfRange {
+                    node: j,
+                    len: n_jobs,
+                });
             }
             if s >= n_slots {
-                return Err(FlowError::NodeOutOfRange { node: s, len: n_slots });
+                return Err(FlowError::NodeOutOfRange {
+                    node: s,
+                    len: n_slots,
+                });
             }
         }
         // Nodes: 0 = source, 1..=n_jobs = jobs, then slots, then sink.
@@ -136,7 +142,13 @@ mod tests {
         let alloc = inst.solve().unwrap().expect("feasible");
         assert_eq!(alloc[1], vec![(0, 5)]);
         let loads = slot_loads(&alloc, 2);
-        assert_eq!(loads[0], 5 + alloc[0].iter().find(|&&(s, _)| s == 0).map_or(0, |&(_, f)| f));
+        assert_eq!(
+            loads[0],
+            5 + alloc[0]
+                .iter()
+                .find(|&&(s, _)| s == 0)
+                .map_or(0, |&(_, f)| f)
+        );
     }
 
     #[test]
@@ -159,7 +171,10 @@ mod tests {
             slot_caps: vec![1],
             edges: vec![(0, 7, 1)],
         };
-        assert!(matches!(inst.solve(), Err(FlowError::NodeOutOfRange { .. })));
+        assert!(matches!(
+            inst.solve(),
+            Err(FlowError::NodeOutOfRange { .. })
+        ));
     }
 
     #[test]

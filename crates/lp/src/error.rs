@@ -44,7 +44,10 @@ impl fmt::Display for LpError {
             }
             LpError::NonFiniteCoefficient => f.write_str("non-finite coefficient in problem data"),
             LpError::VarOutOfRange { var, len } => {
-                write!(f, "variable {var} out of range for problem with {len} variables")
+                write!(
+                    f,
+                    "variable {var} out of range for problem with {len} variables"
+                )
             }
             LpError::Infeasible => f.write_str("linear program is infeasible"),
             LpError::Unbounded => f.write_str("linear program is unbounded"),
@@ -64,7 +67,10 @@ mod tests {
     #[test]
     fn messages_nonempty() {
         for e in [
-            LpError::InvalidBounds { lower: 1.0, upper: 0.0 },
+            LpError::InvalidBounds {
+                lower: 1.0,
+                upper: 0.0,
+            },
             LpError::NonFiniteCoefficient,
             LpError::VarOutOfRange { var: 4, len: 2 },
             LpError::Infeasible,

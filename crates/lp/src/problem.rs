@@ -128,7 +128,10 @@ impl Problem {
         let slot = self
             .objective
             .get_mut(var.0)
-            .ok_or(LpError::VarOutOfRange { var: var.0, len: self.lower.len() })?;
+            .ok_or(LpError::VarOutOfRange {
+                var: var.0,
+                len: self.lower.len(),
+            })?;
         *slot = obj;
         Ok(())
     }
@@ -144,7 +147,10 @@ impl Problem {
             return Err(LpError::InvalidBounds { lower, upper });
         }
         if var.0 >= self.lower.len() {
-            return Err(LpError::VarOutOfRange { var: var.0, len: self.lower.len() });
+            return Err(LpError::VarOutOfRange {
+                var: var.0,
+                len: self.lower.len(),
+            });
         }
         self.lower[var.0] = lower;
         self.upper[var.0] = upper;
@@ -184,7 +190,11 @@ impl Problem {
                 None => dense.push((var.0, coeff)),
             }
         }
-        self.constraints.push(Constraint { terms: dense, relation, rhs });
+        self.constraints.push(Constraint {
+            terms: dense,
+            relation,
+            rhs,
+        });
         Ok(self.constraints.len() - 1)
     }
 
@@ -209,7 +219,11 @@ impl Problem {
 
     /// Evaluates the objective at a point (no feasibility check).
     pub fn objective_at(&self, x: &[f64]) -> f64 {
-        self.objective.iter().zip(x.iter()).map(|(c, v)| c * v).sum()
+        self.objective
+            .iter()
+            .zip(x.iter())
+            .map(|(c, v)| c * v)
+            .sum()
     }
 
     /// Writes the problem in CPLEX LP file format — handy for eyeballing a
@@ -241,7 +255,12 @@ impl Problem {
         let mut first = true;
         for (j, &c) in self.objective.iter().enumerate() {
             if c != 0.0 {
-                write!(writer, " {}{} x{j}", if c >= 0.0 && !first { "+ " } else { "" }, fmt_coeff(c))?;
+                write!(
+                    writer,
+                    " {}{} x{j}",
+                    if c >= 0.0 && !first { "+ " } else { "" },
+                    fmt_coeff(c)
+                )?;
                 first = false;
             }
         }
@@ -254,7 +273,12 @@ impl Problem {
             write!(writer, " c{i}:")?;
             let mut first = true;
             for &(v, a) in &con.terms {
-                write!(writer, " {}{} x{v}", if a >= 0.0 && !first { "+ " } else { "" }, fmt_coeff(a))?;
+                write!(
+                    writer,
+                    " {}{} x{v}",
+                    if a >= 0.0 && !first { "+ " } else { "" },
+                    fmt_coeff(a)
+                )?;
                 first = false;
             }
             if first {
@@ -332,10 +356,17 @@ mod tests {
     fn constraint_validates_and_merges_duplicates() {
         let mut p = Problem::new();
         let x = p.add_var(0.0, 0.0, 1.0).unwrap();
-        assert!(p.add_constraint(&[(VarId(7), 1.0)], Relation::Le, 1.0).is_err());
-        assert!(p.add_constraint(&[(x, f64::INFINITY)], Relation::Le, 1.0).is_err());
-        assert!(p.add_constraint(&[(x, 1.0)], Relation::Le, f64::NAN).is_err());
-        p.add_constraint(&[(x, 1.0), (x, 2.0)], Relation::Le, 1.0).unwrap();
+        assert!(p
+            .add_constraint(&[(VarId(7), 1.0)], Relation::Le, 1.0)
+            .is_err());
+        assert!(p
+            .add_constraint(&[(x, f64::INFINITY)], Relation::Le, 1.0)
+            .is_err());
+        assert!(p
+            .add_constraint(&[(x, 1.0)], Relation::Le, f64::NAN)
+            .is_err());
+        p.add_constraint(&[(x, 1.0), (x, 2.0)], Relation::Le, 1.0)
+            .unwrap();
         assert_eq!(p.constraints[0].terms, vec![(0, 3.0)]);
     }
 
@@ -344,7 +375,8 @@ mod tests {
         let mut p = Problem::new();
         let x = p.add_var(1.0, 0.0, 10.0).unwrap();
         let y = p.add_var(1.0, 0.0, 10.0).unwrap();
-        p.add_constraint(&[(x, 1.0), (y, 1.0)], Relation::Eq, 5.0).unwrap();
+        p.add_constraint(&[(x, 1.0), (y, 1.0)], Relation::Eq, 5.0)
+            .unwrap();
         assert!(p.is_feasible(&[2.0, 3.0], 1e-9));
         assert!(!p.is_feasible(&[2.0, 2.0], 1e-9));
         assert!(!p.is_feasible(&[-1.0, 6.0], 1e-9));
@@ -357,7 +389,8 @@ mod tests {
         let mut p = Problem::new();
         let x = p.add_var(-1.0, 0.0, f64::INFINITY).unwrap();
         let y = p.add_var(2.5, 1.0, 4.0).unwrap();
-        p.add_constraint(&[(x, 1.0), (y, -3.0)], Relation::Le, 7.0).unwrap();
+        p.add_constraint(&[(x, 1.0), (y, -3.0)], Relation::Le, 7.0)
+            .unwrap();
         p.add_constraint(&[(y, 1.0)], Relation::Eq, 2.0).unwrap();
         let mut out = Vec::new();
         p.write_lp_format(&mut out).unwrap();

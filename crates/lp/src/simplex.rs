@@ -267,7 +267,7 @@ pub fn solve(problem: &Problem, options: &SimplexOptions) -> Result<Solution, Lp
         beta[i] = rhs;
     }
     upper.resize(n_real, f64::INFINITY); // slacks unbounded above
-    // Normalize rows to beta >= 0, then install artificial basis.
+                                         // Normalize rows to beta >= 0, then install artificial basis.
     for i in 0..m {
         if beta[i] < 0.0 {
             beta[i] = -beta[i];
@@ -310,7 +310,14 @@ pub fn solve(problem: &Problem, options: &SimplexOptions) -> Result<Solution, Lp
     let mut iterations = 0usize;
 
     // --- phase 1 --------------------------------------------------------
-    run_phase(&mut tab, true, tol, max_iterations, options.stall_limit, &mut iterations)?;
+    run_phase(
+        &mut tab,
+        true,
+        tol,
+        max_iterations,
+        options.stall_limit,
+        &mut iterations,
+    )?;
     if tab.objective(true) > 1e-6 {
         return Err(LpError::Infeasible);
     }
@@ -319,8 +326,8 @@ pub fn solve(problem: &Problem, options: &SimplexOptions) -> Result<Solution, Lp
     for r in 0..tab.m {
         if tab.basis[r] >= tab.art_start {
             let row_start = r * tab.width;
-            if let Some(j) = (0..tab.n_real)
-                .find(|&j| tab.upper[j] > 0.0 && tab.t[row_start + j].abs() > 1e-7)
+            if let Some(j) =
+                (0..tab.n_real).find(|&j| tab.upper[j] > 0.0 && tab.t[row_start + j].abs() > 1e-7)
             {
                 tab.pivot(r, j);
             }
@@ -332,7 +339,14 @@ pub fn solve(problem: &Problem, options: &SimplexOptions) -> Result<Solution, Lp
     }
 
     // --- phase 2 --------------------------------------------------------
-    run_phase(&mut tab, false, tol, max_iterations, options.stall_limit, &mut iterations)?;
+    run_phase(
+        &mut tab,
+        false,
+        tol,
+        max_iterations,
+        options.stall_limit,
+        &mut iterations,
+    )?;
 
     // --- extraction -----------------------------------------------------
     let mut shifted = vec![0.0f64; tab.n_real];
@@ -378,7 +392,9 @@ fn run_phase(
     let mut since_refresh = 0usize;
     loop {
         if *iterations >= max_iterations {
-            return Err(LpError::IterationLimit { limit: max_iterations });
+            return Err(LpError::IterationLimit {
+                limit: max_iterations,
+            });
         }
         if since_refresh >= REFRESH_EVERY {
             d = tab.reduced_costs(phase1);
@@ -509,7 +525,12 @@ fn update_reduced_costs(d: &mut [f64], tab: &Tableau, r: usize, dj_before: f64) 
 /// variable index (with flips ranked last); under Dantzig, prefer the row
 /// whose pivot element has larger magnitude for numerical stability — here
 /// approximated by preferring any row over a flip and lower basis index.
-fn better_leave(tab: &Tableau, current: &RatioOutcome, candidate_row: usize, pricing: Pricing) -> bool {
+fn better_leave(
+    tab: &Tableau,
+    current: &RatioOutcome,
+    candidate_row: usize,
+    pricing: Pricing,
+) -> bool {
     let cand = tab.basis[candidate_row];
     match current {
         RatioOutcome::Flip | RatioOutcome::Unbounded => true,
@@ -539,7 +560,8 @@ mod tests {
         let y = p.add_var(-5.0, 0.0, INF).unwrap();
         p.add_constraint(&[(x, 1.0)], Relation::Le, 4.0).unwrap();
         p.add_constraint(&[(y, 2.0)], Relation::Le, 12.0).unwrap();
-        p.add_constraint(&[(x, 3.0), (y, 2.0)], Relation::Le, 18.0).unwrap();
+        p.add_constraint(&[(x, 3.0), (y, 2.0)], Relation::Le, 18.0)
+            .unwrap();
         let sol = p.solve().unwrap();
         assert_close(sol.objective, -36.0);
         assert_close(sol.value(x), 2.0);
@@ -552,8 +574,10 @@ mod tests {
         let mut p = Problem::new();
         let x = p.add_var(1.0, 0.0, INF).unwrap();
         let y = p.add_var(1.0, 0.0, INF).unwrap();
-        p.add_constraint(&[(x, 1.0), (y, 2.0)], Relation::Eq, 4.0).unwrap();
-        p.add_constraint(&[(x, 1.0), (y, -1.0)], Relation::Eq, 1.0).unwrap();
+        p.add_constraint(&[(x, 1.0), (y, 2.0)], Relation::Eq, 4.0)
+            .unwrap();
+        p.add_constraint(&[(x, 1.0), (y, -1.0)], Relation::Eq, 1.0)
+            .unwrap();
         let sol = p.solve().unwrap();
         assert_close(sol.value(x), 2.0);
         assert_close(sol.value(y), 1.0);
@@ -566,7 +590,8 @@ mod tests {
         let mut p = Problem::new();
         let x = p.add_var(2.0, 2.0, INF).unwrap();
         let y = p.add_var(3.0, 1.0, 4.0).unwrap();
-        p.add_constraint(&[(x, 1.0), (y, 1.0)], Relation::Ge, 10.0).unwrap();
+        p.add_constraint(&[(x, 1.0), (y, 1.0)], Relation::Ge, 10.0)
+            .unwrap();
         let sol = p.solve().unwrap();
         // Cheaper to use x: y stays at its lower bound 1, x = 9.
         assert_close(sol.value(x), 9.0);
@@ -590,7 +615,8 @@ mod tests {
         let mut p = Problem::new();
         let x = p.add_var(-1.0, 0.0, 10.0).unwrap();
         let y = p.add_var(-2.0, 0.0, 3.0).unwrap();
-        p.add_constraint(&[(x, 1.0), (y, 1.0)], Relation::Le, 4.0).unwrap();
+        p.add_constraint(&[(x, 1.0), (y, 1.0)], Relation::Le, 4.0)
+            .unwrap();
         let sol = p.solve().unwrap();
         assert_close(sol.value(x), 1.0);
         assert_close(sol.value(y), 3.0);
@@ -603,7 +629,8 @@ mod tests {
         let mut p = Problem::new();
         let x = p.add_var(-1.0, 0.0, 5.0).unwrap();
         let y = p.add_var(-1.0, 0.0, 4.0).unwrap();
-        p.add_constraint(&[(x, 1.0), (y, -1.0)], Relation::Le, 2.0).unwrap();
+        p.add_constraint(&[(x, 1.0), (y, -1.0)], Relation::Le, 2.0)
+            .unwrap();
         let sol = p.solve().unwrap();
         assert_close(sol.value(x), 5.0);
         assert_close(sol.value(y), 4.0);
@@ -631,7 +658,8 @@ mod tests {
         let mut p = Problem::new();
         let x = p.add_var(-1.0, 0.0, INF).unwrap();
         let y = p.add_var(0.0, 0.0, INF).unwrap();
-        p.add_constraint(&[(x, 1.0), (y, -1.0)], Relation::Le, 1.0).unwrap();
+        p.add_constraint(&[(x, 1.0), (y, -1.0)], Relation::Le, 1.0)
+            .unwrap();
         assert_eq!(p.solve().unwrap_err(), LpError::Unbounded);
     }
 
@@ -640,7 +668,8 @@ mod tests {
         let mut p = Problem::new();
         let x = p.add_var(-1.0, 2.5, 2.5).unwrap();
         let y = p.add_var(-1.0, 0.0, 1.0).unwrap();
-        p.add_constraint(&[(x, 1.0), (y, 1.0)], Relation::Le, 10.0).unwrap();
+        p.add_constraint(&[(x, 1.0), (y, 1.0)], Relation::Le, 10.0)
+            .unwrap();
         let sol = p.solve().unwrap();
         assert_close(sol.value(x), 2.5);
         assert_close(sol.value(y), 1.0);
@@ -651,8 +680,10 @@ mod tests {
         let mut p = Problem::new();
         let x = p.add_var(1.0, 0.0, INF).unwrap();
         let y = p.add_var(1.0, 0.0, INF).unwrap();
-        p.add_constraint(&[(x, 1.0), (y, 1.0)], Relation::Eq, 4.0).unwrap();
-        p.add_constraint(&[(x, 2.0), (y, 2.0)], Relation::Eq, 8.0).unwrap();
+        p.add_constraint(&[(x, 1.0), (y, 1.0)], Relation::Eq, 4.0)
+            .unwrap();
+        p.add_constraint(&[(x, 2.0), (y, 2.0)], Relation::Eq, 8.0)
+            .unwrap();
         let sol = p.solve().unwrap();
         assert_close(sol.objective, 4.0);
     }
@@ -666,10 +697,18 @@ mod tests {
         let z = p.add_var(-0.02, 0.0, INF).unwrap();
         let w = p.add_var(6.0, 0.0, INF).unwrap();
         // Beale's cycling example (min form).
-        p.add_constraint(&[(x, 0.25), (y, -60.0), (z, -0.04), (w, 9.0)], Relation::Le, 0.0)
-            .unwrap();
-        p.add_constraint(&[(x, 0.5), (y, -90.0), (z, -0.02), (w, 3.0)], Relation::Le, 0.0)
-            .unwrap();
+        p.add_constraint(
+            &[(x, 0.25), (y, -60.0), (z, -0.04), (w, 9.0)],
+            Relation::Le,
+            0.0,
+        )
+        .unwrap();
+        p.add_constraint(
+            &[(x, 0.5), (y, -90.0), (z, -0.02), (w, 3.0)],
+            Relation::Le,
+            0.0,
+        )
+        .unwrap();
         p.add_constraint(&[(z, 1.0)], Relation::Le, 1.0).unwrap();
         let sol = p.solve().unwrap();
         assert_close(sol.objective, -0.05);
@@ -692,8 +731,10 @@ mod tests {
         let mut p = Problem::new();
         let x = p.add_var(1.0, 0.0, INF).unwrap();
         let y = p.add_var(1.0, 0.0, INF).unwrap();
-        p.add_constraint(&[(x, 1.0), (y, -1.0)], Relation::Ge, -3.0).unwrap();
-        p.add_constraint(&[(x, 1.0), (y, 1.0)], Relation::Ge, 2.0).unwrap();
+        p.add_constraint(&[(x, 1.0), (y, -1.0)], Relation::Ge, -3.0)
+            .unwrap();
+        p.add_constraint(&[(x, 1.0), (y, 1.0)], Relation::Ge, 2.0)
+            .unwrap();
         let sol = p.solve().unwrap();
         assert_close(sol.objective, 2.0);
     }
@@ -703,7 +744,10 @@ mod tests {
         let mut p = Problem::new();
         let x = p.add_var(-1.0, 0.0, INF).unwrap();
         p.add_constraint(&[(x, 1.0)], Relation::Le, 1.0).unwrap();
-        let opts = SimplexOptions { max_iterations: 0, ..Default::default() };
+        let opts = SimplexOptions {
+            max_iterations: 0,
+            ..Default::default()
+        };
         assert!(p.solve_with(&opts).is_ok());
         // A limit of zero iterations cannot even complete phase 1 pivots...
         // but phase 1 with b=0 rows may need no pivots; use an always-pivoting
@@ -711,7 +755,10 @@ mod tests {
         let mut q = Problem::new();
         let v = q.add_var(1.0, 0.0, INF).unwrap();
         q.add_constraint(&[(v, 1.0)], Relation::Eq, 2.0).unwrap();
-        let strict = SimplexOptions { max_iterations: 1, ..Default::default() };
+        let strict = SimplexOptions {
+            max_iterations: 1,
+            ..Default::default()
+        };
         // Either it solves within one pivot or reports the limit; both are
         // acceptable contracts, but it must not loop forever.
         match q.solve_with(&strict) {
@@ -729,7 +776,9 @@ mod tests {
         let mut vars = Vec::new();
         let mut state = 0x12345678u64;
         let mut rnd = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) as f64) / (u32::MAX as f64)
         };
         for _ in 0..12 {

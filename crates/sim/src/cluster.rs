@@ -48,7 +48,11 @@ impl ClusterConfig {
     /// Creates a cluster with the given base capacity and slot duration in
     /// seconds (used only for converting metrics to wall-clock units).
     pub fn new(capacity: ResourceVec, slot_seconds: f64) -> Self {
-        ClusterConfig { capacity, slot_seconds, windows: Vec::new() }
+        ClusterConfig {
+            capacity,
+            slot_seconds,
+            windows: Vec::new(),
+        }
     }
 
     /// Adds a capacity override for `[from_slot, to_slot)`. Overlapping
@@ -60,7 +64,11 @@ impl ClusterConfig {
         to_slot: u64,
         capacity: ResourceVec,
     ) -> Self {
-        self.windows.push(CapacityWindow { from_slot, to_slot, capacity });
+        self.windows.push(CapacityWindow {
+            from_slot,
+            to_slot,
+            capacity,
+        });
         self
     }
 
@@ -105,8 +113,11 @@ mod tests {
 
     #[test]
     fn windows_override_in_range_only() {
-        let c = ClusterConfig::new(ResourceVec::new([10, 100]), 5.0)
-            .with_capacity_window(5, 8, ResourceVec::new([4, 40]));
+        let c = ClusterConfig::new(ResourceVec::new([10, 100]), 5.0).with_capacity_window(
+            5,
+            8,
+            ResourceVec::new([4, 40]),
+        );
         assert!(c.has_capacity_windows());
         assert_eq!(c.capacity_at(4), ResourceVec::new([10, 100]));
         assert_eq!(c.capacity_at(5), ResourceVec::new([4, 40]));

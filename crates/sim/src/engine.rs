@@ -2,17 +2,19 @@
 
 use crate::cluster::ClusterConfig;
 use crate::error::SimError;
+use crate::invariants::InvariantChecker;
 use crate::job::{JobClass, JobRuntime, SimWorkload};
 use crate::metrics::{JobOutcome, Metrics, WorkflowOutcome};
-use crate::scheduler::Scheduler;
 use crate::placement::NodePool;
+use crate::scheduler::Scheduler;
 use crate::state::{SimState, WorkflowInstance};
 use crate::timeline::{Timeline, TimelineEntry};
 use flowtime_dag::{JobId, ResourceVec};
+use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// Result of a completed simulation.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SimOutcome {
     /// Aggregated metrics.
     pub metrics: Metrics,
@@ -40,6 +42,7 @@ pub struct Engine {
     timeline: Option<Timeline>,
     nodes: Option<NodePool>,
     placement_shortfalls: Vec<u64>,
+    checker: InvariantChecker,
 }
 
 impl Engine {
@@ -88,7 +91,10 @@ impl Engine {
                 let is_source = wf.dag().predecessors(node).is_empty();
                 jobs.push(JobRuntime {
                     id,
-                    class: JobClass::Deadline { workflow: wf.id(), node },
+                    class: JobClass::Deadline {
+                        workflow: wf.id(),
+                        node,
+                    },
                     estimate: spec.clone(),
                     actual_work,
                     arrival_slot: wf.submit_slot(),
@@ -99,7 +105,10 @@ impl Engine {
                 });
                 job_ids.push(id);
             }
-            workflows.push(WorkflowInstance { submission, job_ids });
+            workflows.push(WorkflowInstance {
+                submission,
+                job_ids,
+            });
         }
         for adhoc in workload.adhoc {
             let id = JobId::new(next_id);
@@ -119,14 +128,44 @@ impl Engine {
         let by_id: HashMap<JobId, usize> =
             jobs.iter().enumerate().map(|(i, j)| (j.id, i)).collect();
         Ok(Engine {
-            state: SimState { now: 0, cluster, jobs, workflows, by_id },
+            state: SimState {
+                now: 0,
+                cluster,
+                jobs,
+                workflows,
+                by_id,
+            },
             max_slots,
             slot_loads: Vec::new(),
             slot_capacities: Vec::new(),
             timeline: None,
             nodes: None,
             placement_shortfalls: Vec::new(),
+            checker: InvariantChecker::new(true),
         })
+    }
+
+    /// Enables or disables the extended accounting invariants (see
+    /// [`crate::invariants`]). On by default; the scheduler-misbehaviour
+    /// checks (capacity, readiness, parallelism) are always enforced
+    /// regardless of this flag.
+    #[must_use]
+    pub fn with_invariants(mut self, extended: bool) -> Self {
+        self.checker = InvariantChecker::new(extended);
+        self
+    }
+
+    /// Read access to the engine's world state (for in-crate tests).
+    #[cfg(test)]
+    pub(crate) fn state(&self) -> &SimState {
+        &self.state
+    }
+
+    /// Mutable access to the engine's world state (for in-crate tests that
+    /// deliberately corrupt it).
+    #[cfg(test)]
+    pub(crate) fn state_mut(&mut self) -> &mut SimState {
+        &mut self.state
     }
 
     /// Enables per-allocation recording; the result is returned in
@@ -159,37 +198,28 @@ impl Engine {
     pub fn run(mut self, scheduler: &mut dyn Scheduler) -> Result<SimOutcome, SimError> {
         while self.state.now < self.max_slots {
             if self.state.jobs.iter().all(JobRuntime::is_complete) {
+                self.checker.check_final(&self.state)?;
                 return Ok(self.finish());
             }
             let allocation = scheduler.plan_slot(&self.state);
             let now = self.state.now;
 
-            // Validate.
+            // Validate: scheduler rules plus (by default) the accounting
+            // invariants, all owned by the checker.
             let pairs: Vec<(JobId, u64)> = allocation.iter().collect();
-            for &(id, q) in &pairs {
-                let Some(&idx) = self.state.by_id.get(&id) else {
-                    return Err(SimError::UnknownJob { job: id });
-                };
-                let job = &self.state.jobs[idx];
-                if job.arrival_slot > now || !job.is_runnable(now) {
-                    return Err(SimError::JobNotRunnable { job: id, slot: now });
-                }
-                let cap = job.estimate.effective_parallel().min(job.remaining_actual());
-                if q > cap {
-                    return Err(SimError::ParallelismExceeded { job: id, requested: q, cap });
-                }
-            }
+            self.checker.check_slot(&self.state, &pairs)?;
             let used = self.state.allocation_usage(&pairs);
-            if !used.fits_within(&self.state.capacity_now()) {
-                return Err(SimError::CapacityExceeded { slot: now });
-            }
 
             // Apply: each allocated task performs one task-slot of work.
             self.slot_loads.push(used);
             self.slot_capacities.push(self.state.capacity_now());
             if let Some(tl) = &mut self.timeline {
                 for &(id, q) in &pairs {
-                    tl.entries.push(TimelineEntry { slot: now, job: id, tasks: q });
+                    tl.entries.push(TimelineEntry {
+                        slot: now,
+                        job: id,
+                        tasks: q,
+                    });
                 }
             }
             if let Some(pool) = &self.nodes {
@@ -215,15 +245,14 @@ impl Engine {
             self.state.now += 1;
         }
         if self.state.jobs.iter().all(JobRuntime::is_complete) {
+            self.checker.check_final(&self.state)?;
             Ok(self.finish())
         } else {
-            let incomplete = self
-                .state
-                .jobs
-                .iter()
-                .filter(|j| !j.is_complete())
-                .count();
-            Err(SimError::HorizonExhausted { max_slots: self.max_slots, incomplete })
+            let incomplete = self.state.jobs.iter().filter(|j| !j.is_complete()).count();
+            Err(SimError::HorizonExhausted {
+                max_slots: self.max_slots,
+                incomplete,
+            })
         }
     }
 
@@ -298,10 +327,7 @@ impl Engine {
             },
             slots_elapsed,
             timeline: self.timeline,
-            placement_shortfalls: self
-                .nodes
-                .is_some()
-                .then_some(self.placement_shortfalls),
+            placement_shortfalls: self.nodes.is_some().then_some(self.placement_shortfalls),
         }
     }
 }
@@ -323,7 +349,10 @@ mod tests {
             let mut alloc = Allocation::new();
             let mut free = state.capacity();
             for job in state.runnable_jobs() {
-                let fit = job.per_task.times_fitting(&free).min(job.max_tasks_this_slot);
+                let fit = job
+                    .per_task
+                    .times_fitting(&free)
+                    .min(job.max_tasks_this_slot);
                 if fit > 0 {
                     alloc.assign(job.id, fit);
                     free -= job.per_task * fit;
@@ -367,7 +396,10 @@ mod tests {
     fn workflow_dependencies_gate_execution() {
         let mut wl = SimWorkload::default();
         wl.workflows.push(chain_workflow(0, 100));
-        let out = Engine::new(cluster(8), wl, 200).unwrap().run(&mut Greedy).unwrap();
+        let out = Engine::new(cluster(8), wl, 200)
+            .unwrap()
+            .run(&mut Greedy)
+            .unwrap();
         let jobs = &out.metrics.jobs;
         // First job: 8 units at 4-wide = 2 slots, completes at slot 2.
         assert_eq!(jobs[0].completion_slot, 2);
@@ -387,7 +419,10 @@ mod tests {
         let mut wl = SimWorkload::default();
         wl.adhoc.push(AdhocSubmission::new(spec(8, 4), 0));
         wl.adhoc.push(AdhocSubmission::new(spec(8, 4), 0));
-        let out = Engine::new(cluster(8), wl, 100).unwrap().run(&mut Greedy).unwrap();
+        let out = Engine::new(cluster(8), wl, 100)
+            .unwrap()
+            .run(&mut Greedy)
+            .unwrap();
         for load in &out.metrics.slot_loads {
             assert!(load.fits_within(&ResourceVec::new([8, 8 * 4096])));
         }
@@ -416,7 +451,10 @@ mod tests {
         wl.adhoc.push(AdhocSubmission::new(spec(8, 4), 0));
         wl.adhoc.push(AdhocSubmission::new(spec(8, 4), 0));
         // Cluster of 8 cores cannot host 16 concurrent tasks.
-        let err = Engine::new(cluster(8), wl, 100).unwrap().run(&mut Cheater).unwrap_err();
+        let err = Engine::new(cluster(8), wl, 100)
+            .unwrap()
+            .run(&mut Cheater)
+            .unwrap_err();
         assert_eq!(err, SimError::CapacityExceeded { slot: 0 });
     }
 
@@ -438,7 +476,10 @@ mod tests {
         }
         let mut wl = SimWorkload::default();
         wl.workflows.push(chain_workflow(0, 100));
-        let err = Engine::new(cluster(8), wl, 100).unwrap().run(&mut EagerBeaver).unwrap_err();
+        let err = Engine::new(cluster(8), wl, 100)
+            .unwrap()
+            .run(&mut EagerBeaver)
+            .unwrap_err();
         assert!(matches!(err, SimError::JobNotRunnable { .. }));
     }
 
@@ -459,7 +500,10 @@ mod tests {
         }
         let mut wl = SimWorkload::default();
         wl.adhoc.push(AdhocSubmission::new(spec(4, 1), 0));
-        let err = Engine::new(cluster(64), wl, 100).unwrap().run(&mut Wide).unwrap_err();
+        let err = Engine::new(cluster(64), wl, 100)
+            .unwrap()
+            .run(&mut Wide)
+            .unwrap_err();
         assert!(matches!(err, SimError::ParallelismExceeded { .. }));
     }
 
@@ -476,8 +520,17 @@ mod tests {
         }
         let mut wl = SimWorkload::default();
         wl.adhoc.push(AdhocSubmission::new(spec(1, 1), 0));
-        let err = Engine::new(cluster(8), wl, 5).unwrap().run(&mut Lazy).unwrap_err();
-        assert_eq!(err, SimError::HorizonExhausted { max_slots: 5, incomplete: 1 });
+        let err = Engine::new(cluster(8), wl, 5)
+            .unwrap()
+            .run(&mut Lazy)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            SimError::HorizonExhausted {
+                max_slots: 5,
+                incomplete: 1
+            }
+        );
     }
 
     #[test]
@@ -487,7 +540,10 @@ mod tests {
         sub.actual_work = Some(vec![12, 8]);
         let mut wl = SimWorkload::default();
         wl.workflows.push(sub);
-        let out = Engine::new(cluster(8), wl, 200).unwrap().run(&mut Greedy).unwrap();
+        let out = Engine::new(cluster(8), wl, 200)
+            .unwrap()
+            .run(&mut Greedy)
+            .unwrap();
         // 12 units at 4-wide = 3 slots.
         assert_eq!(out.metrics.jobs[0].completion_slot, 3);
     }
@@ -534,7 +590,10 @@ mod tests {
         let sub = chain_workflow(0, 100).with_job_deadlines(vec![1, 100]);
         let mut wl = SimWorkload::default();
         wl.workflows.push(sub);
-        let out = Engine::new(cluster(8), wl, 200).unwrap().run(&mut Greedy).unwrap();
+        let out = Engine::new(cluster(8), wl, 200)
+            .unwrap()
+            .run(&mut Greedy)
+            .unwrap();
         // First job needs 2 slots but milestone was 1: one miss.
         assert_eq!(out.metrics.job_deadline_misses(), 1);
     }

@@ -52,6 +52,19 @@ pub enum SimError {
         /// Human-readable reason.
         reason: &'static str,
     },
+    /// An accounting invariant failed inside the engine — see
+    /// [`crate::invariants`] for the rule catalogue. Unlike the
+    /// scheduler-misbehaviour variants above, this indicates a bug in the
+    /// simulator (or deliberately corrupted state in tests), never in the
+    /// scheduler under test.
+    InvariantViolation {
+        /// Slot at which the violation was detected.
+        slot: u64,
+        /// The offending job, when the rule is per-job.
+        job: Option<JobId>,
+        /// Stable rule name (e.g. `work-conservation`).
+        rule: &'static str,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -64,15 +77,28 @@ impl fmt::Display for SimError {
             SimError::JobNotRunnable { job, slot } => {
                 write!(f, "allocation to non-runnable job {job} at slot {slot}")
             }
-            SimError::ParallelismExceeded { job, requested, cap } => {
+            SimError::ParallelismExceeded {
+                job,
+                requested,
+                cap,
+            } => {
                 write!(f, "job {job} allocated {requested} tasks, cap is {cap}")
             }
-            SimError::HorizonExhausted { max_slots, incomplete } => {
+            SimError::HorizonExhausted {
+                max_slots,
+                incomplete,
+            } => {
                 write!(f, "simulation horizon of {max_slots} slots exhausted with {incomplete} incomplete jobs")
             }
             SimError::MalformedSubmission { reason } => {
                 write!(f, "malformed submission: {reason}")
             }
+            SimError::InvariantViolation { slot, job, rule } => match job {
+                Some(job) => {
+                    write!(f, "invariant '{rule}' violated at slot {slot} by job {job}")
+                }
+                None => write!(f, "invariant '{rule}' violated at slot {slot}"),
+            },
         }
     }
 }
@@ -88,10 +114,30 @@ mod tests {
         for e in [
             SimError::CapacityExceeded { slot: 1 },
             SimError::UnknownJob { job: JobId::new(1) },
-            SimError::JobNotRunnable { job: JobId::new(1), slot: 2 },
-            SimError::ParallelismExceeded { job: JobId::new(1), requested: 5, cap: 2 },
-            SimError::HorizonExhausted { max_slots: 10, incomplete: 3 },
+            SimError::JobNotRunnable {
+                job: JobId::new(1),
+                slot: 2,
+            },
+            SimError::ParallelismExceeded {
+                job: JobId::new(1),
+                requested: 5,
+                cap: 2,
+            },
+            SimError::HorizonExhausted {
+                max_slots: 10,
+                incomplete: 3,
+            },
             SimError::MalformedSubmission { reason: "x" },
+            SimError::InvariantViolation {
+                slot: 4,
+                job: None,
+                rule: "work-conservation",
+            },
+            SimError::InvariantViolation {
+                slot: 4,
+                job: Some(JobId::new(9)),
+                rule: "completion-accounting",
+            },
         ] {
             assert!(!e.to_string().is_empty());
         }

@@ -1,0 +1,418 @@
+//! Deterministic fault injection.
+//!
+//! The paper's robustness discussion (Section III-A) asks how schedulers
+//! behave when reality diverges from the model: task runtimes are
+//! mis-estimated, nodes churn in and out of the cluster, and ad-hoc load
+//! arrives in bursts rather than smoothly. [`FaultPlan`] materializes all
+//! of those divergences from a single `u64` seed, by rewriting a
+//! [`SimWorkload`] / [`ClusterConfig`] pair *before* the simulation starts:
+//!
+//! * **Runtime misestimation** — each workflow job's ground-truth
+//!   `actual_work` is scaled by a log-normal factor around its estimate, so
+//!   schedulers plan against systematically wrong numbers.
+//! * **Capacity churn** — maintenance-style [`crate::cluster::CapacityWindow`]s
+//!   periodically remove a fraction of the cluster, exercising the paper's
+//!   time-varying cap `C_t^r`.
+//! * **Arrival bursts** — extra ad-hoc jobs are injected in tight clusters,
+//!   the adversarial counterpart of the generator's smooth Poisson stream.
+//! * **Delayed submissions** — whole workflows slip to later submit slots
+//!   (window length preserved, milestones shifted with them), modelling
+//!   upstream pipeline delays.
+//!
+//! Because the plan only rewrites inputs and the engine itself is
+//! deterministic, the same `(workload, cluster, seed)` triple always yields
+//! a bit-identical [`crate::SimOutcome`] — which is what makes differential
+//! testing across schedulers sound. A plan built from
+//! [`FaultConfig::none`] (all intensities zero) is the identity.
+
+use crate::cluster::ClusterConfig;
+use crate::job::{AdhocSubmission, SimWorkload};
+use flowtime_dag::JobSpec;
+use serde::{Deserialize, Serialize};
+
+/// Intensities of each fault class. All-zero (the [`FaultConfig::none`]
+/// default) disables injection entirely.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultConfig {
+    /// Seed from which every random choice below is derived.
+    pub seed: u64,
+    /// Log-normal σ of the `actual / estimated` work factor for workflow
+    /// jobs. `0.0` leaves ground truth untouched; `0.3` yields roughly
+    /// ±35% runtime errors.
+    pub misestimate_sigma: f64,
+    /// Fraction of base capacity removed during each churn window, in
+    /// `[0, 1)`. `0.0` disables churn.
+    pub churn_severity: f64,
+    /// Mean slots between churn windows (each window lasts about a quarter
+    /// of this). Ignored when `churn_severity` is zero.
+    pub churn_period: u64,
+    /// Number of extra ad-hoc jobs injected as bursts. `0` disables bursts.
+    pub burst_jobs: usize,
+    /// Upper bound on the random submission delay applied to each
+    /// workflow, in slots. `0` disables delays.
+    pub max_submit_delay: u64,
+}
+
+impl FaultConfig {
+    /// No faults: applying the resulting plan changes nothing.
+    pub fn none(seed: u64) -> Self {
+        FaultConfig {
+            seed,
+            misestimate_sigma: 0.0,
+            churn_severity: 0.0,
+            churn_period: 200,
+            burst_jobs: 0,
+            max_submit_delay: 0,
+        }
+    }
+
+    /// A moderate all-of-the-above mix, the default of the differential
+    /// test suite and the `robustness` sweep.
+    pub fn mixed(seed: u64) -> Self {
+        FaultConfig {
+            seed,
+            misestimate_sigma: 0.25,
+            churn_severity: 0.2,
+            churn_period: 150,
+            burst_jobs: 6,
+            max_submit_delay: 20,
+        }
+    }
+
+    /// Sets the misestimation σ.
+    #[must_use]
+    pub fn with_misestimate(mut self, sigma: f64) -> Self {
+        self.misestimate_sigma = sigma.max(0.0);
+        self
+    }
+
+    /// Sets churn severity (fraction of capacity removed per window).
+    #[must_use]
+    pub fn with_churn(mut self, severity: f64) -> Self {
+        self.churn_severity = severity.clamp(0.0, 0.95);
+        self
+    }
+
+    /// Sets the number of injected burst jobs.
+    #[must_use]
+    pub fn with_bursts(mut self, jobs: usize) -> Self {
+        self.burst_jobs = jobs;
+        self
+    }
+
+    /// Sets the maximum workflow submission delay.
+    #[must_use]
+    pub fn with_submit_delay(mut self, max_slots: u64) -> Self {
+        self.max_submit_delay = max_slots;
+        self
+    }
+}
+
+/// A concrete, seeded injection plan. See the [module docs](self).
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    config: FaultConfig,
+}
+
+impl FaultPlan {
+    /// Builds a plan from a config.
+    pub fn new(config: FaultConfig) -> Self {
+        FaultPlan { config }
+    }
+
+    /// The underlying configuration.
+    pub fn config(&self) -> &FaultConfig {
+        &self.config
+    }
+
+    /// Rewrites `workload` and `cluster` in place. `horizon` bounds where
+    /// churn windows and bursts may land (pass the experiment's interesting
+    /// range, e.g. the ad-hoc horizon — *not* the engine's `max_slots`
+    /// safety bound).
+    ///
+    /// Deterministic: identical inputs and config produce identical
+    /// rewrites, independent of platform.
+    pub fn apply(&self, workload: &mut SimWorkload, cluster: &mut ClusterConfig, horizon: u64) {
+        let mut rng = SplitMix64::new(self.config.seed);
+        self.delay_submissions(workload, &mut rng);
+        self.misestimate_runtimes(workload, &mut rng);
+        self.degrade_capacity(cluster, horizon, &mut rng);
+        self.inject_bursts(workload, horizon, &mut rng);
+    }
+
+    /// Shifts each workflow to a later submit slot (window length and
+    /// milestone offsets preserved), uniformly in `[0, max_submit_delay]`.
+    fn delay_submissions(&self, workload: &mut SimWorkload, rng: &mut SplitMix64) {
+        if self.config.max_submit_delay == 0 {
+            return;
+        }
+        for sub in &mut workload.workflows {
+            let delay = rng.below(self.config.max_submit_delay + 1);
+            if delay == 0 {
+                continue;
+            }
+            let wf = &sub.workflow;
+            sub.workflow = wf.recur_at(wf.id(), wf.submit_slot() + delay);
+            if let Some(milestones) = &mut sub.job_deadlines {
+                for m in milestones.iter_mut() {
+                    *m += delay;
+                }
+            }
+        }
+    }
+
+    /// Replaces each workflow job's ground-truth work with
+    /// `estimate * exp(σ·z)`, `z` standard normal — schedulers keep seeing
+    /// the estimate. Submissions that already carry explicit `actual_work`
+    /// are scaled from that ground truth instead.
+    fn misestimate_runtimes(&self, workload: &mut SimWorkload, rng: &mut SplitMix64) {
+        let sigma = self.config.misestimate_sigma;
+        if sigma <= 0.0 {
+            return;
+        }
+        for sub in &mut workload.workflows {
+            let base: Vec<u64> = match &sub.actual_work {
+                Some(actual) => actual.clone(),
+                None => sub.workflow.jobs().iter().map(JobSpec::work).collect(),
+            };
+            let faulted = base
+                .iter()
+                .map(|&w| {
+                    let factor = (sigma * rng.standard_normal()).exp();
+                    ((w as f64) * factor).round().max(1.0) as u64
+                })
+                .collect();
+            sub.actual_work = Some(faulted);
+        }
+    }
+
+    /// Adds capacity windows that remove `churn_severity` of the base
+    /// capacity, spaced about `churn_period` slots apart within
+    /// `[0, horizon)`, each lasting about a quarter period.
+    fn degrade_capacity(&self, cluster: &mut ClusterConfig, horizon: u64, rng: &mut SplitMix64) {
+        let severity = self.config.churn_severity;
+        if severity <= 0.0 || horizon == 0 {
+            return;
+        }
+        let period = self.config.churn_period.max(4);
+        let keep = 1.0 - severity.clamp(0.0, 0.95);
+        let degraded = flowtime_dag::ResourceVec::new(
+            cluster
+                .capacity()
+                .as_array()
+                .map(|c| (((c as f64) * keep).floor() as u64).max(1)),
+        );
+        let mut start = rng.below(period);
+        while start < horizon {
+            let len = 1 + rng.below(period / 2).max(period / 4);
+            let mut degraded_cluster = cluster.clone();
+            degraded_cluster = degraded_cluster.with_capacity_window(start, start + len, degraded);
+            *cluster = degraded_cluster;
+            start += period / 2 + rng.below(period);
+        }
+    }
+
+    /// Injects `burst_jobs` extra ad-hoc jobs in tight clusters around a
+    /// few burst centres in `[0, horizon)`. Container shape follows the
+    /// existing ad-hoc jobs when present, else a 1-core task.
+    fn inject_bursts(&self, workload: &mut SimWorkload, horizon: u64, rng: &mut SplitMix64) {
+        let n = self.config.burst_jobs;
+        if n == 0 || horizon == 0 {
+            return;
+        }
+        let template = workload
+            .adhoc
+            .first()
+            .map(|s| (s.spec.per_task(), s.spec.max_parallel().unwrap_or(8)))
+            .unwrap_or((flowtime_dag::ResourceVec::new([1, 1024]), 8));
+        let per_burst = 3usize;
+        let mut injected = 0usize;
+        let mut burst_idx = 0u64;
+        while injected < n {
+            let centre = rng.below(horizon);
+            for _ in 0..per_burst.min(n - injected) {
+                let arrival = centre + rng.below(3);
+                // Log-normal-ish work: median 8 task-slots, heavy tail.
+                let work = ((8.0 * (0.9 * rng.standard_normal()).exp()).round() as u64).max(1);
+                let tasks = work.min(template.1.max(1));
+                let spec = JobSpec::new(
+                    format!("burst-{burst_idx}-{injected}"),
+                    tasks,
+                    work.div_ceil(tasks),
+                    template.0,
+                )
+                .with_max_parallel(template.1.max(1));
+                workload.adhoc.push(AdhocSubmission::new(spec, arrival));
+                injected += 1;
+            }
+            burst_idx += 1;
+        }
+        // Engine semantics do not require sorted arrivals, but generators
+        // emit them sorted; keep that property for downstream consumers.
+        workload.adhoc.sort_by(|a, b| {
+            a.arrival_slot
+                .cmp(&b.arrival_slot)
+                .then_with(|| a.spec.name().cmp(b.spec.name()))
+        });
+    }
+}
+
+/// SplitMix64: tiny, seedable, platform-independent PRNG. Kept private to
+/// this crate so `flowtime-sim` stays dependency-free.
+#[derive(Debug, Clone)]
+struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, bound)`; returns 0 for `bound == 0`.
+    fn below(&mut self, bound: u64) -> u64 {
+        if bound == 0 {
+            return 0;
+        }
+        // Multiply-shift; bias is negligible for the bounds used here.
+        (((self.next_u64() as u128) * (bound as u128)) >> 64) as u64
+    }
+
+    /// Uniform in `(0, 1)`.
+    fn unit(&mut self) -> f64 {
+        ((self.next_u64() >> 11) as f64 + 1.0) * (1.0 / ((1u64 << 53) as f64 + 1.0))
+    }
+
+    /// Standard normal via Box-Muller.
+    fn standard_normal(&mut self) -> f64 {
+        let u1 = self.unit();
+        let u2 = self.unit();
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flowtime_dag::{ResourceVec, WorkflowBuilder, WorkflowId};
+
+    fn workload() -> SimWorkload {
+        let mut b = WorkflowBuilder::new(WorkflowId::new(1), "wf");
+        let a = b.add_job(JobSpec::new("a", 4, 2, ResourceVec::new([1, 1024])));
+        let c = b.add_job(JobSpec::new("c", 4, 2, ResourceVec::new([1, 1024])));
+        b.add_dep(a, c).unwrap();
+        let wf = b.window(5, 60).build().unwrap();
+        let mut wl = SimWorkload::default();
+        wl.workflows
+            .push(crate::job::WorkflowSubmission::new(wf).with_job_deadlines(vec![30, 60]));
+        wl.adhoc.push(AdhocSubmission::new(
+            JobSpec::new("adhoc-0", 2, 2, ResourceVec::new([1, 512])),
+            3,
+        ));
+        wl
+    }
+
+    fn cluster() -> ClusterConfig {
+        ClusterConfig::new(ResourceVec::new([16, 65_536]), 10.0)
+    }
+
+    #[test]
+    fn zero_config_is_identity() {
+        let mut wl = workload();
+        let mut cl = cluster();
+        FaultPlan::new(FaultConfig::none(99)).apply(&mut wl, &mut cl, 500);
+        assert_eq!(wl, workload());
+        assert_eq!(cl, cluster());
+    }
+
+    #[test]
+    fn same_seed_same_rewrite() {
+        let (mut wl_a, mut cl_a) = (workload(), cluster());
+        let (mut wl_b, mut cl_b) = (workload(), cluster());
+        let plan = FaultPlan::new(FaultConfig::mixed(7));
+        plan.apply(&mut wl_a, &mut cl_a, 500);
+        plan.apply(&mut wl_b, &mut cl_b, 500);
+        assert_eq!(wl_a, wl_b);
+        assert_eq!(cl_a, cl_b);
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let (mut wl_a, mut cl_a) = (workload(), cluster());
+        let (mut wl_b, mut cl_b) = (workload(), cluster());
+        FaultPlan::new(FaultConfig::mixed(1)).apply(&mut wl_a, &mut cl_a, 500);
+        FaultPlan::new(FaultConfig::mixed(2)).apply(&mut wl_b, &mut cl_b, 500);
+        assert_ne!((wl_a, cl_a), (wl_b, cl_b));
+    }
+
+    #[test]
+    fn misestimation_sets_actual_work() {
+        let mut wl = workload();
+        let mut cl = cluster();
+        FaultPlan::new(FaultConfig::none(3).with_misestimate(0.4)).apply(&mut wl, &mut cl, 500);
+        let actual = wl.workflows[0].actual_work.as_ref().expect("injected");
+        assert_eq!(actual.len(), 2);
+        assert!(actual.iter().all(|&w| w >= 1));
+        // Cluster untouched by this fault class.
+        assert_eq!(cl, cluster());
+    }
+
+    #[test]
+    fn churn_adds_degraded_windows() {
+        let mut wl = workload();
+        let mut cl = cluster();
+        FaultPlan::new(FaultConfig::none(3).with_churn(0.5)).apply(&mut wl, &mut cl, 1_000);
+        assert!(cl.has_capacity_windows());
+        let base = cluster().capacity();
+        let mut saw_degraded = false;
+        for slot in 0..1_000 {
+            let cap = cl.capacity_at(slot);
+            assert!(cap.fits_within(&base));
+            if cap != base {
+                saw_degraded = true;
+                assert_eq!(cap, ResourceVec::new([8, 32_768]));
+            }
+        }
+        assert!(saw_degraded);
+    }
+
+    #[test]
+    fn bursts_add_adhoc_jobs_within_horizon() {
+        let mut wl = workload();
+        let mut cl = cluster();
+        let before = wl.adhoc.len();
+        FaultPlan::new(FaultConfig::none(3).with_bursts(9)).apply(&mut wl, &mut cl, 400);
+        assert_eq!(wl.adhoc.len(), before + 9);
+        for sub in &wl.adhoc {
+            assert!(sub.arrival_slot < 400 + 3);
+            assert!(sub.spec.work() >= 1);
+        }
+        // Sorted by arrival.
+        for w in wl.adhoc.windows(2) {
+            assert!(w[0].arrival_slot <= w[1].arrival_slot);
+        }
+    }
+
+    #[test]
+    fn delays_shift_window_and_milestones_together() {
+        let mut wl = workload();
+        let mut cl = cluster();
+        FaultPlan::new(FaultConfig::none(12345).with_submit_delay(40)).apply(&mut wl, &mut cl, 500);
+        let sub = &wl.workflows[0];
+        let delay = sub.workflow.submit_slot() - 5;
+        assert!(delay <= 40);
+        assert_eq!(sub.workflow.window_slots(), 55);
+        assert_eq!(
+            sub.job_deadlines.as_ref().unwrap(),
+            &vec![30 + delay, 60 + delay]
+        );
+    }
+}

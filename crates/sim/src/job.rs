@@ -61,7 +61,11 @@ pub struct WorkflowSubmission {
 impl WorkflowSubmission {
     /// Submission with exact estimates and no per-job milestones.
     pub fn new(workflow: Workflow) -> Self {
-        WorkflowSubmission { workflow, actual_work: None, job_deadlines: None }
+        WorkflowSubmission {
+            workflow,
+            actual_work: None,
+            job_deadlines: None,
+        }
     }
 
     /// Attaches ground-truth work (estimation error injection).
@@ -181,6 +185,10 @@ mod tests {
     #[test]
     fn class_predicates() {
         assert!(JobClass::AdHoc.is_adhoc());
-        assert!(!JobClass::Deadline { workflow: WorkflowId::new(1), node: 0 }.is_adhoc());
+        assert!(!JobClass::Deadline {
+            workflow: WorkflowId::new(1),
+            node: 0
+        }
+        .is_adhoc());
     }
 }

@@ -68,6 +68,8 @@
 pub mod cluster;
 pub mod engine;
 pub mod error;
+pub mod faults;
+pub mod invariants;
 pub mod job;
 pub mod metrics;
 pub mod placement;
@@ -78,18 +80,21 @@ pub mod timeline;
 pub use cluster::ClusterConfig;
 pub use engine::{Engine, SimOutcome};
 pub use error::SimError;
+pub use faults::{FaultConfig, FaultPlan};
+pub use invariants::InvariantChecker;
 pub use job::{AdhocSubmission, JobClass, SimWorkload, WorkflowSubmission};
 pub use metrics::{JobOutcome, Metrics};
 pub use placement::{NodePool, PackResult};
 pub use scheduler::{Allocation, Scheduler};
-pub use timeline::{Timeline, TimelineEntry};
 pub use state::{JobView, SimState, WorkflowView};
+pub use timeline::{Timeline, TimelineEntry};
 
 /// Convenience re-exports for schedulers and experiment harnesses.
 pub mod prelude {
-    pub use crate::{
-        AdhocSubmission, Allocation, ClusterConfig, Engine, JobClass, JobView, Metrics, Scheduler,
-        SimError, SimOutcome, SimState, WorkflowSubmission, WorkflowView,
-    };
     pub use crate::job::SimWorkload;
+    pub use crate::{
+        AdhocSubmission, Allocation, ClusterConfig, Engine, FaultConfig, FaultPlan, JobClass,
+        JobView, Metrics, Scheduler, SimError, SimOutcome, SimState, WorkflowSubmission,
+        WorkflowView,
+    };
 }

@@ -115,7 +115,10 @@ impl Metrics {
 
     /// Number of workflows that missed their deadline.
     pub fn workflow_deadline_misses(&self) -> usize {
-        self.workflows.iter().filter(|w| w.missed_deadline()).count()
+        self.workflows
+            .iter()
+            .filter(|w| w.missed_deadline())
+            .count()
     }
 
     /// Average ad-hoc job turnaround in slots; `None` if there were none.
@@ -131,11 +134,15 @@ impl Metrics {
 
     /// Average ad-hoc job turnaround in seconds (paper Fig. 4(c) / 5(c)).
     pub fn avg_adhoc_turnaround_seconds(&self) -> Option<f64> {
-        self.avg_adhoc_turnaround_slots().map(|s| s * self.slot_seconds)
+        self.avg_adhoc_turnaround_slots()
+            .map(|s| s * self.slot_seconds)
     }
 
     fn capacity_of_slot(&self, t: usize) -> ResourceVec {
-        self.slot_capacities.get(t).copied().unwrap_or(self.capacity)
+        self.slot_capacities
+            .get(t)
+            .copied()
+            .unwrap_or(self.capacity)
     }
 
     /// Mean normalized cluster utilization over the run
@@ -173,7 +180,10 @@ mod tests {
             class: if adhoc {
                 JobClass::AdHoc
             } else {
-                JobClass::Deadline { workflow: WorkflowId::new(1), node: 0 }
+                JobClass::Deadline {
+                    workflow: WorkflowId::new(1),
+                    node: 0,
+                }
             },
             arrival_slot: arrival,
             ready_slot: arrival,
@@ -186,8 +196,16 @@ mod tests {
         Metrics {
             jobs,
             workflows: vec![
-                WorkflowOutcome { id: WorkflowId::new(1), deadline_slot: 10, completion_slot: 9 },
-                WorkflowOutcome { id: WorkflowId::new(2), deadline_slot: 10, completion_slot: 12 },
+                WorkflowOutcome {
+                    id: WorkflowId::new(1),
+                    deadline_slot: 10,
+                    completion_slot: 9,
+                },
+                WorkflowOutcome {
+                    id: WorkflowId::new(2),
+                    deadline_slot: 10,
+                    completion_slot: 12,
+                },
             ],
             slot_loads: vec![ResourceVec::new([5, 50]), ResourceVec::new([10, 20])],
             slot_capacities: vec![ResourceVec::new([10, 100]), ResourceVec::new([10, 100])],

@@ -50,7 +50,10 @@ impl PackResult {
 impl NodePool {
     /// Creates a pool of `nodes` identical nodes.
     pub fn new(nodes: usize, node_capacity: ResourceVec) -> Self {
-        NodePool { node_capacity, nodes }
+        NodePool {
+            node_capacity,
+            nodes,
+        }
     }
 
     /// Aggregate capacity of the pool.
@@ -83,10 +86,7 @@ impl NodePool {
                 placed[idx] += 1;
             }
         }
-        let nodes_used = free
-            .iter()
-            .filter(|f| **f != self.node_capacity)
-            .count();
+        let nodes_used = free.iter().filter(|f| **f != self.node_capacity).count();
         let mut placed_out = Vec::new();
         let mut unplaced_out = Vec::new();
         for (i, req) in requests.iter().enumerate() {
@@ -97,7 +97,11 @@ impl NodePool {
                 unplaced_out.push((req.0, req.2 - placed[i]));
             }
         }
-        PackResult { placed: placed_out, unplaced: unplaced_out, nodes_used }
+        PackResult {
+            placed: placed_out,
+            unplaced: unplaced_out,
+            nodes_used,
+        }
     }
 }
 
@@ -148,7 +152,11 @@ mod tests {
         ]);
         // Big container first (3 cores), then one small (1 core): 3 small
         // tasks spill.
-        let placed_big = result.placed.iter().find(|&&(j, _)| j == id(2)).map(|&(_, q)| q);
+        let placed_big = result
+            .placed
+            .iter()
+            .find(|&&(j, _)| j == id(2))
+            .map(|&(_, q)| q);
         assert_eq!(placed_big, Some(1));
         assert_eq!(result.unplaced_tasks(), 3);
     }

@@ -115,7 +115,9 @@ mod tests {
 
     #[test]
     fn from_iterator_and_extend() {
-        let mut a: Allocation = [(JobId::new(1), 2), (JobId::new(2), 3)].into_iter().collect();
+        let mut a: Allocation = [(JobId::new(1), 2), (JobId::new(2), 3)]
+            .into_iter()
+            .collect();
         a.extend([(JobId::new(1), 1)]);
         assert_eq!(a.get(JobId::new(1)), 3);
         assert_eq!(a.get(JobId::new(2)), 3);

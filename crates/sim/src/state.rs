@@ -131,7 +131,10 @@ impl SimState {
             estimated_remaining,
             estimated_total,
             task_slots,
-            max_tasks_this_slot: job.estimate.effective_parallel().min(job.remaining_actual()),
+            max_tasks_this_slot: job
+                .estimate
+                .effective_parallel()
+                .min(job.remaining_actual()),
             deadline_slot: job.deadline_slot,
             done_work: job.done_work,
         }

@@ -80,7 +80,10 @@ pub fn render_gantt(timeline: &Timeline, metrics: Option<&Metrics>, width: usize
         row[(e.slot / bucket) as usize] += e.tasks;
     }
     let mut out = String::new();
-    let _ = writeln!(out, "one column = {bucket} slot(s); shade = share of the job's peak rate");
+    let _ = writeln!(
+        out,
+        "one column = {bucket} slot(s); shade = share of the job's peak rate"
+    );
     for (job, buckets) in &rows {
         let peak = buckets.iter().copied().max().unwrap_or(0).max(1);
         let label = metrics
@@ -112,7 +115,11 @@ mod tests {
     use super::*;
 
     fn entry(slot: u64, job: u64, tasks: u64) -> TimelineEntry {
-        TimelineEntry { slot, job: JobId::new(job), tasks }
+        TimelineEntry {
+            slot,
+            job: JobId::new(job),
+            tasks,
+        }
     }
 
     #[test]

@@ -60,7 +60,7 @@ impl Default for AdhocStream {
         AdhocStream {
             rate_per_slot: 0.2,
             pattern: ArrivalPattern::Poisson,
-            work_mu: 2.5,  // median ~12 task-slots
+            work_mu: 2.5, // median ~12 task-slots
             work_sigma: 0.8,
             container: ResourceVec::new([1, 2048]),
             max_parallel: 8,
@@ -69,6 +69,25 @@ impl Default for AdhocStream {
 }
 
 impl AdhocStream {
+    /// A bursty stream: default sizes, `rate_per_slot` long-run arrivals,
+    /// Markov-modulated on/off phases of the given mean lengths. The shape
+    /// the fault-injection harness uses for adversarial arrival pressure.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use flowtime_workload::AdhocStream;
+    /// let jobs = AdhocStream::bursty(0.5, 20.0, 80.0).generate(1_000, 7);
+    /// assert!(!jobs.is_empty());
+    /// ```
+    pub fn bursty(rate_per_slot: f64, mean_on: f64, mean_off: f64) -> Self {
+        AdhocStream {
+            rate_per_slot,
+            pattern: ArrivalPattern::Bursty { mean_on, mean_off },
+            ..Default::default()
+        }
+    }
+
     /// Generates submissions over slots `[0, horizon)`, deterministic in
     /// `seed`.
     ///
@@ -105,13 +124,8 @@ impl AdhocStream {
             // jobs, a few waves for larger ones.
             let tasks = work.min(self.max_parallel.max(1));
             let task_slots = work.div_ceil(tasks);
-            let spec = JobSpec::new(
-                format!("adhoc-{idx}"),
-                tasks,
-                task_slots,
-                self.container,
-            )
-            .with_max_parallel(self.max_parallel.max(1));
+            let spec = JobSpec::new(format!("adhoc-{idx}"), tasks, task_slots, self.container)
+                .with_max_parallel(self.max_parallel.max(1));
             out.push(AdhocSubmission::new(spec, slot));
             idx += 1;
         }
@@ -168,7 +182,10 @@ struct BurstPhase {
 
 impl BurstPhase {
     fn new(pattern: &ArrivalPattern, rng: &mut StdRng) -> BurstPhase {
-        let mut phase = BurstPhase { on: true, until: 0.0 };
+        let mut phase = BurstPhase {
+            on: true,
+            until: 0.0,
+        };
         if let ArrivalPattern::Bursty { mean_on, .. } = pattern {
             phase.until = sample_exp(*mean_on, rng);
         }
@@ -206,8 +223,14 @@ mod tests {
 
     #[test]
     fn rate_controls_volume() {
-        let slow = AdhocStream { rate_per_slot: 0.05, ..Default::default() };
-        let fast = AdhocStream { rate_per_slot: 1.0, ..Default::default() };
+        let slow = AdhocStream {
+            rate_per_slot: 0.05,
+            ..Default::default()
+        };
+        let fast = AdhocStream {
+            rate_per_slot: 1.0,
+            ..Default::default()
+        };
         let ns = slow.generate(1000, 3).len();
         let nf = fast.generate(1000, 3).len();
         assert!(nf > ns * 5, "fast {nf} vs slow {ns}");
@@ -226,7 +249,10 @@ mod tests {
 
     #[test]
     fn specs_respect_parallelism() {
-        let s = AdhocStream { max_parallel: 4, ..Default::default() };
+        let s = AdhocStream {
+            max_parallel: 4,
+            ..Default::default()
+        };
         for j in s.generate(500, 5) {
             assert!(j.spec.tasks() <= 4 || j.spec.max_parallel() == Some(4));
             assert!(j.spec.work() >= 1);
@@ -235,10 +261,16 @@ mod tests {
 
     #[test]
     fn diurnal_rate_modulates_arrivals() {
-        let flat = AdhocStream { rate_per_slot: 0.5, ..Default::default() };
+        let flat = AdhocStream {
+            rate_per_slot: 0.5,
+            ..Default::default()
+        };
         let diurnal = AdhocStream {
             rate_per_slot: 0.5,
-            pattern: ArrivalPattern::Diurnal { amplitude: 1.0, period: 200.0 },
+            pattern: ArrivalPattern::Diurnal {
+                amplitude: 1.0,
+                period: 200.0,
+            },
             ..Default::default()
         };
         let horizon = 2000u64;
@@ -250,7 +282,9 @@ mod tests {
         // ...but the diurnal stream concentrates in rate peaks: compare
         // quarter-period buckets (peak vs trough of the sine).
         let count_in = |jobs: &[flowtime_sim::AdhocSubmission], lo: u64, hi: u64| {
-            jobs.iter().filter(|j| (lo..hi).contains(&j.arrival_slot)).count()
+            jobs.iter()
+                .filter(|j| (lo..hi).contains(&j.arrival_slot))
+                .count()
         };
         let mut peak = 0usize;
         let mut trough = 0usize;
@@ -266,7 +300,10 @@ mod tests {
     fn bursty_pattern_clusters_arrivals() {
         let bursty = AdhocStream {
             rate_per_slot: 0.5,
-            pattern: ArrivalPattern::Bursty { mean_on: 20.0, mean_off: 80.0 },
+            pattern: ArrivalPattern::Bursty {
+                mean_on: 20.0,
+                mean_off: 80.0,
+            },
             ..Default::default()
         };
         let jobs = bursty.generate(3000, 33);
@@ -274,7 +311,10 @@ mod tests {
         // Long-run volume still tracks the nominal rate within a factor.
         let expected = 0.5 * 3000.0;
         let n = jobs.len() as f64;
-        assert!((expected * 0.5..expected * 1.6).contains(&n), "{n} arrivals");
+        assert!(
+            (expected * 0.5..expected * 1.6).contains(&n),
+            "{n} arrivals"
+        );
         // Clustering: the variance of per-100-slot counts far exceeds the
         // Poisson variance (= mean).
         let mut buckets = vec![0f64; 30];

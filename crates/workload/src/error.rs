@@ -61,8 +61,13 @@ mod tests {
         let e: WorkloadError = std::io::Error::other("boom").into();
         assert!(e.to_string().contains("boom"));
         assert!(e.source().is_some());
-        let e = WorkloadError::Parse { line: 3, message: "bad".into() };
+        let e = WorkloadError::Parse {
+            line: 3,
+            message: "bad".into(),
+        };
         assert!(e.to_string().contains("line 3"));
-        assert!(WorkloadError::InvalidConfig { reason: "x" }.source().is_none());
+        assert!(WorkloadError::InvalidConfig { reason: "x" }
+            .source()
+            .is_none());
     }
 }

@@ -69,7 +69,7 @@ impl ScientificShape {
                 // 0 -> {1..=w} -> aggregation chain -> sink
                 let w = (n - 3).max(1);
                 let mut e = shapes::fork_join(w); // nodes 0..=w+1
-                // tail chain from the join node to the remaining nodes
+                                                  // tail chain from the join node to the remaining nodes
                 for v in (w + 2)..n {
                     e.push((v - 1, v));
                 }
@@ -171,7 +171,12 @@ impl ScientificShape {
             let gb = rng.gen_range(input_gb_min..=input_gb_max.max(input_gb_min));
             let spec: JobSpec = bench.job(gb);
             let name = format!("{}-{}-{}", self.name(), bench.name(), i);
-            builder.add_job(JobSpec::new(name, spec.tasks(), spec.task_slots(), container));
+            builder.add_job(JobSpec::new(
+                name,
+                spec.tasks(),
+                spec.task_slots(),
+                container,
+            ));
         }
         for (from, to) in self.edges(n) {
             builder.add_dep(from, to)?;

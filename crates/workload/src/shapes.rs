@@ -47,8 +47,16 @@ pub fn diamond(width: usize) -> Vec<(usize, usize)> {
 /// # Panics
 ///
 /// Panics if `layers == 0` or `nodes < layers`.
-pub fn layered_random(nodes: usize, layers: usize, target_edges: usize, seed: u64) -> Vec<(usize, usize)> {
-    assert!(layers > 0 && nodes >= layers, "need at least one node per layer");
+pub fn layered_random(
+    nodes: usize,
+    layers: usize,
+    target_edges: usize,
+    seed: u64,
+) -> Vec<(usize, usize)> {
+    assert!(
+        layers > 0 && nodes >= layers,
+        "need at least one node per layer"
+    );
     let mut rng = StdRng::seed_from_u64(seed);
     // Assign nodes to layers: one guaranteed each, remainder random.
     let mut layer_of = vec![0usize; nodes];

@@ -16,8 +16,8 @@
 use crate::adhoc::AdhocStream;
 use crate::error::WorkloadError;
 use crate::scientific::ScientificShape;
-use flowtime_sim::{AdhocSubmission, ClusterConfig, SimWorkload, WorkflowSubmission};
 use flowtime_dag::WorkflowId;
+use flowtime_sim::{AdhocSubmission, ClusterConfig, SimWorkload, WorkflowSubmission};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -35,7 +35,10 @@ pub struct Trace {
 /// One JSON-lines record.
 #[derive(Debug, Serialize, Deserialize)]
 enum Record {
-    Header { cluster: ClusterConfig, version: u32 },
+    Header {
+        cluster: ClusterConfig,
+        version: u32,
+    },
     Workflow(Box<WorkflowSubmission>),
     Adhoc(AdhocSubmission),
 }
@@ -82,18 +85,31 @@ impl Trace {
     ///
     /// I/O errors from `writer`.
     pub fn write_jsonl<W: Write>(&self, mut writer: W) -> Result<(), WorkloadError> {
-        let header = Record::Header { cluster: self.cluster.clone(), version: 1 };
-        serde_json::to_writer(&mut writer, &header)
-            .map_err(|e| WorkloadError::Parse { line: 0, message: e.to_string() })?;
+        let header = Record::Header {
+            cluster: self.cluster.clone(),
+            version: 1,
+        };
+        serde_json::to_writer(&mut writer, &header).map_err(|e| WorkloadError::Parse {
+            line: 0,
+            message: e.to_string(),
+        })?;
         writer.write_all(b"\n")?;
         for wf in &self.workload.workflows {
-            serde_json::to_writer(&mut writer, &Record::Workflow(Box::new(wf.clone())))
-                .map_err(|e| WorkloadError::Parse { line: 0, message: e.to_string() })?;
+            serde_json::to_writer(&mut writer, &Record::Workflow(Box::new(wf.clone()))).map_err(
+                |e| WorkloadError::Parse {
+                    line: 0,
+                    message: e.to_string(),
+                },
+            )?;
             writer.write_all(b"\n")?;
         }
         for job in &self.workload.adhoc {
-            serde_json::to_writer(&mut writer, &Record::Adhoc(job.clone()))
-                .map_err(|e| WorkloadError::Parse { line: 0, message: e.to_string() })?;
+            serde_json::to_writer(&mut writer, &Record::Adhoc(job.clone())).map_err(|e| {
+                WorkloadError::Parse {
+                    line: 0,
+                    message: e.to_string(),
+                }
+            })?;
             writer.write_all(b"\n")?;
         }
         Ok(())
@@ -113,8 +129,9 @@ impl Trace {
             if line.trim().is_empty() {
                 continue;
             }
-            let record: Record = serde_json::from_str(&line).map_err(|e| {
-                WorkloadError::Parse { line: idx + 1, message: e.to_string() }
+            let record: Record = serde_json::from_str(&line).map_err(|e| WorkloadError::Parse {
+                line: idx + 1,
+                message: e.to_string(),
             })?;
             match record {
                 Record::Header { cluster: c, .. } => cluster = Some(c),
@@ -180,7 +197,9 @@ impl Trace {
                 for (from, to) in wf.dag().edges() {
                     b.add_dep(from, to).expect("edges valid");
                 }
-                b.window(submit, submit + window).build().expect("window valid")
+                b.window(submit, submit + window)
+                    .build()
+                    .expect("window valid")
             };
             let actual: Vec<u64> = wf
                 .jobs()
@@ -194,7 +213,9 @@ impl Trace {
                 .workflows
                 .push(WorkflowSubmission::new(wf).with_actual_work(actual));
         }
-        workload.adhoc = config.adhoc.generate(config.adhoc_horizon, seed.wrapping_add(1));
+        workload.adhoc = config
+            .adhoc
+            .generate(config.adhoc_horizon, seed.wrapping_add(1));
         Trace { cluster, workload }
     }
 }
@@ -212,7 +233,11 @@ mod tests {
     fn round_trip_jsonl() {
         let trace = Trace::synthesize_production(
             cluster(),
-            &ProductionTraceConfig { workflows: 3, adhoc_horizon: 200, ..Default::default() },
+            &ProductionTraceConfig {
+                workflows: 3,
+                adhoc_horizon: 200,
+                ..Default::default()
+            },
             42,
         );
         let mut buf = Vec::new();
@@ -239,7 +264,10 @@ mod tests {
 
     #[test]
     fn production_trace_has_loose_deadlines() {
-        let cfg = ProductionTraceConfig { workflows: 5, ..Default::default() };
+        let cfg = ProductionTraceConfig {
+            workflows: 5,
+            ..Default::default()
+        };
         let trace = Trace::synthesize_production(cluster(), &cfg, 7);
         assert_eq!(trace.workload.workflows.len(), 5);
         for sub in &trace.workload.workflows {
@@ -258,10 +286,19 @@ mod tests {
 
     #[test]
     fn estimation_error_bounded() {
-        let cfg = ProductionTraceConfig { workflows: 5, estimation_error: 0.2, ..Default::default() };
+        let cfg = ProductionTraceConfig {
+            workflows: 5,
+            estimation_error: 0.2,
+            ..Default::default()
+        };
         let trace = Trace::synthesize_production(cluster(), &cfg, 9);
         for sub in &trace.workload.workflows {
-            for (job, &actual) in sub.workflow.jobs().iter().zip(sub.actual_work.as_ref().unwrap()) {
+            for (job, &actual) in sub
+                .workflow
+                .jobs()
+                .iter()
+                .zip(sub.actual_work.as_ref().unwrap())
+            {
                 let est = job.work() as f64;
                 assert!((actual as f64) >= est * 0.79 && (actual as f64) <= est * 1.21);
             }
@@ -270,7 +307,10 @@ mod tests {
 
     #[test]
     fn deterministic_generation() {
-        let cfg = ProductionTraceConfig { workflows: 4, ..Default::default() };
+        let cfg = ProductionTraceConfig {
+            workflows: 4,
+            ..Default::default()
+        };
         let a = Trace::synthesize_production(cluster(), &cfg, 5);
         let b = Trace::synthesize_production(cluster(), &cfg, 5);
         assert_eq!(a, b);

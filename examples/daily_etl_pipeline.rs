@@ -20,8 +20,18 @@ const DAYS: u64 = 3;
 fn etl_template() -> Workflow {
     let mut b = WorkflowBuilder::new(WorkflowId::new(0), "daily-etl");
     let ingest = b.add_job(JobSpec::new("ingest", 150, 2, ResourceVec::new([1, 2048])));
-    let sessions = b.add_job(JobSpec::new("sessionize", 120, 3, ResourceVec::new([1, 4096])));
-    let features = b.add_job(JobSpec::new("features", 120, 3, ResourceVec::new([1, 4096])));
+    let sessions = b.add_job(JobSpec::new(
+        "sessionize",
+        120,
+        3,
+        ResourceVec::new([1, 4096]),
+    ));
+    let features = b.add_job(JobSpec::new(
+        "features",
+        120,
+        3,
+        ResourceVec::new([1, 4096]),
+    ));
     let train = b.add_job(JobSpec::new("train", 60, 4, ResourceVec::new([1, 8192])));
     let publish = b.add_job(JobSpec::new("publish", 8, 1, ResourceVec::new([1, 2048])));
     b.add_dep(ingest, sessions).expect("valid");
@@ -46,13 +56,17 @@ fn workload() -> SimWorkload {
             .enumerate()
             .map(|(i, j)| j.work() + (j.work() * ((i as u64 + day) % 3)) / 20)
             .collect();
-        wl.workflows.push(WorkflowSubmission::new(wf).with_actual_work(actual));
+        wl.workflows
+            .push(WorkflowSubmission::new(wf).with_actual_work(actual));
     }
     let queries = AdhocStream {
         rate_per_slot: 0.15,
         max_parallel: 6,
         // Interactive traffic swings with the (simulated) working day.
-        pattern: ArrivalPattern::Diurnal { amplitude: 0.8, period: DAY_SLOTS as f64 },
+        pattern: ArrivalPattern::Diurnal {
+            amplitude: 0.8,
+            period: DAY_SLOTS as f64,
+        },
         ..Default::default()
     };
     wl.adhoc = queries.generate(DAYS * DAY_SLOTS, 2024);

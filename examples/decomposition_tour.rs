@@ -40,9 +40,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             &DecomposeConfig::new(capacity).with_decomposer(Decomposer::CriticalPath),
         )?;
         let dd = decompose(&wf, &DecomposeConfig::new(capacity))?;
-        let share = |d: &flowtime::Decomposition| {
-            d.set_windows[1].len() as f64 / window as f64
-        };
+        let share = |d: &flowtime::Decomposition| d.set_windows[1].len() as f64 / window as f64;
         println!(
             "{:>4} {:>27.0}% {:>27.0}%",
             n_mid,

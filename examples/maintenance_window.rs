@@ -13,8 +13,11 @@ use flowtime_sim::Scheduler;
 
 fn cluster() -> ClusterConfig {
     // 16 cores normally; slots 30..60 run at quarter capacity.
-    ClusterConfig::new(ResourceVec::new([16, 65_536]), 10.0)
-        .with_capacity_window(30, 60, ResourceVec::new([4, 16_384]))
+    ClusterConfig::new(ResourceVec::new([16, 65_536]), 10.0).with_capacity_window(
+        30,
+        60,
+        ResourceVec::new([4, 16_384]),
+    )
 }
 
 fn workload() -> SimWorkload {

@@ -41,7 +41,10 @@ fn report(name: &str, scheduler: &mut dyn Scheduler) {
         .expect("scheduler completes");
     let m = &outcome.metrics;
     println!("{name}:");
-    println!("  workflow deadline met: {}", m.workflow_deadline_misses() == 0);
+    println!(
+        "  workflow deadline met: {}",
+        m.workflow_deadline_misses() == 0
+    );
     for job in m.adhoc_jobs() {
         println!(
             "  ad-hoc {} arrived t={} finished t={} (turnaround {})",
@@ -66,7 +69,13 @@ fn main() {
     report("EDF (Fig. 1a)", &mut EdfScheduler::new());
     report(
         "FlowTime (Fig. 1b)",
-        &mut FlowTimeScheduler::new(cluster, FlowTimeConfig { slack_slots: 0, ..Default::default() }),
+        &mut FlowTimeScheduler::new(
+            cluster,
+            FlowTimeConfig {
+                slack_slots: 0,
+                ..Default::default()
+            },
+        ),
     );
     println!("paper: EDF averages 150, FlowTime 100 — both meet the deadline.");
 }

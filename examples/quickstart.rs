@@ -25,10 +25,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let workflow = b.window(0, 180).build()?;
 
     // Peek at what FlowTime's decomposer will do with that deadline.
-    let decomposition = flowtime::decompose::decompose(
-        &workflow,
-        &DecomposeConfig::new(cluster.capacity()),
-    )?;
+    let decomposition =
+        flowtime::decompose::decompose(&workflow, &DecomposeConfig::new(cluster.capacity()))?;
     println!("decomposed per-job deadlines (slots):");
     for (job, window) in workflow.jobs().iter().zip(&decomposition.windows) {
         println!(
@@ -58,7 +56,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let outcome = Engine::new(cluster, workload, 10_000)?.run(&mut scheduler)?;
     let m = &outcome.metrics;
     println!("\nafter {} slots:", outcome.slots_elapsed);
-    println!("  deadline jobs missed : {}/{}", m.job_deadline_misses(), m.deadline_jobs().count());
+    println!(
+        "  deadline jobs missed : {}/{}",
+        m.job_deadline_misses(),
+        m.deadline_jobs().count()
+    );
     println!("  workflows missed     : {}", m.workflow_deadline_misses());
     println!(
         "  avg ad-hoc turnaround: {:.0} s",

@@ -24,7 +24,9 @@ fn template(day: u64) -> Workflow {
     let report = b.add_job(JobSpec::new("report", 20, 2, ResourceVec::new([1, 2048])));
     b.add_dep(ingest, join).expect("valid");
     b.add_dep(join, report).expect("valid");
-    b.window(day * DAY_SLOTS, day * DAY_SLOTS + 95).build().expect("valid workflow")
+    b.window(day * DAY_SLOTS, day * DAY_SLOTS + 95)
+        .build()
+        .expect("valid workflow")
 }
 
 /// The true work each day: consistently heavier than the template thinks.
@@ -49,8 +51,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             Some(est) => (RunHistory::respec(&base, &est)?, "learned p75"),
             None => (base.clone(), "stale template"),
         };
-        let milestones = decompose(&wf, &DecomposeConfig::new(cluster.capacity()))?
-            .job_deadlines();
+        let milestones = decompose(&wf, &DecomposeConfig::new(cluster.capacity()))?.job_deadlines();
         let actual = actual_work(day);
         let est_err: f64 = wf
             .jobs()

@@ -1,0 +1,413 @@
+//! Derive macros for the in-tree `serde` shim.
+//!
+//! Implemented without `syn`/`quote` (unavailable offline): the input item
+//! is parsed directly from its token stream, and the generated impl is
+//! rendered as a string and re-parsed. Supports the shapes this workspace
+//! uses: named-field structs, tuple structs (newtype included), and enums
+//! with unit, tuple, and struct variants — matching serde's
+//! externally-tagged representation. The only field attribute honoured is
+//! `#[serde(default)]`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+struct Field {
+    name: String,
+    default: bool,
+}
+
+#[derive(Debug)]
+enum VariantData {
+    Unit,
+    Tuple(usize),
+    Named(Vec<Field>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    data: VariantData,
+}
+
+#[derive(Debug)]
+enum Kind {
+    NamedStruct(Vec<Field>),
+    TupleStruct(usize),
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    kind: Kind,
+}
+
+/// Derives `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("generated Serialize impl parses")
+}
+
+/// Derives `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("generated Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------- parsing
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&tokens, &mut i);
+    let keyword = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected `struct` or `enum`, found `{other}`"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected item name, found `{other}`"),
+    };
+    i += 1;
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde shim derives do not support generic types (on `{name}`)");
+    }
+    let kind = match keyword.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Kind::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            _ => panic!("unsupported struct shape for `{name}`"),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Enum(parse_variants(g.stream()))
+            }
+            _ => panic!("expected enum body for `{name}`"),
+        },
+        other => panic!("cannot derive for `{other}` items"),
+    };
+    Item { name, kind }
+}
+
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 2; // `#` and the bracketed attribute body
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1; // pub(crate) etc.
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Consumes leading attributes, reporting whether any is `#[serde(default)]`.
+fn take_attrs(tokens: &[TokenTree], i: &mut usize) -> bool {
+    let mut default = false;
+    while matches!(tokens.get(*i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        if let Some(TokenTree::Group(g)) = tokens.get(*i + 1) {
+            let body = g.stream().to_string();
+            if body.starts_with("serde") && body.contains("default") {
+                default = true;
+            }
+        }
+        *i += 2;
+    }
+    default
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let default = take_attrs(&tokens, &mut i);
+        skip_attrs_and_vis(&tokens, &mut i);
+        let Some(TokenTree::Ident(id)) = tokens.get(i) else {
+            panic!(
+                "expected field name, found `{:?}`",
+                tokens.get(i).map(ToString::to_string)
+            );
+        };
+        let name = id.to_string();
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!(
+                "expected `:` after field `{name}`, found `{:?}`",
+                other.map(ToString::to_string)
+            ),
+        }
+        // Skip the type: consume until a comma at angle-bracket depth 0.
+        let mut depth = 0i32;
+        while let Some(tt) = tokens.get(i) {
+            match tt {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => break,
+                _ => {}
+            }
+            i += 1;
+        }
+        i += 1; // past the comma (or end)
+        fields.push(Field { name, default });
+    }
+    fields
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut depth = 0i32;
+    let mut count = 1;
+    let mut trailing_comma = false;
+    for tt in &tokens {
+        trailing_comma = false;
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                count += 1;
+                trailing_comma = true;
+            }
+            _ => {}
+        }
+    }
+    if trailing_comma {
+        count -= 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        take_attrs(&tokens, &mut i);
+        let Some(TokenTree::Ident(id)) = tokens.get(i) else {
+            panic!(
+                "expected variant name, found `{:?}`",
+                tokens.get(i).map(ToString::to_string)
+            );
+        };
+        let name = id.to_string();
+        i += 1;
+        let data = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantData::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantData::Tuple(count_tuple_fields(g.stream()))
+            }
+            _ => VariantData::Unit,
+        };
+        // Skip a discriminant (`= expr`) if present, then the separator.
+        while i < tokens.len() && !matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == ',') {
+            i += 1;
+        }
+        i += 1;
+        variants.push(Variant { name, data });
+    }
+    variants
+}
+
+// --------------------------------------------------------------- codegen
+
+fn named_fields_to_map(fields: &[Field], access_prefix: &str) -> String {
+    let mut out = String::from("{ let mut __m = ::std::vec::Vec::new(); ");
+    for f in fields {
+        out.push_str(&format!(
+            "__m.push((::std::string::String::from(\"{n}\"), \
+             ::serde::Serialize::to_value(&{p}{n}))); ",
+            n = f.name,
+            p = access_prefix,
+        ));
+    }
+    out.push_str("::serde::Value::Map(__m) }");
+    out
+}
+
+fn named_fields_from_map(fields: &[Field], map_expr: &str, ctx: &str) -> String {
+    // Renders a `{ field: ..., }` struct-literal body reading from `map_expr`.
+    let mut out = String::from("{ ");
+    for f in fields {
+        let on_missing = if f.default {
+            "::std::default::Default::default()".to_string()
+        } else {
+            format!("::serde::missing(\"{ctx}.{}\")?", f.name)
+        };
+        out.push_str(&format!(
+            "{n}: match ::serde::find({m}, \"{n}\") {{ \
+             ::std::option::Option::Some(__v) => ::serde::Deserialize::from_value(__v)?, \
+             ::std::option::Option::None => {on_missing}, }}, ",
+            n = f.name,
+            m = map_expr,
+        ));
+    }
+    out.push('}');
+    out
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::NamedStruct(fields) => named_fields_to_map(fields, "self."),
+        Kind::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Kind::TupleStruct(n) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Seq(::std::vec![{}])", elems.join(", "))
+        }
+        Kind::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.data {
+                    VariantData::Unit => arms.push_str(&format!(
+                        "{name}::{vn} => \
+                         ::serde::Value::Str(::std::string::String::from(\"{vn}\")), "
+                    )),
+                    VariantData::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__t{i}")).collect();
+                        let inner = if *n == 1 {
+                            "::serde::Serialize::to_value(__t0)".to_string()
+                        } else {
+                            let elems: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!("::serde::Value::Seq(::std::vec![{}])", elems.join(", "))
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{vn}({}) => ::serde::Value::Map(::std::vec![(\
+                             ::std::string::String::from(\"{vn}\"), {inner})]), ",
+                            binds.join(", ")
+                        ));
+                    }
+                    VariantData::Named(fields) => {
+                        let binds: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
+                        let inner = named_fields_to_map(fields, "");
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {} }} => ::serde::Value::Map(::std::vec![(\
+                             ::std::string::String::from(\"{vn}\"), {inner})]), ",
+                            binds.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{ {arms} }}")
+        }
+    };
+    format!(
+        "#[automatically_derived] impl ::serde::Serialize for {name} {{ \
+         fn to_value(&self) -> ::serde::Value {{ {body} }} }}"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::NamedStruct(fields) => format!(
+            "let __m = __v.as_map().ok_or_else(|| \
+             ::serde::DeError::expected(\"object\", __v))?; \
+             ::std::result::Result::Ok({name} {})",
+            named_fields_from_map(fields, "__m", name)
+        ),
+        Kind::TupleStruct(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))")
+        }
+        Kind::TupleStruct(n) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&__s[{i}])?"))
+                .collect();
+            format!(
+                "let __s = __v.as_seq().ok_or_else(|| \
+                 ::serde::DeError::expected(\"array\", __v))?; \
+                 if __s.len() != {n} {{ return ::std::result::Result::Err(\
+                 ::serde::DeError::custom(\"wrong tuple length for {name}\")); }} \
+                 ::std::result::Result::Ok({name}({}))",
+                elems.join(", ")
+            )
+        }
+        Kind::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.data {
+                    VariantData::Unit => unit_arms.push_str(&format!(
+                        "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}), "
+                    )),
+                    VariantData::Tuple(n) => {
+                        let build = if *n == 1 {
+                            format!("{name}::{vn}(::serde::Deserialize::from_value(__inner)?)")
+                        } else {
+                            let elems: Vec<String> = (0..*n)
+                                .map(|i| format!("::serde::Deserialize::from_value(&__s[{i}])?"))
+                                .collect();
+                            format!(
+                                "{{ let __s = __inner.as_seq().ok_or_else(|| \
+                                 ::serde::DeError::expected(\"array\", __inner))?; \
+                                 if __s.len() != {n} {{ return \
+                                 ::std::result::Result::Err(::serde::DeError::custom(\
+                                 \"wrong tuple length for {name}::{vn}\")); }} \
+                                 {name}::{vn}({}) }}",
+                                elems.join(", ")
+                            )
+                        };
+                        data_arms
+                            .push_str(&format!("\"{vn}\" => ::std::result::Result::Ok({build}), "));
+                    }
+                    VariantData::Named(fields) => {
+                        let build = named_fields_from_map(fields, "__im", &format!("{name}::{vn}"));
+                        data_arms.push_str(&format!(
+                            "\"{vn}\" => {{ let __im = __inner.as_map().ok_or_else(|| \
+                             ::serde::DeError::expected(\"object\", __inner))?; \
+                             ::std::result::Result::Ok({name}::{vn} {build}) }} ",
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match __v {{ \
+                 ::serde::Value::Str(__s) => match __s.as_str() {{ {unit_arms} \
+                 __other => ::std::result::Result::Err(::serde::DeError::custom(\
+                 ::std::format!(\"unknown variant `{{__other}}` of {name}\"))), }}, \
+                 ::serde::Value::Map(__m) if __m.len() == 1 => {{ \
+                 let (__tag, __inner) = &__m[0]; \
+                 match __tag.as_str() {{ {data_arms} \
+                 __other => ::std::result::Result::Err(::serde::DeError::custom(\
+                 ::std::format!(\"unknown variant `{{__other}}` of {name}\"))), }} }}, \
+                 __other => ::std::result::Result::Err(\
+                 ::serde::DeError::expected(\"enum value\", __other)), }}"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived] impl ::serde::Deserialize for {name} {{ \
+         fn from_value(__v: &::serde::Value) -> \
+         ::std::result::Result<Self, ::serde::DeError> {{ {body} }} }}"
+    )
+}

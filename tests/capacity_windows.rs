@@ -6,8 +6,11 @@ use flowtime_sim::prelude::*;
 use flowtime_sim::Scheduler;
 
 fn cluster_with_outage() -> ClusterConfig {
-    ClusterConfig::new(ResourceVec::new([16, 65_536]), 10.0)
-        .with_capacity_window(30, 60, ResourceVec::new([4, 16_384]))
+    ClusterConfig::new(ResourceVec::new([16, 65_536]), 10.0).with_capacity_window(
+        30,
+        60,
+        ResourceVec::new([4, 16_384]),
+    )
 }
 
 fn workload() -> SimWorkload {
@@ -36,7 +39,10 @@ fn run(s: &mut dyn Scheduler) -> Metrics {
 #[test]
 fn no_scheduler_may_exceed_windowed_capacity() {
     let schedulers: Vec<Box<dyn Scheduler>> = vec![
-        Box::new(FlowTimeScheduler::new(cluster_with_outage(), FlowTimeConfig::default())),
+        Box::new(FlowTimeScheduler::new(
+            cluster_with_outage(),
+            FlowTimeConfig::default(),
+        )),
         Box::new(EdfScheduler::new()),
         Box::new(FifoScheduler::new()),
         Box::new(FairScheduler::new()),

@@ -24,7 +24,9 @@ fn random_workflow() -> impl Strategy<Value = Workflow> {
             }
             // Window: somewhere between tight and very loose.
             let window = (nodes as u64) * (2 + seed % 40);
-            b.window(seed % 100, seed % 100 + window).build().expect("valid")
+            b.window(seed % 100, seed % 100 + window)
+                .build()
+                .expect("valid")
         },
     )
 }

@@ -18,10 +18,21 @@ fn cluster() -> ClusterConfig {
 fn workload() -> SimWorkload {
     let cluster = cluster();
     let mut wl = SimWorkload::default();
-    for (i, shape) in [ScientificShape::Montage, ScientificShape::Sipht].iter().enumerate() {
+    for (i, shape) in [ScientificShape::Montage, ScientificShape::Sipht]
+        .iter()
+        .enumerate()
+    {
         let submit = i as u64 * 40;
         let probe = shape
-            .workflow(WorkflowId::new(i as u64), 10, 4, 8, submit, submit + 1_000_000, 77 + i as u64)
+            .workflow(
+                WorkflowId::new(i as u64),
+                10,
+                4,
+                8,
+                submit,
+                submit + 1_000_000,
+                77 + i as u64,
+            )
             .unwrap();
         let demand_slots = probe
             .total_demand()
@@ -45,7 +56,11 @@ fn workload() -> SimWorkload {
         wl.workflows
             .push(WorkflowSubmission::new(wf).with_job_deadlines(milestones));
     }
-    wl.adhoc = AdhocStream { rate_per_slot: 0.2, ..Default::default() }.generate(150, 5);
+    wl.adhoc = AdhocStream {
+        rate_per_slot: 0.2,
+        ..Default::default()
+    }
+    .generate(150, 5);
     wl
 }
 
@@ -60,7 +75,13 @@ fn run(scheduler: &mut dyn Scheduler) -> Metrics {
 fn all_metrics() -> Vec<(&'static str, Metrics)> {
     let c = cluster();
     vec![
-        ("FlowTime", run(&mut FlowTimeScheduler::new(c.clone(), FlowTimeConfig::default()))),
+        (
+            "FlowTime",
+            run(&mut FlowTimeScheduler::new(
+                c.clone(),
+                FlowTimeConfig::default(),
+            )),
+        ),
         ("EDF", run(&mut EdfScheduler::new())),
         ("FIFO", run(&mut FifoScheduler::new())),
         ("Fair", run(&mut FairScheduler::new())),
@@ -73,9 +94,16 @@ fn all_metrics() -> Vec<(&'static str, Metrics)> {
 fn every_scheduler_completes_everything_within_capacity() {
     let cap = cluster().capacity();
     for (name, m) in all_metrics() {
-        assert!(m.completed_jobs() > 20, "{name} completed {}", m.completed_jobs());
+        assert!(
+            m.completed_jobs() > 20,
+            "{name} completed {}",
+            m.completed_jobs()
+        );
         for (slot, load) in m.slot_loads.iter().enumerate() {
-            assert!(load.fits_within(&cap), "{name} violated capacity at slot {slot}");
+            assert!(
+                load.fits_within(&cap),
+                "{name} violated capacity at slot {slot}"
+            );
         }
         // Every ad-hoc job eventually finished.
         assert!(m.adhoc_jobs().count() > 0, "{name} lost the ad-hoc jobs");
@@ -119,7 +147,10 @@ fn flowtime_serves_adhoc_faster_than_edf() {
 #[test]
 fn deterministic_across_repeated_runs() {
     let c = cluster();
-    let a = run(&mut FlowTimeScheduler::new(c.clone(), FlowTimeConfig::default()));
+    let a = run(&mut FlowTimeScheduler::new(
+        c.clone(),
+        FlowTimeConfig::default(),
+    ));
     let b = run(&mut FlowTimeScheduler::new(c, FlowTimeConfig::default()));
     assert_eq!(a, b, "identical inputs must produce identical simulations");
 }

@@ -69,7 +69,12 @@ fn leveling() -> impl Strategy<Value = LevelingInstance> {
             let start = s.min(h - 1);
             let end = (start + len).min(h).max(start + 1);
             let demand = d.min(cap * (end - start) as u64);
-            LevelingJob { start, end, demand, per_slot_cap: None }
+            LevelingJob {
+                start,
+                end,
+                demand,
+                per_slot_cap: None,
+            }
         });
         proptest::collection::vec(job, 1..5).prop_map(move |jobs| LevelingInstance {
             slot_caps: vec![cap; h],

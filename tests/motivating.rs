@@ -44,7 +44,10 @@ fn flowtime_averages_100_time_units() {
     let cluster = ClusterConfig::new(ResourceVec::new([4, 4096]), 10.0);
     let mut ft = FlowTimeScheduler::new(
         cluster,
-        FlowTimeConfig { slack_slots: 0, ..Default::default() },
+        FlowTimeConfig {
+            slack_slots: 0,
+            ..Default::default()
+        },
     );
     let (tat_slots, misses) = run(&mut ft);
     assert_eq!(misses, 0, "FlowTime meets the workflow deadline");
@@ -61,9 +64,15 @@ fn flowtime_leaves_capacity_for_late_arrivals() {
     wl.adhoc.clear();
     let mut ft = FlowTimeScheduler::new(
         cluster.clone(),
-        FlowTimeConfig { slack_slots: 0, ..Default::default() },
+        FlowTimeConfig {
+            slack_slots: 0,
+            ..Default::default()
+        },
     );
-    let out = Engine::new(cluster, wl, 1_000).unwrap().run(&mut ft).unwrap();
+    let out = Engine::new(cluster, wl, 1_000)
+        .unwrap()
+        .run(&mut ft)
+        .unwrap();
     // With no ad-hoc competition, work conservation finishes W1 early —
     // but never violates capacity.
     assert_eq!(out.metrics.workflow_deadline_misses(), 0);

@@ -11,7 +11,12 @@ use proptest::prelude::*;
 fn leveling_instance() -> impl Strategy<Value = LevelingProblem> {
     let horizon = 4usize..12;
     horizon.prop_flat_map(|h| {
-        let job = (0..h - 1usize, 1usize..=6, 1u64..=30, proptest::option::of(2u64..=8))
+        let job = (
+            0..h - 1usize,
+            1usize..=6,
+            1u64..=30,
+            proptest::option::of(2u64..=8),
+        )
             .prop_map(move |(start, len, demand, slot_cap)| {
                 let end = (start + len).min(h);
                 (start.min(end - 1), end, demand, slot_cap)

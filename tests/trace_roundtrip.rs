@@ -58,3 +58,55 @@ fn production_trace_deadlines_are_loose_and_met_by_flowtime() {
 fn different_seeds_differ() {
     assert_ne!(small_trace(1), small_trace(2));
 }
+
+/// Committed golden file for the serialized [`flowtime_sim::SimOutcome`]
+/// of one fixed (workload, scheduler, fault seed) triple. Guards both the
+/// serialization format and cross-version simulator determinism: any
+/// change to either shows up as a diff against `tests/golden/outcome.json`.
+///
+/// Regenerate intentionally with:
+/// `GOLDEN_REGEN=1 cargo test --test trace_roundtrip golden`
+#[test]
+fn golden_outcome_is_stable() {
+    use flowtime_sim::{FaultConfig, FaultPlan, SimOutcome};
+
+    let cluster = ClusterConfig::new(ResourceVec::new([16, 65_536]), 10.0);
+    let trace = Trace::synthesize_production(
+        cluster,
+        &ProductionTraceConfig {
+            workflows: 2,
+            jobs_per_workflow: 5,
+            adhoc_horizon: 40,
+            ..Default::default()
+        },
+        11,
+    );
+    let mut workload = trace.workload.clone();
+    let mut faulted_cluster = trace.cluster.clone();
+    FaultPlan::new(FaultConfig::mixed(7)).apply(&mut workload, &mut faulted_cluster, 200);
+    let mut scheduler = FlowTimeScheduler::new(faulted_cluster.clone(), FlowTimeConfig::default());
+    let outcome = Engine::new(faulted_cluster, workload, 1_000_000)
+        .unwrap()
+        .with_timeline()
+        .run(&mut scheduler)
+        .unwrap();
+    let serialized = serde_json::to_string_pretty(&outcome).unwrap();
+
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden/outcome.json");
+    if std::env::var_os("GOLDEN_REGEN").is_some() {
+        std::fs::write(&path, &serialized).unwrap();
+        return;
+    }
+    let golden = std::fs::read_to_string(&path)
+        .expect("golden file missing — regenerate with GOLDEN_REGEN=1");
+    assert_eq!(
+        serialized, golden,
+        "serialized SimOutcome diverged from tests/golden/outcome.json; \
+         if intentional, regenerate with GOLDEN_REGEN=1"
+    );
+
+    // The golden bytes also round-trip through deserialization.
+    let reparsed: SimOutcome = serde_json::from_str(&golden).unwrap();
+    assert_eq!(reparsed, outcome);
+    assert_eq!(serde_json::to_string_pretty(&reparsed).unwrap(), golden);
+}
