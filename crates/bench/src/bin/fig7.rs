@@ -7,23 +7,52 @@
 //! simplex LP and the parametric max-flow solver. Absolute numbers differ
 //! from CPLEX; the shape to reproduce is sub-second growth with job count.
 //!
-//! Usage: `fig7 [--max-jobs 100] [--reps 5]`
+//! It also reports **warm-started vs. cold replan latency**: a sequence of
+//! perturbed leveling LPs (each replan shrinks some demands, as completions
+//! do) solved cold from scratch versus warm-started from the previous
+//! replan's optimal basis via dual-simplex repair. The process exits
+//! nonzero if the warm-started chain never actually warm-starts — CI uses
+//! this as a smoke test for the warm-start path.
+//!
+//! Usage: `fig7 [--max-jobs 100] [--reps 5] [--runs 5] [--warmup 1]`
 
-use flowtime::lp_sched::{LevelingProblem, PlanJob, SolverBackend};
+use flowtime::lp_sched::{formulation, LevelingProblem, PlanJob, SolverBackend};
 use flowtime_bench::experiments::fig7_cluster;
 use flowtime_dag::{JobId, ResourceVec};
+use flowtime_lp::{Basis, SimplexOptions};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::Serialize;
+use std::collections::HashMap;
 use std::time::Instant;
 
 const SLOTS: usize = 100;
+/// Replans per warm-vs-cold chain (one chain = one simulated run's worth of
+/// successive replans).
+const CHAIN_STEPS: u64 = 20;
 
 #[derive(Debug, Serialize)]
 struct Point {
     jobs: usize,
     backend: &'static str,
     mean_ms: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct WarmColdReport {
+    jobs: usize,
+    steps: u64,
+    runs: usize,
+    cold_median_ms: f64,
+    warm_median_ms: f64,
+    warm_solves: u64,
+    warm_fallbacks: u64,
+}
+
+#[derive(Debug, Serialize)]
+struct Fig7Report {
+    latency: Vec<Point>,
+    warm_vs_cold: WarmColdReport,
 }
 
 fn instance(jobs: usize, seed: u64) -> LevelingProblem {
@@ -51,6 +80,102 @@ fn instance(jobs: usize, seed: u64) -> LevelingProblem {
     }
 }
 
+/// The replan at `step`: the base instance with every demand reduced by a
+/// deterministic pseudo-random few percent (completions shrink remaining
+/// demand between replans; reductions keep every step feasible because the
+/// base is). Windows, shapes and per-slot caps are untouched, so each
+/// step's LP has the same dimensions — the realistic warm-start case.
+fn perturbed(base: &LevelingProblem, step: u64, seed: u64) -> LevelingProblem {
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_add(step.wrapping_mul(0x9e37_79b9)));
+    let mut p = base.clone();
+    for job in &mut p.jobs {
+        let cut = rng.gen_range(0..=job.demand / 20);
+        job.demand -= cut.min(job.demand.saturating_sub(1));
+    }
+    p
+}
+
+struct ChainOutcome {
+    wall_ms: f64,
+    warm_solves: u64,
+    warm_fallbacks: u64,
+}
+
+/// Solves the replan sequence start to finish, optionally threading each
+/// solve's optimal basis into the next as a warm start.
+fn solve_chain(seq: &[LevelingProblem], warm: bool) -> ChainOutcome {
+    let opts = SimplexOptions::default();
+    let frozen = HashMap::new();
+    let mut basis: Option<Basis> = None;
+    let mut warm_solves = 0u64;
+    let mut warm_fallbacks = 0u64;
+    let t0 = Instant::now();
+    for p in seq {
+        let f = formulation::build(p, &frozen).expect("well-formed instance");
+        let attempt = if warm { basis.as_ref() } else { None };
+        let attempted = attempt.is_some();
+        let res = f
+            .problem
+            .solve_warm(&opts, attempt)
+            .expect("feasible chain");
+        if res.warm_used {
+            warm_solves += 1;
+        } else if attempted {
+            warm_fallbacks += 1;
+        }
+        basis = Some(res.basis);
+        std::hint::black_box(&res.solution);
+    }
+    ChainOutcome {
+        wall_ms: t0.elapsed().as_secs_f64() * 1e3,
+        warm_solves,
+        warm_fallbacks,
+    }
+}
+
+fn median(samples: &mut [f64]) -> f64 {
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let n = samples.len();
+    if n == 0 {
+        return 0.0;
+    }
+    if n % 2 == 1 {
+        samples[n / 2]
+    } else {
+        0.5 * (samples[n / 2 - 1] + samples[n / 2])
+    }
+}
+
+fn measure_warm_cold(base: &LevelingProblem, runs: usize, warmup: usize) -> WarmColdReport {
+    let seq: Vec<LevelingProblem> = (0..CHAIN_STEPS)
+        .map(|s| perturbed(base, s, 0xf107_beef))
+        .collect();
+    let mut cold_ms = Vec::with_capacity(runs);
+    let mut warm_ms = Vec::with_capacity(runs);
+    let mut warm_solves = 0u64;
+    let mut warm_fallbacks = 0u64;
+    for rep in 0..warmup + runs {
+        let cold = solve_chain(&seq, false);
+        let warmed = solve_chain(&seq, true);
+        if rep < warmup {
+            continue;
+        }
+        cold_ms.push(cold.wall_ms);
+        warm_ms.push(warmed.wall_ms);
+        warm_solves += warmed.warm_solves;
+        warm_fallbacks += warmed.warm_fallbacks;
+    }
+    WarmColdReport {
+        jobs: base.jobs.len(),
+        steps: CHAIN_STEPS,
+        runs,
+        cold_median_ms: median(&mut cold_ms),
+        warm_median_ms: median(&mut warm_ms),
+        warm_solves,
+        warm_fallbacks,
+    }
+}
+
 fn measure(problem: &LevelingProblem, backend: SolverBackend, reps: usize) -> f64 {
     let mut total = 0.0;
     for _ in 0..reps {
@@ -73,6 +198,22 @@ fn main() {
     };
     let max_jobs = get("--max-jobs", 100);
     let reps = get("--reps", 5);
+    let runs = get("--runs", 5).max(1);
+    let warmup = get("--warmup", 1);
+
+    // Rejection-sample seeds until the random instance is feasible (dense
+    // random windows can locally over-commit the cluster).
+    let feasible_instance = |jobs: usize| {
+        let mut offset = 0u64;
+        loop {
+            let candidate = instance(jobs, 42 + jobs as u64 + offset * 1000);
+            if candidate.solve(SolverBackend::ParametricFlow).is_ok() {
+                break candidate;
+            }
+            offset += 1;
+            assert!(offset < 50, "could not find a feasible instance");
+        }
+    };
 
     println!("fig7: solver latency, {SLOTS} slots x 10 s, cluster 500 cores / 1 TB, {reps} reps");
     println!(
@@ -82,17 +223,7 @@ fn main() {
     let mut points = Vec::new();
     let mut jobs = 10;
     while jobs <= max_jobs {
-        // Rejection-sample seeds until the random instance is feasible
-        // (dense random windows can locally over-commit the cluster).
-        let mut offset = 0u64;
-        let problem = loop {
-            let candidate = instance(jobs, 42 + jobs as u64 + offset * 1000);
-            if candidate.solve(SolverBackend::ParametricFlow).is_ok() {
-                break candidate;
-            }
-            offset += 1;
-            assert!(offset < 50, "could not find a feasible instance");
-        };
+        let problem = feasible_instance(jobs);
         let lp_ms = measure(&problem, SolverBackend::Simplex { lex_rounds: 1 }, reps);
         let flow_ms = measure(&problem, SolverBackend::ParametricFlow, reps);
         println!("{jobs:>6} {lp_ms:>18.2} {flow_ms:>18.2}");
@@ -108,5 +239,30 @@ fn main() {
         });
         jobs += 10;
     }
-    flowtime_bench::report::persist("fig7", &points);
+
+    // Warm-vs-cold replan chains at the largest measured scale.
+    let warm_vs_cold = measure_warm_cold(&feasible_instance(max_jobs), runs, warmup);
+    println!(
+        "\nwarm-vs-cold replan chain: {} jobs x {} replans, {} runs (+{} warmup)",
+        warm_vs_cold.jobs, warm_vs_cold.steps, warm_vs_cold.runs, warmup
+    );
+    println!(
+        "  cold   median {:>10.2} ms/chain\n  warm   median {:>10.2} ms/chain  ({} warm-started solves, {} fallbacks)",
+        warm_vs_cold.cold_median_ms,
+        warm_vs_cold.warm_median_ms,
+        warm_vs_cold.warm_solves,
+        warm_vs_cold.warm_fallbacks
+    );
+    let warm_dead = warm_vs_cold.warm_solves == 0;
+    flowtime_bench::report::persist(
+        "fig7",
+        &Fig7Report {
+            latency: points,
+            warm_vs_cold,
+        },
+    );
+    if warm_dead {
+        eprintln!("error: warm-start chain never warm-started a solve");
+        std::process::exit(1);
+    }
 }

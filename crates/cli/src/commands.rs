@@ -22,8 +22,9 @@ USAGE:
   flowtime-cli generate  --out <trace.jsonl> [--workflows N] [--seed S]
                          [--cores C] [--mem-mb M] [--looseness X]
   flowtime-cli simulate  --trace <trace.jsonl> --scheduler <name>
-                         [--out metrics.json] [--gantt] [FAULTS]
-  flowtime-cli compare   --trace <trace.jsonl> [FAULTS]
+                         [--out metrics.json] [--gantt] [--no-plan-cache]
+                         [FAULTS]
+  flowtime-cli compare   --trace <trace.jsonl> [--no-plan-cache] [FAULTS]
   flowtime-cli decompose --trace <trace.jsonl> [--index I] [--slack S]
 
 SCHEDULERS: flowtime, flowtime-no-ds, edf, fifo, fair, cora, morpheus
@@ -61,16 +62,21 @@ fn load_trace(args: &Args) -> Result<Trace, Box<dyn Error>> {
 fn make_scheduler(
     name: &str,
     cluster: &ClusterConfig,
+    plan_cache: bool,
 ) -> Result<Box<dyn Scheduler>, Box<dyn Error>> {
     Ok(match name {
         "flowtime" => Box::new(FlowTimeScheduler::new(
             cluster.clone(),
-            FlowTimeConfig::default(),
+            FlowTimeConfig {
+                plan_cache,
+                ..Default::default()
+            },
         )),
         "flowtime-no-ds" => Box::new(FlowTimeScheduler::new(
             cluster.clone(),
             FlowTimeConfig {
                 slack_slots: 0,
+                plan_cache,
                 ..Default::default()
             },
         )),
@@ -142,10 +148,11 @@ fn attach_milestones(trace: &mut Trace) {
     }
 }
 
-fn run_one(trace: &Trace, scheduler: &mut dyn Scheduler) -> Result<Metrics, Box<dyn Error>> {
-    let outcome =
-        Engine::new(trace.cluster.clone(), trace.workload.clone(), 10_000_000)?.run(scheduler)?;
-    Ok(outcome.metrics)
+fn run_one(
+    trace: &Trace,
+    scheduler: &mut dyn Scheduler,
+) -> Result<flowtime_sim::SimOutcome, Box<dyn Error>> {
+    Ok(Engine::new(trace.cluster.clone(), trace.workload.clone(), 10_000_000)?.run(scheduler)?)
 }
 
 fn summary_line(name: &str, m: &Metrics) -> String {
@@ -193,7 +200,7 @@ fn simulate(args: &Args) -> CliResult {
     attach_milestones(&mut trace);
     apply_faults(args, &mut trace)?;
     let name = args.get("scheduler").unwrap_or("flowtime");
-    let mut scheduler = make_scheduler(name, &trace.cluster)?;
+    let mut scheduler = make_scheduler(name, &trace.cluster, !args.has("no-plan-cache"))?;
     let want_gantt = args.has("gantt");
     let mut engine = Engine::new(trace.cluster.clone(), trace.workload.clone(), 10_000_000)?;
     if want_gantt {
@@ -202,6 +209,9 @@ fn simulate(args: &Args) -> CliResult {
     let outcome = engine.run(scheduler.as_mut())?;
     let metrics = outcome.metrics;
     println!("{}", summary_line(scheduler.name(), &metrics));
+    if let Some(t) = &outcome.solver_telemetry {
+        println!("{:<16} {}", "solver", t.summary());
+    }
     if let Some(tl) = &outcome.timeline {
         print!(
             "{}",
@@ -221,9 +231,12 @@ fn compare(args: &Args) -> CliResult {
     attach_milestones(&mut trace);
     apply_faults(args, &mut trace)?;
     for name in ["flowtime", "cora", "edf", "fair", "fifo", "morpheus"] {
-        let mut scheduler = make_scheduler(name, &trace.cluster)?;
-        let metrics = run_one(&trace, scheduler.as_mut())?;
-        println!("{}", summary_line(scheduler.name(), &metrics));
+        let mut scheduler = make_scheduler(name, &trace.cluster, !args.has("no-plan-cache"))?;
+        let outcome = run_one(&trace, scheduler.as_mut())?;
+        println!("{}", summary_line(scheduler.name(), &outcome.metrics));
+        if let Some(t) = &outcome.solver_telemetry {
+            println!("{:<16} {}", "", t.summary());
+        }
     }
     Ok(())
 }
@@ -301,9 +314,9 @@ mod tests {
             "cora",
             "morpheus",
         ] {
-            assert!(make_scheduler(name, &cluster).is_ok(), "{name}");
+            assert!(make_scheduler(name, &cluster, true).is_ok(), "{name}");
         }
-        assert!(make_scheduler("nope", &cluster).is_err());
+        assert!(make_scheduler("nope", &cluster, false).is_err());
     }
 
     #[test]
@@ -398,6 +411,46 @@ mod tests {
         let clean = run(&[], &dir.join("c.json"));
         assert_eq!(a, b, "same fault seed must give byte-identical metrics");
         assert_ne!(a, clean, "faulted run should diverge from baseline");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn no_plan_cache_flag_does_not_change_metrics() {
+        let dir = std::env::temp_dir().join("flowtime-cli-test-npc");
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace_path = dir.join("t.jsonl");
+        dispatch(&argv(&[
+            "generate",
+            "--out",
+            trace_path.to_str().unwrap(),
+            "--workflows",
+            "2",
+            "--cores",
+            "64",
+            "--seed",
+            "9",
+        ]))
+        .unwrap();
+        let run = |extra: &[&str], out: &std::path::Path| {
+            let mut a = vec![
+                "simulate",
+                "--trace",
+                trace_path.to_str().unwrap(),
+                "--scheduler",
+                "flowtime",
+                "--out",
+                out.to_str().unwrap(),
+            ];
+            a.extend_from_slice(extra);
+            dispatch(&argv(&a)).unwrap();
+            std::fs::read_to_string(out).unwrap()
+        };
+        let cached = run(&[], &dir.join("a.json"));
+        let uncached = run(&["--no-plan-cache"], &dir.join("b.json"));
+        assert_eq!(
+            cached, uncached,
+            "the plan cache must never change scheduling decisions"
+        );
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -1,6 +1,7 @@
 //! Backend dispatch: simplex LP vs. parametric max-flow.
 
-use super::{lexmin, rounding, LevelingProblem, Plan, SolverBackend};
+use super::cache::{CacheLookup, PlanCache};
+use super::{lexmin, rounding, LevelingProblem, Plan, SolveStats, SolverBackend};
 use crate::error::CoreError;
 use flowtime_dag::{ResourceVec, NUM_RESOURCES};
 use flowtime_flow::leveling::{LevelingInstance, LevelingJob};
@@ -22,6 +23,26 @@ const FLOW_LEX_ROUNDS: usize = 2;
 /// * [`CoreError::Lp`] / [`CoreError::Flow`] when the demand cannot fit the
 ///   windows (infeasible decomposition) or a solver fails.
 pub fn solve(leveling: &LevelingProblem, backend: SolverBackend) -> Result<Plan, CoreError> {
+    solve_with(leveling, backend, None, &mut SolveStats::default())
+}
+
+/// [`solve`] with an optional [`PlanCache`] and solver-effort accounting.
+///
+/// The cache answers only problems it can prove identical to a fresh solve
+/// (see [`super::cache`]), so enabling it never changes any plan — only
+/// how much solver work producing it costs. Failed solves are not cached;
+/// hits, misses and per-backend solve/pivot counts accumulate into
+/// `stats`.
+///
+/// # Errors
+///
+/// Same as [`solve`].
+pub fn solve_with(
+    leveling: &LevelingProblem,
+    backend: SolverBackend,
+    cache: Option<&mut PlanCache>,
+    stats: &mut SolveStats,
+) -> Result<Plan, CoreError> {
     leveling.validate()?;
     if leveling.jobs.is_empty() {
         return Ok(Plan {
@@ -29,8 +50,22 @@ pub fn solve(leveling: &LevelingProblem, backend: SolverBackend) -> Result<Plan,
             horizon: leveling.horizon(),
         });
     }
-    match backend {
+    if let Some(cache) = &cache {
+        match cache.lookup(leveling, backend) {
+            CacheLookup::Exact(plan) => {
+                stats.cache_hits_exact += 1;
+                return Ok(plan);
+            }
+            CacheLookup::Shift(plan) => {
+                stats.cache_hits_shift += 1;
+                return Ok(plan);
+            }
+            CacheLookup::Miss => stats.cache_misses += 1,
+        }
+    }
+    let plan = match backend {
         SolverBackend::ParametricFlow if uniform_shape(leveling).is_some() => {
+            stats.flow_solves += 1;
             solve_flow(leveling, uniform_shape(leveling).expect("checked"))
         }
         SolverBackend::ParametricFlow => {
@@ -38,10 +73,14 @@ pub fn solve(leveling: &LevelingProblem, backend: SolverBackend) -> Result<Plan,
             // apply; fall back to the LP with the same bounded refinement
             // budget (full lexicographic depth on long horizons would cost
             // hundreds of LP solves per re-plan).
-            solve_simplex(leveling, 1 + FLOW_LEX_ROUNDS)
+            solve_simplex(leveling, 1 + FLOW_LEX_ROUNDS, stats)
         }
-        SolverBackend::Simplex { lex_rounds } => solve_simplex(leveling, lex_rounds),
+        SolverBackend::Simplex { lex_rounds } => solve_simplex(leveling, lex_rounds, stats),
+    }?;
+    if let Some(cache) = cache {
+        cache.store(leveling, backend, &plan);
     }
+    Ok(plan)
 }
 
 /// The shared per-task shape, if all jobs agree.
@@ -89,8 +128,12 @@ fn solve_flow(leveling: &LevelingProblem, shape: ResourceVec) -> Result<Plan, Co
     })
 }
 
-fn solve_simplex(leveling: &LevelingProblem, lex_rounds: usize) -> Result<Plan, CoreError> {
-    let fractional = lexmin::solve(leveling, lex_rounds)?;
+fn solve_simplex(
+    leveling: &LevelingProblem,
+    lex_rounds: usize,
+    stats: &mut SolveStats,
+) -> Result<Plan, CoreError> {
+    let fractional = lexmin::solve_with_stats(leveling, lex_rounds, true, stats)?;
     Ok(rounding::round_plan(leveling, &fractional.x))
 }
 
@@ -186,6 +229,62 @@ mod tests {
         };
         assert!(p.solve(SolverBackend::ParametricFlow).is_err());
         assert!(p.solve(SolverBackend::Simplex { lex_rounds: 1 }).is_err());
+    }
+
+    #[test]
+    fn cached_solves_reuse_plans_and_count_stats() {
+        let p = LevelingProblem {
+            slot_caps: caps(8, 6),
+            jobs: vec![job(1, (2, 6), 9), job(2, (3, 8), 7)],
+        };
+        let mut cache = PlanCache::new();
+        let mut stats = SolveStats::default();
+        let backend = SolverBackend::Simplex { lex_rounds: 2 };
+        let first = solve_with(&p, backend, Some(&mut cache), &mut stats).unwrap();
+        assert_eq!(stats.cache_misses, 1);
+        assert!(stats.cold_solves >= 1, "main solves stay cold");
+        // Identical problem: answered from cache, no new solves.
+        let solves_before = stats.cold_solves + stats.warm_solves;
+        let again = solve_with(&p, backend, Some(&mut cache), &mut stats).unwrap();
+        assert_eq!(again, first);
+        assert_eq!(stats.cache_hits_exact, 1);
+        assert_eq!(stats.cold_solves + stats.warm_solves, solves_before);
+        // Pure elapsed-time relabel: shift hit, identical to a fresh solve.
+        let moved = LevelingProblem {
+            slot_caps: p.slot_caps[1..].to_vec(),
+            jobs: p
+                .jobs
+                .iter()
+                .map(|j| PlanJob {
+                    window: (j.window.0 - 1, j.window.1 - 1),
+                    ..j.clone()
+                })
+                .collect(),
+        };
+        let reused = solve_with(&p, backend, Some(&mut cache), &mut stats).unwrap();
+        assert_eq!(reused, first);
+        let shifted = solve_with(&moved, backend, Some(&mut cache), &mut stats).unwrap();
+        assert_eq!(stats.cache_hits_shift, 1);
+        assert_eq!(shifted, solve(&moved, backend).unwrap());
+    }
+
+    #[test]
+    fn cache_disabled_is_bitwise_identical() {
+        let p = LevelingProblem {
+            slot_caps: caps(6, 10),
+            jobs: vec![job(1, (0, 3), 12), job(2, (1, 6), 15)],
+        };
+        let mut cache = PlanCache::new();
+        let mut stats = SolveStats::default();
+        for backend in [
+            SolverBackend::ParametricFlow,
+            SolverBackend::Simplex { lex_rounds: 3 },
+        ] {
+            let cached = solve_with(&p, backend, Some(&mut cache), &mut stats).unwrap();
+            let uncached = solve(&p, backend).unwrap();
+            assert_eq!(cached, uncached, "{backend:?}");
+        }
+        assert_eq!(stats.flow_solves, 1);
     }
 
     #[test]

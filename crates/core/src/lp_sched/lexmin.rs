@@ -16,10 +16,10 @@
 //! optimal at every completed level and approximately lexmin below.
 
 use super::formulation;
-use super::LevelingProblem;
+use super::{LevelingProblem, SolveStats};
 use crate::error::CoreError;
 use flowtime_dag::NUM_RESOURCES;
-use flowtime_lp::LpError;
+use flowtime_lp::{Basis, LpError, SimplexOptions};
 use std::collections::HashMap;
 
 /// A fractional lexmin-max solution.
@@ -31,15 +31,44 @@ pub struct FractionalPlan {
     pub peak_ratio: f64,
     /// Number of refinement rounds performed.
     pub rounds_used: usize,
+    /// The optimal peak level of each completed round's main solve — the
+    /// lexicographic objective vector, for cross-configuration equivalence
+    /// checks.
+    pub thetas: Vec<f64>,
 }
 
 fn solve_once(
     leveling: &LevelingProblem,
     frozen: &HashMap<(usize, usize), f64>,
-) -> Result<(f64, Vec<Vec<f64>>), CoreError> {
+    warm: Option<&Basis>,
+    stats: &mut SolveStats,
+) -> Result<(f64, Vec<Vec<f64>>, Basis), CoreError> {
     let horizon = leveling.horizon();
     let f = formulation::build(leveling, frozen)?;
-    let sol = f.problem.solve()?;
+    let res = match f.problem.solve_warm(&SimplexOptions::default(), warm) {
+        Ok(res) => res,
+        Err(e) => {
+            // Errors (infeasible, unbounded) are always diagnosed by the
+            // cold path: the warm attempt either never matched or repaired
+            // into the fallback before failing.
+            stats.cold_solves += 1;
+            if warm.is_some() {
+                stats.warm_fallbacks += 1;
+            }
+            return Err(e.into());
+        }
+    };
+    if res.warm_used {
+        stats.warm_solves += 1;
+        stats.warm_pivots += res.solution.iterations as u64;
+    } else {
+        stats.cold_solves += 1;
+        stats.cold_pivots += res.solution.iterations as u64;
+        if warm.is_some() {
+            stats.warm_fallbacks += 1;
+        }
+    }
+    let sol = &res.solution;
     let theta = sol.value(f.theta);
     let mut x = vec![vec![0.0f64; horizon]; leveling.jobs.len()];
     for (i, (job, vars)) in leveling.jobs.iter().zip(f.x.iter()).enumerate() {
@@ -47,7 +76,7 @@ fn solve_once(
             x[i][job.window.0 + off] = sol.value(v);
         }
     }
-    Ok((theta, x))
+    Ok((theta, x, res.basis))
 }
 
 fn loads_of(leveling: &LevelingProblem, x: &[Vec<f64>]) -> Vec<[f64; NUM_RESOURCES]> {
@@ -71,20 +100,49 @@ fn loads_of(leveling: &LevelingProblem, x: &[Vec<f64>]) -> Vec<[f64; NUM_RESOURC
 /// the decomposed windows cannot hold the demand
 /// ([`flowtime_lp::LpError::Infeasible`] wrapped in [`CoreError::Lp`]).
 pub fn solve(leveling: &LevelingProblem, rounds: usize) -> Result<FractionalPlan, CoreError> {
+    solve_with_stats(leveling, rounds, true, &mut SolveStats::default())
+}
+
+/// [`solve`] with explicit control over warm-started necessity trials and
+/// solver-effort accounting.
+///
+/// Every round's **main** solve is always cold: the returned vertex defines
+/// the peak candidates and the final allocation, so it must not depend on
+/// warm-start state. When `warm_trials` is set, the objective-only
+/// necessity trials of each round warm-start from that round's main
+/// optimal basis — the trial LP differs from the main LP by one capacity
+/// row, the textbook dual-repair case. Trials only compare the optimal
+/// *objective* against a threshold, and warm and cold solves provably agree
+/// on the objective, so the freezing decisions (and therefore the returned
+/// plan) are identical either way; `tests/warm_start_props.rs` checks
+/// exactly that.
+///
+/// # Errors
+///
+/// Same as [`solve`].
+pub fn solve_with_stats(
+    leveling: &LevelingProblem,
+    rounds: usize,
+    warm_trials: bool,
+    stats: &mut SolveStats,
+) -> Result<FractionalPlan, CoreError> {
     let mut frozen: HashMap<(usize, usize), f64> = HashMap::new();
     let mut result: Option<FractionalPlan> = None;
     let mut first_peak = 0.0f64;
+    let mut thetas: Vec<f64> = Vec::new();
     let rounds = rounds.max(1);
     for round in 0..rounds {
-        let (theta, x) = solve_once(leveling, &frozen)?;
+        let (theta, x, basis) = solve_once(leveling, &frozen, None, stats)?;
         if round == 0 {
             first_peak = theta;
         }
+        thetas.push(theta);
         let loads = loads_of(leveling, &x);
         result = Some(FractionalPlan {
             x,
             peak_ratio: first_peak,
             rounds_used: round + 1,
+            thetas: thetas.clone(),
         });
         if round + 1 == rounds || theta <= 1e-9 {
             break;
@@ -112,8 +170,9 @@ pub fn solve(leveling: &LevelingProblem, rounds: usize) -> Result<FractionalPlan
             let delta = (level * 1e-3).max(0.5);
             let mut trial = frozen.clone();
             trial.insert((t, r), (level - delta).max(0.0));
-            let tight = match solve_once(leveling, &trial) {
-                Ok((theta_new, _)) => theta_new > theta + 1e-6,
+            let warm = if warm_trials { Some(&basis) } else { None };
+            let tight = match solve_once(leveling, &trial, warm, stats) {
+                Ok((theta_new, _, _)) => theta_new > theta + 1e-6,
                 Err(CoreError::Lp(LpError::Infeasible)) => true,
                 Err(e) => return Err(e),
             };
@@ -201,6 +260,38 @@ mod tests {
         for t in 0..3 {
             assert!(plan.x[0][t] <= 2.0 + 1e-6);
         }
+    }
+
+    #[test]
+    fn warm_trials_match_cold_trials_exactly() {
+        // Rigid + flexible jobs force several freeze rounds with real
+        // necessity trials; warm-started trials must reproduce the cold
+        // path's allocation and objective vector bit for bit (the main
+        // solves are cold in both configurations).
+        let p = LevelingProblem {
+            slot_caps: uniform_caps(8, 10),
+            jobs: vec![job(1, (0, 2), 14), job(2, (2, 8), 12), job(3, (1, 5), 6)],
+        };
+        let mut warm_stats = SolveStats::default();
+        let mut cold_stats = SolveStats::default();
+        let warm = solve_with_stats(&p, 6, true, &mut warm_stats).unwrap();
+        let cold = solve_with_stats(&p, 6, false, &mut cold_stats).unwrap();
+        assert_eq!(warm.x, cold.x);
+        assert_eq!(warm.thetas, cold.thetas);
+        assert_eq!(warm.rounds_used, cold.rounds_used);
+        // The cold configuration never warm-starts anything...
+        assert_eq!(cold_stats.warm_solves, 0);
+        assert_eq!(cold_stats.warm_fallbacks, 0);
+        // ...and the warm configuration actually exercised warm trials.
+        assert!(
+            warm_stats.warm_solves > 0,
+            "no warm trials ran: {warm_stats:?}"
+        );
+        assert_eq!(
+            warm_stats.cold_solves + warm_stats.warm_solves,
+            cold_stats.cold_solves,
+            "same number of LP solves either way"
+        );
     }
 
     #[test]

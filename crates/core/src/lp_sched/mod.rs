@@ -22,6 +22,7 @@
 //!   exactly and integrally by parametric max-flow (`flowtime-flow`).
 
 pub mod backend;
+pub mod cache;
 pub mod formulation;
 pub mod lexmin;
 pub mod rounding;
@@ -29,6 +30,33 @@ pub mod rounding;
 use crate::error::CoreError;
 use flowtime_dag::{JobId, ResourceVec};
 use std::collections::HashMap;
+
+/// Solver-effort counters accumulated across one or more backend solves.
+///
+/// The scheduler folds these into the simulator's
+/// [`flowtime_sim::SolverTelemetry`] per replan; tests read them directly
+/// to assert warm-start and cache behaviour.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SolveStats {
+    /// Simplex solves that ran the cold two-phase path.
+    pub cold_solves: u64,
+    /// Simplex solves warm-started from a previous optimal basis.
+    pub warm_solves: u64,
+    /// Warm-start attempts that fell back cold (also in `cold_solves`).
+    pub warm_fallbacks: u64,
+    /// Pivots spent in cold solves.
+    pub cold_pivots: u64,
+    /// Pivots spent in successful warm-started solves.
+    pub warm_pivots: u64,
+    /// Solves answered by the parametric-flow backend.
+    pub flow_solves: u64,
+    /// Plan-cache hits on a byte-identical problem.
+    pub cache_hits_exact: u64,
+    /// Plan-cache hits on a pure elapsed-time relabel of the cached problem.
+    pub cache_hits_shift: u64,
+    /// Cache lookups that found no reusable plan (cache enabled only).
+    pub cache_misses: u64,
+}
 
 /// One deadline job as seen by the planner.
 #[derive(Debug, Clone, PartialEq, Eq)]

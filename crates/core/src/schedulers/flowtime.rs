@@ -2,10 +2,13 @@
 
 use super::util::SlotFiller;
 use crate::decompose::{self, slack::slacked_windows, DecomposeConfig, Decomposer, JobWindow};
-use crate::lp_sched::{LevelingProblem, Plan, PlanJob, SolverBackend};
-use flowtime_dag::{JobId, WorkflowId};
-use flowtime_sim::{Allocation, ClusterConfig, JobView, Scheduler, SimState};
+use crate::lp_sched::{
+    backend, cache::PlanCache, LevelingProblem, Plan, PlanJob, SolveStats, SolverBackend,
+};
+use flowtime_dag::{JobId, ResourceVec, WorkflowId};
+use flowtime_sim::{Allocation, ClusterConfig, JobView, Scheduler, SimState, SolverTelemetry};
 use std::collections::{HashMap, HashSet};
+use std::time::Instant;
 
 /// Tuning parameters of [`FlowTimeScheduler`].
 #[derive(Debug, Clone, PartialEq)]
@@ -29,6 +32,11 @@ pub struct FlowTimeConfig {
     pub replan_interval: u64,
     /// Hard cap on the planning horizon, in slots.
     pub max_horizon: usize,
+    /// Reuse the previous plan when the leveling problem is unchanged or a
+    /// pure elapsed-time relabel of it (see [`crate::lp_sched::cache`]).
+    /// Never changes any plan — only skips provably redundant solves — so
+    /// disabling it is purely diagnostic.
+    pub plan_cache: bool,
 }
 
 impl Default for FlowTimeConfig {
@@ -40,6 +48,7 @@ impl Default for FlowTimeConfig {
             replan_every_slot: false,
             replan_interval: 8,
             max_horizon: 4096,
+            plan_cache: true,
         }
     }
 }
@@ -76,6 +85,16 @@ pub struct FlowTimeScheduler {
     degraded: bool,
     last_replan_slot: u64,
     solves: usize,
+    /// The conservative capacity regime the current windows were
+    /// decomposed under (elementwise minimum of `capacity_at` over the
+    /// tracked lookahead). `None` until the first slot.
+    capacity_regime: Option<ResourceVec>,
+    /// Scheduling deadlines of the pending jobs as of the last replan —
+    /// the plan paces against these, so a later window refresh that moves
+    /// any of them (capacity churn) invalidates the plan.
+    planned_deadlines: HashMap<JobId, u64>,
+    cache: PlanCache,
+    telemetry: SolverTelemetry,
 }
 
 impl FlowTimeScheduler {
@@ -93,6 +112,10 @@ impl FlowTimeScheduler {
             degraded: false,
             last_replan_slot: 0,
             solves: 0,
+            capacity_regime: None,
+            planned_deadlines: HashMap::new(),
+            cache: PlanCache::new(),
+            telemetry: SolverTelemetry::default(),
         }
     }
 
@@ -100,6 +123,87 @@ impl FlowTimeScheduler {
     /// accounting, Fig. 7).
     pub fn solves(&self) -> usize {
         self.solves
+    }
+
+    /// The capacity figure deadline decomposition runs against: the
+    /// conservative regime when one is tracked, else the nominal capacity.
+    fn decompose_capacity(&self) -> ResourceVec {
+        self.capacity_regime
+            .unwrap_or_else(|| self.cluster.capacity())
+    }
+
+    /// (Re-)decomposes one workflow's deadline into job windows and
+    /// milestones under the current capacity regime.
+    fn decompose_into_windows(&mut self, wf: &flowtime_sim::WorkflowView<'_>) {
+        let cfg =
+            DecomposeConfig::new(self.decompose_capacity()).with_decomposer(self.config.decomposer);
+        match decompose::decompose(wf.workflow, &cfg) {
+            Ok(d) => {
+                let windows = slacked_windows(&d, self.config.slack_slots);
+                for ((node, w), milestone) in windows.into_iter().enumerate().zip(d.job_deadlines())
+                {
+                    self.windows.insert(wf.job_ids[node], w);
+                    self.milestones.insert(wf.job_ids[node], milestone);
+                }
+            }
+            Err(_) => {
+                // Window tighter than the DAG depth: best effort — every
+                // job gets the whole workflow window.
+                let w = JobWindow {
+                    start: wf.workflow.submit_slot(),
+                    deadline: wf.workflow.deadline_slot(),
+                };
+                for node in 0..wf.workflow.len() {
+                    self.windows.insert(wf.job_ids[node], w);
+                    self.milestones.insert(wf.job_ids[node], w.deadline);
+                }
+            }
+        }
+    }
+
+    /// Recomputes the conservative capacity regime over the tracked
+    /// lookahead and re-decomposes live workflows when it changed.
+    ///
+    /// Capacity churn is statically known through
+    /// [`ClusterConfig::capacity_at`] — the placement LP already routes
+    /// around it slot by slot — but deadline *decomposition* runs against
+    /// a single capacity figure, so windows decomposed at arrival go stale
+    /// when churn shrinks (or restores) the capacity a workflow's
+    /// remaining window can count on. The regime is the elementwise
+    /// minimum of `capacity_at` from `now` to the furthest tracked
+    /// deadline; when it changes, every incomplete workflow's windows and
+    /// milestones are re-decomposed under it, and [`Self::needs_replan`]
+    /// picks up any deadline that moved via
+    /// [`Self::planned_deadlines`].
+    fn refresh_regime(&mut self, state: &SimState) {
+        let now = state.now();
+        let far = state
+            .workflows()
+            .iter()
+            .filter(|wf| !wf.completed.iter().all(|&c| c))
+            .map(|wf| wf.workflow.deadline_slot())
+            .max()
+            .unwrap_or(now)
+            .clamp(now + 1, now + self.config.max_horizon as u64);
+        let mut regime = self.cluster.capacity_at(now);
+        for t in (now + 1)..far {
+            regime = regime.min(&self.cluster.capacity_at(t));
+        }
+        if self.capacity_regime == Some(regime) {
+            return;
+        }
+        let first = self.capacity_regime.is_none();
+        self.capacity_regime = Some(regime);
+        if first {
+            // Nothing was decomposed under an older regime yet; arrivals
+            // from this slot on use the fresh one.
+            return;
+        }
+        for wf in state.workflows() {
+            if self.seen_workflows.contains(&wf.id()) && !wf.completed.iter().all(|&c| c) {
+                self.decompose_into_windows(&wf);
+            }
+        }
     }
 
     /// Decomposes newly arrived workflows; returns true if any arrived.
@@ -110,31 +214,7 @@ impl FlowTimeScheduler {
                 continue;
             }
             dirty = true;
-            let cfg = DecomposeConfig::new(self.cluster.capacity())
-                .with_decomposer(self.config.decomposer);
-            match decompose::decompose(wf.workflow, &cfg) {
-                Ok(d) => {
-                    let windows = slacked_windows(&d, self.config.slack_slots);
-                    for ((node, w), milestone) in
-                        windows.into_iter().enumerate().zip(d.job_deadlines())
-                    {
-                        self.windows.insert(wf.job_ids[node], w);
-                        self.milestones.insert(wf.job_ids[node], milestone);
-                    }
-                }
-                Err(_) => {
-                    // Window tighter than the DAG depth: best effort — every
-                    // job gets the whole workflow window.
-                    let w = JobWindow {
-                        start: wf.workflow.submit_slot(),
-                        deadline: wf.workflow.deadline_slot(),
-                    };
-                    for node in 0..wf.workflow.len() {
-                        self.windows.insert(wf.job_ids[node], w);
-                        self.milestones.insert(wf.job_ids[node], w.deadline);
-                    }
-                }
-            }
+            self.decompose_into_windows(&wf);
         }
         dirty
     }
@@ -155,6 +235,21 @@ impl FlowTimeScheduler {
         let Some((origin, _)) = &self.plan else {
             return !pending.is_empty();
         };
+        // A tracked pending job's scheduling deadline moved since the plan
+        // was built (capacity-churn window refresh shrank or restored its
+        // feasible window): the plan paces against stale windows, so
+        // rebuild immediately rather than waiting for the completion
+        // batch interval.
+        for job in pending {
+            if let (Some(w), Some(&planned)) = (
+                self.windows.get(&job.id),
+                self.planned_deadlines.get(&job.id),
+            ) {
+                if w.deadline != planned {
+                    return true;
+                }
+            }
+        }
         let completions = state
             .workflows()
             .iter()
@@ -233,11 +328,36 @@ impl FlowTimeScheduler {
         }
     }
 
+    /// Folds one replan's solver counters into the run telemetry.
+    fn absorb_stats(&mut self, stats: &SolveStats) {
+        let t = &mut self.telemetry;
+        t.cold_solves += stats.cold_solves;
+        t.warm_solves += stats.warm_solves;
+        t.warm_fallbacks += stats.warm_fallbacks;
+        t.cold_pivots += stats.cold_pivots;
+        t.warm_pivots += stats.warm_pivots;
+        t.cache_hits_exact += stats.cache_hits_exact;
+        t.cache_hits_shift += stats.cache_hits_shift;
+        t.cache_misses += stats.cache_misses;
+        t.flow_solves += stats.flow_solves;
+    }
+
     fn replan(&mut self, state: &SimState, pending: &[JobView]) {
         let problem = self.build_problem(state, pending);
         self.solves += 1;
+        self.telemetry.replans += 1;
         self.last_replan_slot = state.now();
-        match problem.solve(self.config.backend) {
+        let started = Instant::now();
+        let mut stats = SolveStats::default();
+        let cache = if self.config.plan_cache {
+            Some(&mut self.cache)
+        } else {
+            None
+        };
+        let solved = backend::solve_with(&problem, self.config.backend, cache, &mut stats);
+        self.telemetry.replan_wall_nanos += started.elapsed().as_nanos() as u64;
+        self.absorb_stats(&stats);
+        match solved {
             Ok(plan) => {
                 self.plan_suffix = plan
                     .tasks
@@ -259,8 +379,13 @@ impl FlowTimeScheduler {
                 self.plan = None;
                 self.plan_suffix.clear();
                 self.degraded = true;
+                self.telemetry.degraded_replans += 1;
             }
         }
+        self.planned_deadlines = pending
+            .iter()
+            .filter_map(|j| self.windows.get(&j.id).map(|w| (j.id, w.deadline)))
+            .collect();
         self.planned_completions = state
             .workflows()
             .iter()
@@ -275,7 +400,12 @@ impl Scheduler for FlowTimeScheduler {
         "FlowTime"
     }
 
+    fn telemetry(&self) -> Option<SolverTelemetry> {
+        Some(self.telemetry.clone())
+    }
+
     fn plan_slot(&mut self, state: &SimState) -> Allocation {
+        self.refresh_regime(state);
         let arrived = self.absorb_arrivals(state);
         let pending = Self::pending_deadline_jobs(state);
         if arrived || self.needs_replan(state, &pending) {
@@ -468,6 +598,104 @@ mod tests {
         assert_eq!(out.metrics.completed_jobs(), 1);
         // 100 units at width 4 = 25 slots; deadline 5 is hopeless.
         assert_eq!(out.metrics.jobs[0].completion_slot, 25);
+    }
+
+    #[test]
+    fn plan_cache_answers_waiting_replans_without_changing_behavior() {
+        // j1 is over-estimated (finishes early) while j2's decomposed
+        // window starts later, and a saturating ad-hoc job absorbs every
+        // residual slot, so the every-slot replans between j1's completion
+        // and j2's window start rebuild pure elapsed-time relabels of the
+        // same leveling problem. The cache must answer those as shift hits
+        // — and must not change a single metric relative to running with
+        // the cache disabled.
+        let build = || {
+            let mut b = WorkflowBuilder::new(WorkflowId::new(1), "w");
+            let j1 = b.add_job(spec(8, 1));
+            let j2 = b.add_job(spec(12, 1));
+            b.add_dep(j1, j2).unwrap();
+            let wf = b.window(0, 20).build().unwrap();
+            let mut wl = SimWorkload::default();
+            wl.workflows
+                .push(WorkflowSubmission::new(wf).with_actual_work(vec![4, 12]));
+            wl.adhoc.push(AdhocSubmission::new(spec(400, 1), 0));
+            wl
+        };
+        let run = |plan_cache: bool| {
+            let cfg = FlowTimeConfig {
+                slack_slots: 0,
+                replan_every_slot: true,
+                plan_cache,
+                ..Default::default()
+            };
+            let mut ft = FlowTimeScheduler::new(cluster(4), cfg);
+            Engine::new(cluster(4), build(), 1000)
+                .unwrap()
+                .run(&mut ft)
+                .unwrap()
+        };
+        let cached = run(true);
+        let uncached = run(false);
+        assert_eq!(cached.metrics, uncached.metrics);
+        let on = cached.solver_telemetry.as_ref().unwrap();
+        let off = uncached.solver_telemetry.as_ref().unwrap();
+        assert!(on.cache_hits_shift >= 1, "no shift hits: {}", on.summary());
+        assert_eq!(off.cache_hits(), 0);
+        assert_eq!(off.cache_misses, 0, "disabled cache must not be probed");
+        assert_eq!(on.replans, off.replans);
+    }
+
+    #[test]
+    fn replans_immediately_when_churn_moves_window_deadlines() {
+        // Capacity churn: the cluster runs at half capacity during slots
+        // 0..12, restoring to full afterwards. Deadline decomposition under
+        // the conservative regime gives width-constrained j1 a long window
+        // (its min-runtime doubles at half capacity), pushing serial j2's
+        // window start late. When the churn leaves the lookahead at slot
+        // 12, re-decomposition under full capacity moves j1's deadline
+        // *earlier* and j2's start with it — and j2 (which really needs 14
+        // slots at width 1, not the estimated 10) only meets the workflow
+        // deadline if the scheduler acts on that moved deadline right away.
+        // Pre-fix, `needs_replan` ignored deadline changes without an
+        // arrival, so the stale plan kept pacing j1 against the old window
+        // and started j2 too late to finish by slot 30. The saturating
+        // ad-hoc job keeps work-conservation top-ups from hiding the stale
+        // start; the long replan interval models the event-driven default
+        // where no completion batch happens to rescue the plan in time.
+        let mut b = WorkflowBuilder::new(WorkflowId::new(1), "w");
+        let j1 = b.add_job(spec(24, 1));
+        let j2 = b.add_job(spec(10, 1).with_max_parallel(1));
+        b.add_dep(j1, j2).unwrap();
+        let wf = b.window(0, 30).build().unwrap();
+        let mut wl = SimWorkload::default();
+        wl.workflows
+            .push(WorkflowSubmission::new(wf).with_actual_work(vec![24, 14]));
+        wl.adhoc.push(AdhocSubmission::new(spec(400, 1), 0));
+        let churned = cluster(4).with_capacity_window(0, 12, ResourceVec::new([2, 2 * 1024]));
+        let cfg = FlowTimeConfig {
+            slack_slots: 0,
+            replan_interval: 64,
+            ..Default::default()
+        };
+        let mut ft = FlowTimeScheduler::new(churned.clone(), cfg);
+        let out = Engine::new(churned, wl, 1000)
+            .unwrap()
+            .run(&mut ft)
+            .unwrap();
+        assert_eq!(
+            out.metrics.workflow_deadline_misses(),
+            0,
+            "completions: {:?}",
+            out.metrics
+                .jobs
+                .iter()
+                .map(|j| j.completion_slot)
+                .collect::<Vec<_>>()
+        );
+        assert!(
+            ft.solves() >= 2,
+            "the regime change at slot 12 must trigger a replan"
+        );
     }
 
     #[test]

@@ -88,7 +88,7 @@ impl LevelingInstance {
     pub fn solve_minmax(&self) -> Result<LevelingSolution, FlowError> {
         self.validate()?;
         let fixed = vec![None; self.horizon()];
-        let (_, solution) = self.minmax_round(&fixed)?;
+        let (_, solution, _) = self.minmax_round(&fixed, None)?;
         Ok(solution)
     }
 
@@ -117,8 +117,14 @@ impl LevelingInstance {
         let horizon = self.horizon();
         let mut fixed: Vec<Option<u64>> = vec![None; horizon];
         let mut last = None;
+        // Warm peak bound: freezing critical slots at their caps keeps the
+        // previous round's allocation feasible, so the previous round's
+        // per-slot peak bound upper-bounds the next round's optimum — each
+        // refinement round searches a strictly smaller range.
+        let mut peak_hint = None;
         for _ in 0..max_rounds.max(1) {
-            let (caps, solution) = self.minmax_round(&fixed)?;
+            let (caps, solution, bound) = self.minmax_round(&fixed, peak_hint)?;
+            peak_hint = bound;
             let critical = self.critical_slots(&caps, &fixed);
             last = Some(solution);
             let mut fixed_any = false;
@@ -210,11 +216,15 @@ impl LevelingInstance {
     }
 
     /// One parametric round: minimal peak over free slots given `fixed`
-    /// caps. Returns the caps in effect and the allocation found.
+    /// caps. Returns the caps in effect, the allocation found, and — on
+    /// the uniform integer-search path — the minimal per-slot bound, which
+    /// the caller may feed back as `peak_hint` to shrink the next round's
+    /// search range (the hint is verified feasible before it is trusted).
     fn minmax_round(
         &self,
         fixed: &[Option<u64>],
-    ) -> Result<(Vec<u64>, LevelingSolution), FlowError> {
+        peak_hint: Option<u64>,
+    ) -> Result<(Vec<u64>, LevelingSolution, Option<u64>), FlowError> {
         // Feasibility requires the full-capacity instance to fit.
         if !self.feasible(&self.caps_at(1.0, fixed))? {
             return Err(FlowError::Infeasible);
@@ -224,9 +234,18 @@ impl LevelingInstance {
             .map(|t| self.slot_caps[t])
             .collect();
         let uniform = free_caps.windows(2).all(|w| w[0] == w[1]);
+        let mut found_bound = None;
         let caps = if let (true, Some(&c)) = (uniform, free_caps.first()) {
-            // Exact integer search over the per-slot load bound `m`.
-            let (mut lo, mut hi) = (0u64, c);
+            // Exact integer search over the per-slot load bound `m`,
+            // top-seeded by the previous round's bound when available.
+            let mut hi = c;
+            if let Some(h) = peak_hint {
+                let h = h.min(c);
+                if h < hi && self.feasible(&self.caps_with_free_bound(h, fixed))? {
+                    hi = h;
+                }
+            }
+            let mut lo = 0u64;
             while lo < hi {
                 let mid = lo + (hi - lo) / 2;
                 let caps = self.caps_with_free_bound(mid, fixed);
@@ -236,6 +255,7 @@ impl LevelingInstance {
                     lo = mid + 1;
                 }
             }
+            found_bound = Some(lo);
             self.caps_with_free_bound(lo, fixed)
         } else {
             // Bisection on the real ratio λ; integer caps change only at
@@ -253,7 +273,7 @@ impl LevelingInstance {
             self.caps_at(hi, fixed)
         };
         let solution = self.allocate(&caps)?;
-        Ok((caps, solution))
+        Ok((caps, solution, found_bound))
     }
 
     fn caps_at(&self, lambda: f64, fixed: &[Option<u64>]) -> Vec<u64> {
@@ -421,6 +441,54 @@ mod tests {
         check_valid(&inst, &sol);
         assert_eq!(sol.slot_loads, vec![5, 5, 5, 5]);
         assert!((sol.peak_ratio - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn peak_hint_seeding_matches_unseeded_refinement() {
+        // Replicates the refinement loop with no peak hint, round by
+        // round, and checks the seeded public path lands on the identical
+        // allocation — the hint only prunes the search range, never the
+        // answer.
+        let inst = LevelingInstance {
+            slot_caps: vec![10; 8],
+            jobs: vec![job(0, 2, 14), job(1, 5, 6), job(2, 8, 12)],
+        };
+        let seeded = inst.solve_lexmin().unwrap();
+        check_valid(&inst, &seeded);
+        let horizon = inst.horizon();
+        let mut fixed: Vec<Option<u64>> = vec![None; horizon];
+        let mut last = None;
+        for _ in 0..=horizon {
+            let (caps, solution, _) = inst.minmax_round(&fixed, None).unwrap();
+            let critical = inst.critical_slots(&caps, &fixed);
+            last = Some(solution);
+            let mut fixed_any = false;
+            for t in 0..horizon {
+                if fixed[t].is_none() && critical[t] {
+                    fixed[t] = Some(caps[t]);
+                    fixed_any = true;
+                }
+            }
+            if !fixed_any {
+                let loads = &last.as_ref().unwrap().slot_loads;
+                let mut saturated_any = false;
+                for t in 0..horizon {
+                    if fixed[t].is_none() && caps[t] > 0 && loads[t] == caps[t] {
+                        fixed[t] = Some(caps[t]);
+                        saturated_any = true;
+                    }
+                }
+                if !saturated_any {
+                    break;
+                }
+            }
+            if fixed.iter().all(Option::is_some) {
+                break;
+            }
+        }
+        let unseeded = last.unwrap();
+        assert_eq!(seeded.allocation, unseeded.allocation);
+        assert_eq!(seeded.slot_loads, unseeded.slot_loads);
     }
 
     #[test]

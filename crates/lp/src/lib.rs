@@ -49,5 +49,5 @@ pub mod solution;
 
 pub use error::LpError;
 pub use problem::{Problem, Relation, VarId};
-pub use simplex::SimplexOptions;
+pub use simplex::{Basis, SimplexOptions, WarmSolveResult};
 pub use solution::{Solution, Status};

@@ -217,6 +217,21 @@ impl Problem {
         simplex::solve(self, options)
     }
 
+    /// Solves the problem, warm-starting from a previous optimal basis
+    /// when one is supplied and still compatible; see
+    /// [`simplex::solve_with_warm_start`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Problem::solve`].
+    pub fn solve_warm(
+        &self,
+        options: &SimplexOptions,
+        warm: Option<&simplex::Basis>,
+    ) -> Result<simplex::WarmSolveResult, LpError> {
+        simplex::solve_with_warm_start(self, options, warm)
+    }
+
     /// Evaluates the objective at a point (no feasibility check).
     pub fn objective_at(&self, x: &[f64]) -> f64 {
         self.objective

@@ -210,22 +210,68 @@ impl Tableau {
     }
 }
 
-/// Solves `problem` by two-phase bounded-variable primal simplex.
+/// An exported simplex basis: enough state to reconstruct the optimal
+/// vertex of a solved [`Problem`] inside a *structurally identical*
+/// problem (same variable count, same constraint count and senses) whose
+/// coefficients, bounds, or right-hand sides have since been perturbed.
 ///
-/// # Errors
-///
-/// * [`LpError::Infeasible`] if no point satisfies the constraints.
-/// * [`LpError::Unbounded`] if the objective is unbounded below.
-/// * [`LpError::IterationLimit`] if the pivot budget is exhausted.
-/// * [`LpError::InvalidBounds`] if some variable has an empty domain.
-pub fn solve(problem: &Problem, options: &SimplexOptions) -> Result<Solution, LpError> {
+/// Obtained from [`solve_with_warm_start`] and fed back into a later call
+/// to warm-start it. The representation is deliberately opaque: rows store
+/// the basic column of each constraint row (in structural + slack
+/// indexing; `None` marks a redundant row whose artificial stayed basic),
+/// plus the at-upper-bound flip state of every non-basic column.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Basis {
+    /// Basic column of each row; `None` = artificial remained basic.
+    rows: Vec<Option<usize>>,
+    /// Bound-flip state per structural/slack column (true = at upper).
+    /// Only meaningful for columns not in `rows`.
+    flipped: Vec<bool>,
+    /// Structural variable count of the originating problem.
+    n_struct: usize,
+    /// Slack column count of the originating problem.
+    n_slack: usize,
+}
+
+impl Basis {
+    /// Whether this basis is dimensionally compatible with `problem`
+    /// (necessary, not sufficient, for a successful warm start).
+    pub fn fits(&self, problem: &Problem) -> bool {
+        self.n_struct == problem.num_vars()
+            && self.rows.len() == problem.num_constraints()
+            && self.n_slack == count_slacks(problem)
+    }
+}
+
+/// Result of [`solve_with_warm_start`]: the solution, the optimal basis
+/// (reusable as the next warm start), and whether the warm path was
+/// actually taken or the solver fell back to a cold two-phase solve.
+#[derive(Debug, Clone)]
+pub struct WarmSolveResult {
+    /// The optimal solution, identical in contract to [`solve`]'s.
+    pub solution: Solution,
+    /// The optimal basis, for warm-starting a subsequent solve.
+    pub basis: Basis,
+    /// True iff the provided basis was accepted and repaired in place;
+    /// false on a cold solve (no basis given, or basis incompatible).
+    pub warm_used: bool,
+}
+
+fn count_slacks(problem: &Problem) -> usize {
+    problem
+        .constraints
+        .iter()
+        .filter(|c| c.relation != Relation::Eq)
+        .count()
+}
+
+/// Standard-form conversion shared by the cold and warm paths: shifts every
+/// structural variable by its lower bound so domains are `[0, u]`, adds one
+/// slack/surplus column per inequality and one artificial per row,
+/// normalizes rows to `beta >= 0`, and installs the all-artificial basis.
+fn build_tableau(problem: &Problem) -> Result<Tableau, LpError> {
     let n_struct = problem.num_vars();
     let m = problem.num_constraints();
-    let tol = options.tolerance;
-
-    // --- standard-form conversion -------------------------------------
-    // Shift every structural variable by its lower bound so domains are
-    // [0, u]. Slack/surplus columns turn inequalities into equations.
     let mut upper: Vec<f64> = Vec::with_capacity(n_struct + m);
     for j in 0..n_struct {
         let u = problem.upper[j] - problem.lower[j];
@@ -237,11 +283,7 @@ pub fn solve(problem: &Problem, options: &SimplexOptions) -> Result<Solution, Lp
         }
         upper.push(u);
     }
-    let n_slack = problem
-        .constraints
-        .iter()
-        .filter(|c| c.relation != Relation::Eq)
-        .count();
+    let n_slack = count_slacks(problem);
     let n_real = n_struct + n_slack;
     let width = n_real + m; // + one artificial per row
     let mut t = vec![0.0f64; m * width];
@@ -288,7 +330,7 @@ pub fn solve(problem: &Problem, options: &SimplexOptions) -> Result<Solution, Lp
         .map(|(c, l)| c * l)
         .sum();
 
-    let mut tab = Tableau {
+    Ok(Tableau {
         m,
         n_real,
         width,
@@ -300,13 +342,89 @@ pub fn solve(problem: &Problem, options: &SimplexOptions) -> Result<Solution, Lp
         cost2,
         flip_const2,
         art_start: n_real,
-    };
+    })
+}
 
-    let max_iterations = if options.max_iterations > 0 {
+fn auto_iteration_cap(options: &SimplexOptions, m: usize, n_real: usize) -> usize {
+    if options.max_iterations > 0 {
         options.max_iterations
     } else {
         20_000 + 50 * (m + n_real)
-    };
+    }
+}
+
+/// Reads the structural solution out of an optimal tableau.
+fn extract_solution(tab: &Tableau, problem: &Problem, iterations: usize) -> Solution {
+    let n_struct = problem.num_vars();
+    let mut shifted = vec![0.0f64; tab.n_real];
+    for (r, &b) in tab.basis.iter().enumerate() {
+        if b < tab.n_real {
+            shifted[b] = tab.beta[r].max(0.0);
+        }
+    }
+    let mut x = vec![0.0f64; n_struct];
+    for j in 0..n_struct {
+        let mut v = shifted[j];
+        if tab.flipped[j] {
+            v = tab.upper[j] - v;
+        }
+        x[j] = v + problem.lower[j];
+        // Clean float fuzz against the original bounds.
+        x[j] = x[j].clamp(problem.lower[j], problem.upper[j]);
+    }
+    let objective = problem.objective_at(&x);
+    Solution {
+        status: Status::Optimal,
+        objective,
+        x,
+        iterations,
+    }
+}
+
+/// Snapshots the basis of an optimal tableau. Flip state is recorded only
+/// for non-basic columns: a basic column's flip history does not affect the
+/// vertex (basic values are read off `beta` either way), and discarding it
+/// keeps the basis a pure vertex description.
+fn export_basis(tab: &Tableau, n_struct: usize) -> Basis {
+    let rows: Vec<Option<usize>> = tab
+        .basis
+        .iter()
+        .map(|&b| (b < tab.art_start).then_some(b))
+        .collect();
+    let mut in_basis = vec![false; tab.n_real];
+    for &b in &tab.basis {
+        if b < tab.art_start {
+            in_basis[b] = true;
+        }
+    }
+    let flipped = (0..tab.n_real)
+        .map(|j| tab.flipped[j] && !in_basis[j])
+        .collect();
+    Basis {
+        rows,
+        flipped,
+        n_struct,
+        n_slack: tab.n_real - n_struct,
+    }
+}
+
+/// Solves `problem` by two-phase bounded-variable primal simplex.
+///
+/// # Errors
+///
+/// * [`LpError::Infeasible`] if no point satisfies the constraints.
+/// * [`LpError::Unbounded`] if the objective is unbounded below.
+/// * [`LpError::IterationLimit`] if the pivot budget is exhausted.
+/// * [`LpError::InvalidBounds`] if some variable has an empty domain.
+pub fn solve(problem: &Problem, options: &SimplexOptions) -> Result<Solution, LpError> {
+    solve_cold(problem, options).map(|(solution, _)| solution)
+}
+
+/// Cold two-phase solve that also exports the optimal basis.
+fn solve_cold(problem: &Problem, options: &SimplexOptions) -> Result<(Solution, Basis), LpError> {
+    let tol = options.tolerance;
+    let mut tab = build_tableau(problem)?;
+    let max_iterations = auto_iteration_cap(options, tab.m, tab.n_real);
     let mut iterations = 0usize;
 
     // --- phase 1 --------------------------------------------------------
@@ -348,30 +466,237 @@ pub fn solve(problem: &Problem, options: &SimplexOptions) -> Result<Solution, Lp
         &mut iterations,
     )?;
 
-    // --- extraction -----------------------------------------------------
-    let mut shifted = vec![0.0f64; tab.n_real];
-    for (r, &b) in tab.basis.iter().enumerate() {
-        if b < tab.n_real {
-            shifted[b] = tab.beta[r].max(0.0);
+    let solution = extract_solution(&tab, problem, iterations);
+    let basis = export_basis(&tab, problem.num_vars());
+    Ok((solution, basis))
+}
+
+/// Solves `problem`, warm-starting from `warm` when possible.
+///
+/// The warm path rebuilds the tableau for the *current* problem data,
+/// refactorizes the supplied basis onto it, restores non-basic bound
+/// flips, and then repairs primal infeasibility introduced by RHS/bound
+/// perturbations with a bounded dual simplex before finishing with
+/// ordinary phase-2 pivots. Any incompatibility — dimension mismatch,
+/// (near-)singular prescribed basis, lost dual feasibility, stalled
+/// repair, or a final point that fails feasibility checks — silently falls
+/// back to the cold two-phase solve, so the result contract is identical
+/// to [`solve`]: same errors, and an optimal solution with the same
+/// objective value (the optimal *vertex* may differ between the warm and
+/// cold paths when the optimum is degenerate).
+///
+/// # Errors
+///
+/// Same as [`solve`].
+pub fn solve_with_warm_start(
+    problem: &Problem,
+    options: &SimplexOptions,
+    warm: Option<&Basis>,
+) -> Result<WarmSolveResult, LpError> {
+    if let Some(start) = warm {
+        if let Some((solution, basis)) = try_warm(problem, options, start) {
+            return Ok(WarmSolveResult {
+                solution,
+                basis,
+                warm_used: true,
+            });
         }
     }
-    let mut x = vec![0.0f64; n_struct];
-    for j in 0..n_struct {
-        let mut v = shifted[j];
-        if tab.flipped[j] {
-            v = tab.upper[j] - v;
-        }
-        x[j] = v + problem.lower[j];
-        // Clean float fuzz against the original bounds.
-        x[j] = x[j].clamp(problem.lower[j], problem.upper[j]);
-    }
-    let objective = problem.objective_at(&x);
-    Ok(Solution {
-        status: Status::Optimal,
-        objective,
-        x,
-        iterations,
+    let (solution, basis) = solve_cold(problem, options)?;
+    Ok(WarmSolveResult {
+        solution,
+        basis,
+        warm_used: false,
     })
+}
+
+/// Attempts the warm path; `None` means "fall back to a cold solve"
+/// (covers both basis incompatibility and any in-flight solver error,
+/// which the cold path will re-derive authoritatively).
+fn try_warm(
+    problem: &Problem,
+    options: &SimplexOptions,
+    start: &Basis,
+) -> Option<(Solution, Basis)> {
+    if !start.fits(problem) {
+        return None;
+    }
+    let mut tab = build_tableau(problem).ok()?;
+    if start.flipped.len() != tab.n_real {
+        return None;
+    }
+    // Range/duplicate check on the prescribed basic columns.
+    let mut prescribed = vec![false; tab.n_real];
+    for &col in &start.rows {
+        if let Some(j) = col {
+            if j >= tab.n_real || prescribed[j] {
+                return None;
+            }
+            prescribed[j] = true;
+        }
+    }
+    // The warm path never runs phase 1: bar artificials immediately.
+    // Rows whose artificial stays basic are handled by the dual repair
+    // (a zero upper bound turns any nonzero beta into a bound violation).
+    for j in tab.art_start..tab.width {
+        tab.upper[j] = 0.0;
+    }
+    // Restore bound flips of non-basic columns. A flip needs a finite
+    // upper bound; if a bound became infinite since export, bail out.
+    for (j, &basic) in prescribed.iter().enumerate() {
+        if start.flipped[j] && !basic {
+            if !tab.upper[j].is_finite() {
+                return None;
+            }
+            tab.flip_column(j);
+        }
+    }
+    // Refactorize: pivot every exported row onto one prescribed basic
+    // column. The exported row↔column pairing is only a hint — any perfect
+    // matching of rows onto the prescribed column *set* reproduces the
+    // same basis — so each row greedily takes the remaining column with
+    // the largest pivot magnitude (partial pivoting). Insisting on the
+    // recorded pairing would stall whenever the fixed pivot sequence hits
+    // an elimination-order zero, which happens routinely on large bases; a
+    // sweep with no progress at all means the prescribed basis really is
+    // (near-)singular for the current coefficients.
+    let mut rows: Vec<usize> = Vec::new();
+    let mut cols: Vec<usize> = Vec::new();
+    for (r, col) in start.rows.iter().enumerate() {
+        if let Some(j) = *col {
+            rows.push(r);
+            cols.push(j);
+        }
+    }
+    while !rows.is_empty() {
+        let before = rows.len();
+        let mut deferred = Vec::new();
+        for &r in &rows {
+            let row_off = r * tab.width;
+            let mut best: Option<(usize, f64)> = None;
+            for (ci, &j) in cols.iter().enumerate() {
+                let a = tab.t[row_off + j].abs();
+                if a > 1e-7 && best.is_none_or(|(_, m)| a > m) {
+                    best = Some((ci, a));
+                }
+            }
+            match best {
+                Some((ci, _)) => {
+                    let j = cols.swap_remove(ci);
+                    tab.pivot(r, j);
+                }
+                None => deferred.push(r),
+            }
+        }
+        if deferred.len() == before {
+            return None;
+        }
+        rows = deferred;
+    }
+
+    let tol = options.tolerance;
+    let max_iterations = auto_iteration_cap(options, tab.m, tab.n_real);
+    let mut iterations = 0usize;
+    if !primal_feasible(&tab, 1e-7) {
+        dual_repair(&mut tab, &mut iterations)?;
+    }
+    run_phase(
+        &mut tab,
+        false,
+        tol,
+        max_iterations,
+        options.stall_limit,
+        &mut iterations,
+    )
+    .ok()?;
+    let solution = extract_solution(&tab, problem, iterations);
+    // Safety net: numerical trouble on the warm path must never leak an
+    // infeasible "solution"; the cold path re-solves from scratch instead.
+    if !problem.is_feasible(&solution.x, 1e-6) {
+        return None;
+    }
+    let basis = export_basis(&tab, problem.num_vars());
+    Some((solution, basis))
+}
+
+/// All basic values within their (working-space) bounds?
+fn primal_feasible(tab: &Tableau, tol: f64) -> bool {
+    (0..tab.m).all(|r| {
+        let b = tab.beta[r];
+        let ub = tab.upper[tab.basis[r]];
+        b >= -tol && (!ub.is_finite() || b <= ub + tol)
+    })
+}
+
+/// Bounded-variable dual simplex: restores primal feasibility after
+/// RHS/bound perturbations while preserving dual feasibility (non-negative
+/// phase-2 reduced costs). Returns `None` — caller falls back to a cold
+/// solve — on lost dual feasibility, an unsatisfiable row (primal
+/// infeasibility, which the cold path confirms authoritatively), or a
+/// stalled repair.
+fn dual_repair(tab: &mut Tableau, iterations: &mut usize) -> Option<()> {
+    const FEAS_TOL: f64 = 1e-7;
+    let step_cap = 4 * tab.m + 50;
+    let mut steps = 0usize;
+    loop {
+        // Leaving row: largest bound violation (ties: lowest row).
+        let mut worst: Option<(usize, f64, bool)> = None;
+        for r in 0..tab.m {
+            let b = tab.beta[r];
+            let ub = tab.upper[tab.basis[r]];
+            let (violation, at_upper) = if b < -FEAS_TOL {
+                (-b, false)
+            } else if ub.is_finite() && b > ub + FEAS_TOL {
+                (b - ub, true)
+            } else {
+                continue;
+            };
+            if worst.is_none_or(|(_, w, _)| violation > w) {
+                worst = Some((r, violation, at_upper));
+            }
+        }
+        let Some((r, _, at_upper)) = worst else {
+            return Some(()); // primal feasible again
+        };
+        if steps >= step_cap {
+            return None;
+        }
+        if at_upper {
+            // Complement the basic variable so the violation is uniformly
+            // "below zero" and the textbook dual ratio test applies.
+            tab.flip_basic_row(r);
+        }
+        let d = tab.reduced_costs(false);
+        let mut in_basis = vec![false; tab.width];
+        for &b in &tab.basis {
+            in_basis[b] = true;
+        }
+        let row = r * tab.width;
+        let mut entering: Option<(f64, usize)> = None;
+        for (j, &dj) in d.iter().enumerate().take(tab.n_real) {
+            if in_basis[j] || tab.upper[j] <= 0.0 {
+                continue;
+            }
+            if dj < -1e-7 {
+                return None; // dual feasibility lost: repair unsound
+            }
+            let a = tab.t[row + j];
+            if a < -1e-9 {
+                let ratio = dj.max(0.0) / -a;
+                let better = match entering {
+                    None => true,
+                    Some((br, bj)) => ratio < br - 1e-12 || (ratio < br + 1e-12 && j < bj),
+                };
+                if better {
+                    entering = Some((ratio, j));
+                }
+            }
+        }
+        let (_, j) = entering?; // no candidate: row unsatisfiable
+        tab.pivot(r, j);
+        *iterations += 1;
+        steps += 1;
+    }
 }
 
 fn run_phase(
@@ -766,6 +1091,153 @@ mod tests {
             Err(LpError::IterationLimit { limit }) => assert_eq!(limit, 1),
             Err(e) => panic!("unexpected error {e}"),
         }
+    }
+
+    #[test]
+    fn warm_start_after_rhs_change_matches_cold() {
+        // Solve, perturb every RHS, re-solve warm; objective must match a
+        // cold solve to high precision and the warm path must engage.
+        let mut p = Problem::new();
+        let x = p.add_var(-3.0, 0.0, INF).unwrap();
+        let y = p.add_var(-5.0, 0.0, INF).unwrap();
+        p.add_constraint(&[(x, 1.0)], Relation::Le, 4.0).unwrap();
+        p.add_constraint(&[(y, 2.0)], Relation::Le, 12.0).unwrap();
+        p.add_constraint(&[(x, 3.0), (y, 2.0)], Relation::Le, 18.0)
+            .unwrap();
+        let opts = SimplexOptions::default();
+        let first = solve_with_warm_start(&p, &opts, None).unwrap();
+        assert!(!first.warm_used);
+
+        let mut q = Problem::new();
+        let x = q.add_var(-3.0, 0.0, INF).unwrap();
+        let y = q.add_var(-5.0, 0.0, INF).unwrap();
+        q.add_constraint(&[(x, 1.0)], Relation::Le, 3.0).unwrap();
+        q.add_constraint(&[(y, 2.0)], Relation::Le, 10.0).unwrap();
+        q.add_constraint(&[(x, 3.0), (y, 2.0)], Relation::Le, 16.0)
+            .unwrap();
+        let warm = solve_with_warm_start(&q, &opts, Some(&first.basis)).unwrap();
+        let cold = solve(&q, &opts).unwrap();
+        assert!(warm.warm_used, "compatible basis must warm-start");
+        assert!((warm.solution.objective - cold.objective).abs() < 1e-9);
+        assert!(q.is_feasible(&warm.solution.x, 1e-7));
+    }
+
+    #[test]
+    fn warm_start_dimension_mismatch_falls_back_cold() {
+        let mut p = Problem::new();
+        let x = p.add_var(1.0, 0.0, INF).unwrap();
+        p.add_constraint(&[(x, 1.0)], Relation::Ge, 2.0).unwrap();
+        let opts = SimplexOptions::default();
+        let first = solve_with_warm_start(&p, &opts, None).unwrap();
+
+        let mut q = Problem::new();
+        let a = q.add_var(1.0, 0.0, INF).unwrap();
+        let b = q.add_var(1.0, 0.0, INF).unwrap();
+        q.add_constraint(&[(a, 1.0), (b, 1.0)], Relation::Ge, 2.0)
+            .unwrap();
+        assert!(!first.basis.fits(&q));
+        let warm = solve_with_warm_start(&q, &opts, Some(&first.basis)).unwrap();
+        assert!(!warm.warm_used, "mismatched basis must fall back cold");
+        assert_close(warm.solution.objective, 2.0);
+    }
+
+    #[test]
+    fn warm_start_detects_new_infeasibility() {
+        let mut p = Problem::new();
+        let x = p.add_var(1.0, 0.0, 10.0).unwrap();
+        p.add_constraint(&[(x, 1.0)], Relation::Ge, 2.0).unwrap();
+        let opts = SimplexOptions::default();
+        let first = solve_with_warm_start(&p, &opts, None).unwrap();
+
+        // Same structure, but the Ge RHS now exceeds the variable bound.
+        let mut q = Problem::new();
+        let x = q.add_var(1.0, 0.0, 10.0).unwrap();
+        q.add_constraint(&[(x, 1.0)], Relation::Ge, 50.0).unwrap();
+        let err = solve_with_warm_start(&q, &opts, Some(&first.basis)).unwrap_err();
+        assert_eq!(err, LpError::Infeasible);
+    }
+
+    #[test]
+    fn warm_start_handles_bound_tightening_and_flips() {
+        // Optimum sits at upper bounds (flipped columns); tighten bounds
+        // and re-solve warm.
+        let mut p = Problem::new();
+        let x = p.add_var(-1.0, 0.0, 5.0).unwrap();
+        let y = p.add_var(-1.0, 0.0, 4.0).unwrap();
+        p.add_constraint(&[(x, 1.0), (y, -1.0)], Relation::Le, 2.0)
+            .unwrap();
+        let opts = SimplexOptions::default();
+        let first = solve_with_warm_start(&p, &opts, None).unwrap();
+        assert_close(first.solution.objective, -9.0);
+
+        let mut q = Problem::new();
+        let x = q.add_var(-1.0, 0.0, 3.0).unwrap();
+        let y = q.add_var(-1.0, 0.0, 2.0).unwrap();
+        q.add_constraint(&[(x, 1.0), (y, -1.0)], Relation::Le, 2.0)
+            .unwrap();
+        let warm = solve_with_warm_start(&q, &opts, Some(&first.basis)).unwrap();
+        let cold = solve(&q, &opts).unwrap();
+        assert!((warm.solution.objective - cold.objective).abs() < 1e-9);
+        assert!(q.is_feasible(&warm.solution.x, 1e-7));
+    }
+
+    #[test]
+    fn warm_start_chain_tracks_a_drifting_rhs() {
+        // A replan-like sequence: the same structure re-solved many times
+        // with drifting RHS, each solve warm-started from the previous.
+        let opts = SimplexOptions::default();
+        let build = |b0: f64, b1: f64| {
+            let mut p = Problem::new();
+            let x = p.add_var(-2.0, 0.0, 8.0).unwrap();
+            let y = p.add_var(-3.0, 0.0, 8.0).unwrap();
+            let z = p.add_var(-1.0, 0.0, 8.0).unwrap();
+            p.add_constraint(&[(x, 1.0), (y, 2.0), (z, 1.0)], Relation::Le, b0)
+                .unwrap();
+            p.add_constraint(&[(x, 2.0), (y, 1.0)], Relation::Le, b1)
+                .unwrap();
+            p.add_constraint(&[(y, 1.0), (z, 1.0)], Relation::Ge, 1.0)
+                .unwrap();
+            p
+        };
+        let mut basis: Option<Basis> = None;
+        let mut warm_hits = 0usize;
+        for step in 0..12 {
+            let b0 = 10.0 + (step % 5) as f64;
+            let b1 = 12.0 - (step % 3) as f64;
+            let p = build(b0, b1);
+            let got = solve_with_warm_start(&p, &opts, basis.as_ref()).unwrap();
+            let cold = solve(&p, &opts).unwrap();
+            assert!(
+                (got.solution.objective - cold.objective).abs() < 1e-9,
+                "step {step}: warm {} vs cold {}",
+                got.solution.objective,
+                cold.objective
+            );
+            assert!(p.is_feasible(&got.solution.x, 1e-7));
+            warm_hits += usize::from(got.warm_used);
+            basis = Some(got.basis);
+        }
+        assert!(warm_hits >= 10, "only {warm_hits}/11 possible warm starts");
+    }
+
+    #[test]
+    fn warm_start_survives_equality_and_redundant_rows() {
+        let opts = SimplexOptions::default();
+        let build = |rhs: f64| {
+            let mut p = Problem::new();
+            let x = p.add_var(1.0, 0.0, INF).unwrap();
+            let y = p.add_var(1.0, 0.0, INF).unwrap();
+            p.add_constraint(&[(x, 1.0), (y, 1.0)], Relation::Eq, rhs)
+                .unwrap();
+            p.add_constraint(&[(x, 2.0), (y, 2.0)], Relation::Eq, 2.0 * rhs)
+                .unwrap();
+            p
+        };
+        let first = solve_with_warm_start(&build(4.0), &opts, None).unwrap();
+        let p = build(6.0);
+        let warm = solve_with_warm_start(&p, &opts, Some(&first.basis)).unwrap();
+        assert!((warm.solution.objective - 6.0).abs() < 1e-9);
+        assert!(p.is_feasible(&warm.solution.x, 1e-7));
     }
 
     #[test]

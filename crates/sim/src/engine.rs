@@ -8,6 +8,7 @@ use crate::metrics::{JobOutcome, Metrics, WorkflowOutcome};
 use crate::placement::NodePool;
 use crate::scheduler::Scheduler;
 use crate::state::{SimState, WorkflowInstance};
+use crate::telemetry::SolverTelemetry;
 use crate::timeline::{Timeline, TimelineEntry};
 use flowtime_dag::{JobId, ResourceVec};
 use serde::{Deserialize, Serialize};
@@ -27,6 +28,10 @@ pub struct SimOutcome {
     /// node (fragmentation diagnostic), when enabled via
     /// [`Engine::with_nodes`].
     pub placement_shortfalls: Option<Vec<u64>>,
+    /// Solver-effort counters reported by the scheduler at the end of the
+    /// run (see [`crate::telemetry`]); `None` for solver-free schedulers.
+    #[serde(default)]
+    pub solver_telemetry: Option<SolverTelemetry>,
 }
 
 /// Drives a [`Scheduler`] over a [`SimWorkload`] slot by slot.
@@ -199,7 +204,7 @@ impl Engine {
         while self.state.now < self.max_slots {
             if self.state.jobs.iter().all(JobRuntime::is_complete) {
                 self.checker.check_final(&self.state)?;
-                return Ok(self.finish());
+                return Ok(self.finish(scheduler.telemetry()));
             }
             let allocation = scheduler.plan_slot(&self.state);
             let now = self.state.now;
@@ -246,7 +251,7 @@ impl Engine {
         }
         if self.state.jobs.iter().all(JobRuntime::is_complete) {
             self.checker.check_final(&self.state)?;
-            Ok(self.finish())
+            Ok(self.finish(scheduler.telemetry()))
         } else {
             let incomplete = self.state.jobs.iter().filter(|j| !j.is_complete()).count();
             Err(SimError::HorizonExhausted {
@@ -279,7 +284,7 @@ impl Engine {
         }
     }
 
-    fn finish(self) -> SimOutcome {
+    fn finish(self, solver_telemetry: Option<SolverTelemetry>) -> SimOutcome {
         let slots_elapsed = self.state.now;
         let job_outcomes: Vec<JobOutcome> = self
             .state
@@ -328,6 +333,7 @@ impl Engine {
             slots_elapsed,
             timeline: self.timeline,
             placement_shortfalls: self.nodes.is_some().then_some(self.placement_shortfalls),
+            solver_telemetry,
         }
     }
 }
@@ -634,6 +640,48 @@ mod tests {
         // Two 3-core tasks fit one per node: no shortfall in this layout.
         assert_eq!(shortfalls.iter().sum::<u64>(), 0);
         assert_eq!(out.metrics.completed_jobs(), 1);
+    }
+
+    #[test]
+    fn scheduler_telemetry_lands_in_outcome() {
+        struct Counting {
+            inner: Greedy,
+            slots: u64,
+        }
+        impl Scheduler for Counting {
+            fn name(&self) -> &str {
+                "counting"
+            }
+            fn plan_slot(&mut self, state: &SimState) -> Allocation {
+                self.slots += 1;
+                self.inner.plan_slot(state)
+            }
+            fn telemetry(&self) -> Option<SolverTelemetry> {
+                Some(SolverTelemetry {
+                    replans: self.slots,
+                    ..SolverTelemetry::default()
+                })
+            }
+        }
+        let mut wl = SimWorkload::default();
+        wl.adhoc.push(AdhocSubmission::new(spec(8, 2), 0));
+        let mut sched = Counting {
+            inner: Greedy,
+            slots: 0,
+        };
+        let out = Engine::new(cluster(8), wl, 100)
+            .unwrap()
+            .run(&mut sched)
+            .unwrap();
+        let telemetry = out.solver_telemetry.expect("scheduler reported Some");
+        assert_eq!(telemetry.replans, out.slots_elapsed);
+
+        // Solver-free schedulers report nothing.
+        let out2 = Engine::new(cluster(8), SimWorkload::default(), 10)
+            .unwrap()
+            .run(&mut Greedy)
+            .unwrap();
+        assert_eq!(out2.solver_telemetry, None);
     }
 
     #[test]

@@ -75,6 +75,7 @@ pub mod metrics;
 pub mod placement;
 pub mod scheduler;
 pub mod state;
+pub mod telemetry;
 pub mod timeline;
 
 pub use cluster::ClusterConfig;
@@ -87,6 +88,7 @@ pub use metrics::{JobOutcome, Metrics};
 pub use placement::{NodePool, PackResult};
 pub use scheduler::{Allocation, Scheduler};
 pub use state::{JobView, SimState, WorkflowView};
+pub use telemetry::SolverTelemetry;
 pub use timeline::{Timeline, TimelineEntry};
 
 /// Convenience re-exports for schedulers and experiment harnesses.
@@ -94,7 +96,7 @@ pub mod prelude {
     pub use crate::job::SimWorkload;
     pub use crate::{
         AdhocSubmission, Allocation, ClusterConfig, Engine, FaultConfig, FaultPlan, JobClass,
-        JobView, Metrics, Scheduler, SimError, SimOutcome, SimState, WorkflowSubmission,
-        WorkflowView,
+        JobView, Metrics, Scheduler, SimError, SimOutcome, SimState, SolverTelemetry,
+        WorkflowSubmission, WorkflowView,
     };
 }

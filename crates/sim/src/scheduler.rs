@@ -92,6 +92,14 @@ pub trait Scheduler {
 
     /// Decides the allocation for the slot `state.now()`.
     fn plan_slot(&mut self, state: &SimState) -> Allocation;
+
+    /// Solver-effort counters accumulated so far, for schedulers that
+    /// re-solve an optimization problem per replan. The engine snapshots
+    /// this into [`crate::SimOutcome::solver_telemetry`] when the run
+    /// ends. Schedulers with no solver (the default) report `None`.
+    fn telemetry(&self) -> Option<crate::telemetry::SolverTelemetry> {
+        None
+    }
 }
 
 #[cfg(test)]

@@ -110,6 +110,70 @@ fn same_triple_twice_gives_byte_identical_outcomes() {
     }
 }
 
+/// The plan cache is purely a solver-effort optimization: with it enabled
+/// vs. disabled, FlowTime's serialized outcome — metrics and full timeline
+/// — is byte-identical on every one of the 20 fault seeds. Only the solver
+/// telemetry counters may legitimately differ (that is the point of the
+/// cache), so they are detached and checked separately before comparison.
+#[test]
+fn plan_cache_toggle_is_invisible_across_20_fault_seeds() {
+    use flowtime::{FlowTimeConfig, FlowTimeScheduler};
+
+    let cluster = testbed_cluster();
+    let exp = experiment();
+    let mut cache_answered = 0u64;
+    for fault_seed in 0..20u64 {
+        let (workload, faulted_cluster) =
+            faulted_instance(&exp, &cluster, FaultConfig::mixed(fault_seed));
+        let run = |plan_cache: bool| {
+            // Replanning every slot maximizes both cache traffic (quiet
+            // slots are pure elapsed-time shifts) and the chances for a
+            // divergence to surface.
+            let cfg = FlowTimeConfig {
+                plan_cache,
+                replan_every_slot: true,
+                ..FlowTimeConfig::default()
+            };
+            let mut s = FlowTimeScheduler::new(faulted_cluster.clone(), cfg);
+            Engine::new(faulted_cluster.clone(), workload.clone(), 1_000_000)
+                .expect("valid workload")
+                .with_timeline()
+                .run(&mut s)
+                .expect("invariants hold")
+        };
+        let mut on = run(true);
+        let mut off = run(false);
+        let on_t = on
+            .solver_telemetry
+            .take()
+            .expect("flowtime reports telemetry");
+        let off_t = off
+            .solver_telemetry
+            .take()
+            .expect("flowtime reports telemetry");
+        cache_answered += on_t.cache_hits();
+        assert_eq!(
+            off_t.cache_hits(),
+            0,
+            "seed {fault_seed}: cache disabled but hits counted"
+        );
+        assert_eq!(off_t.cache_misses, 0, "seed {fault_seed}: misses while off");
+        assert_eq!(
+            on_t.replans, off_t.replans,
+            "seed {fault_seed}: cache changed the replan count"
+        );
+        assert_eq!(
+            serde_json::to_string(&on).unwrap(),
+            serde_json::to_string(&off).unwrap(),
+            "seed {fault_seed}: plan cache changed the simulated outcome"
+        );
+    }
+    assert!(
+        cache_answered > 0,
+        "the cache never answered a replan across 20 faulted runs"
+    );
+}
+
 /// Fig. 5's regime — runtime under-estimation only — must leave FlowTime
 /// no worse on milestone misses than deadline-driven EDF, aggregated over
 /// fault seeds (the paper's robustness claim for deadline slack).

@@ -3,7 +3,7 @@
 
 use flowtime::lp_sched::{backend::plan_peak, rounding, LevelingProblem, PlanJob, SolverBackend};
 use flowtime_dag::{JobId, ResourceVec};
-use flowtime_lp::{Problem, Relation};
+use flowtime_lp::{Problem, Relation, SimplexOptions};
 use proptest::prelude::*;
 
 /// A random feasible leveling instance with uniform task shape; jobs may
@@ -98,6 +98,87 @@ proptest! {
             "candidate beat the 'optimum': {} < {}",
             p.objective_at(&[tx, ty]),
             sol.objective
+        );
+    }
+
+    /// Warm-started re-solves after RHS and bound tweaks agree with a
+    /// fresh cold solve on the objective to 1e-9, and the warm-returned
+    /// vertex is feasible for the *tweaked* problem — i.e. the dual-simplex
+    /// repair restored basic-variable feasibility, not just optimality.
+    #[test]
+    fn warm_resolve_matches_cold_after_bound_and_rhs_tweaks(
+        c0 in -5.0f64..5.0, c1 in -5.0f64..5.0,
+        b0 in 2.0f64..20.0, b1 in 2.0f64..20.0,
+        a00 in 0.1f64..3.0, a01 in 0.1f64..3.0,
+        a10 in 0.1f64..3.0, a11 in 0.1f64..3.0,
+        db0 in -1.5f64..1.5, db1 in -1.5f64..1.5,
+        du0 in -4.0f64..4.0, du1 in -4.0f64..4.0,
+    ) {
+        let opts = SimplexOptions::default();
+        let build = |b0: f64, b1: f64, u0: f64, u1: f64| {
+            let mut p = Problem::new();
+            let x = p.add_var(c0, 0.0, u0).unwrap();
+            let y = p.add_var(c1, 0.0, u1).unwrap();
+            p.add_constraint(&[(x, a00), (y, a01)], Relation::Le, b0).unwrap();
+            p.add_constraint(&[(x, a10), (y, a11)], Relation::Le, b1).unwrap();
+            p
+        };
+        let base = build(b0, b1, 10.0, 10.0);
+        let start = base.solve_warm(&opts, None).unwrap();
+        // Tweak both right-hand sides and both upper bounds; the origin
+        // stays feasible, so the perturbed LP always has an optimum.
+        let tweaked = build(
+            (b0 + db0).max(0.5),
+            (b1 + db1).max(0.5),
+            (10.0 + du0).max(0.5),
+            (10.0 + du1).max(0.5),
+        );
+        let cold = tweaked.solve().unwrap();
+        let warm = tweaked.solve_warm(&opts, Some(&start.basis)).unwrap();
+        prop_assert!(
+            tweaked.is_feasible(&warm.solution.x, 1e-6),
+            "warm-returned point violates the tweaked problem"
+        );
+        let scale = cold.objective.abs().max(1.0);
+        prop_assert!(
+            (warm.solution.objective - cold.objective).abs() <= 1e-9 * scale,
+            "objectives diverged: warm {} vs cold {} (warm_used: {})",
+            warm.solution.objective,
+            cold.objective,
+            warm.warm_used
+        );
+    }
+
+    /// Structural edits (an added variable) make the exported basis
+    /// dimensionally stale; the warm attempt must detect that, fall back to
+    /// a cold solve, and still agree with it exactly.
+    #[test]
+    fn warm_resolve_survives_added_variable(
+        c0 in -5.0f64..5.0, c1 in -5.0f64..5.0, c2 in -5.0f64..5.0,
+        b0 in 2.0f64..20.0, b1 in 2.0f64..20.0,
+        a00 in 0.1f64..3.0, a01 in 0.1f64..3.0, a02 in 0.1f64..3.0,
+        a10 in 0.1f64..3.0, a11 in 0.1f64..3.0, a12 in 0.1f64..3.0,
+    ) {
+        let opts = SimplexOptions::default();
+        let mut base = Problem::new();
+        let x = base.add_var(c0, 0.0, 10.0).unwrap();
+        let y = base.add_var(c1, 0.0, 10.0).unwrap();
+        base.add_constraint(&[(x, a00), (y, a01)], Relation::Le, b0).unwrap();
+        base.add_constraint(&[(x, a10), (y, a11)], Relation::Le, b1).unwrap();
+        let start = base.solve_warm(&opts, None).unwrap();
+
+        let mut grown = Problem::new();
+        let x = grown.add_var(c0, 0.0, 10.0).unwrap();
+        let y = grown.add_var(c1, 0.0, 10.0).unwrap();
+        let z = grown.add_var(c2, 0.0, 10.0).unwrap();
+        grown.add_constraint(&[(x, a00), (y, a01), (z, a02)], Relation::Le, b0).unwrap();
+        grown.add_constraint(&[(x, a10), (y, a11), (z, a12)], Relation::Le, b1).unwrap();
+        let cold = grown.solve().unwrap();
+        let warm = grown.solve_warm(&opts, Some(&start.basis)).unwrap();
+        prop_assert!(!warm.warm_used, "stale basis must not be adopted");
+        prop_assert!(grown.is_feasible(&warm.solution.x, 1e-6));
+        prop_assert!(
+            (warm.solution.objective - cold.objective).abs() <= 1e-9 * cold.objective.abs().max(1.0)
         );
     }
 

@@ -59,16 +59,10 @@ fn different_seeds_differ() {
     assert_ne!(small_trace(1), small_trace(2));
 }
 
-/// Committed golden file for the serialized [`flowtime_sim::SimOutcome`]
-/// of one fixed (workload, scheduler, fault seed) triple. Guards both the
-/// serialization format and cross-version simulator determinism: any
-/// change to either shows up as a diff against `tests/golden/outcome.json`.
-///
-/// Regenerate intentionally with:
-/// `GOLDEN_REGEN=1 cargo test --test trace_roundtrip golden`
-#[test]
-fn golden_outcome_is_stable() {
-    use flowtime_sim::{FaultConfig, FaultPlan, SimOutcome};
+/// The fixed (workload, scheduler, fault seed) triple behind both golden
+/// fixtures below.
+fn golden_triple_outcome() -> flowtime_sim::SimOutcome {
+    use flowtime_sim::{FaultConfig, FaultPlan};
 
     let cluster = ClusterConfig::new(ResourceVec::new([16, 65_536]), 10.0);
     let trace = Trace::synthesize_production(
@@ -85,11 +79,25 @@ fn golden_outcome_is_stable() {
     let mut faulted_cluster = trace.cluster.clone();
     FaultPlan::new(FaultConfig::mixed(7)).apply(&mut workload, &mut faulted_cluster, 200);
     let mut scheduler = FlowTimeScheduler::new(faulted_cluster.clone(), FlowTimeConfig::default());
-    let outcome = Engine::new(faulted_cluster, workload, 1_000_000)
+    Engine::new(faulted_cluster, workload, 1_000_000)
         .unwrap()
         .with_timeline()
         .run(&mut scheduler)
-        .unwrap();
+        .unwrap()
+}
+
+/// Committed golden file for the serialized [`flowtime_sim::SimOutcome`]
+/// of one fixed (workload, scheduler, fault seed) triple. Guards both the
+/// serialization format and cross-version simulator determinism: any
+/// change to either shows up as a diff against `tests/golden/outcome.json`.
+///
+/// Regenerate intentionally with:
+/// `GOLDEN_REGEN=1 cargo test --test trace_roundtrip golden`
+#[test]
+fn golden_outcome_is_stable() {
+    use flowtime_sim::SimOutcome;
+
+    let outcome = golden_triple_outcome();
     let serialized = serde_json::to_string_pretty(&outcome).unwrap();
 
     let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden/outcome.json");
@@ -108,5 +116,43 @@ fn golden_outcome_is_stable() {
     // The golden bytes also round-trip through deserialization.
     let reparsed: SimOutcome = serde_json::from_str(&golden).unwrap();
     assert_eq!(reparsed, outcome);
+    assert_eq!(serde_json::to_string_pretty(&reparsed).unwrap(), golden);
+}
+
+/// Committed golden file for the [`flowtime_sim::SolverTelemetry`] of the
+/// same fixed faulted triple as `golden_outcome_is_stable`: pins both the
+/// telemetry serialization schema and the determinism of the solver-effort
+/// counters across the warm-start and plan-cache paths (wall-clock time is
+/// excluded from serialization, so the counters are exactly reproducible).
+///
+/// Regenerate intentionally with:
+/// `GOLDEN_REGEN=1 cargo test --test trace_roundtrip golden`
+#[test]
+fn golden_telemetry_is_stable() {
+    use flowtime_sim::SolverTelemetry;
+
+    let telemetry = golden_triple_outcome()
+        .solver_telemetry
+        .expect("flowtime reports solver telemetry");
+    let serialized = serde_json::to_string_pretty(&telemetry).unwrap();
+
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden/telemetry.json");
+    if std::env::var_os("GOLDEN_REGEN").is_some() {
+        std::fs::write(&path, &serialized).unwrap();
+        return;
+    }
+    let golden = std::fs::read_to_string(&path)
+        .expect("golden file missing — regenerate with GOLDEN_REGEN=1");
+    assert_eq!(
+        serialized, golden,
+        "SolverTelemetry diverged from tests/golden/telemetry.json; \
+         if intentional, regenerate with GOLDEN_REGEN=1"
+    );
+
+    // The golden bytes round-trip through deserialization, and the
+    // excluded wall-clock field deserializes to its zero default.
+    let reparsed: SolverTelemetry = serde_json::from_str(&golden).unwrap();
+    assert_eq!(reparsed, telemetry);
+    assert_eq!(reparsed.replan_wall_nanos, 0);
     assert_eq!(serde_json::to_string_pretty(&reparsed).unwrap(), golden);
 }

@@ -1,0 +1,240 @@
+//! Warm-start equivalence harness (this PR's headline test): warm-started
+//! simplex, cold simplex, and the parametric-flow backend must produce
+//! plans with identical lexicographic load profiles and objective vectors,
+//! both on randomized standalone instances and along replayed replan
+//! sequences of the kind fault injection produces (completions shrinking
+//! demands, elapsed time shifting the horizon, capacity churn).
+//!
+//! The equivalence argument being checked: every lexmin round's **main**
+//! solve is cold in both configurations, and warm-started necessity trials
+//! only compare the optimal *objective* against a threshold — a quantity
+//! warm and cold solves provably share — so freezing decisions, and with
+//! them the final allocation, must be bit-identical.
+
+use flowtime::lp_sched::{
+    backend::plan_peak, lexmin, rounding, LevelingProblem, PlanJob, SolveStats, SolverBackend,
+};
+use flowtime_dag::{JobId, ResourceVec, NUM_RESOURCES};
+use proptest::prelude::*;
+
+/// Freeze/re-solve budget deep enough to exercise several necessity-trial
+/// rounds on the generated instances.
+const LEX_ROUNDS: usize = 6;
+
+/// A random feasible leveling instance with uniform task shape (so the
+/// parametric-flow backend applies); jobs may carry per-slot caps.
+fn leveling_instance() -> impl Strategy<Value = LevelingProblem> {
+    let horizon = 4usize..12;
+    horizon.prop_flat_map(|h| {
+        let job = (
+            0..h - 1usize,
+            1usize..=6,
+            1u64..=30,
+            proptest::option::of(2u64..=8),
+        )
+            .prop_map(move |(start, len, demand, slot_cap)| {
+                let end = (start + len).min(h);
+                (start.min(end - 1), end, demand, slot_cap)
+            });
+        proptest::collection::vec(job, 1..6).prop_map(move |jobs| LevelingProblem {
+            slot_caps: vec![ResourceVec::new([10, 10_240]); h],
+            jobs: jobs
+                .into_iter()
+                .enumerate()
+                .map(|(i, (start, end, demand, slot_cap))| {
+                    let cap = slot_cap.unwrap_or(10).min(10);
+                    let demand = demand.min(cap * (end - start) as u64).max(1);
+                    PlanJob {
+                        id: JobId::new(i as u64),
+                        window: (start, end),
+                        demand,
+                        per_task: ResourceVec::new([1, 1024]),
+                        per_slot_cap: slot_cap,
+                    }
+                })
+                .collect(),
+        })
+    })
+}
+
+/// Per-slot normalized loads of a fractional allocation — the vector the
+/// lexicographic objective orders.
+fn load_profile(p: &LevelingProblem, x: &[Vec<f64>]) -> Vec<[f64; NUM_RESOURCES]> {
+    let mut loads = vec![[0.0f64; NUM_RESOURCES]; p.horizon()];
+    for (i, job) in p.jobs.iter().enumerate() {
+        for t in job.window.0..job.window.1 {
+            for (r, load) in loads[t].iter_mut().enumerate() {
+                let cap = p.slot_caps[t].dim(r) as f64;
+                if cap > 0.0 {
+                    *load += x[i][t] * job.per_task.dim(r) as f64 / cap;
+                }
+            }
+        }
+    }
+    loads
+}
+
+/// SplitMix64-style mixer: deterministic pseudo-random streams from
+/// proptest-generated seeds without depending on a test-side RNG.
+fn mix(seed: u64, k: u64) -> u64 {
+    let mut z = seed
+        .wrapping_add(0x9e37_79b9_7f4a_7c15)
+        .wrapping_add(k.wrapping_mul(0xbf58_476d_1ce4_e5b9));
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Runs the full three-way equivalence check on one instance. Returns
+/// `false` when the instance is infeasible (both configurations must agree
+/// on that too), so sequence replays know to stop.
+fn check_equivalence(p: &LevelingProblem) -> Result<bool, TestCaseError> {
+    let mut warm_stats = SolveStats::default();
+    let mut cold_stats = SolveStats::default();
+    let warm = lexmin::solve_with_stats(p, LEX_ROUNDS, true, &mut warm_stats);
+    let cold = lexmin::solve_with_stats(p, LEX_ROUNDS, false, &mut cold_stats);
+    let (warm, cold) = match (warm, cold) {
+        (Ok(w), Ok(c)) => (w, c),
+        (Err(_), Err(_)) => return Ok(false),
+        (w, c) => {
+            return Err(TestCaseError::fail(format!(
+                "warm/cold disagree on feasibility: {w:?} vs {c:?}"
+            )))
+        }
+    };
+
+    // Warm-started and cold simplex: bit-identical allocations, objective
+    // vectors, and (therefore) lexicographic load profiles.
+    prop_assert_eq!(&warm.x, &cold.x, "allocations diverged");
+    prop_assert_eq!(&warm.thetas, &cold.thetas, "objective vectors diverged");
+    prop_assert_eq!(warm.rounds_used, cold.rounds_used);
+    prop_assert_eq!(
+        load_profile(p, &warm.x),
+        load_profile(p, &cold.x),
+        "lexicographic load profiles diverged"
+    );
+    // The cold configuration must never warm-start; both do the same
+    // number of LP solves.
+    prop_assert_eq!(cold_stats.warm_solves, 0);
+    prop_assert_eq!(cold_stats.warm_fallbacks, 0);
+    prop_assert_eq!(
+        warm_stats.cold_solves + warm_stats.warm_solves,
+        cold_stats.cold_solves,
+        "solve counts diverged: {:?} vs {:?}",
+        warm_stats,
+        cold_stats
+    );
+
+    // The parametric-flow backend (uniform shapes by construction) agrees
+    // on the integral min-max objective, with a feasible,
+    // demand-conserving plan — and the simplex path's rounded plan matches
+    // that same peak.
+    let flow = p.solve(SolverBackend::ParametricFlow);
+    let simplex = p.solve(SolverBackend::Simplex {
+        lex_rounds: LEX_ROUNDS,
+    });
+    match (flow, simplex) {
+        (Ok(f), Ok(s)) => {
+            prop_assert!(rounding::is_feasible(p, &f), "flow plan infeasible");
+            prop_assert!(rounding::is_feasible(p, &s), "simplex plan infeasible");
+            for job in &p.jobs {
+                prop_assert_eq!(f.tasks[&job.id].iter().sum::<u64>(), job.demand);
+                prop_assert_eq!(s.tasks[&job.id].iter().sum::<u64>(), job.demand);
+            }
+            let pf = plan_peak(p, &f);
+            let ps = plan_peak(p, &s);
+            // The fractional optimum lower-bounds every integral plan, and
+            // the flow backend's first round is integrally min-max optimal,
+            // so no integral plan (the rounded LP included) beats it.
+            prop_assert!(cold.thetas[0] <= pf + 1e-6, "flow {pf} beat the LP bound");
+            prop_assert!(pf <= ps + 1e-6, "flow peak {pf} beaten by rounded LP {ps}");
+            // On uniform slot caps, rounding preserves the peak exactly and
+            // the two integral optima coincide; heterogeneous caps (from
+            // capacity-churn events) admit a one-task rounding gap.
+            if p.slot_caps.windows(2).all(|w| w[0] == w[1]) {
+                prop_assert!((pf - ps).abs() < 1e-6, "flow peak {pf} vs simplex {ps}");
+            }
+        }
+        (Err(_), Err(_)) => {}
+        (f, s) => {
+            return Err(TestCaseError::fail(format!(
+                "backends disagree on feasibility: {f:?} vs {s:?}"
+            )))
+        }
+    }
+    Ok(true)
+}
+
+/// One replayed replan event, derived deterministically from a seed: the
+/// same mutation kinds fault injection feeds the scheduler.
+fn apply_replan_event(p: &mut LevelingProblem, seed: u64) {
+    match seed % 3 {
+        // Completions between replans: demands shrink, structure unchanged
+        // (the realistic warm-start case fig7 measures).
+        0 => {
+            for (i, job) in p.jobs.iter_mut().enumerate() {
+                let cut = mix(seed, i as u64) % (job.demand / 4 + 1);
+                job.demand = (job.demand - cut).max(1);
+            }
+        }
+        // One slot of elapsed time: the horizon's first slot falls off and
+        // every window relabels down by one (the PlanCache shift case).
+        1 => {
+            if p.horizon() <= 2 {
+                return;
+            }
+            p.slot_caps.remove(0);
+            p.jobs.retain(|j| j.window.1 > 1);
+            for job in &mut p.jobs {
+                job.window = (job.window.0.saturating_sub(1), job.window.1 - 1);
+                // Work that had to run in the dropped slot counts as done.
+                let len = (job.window.1 - job.window.0) as u64;
+                let cap = job.per_slot_cap.unwrap_or(10).min(10);
+                job.demand = job.demand.min(cap * len).max(1);
+            }
+        }
+        // Capacity churn: one slot degrades to a smaller cluster.
+        _ => {
+            let t = (mix(seed, 77) as usize) % p.horizon();
+            let cores = 5 + mix(seed, 78) % 6;
+            p.slot_caps[t] = ResourceVec::new([cores, cores * 1024]);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Randomized standalone instances: warm-started simplex, cold simplex
+    /// and parametric flow are plan-equivalent.
+    #[test]
+    fn warm_cold_and_flow_agree_on_random_instances(p in leveling_instance()) {
+        check_equivalence(&p)?;
+    }
+
+    /// Replayed replan sequences: starting from a random instance, a
+    /// deterministic stream of completion / elapsed-time / capacity-churn
+    /// events is applied, and every step of the resulting replan sequence
+    /// must preserve the three-way equivalence. A step that turns the
+    /// instance infeasible ends the sequence (warm and cold must agree on
+    /// the infeasibility, which `check_equivalence` asserts).
+    #[test]
+    fn equivalence_holds_along_replayed_replan_sequences(
+        p in leveling_instance(),
+        events in proptest::collection::vec(0u64..u64::MAX, 3..8),
+    ) {
+        let mut current = p;
+        if !check_equivalence(&current)? {
+            return Ok(());
+        }
+        for &seed in &events {
+            apply_replan_event(&mut current, seed);
+            if current.jobs.is_empty() {
+                break;
+            }
+            if !check_equivalence(&current)? {
+                break;
+            }
+        }
+    }
+}
