@@ -14,7 +14,13 @@
 //! nonzero if the warm-started chain never actually warm-starts — CI uses
 //! this as a smoke test for the warm-start path.
 //!
-//! Usage: `fig7 [--max-jobs 100] [--reps 5] [--runs 5] [--warmup 1]`
+//! Usage: `fig7 [--max-jobs 100] [--reps 5] [--runs 5] [--warmup 1]
+//! [--threads 1]`
+//!
+//! The latency grid runs on the work-stealing sweep runner; `--threads`
+//! fans the job-count levels out over workers. The default of 1 keeps the
+//! measured latencies contention-free — raise it only to smoke-test the
+//! runner or when the host has cores to spare, and expect noisier numbers.
 
 use flowtime::lp_sched::{formulation, LevelingProblem, PlanJob, SolverBackend};
 use flowtime_bench::experiments::fig7_cluster;
@@ -200,6 +206,7 @@ fn main() {
     let reps = get("--reps", 5);
     let runs = get("--runs", 5).max(1);
     let warmup = get("--warmup", 1);
+    let threads = get("--threads", 1).max(1);
 
     // Rejection-sample seeds until the random instance is feasible (dense
     // random windows can locally over-commit the cluster).
@@ -220,24 +227,34 @@ fn main() {
         "{:>6} {:>18} {:>18}",
         "jobs", "simplex LP (ms)", "param. flow (ms)"
     );
-    let mut points = Vec::new();
-    let mut jobs = 10;
-    while jobs <= max_jobs {
+    // One cell per job-count level, fanned out on the sweep runner; each
+    // cell builds its own instance and measures both backends.
+    let levels: Vec<usize> = (1..=max_jobs / 10).map(|i| i * 10).collect();
+    let points: Vec<Point> = flowtime_sim::run_cells(&levels, threads, |_, &jobs| {
         let problem = feasible_instance(jobs);
         let lp_ms = measure(&problem, SolverBackend::Simplex { lex_rounds: 1 }, reps);
         let flow_ms = measure(&problem, SolverBackend::ParametricFlow, reps);
-        println!("{jobs:>6} {lp_ms:>18.2} {flow_ms:>18.2}");
-        points.push(Point {
-            jobs,
-            backend: "simplex",
-            mean_ms: lp_ms,
-        });
-        points.push(Point {
-            jobs,
-            backend: "flow",
-            mean_ms: flow_ms,
-        });
-        jobs += 10;
+        [
+            Point {
+                jobs,
+                backend: "simplex",
+                mean_ms: lp_ms,
+            },
+            Point {
+                jobs,
+                backend: "flow",
+                mean_ms: flow_ms,
+            },
+        ]
+    })
+    .into_iter()
+    .flatten()
+    .collect();
+    for pair in points.chunks(2) {
+        println!(
+            "{:>6} {:>18.2} {:>18.2}",
+            pair[0].jobs, pair[0].mean_ms, pair[1].mean_ms
+        );
     }
 
     // Warm-vs-cold replan chains at the largest measured scale.

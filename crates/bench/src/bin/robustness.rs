@@ -4,15 +4,16 @@
 //! to 40%, for FlowTime with and without deadline slack — followed by a
 //! differential fault-seed sweep running all six algorithms on identical
 //! fault-injected instances (log-normal misestimation + capacity churn +
-//! arrival bursts from one seed each).
+//! arrival bursts from one seed each). Both grids execute on the
+//! work-stealing sweep runner; results are deterministic for any thread
+//! count.
 //!
-//! Usage: `robustness [seed] [fault-seeds]`
+//! Usage: `robustness [seed] [fault-seeds] [threads]`
 
-use flowtime_bench::experiments::{
-    faulted_instance, run, summarize, testbed_cluster, Algo, WorkflowExperiment,
-};
+use flowtime_bench::experiments::{run, summarize, testbed_cluster, Algo, WorkflowExperiment};
 use flowtime_bench::report;
-use flowtime_sim::FaultConfig;
+use flowtime_bench::sweep::{SweepBenchPoint, SweepSpec};
+use flowtime_sim::run_cells;
 use serde::Serialize;
 
 #[derive(Debug, Serialize)]
@@ -24,95 +25,89 @@ struct Point {
     adhoc_turnaround_s: f64,
 }
 
-#[derive(Debug, Serialize)]
-struct FaultPoint {
-    fault_seed: u64,
-    algo: String,
-    job_misses: usize,
-    workflow_misses: usize,
-    completed_jobs: usize,
-    adhoc_turnaround_s: f64,
-}
-
 fn main() {
-    let seed = std::env::args()
-        .nth(1)
-        .and_then(|a| a.parse().ok())
-        .unwrap_or(20180702);
+    let arg = |n: usize| std::env::args().nth(n).and_then(|a| a.parse::<u64>().ok());
+    let seed = arg(1).unwrap_or(20180702);
+    let fault_seeds = arg(2).unwrap_or(5);
+    let threads = arg(3).unwrap_or(1).max(1) as usize;
     let cluster = testbed_cluster();
     println!("robustness: misses vs. runtime under-estimation, seed {seed}\n");
     println!(
         "{:>9} {:>18} {:>8} {:>9} {:>14}",
         "overrun", "algorithm", "misses", "wf-miss", "adhoc tat (s)"
     );
-    let mut points = Vec::new();
-    for overrun_pct in [0u32, 10, 20, 30, 40] {
+    // The overrun curve as a (level × algorithm) cell grid on the sweep
+    // runner: cells are independent simulations, results come back in grid
+    // order regardless of thread count.
+    let grid: Vec<(u32, Algo)> = [0u32, 10, 20, 30, 40]
+        .iter()
+        .flat_map(|&pct| [(pct, Algo::FlowTime), (pct, Algo::FlowTimeNoDs)])
+        .collect();
+    let points: Vec<Point> = run_cells(&grid, threads, |_, &(overrun_pct, algo)| {
         let exp = WorkflowExperiment {
             overrun: overrun_pct as f64 / 100.0,
             seed,
             ..Default::default()
         };
-        for algo in [Algo::FlowTime, Algo::FlowTimeNoDs] {
-            let metrics = run(algo, &cluster, exp.build(&cluster));
-            let row = summarize(algo, &metrics);
-            println!(
-                "{:>8}% {:>18} {:>8} {:>9} {:>14.1}",
-                overrun_pct, row.algo, row.job_misses, row.workflow_misses, row.adhoc_turnaround_s
-            );
-            points.push(Point {
-                overrun_pct,
-                algo: row.algo.clone(),
-                job_misses: row.job_misses,
-                workflow_misses: row.workflow_misses,
-                adhoc_turnaround_s: row.adhoc_turnaround_s,
-            });
+        let metrics = run(algo, &cluster, exp.build(&cluster));
+        let row = summarize(algo, &metrics);
+        Point {
+            overrun_pct,
+            algo: row.algo,
+            job_misses: row.job_misses,
+            workflow_misses: row.workflow_misses,
+            adhoc_turnaround_s: row.adhoc_turnaround_s,
         }
+    });
+    for p in &points {
+        println!(
+            "{:>8}% {:>18} {:>8} {:>9} {:>14.1}",
+            p.overrun_pct, p.algo, p.job_misses, p.workflow_misses, p.adhoc_turnaround_s
+        );
     }
     report::persist("robustness", &points);
     println!("\nslack (sized for ~20% error) roughly halves misses at every error level.");
 
-    let fault_seeds = std::env::args()
-        .nth(2)
-        .and_then(|a| a.parse().ok())
-        .unwrap_or(5u64);
     println!(
         "\nrobustness: all algorithms under mixed fault injection \
-         (misestimation σ=0.25, 20% churn, bursts), {fault_seeds} seeds\n"
+         (misestimation σ=0.25, 20% churn, bursts), {fault_seeds} seeds, {threads} thread(s)\n"
     );
+    let spec = SweepSpec::robustness(seed, fault_seeds as usize);
+    let sweep = spec.run(threads);
     println!(
         "{:>10} {:>18} {:>8} {:>9} {:>10} {:>14}",
         "fault-seed", "algorithm", "misses", "wf-miss", "completed", "adhoc tat (s)"
     );
-    let exp = WorkflowExperiment {
-        seed,
-        ..Default::default()
-    };
-    let mut fault_points = Vec::new();
-    for fault_seed in 0..fault_seeds {
-        let (workload, faulted_cluster) =
-            faulted_instance(&exp, &cluster, FaultConfig::mixed(fault_seed));
-        for algo in Algo::FIG4 {
-            let metrics = run(algo, &faulted_cluster, workload.clone());
-            let row = summarize(algo, &metrics);
-            println!(
-                "{:>10} {:>18} {:>8} {:>9} {:>10} {:>14.1}",
-                fault_seed,
-                row.algo,
-                row.job_misses,
-                row.workflow_misses,
-                metrics.completed_jobs(),
-                row.adhoc_turnaround_s
-            );
-            fault_points.push(FaultPoint {
-                fault_seed,
-                algo: row.algo.clone(),
-                job_misses: row.job_misses,
-                workflow_misses: row.workflow_misses,
-                completed_jobs: metrics.completed_jobs(),
-                adhoc_turnaround_s: row.adhoc_turnaround_s,
-            });
-        }
+    for c in &sweep.report.cells {
+        println!(
+            "{:>10} {:>18} {:>8} {:>9} {:>10} {:>14.1}",
+            c.fault_seed,
+            c.algo,
+            c.job_misses,
+            c.workflow_misses,
+            c.completed_jobs,
+            c.adhoc_turnaround_s
+        );
     }
-    report::persist("robustness_faults", &fault_points);
-    println!("\nevery run above passed the engine's per-slot invariant checker.");
+    println!("\nper-algorithm rollups over all {fault_seeds} fault seeds:");
+    for r in &sweep.report.rollups {
+        println!(
+            "{:>18}  miss-rate {:>6.3}  adhoc p50/p90/p99 {:>6.0}/{:>6.0}/{:>6.0}s",
+            r.algo, r.deadline_miss_rate, r.adhoc_p50_s, r.adhoc_p90_s, r.adhoc_p99_s
+        );
+    }
+    report::persist("robustness_faults", &sweep.report);
+    report::persist(
+        "robustness_faults_bench",
+        &[SweepBenchPoint {
+            sweep: "robustness_faults".into(),
+            threads: sweep.threads,
+            cells: sweep.cells,
+            wall_ms: sweep.wall_ms,
+        }],
+    );
+    println!(
+        "\n{} cells in {:.0} ms; every run above passed the engine's per-slot invariant checker.",
+        sweep.cells, sweep.wall_ms
+    );
 }

@@ -69,6 +69,27 @@ impl Algo {
         }
     }
 
+    /// Parses a scheduler name as printed by [`Algo::name`], ignoring case
+    /// and separators (`flowtime`, `FlowTime_no_ds`, `flow-time-no-ds` and
+    /// the like all resolve).
+    pub fn parse(name: &str) -> Option<Algo> {
+        let norm: String = name
+            .chars()
+            .filter(char::is_ascii_alphanumeric)
+            .collect::<String>()
+            .to_ascii_lowercase();
+        match norm.as_str() {
+            "flowtime" => Some(Algo::FlowTime),
+            "flowtimenods" => Some(Algo::FlowTimeNoDs),
+            "cora" => Some(Algo::Cora),
+            "edf" => Some(Algo::Edf),
+            "fair" => Some(Algo::Fair),
+            "fifo" => Some(Algo::Fifo),
+            "morpheus" => Some(Algo::Morpheus),
+            _ => None,
+        }
+    }
+
     /// Instantiates the scheduler.
     pub fn make(&self, cluster: &ClusterConfig) -> Box<dyn Scheduler> {
         match self {
@@ -239,12 +260,35 @@ pub fn faulted_instance(
 /// Panics if the engine rejects the scheduler (a bug) or the horizon is
 /// exhausted (workload mis-sized).
 pub fn run(algo: Algo, cluster: &ClusterConfig, workload: SimWorkload) -> Metrics {
+    run_outcome(algo, cluster, workload).metrics
+}
+
+/// Runs `algo` on a workload, returning the full outcome (metrics plus
+/// solver and engine telemetry).
+///
+/// # Panics
+///
+/// Panics if the engine rejects the scheduler (a bug) or the horizon is
+/// exhausted (workload mis-sized) — the engine reports exhaustion via
+/// [`flowtime_sim::SimOutcome::in_flight`], and the experiment harness
+/// treats a partial run as unusable for comparisons.
+pub fn run_outcome(
+    algo: Algo,
+    cluster: &ClusterConfig,
+    workload: SimWorkload,
+) -> flowtime_sim::SimOutcome {
     let mut scheduler = algo.make(cluster);
     let engine = Engine::new(cluster.clone(), workload, 1_000_000).expect("valid workload");
-    engine
+    let outcome = engine
         .run(scheduler.as_mut())
-        .unwrap_or_else(|e| panic!("{} failed: {e}", algo.name()))
-        .metrics
+        .unwrap_or_else(|e| panic!("{} failed: {e}", algo.name()));
+    assert!(
+        outcome.is_complete(),
+        "{}: horizon exhausted with {} jobs in flight",
+        algo.name(),
+        outcome.in_flight.len()
+    );
+    outcome
 }
 
 /// One row of the Fig. 4/5 comparison tables.

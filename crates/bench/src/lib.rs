@@ -12,5 +12,6 @@
 
 pub mod experiments;
 pub mod report;
+pub mod sweep;
 
 pub use experiments::{Algo, SummaryRow};

@@ -1,0 +1,511 @@
+//! Deterministic `(scenario × scheduler × seed)` experiment sweeps.
+//!
+//! The paper's evaluation is trace-driven simulation over many workload
+//! mixes; the robustness experiments replay dozens of fault seeds on top.
+//! [`SweepSpec`] names that whole grid once, expands it into independent
+//! cells in a **canonical order** (scenario-major, then scheduler, then
+//! fault seed), and executes the cells with the work-stealing runner
+//! [`flowtime_sim::run_cells`]. Each cell builds its own workload and its
+//! own scheduler and engine, so cells share nothing mutable; results are
+//! reduced back in cell order. Together with the engine's own determinism
+//! this makes the serialized [`SweepReport`] byte-identical for any thread
+//! count — the property `tests/sweep_props.rs` pins.
+//!
+//! Wall-clock time is reported next to the run ([`SweepRun::wall_ms`]) but
+//! never inside the report, mirroring how [`flowtime_sim::telemetry`]
+//! excludes wall time from serialization.
+
+use crate::experiments::{faulted_instance, Algo, WorkflowExperiment};
+use crate::report;
+use flowtime_sim::{
+    run_cells, ClusterConfig, EngineTelemetry, FaultConfig, SimOutcome, SolverTelemetry,
+};
+use serde::Serialize;
+use std::time::Instant;
+
+/// How a scenario derives each cell's [`FaultConfig`] from its fault seed.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub enum FaultProfile {
+    /// No injection: the clean generated workload.
+    Clean,
+    /// The moderate everything mix of [`FaultConfig::mixed`].
+    Mixed,
+    /// Runtime misestimation only, at the given log-normal sigma.
+    Misestimate {
+        /// Log-normal sigma of the actual/estimated work factor.
+        sigma: f64,
+    },
+}
+
+impl FaultProfile {
+    /// Materializes the per-cell fault configuration.
+    pub fn config(&self, seed: u64) -> FaultConfig {
+        match *self {
+            FaultProfile::Clean => FaultConfig::none(seed),
+            FaultProfile::Mixed => FaultConfig::mixed(seed),
+            FaultProfile::Misestimate { sigma } => FaultConfig::none(seed).with_misestimate(sigma),
+        }
+    }
+}
+
+/// One named workload scenario of a sweep.
+#[derive(Debug, Clone, Serialize)]
+pub struct SweepScenario {
+    /// Stable name used in report rows (e.g. `clean`, `overrun-20`).
+    pub name: String,
+    /// Runtime overrun bound fed to [`WorkflowExperiment::overrun`].
+    pub overrun: f64,
+    /// Fault injection profile applied per fault seed.
+    pub faults: FaultProfile,
+}
+
+impl SweepScenario {
+    /// A clean scenario (exact estimates, no faults).
+    pub fn clean() -> Self {
+        SweepScenario {
+            name: "clean".into(),
+            overrun: 0.0,
+            faults: FaultProfile::Clean,
+        }
+    }
+
+    /// The mixed-fault scenario of the robustness sweep.
+    pub fn mixed_faults() -> Self {
+        SweepScenario {
+            name: "mixed-faults".into(),
+            overrun: 0.0,
+            faults: FaultProfile::Mixed,
+        }
+    }
+}
+
+/// The full grid of a sweep: one base experiment crossed with scenarios,
+/// schedulers, and fault seeds.
+#[derive(Debug, Clone)]
+pub struct SweepSpec {
+    /// Base experiment sizing (workflows, jobs, ad-hoc stream, seed).
+    pub base: WorkflowExperiment,
+    /// The simulated cluster.
+    pub cluster: ClusterConfig,
+    /// Scenarios, in report order.
+    pub scenarios: Vec<SweepScenario>,
+    /// Schedulers, in report order.
+    pub schedulers: Vec<Algo>,
+    /// Fault seeds, in report order.
+    pub fault_seeds: Vec<u64>,
+}
+
+/// One cell of the expanded grid.
+#[derive(Debug, Clone)]
+struct SweepCell {
+    scenario: usize,
+    algo: Algo,
+    fault_seed: u64,
+}
+
+/// Everything measured inside one cell (intermediate, not serialized:
+/// the raw turnaround samples feed the pooled percentiles).
+struct CellOutcome {
+    row: SweepCellRow,
+    adhoc_turnaround_slots: Vec<u64>,
+    solver: Option<SolverTelemetry>,
+    engine: EngineTelemetry,
+}
+
+/// Per-cell summary row of the report, in canonical cell order.
+#[derive(Debug, Clone, Serialize)]
+pub struct SweepCellRow {
+    /// Scenario name.
+    pub scenario: String,
+    /// Scheduler name.
+    pub algo: String,
+    /// Fault seed of this cell.
+    pub fault_seed: u64,
+    /// Jobs completed (the whole workload: sweeps reject partial runs).
+    pub completed_jobs: usize,
+    /// Milestone-tracked deadline jobs.
+    pub deadline_jobs: usize,
+    /// Milestone misses.
+    pub job_misses: usize,
+    /// Workflow deadline misses.
+    pub workflow_misses: usize,
+    /// Mean ad-hoc turnaround in seconds (0 when no ad-hoc jobs ran).
+    pub adhoc_turnaround_s: f64,
+    /// Slots simulated.
+    pub slots_elapsed: u64,
+}
+
+/// Aggregate over every cell of one `(scenario, scheduler)` pair.
+#[derive(Debug, Clone, Serialize)]
+pub struct SweepRollup {
+    /// Scenario name.
+    pub scenario: String,
+    /// Scheduler name.
+    pub algo: String,
+    /// Number of cells aggregated (= number of fault seeds).
+    pub cells: usize,
+    /// Total milestone-tracked jobs across cells.
+    pub deadline_jobs: usize,
+    /// Total milestone misses across cells.
+    pub job_misses: usize,
+    /// `job_misses / deadline_jobs` (0 when no deadline jobs).
+    pub deadline_miss_rate: f64,
+    /// Total workflow misses across cells.
+    pub workflow_misses: usize,
+    /// Pooled ad-hoc turnaround percentiles in seconds (nearest-rank over
+    /// every ad-hoc job of every cell).
+    pub adhoc_p50_s: f64,
+    /// 90th percentile, same pooling.
+    pub adhoc_p90_s: f64,
+    /// 99th percentile, same pooling.
+    pub adhoc_p99_s: f64,
+    /// Solver-effort counters summed across cells; `None` for solver-free
+    /// schedulers.
+    pub solver_telemetry: Option<SolverTelemetry>,
+    /// Engine counters accumulated across cells (peak is a max).
+    pub engine_telemetry: EngineTelemetry,
+}
+
+/// Compact description of the base experiment, embedded in the report so a
+/// persisted sweep is self-describing.
+#[derive(Debug, Clone, Serialize)]
+pub struct SweepExperimentInfo {
+    /// Number of workflows.
+    pub workflows: usize,
+    /// Jobs per workflow.
+    pub jobs_per_workflow: usize,
+    /// Ad-hoc arrival horizon in slots.
+    pub adhoc_horizon: u64,
+    /// Base workload seed.
+    pub seed: u64,
+}
+
+/// The deterministic, ordered result of a sweep. Serialization contains no
+/// wall-clock quantity, so its bytes are a pure function of the spec.
+#[derive(Debug, Clone, Serialize)]
+pub struct SweepReport {
+    /// Base experiment sizing.
+    pub experiment: SweepExperimentInfo,
+    /// The scenario axis.
+    pub scenarios: Vec<SweepScenario>,
+    /// The scheduler axis, by display name.
+    pub schedulers: Vec<String>,
+    /// The fault-seed axis.
+    pub fault_seeds: Vec<u64>,
+    /// Per-cell rows in canonical (scenario, scheduler, seed) order.
+    pub cells: Vec<SweepCellRow>,
+    /// Per-`(scenario, scheduler)` aggregates, same order as the axes.
+    pub rollups: Vec<SweepRollup>,
+}
+
+/// A finished sweep: the deterministic report plus how it was executed.
+#[derive(Debug)]
+pub struct SweepRun {
+    /// The deterministic report (thread-count independent).
+    pub report: SweepReport,
+    /// Worker threads used.
+    pub threads: usize,
+    /// Cells executed.
+    pub cells: usize,
+    /// Wall-clock time of the whole sweep in milliseconds. Not part of the
+    /// report; record it via [`SweepBenchPoint`] when benchmarking.
+    pub wall_ms: f64,
+}
+
+/// One wall-clock datapoint for `results/` (the BENCH record of a sweep's
+/// cost at a given thread count).
+#[derive(Debug, Clone, Serialize)]
+pub struct SweepBenchPoint {
+    /// Which sweep this measures (e.g. `robustness`).
+    pub sweep: String,
+    /// Worker threads used.
+    pub threads: usize,
+    /// Cells executed.
+    pub cells: usize,
+    /// Wall-clock milliseconds for the whole sweep.
+    pub wall_ms: f64,
+}
+
+impl SweepSpec {
+    /// The robustness fault-seed sweep as a spec: every Fig. 4 algorithm ×
+    /// mixed faults × `fault_seeds` seeds on the default experiment.
+    pub fn robustness(base_seed: u64, fault_seeds: usize) -> Self {
+        SweepSpec {
+            base: WorkflowExperiment {
+                seed: base_seed,
+                ..Default::default()
+            },
+            cluster: crate::experiments::testbed_cluster(),
+            scenarios: vec![SweepScenario::mixed_faults()],
+            schedulers: Algo::FIG4.to_vec(),
+            fault_seeds: (0..fault_seeds as u64).collect(),
+        }
+    }
+
+    /// Number of cells the spec expands to.
+    pub fn cell_count(&self) -> usize {
+        self.scenarios.len() * self.schedulers.len() * self.fault_seeds.len()
+    }
+
+    fn cells(&self) -> Vec<SweepCell> {
+        let mut cells = Vec::with_capacity(self.cell_count());
+        for scenario in 0..self.scenarios.len() {
+            for &algo in &self.schedulers {
+                for &fault_seed in &self.fault_seeds {
+                    cells.push(SweepCell {
+                        scenario,
+                        algo,
+                        fault_seed,
+                    });
+                }
+            }
+        }
+        cells
+    }
+
+    /// Builds and runs one cell, fully isolated: its own workload, its own
+    /// scheduler instance, its own engine.
+    fn run_cell(&self, cell: &SweepCell) -> CellOutcome {
+        let scenario = &self.scenarios[cell.scenario];
+        let exp = WorkflowExperiment {
+            overrun: scenario.overrun,
+            ..self.base.clone()
+        };
+        let (workload, cluster) =
+            faulted_instance(&exp, &self.cluster, scenario.faults.config(cell.fault_seed));
+        let outcome = crate::experiments::run_outcome(cell.algo, &cluster, workload);
+        cell_outcome(scenario, cell, &outcome)
+    }
+
+    /// Executes the sweep on up to `threads` workers.
+    ///
+    /// The returned [`SweepRun::report`] is byte-identical for any
+    /// `threads` value; only [`SweepRun::wall_ms`] may differ.
+    pub fn run(&self, threads: usize) -> SweepRun {
+        let cells = self.cells();
+        let t0 = Instant::now();
+        let outcomes = run_cells(&cells, threads, |_, cell| self.run_cell(cell));
+        let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let slot_seconds = self.cluster.slot_seconds();
+
+        let mut rollups = Vec::with_capacity(self.scenarios.len() * self.schedulers.len());
+        for (s, scenario) in self.scenarios.iter().enumerate() {
+            for &algo in &self.schedulers {
+                let group: Vec<&CellOutcome> = cells
+                    .iter()
+                    .zip(&outcomes)
+                    .filter(|(c, _)| c.scenario == s && c.algo == algo)
+                    .map(|(_, o)| o)
+                    .collect();
+                rollups.push(rollup(scenario, algo, &group, slot_seconds));
+            }
+        }
+        let report = SweepReport {
+            experiment: SweepExperimentInfo {
+                workflows: self.base.workflows,
+                jobs_per_workflow: self.base.jobs_per_workflow,
+                adhoc_horizon: self.base.adhoc_horizon,
+                seed: self.base.seed,
+            },
+            scenarios: self.scenarios.clone(),
+            schedulers: self.schedulers.iter().map(|a| a.name().into()).collect(),
+            fault_seeds: self.fault_seeds.clone(),
+            cells: outcomes.iter().map(|o| o.row.clone()).collect(),
+            rollups,
+        };
+        SweepRun {
+            report,
+            threads,
+            cells: cells.len(),
+            wall_ms,
+        }
+    }
+
+    /// Runs the sweep at each thread count, checks every report serializes
+    /// to the same bytes as the first, and persists one
+    /// [`SweepBenchPoint`] per count under `results/<name>_bench.json`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the offending thread count if any report's bytes diverge
+    /// from the `thread_counts[0]` reference (a determinism bug).
+    pub fn bench(
+        &self,
+        name: &str,
+        thread_counts: &[usize],
+    ) -> Result<Vec<SweepBenchPoint>, usize> {
+        let mut reference: Option<String> = None;
+        let mut points = Vec::new();
+        for &threads in thread_counts {
+            let run = self.run(threads.max(1));
+            let bytes = serde_json::to_string_pretty(&run.report).expect("report serializes");
+            match &reference {
+                None => reference = Some(bytes),
+                Some(expect) if *expect != bytes => return Err(threads),
+                Some(_) => {}
+            }
+            points.push(SweepBenchPoint {
+                sweep: name.to_string(),
+                threads: run.threads,
+                cells: run.cells,
+                wall_ms: run.wall_ms,
+            });
+        }
+        report::persist(&format!("{name}_bench"), &points);
+        Ok(points)
+    }
+}
+
+/// Nearest-rank percentile over an already-sorted slice of slot counts,
+/// converted to seconds. Deterministic: integer sort, one f64 multiply.
+fn percentile_seconds(sorted_slots: &[u64], p: f64, slot_seconds: f64) -> f64 {
+    if sorted_slots.is_empty() {
+        return 0.0;
+    }
+    let rank = ((sorted_slots.len() as f64) * p).ceil() as usize;
+    let idx = rank.clamp(1, sorted_slots.len()) - 1;
+    sorted_slots[idx] as f64 * slot_seconds
+}
+
+fn cell_outcome(scenario: &SweepScenario, cell: &SweepCell, outcome: &SimOutcome) -> CellOutcome {
+    let metrics = &outcome.metrics;
+    let mut adhoc_turnaround_slots: Vec<u64> =
+        metrics.adhoc_jobs().map(|j| j.turnaround_slots()).collect();
+    adhoc_turnaround_slots.sort_unstable();
+    CellOutcome {
+        row: SweepCellRow {
+            scenario: scenario.name.clone(),
+            algo: cell.algo.name().to_string(),
+            fault_seed: cell.fault_seed,
+            completed_jobs: metrics.completed_jobs(),
+            deadline_jobs: metrics.deadline_jobs().count(),
+            job_misses: metrics.job_deadline_misses(),
+            workflow_misses: metrics.workflow_deadline_misses(),
+            adhoc_turnaround_s: metrics.avg_adhoc_turnaround_seconds().unwrap_or(0.0),
+            slots_elapsed: outcome.slots_elapsed,
+        },
+        adhoc_turnaround_slots,
+        solver: outcome.solver_telemetry.clone(),
+        engine: outcome.engine_telemetry.clone(),
+    }
+}
+
+fn rollup(
+    scenario: &SweepScenario,
+    algo: Algo,
+    group: &[&CellOutcome],
+    slot_seconds: f64,
+) -> SweepRollup {
+    let mut deadline_jobs = 0usize;
+    let mut job_misses = 0usize;
+    let mut workflow_misses = 0usize;
+    let mut pooled: Vec<u64> = Vec::new();
+    let mut solver: Option<SolverTelemetry> = None;
+    let mut engine = EngineTelemetry::default();
+    for o in group {
+        deadline_jobs += o.row.deadline_jobs;
+        job_misses += o.row.job_misses;
+        workflow_misses += o.row.workflow_misses;
+        pooled.extend_from_slice(&o.adhoc_turnaround_slots);
+        if let Some(t) = &o.solver {
+            solver
+                .get_or_insert_with(SolverTelemetry::default)
+                .accumulate(t);
+        }
+        engine.accumulate(&o.engine);
+    }
+    pooled.sort_unstable();
+    SweepRollup {
+        scenario: scenario.name.clone(),
+        algo: algo.name().to_string(),
+        cells: group.len(),
+        deadline_jobs,
+        job_misses,
+        deadline_miss_rate: if deadline_jobs == 0 {
+            0.0
+        } else {
+            job_misses as f64 / deadline_jobs as f64
+        },
+        workflow_misses,
+        adhoc_p50_s: percentile_seconds(&pooled, 0.50, slot_seconds),
+        adhoc_p90_s: percentile_seconds(&pooled, 0.90, slot_seconds),
+        adhoc_p99_s: percentile_seconds(&pooled, 0.99, slot_seconds),
+        solver_telemetry: solver,
+        engine_telemetry: engine,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_spec() -> SweepSpec {
+        SweepSpec {
+            base: WorkflowExperiment {
+                workflows: 2,
+                jobs_per_workflow: 5,
+                adhoc_horizon: 50,
+                ..Default::default()
+            },
+            cluster: crate::experiments::testbed_cluster(),
+            scenarios: vec![SweepScenario::clean(), SweepScenario::mixed_faults()],
+            schedulers: vec![Algo::Edf, Algo::Fifo],
+            fault_seeds: vec![0, 1],
+        }
+    }
+
+    #[test]
+    fn cells_expand_in_canonical_order() {
+        let spec = tiny_spec();
+        assert_eq!(spec.cell_count(), 8);
+        let cells = spec.cells();
+        let order: Vec<(usize, &str, u64)> = cells
+            .iter()
+            .map(|c| (c.scenario, c.algo.name(), c.fault_seed))
+            .collect();
+        assert_eq!(order[0], (0, "EDF", 0));
+        assert_eq!(order[1], (0, "EDF", 1));
+        assert_eq!(order[2], (0, "FIFO", 0));
+        assert_eq!(order[4], (1, "EDF", 0));
+        assert_eq!(order[7], (1, "FIFO", 1));
+    }
+
+    #[test]
+    fn parallel_sweep_is_byte_identical_to_sequential() {
+        let spec = tiny_spec();
+        let sequential = serde_json::to_string_pretty(&spec.run(1).report).unwrap();
+        let parallel = serde_json::to_string_pretty(&spec.run(4).report).unwrap();
+        assert_eq!(sequential, parallel);
+    }
+
+    #[test]
+    fn rollups_aggregate_their_group() {
+        let spec = tiny_spec();
+        let report = spec.run(2).report;
+        assert_eq!(report.cells.len(), 8);
+        assert_eq!(report.rollups.len(), 4);
+        for r in &report.rollups {
+            assert_eq!(r.cells, 2);
+            let group: Vec<&SweepCellRow> = report
+                .cells
+                .iter()
+                .filter(|c| c.scenario == r.scenario && c.algo == r.algo)
+                .collect();
+            assert_eq!(group.len(), 2);
+            assert_eq!(r.job_misses, group.iter().map(|c| c.job_misses).sum());
+            assert_eq!(r.deadline_jobs, group.iter().map(|c| c.deadline_jobs).sum());
+            assert!(r.adhoc_p50_s <= r.adhoc_p90_s && r.adhoc_p90_s <= r.adhoc_p99_s);
+            assert!(r.engine_telemetry.slots_simulated > 0);
+        }
+    }
+
+    #[test]
+    fn percentiles_use_nearest_rank() {
+        let slots: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile_seconds(&slots, 0.50, 10.0), 500.0);
+        assert_eq!(percentile_seconds(&slots, 0.90, 10.0), 900.0);
+        assert_eq!(percentile_seconds(&slots, 0.99, 10.0), 990.0);
+        assert_eq!(percentile_seconds(&[], 0.5, 10.0), 0.0);
+        assert_eq!(percentile_seconds(&[7], 0.99, 10.0), 70.0);
+    }
+}

@@ -26,6 +26,10 @@ USAGE:
                          [FAULTS]
   flowtime-cli compare   --trace <trace.jsonl> [--no-plan-cache] [FAULTS]
   flowtime-cli decompose --trace <trace.jsonl> [--index I] [--slack S]
+  flowtime-cli sweep     [--threads N] [--seeds A..B] [--schedulers a,b,..]
+                         [--scenarios clean,mixed-faults] [--workflows N]
+                         [--jobs N] [--adhoc-horizon S] [--seed S]
+                         [--out NAME] [--bench-threads 1,2,..]
 
 SCHEDULERS: flowtime, flowtime-no-ds, edf, fifo, fair, cora, morpheus
 
@@ -45,6 +49,7 @@ pub fn dispatch(argv: &[String]) -> CliResult {
         Some("simulate") => simulate(&args),
         Some("compare") => compare(&args),
         Some("decompose") => decompose_cmd(&args),
+        Some("sweep") => sweep_cmd(&args),
         Some("help") | None => {
             print!("{USAGE}");
             Ok(())
@@ -237,6 +242,118 @@ fn compare(args: &Args) -> CliResult {
         if let Some(t) = &outcome.solver_telemetry {
             println!("{:<16} {}", "", t.summary());
         }
+    }
+    Ok(())
+}
+
+/// Parses a Rust-style half-open seed range `A..B`.
+fn parse_seed_range(raw: &str) -> Result<Vec<u64>, Box<dyn Error>> {
+    let (a, b) = raw
+        .split_once("..")
+        .ok_or_else(|| format!("--seeds expects `A..B`, got `{raw}`"))?;
+    let a: u64 = a
+        .trim()
+        .parse()
+        .map_err(|_| format!("--seeds start `{a}` is not a number"))?;
+    let b: u64 = b
+        .trim()
+        .parse()
+        .map_err(|_| format!("--seeds end `{b}` is not a number"))?;
+    if a >= b {
+        return Err(format!("--seeds range `{raw}` is empty").into());
+    }
+    Ok((a..b).collect())
+}
+
+fn sweep_cmd(args: &Args) -> CliResult {
+    use flowtime_bench::sweep::{SweepScenario, SweepSpec};
+    use flowtime_bench::Algo;
+
+    let threads = args.get_or("threads", 1usize).max(1);
+    let fault_seeds = parse_seed_range(args.get("seeds").unwrap_or("0..4"))?;
+    let schedulers = match args.get("schedulers") {
+        None => flowtime_bench::Algo::FIG4.to_vec(),
+        Some(raw) => raw
+            .split(',')
+            .map(|name| {
+                Algo::parse(name).ok_or_else(|| format!("unknown scheduler `{name}`").into())
+            })
+            .collect::<Result<Vec<_>, Box<dyn Error>>>()?,
+    };
+    let scenarios = match args.get("scenarios") {
+        None => vec![SweepScenario::mixed_faults()],
+        Some(raw) => raw
+            .split(',')
+            .map(|name| match name.trim() {
+                "clean" => Ok(SweepScenario::clean()),
+                "mixed" | "mixed-faults" => Ok(SweepScenario::mixed_faults()),
+                other => Err(format!("unknown scenario `{other}` (clean, mixed-faults)").into()),
+            })
+            .collect::<Result<Vec<_>, Box<dyn Error>>>()?,
+    };
+    let base = flowtime_bench::experiments::WorkflowExperiment {
+        workflows: args.get_or("workflows", 5usize),
+        jobs_per_workflow: args.get_or("jobs", 18usize),
+        adhoc_horizon: args.get_or("adhoc-horizon", 600u64),
+        seed: args.get_or("seed", 20180702u64),
+        ..Default::default()
+    };
+    let spec = SweepSpec {
+        base,
+        cluster: flowtime_bench::experiments::testbed_cluster(),
+        scenarios,
+        schedulers,
+        fault_seeds,
+    };
+    // Validate the bench axis up front, before spending minutes on the
+    // sweep itself.
+    let bench_threads = args
+        .get("bench-threads")
+        .map(|raw| {
+            raw.split(',')
+                .map(|t| {
+                    t.trim()
+                        .parse::<usize>()
+                        .map_err(|_| format!("--bench-threads wants numbers, got `{t}`").into())
+                })
+                .collect::<Result<Vec<_>, Box<dyn Error>>>()
+        })
+        .transpose()?;
+
+    let run = spec.run(threads);
+    println!(
+        "sweep: {} cells on {} thread(s) in {:.0} ms",
+        run.cells, run.threads, run.wall_ms
+    );
+    for r in &run.report.rollups {
+        println!(
+            "{:<14} {:<16} miss-rate {:>6.3} ({:>3}/{:<3})  wf-misses {:>3}  adhoc p50/p90/p99 {:>7.0}/{:>7.0}/{:>7.0}s",
+            r.scenario,
+            r.algo,
+            r.deadline_miss_rate,
+            r.job_misses,
+            r.deadline_jobs,
+            r.workflow_misses,
+            r.adhoc_p50_s,
+            r.adhoc_p90_s,
+            r.adhoc_p99_s,
+        );
+    }
+    let name = args.get("out").unwrap_or("sweep");
+    flowtime_bench::report::persist(name, &run.report);
+    println!("report written to results/{name}.json");
+
+    if let Some(counts) = bench_threads {
+        let points = spec
+            .bench(name, &counts)
+            .map_err(|t| format!("report at {t} threads diverged from {} threads", counts[0]))?;
+        for p in &points {
+            println!(
+                "bench: {:>2} thread(s)  {:>4} cells  {:>8.0} ms",
+                p.threads, p.cells, p.wall_ms
+            );
+        }
+        println!("bench points written to results/{name}_bench.json");
     }
     Ok(())
 }
@@ -452,6 +569,57 @@ mod tests {
             "the plan cache must never change scheduling decisions"
         );
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn seed_ranges_parse_as_half_open() {
+        assert_eq!(parse_seed_range("0..3").unwrap(), vec![0, 1, 2]);
+        assert_eq!(parse_seed_range("7..9").unwrap(), vec![7, 8]);
+        for bad in ["3", "3..3", "5..2", "a..b", ""] {
+            assert!(parse_seed_range(bad).is_err(), "{bad:?} should be rejected");
+        }
+    }
+
+    #[test]
+    fn sweep_rejects_malformed_axes() {
+        for bad in [
+            vec!["sweep", "--seeds", "oops"],
+            vec!["sweep", "--schedulers", "flowtime,unknown"],
+            vec!["sweep", "--scenarios", "apocalypse"],
+            vec!["sweep", "--bench-threads", "1,x"],
+        ] {
+            assert!(dispatch(&argv(&bad)).is_err(), "{bad:?} should be rejected");
+        }
+    }
+
+    #[test]
+    fn sweep_runs_a_tiny_grid_and_persists_the_report() {
+        dispatch(&argv(&[
+            "sweep",
+            "--workflows",
+            "1",
+            "--jobs",
+            "4",
+            "--adhoc-horizon",
+            "20",
+            "--seeds",
+            "0..2",
+            "--schedulers",
+            "edf,fifo",
+            "--scenarios",
+            "clean,mixed-faults",
+            "--threads",
+            "2",
+            "--out",
+            "cli-sweep-test",
+        ]))
+        .unwrap();
+        let path = std::path::Path::new("results/cli-sweep-test.json");
+        let written = std::fs::read_to_string(path).unwrap();
+        assert!(written.contains("\"rollups\""));
+        assert!(written.contains("EDF") && written.contains("FIFO"));
+        let _ = std::fs::remove_file(path);
+        let _ = std::fs::remove_dir("results");
     }
 
     #[test]

@@ -1,23 +1,33 @@
 //! The simulation engine.
+//!
+//! The run loop is event-driven: arrivals and dependency releases live in a
+//! binary-heap event queue and the runnable/visible job views are maintained
+//! incrementally (see [`crate::state::SimState`]), so per-slot cost tracks
+//! the number of jobs that *change* state rather than the number alive. The
+//! historical linear-scan loop is preserved as [`crate::oracle::OracleEngine`]
+//! and differential tests pin the two to identical outcomes.
 
 use crate::cluster::ClusterConfig;
 use crate::error::SimError;
 use crate::invariants::InvariantChecker;
 use crate::job::{JobClass, JobRuntime, SimWorkload};
-use crate::metrics::{JobOutcome, Metrics, WorkflowOutcome};
+use crate::metrics::{InFlightJob, JobOutcome, Metrics, WorkflowOutcome};
 use crate::placement::NodePool;
 use crate::scheduler::Scheduler;
 use crate::state::{SimState, WorkflowInstance};
-use crate::telemetry::SolverTelemetry;
+use crate::telemetry::{EngineTelemetry, SolverTelemetry};
 use crate::timeline::{Timeline, TimelineEntry};
 use flowtime_dag::{JobId, ResourceVec};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+use std::time::Instant;
 
 /// Result of a completed simulation.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SimOutcome {
-    /// Aggregated metrics.
+    /// Aggregated metrics. On a horizon-exhausted run these cover only the
+    /// jobs (and fully-finished workflows) that completed in time.
     pub metrics: Metrics,
     /// Number of slots simulated until the last completion.
     pub slots_elapsed: u64,
@@ -32,7 +42,36 @@ pub struct SimOutcome {
     /// run (see [`crate::telemetry`]); `None` for solver-free schedulers.
     #[serde(default)]
     pub solver_telemetry: Option<SolverTelemetry>,
+    /// Engine hot-path counters for this run (see [`crate::telemetry`]);
+    /// wall-clock time is excluded from serialization and equality.
+    #[serde(default)]
+    pub engine_telemetry: EngineTelemetry,
+    /// Jobs still unfinished when the slot horizon ran out; empty on a
+    /// complete run. See [`Self::is_complete`].
+    #[serde(default)]
+    pub in_flight: Vec<InFlightJob>,
 }
+
+impl SimOutcome {
+    /// True when every submitted job finished within the horizon. When
+    /// false, [`Self::in_flight`] lists the unfinished jobs and the
+    /// metrics cover only the completed portion of the workload.
+    pub fn is_complete(&self) -> bool {
+        self.in_flight.is_empty()
+    }
+}
+
+/// Event kind: a job's submission slot was reached (enters the visible
+/// set). Ordered before [`EV_READY`] within a slot so a job is always
+/// visible by the time it becomes runnable.
+const EV_ARRIVAL: u8 = 0;
+/// Event kind: a job's dependencies are satisfied (enters the runnable
+/// set).
+const EV_READY: u8 = 1;
+
+/// One pending state change, keyed `(slot, kind, job)`; `Reverse` turns
+/// `BinaryHeap`'s max-heap into the min-heap the run loop pops from.
+type Event = Reverse<(u64, u8, JobId)>;
 
 /// Drives a [`Scheduler`] over a [`SimWorkload`] slot by slot.
 ///
@@ -40,14 +79,23 @@ pub struct SimOutcome {
 /// state produce identical outcomes, which is what makes algorithm
 /// comparisons meaningful.
 pub struct Engine {
-    state: SimState,
-    max_slots: u64,
-    slot_loads: Vec<ResourceVec>,
-    slot_capacities: Vec<ResourceVec>,
-    timeline: Option<Timeline>,
-    nodes: Option<NodePool>,
-    placement_shortfalls: Vec<u64>,
-    checker: InvariantChecker,
+    pub(crate) state: SimState,
+    pub(crate) max_slots: u64,
+    pub(crate) slot_loads: Vec<ResourceVec>,
+    pub(crate) slot_capacities: Vec<ResourceVec>,
+    pub(crate) timeline: Option<Timeline>,
+    pub(crate) nodes: Option<NodePool>,
+    pub(crate) placement_shortfalls: Vec<u64>,
+    pub(crate) checker: InvariantChecker,
+    pub(crate) telemetry: EngineTelemetry,
+    /// Min-heap of pending arrival/readiness events.
+    events: BinaryHeap<Event>,
+    /// `(workflow index, DAG node)` of each workflow job, by job index;
+    /// `None` for ad-hoc jobs.
+    job_nodes: Vec<Option<(usize, usize)>>,
+    /// Per workflow, per node: count of predecessors not yet complete. A
+    /// node is released the moment its count reaches zero.
+    pending_preds: Vec<Vec<usize>>,
 }
 
 impl Engine {
@@ -67,6 +115,8 @@ impl Engine {
     ) -> Result<Self, SimError> {
         let mut jobs: Vec<JobRuntime> = Vec::new();
         let mut workflows: Vec<WorkflowInstance> = Vec::new();
+        let mut job_nodes: Vec<Option<(usize, usize)>> = Vec::new();
+        let mut pending_preds: Vec<Vec<usize>> = Vec::new();
         let mut next_id = 0u64;
         for submission in workload.workflows {
             let wf = &submission.workflow;
@@ -86,6 +136,7 @@ impl Engine {
                 }
             }
             let mut job_ids = Vec::with_capacity(n);
+            let mut preds = Vec::with_capacity(n);
             for (node, spec) in wf.jobs().iter().enumerate() {
                 let id = JobId::new(next_id);
                 next_id += 1;
@@ -93,7 +144,7 @@ impl Engine {
                     .actual_work
                     .as_ref()
                     .map_or_else(|| spec.work(), |v| v[node]);
-                let is_source = wf.dag().predecessors(node).is_empty();
+                let n_preds = wf.dag().predecessors(node).len();
                 jobs.push(JobRuntime {
                     id,
                     class: JobClass::Deadline {
@@ -103,13 +154,16 @@ impl Engine {
                     estimate: spec.clone(),
                     actual_work,
                     arrival_slot: wf.submit_slot(),
-                    ready_slot: is_source.then_some(wf.submit_slot()),
+                    ready_slot: (n_preds == 0).then_some(wf.submit_slot()),
                     done_work: 0,
                     completion_slot: None,
                     deadline_slot: submission.job_deadlines.as_ref().map(|v| v[node]),
                 });
                 job_ids.push(id);
+                job_nodes.push(Some((workflows.len(), node)));
+                preds.push(n_preds);
             }
+            pending_preds.push(preds);
             workflows.push(WorkflowInstance {
                 submission,
                 job_ids,
@@ -129,17 +183,39 @@ impl Engine {
                 completion_slot: None,
                 deadline_slot: None,
             });
+            job_nodes.push(None);
         }
         let by_id: HashMap<JobId, usize> =
             jobs.iter().enumerate().map(|(i, j)| (j.id, i)).collect();
+        let mut state = SimState {
+            now: 0,
+            cluster,
+            jobs,
+            workflows,
+            by_id,
+            runnable: Default::default(),
+            visible: Default::default(),
+            incomplete: 0,
+        };
+        // Seed the incremental indices for slot 0 (so views are correct
+        // even before `run`) and queue every future state change.
+        state.rebuild_indices();
+        let mut telemetry = EngineTelemetry::default();
+        let mut events = BinaryHeap::new();
+        for job in &state.jobs {
+            if job.arrival_slot > 0 {
+                events.push(Reverse((job.arrival_slot, EV_ARRIVAL, job.id)));
+                telemetry.heap_ops += 1;
+            }
+            if let Some(r) = job.ready_slot {
+                if r > 0 {
+                    events.push(Reverse((r, EV_READY, job.id)));
+                    telemetry.heap_ops += 1;
+                }
+            }
+        }
         Ok(Engine {
-            state: SimState {
-                now: 0,
-                cluster,
-                jobs,
-                workflows,
-                by_id,
-            },
+            state,
             max_slots,
             slot_loads: Vec::new(),
             slot_capacities: Vec::new(),
@@ -147,6 +223,10 @@ impl Engine {
             nodes: None,
             placement_shortfalls: Vec::new(),
             checker: InvariantChecker::new(true),
+            telemetry,
+            events,
+            job_nodes,
+            pending_preds,
         })
     }
 
@@ -192,20 +272,32 @@ impl Engine {
         self
     }
 
-    /// Runs `scheduler` to completion of all jobs.
+    /// Runs `scheduler` until every job completes or `max_slots` is
+    /// reached. If the horizon runs out first, the outcome is still `Ok`:
+    /// the completed portion of the workload lands in the metrics and the
+    /// unfinished jobs are drained into [`SimOutcome::in_flight`]
+    /// (check [`SimOutcome::is_complete`]).
     ///
     /// # Errors
     ///
-    /// * Scheduler-misbehaviour errors ([`SimError::CapacityExceeded`],
-    ///   [`SimError::UnknownJob`], [`SimError::JobNotRunnable`],
-    ///   [`SimError::ParallelismExceeded`]).
-    /// * [`SimError::HorizonExhausted`] if jobs remain at `max_slots`.
+    /// Scheduler-misbehaviour errors ([`SimError::CapacityExceeded`],
+    /// [`SimError::UnknownJob`], [`SimError::JobNotRunnable`],
+    /// [`SimError::ParallelismExceeded`]) and, when extended invariants
+    /// are on, [`SimError::InvariantViolation`].
     pub fn run(mut self, scheduler: &mut dyn Scheduler) -> Result<SimOutcome, SimError> {
+        let t0 = Instant::now();
         while self.state.now < self.max_slots {
-            if self.state.jobs.iter().all(JobRuntime::is_complete) {
+            self.advance_events();
+            self.telemetry.peak_live_jobs = self
+                .telemetry
+                .peak_live_jobs
+                .max(self.state.visible.len() as u64);
+            if self.state.incomplete == 0 {
                 self.checker.check_final(&self.state)?;
+                self.telemetry.wall_nanos = t0.elapsed().as_nanos() as u64;
                 return Ok(self.finish(scheduler.telemetry()));
             }
+            self.telemetry.slots_simulated += 1;
             let allocation = scheduler.plan_slot(&self.state);
             let now = self.state.now;
 
@@ -242,83 +334,123 @@ impl Engine {
                 let idx = self.state.by_id[&id];
                 let job = &mut self.state.jobs[idx];
                 job.done_work += q;
-                if job.done_work >= job.actual_work {
+                if job.done_work >= job.actual_work && job.completion_slot.is_none() {
                     job.completion_slot = Some(now + 1);
+                    self.on_complete(idx, now);
                 }
             }
-            self.release_dependents(now);
             self.state.now += 1;
         }
-        if self.state.jobs.iter().all(JobRuntime::is_complete) {
+        self.telemetry.wall_nanos = t0.elapsed().as_nanos() as u64;
+        if self.state.incomplete == 0 {
             self.checker.check_final(&self.state)?;
-            Ok(self.finish(scheduler.telemetry()))
-        } else {
-            let incomplete = self.state.jobs.iter().filter(|j| !j.is_complete()).count();
-            Err(SimError::HorizonExhausted {
-                max_slots: self.max_slots,
-                incomplete,
-            })
         }
+        // Horizon exhausted with jobs in flight: the exact-conservation
+        // final check cannot hold, but every applied slot already passed
+        // the per-slot invariants; report the partial outcome and list the
+        // unfinished jobs instead of dropping them.
+        Ok(self.finish(scheduler.telemetry()))
     }
 
-    /// Marks workflow jobs ready once all their predecessors completed
-    /// during or before slot `now`; they become runnable from `now + 1`.
-    fn release_dependents(&mut self, now: u64) {
-        for w in 0..self.state.workflows.len() {
-            let n = self.state.workflows[w].job_ids.len();
-            for node in 0..n {
-                let id = self.state.workflows[w].job_ids[node];
-                let idx = self.state.by_id[&id];
-                if self.state.jobs[idx].ready_slot.is_some() {
-                    continue;
-                }
-                let dag = self.state.workflows[w].submission.workflow.dag();
-                let all_done = dag.predecessors(node).iter().all(|&p| {
-                    let pid = self.state.workflows[w].job_ids[p];
-                    self.state.jobs[self.state.by_id[&pid]].is_complete()
-                });
-                if all_done {
-                    self.state.jobs[idx].ready_slot = Some(now + 1);
-                }
+    /// Applies every pending event at or before the current slot to the
+    /// incremental visible/runnable indices.
+    fn advance_events(&mut self) {
+        while let Some(&Reverse((slot, kind, id))) = self.events.peek() {
+            if slot > self.state.now {
+                break;
+            }
+            self.events.pop();
+            self.telemetry.heap_ops += 1;
+            self.telemetry.events_processed += 1;
+            let job = &self.state.jobs[self.state.by_id[&id]];
+            if job.is_complete() {
+                continue;
+            }
+            let key = (job.arrival_slot, id);
+            if kind == EV_ARRIVAL {
+                self.state.visible.insert(key);
+            } else {
+                self.state.runnable.insert(key);
             }
         }
     }
 
-    fn finish(self, solver_telemetry: Option<SolverTelemetry>) -> SimOutcome {
+    /// Incremental completion bookkeeping: drops the job from the live
+    /// indices and releases any workflow dependents whose last pending
+    /// predecessor this was. Released jobs become runnable from `now + 1`,
+    /// matching the historical end-of-slot release rule.
+    fn on_complete(&mut self, idx: usize, now: u64) {
+        let key = (self.state.jobs[idx].arrival_slot, self.state.jobs[idx].id);
+        self.state.runnable.remove(&key);
+        self.state.visible.remove(&key);
+        self.state.incomplete -= 1;
+        let Some((w, node)) = self.job_nodes[idx] else {
+            return;
+        };
+        let successors: Vec<usize> = self.state.workflows[w]
+            .submission
+            .workflow
+            .dag()
+            .successors(node)
+            .to_vec();
+        for s in successors {
+            self.pending_preds[w][s] -= 1;
+            if self.pending_preds[w][s] == 0 {
+                let sid = self.state.workflows[w].job_ids[s];
+                let sidx = self.state.by_id[&sid];
+                self.state.jobs[sidx].ready_slot = Some(now + 1);
+                self.events.push(Reverse((now + 1, EV_READY, sid)));
+                self.telemetry.heap_ops += 1;
+            }
+        }
+    }
+
+    /// Builds the outcome from whatever has completed. Jobs without a
+    /// completion slot drain into [`SimOutcome::in_flight`]; workflows
+    /// count only once every node finished.
+    pub(crate) fn finish(self, solver_telemetry: Option<SolverTelemetry>) -> SimOutcome {
         let slots_elapsed = self.state.now;
-        let job_outcomes: Vec<JobOutcome> = self
-            .state
-            .jobs
-            .iter()
-            .map(|j| JobOutcome {
-                id: j.id,
-                class: j.class,
-                arrival_slot: j.arrival_slot,
-                ready_slot: j.ready_slot.expect("completed jobs were ready"),
-                completion_slot: j.completion_slot.expect("run() returned complete"),
-                deadline_slot: j.deadline_slot,
-            })
-            .collect();
+        let mut job_outcomes: Vec<JobOutcome> = Vec::new();
+        let mut in_flight: Vec<InFlightJob> = Vec::new();
+        for j in &self.state.jobs {
+            match j.completion_slot {
+                Some(completion_slot) => job_outcomes.push(JobOutcome {
+                    id: j.id,
+                    class: j.class,
+                    arrival_slot: j.arrival_slot,
+                    ready_slot: j.ready_slot.expect("completed jobs were ready"),
+                    completion_slot,
+                    deadline_slot: j.deadline_slot,
+                }),
+                None => in_flight.push(InFlightJob {
+                    id: j.id,
+                    class: j.class,
+                    arrival_slot: j.arrival_slot,
+                    ready_slot: j.ready_slot,
+                    done_work: j.done_work,
+                    remaining_work: j.remaining_actual(),
+                    deadline_slot: j.deadline_slot,
+                }),
+            }
+        }
         let workflow_outcomes: Vec<WorkflowOutcome> = self
             .state
             .workflows
             .iter()
-            .map(|w| {
+            .filter_map(|w| {
                 let completion = w
                     .job_ids
                     .iter()
-                    .map(|id| {
-                        self.state.jobs[self.state.by_id[id]]
-                            .completion_slot
-                            .expect("complete")
-                    })
+                    .map(|id| self.state.jobs[self.state.by_id[id]].completion_slot)
+                    .collect::<Option<Vec<u64>>>()?
+                    .into_iter()
                     .max()
                     .expect("workflows are non-empty");
-                WorkflowOutcome {
+                Some(WorkflowOutcome {
                     id: w.submission.workflow.id(),
                     deadline_slot: w.submission.workflow.deadline_slot(),
                     completion_slot: completion,
-                }
+                })
             })
             .collect();
         SimOutcome {
@@ -334,6 +466,8 @@ impl Engine {
             timeline: self.timeline,
             placement_shortfalls: self.nodes.is_some().then_some(self.placement_shortfalls),
             solver_telemetry,
+            engine_telemetry: self.telemetry,
+            in_flight,
         }
     }
 }
@@ -391,6 +525,7 @@ mod tests {
         let engine = Engine::new(cluster(8), wl, 100).unwrap();
         let out = engine.run(&mut Greedy).unwrap();
         assert_eq!(out.metrics.completed_jobs(), 1);
+        assert!(out.is_complete());
         let j = &out.metrics.jobs[0];
         // 16 task-slots of work at up to 8 concurrent tasks: 2 slots.
         assert_eq!(j.arrival_slot, 3);
@@ -526,17 +661,54 @@ mod tests {
         }
         let mut wl = SimWorkload::default();
         wl.adhoc.push(AdhocSubmission::new(spec(1, 1), 0));
-        let err = Engine::new(cluster(8), wl, 5)
+        let out = Engine::new(cluster(8), wl, 5)
             .unwrap()
             .run(&mut Lazy)
-            .unwrap_err();
-        assert_eq!(
-            err,
-            SimError::HorizonExhausted {
-                max_slots: 5,
-                incomplete: 1
-            }
-        );
+            .unwrap();
+        // The job never ran: the run is incomplete but *not* an error, and
+        // the untouched job is drained into `in_flight`.
+        assert!(!out.is_complete());
+        assert_eq!(out.slots_elapsed, 5);
+        assert_eq!(out.metrics.completed_jobs(), 0);
+        assert_eq!(out.in_flight.len(), 1);
+        let j = &out.in_flight[0];
+        assert_eq!(j.done_work, 0);
+        assert_eq!(j.remaining_work, 1);
+    }
+
+    #[test]
+    fn horizon_drain_reports_partial_progress() {
+        // A 1-wide job with 10 task-slots of work against a 5-slot horizon:
+        // half the work lands, and the drained record says exactly that.
+        let mut wl = SimWorkload::default();
+        wl.adhoc.push(AdhocSubmission::new(spec(1, 10), 0));
+        wl.workflows.push(chain_workflow(0, 100));
+        let out = Engine::new(cluster(8), wl, 5)
+            .unwrap()
+            .run(&mut Greedy)
+            .unwrap();
+        assert!(!out.is_complete());
+        // Both workflow jobs finish within 5 slots; the ad-hoc job cannot.
+        assert_eq!(out.metrics.completed_jobs(), 2);
+        assert_eq!(out.metrics.workflows.len(), 1);
+        assert_eq!(out.in_flight.len(), 1);
+        let j = &out.in_flight[0];
+        assert!(j.class.is_adhoc());
+        assert_eq!(j.done_work, 5);
+        assert_eq!(j.remaining_work, 5);
+
+        // A workflow cut off mid-DAG is excluded from workflow outcomes.
+        let mut wl2 = SimWorkload::default();
+        wl2.workflows.push(chain_workflow(0, 100));
+        let out2 = Engine::new(cluster(8), wl2, 3)
+            .unwrap()
+            .run(&mut Greedy)
+            .unwrap();
+        assert!(!out2.is_complete());
+        assert_eq!(out2.metrics.completed_jobs(), 1);
+        assert!(out2.metrics.workflows.is_empty());
+        assert_eq!(out2.in_flight.len(), 1);
+        assert!(out2.in_flight[0].ready_slot.is_some());
     }
 
     #[test]
@@ -589,6 +761,53 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn incremental_views_match_full_rescan_every_slot() {
+        // Dependency releases, staggered arrivals, and completions all
+        // mutate the incremental indices; a scheduler that re-derives both
+        // views from a full scan each slot must always agree with them.
+        struct Auditing {
+            inner: Greedy,
+        }
+        impl Scheduler for Auditing {
+            fn name(&self) -> &str {
+                "auditing"
+            }
+            fn plan_slot(&mut self, state: &SimState) -> Allocation {
+                let now = state.now();
+                let visible = state.visible_jobs();
+                let runnable: Vec<_> = state.runnable_jobs().iter().map(|v| v.id).collect();
+                // The runnable set is exactly the ready subset of the
+                // visible set, in the same (arrival, id) order, and every
+                // indexed job has arrived.
+                let expect: Vec<_> = visible
+                    .iter()
+                    .filter(|v| v.ready_slot.is_some_and(|r| r <= now))
+                    .map(|v| v.id)
+                    .collect();
+                assert_eq!(runnable, expect);
+                let mut keys: Vec<_> = visible.iter().map(|v| (v.arrival_slot, v.id)).collect();
+                keys.dedup();
+                assert!(keys.windows(2).all(|w| w[0] < w[1]), "sorted, unique");
+                for v in &visible {
+                    assert!(v.arrival_slot <= now);
+                    assert!(state.job(v.id).is_some());
+                }
+                self.inner.plan_slot(state)
+            }
+        }
+        let mut wl = SimWorkload::default();
+        wl.workflows.push(chain_workflow(0, 100));
+        wl.adhoc.push(AdhocSubmission::new(spec(2, 3), 2));
+        wl.adhoc.push(AdhocSubmission::new(spec(1, 1), 7));
+        let out = Engine::new(cluster(8), wl, 200)
+            .unwrap()
+            .run(&mut Auditing { inner: Greedy })
+            .unwrap();
+        assert!(out.is_complete());
+        assert_eq!(out.metrics.completed_jobs(), 4);
     }
 
     #[test]
@@ -685,6 +904,36 @@ mod tests {
     }
 
     #[test]
+    fn engine_telemetry_counts_the_run() {
+        let mut wl = SimWorkload::default();
+        wl.adhoc.push(AdhocSubmission::new(spec(8, 2), 3));
+        wl.workflows.push(chain_workflow(0, 100));
+        let out = Engine::new(cluster(8), wl, 100)
+            .unwrap()
+            .run(&mut Greedy)
+            .unwrap();
+        let t = &out.engine_telemetry;
+        assert_eq!(t.slots_simulated, out.slots_elapsed);
+        // Every queued event is eventually consumed: the chain source and
+        // its dependent plus the late ad-hoc arrival all flow through.
+        assert!(t.events_processed >= 3);
+        assert!(t.heap_ops >= t.events_processed);
+        // At its peak the chain job and the ad-hoc job are live together.
+        assert_eq!(t.peak_live_jobs, 2);
+
+        // The counters are deterministic across runs (wall time is not,
+        // but it is excluded from equality).
+        let mut wl2 = SimWorkload::default();
+        wl2.adhoc.push(AdhocSubmission::new(spec(8, 2), 3));
+        wl2.workflows.push(chain_workflow(0, 100));
+        let out2 = Engine::new(cluster(8), wl2, 100)
+            .unwrap()
+            .run(&mut Greedy)
+            .unwrap();
+        assert_eq!(out.engine_telemetry, out2.engine_telemetry);
+    }
+
+    #[test]
     fn empty_workload_finishes_immediately() {
         let out = Engine::new(cluster(8), SimWorkload::default(), 10)
             .unwrap()
@@ -692,5 +941,7 @@ mod tests {
             .unwrap();
         assert_eq!(out.metrics.completed_jobs(), 0);
         assert_eq!(out.slots_elapsed, 0);
+        assert!(out.is_complete());
+        assert_eq!(out.engine_telemetry.slots_simulated, 0);
     }
 }

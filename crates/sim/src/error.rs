@@ -40,6 +40,11 @@ pub enum SimError {
         cap: u64,
     },
     /// The simulation hit its slot bound with incomplete jobs.
+    ///
+    /// [`crate::Engine::run`] no longer returns this: an exhausted run now
+    /// drains unfinished jobs into [`crate::SimOutcome::in_flight`]. The
+    /// variant is kept for harnesses that want to surface exhaustion as a
+    /// hard error after checking [`crate::SimOutcome::is_complete`].
     HorizonExhausted {
         /// The configured bound.
         max_slots: u64,

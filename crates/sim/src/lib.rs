@@ -72,9 +72,12 @@ pub mod faults;
 pub mod invariants;
 pub mod job;
 pub mod metrics;
+#[cfg(any(test, feature = "oracle"))]
+pub mod oracle;
 pub mod placement;
 pub mod scheduler;
 pub mod state;
+pub mod sweep;
 pub mod telemetry;
 pub mod timeline;
 
@@ -84,19 +87,22 @@ pub use error::SimError;
 pub use faults::{FaultConfig, FaultPlan};
 pub use invariants::InvariantChecker;
 pub use job::{AdhocSubmission, JobClass, SimWorkload, WorkflowSubmission};
-pub use metrics::{JobOutcome, Metrics};
+pub use metrics::{InFlightJob, JobOutcome, Metrics};
+#[cfg(any(test, feature = "oracle"))]
+pub use oracle::OracleEngine;
 pub use placement::{NodePool, PackResult};
 pub use scheduler::{Allocation, Scheduler};
 pub use state::{JobView, SimState, WorkflowView};
-pub use telemetry::SolverTelemetry;
+pub use sweep::run_cells;
+pub use telemetry::{EngineTelemetry, SolverTelemetry};
 pub use timeline::{Timeline, TimelineEntry};
 
 /// Convenience re-exports for schedulers and experiment harnesses.
 pub mod prelude {
     pub use crate::job::SimWorkload;
     pub use crate::{
-        AdhocSubmission, Allocation, ClusterConfig, Engine, FaultConfig, FaultPlan, JobClass,
-        JobView, Metrics, Scheduler, SimError, SimOutcome, SimState, SolverTelemetry,
-        WorkflowSubmission, WorkflowView,
+        AdhocSubmission, Allocation, ClusterConfig, Engine, EngineTelemetry, FaultConfig,
+        FaultPlan, InFlightJob, JobClass, JobView, Metrics, Scheduler, SimError, SimOutcome,
+        SimState, SolverTelemetry, WorkflowSubmission, WorkflowView,
     };
 }

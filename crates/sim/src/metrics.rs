@@ -46,6 +46,28 @@ impl JobOutcome {
     }
 }
 
+/// Snapshot of a job still unfinished when the slot horizon ran out.
+///
+/// Reported in [`crate::SimOutcome::in_flight`] so exhausted runs surface
+/// exactly what was dropped rather than erroring the whole simulation away.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InFlightJob {
+    /// Job id.
+    pub id: JobId,
+    /// Workload class.
+    pub class: JobClass,
+    /// Submission slot.
+    pub arrival_slot: u64,
+    /// Slot dependencies were satisfied; `None` if still gated.
+    pub ready_slot: Option<u64>,
+    /// Work completed before the horizon, in task-slots.
+    pub done_work: u64,
+    /// Ground-truth work still outstanding, in task-slots.
+    pub remaining_work: u64,
+    /// Milestone deadline, if tracked.
+    pub deadline_slot: Option<u64>,
+}
+
 /// Final record of one workflow.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct WorkflowOutcome {
@@ -82,8 +104,9 @@ pub struct Metrics {
 }
 
 impl Metrics {
-    /// Number of completed jobs (all of them — a run only ends when
-    /// everything finished).
+    /// Number of completed jobs. On a horizon-exhausted run only the jobs
+    /// that did finish appear here; the rest are listed in
+    /// [`crate::SimOutcome::in_flight`].
     pub fn completed_jobs(&self) -> usize {
         self.jobs.len()
     }

@@ -9,7 +9,7 @@
 use crate::cluster::ClusterConfig;
 use crate::job::{JobClass, JobRuntime, WorkflowSubmission};
 use flowtime_dag::{JobId, ResourceVec, Workflow, WorkflowId};
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 
 /// Scheduler-visible snapshot of one job.
 #[derive(Debug, Clone)]
@@ -83,6 +83,15 @@ pub struct SimState {
     pub(crate) jobs: Vec<JobRuntime>,
     pub(crate) workflows: Vec<WorkflowInstance>,
     pub(crate) by_id: HashMap<JobId, usize>,
+    /// Arrived, ready, incomplete jobs keyed `(arrival_slot, id)` — the
+    /// iteration order [`Self::runnable_jobs`] has always promised.
+    /// Maintained incrementally by the engine's event queue.
+    pub(crate) runnable: BTreeSet<(u64, JobId)>,
+    /// Arrived, incomplete jobs (superset of `runnable`), same key.
+    pub(crate) visible: BTreeSet<(u64, JobId)>,
+    /// Count of jobs not yet complete — lets the engine's run loop test
+    /// for termination without scanning every job each slot.
+    pub(crate) incomplete: usize,
 }
 
 impl SimState {
@@ -144,27 +153,42 @@ impl SimState {
     /// scheduler may allocate to this slot. Ordered by arrival slot, then
     /// id, for determinism.
     pub fn runnable_jobs(&self) -> Vec<JobView> {
-        let mut views: Vec<JobView> = self
-            .jobs
+        self.runnable
             .iter()
-            .filter(|j| j.arrival_slot <= self.now && j.is_runnable(self.now))
-            .map(|j| self.view_of(j))
-            .collect();
-        views.sort_by_key(|v| (v.arrival_slot, v.id));
-        views
+            .map(|&(_, id)| self.view_of(&self.jobs[self.by_id[&id]]))
+            .collect()
     }
 
     /// All arrived, incomplete jobs — including workflow jobs whose
     /// dependencies are still pending (useful for planning ahead).
     pub fn visible_jobs(&self) -> Vec<JobView> {
-        let mut views: Vec<JobView> = self
-            .jobs
+        self.visible
             .iter()
-            .filter(|j| j.arrival_slot <= self.now && !j.is_complete())
-            .map(|j| self.view_of(j))
-            .collect();
-        views.sort_by_key(|v| (v.arrival_slot, v.id));
-        views
+            .map(|&(_, id)| self.view_of(&self.jobs[self.by_id[&id]]))
+            .collect()
+    }
+
+    /// Rebuilds the `runnable`/`visible` indices and the `incomplete`
+    /// counter from a full scan of the job table. The heap engine keeps
+    /// them incrementally; this is the reference path used by the
+    /// linear-scan oracle (and by `Engine::new` to seed the counter).
+    pub(crate) fn rebuild_indices(&mut self) {
+        self.runnable.clear();
+        self.visible.clear();
+        self.incomplete = 0;
+        for job in &self.jobs {
+            if job.is_complete() {
+                continue;
+            }
+            self.incomplete += 1;
+            if job.arrival_slot > self.now {
+                continue;
+            }
+            self.visible.insert((job.arrival_slot, job.id));
+            if job.is_runnable(self.now) {
+                self.runnable.insert((job.arrival_slot, job.id));
+            }
+        }
     }
 
     /// Looks up one job by id (visible only once arrived).

@@ -1,0 +1,127 @@
+//! Work-stealing parallel execution of independent simulation cells.
+//!
+//! Experiment sweeps run many `(scheduler × seed × scenario)` cells, each a
+//! fully isolated simulation: no shared mutable state, no ordering
+//! dependence. [`run_cells`] fans such cells out over `std::thread` scoped
+//! workers with a shared atomic cursor as the work queue — a worker that
+//! finishes early steals the next unclaimed cell, so stragglers never
+//! serialize the sweep — and reassembles results **by cell index**, not by
+//! completion order.
+//!
+//! # Determinism contract
+//!
+//! The output of [`run_cells`] is a pure function of `(cells, run)` and is
+//! byte-for-byte independent of the thread count:
+//!
+//! 1. every cell is computed by exactly one worker, from only the cell's
+//!    own input (the closure gets `&T`, shared immutably);
+//! 2. results travel back tagged with their cell index and are placed into
+//!    a pre-sized slot table, so arrival order is irrelevant;
+//! 3. nothing about scheduling (thread id, steal order, timing) feeds into
+//!    any cell's computation.
+//!
+//! Anything nondeterministic a cell *measures* (e.g. wall time) must be
+//! excluded from serialized output by the cell type itself — the same rule
+//! [`crate::telemetry`] already applies.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+
+/// Runs `run` over every cell, using up to `threads` worker threads, and
+/// returns the results in cell order.
+///
+/// `threads <= 1` runs sequentially on the calling thread — the reference
+/// path the parallel path is property-tested against. Worker count is
+/// capped at the cell count; a panic inside any cell propagates to the
+/// caller (the scope joins all workers first).
+pub fn run_cells<T, R, F>(cells: &[T], threads: usize, run: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    if threads <= 1 || cells.len() <= 1 {
+        return cells.iter().enumerate().map(|(i, c)| run(i, c)).collect();
+    }
+    let workers = threads.min(cells.len());
+    let cursor = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, R)>();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let tx = tx.clone();
+            let cursor = &cursor;
+            let run = &run;
+            scope.spawn(move || loop {
+                // Claim the next unworked cell; this atomic is the entire
+                // work-stealing queue.
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                let Some(cell) = cells.get(i) else {
+                    return;
+                };
+                if tx.send((i, run(i, cell))).is_err() {
+                    return;
+                }
+            });
+        }
+        drop(tx);
+        // Reduce in cell order regardless of completion order.
+        let mut slots: Vec<Option<R>> = Vec::with_capacity(cells.len());
+        slots.resize_with(cells.len(), || None);
+        for (i, r) in rx {
+            slots[i] = Some(r);
+        }
+        slots
+            .into_iter()
+            .map(|s| s.expect("every claimed cell sends exactly one result"))
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_are_in_cell_order_for_any_thread_count() {
+        let cells: Vec<u64> = (0..97).collect();
+        let slow = |i: usize, &c: &u64| {
+            // Uneven cell costs exercise the stealing path.
+            if i.is_multiple_of(7) {
+                std::thread::sleep(std::time::Duration::from_micros(200));
+            }
+            c * c + 1
+        };
+        let sequential = run_cells(&cells, 1, slow);
+        for threads in [2, 3, 8] {
+            assert_eq!(run_cells(&cells, threads, slow), sequential);
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs_work() {
+        let none: Vec<u32> = Vec::new();
+        assert!(run_cells(&none, 8, |_, &c| c).is_empty());
+        assert_eq!(run_cells(&[5u32], 8, |i, &c| (i, c)), vec![(0, 5)]);
+    }
+
+    #[test]
+    fn every_cell_runs_exactly_once() {
+        use std::sync::atomic::AtomicU32;
+        let hits: Vec<AtomicU32> = (0..64).map(|_| AtomicU32::new(0)).collect();
+        let cells: Vec<usize> = (0..64).collect();
+        run_cells(&cells, 8, |i, _| hits[i].fetch_add(1, Ordering::SeqCst));
+        assert!(hits.iter().all(|h| h.load(Ordering::SeqCst) == 1));
+    }
+
+    #[test]
+    fn worker_panics_propagate() {
+        let cells: Vec<u32> = (0..16).collect();
+        let res = std::panic::catch_unwind(|| {
+            run_cells(&cells, 4, |_, &c| {
+                assert!(c != 9, "boom");
+                c
+            })
+        });
+        assert!(res.is_err());
+    }
+}

@@ -199,6 +199,85 @@ fn flowtime_misses_at_most_edf_under_misestimation() {
     );
 }
 
+/// Metamorphic oracle check: the event-heap engine must reproduce the
+/// historical linear-scan engine (preserved as
+/// [`flowtime_sim::OracleEngine`] behind the `oracle` feature) exactly —
+/// same event timeline, same metrics, same serialized [`SimOutcome`] — on
+/// the same fault-injected corpus the differential suite runs, for every
+/// scheduler. Engine telemetry is the one intentional difference (the
+/// oracle reports no hot-path counters), so the heap engine's counters are
+/// normalized away before comparison.
+#[test]
+fn heap_engine_matches_linear_scan_oracle_on_fault_corpus() {
+    use flowtime_sim::OracleEngine;
+
+    let cluster = testbed_cluster();
+    let exp = experiment();
+    for fault_seed in 0..6u64 {
+        let (workload, faulted_cluster) =
+            faulted_instance(&exp, &cluster, FaultConfig::mixed(fault_seed));
+        for algo in Algo::FIG4 {
+            let mut heap_sched = algo.make(&faulted_cluster);
+            let mut heap = Engine::new(faulted_cluster.clone(), workload.clone(), 1_000_000)
+                .expect("valid workload")
+                .with_timeline()
+                .run(heap_sched.as_mut())
+                .unwrap_or_else(|e| panic!("{}: heap engine failed: {e}", algo.name()));
+            let mut oracle_sched = algo.make(&faulted_cluster);
+            let oracle = OracleEngine::new(faulted_cluster.clone(), workload.clone(), 1_000_000)
+                .expect("valid workload")
+                .with_timeline()
+                .run(oracle_sched.as_mut())
+                .unwrap_or_else(|e| panic!("{}: oracle engine failed: {e}", algo.name()));
+            heap.engine_telemetry = EngineTelemetry::default();
+            assert_eq!(
+                serde_json::to_string(&heap).unwrap(),
+                serde_json::to_string(&oracle).unwrap(),
+                "seed {fault_seed}: {} diverged from the linear-scan oracle",
+                algo.name()
+            );
+        }
+    }
+}
+
+/// The oracle agreement must also hold on the horizon-drain path: with a
+/// horizon too short to finish the workload, both engines report the same
+/// completed set, the same in-flight remainder, and `!is_complete()`.
+#[test]
+fn heap_engine_matches_oracle_when_the_horizon_exhausts() {
+    use flowtime_sim::OracleEngine;
+
+    let cluster = testbed_cluster();
+    let exp = experiment();
+    let (workload, faulted_cluster) = faulted_instance(&exp, &cluster, FaultConfig::mixed(3));
+    for algo in [Algo::FlowTime, Algo::Edf, Algo::Fifo] {
+        for horizon in [10u64, 40] {
+            let mut heap_sched = algo.make(&faulted_cluster);
+            let mut heap = Engine::new(faulted_cluster.clone(), workload.clone(), horizon)
+                .expect("valid workload")
+                .run(heap_sched.as_mut())
+                .expect("drain returns Ok");
+            let mut oracle_sched = algo.make(&faulted_cluster);
+            let oracle = OracleEngine::new(faulted_cluster.clone(), workload.clone(), horizon)
+                .expect("valid workload")
+                .run(oracle_sched.as_mut())
+                .expect("drain returns Ok");
+            assert!(
+                !heap.is_complete(),
+                "{} horizon {horizon}: expected exhaustion",
+                algo.name()
+            );
+            heap.engine_telemetry = EngineTelemetry::default();
+            assert_eq!(
+                serde_json::to_string(&heap).unwrap(),
+                serde_json::to_string(&oracle).unwrap(),
+                "{} horizon {horizon}: drain paths diverged",
+                algo.name()
+            );
+        }
+    }
+}
+
 /// Canary: a scheduler that ignores capacity must be rejected by the
 /// engine's invariant checking on the very same workloads the six real
 /// schedulers pass. Proves the green runs above are not vacuous.
