@@ -291,6 +291,35 @@ pub fn run_outcome(
     outcome
 }
 
+/// Runs `algo` on a workload with decision-trace recording enabled (ring
+/// bound [`flowtime_sim::DEFAULT_TRACE_CAPACITY`]), returning the outcome
+/// together with the recorded trace. The outcome is bit-identical to
+/// [`run_outcome`] — tracing only observes.
+///
+/// # Panics
+///
+/// Same contract as [`run_outcome`].
+pub fn run_outcome_traced(
+    algo: Algo,
+    cluster: &ClusterConfig,
+    workload: SimWorkload,
+) -> (flowtime_sim::SimOutcome, flowtime_sim::DecisionTrace) {
+    let mut scheduler = algo.make(cluster);
+    let (engine, handle) = Engine::new(cluster.clone(), workload, 1_000_000)
+        .expect("valid workload")
+        .with_trace(flowtime_sim::DEFAULT_TRACE_CAPACITY);
+    let outcome = engine
+        .run(scheduler.as_mut())
+        .unwrap_or_else(|e| panic!("{} failed: {e}", algo.name()));
+    assert!(
+        outcome.is_complete(),
+        "{}: horizon exhausted with {} jobs in flight",
+        algo.name(),
+        outcome.in_flight.len()
+    );
+    (outcome, handle.take())
+}
+
 /// One row of the Fig. 4/5 comparison tables.
 #[derive(Debug, Clone, Serialize)]
 pub struct SummaryRow {

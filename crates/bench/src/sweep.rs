@@ -93,6 +93,11 @@ pub struct SweepSpec {
     pub schedulers: Vec<Algo>,
     /// Fault seeds, in report order.
     pub fault_seeds: Vec<u64>,
+    /// When true, every cell additionally records a decision trace and the
+    /// offline auditor ([`flowtime_sim::certify`]) must certify the run; a
+    /// rejected cell aborts the sweep. The report's bytes are unchanged by
+    /// this flag — auditing only verifies.
+    pub audit: bool,
 }
 
 /// One cell of the expanded grid.
@@ -108,6 +113,8 @@ struct SweepCell {
 struct CellOutcome {
     row: SweepCellRow,
     adhoc_turnaround_slots: Vec<u64>,
+    /// Worst per-node milestone overrun of the cell: `(slots, "wf-X:nY")`.
+    top_culprit: Option<(u64, String)>,
     solver: Option<SolverTelemetry>,
     engine: EngineTelemetry,
 }
@@ -131,6 +138,9 @@ pub struct SweepCellRow {
     pub workflow_misses: usize,
     /// Mean ad-hoc turnaround in seconds (0 when no ad-hoc jobs ran).
     pub adhoc_turnaround_s: f64,
+    /// Total milestone overrun across the cell's deadline-miss attribution
+    /// reports, in slots (which node set consumed the decomposed slack).
+    pub overrun_slots: u64,
     /// Slots simulated.
     pub slots_elapsed: u64,
 }
@@ -159,6 +169,12 @@ pub struct SweepRollup {
     pub adhoc_p90_s: f64,
     /// 99th percentile, same pooling.
     pub adhoc_p99_s: f64,
+    /// Total milestone overrun across cells, in slots.
+    pub overrun_slots: u64,
+    /// Worst single-node milestone overrun in the group, rendered as
+    /// `"wf-X:nY +Z"` (empty when no node overran). Ties resolve to the
+    /// first cell/node in canonical order, so the string is deterministic.
+    pub top_overrun_node: String,
     /// Solver-effort counters summed across cells; `None` for solver-free
     /// schedulers.
     pub solver_telemetry: Option<SolverTelemetry>,
@@ -239,6 +255,7 @@ impl SweepSpec {
             scenarios: vec![SweepScenario::mixed_faults()],
             schedulers: Algo::FIG4.to_vec(),
             fault_seeds: (0..fault_seeds as u64).collect(),
+            audit: false,
         }
     }
 
@@ -273,7 +290,22 @@ impl SweepSpec {
         };
         let (workload, cluster) =
             faulted_instance(&exp, &self.cluster, scenario.faults.config(cell.fault_seed));
-        let outcome = crate::experiments::run_outcome(cell.algo, &cluster, workload);
+        let outcome = if self.audit {
+            let (outcome, trace) =
+                crate::experiments::run_outcome_traced(cell.algo, &cluster, workload.clone());
+            let report = flowtime_sim::certify(&cluster, &workload, &outcome, &trace);
+            assert!(
+                report.is_certified(),
+                "audit rejected {} / {} / seed {}: {}",
+                scenario.name,
+                cell.algo.name(),
+                cell.fault_seed,
+                report.summary()
+            );
+            outcome
+        } else {
+            crate::experiments::run_outcome(cell.algo, &cluster, workload)
+        };
         cell_outcome(scenario, cell, &outcome)
     }
 
@@ -372,6 +404,24 @@ fn cell_outcome(scenario: &SweepScenario, cell: &SweepCell, outcome: &SimOutcome
     let mut adhoc_turnaround_slots: Vec<u64> =
         metrics.adhoc_jobs().map(|j| j.turnaround_slots()).collect();
     adhoc_turnaround_slots.sort_unstable();
+    let overrun_slots: u64 = outcome
+        .deadline_attribution
+        .iter()
+        .map(|a| a.total_overrun_slots)
+        .sum();
+    // Strict `>` keeps the first maximum in (workflow, node) order, so the
+    // pick is deterministic.
+    let mut top_culprit: Option<(u64, String)> = None;
+    for a in &outcome.deadline_attribution {
+        for c in &a.culprits {
+            if top_culprit
+                .as_ref()
+                .is_none_or(|(best, _)| c.overrun_slots > *best)
+            {
+                top_culprit = Some((c.overrun_slots, format!("{}:n{}", a.workflow, c.node)));
+            }
+        }
+    }
     CellOutcome {
         row: SweepCellRow {
             scenario: scenario.name.clone(),
@@ -382,9 +432,11 @@ fn cell_outcome(scenario: &SweepScenario, cell: &SweepCell, outcome: &SimOutcome
             job_misses: metrics.job_deadline_misses(),
             workflow_misses: metrics.workflow_deadline_misses(),
             adhoc_turnaround_s: metrics.avg_adhoc_turnaround_seconds().unwrap_or(0.0),
+            overrun_slots,
             slots_elapsed: outcome.slots_elapsed,
         },
         adhoc_turnaround_slots,
+        top_culprit,
         solver: outcome.solver_telemetry.clone(),
         engine: outcome.engine_telemetry.clone(),
     }
@@ -400,12 +452,20 @@ fn rollup(
     let mut job_misses = 0usize;
     let mut workflow_misses = 0usize;
     let mut pooled: Vec<u64> = Vec::new();
+    let mut overrun_slots = 0u64;
+    let mut top: Option<(u64, String)> = None;
     let mut solver: Option<SolverTelemetry> = None;
     let mut engine = EngineTelemetry::default();
     for o in group {
         deadline_jobs += o.row.deadline_jobs;
         job_misses += o.row.job_misses;
         workflow_misses += o.row.workflow_misses;
+        overrun_slots += o.row.overrun_slots;
+        if let Some((ov, label)) = &o.top_culprit {
+            if top.as_ref().is_none_or(|(best, _)| *ov > *best) {
+                top = Some((*ov, label.clone()));
+            }
+        }
         pooled.extend_from_slice(&o.adhoc_turnaround_slots);
         if let Some(t) = &o.solver {
             solver
@@ -430,6 +490,8 @@ fn rollup(
         adhoc_p50_s: percentile_seconds(&pooled, 0.50, slot_seconds),
         adhoc_p90_s: percentile_seconds(&pooled, 0.90, slot_seconds),
         adhoc_p99_s: percentile_seconds(&pooled, 0.99, slot_seconds),
+        overrun_slots,
+        top_overrun_node: top.map(|(ov, l)| format!("{l} +{ov}")).unwrap_or_default(),
         solver_telemetry: solver,
         engine_telemetry: engine,
     }
@@ -451,6 +513,7 @@ mod tests {
             scenarios: vec![SweepScenario::clean(), SweepScenario::mixed_faults()],
             schedulers: vec![Algo::Edf, Algo::Fifo],
             fault_seeds: vec![0, 1],
+            audit: false,
         }
     }
 
@@ -497,6 +560,19 @@ mod tests {
             assert!(r.adhoc_p50_s <= r.adhoc_p90_s && r.adhoc_p90_s <= r.adhoc_p99_s);
             assert!(r.engine_telemetry.slots_simulated > 0);
         }
+    }
+
+    #[test]
+    fn audited_sweep_certifies_and_leaves_report_bytes_unchanged() {
+        let spec = tiny_spec();
+        let plain = serde_json::to_string_pretty(&spec.run(1).report).unwrap();
+        let audited_spec = SweepSpec {
+            audit: true,
+            ..spec
+        };
+        // run() panics inside a cell if the auditor rejects it.
+        let audited = serde_json::to_string_pretty(&audited_spec.run(2).report).unwrap();
+        assert_eq!(plain, audited);
     }
 
     #[test]

@@ -1,0 +1,66 @@
+//! Bad-path behaviour of the `trace_sim` binary: missing or malformed
+//! trace files must produce a clear error on stderr and a nonzero exit
+//! code, never a panic.
+
+use std::process::Command;
+
+fn trace_sim() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_trace_sim"))
+}
+
+#[test]
+fn missing_load_path_errors_cleanly() {
+    let out = trace_sim()
+        .args(["--load", "/nonexistent/definitely-missing.jsonl"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("cannot open trace file"),
+        "stderr: {stderr}"
+    );
+    assert!(
+        !stderr.contains("panicked"),
+        "must not panic on a missing path: {stderr}"
+    );
+}
+
+#[test]
+fn malformed_trace_errors_cleanly() {
+    let dir = std::env::temp_dir().join(format!("trace_sim_cli_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("garbage.jsonl");
+    std::fs::write(&path, "this is not json\n").unwrap();
+    let out = trace_sim()
+        .args(["--load", path.to_str().unwrap()])
+        .output()
+        .expect("binary runs");
+    std::fs::remove_dir_all(&dir).ok();
+    assert!(!out.status.success());
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("malformed trace file"), "stderr: {stderr}");
+    assert!(!stderr.contains("panicked"), "must not panic: {stderr}");
+}
+
+#[test]
+fn unwritable_save_path_errors_cleanly() {
+    let out = trace_sim()
+        .args([
+            "--workflows",
+            "1",
+            "--save",
+            "/nonexistent-dir/trace-out.jsonl",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("cannot create trace file"),
+        "stderr: {stderr}"
+    );
+}

@@ -22,14 +22,17 @@ USAGE:
   flowtime-cli generate  --out <trace.jsonl> [--workflows N] [--seed S]
                          [--cores C] [--mem-mb M] [--looseness X]
   flowtime-cli simulate  --trace <trace.jsonl> --scheduler <name>
-                         [--out metrics.json] [--gantt] [--no-plan-cache]
-                         [FAULTS]
+                         [--out metrics.json] [--outcome-out outcome.json]
+                         [--trace-out decisions.jsonl] [--gantt]
+                         [--no-plan-cache] [FAULTS]
   flowtime-cli compare   --trace <trace.jsonl> [--no-plan-cache] [FAULTS]
   flowtime-cli decompose --trace <trace.jsonl> [--index I] [--slack S]
+  flowtime-cli audit     --trace <trace.jsonl> --decision-trace <d.jsonl>
+                         --outcome <outcome.json> [FAULTS]
   flowtime-cli sweep     [--threads N] [--seeds A..B] [--schedulers a,b,..]
                          [--scenarios clean,mixed-faults] [--workflows N]
                          [--jobs N] [--adhoc-horizon S] [--seed S]
-                         [--out NAME] [--bench-threads 1,2,..]
+                         [--out NAME] [--bench-threads 1,2,..] [--audit]
 
 SCHEDULERS: flowtime, flowtime-no-ds, edf, fifo, fair, cora, morpheus
 
@@ -49,6 +52,7 @@ pub fn dispatch(argv: &[String]) -> CliResult {
         Some("simulate") => simulate(&args),
         Some("compare") => compare(&args),
         Some("decompose") => decompose_cmd(&args),
+        Some("audit") => audit_cmd(&args),
         Some("sweep") => sweep_cmd(&args),
         Some("help") | None => {
             print!("{USAGE}");
@@ -211,7 +215,35 @@ fn simulate(args: &Args) -> CliResult {
     if want_gantt {
         engine = engine.with_timeline();
     }
-    let outcome = engine.run(scheduler.as_mut())?;
+    let outcome;
+    if let Some(trace_out) = args.get("trace-out") {
+        let (traced, handle) = engine.with_trace(flowtime_sim::DEFAULT_TRACE_CAPACITY);
+        outcome = traced.run(scheduler.as_mut())?;
+        let decisions = handle.take();
+        let file =
+            File::create(trace_out).map_err(|e| format!("cannot create {trace_out}: {e}"))?;
+        decisions.write_jsonl(BufWriter::new(file))?;
+        println!(
+            "decision trace ({} events) written to {trace_out}",
+            decisions.recorded()
+        );
+        // Self-check: the auditor must certify the run it just watched.
+        let report = flowtime_sim::certify(&trace.cluster, &trace.workload, &outcome, &decisions);
+        println!("{:<16} {}", "audit", report.summary());
+        if !report.is_certified() {
+            for v in &report.violations {
+                eprintln!("  {v}");
+            }
+            return Err("auditor rejected the traced run (engine bug?)".into());
+        }
+    } else {
+        outcome = engine.run(scheduler.as_mut())?;
+    }
+    if let Some(out) = args.get("outcome-out") {
+        let file = File::create(out).map_err(|e| format!("cannot create {out}: {e}"))?;
+        serde_json::to_writer_pretty(BufWriter::new(file), &outcome)?;
+        println!("full outcome written to {out}");
+    }
     let metrics = outcome.metrics;
     println!("{}", summary_line(scheduler.name(), &metrics));
     if let Some(t) = &outcome.solver_telemetry {
@@ -227,6 +259,49 @@ fn simulate(args: &Args) -> CliResult {
         let file = File::create(out).map_err(|e| format!("cannot create {out}: {e}"))?;
         serde_json::to_writer_pretty(BufWriter::new(file), &metrics)?;
         println!("full metrics written to {out}");
+    }
+    Ok(())
+}
+
+/// Offline certification: replays a decision trace against the scenario it
+/// claims to describe and the outcome the engine reported, sharing no state
+/// with the engine. The scenario is re-derived exactly as `simulate` does
+/// (same milestone attachment, same fault flags), so pass the same FAULTS
+/// that produced the run.
+fn audit_cmd(args: &Args) -> CliResult {
+    let mut trace = load_trace(args)?;
+    attach_milestones(&mut trace);
+    apply_faults(args, &mut trace)?;
+    let dpath = args
+        .get("decision-trace")
+        .ok_or("--decision-trace <file> is required")?;
+    let file = File::open(dpath).map_err(|e| format!("cannot open {dpath}: {e}"))?;
+    let decisions = flowtime_sim::DecisionTrace::read_jsonl(BufReader::new(file))
+        .map_err(|e| format!("malformed decision trace {dpath}: {e}"))?;
+    let opath = args.get("outcome").ok_or("--outcome <file> is required")?;
+    let raw = std::fs::read_to_string(opath).map_err(|e| format!("cannot open {opath}: {e}"))?;
+    let outcome: flowtime_sim::SimOutcome =
+        serde_json::from_str(&raw).map_err(|e| format!("malformed outcome {opath}: {e}"))?;
+    let report = flowtime_sim::certify(&trace.cluster, &trace.workload, &outcome, &decisions);
+    println!("{}", report.summary());
+    if !report.is_certified() {
+        for v in &report.violations {
+            eprintln!("  {v}");
+        }
+        return Err(format!("audit failed with {} violation(s)", report.violations.len()).into());
+    }
+    for a in &report.attribution {
+        if a.missed() {
+            let top = a
+                .top_culprit()
+                .map(|c| format!("{} node {} (+{} slots)", c.job, c.node, c.overrun_slots))
+                .unwrap_or_else(|| "no single culprit".into());
+            println!(
+                "  {} missed by {} slot(s): dominant slack consumer {top}",
+                a.workflow,
+                a.completion_slot - a.deadline_slot
+            );
+        }
     }
     Ok(())
 }
@@ -304,6 +379,7 @@ fn sweep_cmd(args: &Args) -> CliResult {
         scenarios,
         schedulers,
         fault_seeds,
+        audit: args.has("audit"),
     };
     // Validate the bench axis up front, before spending minutes on the
     // sweep itself.
@@ -568,6 +644,79 @@ mod tests {
             cached, uncached,
             "the plan cache must never change scheduling decisions"
         );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn simulate_trace_out_then_audit_round_trip() {
+        let dir = std::env::temp_dir().join("flowtime-cli-test-audit");
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace_path = dir.join("t.jsonl");
+        let decisions_path = dir.join("d.jsonl");
+        let outcome_path = dir.join("o.json");
+        dispatch(&argv(&[
+            "generate",
+            "--out",
+            trace_path.to_str().unwrap(),
+            "--workflows",
+            "2",
+            "--cores",
+            "64",
+            "--seed",
+            "3",
+        ]))
+        .unwrap();
+        dispatch(&argv(&[
+            "simulate",
+            "--trace",
+            trace_path.to_str().unwrap(),
+            "--scheduler",
+            "edf",
+            "--trace-out",
+            decisions_path.to_str().unwrap(),
+            "--outcome-out",
+            outcome_path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        // The offline auditor certifies the artifacts the run produced.
+        dispatch(&argv(&[
+            "audit",
+            "--trace",
+            trace_path.to_str().unwrap(),
+            "--decision-trace",
+            decisions_path.to_str().unwrap(),
+            "--outcome",
+            outcome_path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        // Auditing against the wrong scenario (faults the run never saw)
+        // must fail.
+        assert!(dispatch(&argv(&[
+            "audit",
+            "--trace",
+            trace_path.to_str().unwrap(),
+            "--decision-trace",
+            decisions_path.to_str().unwrap(),
+            "--outcome",
+            outcome_path.to_str().unwrap(),
+            "--fault-seed",
+            "42",
+            "--submit-delay",
+            "5",
+        ]))
+        .is_err());
+        // Missing inputs are reported, not panicked on.
+        assert!(dispatch(&argv(&["audit", "--trace", trace_path.to_str().unwrap()])).is_err());
+        assert!(dispatch(&argv(&[
+            "audit",
+            "--trace",
+            trace_path.to_str().unwrap(),
+            "--decision-trace",
+            "/nonexistent/d.jsonl",
+            "--outcome",
+            outcome_path.to_str().unwrap(),
+        ]))
+        .is_err());
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -93,6 +93,10 @@ impl Scheduler for CoraScheduler {
         "CORA"
     }
 
+    fn decision_tag(&self) -> &'static str {
+        "utility-waterfill"
+    }
+
     fn plan_slot(&mut self, state: &SimState) -> Allocation {
         self.absorb_arrivals(state);
         let now = state.now();

@@ -38,6 +38,10 @@ impl Scheduler for EdfScheduler {
         "EDF"
     }
 
+    fn decision_tag(&self) -> &'static str {
+        "edf-greedy"
+    }
+
     fn plan_slot(&mut self, state: &SimState) -> Allocation {
         let workflow_deadline: HashMap<WorkflowId, u64> = state
             .workflows()

@@ -33,6 +33,10 @@ impl Scheduler for FairScheduler {
         "Fair"
     }
 
+    fn decision_tag(&self) -> &'static str {
+        "fair-share"
+    }
+
     fn plan_slot(&mut self, state: &SimState) -> Allocation {
         let jobs = state.runnable_jobs();
         let refs: Vec<&_> = jobs.iter().collect();

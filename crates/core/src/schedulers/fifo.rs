@@ -32,6 +32,10 @@ impl Scheduler for FifoScheduler {
         "FIFO"
     }
 
+    fn decision_tag(&self) -> &'static str {
+        "fifo-greedy"
+    }
+
     fn plan_slot(&mut self, state: &SimState) -> Allocation {
         let mut filler = SlotFiller::new(state.capacity_now());
         // runnable_jobs() is already sorted by (arrival, id).

@@ -404,6 +404,14 @@ impl Scheduler for FlowTimeScheduler {
         Some(self.telemetry.clone())
     }
 
+    fn decision_tag(&self) -> &'static str {
+        if self.degraded {
+            "degraded-greedy"
+        } else {
+            "lp-plan"
+        }
+    }
+
     fn plan_slot(&mut self, state: &SimState) -> Allocation {
         self.refresh_regime(state);
         let arrived = self.absorb_arrivals(state);

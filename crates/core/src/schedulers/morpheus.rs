@@ -171,6 +171,10 @@ impl Scheduler for MorpheusScheduler {
         "Morpheus"
     }
 
+    fn decision_tag(&self) -> &'static str {
+        "reservation-backfill"
+    }
+
     fn plan_slot(&mut self, state: &SimState) -> Allocation {
         self.absorb_arrivals(state);
         let now = state.now();

@@ -1,0 +1,1035 @@
+//! Offline certifying auditor for decision traces.
+//!
+//! [`certify`] replays a [`DecisionTrace`] against the scenario that
+//! produced it (cluster + workload) and independently re-verifies the run:
+//! DAG precedence, capacity conservation, parallelism caps, work
+//! accounting, completion/readiness/turnaround arithmetic, the
+//! deadline-decomposition metrics, and the deadline-miss attribution
+//! report. Unlike the in-engine [`crate::InvariantChecker`], the auditor
+//! shares **no state** with the engine: it rebuilds the job table from the
+//! workload alone (using the documented id-assignment contract of
+//! [`crate::Engine::new`]: workflow jobs first, in submission order and
+//! node order, then ad-hoc jobs) and trusts nothing but the scenario
+//! files. An engine bug that corrupts its own bookkeeping is invisible to
+//! the engine's checker but not to this one.
+//!
+//! # Violation catalogue
+//!
+//! Each failed check yields an [`AuditViolation`] with a stable `code`:
+//!
+//! | code | meaning |
+//! |------|---------|
+//! | `trace-truncated` | the ring buffer dropped events; replay impossible |
+//! | `header-mismatch` | trace header disagrees with the scenario |
+//! | `event-order` | event slots are not non-decreasing |
+//! | `unknown-job` | an event names a job the scenario does not define |
+//! | `arrival-violation` | a grant or arrival precedes the submission slot |
+//! | `precedence-inversion` | a grant precedes a DAG predecessor's finish |
+//! | `capacity-overflow` | a slot's grants exceed the capacity in force |
+//! | `parallelism-exceeded` | a grant exceeds the job's concurrency cap |
+//! | `work-mismatch` | granted work disagrees with the finish accounting |
+//! | `preempt-mismatch` | a preempt event contradicts the grant record |
+//! | `finish-missing` | a completed job has no finish event |
+//! | `finish-spurious` | a finish event is duplicated, premature, or for an unfinished job |
+//! | `completion-mismatch` | outcome completion slots disagree with the trace |
+//! | `ready-mismatch` | readiness disagrees with predecessor finishes |
+//! | `turnaround-mismatch` | turnaround arithmetic is inconsistent |
+//! | `deadline-drift` | recorded deadlines drifted from the scenario's |
+//! | `deadline-accounting` | job deadline-miss counts do not recount |
+//! | `workflow-accounting` | workflow outcomes do not recount |
+//! | `attribution-mismatch` | the attribution report does not recompute |
+//! | `load-mismatch` | per-slot loads/capacities disagree with the grants |
+//! | `in-flight-mismatch` | drained-job progress disagrees with the trace |
+
+use crate::cluster::ClusterConfig;
+use crate::engine::SimOutcome;
+use crate::job::{JobClass, SimWorkload};
+use crate::metrics::{MissAttribution, NodeSlackUse};
+use crate::trace::{DecisionTrace, TraceEvent};
+use flowtime_dag::{JobId, ResourceVec};
+use std::collections::BTreeMap;
+
+/// One failed audit check.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AuditViolation {
+    /// Stable check identifier (see the [module docs](self)).
+    pub code: &'static str,
+    /// Slot the violation concerns (0 for run-level checks).
+    pub slot: u64,
+    /// The job concerned, when the check is per-job.
+    pub job: Option<JobId>,
+    /// Human-readable description.
+    pub detail: String,
+}
+
+impl std::fmt::Display for AuditViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.job {
+            Some(job) => write!(
+                f,
+                "[{}] slot {} {}: {}",
+                self.code, self.slot, job, self.detail
+            ),
+            None => write!(f, "[{}] slot {}: {}", self.code, self.slot, self.detail),
+        }
+    }
+}
+
+/// Result of auditing one run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AuditReport {
+    /// Every failed check, in detection order.
+    pub violations: Vec<AuditViolation>,
+    /// The deadline-miss attribution recomputed independently from the
+    /// scenario and the certified completions.
+    pub attribution: Vec<MissAttribution>,
+    /// Number of trace events examined.
+    pub events_checked: u64,
+}
+
+impl AuditReport {
+    /// True when every check passed.
+    pub fn is_certified(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// True when a violation with the given code was detected.
+    pub fn has(&self, code: &str) -> bool {
+        self.violations.iter().any(|v| v.code == code)
+    }
+
+    /// One-line human summary.
+    pub fn summary(&self) -> String {
+        if self.is_certified() {
+            format!("certified: {} events checked", self.events_checked)
+        } else {
+            format!(
+                "REJECTED: {} violation(s) over {} events (first: {})",
+                self.violations.len(),
+                self.events_checked,
+                self.violations[0]
+            )
+        }
+    }
+}
+
+/// The auditor's independent view of one job, rebuilt from the workload.
+struct AuditJob {
+    id: JobId,
+    class: JobClass,
+    per_task: ResourceVec,
+    parallel_cap: u64,
+    actual_work: u64,
+    arrival_slot: u64,
+    deadline_slot: Option<u64>,
+    /// Indices (into the audit table) of DAG predecessors.
+    preds: Vec<usize>,
+}
+
+/// The auditor's view of one workflow submission.
+struct AuditWorkflow {
+    id: flowtime_dag::WorkflowId,
+    deadline_slot: u64,
+    job_idxs: Vec<usize>,
+    milestones: Option<Vec<u64>>,
+}
+
+/// Replayed per-job dynamic state.
+#[derive(Default, Clone)]
+struct Replay {
+    arrival_event: Option<u64>,
+    ready_event: Option<u64>,
+    first_grant: Option<u64>,
+    done_work: u64,
+    finish: Option<(u64, u64)>, // (slot, done_work at finish)
+}
+
+/// Replays `trace` against the scenario and re-verifies `outcome`.
+///
+/// The scenario must be the exact post-fault-injection input the engine
+/// ran (the same `(cluster, workload)` pair passed to
+/// [`crate::Engine::new`]).
+pub fn certify(
+    cluster: &ClusterConfig,
+    workload: &SimWorkload,
+    outcome: &SimOutcome,
+    trace: &DecisionTrace,
+) -> AuditReport {
+    let mut v: Vec<AuditViolation> = Vec::new();
+    let mut push = |code: &'static str, slot: u64, job: Option<JobId>, detail: String| {
+        v.push(AuditViolation {
+            code,
+            slot,
+            job,
+            detail,
+        });
+    };
+
+    // ---- Independent job table from the workload alone. ----------------
+    let (jobs, workflows) = match build_table(workload) {
+        Ok(t) => t,
+        Err(reason) => {
+            push("header-mismatch", 0, None, reason);
+            return AuditReport {
+                violations: v,
+                attribution: Vec::new(),
+                events_checked: 0,
+            };
+        }
+    };
+    let index_of = |id: JobId| -> Option<usize> {
+        let raw = id.as_u64() as usize;
+        (raw < jobs.len() && jobs[raw].id == id).then_some(raw)
+    };
+
+    // ---- Header consistency. -------------------------------------------
+    let h = &trace.header;
+    if h.capacity != cluster.capacity() {
+        push(
+            "header-mismatch",
+            0,
+            None,
+            format!(
+                "header capacity {:?} != cluster {:?}",
+                h.capacity,
+                cluster.capacity()
+            ),
+        );
+    }
+    if h.slot_seconds != cluster.slot_seconds() {
+        push(
+            "header-mismatch",
+            0,
+            None,
+            format!(
+                "header slot_seconds {:?} != cluster {:?}",
+                h.slot_seconds,
+                cluster.slot_seconds()
+            ),
+        );
+    }
+    if h.jobs.len() != jobs.len() {
+        push(
+            "header-mismatch",
+            0,
+            None,
+            format!(
+                "header lists {} jobs, scenario {}",
+                h.jobs.len(),
+                jobs.len()
+            ),
+        );
+    }
+    for (meta, job) in h.jobs.iter().zip(&jobs) {
+        if meta.id != job.id
+            || meta.class != job.class
+            || meta.arrival_slot != job.arrival_slot
+            || meta.actual_work != job.actual_work
+        {
+            push(
+                "header-mismatch",
+                0,
+                Some(job.id),
+                "header job metadata disagrees with the scenario".into(),
+            );
+        }
+        if meta.deadline_slot != job.deadline_slot {
+            push(
+                "deadline-drift",
+                0,
+                Some(job.id),
+                format!(
+                    "header deadline {:?} != scenario {:?}",
+                    meta.deadline_slot, job.deadline_slot
+                ),
+            );
+        }
+    }
+
+    // ---- Event replay. --------------------------------------------------
+    let mut replays: Vec<Replay> = vec![Replay::default(); jobs.len()];
+    let mut usage: BTreeMap<u64, ResourceVec> = BTreeMap::new();
+    let mut grants: BTreeMap<(u64, JobId), u64> = BTreeMap::new();
+    let mut preempts: Vec<(u64, JobId)> = Vec::new();
+    let truncated = trace.dropped() > 0;
+    if truncated {
+        push(
+            "trace-truncated",
+            0,
+            None,
+            format!("{} events dropped by the ring bound", trace.dropped()),
+        );
+    } else {
+        let mut prev_slot = 0u64;
+        for event in trace.events() {
+            let slot = event.slot();
+            if slot < prev_slot {
+                push(
+                    "event-order",
+                    slot,
+                    event.job(),
+                    format!("event at slot {slot} after slot {prev_slot}"),
+                );
+            }
+            prev_slot = prev_slot.max(slot);
+            let idx = match event.job() {
+                Some(id) => match index_of(id) {
+                    Some(i) => Some(i),
+                    None => {
+                        push("unknown-job", slot, Some(id), "not in the scenario".into());
+                        continue;
+                    }
+                },
+                None => None,
+            };
+            match *event {
+                TraceEvent::Arrival { slot, job } => {
+                    let i = idx.expect("job events carry an id");
+                    if slot != jobs[i].arrival_slot {
+                        push(
+                            "arrival-violation",
+                            slot,
+                            Some(job),
+                            format!(
+                                "arrival recorded at {slot}, submitted {}",
+                                jobs[i].arrival_slot
+                            ),
+                        );
+                    }
+                    replays[i].arrival_event = Some(slot);
+                }
+                TraceEvent::Ready { slot, job } => {
+                    let i = idx.expect("job events carry an id");
+                    replays[i].ready_event = Some(slot);
+                    match derived_ready(&jobs, &replays, i) {
+                        Some(expected) if expected == slot => {}
+                        Some(expected) => push(
+                            "ready-mismatch",
+                            slot,
+                            Some(job),
+                            format!("ready recorded at {slot}, derived {expected}"),
+                        ),
+                        None => push(
+                            "precedence-inversion",
+                            slot,
+                            Some(job),
+                            "ready before every predecessor finished".into(),
+                        ),
+                    }
+                }
+                TraceEvent::Grant { slot, job, tasks } => {
+                    let i = idx.expect("job events carry an id");
+                    let j = &jobs[i];
+                    if slot < j.arrival_slot {
+                        push(
+                            "arrival-violation",
+                            slot,
+                            Some(job),
+                            format!("granted before submission slot {}", j.arrival_slot),
+                        );
+                    }
+                    for &p in &j.preds {
+                        match replays[p].finish {
+                            Some((f, _)) if f < slot => {}
+                            _ => push(
+                                "precedence-inversion",
+                                slot,
+                                Some(job),
+                                format!("granted before predecessor {} finished", jobs[p].id),
+                            ),
+                        }
+                    }
+                    if replays[i].finish.is_some() {
+                        push(
+                            "work-mismatch",
+                            slot,
+                            Some(job),
+                            "granted after its finish event".into(),
+                        );
+                    }
+                    let cap = j
+                        .parallel_cap
+                        .min(j.actual_work - replays[i].done_work.min(j.actual_work));
+                    if tasks > cap {
+                        push(
+                            "parallelism-exceeded",
+                            slot,
+                            Some(job),
+                            format!("granted {tasks} tasks, cap {cap}"),
+                        );
+                    }
+                    replays[i].first_grant.get_or_insert(slot);
+                    replays[i].done_work += tasks;
+                    *usage.entry(slot).or_insert_with(ResourceVec::zero) += j.per_task * tasks;
+                    *grants.entry((slot, job)).or_insert(0) += tasks;
+                }
+                TraceEvent::Start { slot, job } => {
+                    let i = idx.expect("job events carry an id");
+                    if replays[i].done_work > 0 {
+                        push(
+                            "work-mismatch",
+                            slot,
+                            Some(job),
+                            "start event after work was already granted".into(),
+                        );
+                    }
+                }
+                TraceEvent::Preempt { slot, job } => preempts.push((slot, job)),
+                TraceEvent::Finish {
+                    slot,
+                    job,
+                    done_work,
+                } => {
+                    let i = idx.expect("job events carry an id");
+                    if replays[i].finish.is_some() {
+                        push(
+                            "finish-spurious",
+                            slot,
+                            Some(job),
+                            "duplicate finish".into(),
+                        );
+                    }
+                    if replays[i].done_work != done_work {
+                        push(
+                            "work-mismatch",
+                            slot,
+                            Some(job),
+                            format!(
+                                "finish claims {done_work} done, grants sum to {}",
+                                replays[i].done_work
+                            ),
+                        );
+                    }
+                    if replays[i].done_work < jobs[i].actual_work {
+                        push(
+                            "finish-spurious",
+                            slot,
+                            Some(job),
+                            format!(
+                                "finished with {} of {} task-slots done",
+                                replays[i].done_work, jobs[i].actual_work
+                            ),
+                        );
+                    }
+                    replays[i].finish = Some((slot, done_work));
+                }
+                TraceEvent::Replan { .. } | TraceEvent::PolicyTag { .. } => {}
+            }
+        }
+
+        // Per-slot capacity conservation against the capacity in force.
+        for (&slot, &used) in &usage {
+            let cap = cluster.capacity_at(slot);
+            if !used.fits_within(&cap) {
+                push(
+                    "capacity-overflow",
+                    slot,
+                    None,
+                    format!("granted {used:?} exceeds capacity {cap:?}"),
+                );
+            }
+        }
+
+        // Preempt events must match the grant record: granted in the
+        // previous slot, unallocated in this one, not yet finished.
+        for (slot, job) in preempts {
+            let legit = slot > 0
+                && grants.contains_key(&(slot - 1, job))
+                && !grants.contains_key(&(slot, job))
+                && index_of(job)
+                    .and_then(|i| replays[i].finish)
+                    .is_none_or(|(f, _)| f >= slot);
+            if !legit {
+                push(
+                    "preempt-mismatch",
+                    slot,
+                    Some(job),
+                    "preempt contradicts the grant record".into(),
+                );
+            }
+        }
+    }
+
+    // ---- Outcome cross-checks (independent of engine state). -----------
+    let mut seen = vec![false; jobs.len()];
+    for out in &outcome.metrics.jobs {
+        let Some(i) = index_of(out.id) else {
+            push(
+                "completion-mismatch",
+                0,
+                Some(out.id),
+                "completed job not in the scenario".into(),
+            );
+            continue;
+        };
+        seen[i] = true;
+        let j = &jobs[i];
+        if out.arrival_slot != j.arrival_slot {
+            push(
+                "turnaround-mismatch",
+                out.completion_slot,
+                Some(out.id),
+                format!(
+                    "outcome arrival {} != scenario {}",
+                    out.arrival_slot, j.arrival_slot
+                ),
+            );
+        }
+        if out.deadline_slot != j.deadline_slot {
+            push(
+                "deadline-drift",
+                out.completion_slot,
+                Some(out.id),
+                format!(
+                    "outcome deadline {:?} != scenario {:?}",
+                    out.deadline_slot, j.deadline_slot
+                ),
+            );
+        }
+        if !truncated {
+            match replays[i].finish {
+                Some((f, _)) => {
+                    if out.completion_slot != f + 1 {
+                        push(
+                            "completion-mismatch",
+                            out.completion_slot,
+                            Some(out.id),
+                            format!(
+                                "completion {} but trace finished at end of {f}",
+                                out.completion_slot
+                            ),
+                        );
+                    }
+                    if out.turnaround_slots() != (f + 1).saturating_sub(j.arrival_slot) {
+                        push(
+                            "turnaround-mismatch",
+                            out.completion_slot,
+                            Some(out.id),
+                            format!(
+                                "turnaround {} != trace-derived {}",
+                                out.turnaround_slots(),
+                                (f + 1).saturating_sub(j.arrival_slot)
+                            ),
+                        );
+                    }
+                }
+                None => push(
+                    "finish-missing",
+                    out.completion_slot,
+                    Some(out.id),
+                    "completed without a finish event".into(),
+                ),
+            }
+            match derived_ready(&jobs, &replays, i) {
+                Some(expected) if expected == out.ready_slot => {}
+                Some(expected) => push(
+                    "ready-mismatch",
+                    out.ready_slot,
+                    Some(out.id),
+                    format!("outcome ready {} != derived {expected}", out.ready_slot),
+                ),
+                None => push(
+                    "precedence-inversion",
+                    out.ready_slot,
+                    Some(out.id),
+                    "completed although a predecessor never finished".into(),
+                ),
+            }
+        }
+    }
+    for inf in &outcome.in_flight {
+        let Some(i) = index_of(inf.id) else {
+            push(
+                "in-flight-mismatch",
+                0,
+                Some(inf.id),
+                "in-flight job not in the scenario".into(),
+            );
+            continue;
+        };
+        if seen[i] {
+            push(
+                "completion-mismatch",
+                0,
+                Some(inf.id),
+                "job is both completed and in flight".into(),
+            );
+        }
+        seen[i] = true;
+        if !truncated {
+            if let Some((f, _)) = replays[i].finish {
+                push(
+                    "finish-spurious",
+                    f,
+                    Some(inf.id),
+                    "finish event for a job reported in flight".into(),
+                );
+            }
+            if inf.done_work != replays[i].done_work
+                || inf.remaining_work != jobs[i].actual_work.saturating_sub(replays[i].done_work)
+            {
+                push(
+                    "in-flight-mismatch",
+                    0,
+                    Some(inf.id),
+                    format!(
+                        "reported {}/{} done, grants sum to {}/{}",
+                        inf.done_work,
+                        inf.done_work + inf.remaining_work,
+                        replays[i].done_work,
+                        jobs[i].actual_work
+                    ),
+                );
+            }
+            let expected_ready = if jobs[i].preds.is_empty() {
+                Some(jobs[i].arrival_slot)
+            } else if jobs[i].preds.iter().all(|&p| replays[p].finish.is_some()) {
+                derived_ready(&jobs, &replays, i)
+            } else {
+                None
+            };
+            if inf.ready_slot != expected_ready {
+                push(
+                    "ready-mismatch",
+                    0,
+                    Some(inf.id),
+                    format!(
+                        "in-flight ready {:?} != derived {:?}",
+                        inf.ready_slot, expected_ready
+                    ),
+                );
+            }
+        }
+    }
+    for (i, covered) in seen.iter().enumerate() {
+        if !covered {
+            push(
+                "completion-mismatch",
+                0,
+                Some(jobs[i].id),
+                "job appears in neither outcomes nor in-flight".into(),
+            );
+        }
+    }
+
+    // ---- Per-slot load records. ----------------------------------------
+    if outcome.metrics.slot_loads.len() as u64 != outcome.slots_elapsed
+        || outcome.metrics.slot_capacities.len() != outcome.metrics.slot_loads.len()
+    {
+        push(
+            "load-mismatch",
+            0,
+            None,
+            format!(
+                "{} load / {} capacity records for {} slots",
+                outcome.metrics.slot_loads.len(),
+                outcome.metrics.slot_capacities.len(),
+                outcome.slots_elapsed
+            ),
+        );
+    }
+    if !truncated {
+        for (s, load) in outcome.metrics.slot_loads.iter().enumerate() {
+            let computed = usage
+                .get(&(s as u64))
+                .copied()
+                .unwrap_or_else(ResourceVec::zero);
+            if *load != computed {
+                push(
+                    "load-mismatch",
+                    s as u64,
+                    None,
+                    format!("recorded load {load:?}, grants sum to {computed:?}"),
+                );
+            }
+        }
+        if let Some((&slot, _)) = usage
+            .iter()
+            .find(|(&s, _)| s >= outcome.metrics.slot_loads.len() as u64)
+        {
+            push(
+                "load-mismatch",
+                slot,
+                None,
+                "grants recorded beyond the simulated range".into(),
+            );
+        }
+    }
+    for (s, cap) in outcome.metrics.slot_capacities.iter().enumerate() {
+        if *cap != cluster.capacity_at(s as u64) {
+            push(
+                "load-mismatch",
+                s as u64,
+                None,
+                format!(
+                    "recorded capacity {cap:?} != cluster {:?}",
+                    cluster.capacity_at(s as u64)
+                ),
+            );
+        }
+    }
+
+    // ---- Deadline-decomposition accounting. -----------------------------
+    let recount_job_misses = outcome
+        .metrics
+        .jobs
+        .iter()
+        .filter(|o| {
+            index_of(o.id)
+                .and_then(|i| jobs[i].deadline_slot)
+                .is_some_and(|d| o.completion_slot > d)
+        })
+        .count();
+    if recount_job_misses != outcome.metrics.job_deadline_misses() {
+        push(
+            "deadline-accounting",
+            0,
+            None,
+            format!(
+                "recounted {} job misses, metrics claim {}",
+                recount_job_misses,
+                outcome.metrics.job_deadline_misses()
+            ),
+        );
+    }
+    let completion_of = |i: usize| -> Option<u64> {
+        outcome
+            .metrics
+            .jobs
+            .iter()
+            .find(|o| o.id == jobs[i].id)
+            .map(|o| o.completion_slot)
+    };
+    let mut recount_wf_misses = 0usize;
+    let mut complete_wfs = 0usize;
+    for wf in &workflows {
+        let completions: Option<Vec<u64>> = wf.job_idxs.iter().map(|&i| completion_of(i)).collect();
+        let Some(completions) = completions else {
+            if outcome.metrics.workflows.iter().any(|o| o.id == wf.id) {
+                push(
+                    "workflow-accounting",
+                    0,
+                    None,
+                    format!("{} reported complete with unfinished nodes", wf.id),
+                );
+            }
+            continue;
+        };
+        complete_wfs += 1;
+        let completion = *completions.iter().max().expect("workflows are non-empty");
+        if completion > wf.deadline_slot {
+            recount_wf_misses += 1;
+        }
+        match outcome.metrics.workflows.iter().find(|o| o.id == wf.id) {
+            Some(o) => {
+                if o.completion_slot != completion || o.deadline_slot != wf.deadline_slot {
+                    push(
+                        "workflow-accounting",
+                        completion,
+                        None,
+                        format!(
+                            "{}: outcome ({}, dl {}) != recomputed ({completion}, dl {})",
+                            wf.id, o.completion_slot, o.deadline_slot, wf.deadline_slot
+                        ),
+                    );
+                }
+            }
+            None => push(
+                "workflow-accounting",
+                completion,
+                None,
+                format!("{} completed but missing from outcomes", wf.id),
+            ),
+        }
+    }
+    if outcome.metrics.workflows.len() != complete_wfs {
+        push(
+            "workflow-accounting",
+            0,
+            None,
+            format!(
+                "{} workflow outcomes, {} workflows fully completed",
+                outcome.metrics.workflows.len(),
+                complete_wfs
+            ),
+        );
+    } else if recount_wf_misses != outcome.metrics.workflow_deadline_misses() {
+        push(
+            "deadline-accounting",
+            0,
+            None,
+            format!(
+                "recounted {} workflow misses, metrics claim {}",
+                recount_wf_misses,
+                outcome.metrics.workflow_deadline_misses()
+            ),
+        );
+    }
+
+    // ---- Attribution recompute. -----------------------------------------
+    let attribution = recompute_attribution(&jobs, &workflows, &completion_of);
+    if outcome.deadline_attribution != attribution {
+        push(
+            "attribution-mismatch",
+            0,
+            None,
+            format!(
+                "outcome lists {} attribution rows, recomputed {}",
+                outcome.deadline_attribution.len(),
+                attribution.len()
+            ),
+        );
+    }
+
+    AuditReport {
+        violations: v,
+        attribution,
+        events_checked: trace.recorded(),
+    }
+}
+
+/// The slot a job becomes runnable, derived from its predecessors' finish
+/// events: arrival for sources and ad-hoc jobs, max predecessor finish
+/// `+ 1` otherwise. `None` when a predecessor has no finish event.
+fn derived_ready(jobs: &[AuditJob], replays: &[Replay], i: usize) -> Option<u64> {
+    let j = &jobs[i];
+    if j.preds.is_empty() {
+        return Some(j.arrival_slot);
+    }
+    j.preds
+        .iter()
+        .map(|&p| replays[p].finish.map(|(f, _)| f + 1))
+        .collect::<Option<Vec<u64>>>()
+        .map(|rs| {
+            rs.into_iter()
+                .max()
+                .expect("preds non-empty")
+                .max(j.arrival_slot)
+        })
+}
+
+/// Rebuilds the engine's dense job table from the workload alone.
+fn build_table(workload: &SimWorkload) -> Result<(Vec<AuditJob>, Vec<AuditWorkflow>), String> {
+    let mut jobs: Vec<AuditJob> = Vec::new();
+    let mut workflows: Vec<AuditWorkflow> = Vec::new();
+    for sub in &workload.workflows {
+        let wf = &sub.workflow;
+        let n = wf.len();
+        if sub.actual_work.as_ref().is_some_and(|v| v.len() != n)
+            || sub.job_deadlines.as_ref().is_some_and(|v| v.len() != n)
+        {
+            return Err(format!("{}: malformed submission vectors", wf.id()));
+        }
+        let base = jobs.len();
+        for (node, spec) in wf.jobs().iter().enumerate() {
+            jobs.push(AuditJob {
+                id: JobId::new(jobs.len() as u64),
+                class: JobClass::Deadline {
+                    workflow: wf.id(),
+                    node,
+                },
+                per_task: spec.per_task(),
+                parallel_cap: spec.effective_parallel(),
+                actual_work: sub
+                    .actual_work
+                    .as_ref()
+                    .map_or_else(|| spec.work(), |v| v[node]),
+                arrival_slot: wf.submit_slot(),
+                deadline_slot: sub.job_deadlines.as_ref().map(|v| v[node]),
+                preds: wf
+                    .dag()
+                    .predecessors(node)
+                    .iter()
+                    .map(|&p| base + p)
+                    .collect(),
+            });
+        }
+        workflows.push(AuditWorkflow {
+            id: wf.id(),
+            deadline_slot: wf.deadline_slot(),
+            job_idxs: (base..base + n).collect(),
+            milestones: sub.job_deadlines.clone(),
+        });
+    }
+    for adhoc in &workload.adhoc {
+        jobs.push(AuditJob {
+            id: JobId::new(jobs.len() as u64),
+            class: JobClass::AdHoc,
+            per_task: adhoc.spec.per_task(),
+            parallel_cap: adhoc.spec.effective_parallel(),
+            actual_work: adhoc.spec.work(),
+            arrival_slot: adhoc.arrival_slot,
+            deadline_slot: None,
+            preds: Vec::new(),
+        });
+    }
+    Ok((jobs, workflows))
+}
+
+/// Recomputes the deadline-miss attribution from scenario milestones and
+/// certified completions — the same semantics as the engine's report, but
+/// derived with zero shared state.
+fn recompute_attribution(
+    jobs: &[AuditJob],
+    workflows: &[AuditWorkflow],
+    completion_of: &dyn Fn(usize) -> Option<u64>,
+) -> Vec<MissAttribution> {
+    let mut out = Vec::new();
+    for wf in workflows {
+        let Some(milestones) = &wf.milestones else {
+            continue;
+        };
+        let completions: Option<Vec<u64>> = wf.job_idxs.iter().map(|&i| completion_of(i)).collect();
+        let Some(completions) = completions else {
+            continue;
+        };
+        let culprits: Vec<NodeSlackUse> = completions
+            .iter()
+            .enumerate()
+            .filter_map(|(node, &c)| {
+                let m = milestones[node];
+                (c > m).then(|| NodeSlackUse {
+                    job: jobs[wf.job_idxs[node]].id,
+                    node: node as u64,
+                    milestone_slot: m,
+                    completion_slot: c,
+                    overrun_slots: c - m,
+                })
+            })
+            .collect();
+        let completion = *completions.iter().max().expect("workflows are non-empty");
+        out.push(MissAttribution {
+            workflow: wf.id,
+            deadline_slot: wf.deadline_slot,
+            completion_slot: completion,
+            total_overrun_slots: culprits.iter().map(|c| c.overrun_slots).sum(),
+            culprits,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Engine;
+    use crate::job::{AdhocSubmission, WorkflowSubmission};
+    use crate::scheduler::{Allocation, Scheduler};
+    use crate::state::SimState;
+    use crate::trace::TraceEvent;
+    use flowtime_dag::{JobSpec, ResourceVec, WorkflowBuilder, WorkflowId};
+
+    struct Greedy;
+    impl Scheduler for Greedy {
+        fn name(&self) -> &str {
+            "greedy"
+        }
+        fn plan_slot(&mut self, state: &SimState) -> Allocation {
+            let mut alloc = Allocation::new();
+            let mut free = state.capacity();
+            for job in state.runnable_jobs() {
+                let fit = job
+                    .per_task
+                    .times_fitting(&free)
+                    .min(job.max_tasks_this_slot);
+                if fit > 0 {
+                    alloc.assign(job.id, fit);
+                    free -= job.per_task * fit;
+                }
+            }
+            alloc
+        }
+    }
+
+    fn scenario() -> (ClusterConfig, SimWorkload) {
+        let mut b = WorkflowBuilder::new(WorkflowId::new(1), "wf");
+        let spec = |n: &str| JobSpec::new(n, 4, 2, ResourceVec::new([1, 1024]));
+        let a = b.add_job(spec("a"));
+        let c = b.add_job(spec("c"));
+        b.add_dep(a, c).unwrap();
+        let wf = b.window(0, 3).build().unwrap();
+        let mut wl = SimWorkload::default();
+        wl.workflows
+            .push(WorkflowSubmission::new(wf).with_job_deadlines(vec![1, 3]));
+        wl.adhoc.push(AdhocSubmission::new(
+            JobSpec::new("adhoc-0", 2, 3, ResourceVec::new([1, 512])),
+            2,
+        ));
+        (ClusterConfig::new(ResourceVec::new([8, 65_536]), 10.0), wl)
+    }
+
+    fn traced_run(max_slots: u64) -> (ClusterConfig, SimWorkload, SimOutcome, DecisionTrace) {
+        let (cluster, wl) = scenario();
+        let (engine, handle) = Engine::new(cluster.clone(), wl.clone(), max_slots)
+            .unwrap()
+            .with_trace(4096);
+        let out = engine.run(&mut Greedy).unwrap();
+        (cluster, wl, out, handle.take())
+    }
+
+    #[test]
+    fn clean_run_certifies_and_attributes() {
+        let (cluster, wl, out, trace) = traced_run(100);
+        let report = certify(&cluster, &wl, &out, &trace);
+        assert!(report.is_certified(), "{}", report.summary());
+        assert!(report.events_checked > 0);
+        // The first chain job needed 2 slots against a milestone of 1,
+        // pushing node 1 past its own milestone too; both are culprits and
+        // the overrun tie breaks toward the earlier node.
+        assert_eq!(report.attribution.len(), 1);
+        let attr = &report.attribution[0];
+        assert!(attr.missed());
+        assert_eq!(attr.culprits.len(), 2);
+        assert_eq!(attr.top_culprit().unwrap().node, 0);
+        assert!(attr.total_overrun_slots > 0);
+        assert_eq!(out.deadline_attribution, report.attribution);
+    }
+
+    #[test]
+    fn drained_run_certifies() {
+        let (cluster, wl, out, trace) = traced_run(3);
+        assert!(!out.is_complete());
+        let report = certify(&cluster, &wl, &out, &trace);
+        assert!(report.is_certified(), "{}", report.summary());
+    }
+
+    #[test]
+    fn inflated_grant_is_rejected() {
+        let (cluster, wl, out, mut trace) = traced_run(100);
+        let ev = trace
+            .events_mut()
+            .iter_mut()
+            .find_map(|e| match e {
+                TraceEvent::Grant { tasks, .. } => Some(tasks),
+                _ => None,
+            })
+            .expect("some grant");
+        *ev += 1_000;
+        let report = certify(&cluster, &wl, &out, &trace);
+        assert!(report.has("capacity-overflow"), "{}", report.summary());
+    }
+
+    #[test]
+    fn truncated_trace_is_rejected() {
+        let (cluster, wl, out, _) = traced_run(100);
+        let (engine, handle) = Engine::new(cluster.clone(), wl.clone(), 100)
+            .unwrap()
+            .with_trace(4);
+        let out2 = engine.run(&mut Greedy).unwrap();
+        assert_eq!(out, out2);
+        let trace = handle.take();
+        assert!(trace.dropped() > 0);
+        let report = certify(&cluster, &wl, &out2, &trace);
+        assert!(report.has("trace-truncated"));
+    }
+
+    #[test]
+    fn wrong_scenario_is_rejected() {
+        let (cluster, wl, out, trace) = traced_run(100);
+        let mut other = wl.clone();
+        other.adhoc[0].arrival_slot += 1;
+        let report = certify(&cluster, &other, &out, &trace);
+        assert!(!report.is_certified());
+        assert!(report.has("header-mismatch"));
+    }
+}

@@ -11,12 +11,15 @@ use crate::cluster::ClusterConfig;
 use crate::error::SimError;
 use crate::invariants::InvariantChecker;
 use crate::job::{JobClass, JobRuntime, SimWorkload};
-use crate::metrics::{InFlightJob, JobOutcome, Metrics, WorkflowOutcome};
+use crate::metrics::{
+    InFlightJob, JobOutcome, Metrics, MissAttribution, NodeSlackUse, WorkflowOutcome,
+};
 use crate::placement::NodePool;
 use crate::scheduler::Scheduler;
 use crate::state::{SimState, WorkflowInstance};
 use crate::telemetry::{EngineTelemetry, SolverTelemetry};
 use crate::timeline::{Timeline, TimelineEntry};
+use crate::trace::{TraceCtx, TraceEvent, TraceHandle, TraceHeader, TraceJobMeta};
 use flowtime_dag::{JobId, ResourceVec};
 use serde::{Deserialize, Serialize};
 use std::cmp::Reverse;
@@ -50,6 +53,11 @@ pub struct SimOutcome {
     /// complete run. See [`Self::is_complete`].
     #[serde(default)]
     pub in_flight: Vec<InFlightJob>,
+    /// Deadline-miss attribution: one report per fully-completed workflow
+    /// with decomposed per-job milestones, recording which node set
+    /// consumed the decomposed slack (see [`MissAttribution`]).
+    #[serde(default)]
+    pub deadline_attribution: Vec<MissAttribution>,
 }
 
 impl SimOutcome {
@@ -88,6 +96,10 @@ pub struct Engine {
     pub(crate) placement_shortfalls: Vec<u64>,
     pub(crate) checker: InvariantChecker,
     pub(crate) telemetry: EngineTelemetry,
+    /// Decision-trace recording context; `None` (the default) is the
+    /// zero-cost path — no event is constructed and no telemetry is
+    /// polled when tracing is off.
+    trace: Option<TraceCtx>,
     /// Min-heap of pending arrival/readiness events.
     events: BinaryHeap<Event>,
     /// `(workflow index, DAG node)` of each workflow job, by job index;
@@ -224,6 +236,7 @@ impl Engine {
             placement_shortfalls: Vec::new(),
             checker: InvariantChecker::new(true),
             telemetry,
+            trace: None,
             events,
             job_nodes,
             pending_preds,
@@ -251,6 +264,18 @@ impl Engine {
     #[cfg(test)]
     pub(crate) fn state_mut(&mut self) -> &mut SimState {
         &mut self.state
+    }
+
+    /// Enables decision-trace recording into a ring buffer bounded at
+    /// `capacity` events (see [`crate::trace`]). The returned
+    /// [`TraceHandle`] stays valid after the run: call
+    /// [`TraceHandle::take`] once the engine finishes to obtain the
+    /// recorded [`crate::DecisionTrace`].
+    #[must_use]
+    pub fn with_trace(mut self, capacity: usize) -> (Self, TraceHandle) {
+        let (ctx, handle) = TraceCtx::new(capacity);
+        self.trace = Some(ctx);
+        (self, handle)
     }
 
     /// Enables per-allocation recording; the result is returned in
@@ -286,6 +311,39 @@ impl Engine {
     /// are on, [`SimError::InvariantViolation`].
     pub fn run(mut self, scheduler: &mut dyn Scheduler) -> Result<SimOutcome, SimError> {
         let t0 = Instant::now();
+        if let Some(ctx) = &self.trace {
+            ctx.buffer().header = TraceHeader {
+                scheduler: scheduler.name().to_string(),
+                capacity: self.state.cluster.capacity(),
+                slot_seconds: self.state.cluster.slot_seconds(),
+                max_slots: self.max_slots,
+                jobs: self
+                    .state
+                    .jobs
+                    .iter()
+                    .map(|j| TraceJobMeta {
+                        id: j.id,
+                        class: j.class,
+                        arrival_slot: j.arrival_slot,
+                        actual_work: j.actual_work,
+                        deadline_slot: j.deadline_slot,
+                    })
+                    .collect(),
+            };
+            // Slot-0 arrivals and readies are seeded directly into the
+            // incremental indices (never through the event heap), so they
+            // must be recorded here to keep the trace self-contained.
+            for j in &self.state.jobs {
+                if j.arrival_slot == 0 {
+                    ctx.push(TraceEvent::Arrival { slot: 0, job: j.id });
+                }
+            }
+            for j in &self.state.jobs {
+                if j.ready_slot == Some(0) {
+                    ctx.push(TraceEvent::Ready { slot: 0, job: j.id });
+                }
+            }
+        }
         while self.state.now < self.max_slots {
             self.advance_events();
             self.telemetry.peak_live_jobs = self
@@ -306,6 +364,46 @@ impl Engine {
             let pairs: Vec<(JobId, u64)> = allocation.iter().collect();
             self.checker.check_slot(&self.state, &pairs)?;
             let used = self.state.allocation_usage(&pairs);
+            if let Some(ctx) = &mut self.trace {
+                // Replan delta: the scheduler's cumulative counter is
+                // polled only when tracing, so the disabled path never
+                // pays for telemetry construction.
+                if let Some(t) = scheduler.telemetry() {
+                    if t.replans > ctx.prev_replans {
+                        let replans = t.replans - ctx.prev_replans;
+                        ctx.prev_replans = t.replans;
+                        ctx.push(TraceEvent::Replan { slot: now, replans });
+                    }
+                }
+                let tag = scheduler.decision_tag();
+                if ctx.last_tag != Some(tag) {
+                    ctx.last_tag = Some(tag);
+                    ctx.push(TraceEvent::PolicyTag {
+                        slot: now,
+                        tag: tag.to_string(),
+                    });
+                }
+                // A job granted last slot, unfinished, and absent from
+                // this slot's (sorted) grants was preempted.
+                for &id in &ctx.prev_granted {
+                    if pairs.binary_search_by_key(&id, |&(pid, _)| pid).is_err()
+                        && !self.state.jobs[self.state.by_id[&id]].is_complete()
+                    {
+                        ctx.push(TraceEvent::Preempt { slot: now, job: id });
+                    }
+                }
+                for &(id, q) in &pairs {
+                    if self.state.jobs[self.state.by_id[&id]].done_work == 0 {
+                        ctx.push(TraceEvent::Start { slot: now, job: id });
+                    }
+                    ctx.push(TraceEvent::Grant {
+                        slot: now,
+                        job: id,
+                        tasks: q,
+                    });
+                }
+                ctx.prev_granted = pairs.iter().map(|&(id, _)| id).collect();
+            }
 
             // Apply: each allocated task performs one task-slot of work.
             self.slot_loads.push(used);
@@ -336,6 +434,17 @@ impl Engine {
                 job.done_work += q;
                 if job.done_work >= job.actual_work && job.completion_slot.is_none() {
                     job.completion_slot = Some(now + 1);
+                    let done_work = job.done_work;
+                    if let Some(ctx) = &self.trace {
+                        // Recorded at `now` (the job finished at the *end*
+                        // of this slot; completion_slot = now + 1) so
+                        // event slots stay non-decreasing.
+                        ctx.push(TraceEvent::Finish {
+                            slot: now,
+                            job: id,
+                            done_work,
+                        });
+                    }
                     self.on_complete(idx, now);
                 }
             }
@@ -369,8 +478,14 @@ impl Engine {
             let key = (job.arrival_slot, id);
             if kind == EV_ARRIVAL {
                 self.state.visible.insert(key);
+                if let Some(ctx) = &self.trace {
+                    ctx.push(TraceEvent::Arrival { slot, job: id });
+                }
             } else {
                 self.state.runnable.insert(key);
+                if let Some(ctx) = &self.trace {
+                    ctx.push(TraceEvent::Ready { slot, job: id });
+                }
             }
         }
     }
@@ -453,6 +568,43 @@ impl Engine {
                 })
             })
             .collect();
+        // Deadline-miss attribution: for every fully-completed workflow
+        // with decomposed milestones, record which nodes finished past
+        // their milestone (i.e. consumed the decomposed slack).
+        let deadline_attribution: Vec<MissAttribution> = self
+            .state
+            .workflows
+            .iter()
+            .filter_map(|w| {
+                let milestones = w.submission.job_deadlines.as_ref()?;
+                let completions: Vec<u64> = w
+                    .job_ids
+                    .iter()
+                    .map(|id| self.state.jobs[self.state.by_id[id]].completion_slot)
+                    .collect::<Option<Vec<u64>>>()?;
+                let culprits: Vec<NodeSlackUse> = completions
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(node, &c)| {
+                        let m = milestones[node];
+                        (c > m).then(|| NodeSlackUse {
+                            job: w.job_ids[node],
+                            node: node as u64,
+                            milestone_slot: m,
+                            completion_slot: c,
+                            overrun_slots: c - m,
+                        })
+                    })
+                    .collect();
+                Some(MissAttribution {
+                    workflow: w.submission.workflow.id(),
+                    deadline_slot: w.submission.workflow.deadline_slot(),
+                    completion_slot: *completions.iter().max().expect("workflows are non-empty"),
+                    total_overrun_slots: culprits.iter().map(|c| c.overrun_slots).sum(),
+                    culprits,
+                })
+            })
+            .collect();
         SimOutcome {
             metrics: Metrics {
                 jobs: job_outcomes,
@@ -468,6 +620,7 @@ impl Engine {
             solver_telemetry,
             engine_telemetry: self.telemetry,
             in_flight,
+            deadline_attribution,
         }
     }
 }

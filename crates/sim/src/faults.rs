@@ -27,6 +27,7 @@
 
 use crate::cluster::ClusterConfig;
 use crate::job::{AdhocSubmission, SimWorkload};
+use crate::trace::FaultRecord;
 use flowtime_dag::JobSpec;
 use serde::{Deserialize, Serialize};
 
@@ -133,16 +134,36 @@ impl FaultPlan {
     /// Deterministic: identical inputs and config produce identical
     /// rewrites, independent of platform.
     pub fn apply(&self, workload: &mut SimWorkload, cluster: &mut ClusterConfig, horizon: u64) {
+        let _ = self.apply_recorded(workload, cluster, horizon);
+    }
+
+    /// Like [`Self::apply`], additionally returning one [`FaultRecord`]
+    /// per concrete injection for the decision-trace layer. Recording only
+    /// *observes* the rewrite — RNG consumption and the resulting
+    /// workload/cluster are bit-identical to [`Self::apply`].
+    pub fn apply_recorded(
+        &self,
+        workload: &mut SimWorkload,
+        cluster: &mut ClusterConfig,
+        horizon: u64,
+    ) -> Vec<FaultRecord> {
         let mut rng = SplitMix64::new(self.config.seed);
-        self.delay_submissions(workload, &mut rng);
-        self.misestimate_runtimes(workload, &mut rng);
-        self.degrade_capacity(cluster, horizon, &mut rng);
-        self.inject_bursts(workload, horizon, &mut rng);
+        let mut records = Vec::new();
+        self.delay_submissions(workload, &mut rng, &mut records);
+        self.misestimate_runtimes(workload, &mut rng, &mut records);
+        self.degrade_capacity(cluster, horizon, &mut rng, &mut records);
+        self.inject_bursts(workload, horizon, &mut rng, &mut records);
+        records
     }
 
     /// Shifts each workflow to a later submit slot (window length and
     /// milestone offsets preserved), uniformly in `[0, max_submit_delay]`.
-    fn delay_submissions(&self, workload: &mut SimWorkload, rng: &mut SplitMix64) {
+    fn delay_submissions(
+        &self,
+        workload: &mut SimWorkload,
+        rng: &mut SplitMix64,
+        records: &mut Vec<FaultRecord>,
+    ) {
         if self.config.max_submit_delay == 0 {
             return;
         }
@@ -158,6 +179,11 @@ impl FaultPlan {
                     *m += delay;
                 }
             }
+            records.push(FaultRecord {
+                kind: "submit-delay".into(),
+                slot: sub.workflow.submit_slot(),
+                detail: format!("{} delayed {delay} slots", sub.workflow.id()),
+            });
         }
     }
 
@@ -165,7 +191,12 @@ impl FaultPlan {
     /// `estimate * exp(σ·z)`, `z` standard normal — schedulers keep seeing
     /// the estimate. Submissions that already carry explicit `actual_work`
     /// are scaled from that ground truth instead.
-    fn misestimate_runtimes(&self, workload: &mut SimWorkload, rng: &mut SplitMix64) {
+    fn misestimate_runtimes(
+        &self,
+        workload: &mut SimWorkload,
+        rng: &mut SplitMix64,
+        records: &mut Vec<FaultRecord>,
+    ) {
         let sigma = self.config.misestimate_sigma;
         if sigma <= 0.0 {
             return;
@@ -175,13 +206,22 @@ impl FaultPlan {
                 Some(actual) => actual.clone(),
                 None => sub.workflow.jobs().iter().map(JobSpec::work).collect(),
             };
-            let faulted = base
+            let faulted: Vec<u64> = base
                 .iter()
                 .map(|&w| {
                     let factor = (sigma * rng.standard_normal()).exp();
                     ((w as f64) * factor).round().max(1.0) as u64
                 })
                 .collect();
+            records.push(FaultRecord {
+                kind: "misestimate".into(),
+                slot: sub.workflow.submit_slot(),
+                detail: format!(
+                    "{} ground truth rewritten across {} nodes",
+                    sub.workflow.id(),
+                    faulted.len()
+                ),
+            });
             sub.actual_work = Some(faulted);
         }
     }
@@ -189,7 +229,13 @@ impl FaultPlan {
     /// Adds capacity windows that remove `churn_severity` of the base
     /// capacity, spaced about `churn_period` slots apart within
     /// `[0, horizon)`, each lasting about a quarter period.
-    fn degrade_capacity(&self, cluster: &mut ClusterConfig, horizon: u64, rng: &mut SplitMix64) {
+    fn degrade_capacity(
+        &self,
+        cluster: &mut ClusterConfig,
+        horizon: u64,
+        rng: &mut SplitMix64,
+        records: &mut Vec<FaultRecord>,
+    ) {
         let severity = self.config.churn_severity;
         if severity <= 0.0 || horizon == 0 {
             return;
@@ -208,6 +254,11 @@ impl FaultPlan {
             let mut degraded_cluster = cluster.clone();
             degraded_cluster = degraded_cluster.with_capacity_window(start, start + len, degraded);
             *cluster = degraded_cluster;
+            records.push(FaultRecord {
+                kind: "capacity-churn".into(),
+                slot: start,
+                detail: format!("capacity degraded to {degraded:?} for {len} slots"),
+            });
             start += period / 2 + rng.below(period);
         }
     }
@@ -215,7 +266,13 @@ impl FaultPlan {
     /// Injects `burst_jobs` extra ad-hoc jobs in tight clusters around a
     /// few burst centres in `[0, horizon)`. Container shape follows the
     /// existing ad-hoc jobs when present, else a 1-core task.
-    fn inject_bursts(&self, workload: &mut SimWorkload, horizon: u64, rng: &mut SplitMix64) {
+    fn inject_bursts(
+        &self,
+        workload: &mut SimWorkload,
+        horizon: u64,
+        rng: &mut SplitMix64,
+        records: &mut Vec<FaultRecord>,
+    ) {
         let n = self.config.burst_jobs;
         if n == 0 || horizon == 0 {
             return;
@@ -242,6 +299,11 @@ impl FaultPlan {
                     template.0,
                 )
                 .with_max_parallel(template.1.max(1));
+                records.push(FaultRecord {
+                    kind: "burst".into(),
+                    slot: arrival,
+                    detail: spec.name().to_string(),
+                });
                 workload.adhoc.push(AdhocSubmission::new(spec, arrival));
                 injected += 1;
             }
@@ -399,6 +461,28 @@ mod tests {
         for w in wl.adhoc.windows(2) {
             assert!(w[0].arrival_slot <= w[1].arrival_slot);
         }
+    }
+
+    #[test]
+    fn recorded_apply_matches_apply_and_reports_each_injection() {
+        let (mut wl_a, mut cl_a) = (workload(), cluster());
+        let (mut wl_b, mut cl_b) = (workload(), cluster());
+        let plan = FaultPlan::new(FaultConfig::mixed(7));
+        plan.apply(&mut wl_a, &mut cl_a, 500);
+        let records = plan.apply_recorded(&mut wl_b, &mut cl_b, 500);
+        // Recording observes; it never perturbs the rewrite.
+        assert_eq!(wl_a, wl_b);
+        assert_eq!(cl_a, cl_b);
+        assert!(records.iter().any(|r| r.kind == "misestimate"));
+        assert!(records.iter().any(|r| r.kind == "capacity-churn"));
+        assert_eq!(records.iter().filter(|r| r.kind == "burst").count(), 6);
+        // The identity plan has nothing to report.
+        let none = FaultPlan::new(FaultConfig::none(7)).apply_recorded(
+            &mut workload(),
+            &mut cluster(),
+            500,
+        );
+        assert!(none.is_empty());
     }
 
     #[test]

@@ -65,6 +65,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod audit;
 pub mod cluster;
 pub mod engine;
 pub mod error;
@@ -80,14 +81,16 @@ pub mod state;
 pub mod sweep;
 pub mod telemetry;
 pub mod timeline;
+pub mod trace;
 
+pub use audit::{certify, AuditReport, AuditViolation};
 pub use cluster::ClusterConfig;
 pub use engine::{Engine, SimOutcome};
 pub use error::SimError;
 pub use faults::{FaultConfig, FaultPlan};
 pub use invariants::InvariantChecker;
 pub use job::{AdhocSubmission, JobClass, SimWorkload, WorkflowSubmission};
-pub use metrics::{InFlightJob, JobOutcome, Metrics};
+pub use metrics::{InFlightJob, JobOutcome, Metrics, MissAttribution, NodeSlackUse};
 #[cfg(any(test, feature = "oracle"))]
 pub use oracle::OracleEngine;
 pub use placement::{NodePool, PackResult};
@@ -96,13 +99,18 @@ pub use state::{JobView, SimState, WorkflowView};
 pub use sweep::run_cells;
 pub use telemetry::{EngineTelemetry, SolverTelemetry};
 pub use timeline::{Timeline, TimelineEntry};
+pub use trace::{
+    DecisionTrace, FaultRecord, TraceError, TraceEvent, TraceHandle, TraceHeader, TraceJobMeta,
+    DEFAULT_TRACE_CAPACITY,
+};
 
 /// Convenience re-exports for schedulers and experiment harnesses.
 pub mod prelude {
     pub use crate::job::SimWorkload;
     pub use crate::{
-        AdhocSubmission, Allocation, ClusterConfig, Engine, EngineTelemetry, FaultConfig,
-        FaultPlan, InFlightJob, JobClass, JobView, Metrics, Scheduler, SimError, SimOutcome,
-        SimState, SolverTelemetry, WorkflowSubmission, WorkflowView,
+        certify, AdhocSubmission, Allocation, AuditReport, ClusterConfig, DecisionTrace, Engine,
+        EngineTelemetry, FaultConfig, FaultPlan, InFlightJob, JobClass, JobView, Metrics,
+        MissAttribution, Scheduler, SimError, SimOutcome, SimState, SolverTelemetry, TraceHandle,
+        WorkflowSubmission, WorkflowView,
     };
 }

@@ -86,6 +86,58 @@ impl WorkflowOutcome {
     }
 }
 
+/// One node's contribution to a workflow deadline miss: the node finished
+/// after its decomposed milestone, consuming slack the decomposition had
+/// reserved for its successors.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NodeSlackUse {
+    /// The job backing this DAG node.
+    pub job: JobId,
+    /// DAG node index within the workflow.
+    pub node: u64,
+    /// The decomposed per-job milestone the node was budgeted.
+    pub milestone_slot: u64,
+    /// When the node actually completed.
+    pub completion_slot: u64,
+    /// Slots past the milestone (`completion - milestone`).
+    pub overrun_slots: u64,
+}
+
+/// Deadline-miss attribution for one workflow with decomposed per-job
+/// milestones: which node set consumed the decomposed slack.
+///
+/// Emitted for every fully-completed workflow that carries
+/// `job_deadlines`, whether or not the workflow deadline was missed, so
+/// near-misses are visible too; [`Self::missed`] distinguishes the two.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MissAttribution {
+    /// Workflow id.
+    pub workflow: WorkflowId,
+    /// The workflow deadline `wd`.
+    pub deadline_slot: u64,
+    /// Completion slot of the last constituent job.
+    pub completion_slot: u64,
+    /// Total milestone overrun across all culprit nodes, in slots.
+    pub total_overrun_slots: u64,
+    /// Every node that finished past its milestone, in node order.
+    pub culprits: Vec<NodeSlackUse>,
+}
+
+impl MissAttribution {
+    /// True if the workflow finished after its deadline.
+    pub fn missed(&self) -> bool {
+        self.completion_slot > self.deadline_slot
+    }
+
+    /// The node with the largest milestone overrun (ties broken toward the
+    /// earlier node), if any node overran at all.
+    pub fn top_culprit(&self) -> Option<&NodeSlackUse> {
+        self.culprits
+            .iter()
+            .max_by_key(|c| (c.overrun_slots, std::cmp::Reverse(c.node)))
+    }
+}
+
 /// Aggregated results of one simulation run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Metrics {

@@ -100,6 +100,16 @@ pub trait Scheduler {
     fn telemetry(&self) -> Option<crate::telemetry::SolverTelemetry> {
         None
     }
+
+    /// Short tag describing the decision regime currently in force (e.g.
+    /// `"lp-plan"` vs `"degraded-greedy"` for a solver-backed scheduler
+    /// that fell back). Polled by the decision-trace layer, which records
+    /// a [`crate::trace::TraceEvent::PolicyTag`] whenever the tag changes;
+    /// never consulted when tracing is off. The default suits greedy
+    /// single-regime schedulers.
+    fn decision_tag(&self) -> &'static str {
+        "greedy"
+    }
 }
 
 #[cfg(test)]

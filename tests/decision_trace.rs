@@ -1,0 +1,288 @@
+//! Decision-trace layer: golden pinning, cross-thread byte identity,
+//! schema hygiene, and mutation-negative auditor tests.
+//!
+//! The first half pins the serialized decision trace of the same fixed
+//! faulted (workload, scheduler, fault seed) triple as
+//! `tests/golden/outcome.json`, and proves the bytes are identical no
+//! matter how many worker threads carry the simulation. The second half
+//! corrupts traces in targeted ways and asserts the offline auditor
+//! rejects each corruption with its specific violation code.
+
+use flowtime::{EdfScheduler, FlowTimeConfig, FlowTimeScheduler};
+use flowtime_dag::{JobSpec, ResourceVec, WorkflowBuilder, WorkflowId};
+use flowtime_sim::prelude::*;
+use flowtime_sim::{sweep::run_cells, TraceEvent, DEFAULT_TRACE_CAPACITY};
+use flowtime_workload::trace::{ProductionTraceConfig, Trace};
+
+/// The fixed faulted triple behind `tests/golden/decision_trace.jsonl` —
+/// the same scenario as `tests/golden/outcome.json` (see
+/// `trace_roundtrip.rs`), with the fault injections recorded into the
+/// trace prologue.
+fn golden_traced_run() -> (ClusterConfig, SimWorkload, SimOutcome, DecisionTrace) {
+    let cluster = ClusterConfig::new(ResourceVec::new([16, 65_536]), 10.0);
+    let trace = Trace::synthesize_production(
+        cluster,
+        &ProductionTraceConfig {
+            workflows: 2,
+            jobs_per_workflow: 5,
+            adhoc_horizon: 40,
+            ..Default::default()
+        },
+        11,
+    );
+    let mut workload = trace.workload.clone();
+    let mut faulted_cluster = trace.cluster.clone();
+    let records = FaultPlan::new(FaultConfig::mixed(7)).apply_recorded(
+        &mut workload,
+        &mut faulted_cluster,
+        200,
+    );
+    let mut scheduler = FlowTimeScheduler::new(faulted_cluster.clone(), FlowTimeConfig::default());
+    let (engine, handle) = Engine::new(faulted_cluster.clone(), workload.clone(), 1_000_000)
+        .unwrap()
+        .with_trace(DEFAULT_TRACE_CAPACITY);
+    handle.record_faults(&records);
+    let outcome = engine.run(&mut scheduler).unwrap();
+    (faulted_cluster, workload, outcome, handle.take())
+}
+
+fn trace_bytes(trace: &DecisionTrace) -> String {
+    let mut buf = Vec::new();
+    trace.write_jsonl(&mut buf).unwrap();
+    String::from_utf8(buf).unwrap()
+}
+
+fn golden_path() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden/decision_trace.jsonl")
+}
+
+/// Committed golden file for the serialized decision trace of the fixed
+/// faulted triple. Any change to the event schema, the recording order, or
+/// the simulation itself shows up as a diff. Regenerate intentionally:
+///
+/// `GOLDEN_REGEN=1 cargo test --test decision_trace golden`
+#[test]
+fn golden_decision_trace_is_stable() {
+    let (cluster, workload, outcome, trace) = golden_traced_run();
+    let serialized = trace_bytes(&trace);
+    let path = golden_path();
+    if std::env::var_os("GOLDEN_REGEN").is_some() {
+        std::fs::write(&path, &serialized).unwrap();
+        return;
+    }
+    let golden = std::fs::read_to_string(&path)
+        .expect("golden file missing — regenerate with GOLDEN_REGEN=1");
+    assert_eq!(
+        serialized, golden,
+        "decision trace diverged from tests/golden/decision_trace.jsonl; \
+         if intentional, regenerate with GOLDEN_REGEN=1"
+    );
+
+    // The golden bytes round-trip losslessly and the auditor certifies the
+    // run they describe.
+    let reloaded = DecisionTrace::read_jsonl(std::io::BufReader::new(golden.as_bytes())).unwrap();
+    assert_eq!(reloaded, trace);
+    assert_eq!(trace_bytes(&reloaded), golden);
+    let report = certify(&cluster, &workload, &outcome, &reloaded);
+    assert!(report.is_certified(), "{}", report.summary());
+}
+
+/// The serialized trace is a pure function of the scenario: running the
+/// identical traced simulation on 1, 2, and 8 worker threads of the
+/// work-stealing cell runner yields byte-identical JSONL. Engines (and the
+/// trace's `Rc` plumbing) are constructed inside each worker closure, so
+/// nothing is shared across threads.
+#[test]
+fn decision_trace_is_byte_identical_across_thread_counts() {
+    let reference = trace_bytes(&golden_traced_run().3);
+    for threads in [1usize, 2, 8] {
+        let cells = [(); 4];
+        let runs = run_cells(&cells, threads, |_, _| trace_bytes(&golden_traced_run().3));
+        for (i, run) in runs.iter().enumerate() {
+            assert_eq!(
+                run, &reference,
+                "trace diverged on cell {i} at {threads} threads"
+            );
+        }
+    }
+}
+
+/// Schema hygiene on the committed golden: every line parses as JSON, the
+/// header leads and the footer trails, and no wall-clock quantity leaks
+/// into the serialized form (the byte-identity contract above depends on
+/// it).
+#[test]
+fn golden_decision_trace_schema_is_stable() {
+    let golden = std::fs::read_to_string(golden_path())
+        .expect("golden file missing — regenerate with GOLDEN_REGEN=1");
+    assert!(
+        !golden.contains("wall") && !golden.contains("nanos"),
+        "wall-clock values must never appear in a serialized decision trace"
+    );
+    let lines: Vec<&str> = golden.lines().collect();
+    assert!(lines.len() > 2, "header + events + footer expected");
+    for (i, line) in lines.iter().enumerate() {
+        let v: serde_json::Value =
+            serde_json::from_str(line).unwrap_or_else(|e| panic!("line {i} is not JSON: {e}"));
+        assert!(
+            ["Header", "Fault", "Event", "Footer"]
+                .iter()
+                .any(|k| v.get(k).is_some()),
+            "line {i} lost its record tag"
+        );
+    }
+    assert!(
+        lines[0].contains("\"Header\""),
+        "first record is the header"
+    );
+    assert!(
+        lines.last().unwrap().contains("\"Footer\""),
+        "last record is the footer"
+    );
+    // The recorded fault injections ride along in the prologue.
+    assert!(golden.contains("\"Fault\""), "fault records expected");
+}
+
+// ---- Mutation-negative tests: each targeted corruption must be -------
+// ---- rejected with its specific violation code. ----------------------
+
+/// Two-job chain (a → c) plus one ad-hoc job, with decomposed milestones
+/// `[1, 3]`: small enough to reason about every event by hand.
+fn chain_scenario() -> (ClusterConfig, SimWorkload) {
+    let mut b = WorkflowBuilder::new(WorkflowId::new(1), "wf");
+    let spec = |n: &str| JobSpec::new(n, 4, 2, ResourceVec::new([1, 1024]));
+    let a = b.add_job(spec("a"));
+    let c = b.add_job(spec("c"));
+    b.add_dep(a, c).unwrap();
+    let wf = b.window(0, 3).build().unwrap();
+    let mut wl = SimWorkload::default();
+    wl.workflows
+        .push(WorkflowSubmission::new(wf).with_job_deadlines(vec![1, 3]));
+    wl.adhoc.push(AdhocSubmission::new(
+        JobSpec::new("adhoc-0", 2, 3, ResourceVec::new([1, 512])),
+        2,
+    ));
+    (ClusterConfig::new(ResourceVec::new([8, 65_536]), 10.0), wl)
+}
+
+fn traced_chain_run() -> (ClusterConfig, SimWorkload, SimOutcome, DecisionTrace) {
+    let (cluster, wl) = chain_scenario();
+    let (engine, handle) = Engine::new(cluster.clone(), wl.clone(), 100)
+        .unwrap()
+        .with_trace(DEFAULT_TRACE_CAPACITY);
+    let outcome = engine.run(&mut EdfScheduler::new()).unwrap();
+    (cluster, wl, outcome, handle.take())
+}
+
+/// Uncorrupted baseline: the chain run certifies (so every rejection below
+/// is attributable to its mutation alone).
+#[test]
+fn uncorrupted_chain_run_certifies() {
+    let (cluster, wl, outcome, trace) = traced_chain_run();
+    let report = certify(&cluster, &wl, &outcome, &trace);
+    assert!(report.is_certified(), "{}", report.summary());
+}
+
+/// Corruption 1 — capacity overflow: inflating one grant beyond the
+/// cluster's capacity must trip `capacity-overflow`.
+#[test]
+fn inflated_grant_is_rejected_as_capacity_overflow() {
+    let (cluster, wl, outcome, mut trace) = traced_chain_run();
+    let tasks = trace
+        .events_mut()
+        .iter_mut()
+        .find_map(|e| match e {
+            TraceEvent::Grant { tasks, .. } => Some(tasks),
+            _ => None,
+        })
+        .expect("the run grants capacity");
+    *tasks += 10_000;
+    let report = certify(&cluster, &wl, &outcome, &trace);
+    assert!(!report.is_certified());
+    assert!(report.has("capacity-overflow"), "{}", report.summary());
+}
+
+/// Corruption 2 — precedence inversion: retargeting one of the
+/// predecessor's early grants onto its successor makes the successor run
+/// before its dependency finished, tripping `precedence-inversion`.
+#[test]
+fn retargeted_grant_is_rejected_as_precedence_inversion() {
+    let (cluster, wl, outcome, mut trace) = traced_chain_run();
+    // Job ids follow submission order: workflow node 0 (`a`) is the first
+    // id, node 1 (`c`) the second. `a` finishes first in the chain.
+    let (pred, succ) = {
+        let mut finishes = trace.events().filter_map(|e| match *e {
+            TraceEvent::Finish { job, .. } => Some(job),
+            _ => None,
+        });
+        (finishes.next().unwrap(), finishes.next().unwrap())
+    };
+    let job = trace
+        .events_mut()
+        .iter_mut()
+        .find_map(|e| match e {
+            TraceEvent::Grant { job, .. } if *job == pred => Some(job),
+            _ => None,
+        })
+        .expect("the predecessor was granted capacity");
+    *job = succ;
+    let report = certify(&cluster, &wl, &outcome, &trace);
+    assert!(!report.is_certified());
+    assert!(report.has("precedence-inversion"), "{}", report.summary());
+}
+
+/// Corruption 3 — deadline-accounting drift: rewriting a milestone in the
+/// trace header trips `deadline-drift`; rewriting a job's deadline in the
+/// outcome flips its miss status and trips the `deadline-accounting`
+/// recount as well.
+#[test]
+fn deadline_drift_is_rejected() {
+    let (cluster, wl, outcome, mut trace) = traced_chain_run();
+    let meta = trace
+        .header
+        .jobs
+        .iter_mut()
+        .find(|m| m.deadline_slot.is_some())
+        .expect("deadline jobs in the header");
+    meta.deadline_slot = meta.deadline_slot.map(|d| d + 7);
+    let report = certify(&cluster, &wl, &outcome, &trace);
+    assert!(!report.is_certified());
+    assert!(report.has("deadline-drift"), "{}", report.summary());
+
+    let (cluster, wl, mut outcome, trace) = traced_chain_run();
+    let job = outcome
+        .metrics
+        .jobs
+        .iter_mut()
+        .find(|j| j.deadline_slot.is_some())
+        .expect("deadline jobs in the outcome");
+    // Both chain jobs miss their milestones; pushing one recorded deadline
+    // far out makes the metrics claim a meet the scenario recount denies.
+    job.deadline_slot = Some(1_000);
+    let report = certify(&cluster, &wl, &outcome, &trace);
+    assert!(!report.is_certified());
+    assert!(report.has("deadline-drift"), "{}", report.summary());
+    assert!(report.has("deadline-accounting"), "{}", report.summary());
+}
+
+/// Corruption 4 — dropped completion event: deleting a finish record
+/// leaves the outcome claiming a completion the trace never witnessed,
+/// tripping `finish-missing`.
+#[test]
+fn dropped_finish_is_rejected_as_finish_missing() {
+    let (cluster, wl, outcome, mut trace) = traced_chain_run();
+    let events = trace.events_mut();
+    let before = events.len();
+    let mut dropped_one = false;
+    events.retain(|e| {
+        if !dropped_one && matches!(e, TraceEvent::Finish { .. }) {
+            dropped_one = true;
+            return false;
+        }
+        true
+    });
+    assert_eq!(events.len(), before - 1);
+    let report = certify(&cluster, &wl, &outcome, &trace);
+    assert!(!report.is_certified());
+    assert!(report.has("finish-missing"), "{}", report.summary());
+}

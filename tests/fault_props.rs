@@ -76,6 +76,61 @@ proptest! {
         prop_assert_eq!(a, b);
     }
 
+    /// The offline auditor certifies every traced run: whatever faults are
+    /// injected and whichever scheduler plans, replaying the decision trace
+    /// against the scenario independently re-derives the outcome with zero
+    /// violations.
+    #[test]
+    fn auditor_certifies_every_traced_run_under_random_faults(
+        config in fault_config(),
+        algo_idx in 0usize..Algo::FIG4.len(),
+    ) {
+        let cluster = testbed_cluster();
+        let (workload, faulted_cluster) = faulted_instance(&experiment(), &cluster, config);
+        let algo = Algo::FIG4[algo_idx];
+        let mut scheduler = algo.make(&faulted_cluster);
+        let (engine, handle) = Engine::new(faulted_cluster.clone(), workload.clone(), 1_000_000)
+            .expect("valid workload")
+            .with_trace(flowtime_sim::DEFAULT_TRACE_CAPACITY);
+        let outcome = engine.run(scheduler.as_mut()).expect("run succeeds");
+        prop_assert!(outcome.is_complete());
+        let report = certify(&faulted_cluster, &workload, &outcome, &handle.take());
+        prop_assert!(
+            report.is_certified(),
+            "{}: {}",
+            algo.name(),
+            report.summary()
+        );
+        prop_assert_eq!(report.attribution, outcome.deadline_attribution);
+    }
+
+    /// Horizon-drain variant: when the slot budget runs out with jobs still
+    /// in flight (including jobs that never arrived), the auditor still
+    /// certifies the partial run from its trace.
+    #[test]
+    fn auditor_certifies_horizon_drained_runs(
+        config in fault_config(),
+        algo_idx in 0usize..Algo::FIG4.len(),
+        max_slots in 2u64..60,
+    ) {
+        let cluster = testbed_cluster();
+        let (workload, faulted_cluster) = faulted_instance(&experiment(), &cluster, config);
+        let algo = Algo::FIG4[algo_idx];
+        let mut scheduler = algo.make(&faulted_cluster);
+        let (engine, handle) = Engine::new(faulted_cluster.clone(), workload.clone(), max_slots)
+            .expect("valid workload")
+            .with_trace(flowtime_sim::DEFAULT_TRACE_CAPACITY);
+        let outcome = engine.run(scheduler.as_mut()).expect("drain is not an error");
+        let report = certify(&faulted_cluster, &workload, &outcome, &handle.take());
+        prop_assert!(
+            report.is_certified(),
+            "{} at {} slots: {}",
+            algo.name(),
+            max_slots,
+            report.summary()
+        );
+    }
+
     /// Misestimation rewrites ground truth but never the scheduler-visible
     /// estimates, and never produces zero-work jobs.
     #[test]

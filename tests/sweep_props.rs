@@ -27,6 +27,7 @@ fn spec(schedulers: Vec<Algo>, fault_seeds: Vec<u64>, scenarios: Vec<SweepScenar
         scenarios,
         schedulers,
         fault_seeds,
+        audit: false,
     }
 }
 
@@ -174,6 +175,7 @@ fn golden_sweep_report_schema_is_stable() {
             "workflow_misses",
             "adhoc_turnaround_s",
             "slots_elapsed",
+            "overrun_slots",
         ] {
             assert!(cell.get(key).is_some(), "cell row lost field `{key}`");
         }
@@ -192,6 +194,8 @@ fn golden_sweep_report_schema_is_stable() {
             "adhoc_p99_s",
             "solver_telemetry",
             "engine_telemetry",
+            "overrun_slots",
+            "top_overrun_node",
         ] {
             assert!(rollup.get(key).is_some(), "rollup lost field `{key}`");
         }
