@@ -7,7 +7,7 @@ use flowtime::{
 };
 use flowtime_dag::{ResourceVec, WorkflowId};
 use flowtime_sim::{
-    ClusterConfig, Engine, FaultConfig, FaultPlan, Metrics, Scheduler, SimWorkload,
+    ClusterConfig, Engine, FaultConfig, FaultPlan, Metrics, RecoverySetup, Scheduler, SimWorkload,
 };
 use flowtime_workload::{AdhocStream, ScientificShape};
 use rand::rngs::StdRng;
@@ -277,8 +277,27 @@ pub fn run_outcome(
     cluster: &ClusterConfig,
     workload: SimWorkload,
 ) -> flowtime_sim::SimOutcome {
+    run_outcome_with(algo, cluster, workload, None)
+}
+
+/// [`run_outcome`] with an optional mid-run failure/recovery layer. With
+/// `None` this is exactly `run_outcome`; passing an inert setup attaches
+/// the layer (crash overlays, degradation scans) without firing anything.
+///
+/// # Panics
+///
+/// Same contract as [`run_outcome`].
+pub fn run_outcome_with(
+    algo: Algo,
+    cluster: &ClusterConfig,
+    workload: SimWorkload,
+    recovery: Option<&RecoverySetup>,
+) -> flowtime_sim::SimOutcome {
     let mut scheduler = algo.make(cluster);
-    let engine = Engine::new(cluster.clone(), workload, 1_000_000).expect("valid workload");
+    let mut engine = Engine::new(cluster.clone(), workload, 1_000_000).expect("valid workload");
+    if let Some(setup) = recovery {
+        engine = engine.with_recovery(setup.clone());
+    }
     let outcome = engine
         .run(scheduler.as_mut())
         .unwrap_or_else(|e| panic!("{} failed: {e}", algo.name()));
@@ -304,10 +323,26 @@ pub fn run_outcome_traced(
     cluster: &ClusterConfig,
     workload: SimWorkload,
 ) -> (flowtime_sim::SimOutcome, flowtime_sim::DecisionTrace) {
+    run_outcome_traced_with(algo, cluster, workload, None)
+}
+
+/// [`run_outcome_traced`] with an optional mid-run failure/recovery layer.
+///
+/// # Panics
+///
+/// Same contract as [`run_outcome`].
+pub fn run_outcome_traced_with(
+    algo: Algo,
+    cluster: &ClusterConfig,
+    workload: SimWorkload,
+    recovery: Option<&RecoverySetup>,
+) -> (flowtime_sim::SimOutcome, flowtime_sim::DecisionTrace) {
     let mut scheduler = algo.make(cluster);
-    let (engine, handle) = Engine::new(cluster.clone(), workload, 1_000_000)
-        .expect("valid workload")
-        .with_trace(flowtime_sim::DEFAULT_TRACE_CAPACITY);
+    let mut engine = Engine::new(cluster.clone(), workload, 1_000_000).expect("valid workload");
+    if let Some(setup) = recovery {
+        engine = engine.with_recovery(setup.clone());
+    }
+    let (engine, handle) = engine.with_trace(flowtime_sim::DEFAULT_TRACE_CAPACITY);
     let outcome = engine
         .run(scheduler.as_mut())
         .unwrap_or_else(|e| panic!("{} failed: {e}", algo.name()));

@@ -18,7 +18,8 @@
 use crate::experiments::{faulted_instance, Algo, WorkflowExperiment};
 use crate::report;
 use flowtime_sim::{
-    run_cells, ClusterConfig, EngineTelemetry, FaultConfig, SimOutcome, SolverTelemetry,
+    run_cells, ClusterConfig, EngineTelemetry, FaultConfig, RecoveryPolicy, RecoverySetup,
+    RecoveryStats, RuntimeFaultConfig, ShedPolicy, SimOutcome, SolverTelemetry,
 };
 use serde::Serialize;
 use std::time::Instant;
@@ -48,6 +49,68 @@ impl FaultProfile {
     }
 }
 
+/// A mid-run failure/recovery layer applied per fault seed — the runtime
+/// analogue of [`FaultProfile`], which only rewrites the workload before
+/// the run starts. Serialized into the report so a persisted sweep is
+/// self-describing.
+#[derive(Debug, Clone, Serialize)]
+pub struct RecoveryProfile {
+    /// Per-attempt probability that a running task attempt fails mid-run.
+    pub task_fail_rate: f64,
+    /// Fraction of capacity a node-crash window removes (0 = no crashes).
+    pub crash_severity: f64,
+    /// Slots between crash windows.
+    pub crash_period: u64,
+    /// Fraction of first attempts inflated by straggler slowdown.
+    pub straggler_rate: f64,
+    /// Extra-work factor applied to a straggling attempt.
+    pub straggler_factor: f64,
+    /// Kills tolerated per job before the final attempt runs protected.
+    pub max_retries: u32,
+    /// Admission policy for ad-hoc jobs under sustained overload.
+    pub shed: ShedPolicy,
+    /// Ad-hoc backlog per core counting as overload (only meaningful with
+    /// a shedding policy).
+    pub overload_factor: f64,
+    /// Slots of sustained overload before the policy sheds.
+    pub overload_sustain: u64,
+}
+
+impl RecoveryProfile {
+    /// The chaos grid profile: task failures at `task_fail_rate`, periodic
+    /// 30%-severity node crashes, 10% stragglers, default retry budget.
+    pub fn chaos(task_fail_rate: f64) -> Self {
+        RecoveryProfile {
+            task_fail_rate,
+            crash_severity: 0.3,
+            crash_period: 60,
+            straggler_rate: 0.1,
+            straggler_factor: 0.5,
+            max_retries: 3,
+            shed: ShedPolicy::None,
+            overload_factor: 4.0,
+            overload_sustain: 10,
+        }
+    }
+
+    /// Materializes the per-cell recovery setup from the cell's fault seed
+    /// (the same seed that drives the scenario's [`FaultProfile`], so one
+    /// number reproduces the whole cell).
+    pub fn setup(&self, seed: u64) -> RecoverySetup {
+        RecoverySetup::new(
+            RuntimeFaultConfig::none(seed)
+                .with_task_failures(self.task_fail_rate)
+                .with_crashes(self.crash_severity)
+                .with_crash_period(self.crash_period)
+                .with_stragglers(self.straggler_rate, self.straggler_factor),
+            RecoveryPolicy::default()
+                .with_max_retries(self.max_retries)
+                .with_shed(self.shed)
+                .with_overload(self.overload_factor, self.overload_sustain),
+        )
+    }
+}
+
 /// One named workload scenario of a sweep.
 #[derive(Debug, Clone, Serialize)]
 pub struct SweepScenario {
@@ -57,6 +120,11 @@ pub struct SweepScenario {
     pub overrun: f64,
     /// Fault injection profile applied per fault seed.
     pub faults: FaultProfile,
+    /// Mid-run failure/recovery layer, applied per fault seed. `None`
+    /// (and skipped in serialization) keeps pre-recovery sweep reports
+    /// byte-identical.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub recovery: Option<RecoveryProfile>,
 }
 
 impl SweepScenario {
@@ -66,6 +134,7 @@ impl SweepScenario {
             name: "clean".into(),
             overrun: 0.0,
             faults: FaultProfile::Clean,
+            recovery: None,
         }
     }
 
@@ -75,7 +144,26 @@ impl SweepScenario {
             name: "mixed-faults".into(),
             overrun: 0.0,
             faults: FaultProfile::Mixed,
+            recovery: None,
         }
+    }
+
+    /// The chaos scenario: a clean workload hit by mid-run task failures,
+    /// node crashes, and stragglers, recovered by the retry policy.
+    pub fn chaos(task_fail_rate: f64) -> Self {
+        SweepScenario {
+            name: format!("chaos-{}", (task_fail_rate * 100.0).round() as u64),
+            overrun: 0.0,
+            faults: FaultProfile::Clean,
+            recovery: Some(RecoveryProfile::chaos(task_fail_rate)),
+        }
+    }
+
+    /// Attaches (or replaces) the scenario's recovery layer.
+    #[must_use]
+    pub fn with_recovery(mut self, profile: RecoveryProfile) -> Self {
+        self.recovery = Some(profile);
+        self
     }
 }
 
@@ -143,6 +231,11 @@ pub struct SweepCellRow {
     pub overrun_slots: u64,
     /// Slots simulated.
     pub slots_elapsed: u64,
+    /// Mid-run failure/recovery counters of the cell (task failures, crash
+    /// kills, retries, wasted work, sheds); omitted — keeping pre-recovery
+    /// report bytes — when nothing fired.
+    #[serde(skip_serializing_if = "RecoveryStats::is_inert")]
+    pub recovery: RecoveryStats,
 }
 
 /// Aggregate over every cell of one `(scenario, scheduler)` pair.
@@ -180,6 +273,10 @@ pub struct SweepRollup {
     pub solver_telemetry: Option<SolverTelemetry>,
     /// Engine counters accumulated across cells (peak is a max).
     pub engine_telemetry: EngineTelemetry,
+    /// Failure/recovery counters summed across cells; omitted (keeping
+    /// pre-recovery report bytes) when nothing fired in the group.
+    #[serde(skip_serializing_if = "RecoveryStats::is_inert")]
+    pub recovery: RecoveryStats,
 }
 
 /// Compact description of the base experiment, embedded in the report so a
@@ -290,10 +387,21 @@ impl SweepSpec {
         };
         let (workload, cluster) =
             faulted_instance(&exp, &self.cluster, scenario.faults.config(cell.fault_seed));
+        let recovery = scenario.recovery.as_ref().map(|p| p.setup(cell.fault_seed));
         let outcome = if self.audit {
-            let (outcome, trace) =
-                crate::experiments::run_outcome_traced(cell.algo, &cluster, workload.clone());
-            let report = flowtime_sim::certify(&cluster, &workload, &outcome, &trace);
+            let (outcome, trace) = crate::experiments::run_outcome_traced_with(
+                cell.algo,
+                &cluster,
+                workload.clone(),
+                recovery.as_ref(),
+            );
+            let report = flowtime_sim::certify_with_recovery(
+                &cluster,
+                &workload,
+                &outcome,
+                &trace,
+                recovery.as_ref(),
+            );
             assert!(
                 report.is_certified(),
                 "audit rejected {} / {} / seed {}: {}",
@@ -304,7 +412,7 @@ impl SweepSpec {
             );
             outcome
         } else {
-            crate::experiments::run_outcome(cell.algo, &cluster, workload)
+            crate::experiments::run_outcome_with(cell.algo, &cluster, workload, recovery.as_ref())
         };
         cell_outcome(scenario, cell, &outcome)
     }
@@ -434,6 +542,7 @@ fn cell_outcome(scenario: &SweepScenario, cell: &SweepCell, outcome: &SimOutcome
             adhoc_turnaround_s: metrics.avg_adhoc_turnaround_seconds().unwrap_or(0.0),
             overrun_slots,
             slots_elapsed: outcome.slots_elapsed,
+            recovery: outcome.recovery.clone(),
         },
         adhoc_turnaround_slots,
         top_culprit,
@@ -456,7 +565,9 @@ fn rollup(
     let mut top: Option<(u64, String)> = None;
     let mut solver: Option<SolverTelemetry> = None;
     let mut engine = EngineTelemetry::default();
+    let mut recovery = RecoveryStats::default();
     for o in group {
+        recovery.accumulate(&o.row.recovery);
         deadline_jobs += o.row.deadline_jobs;
         job_misses += o.row.job_misses;
         workflow_misses += o.row.workflow_misses;
@@ -494,6 +605,7 @@ fn rollup(
         top_overrun_node: top.map(|(ov, l)| format!("{l} +{ov}")).unwrap_or_default(),
         solver_telemetry: solver,
         engine_telemetry: engine,
+        recovery,
     }
 }
 
@@ -573,6 +685,39 @@ mod tests {
         // run() panics inside a cell if the auditor rejects it.
         let audited = serde_json::to_string_pretty(&audited_spec.run(2).report).unwrap();
         assert_eq!(plain, audited);
+    }
+
+    #[test]
+    fn chaos_sweep_audits_recovers_and_stays_thread_deterministic() {
+        let spec = SweepSpec {
+            scenarios: vec![SweepScenario::chaos(0.3)],
+            audit: true,
+            ..tiny_spec()
+        };
+        let run = spec.run(1);
+        let fired: u64 = run
+            .report
+            .cells
+            .iter()
+            .map(|c| c.recovery.task_failures + c.recovery.crash_kills)
+            .sum();
+        assert!(fired > 0, "chaos scenario injected nothing");
+        for r in &run.report.rollups {
+            assert_eq!(
+                r.recovery.retries,
+                r.recovery.task_failures + r.recovery.crash_kills
+            );
+        }
+        let sequential = serde_json::to_string_pretty(&run.report).unwrap();
+        let parallel = serde_json::to_string_pretty(&spec.run(4).report).unwrap();
+        assert_eq!(sequential, parallel);
+    }
+
+    #[test]
+    fn recovery_free_scenarios_serialize_without_recovery_fields() {
+        let spec = tiny_spec();
+        let bytes = serde_json::to_string_pretty(&spec.run(1).report).unwrap();
+        assert!(!bytes.contains("\"recovery\""), "inert counters leaked");
     }
 
     #[test]

@@ -37,11 +37,17 @@ impl Args {
         self.flags.get(key).map(String::as_str)
     }
 
-    /// Parsed numeric value of a flag, or `default`.
-    pub fn get_or<T: std::str::FromStr>(&self, key: &str, default: T) -> T {
-        self.get(key)
-            .and_then(|v| v.parse().ok())
-            .unwrap_or(default)
+    /// Parsed value of a flag: absent flags yield `default`, present flags
+    /// must parse. A bare `--key` or a malformed value is an error, never a
+    /// silent fallback to the default (a typo'd `--workflows banana` must
+    /// not quietly run the default experiment).
+    pub fn get_parsed<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(raw) => raw
+                .parse()
+                .map_err(|_| format!("--{key} requires a valid value, got `{raw}`")),
+        }
     }
 
     /// True if the flag is present (with or without a value).
@@ -66,8 +72,16 @@ mod tests {
         assert_eq!(a.positional, vec!["simulate"]);
         assert_eq!(a.get("trace"), Some("t.jsonl"));
         assert!(a.has("quiet"));
-        assert_eq!(a.get_or("n", 0u64), 5);
-        assert_eq!(a.get_or("missing", 7u64), 7);
+        assert_eq!(a.get_parsed("n", 0u64), Ok(5));
+        assert_eq!(a.get_parsed("missing", 7u64), Ok(7));
+    }
+
+    #[test]
+    fn malformed_values_error_instead_of_defaulting() {
+        let a = Args::parse(&argv(&["--n", "banana", "--quiet"]));
+        assert!(a.get_parsed("n", 0u64).is_err());
+        // A bare presence flag parsed as a number is also an error.
+        assert!(a.get_parsed("quiet", 0u64).is_err());
     }
 
     #[test]

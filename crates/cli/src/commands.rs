@@ -7,7 +7,10 @@ use flowtime::{
     MorpheusScheduler,
 };
 use flowtime_dag::ResourceVec;
-use flowtime_sim::{ClusterConfig, Engine, FaultConfig, FaultPlan, Metrics, Scheduler};
+use flowtime_sim::{
+    ClusterConfig, Engine, FaultConfig, FaultPlan, Metrics, RecoveryPolicy, RecoverySetup,
+    RuntimeFaultConfig, Scheduler, ShedPolicy,
+};
 use flowtime_workload::trace::{ProductionTraceConfig, Trace};
 use std::error::Error;
 use std::fs::File;
@@ -30,8 +33,9 @@ USAGE:
   flowtime-cli audit     --trace <trace.jsonl> --decision-trace <d.jsonl>
                          --outcome <outcome.json> [FAULTS]
   flowtime-cli sweep     [--threads N] [--seeds A..B] [--schedulers a,b,..]
-                         [--scenarios clean,mixed-faults] [--workflows N]
+                         [--scenarios clean,mixed-faults,chaos:0.2]
                          [--jobs N] [--adhoc-horizon S] [--seed S]
+                         [--workflows N]
                          [--out NAME] [--bench-threads 1,2,..] [--audit]
 
 SCHEDULERS: flowtime, flowtime-no-ds, edf, fifo, fair, cora, morpheus
@@ -42,6 +46,18 @@ FAULTS (deterministic injection, all derived from one seed):
   --churn X          fraction of capacity removed in churn windows (default 0)
   --bursts N         extra ad-hoc jobs injected in bursts (default 0)
   --submit-delay D   max workflow submission delay in slots (default 0)
+
+RECOVERY (mid-run failures + retry policy; also need --fault-seed):
+  --task-fail-rate X     probability a task attempt fails mid-run (default 0)
+  --node-crash X         severity of node-crash capacity loss (default 0)
+  --node-crash-period P  slots between crash windows (default 120)
+  --straggler-rate X     fraction of first attempts inflated (default 0)
+  --straggler-factor F   extra-work factor for stragglers (default 0.5)
+  --max-retries N        kills tolerated per job before giving up (default 3)
+  --retry-backoff B      backoff base in slots between attempts (default 1)
+  --shed-policy P        overload admission: none | shed | delay:N
+  --overload-factor X    ad-hoc backlog per core that counts as overload
+  --overload-sustain S   slots of sustained overload before shedding
 ";
 
 /// Dispatches a parsed command line.
@@ -98,38 +114,39 @@ fn make_scheduler(
     })
 }
 
-/// Parses `--key value` strictly: absent flags yield `default`, present
-/// flags must parse (a bare or malformed value must not silently disable a
-/// requested fault).
-fn parse_flag<T: std::str::FromStr>(
-    args: &Args,
-    key: &str,
-    default: T,
-) -> Result<T, Box<dyn Error>> {
-    match args.get(key) {
-        None => Ok(default),
-        Some(raw) => raw
-            .parse()
-            .map_err(|_| format!("--{key} requires a number, got `{raw}`").into()),
-    }
-}
+/// Flags of the runtime failure/recovery family ([`recovery_setup`]).
+const RECOVERY_KEYS: [&str; 10] = [
+    "task-fail-rate",
+    "node-crash",
+    "node-crash-period",
+    "straggler-rate",
+    "straggler-factor",
+    "max-retries",
+    "retry-backoff",
+    "shed-policy",
+    "overload-factor",
+    "overload-sustain",
+];
 
 /// Applies the `--fault-seed` family of flags to a loaded trace, in place.
 /// No-op unless `--fault-seed` is present.
 fn apply_faults(args: &Args, trace: &mut Trace) -> CliResult {
     if !args.has("fault-seed") {
-        for key in ["misestimate", "churn", "bursts", "submit-delay"] {
+        for key in ["misestimate", "churn", "bursts", "submit-delay"]
+            .iter()
+            .chain(RECOVERY_KEYS.iter())
+        {
             if args.has(key) {
                 return Err(format!("--{key} requires --fault-seed <S>").into());
             }
         }
         return Ok(());
     }
-    let config = FaultConfig::none(parse_flag(args, "fault-seed", 0u64)?)
-        .with_misestimate(parse_flag(args, "misestimate", 0.0f64)?)
-        .with_churn(parse_flag(args, "churn", 0.0f64)?)
-        .with_bursts(parse_flag(args, "bursts", 0usize)?)
-        .with_submit_delay(parse_flag(args, "submit-delay", 0u64)?);
+    let config = FaultConfig::none(args.get_parsed("fault-seed", 0u64)?)
+        .with_misestimate(args.get_parsed("misestimate", 0.0f64)?)
+        .with_churn(args.get_parsed("churn", 0.0f64)?)
+        .with_bursts(args.get_parsed("bursts", 0usize)?)
+        .with_submit_delay(args.get_parsed("submit-delay", 0u64)?);
     // Bound churn/bursts by the busy part of the trace, not the engine's
     // safety horizon.
     let horizon = trace
@@ -146,6 +163,61 @@ fn apply_faults(args: &Args, trace: &mut Trace) -> CliResult {
     Ok(())
 }
 
+/// Parses a `--shed-policy` value: `none`, `shed`, or `delay:N`.
+fn parse_shed_policy(raw: &str) -> Result<ShedPolicy, Box<dyn Error>> {
+    match raw {
+        "none" => Ok(ShedPolicy::None),
+        "shed" => Ok(ShedPolicy::Shed),
+        other => match other.strip_prefix("delay:") {
+            Some(n) => Ok(ShedPolicy::Delay {
+                slots: n
+                    .parse()
+                    .map_err(|_| format!("--shed-policy delay wants slots, got `{n}`"))?,
+            }),
+            None => {
+                Err(format!("--shed-policy must be none, shed, or delay:N, got `{raw}`").into())
+            }
+        },
+    }
+}
+
+/// Builds the runtime failure/recovery setup from the RECOVERY flag family.
+/// Returns `None` when no recovery flag is present, so runs without the
+/// flags attach no recovery layer at all and stay byte-identical to
+/// pre-recovery builds. `apply_faults` has already verified `--fault-seed`
+/// accompanies any of these flags.
+fn recovery_setup(args: &Args) -> Result<Option<RecoverySetup>, Box<dyn Error>> {
+    if !RECOVERY_KEYS.iter().any(|k| args.has(k)) {
+        return Ok(None);
+    }
+    let seed = args.get_parsed("fault-seed", 0u64)?;
+    let mut faults = RuntimeFaultConfig::none(seed)
+        .with_task_failures(args.get_parsed("task-fail-rate", 0.0f64)?)
+        .with_crashes(args.get_parsed("node-crash", 0.0f64)?);
+    if args.has("node-crash-period") {
+        faults = faults.with_crash_period(args.get_parsed("node-crash-period", 120u64)?);
+    }
+    if args.has("straggler-rate") || args.has("straggler-factor") {
+        faults = faults.with_stragglers(
+            args.get_parsed("straggler-rate", 0.0f64)?,
+            args.get_parsed("straggler-factor", 0.5f64)?,
+        );
+    }
+    let mut policy = RecoveryPolicy::default()
+        .with_max_retries(args.get_parsed("max-retries", 3u32)?)
+        .with_backoff(args.get_parsed("retry-backoff", 1u64)?)
+        .with_shed(parse_shed_policy(
+            args.get("shed-policy").unwrap_or("none"),
+        )?);
+    if args.has("overload-factor") || args.has("overload-sustain") {
+        policy = policy.with_overload(
+            args.get_parsed("overload-factor", 4.0f64)?,
+            args.get_parsed("overload-sustain", 10u64)?,
+        );
+    }
+    Ok(Some(RecoverySetup::new(faults, policy)))
+}
+
 fn attach_milestones(trace: &mut Trace) {
     let cfg = DecomposeConfig::new(trace.cluster.capacity());
     for sub in &mut trace.workload.workflows {
@@ -160,8 +232,32 @@ fn attach_milestones(trace: &mut Trace) {
 fn run_one(
     trace: &Trace,
     scheduler: &mut dyn Scheduler,
+    recovery: Option<&RecoverySetup>,
 ) -> Result<flowtime_sim::SimOutcome, Box<dyn Error>> {
-    Ok(Engine::new(trace.cluster.clone(), trace.workload.clone(), 10_000_000)?.run(scheduler)?)
+    let mut engine = Engine::new(trace.cluster.clone(), trace.workload.clone(), 10_000_000)?;
+    if let Some(setup) = recovery {
+        engine = engine.with_recovery(setup.clone());
+    }
+    Ok(engine.run(scheduler)?)
+}
+
+fn recovery_line(outcome: &flowtime_sim::SimOutcome) -> Option<String> {
+    let r = &outcome.recovery;
+    if r.is_inert() && outcome.shed.is_empty() {
+        return None;
+    }
+    Some(format!(
+        "task-fails {}  crash-kills {}  retries {}  wasted {}  stragglers {} (+{})  shed {}  delayed {}  infeasible {}",
+        r.task_failures,
+        r.crash_kills,
+        r.retries,
+        r.wasted_work,
+        r.stragglers,
+        r.straggler_extra_work,
+        r.shed_jobs,
+        r.delayed_jobs,
+        r.infeasible_flags,
+    ))
 }
 
 fn summary_line(name: &str, m: &Metrics) -> String {
@@ -178,15 +274,15 @@ fn summary_line(name: &str, m: &Metrics) -> String {
 
 fn generate(args: &Args) -> CliResult {
     let out = args.get("out").ok_or("--out <file> is required")?;
-    let cores = args.get_or("cores", 160u64);
-    let mem = args.get_or("mem-mb", cores * 4096);
+    let cores = args.get_parsed("cores", 160u64)?;
+    let mem = args.get_parsed("mem-mb", cores * 4096)?;
     let cluster = ClusterConfig::new(ResourceVec::new([cores, mem]), 10.0);
     let config = ProductionTraceConfig {
-        workflows: args.get_or("workflows", 10usize),
-        looseness: args.get_or("looseness", 6.0f64),
+        workflows: args.get_parsed("workflows", 10usize)?,
+        looseness: args.get_parsed("looseness", 6.0f64)?,
         ..Default::default()
     };
-    let trace = Trace::synthesize_production(cluster, &config, args.get_or("seed", 7u64));
+    let trace = Trace::synthesize_production(cluster, &config, args.get_parsed("seed", 7u64)?);
     let file = File::create(out).map_err(|e| format!("cannot create {out}: {e}"))?;
     trace.write_jsonl(BufWriter::new(file))?;
     println!(
@@ -208,10 +304,14 @@ fn simulate(args: &Args) -> CliResult {
     let mut trace = load_trace(args)?;
     attach_milestones(&mut trace);
     apply_faults(args, &mut trace)?;
+    let recovery = recovery_setup(args)?;
     let name = args.get("scheduler").unwrap_or("flowtime");
     let mut scheduler = make_scheduler(name, &trace.cluster, !args.has("no-plan-cache"))?;
     let want_gantt = args.has("gantt");
     let mut engine = Engine::new(trace.cluster.clone(), trace.workload.clone(), 10_000_000)?;
+    if let Some(setup) = &recovery {
+        engine = engine.with_recovery(setup.clone());
+    }
     if want_gantt {
         engine = engine.with_timeline();
     }
@@ -228,7 +328,13 @@ fn simulate(args: &Args) -> CliResult {
             decisions.recorded()
         );
         // Self-check: the auditor must certify the run it just watched.
-        let report = flowtime_sim::certify(&trace.cluster, &trace.workload, &outcome, &decisions);
+        let report = flowtime_sim::certify_with_recovery(
+            &trace.cluster,
+            &trace.workload,
+            &outcome,
+            &decisions,
+            recovery.as_ref(),
+        );
         println!("{:<16} {}", "audit", report.summary());
         if !report.is_certified() {
             for v in &report.violations {
@@ -238,6 +344,9 @@ fn simulate(args: &Args) -> CliResult {
         }
     } else {
         outcome = engine.run(scheduler.as_mut())?;
+    }
+    if let Some(line) = recovery_line(&outcome) {
+        println!("{:<16} {}", "recovery", line);
     }
     if let Some(out) = args.get("outcome-out") {
         let file = File::create(out).map_err(|e| format!("cannot create {out}: {e}"))?;
@@ -282,7 +391,14 @@ fn audit_cmd(args: &Args) -> CliResult {
     let raw = std::fs::read_to_string(opath).map_err(|e| format!("cannot open {opath}: {e}"))?;
     let outcome: flowtime_sim::SimOutcome =
         serde_json::from_str(&raw).map_err(|e| format!("malformed outcome {opath}: {e}"))?;
-    let report = flowtime_sim::certify(&trace.cluster, &trace.workload, &outcome, &decisions);
+    let recovery = recovery_setup(args)?;
+    let report = flowtime_sim::certify_with_recovery(
+        &trace.cluster,
+        &trace.workload,
+        &outcome,
+        &decisions,
+        recovery.as_ref(),
+    );
     println!("{}", report.summary());
     if !report.is_certified() {
         for v in &report.violations {
@@ -310,10 +426,14 @@ fn compare(args: &Args) -> CliResult {
     let mut trace = load_trace(args)?;
     attach_milestones(&mut trace);
     apply_faults(args, &mut trace)?;
+    let recovery = recovery_setup(args)?;
     for name in ["flowtime", "cora", "edf", "fair", "fifo", "morpheus"] {
         let mut scheduler = make_scheduler(name, &trace.cluster, !args.has("no-plan-cache"))?;
-        let outcome = run_one(&trace, scheduler.as_mut())?;
+        let outcome = run_one(&trace, scheduler.as_mut(), recovery.as_ref())?;
         println!("{}", summary_line(scheduler.name(), &outcome.metrics));
+        if let Some(line) = recovery_line(&outcome) {
+            println!("{:<16} {}", "", line);
+        }
         if let Some(t) = &outcome.solver_telemetry {
             println!("{:<16} {}", "", t.summary());
         }
@@ -344,7 +464,7 @@ fn sweep_cmd(args: &Args) -> CliResult {
     use flowtime_bench::sweep::{SweepScenario, SweepSpec};
     use flowtime_bench::Algo;
 
-    let threads = args.get_or("threads", 1usize).max(1);
+    let threads = args.get_parsed("threads", 1usize)?.max(1);
     let fault_seeds = parse_seed_range(args.get("seeds").unwrap_or("0..4"))?;
     let schedulers = match args.get("schedulers") {
         None => flowtime_bench::Algo::FIG4.to_vec(),
@@ -362,15 +482,32 @@ fn sweep_cmd(args: &Args) -> CliResult {
             .map(|name| match name.trim() {
                 "clean" => Ok(SweepScenario::clean()),
                 "mixed" | "mixed-faults" => Ok(SweepScenario::mixed_faults()),
-                other => Err(format!("unknown scenario `{other}` (clean, mixed-faults)").into()),
+                // `chaos:R` = mid-run task failures at rate R (plus crashes
+                // and stragglers), recovered by the retry policy.
+                other => match other.strip_prefix("chaos:").or(if other == "chaos" {
+                    Some("0.2")
+                } else {
+                    None
+                }) {
+                    Some(rate) => {
+                        let rate: f64 = rate
+                            .parse()
+                            .map_err(|_| format!("chaos wants a failure rate, got `{rate}`"))?;
+                        Ok(SweepScenario::chaos(rate))
+                    }
+                    None => Err(format!(
+                        "unknown scenario `{other}` (clean, mixed-faults, chaos[:RATE])"
+                    )
+                    .into()),
+                },
             })
             .collect::<Result<Vec<_>, Box<dyn Error>>>()?,
     };
     let base = flowtime_bench::experiments::WorkflowExperiment {
-        workflows: args.get_or("workflows", 5usize),
-        jobs_per_workflow: args.get_or("jobs", 18usize),
-        adhoc_horizon: args.get_or("adhoc-horizon", 600u64),
-        seed: args.get_or("seed", 20180702u64),
+        workflows: args.get_parsed("workflows", 5usize)?,
+        jobs_per_workflow: args.get_parsed("jobs", 18usize)?,
+        adhoc_horizon: args.get_parsed("adhoc-horizon", 600u64)?,
+        seed: args.get_parsed("seed", 20180702u64)?,
         ..Default::default()
     };
     let spec = SweepSpec {
@@ -436,8 +573,8 @@ fn sweep_cmd(args: &Args) -> CliResult {
 
 fn decompose_cmd(args: &Args) -> CliResult {
     let trace = load_trace(args)?;
-    let index = args.get_or("index", 0usize);
-    let slack = args.get_or("slack", 6u64);
+    let index = args.get_parsed("index", 0usize)?;
+    let slack = args.get_parsed("slack", 6u64)?;
     let sub = trace
         .workload
         .workflows
@@ -721,6 +858,84 @@ mod tests {
     }
 
     #[test]
+    fn simulate_recovery_round_trip_and_bad_paths() {
+        let dir = std::env::temp_dir().join("flowtime-cli-test-rec");
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace_path = dir.join("t.jsonl");
+        dispatch(&argv(&[
+            "generate",
+            "--out",
+            trace_path.to_str().unwrap(),
+            "--workflows",
+            "2",
+            "--cores",
+            "64",
+            "--seed",
+            "3",
+        ]))
+        .unwrap();
+        // Orphaned or malformed recovery flags must error, not silently
+        // run without the requested failures.
+        for bad in [
+            vec!["--task-fail-rate", "0.2"],
+            vec!["--fault-seed", "1", "--task-fail-rate", "high"],
+            vec!["--fault-seed", "1", "--max-retries", "-2"],
+            vec!["--fault-seed", "1", "--shed-policy", "sometimes"],
+            vec!["--fault-seed", "1", "--shed-policy", "delay:x"],
+        ] {
+            let mut a = vec!["simulate", "--trace", trace_path.to_str().unwrap()];
+            a.extend_from_slice(&bad);
+            assert!(dispatch(&argv(&a)).is_err(), "{bad:?} should be rejected");
+        }
+        // A chaos run self-audits its decision trace (certify_with_recovery
+        // inside `simulate`) and the standalone audit command agrees when
+        // handed the same flags — and only then.
+        let decisions = dir.join("d.jsonl");
+        let outcome = dir.join("o.json");
+        let chaos = [
+            "--fault-seed",
+            "42",
+            "--task-fail-rate",
+            "0.3",
+            "--node-crash",
+            "0.4",
+            "--node-crash-period",
+            "30",
+            "--straggler-rate",
+            "0.2",
+        ];
+        let mut a = vec![
+            "simulate",
+            "--trace",
+            trace_path.to_str().unwrap(),
+            "--scheduler",
+            "edf",
+            "--trace-out",
+            decisions.to_str().unwrap(),
+            "--outcome-out",
+            outcome.to_str().unwrap(),
+        ];
+        a.extend_from_slice(&chaos);
+        dispatch(&argv(&a)).unwrap();
+        let mut audit = vec![
+            "audit",
+            "--trace",
+            trace_path.to_str().unwrap(),
+            "--decision-trace",
+            decisions.to_str().unwrap(),
+            "--outcome",
+            outcome.to_str().unwrap(),
+        ];
+        let plain = audit.clone();
+        audit.extend_from_slice(&chaos);
+        dispatch(&argv(&audit)).unwrap();
+        // Auditing a chaos run while omitting its recovery flags must fail:
+        // the trace contains kills the clean scenario cannot explain.
+        assert!(dispatch(&argv(&plain)).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn seed_ranges_parse_as_half_open() {
         assert_eq!(parse_seed_range("0..3").unwrap(), vec![0, 1, 2]);
         assert_eq!(parse_seed_range("7..9").unwrap(), vec![7, 8]);
@@ -735,6 +950,7 @@ mod tests {
             vec!["sweep", "--seeds", "oops"],
             vec!["sweep", "--schedulers", "flowtime,unknown"],
             vec!["sweep", "--scenarios", "apocalypse"],
+            vec!["sweep", "--scenarios", "chaos:banana"],
             vec!["sweep", "--bench-threads", "1,x"],
         ] {
             assert!(dispatch(&argv(&bad)).is_err(), "{bad:?} should be rejected");

@@ -412,6 +412,19 @@ impl Scheduler for FlowTimeScheduler {
         }
     }
 
+    fn on_failure(&mut self, _state: &SimState, job: JobId, _attempt: u32) {
+        // A killed attempt reverts the job's progress to zero, so a plan
+        // paced against the old `done_work` now under-provisions it. Drop
+        // the plan: the next slot replans through the warm-started cache
+        // (the windows and milestones survive — only the pacing is stale).
+        // Ad-hoc failures don't touch the LP, which never plans them.
+        if self.windows.contains_key(&job) {
+            self.plan = None;
+            self.plan_suffix.clear();
+            self.planned_deadlines.clear();
+        }
+    }
+
     fn plan_slot(&mut self, state: &SimState) -> Allocation {
         self.refresh_regime(state);
         let arrived = self.absorb_arrivals(state);

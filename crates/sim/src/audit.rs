@@ -40,11 +40,28 @@
 //! | `attribution-mismatch` | the attribution report does not recompute |
 //! | `load-mismatch` | per-slot loads/capacities disagree with the grants |
 //! | `in-flight-mismatch` | drained-job progress disagrees with the trace |
+//! | `kill-invalid` | a kill matches no seeded fault, or a due kill is missing |
+//! | `kill-accounting` | a kill's attempt/wasted fields disagree with the replay |
+//! | `retry-accounting` | retry counters, backoff gates, or wasted-work totals do not recount |
+//! | `shed-violation` | admission-control events/records contradict the policy or replay |
+//! | `straggler-mismatch` | straggler inflation disagrees with the seeded expectation |
+//!
+//! Runs recorded with the mid-run failure/recovery subsystem armed
+//! ([`crate::Engine::with_recovery`]) are certified via
+//! [`certify_with_recovery`], which re-derives every seeded fault verdict
+//! (kill thresholds, crash windows, straggler inflation) from the
+//! [`crate::faults::RecoverySetup`] alone and demands the trace match —
+//! both directions: recorded faults must be seeded, and seeded faults
+//! must be recorded. [`certify`] is the recovery-free special case: any
+//! recovery event or counter then rejects the run.
 
-use crate::cluster::ClusterConfig;
+use crate::cluster::{CapacityWindow, ClusterConfig};
 use crate::engine::SimOutcome;
+use crate::faults::{
+    runtime_fault_horizon, RecoveryPolicy, RecoverySetup, RuntimeFaultPlan, ShedPolicy,
+};
 use crate::job::{JobClass, SimWorkload};
-use crate::metrics::{MissAttribution, NodeSlackUse};
+use crate::metrics::{MissAttribution, NodeSlackUse, RecoveryStats};
 use crate::trace::{DecisionTrace, TraceEvent};
 use flowtime_dag::{JobId, ResourceVec};
 use std::collections::BTreeMap;
@@ -134,7 +151,8 @@ struct AuditWorkflow {
     milestones: Option<Vec<u64>>,
 }
 
-/// Replayed per-job dynamic state.
+/// Replayed per-job dynamic state. `done_work` is the *current attempt's*
+/// progress: kills reset it (into `wasted`), matching the engine.
 #[derive(Default, Clone)]
 struct Replay {
     arrival_event: Option<u64>,
@@ -142,9 +160,71 @@ struct Replay {
     first_grant: Option<u64>,
     done_work: u64,
     finish: Option<(u64, u64)>, // (slot, done_work at finish)
+    /// Zero-based attempt, bumped by each certified kill.
+    attempt: u32,
+    /// Task-slots discarded by certified kills.
+    wasted: u64,
+    /// Straggler inflation applied to the ground truth (0 until the first
+    /// grant of a seeded straggler).
+    extra_work: u64,
+    /// Seeded straggler inflation awaiting its matching trace event:
+    /// `(slot, extra)`.
+    pending_straggler: Option<(u64, u64)>,
+    /// Earliest slot the current attempt may be granted (backoff gate).
+    retry_gate: u64,
+    /// Slot at which a seeded task failure became due and must be killed.
+    pending_task_kill: Option<u64>,
+    /// Slot of a crash-window opening that must kill this running job.
+    expected_crash_kill: Option<u64>,
+    /// Slot the admission controller shed the job, per the trace.
+    shed: Option<u64>,
+    /// Deferred arrival slot assigned by the delay policy.
+    deferred_until: Option<u64>,
 }
 
-/// Replays `trace` against the scenario and re-verifies `outcome`.
+/// The auditor's independent recovery context, rebuilt from the setup.
+struct RecoveryAudit {
+    plan: RuntimeFaultPlan,
+    policy: RecoveryPolicy,
+    /// Crash windows materialized exactly as the engine did.
+    windows: Vec<CapacityWindow>,
+    next_window: usize,
+}
+
+/// Marks the jobs a correct engine must kill as crash windows with
+/// `from_slot <= upto` open, advancing `next_window`. Windows at or past
+/// `run_end` never fired (the run had already ended).
+fn expect_crash_kills(
+    rc: &mut RecoveryAudit,
+    jobs: &[AuditJob],
+    replays: &mut [Replay],
+    upto: u64,
+    run_end: u64,
+) {
+    while rc.next_window < rc.windows.len() && rc.windows[rc.next_window].from_slot <= upto {
+        let w_start = rc.windows[rc.next_window].from_slot;
+        let w_idx = rc.next_window as u64;
+        rc.next_window += 1;
+        if w_start >= run_end {
+            continue;
+        }
+        for (i, r) in replays.iter_mut().enumerate() {
+            let finished_before = r.finish.is_some_and(|(f, _)| f < w_start);
+            if !finished_before
+                && r.shed.is_none()
+                && r.done_work > 0
+                && r.attempt < rc.policy.max_retries
+                && rc.plan.crash_kills(w_idx, jobs[i].id)
+            {
+                r.expected_crash_kill = Some(w_start);
+            }
+        }
+    }
+}
+
+/// Replays `trace` against the scenario and re-verifies `outcome`,
+/// assuming no mid-run faults were armed. Equivalent to
+/// [`certify_with_recovery`] with `None`.
 ///
 /// The scenario must be the exact post-fault-injection input the engine
 /// ran (the same `(cluster, workload)` pair passed to
@@ -154,6 +234,21 @@ pub fn certify(
     workload: &SimWorkload,
     outcome: &SimOutcome,
     trace: &DecisionTrace,
+) -> AuditReport {
+    certify_with_recovery(cluster, workload, outcome, trace, None)
+}
+
+/// Replays `trace` against the scenario and re-verifies `outcome`,
+/// including every mid-run fault and recovery decision when `recovery`
+/// matches the [`crate::faults::RecoverySetup`] the engine was armed
+/// with. With `None`, any recovery event or non-zero recovery counter is
+/// itself a violation.
+pub fn certify_with_recovery(
+    cluster: &ClusterConfig,
+    workload: &SimWorkload,
+    outcome: &SimOutcome,
+    trace: &DecisionTrace,
+    recovery: Option<&RecoverySetup>,
 ) -> AuditReport {
     let mut v: Vec<AuditViolation> = Vec::new();
     let mut push = |code: &'static str, slot: u64, job: Option<JobId>, detail: String| {
@@ -181,6 +276,38 @@ pub fn certify(
         let raw = id.as_u64() as usize;
         (raw < jobs.len() && jobs[raw].id == id).then_some(raw)
     };
+
+    // ---- Independent recovery context from the setup alone. -------------
+    let mut rec_ctx: Option<RecoveryAudit> = recovery.map(|setup| {
+        let mut policy = setup.policy.clone();
+        // Same clamp as `Engine::with_recovery`.
+        policy.sustain_slots = policy.sustain_slots.max(1);
+        let plan = RuntimeFaultPlan::new(setup.faults.clone());
+        let windows = plan.crash_windows(cluster.capacity(), runtime_fault_horizon(workload));
+        RecoveryAudit {
+            plan,
+            policy,
+            windows,
+            next_window: 0,
+        }
+    });
+    // Effective capacity in force at a slot: the cluster's own windows
+    // capped by any open crash window — what the engine validated against.
+    let overlay: Vec<CapacityWindow> = rec_ctx
+        .as_ref()
+        .map(|rc| rc.windows.clone())
+        .unwrap_or_default();
+    let cap_at = |slot: u64| -> ResourceVec {
+        let base = cluster.capacity_at(slot);
+        overlay
+            .iter()
+            .rev()
+            .find(|w| w.from_slot <= slot && slot < w.to_slot)
+            .map_or(base, |w| base.min(&w.capacity))
+    };
+    // Recovery counters recomputed during replay (infeasible flags are an
+    // engine-side heuristic over time and deliberately not audited).
+    let mut rstats = RecoveryStats::default();
 
     // ---- Header consistency. -------------------------------------------
     let h = &trace.header;
@@ -263,6 +390,12 @@ pub fn certify(
         let mut prev_slot = 0u64;
         for event in trace.events() {
             let slot = event.slot();
+            // Crash windows opening at or before this slot mark the jobs a
+            // correct engine must kill; the Kill events of this slot (which
+            // come after the boundary) discharge them.
+            if let Some(rc) = &mut rec_ctx {
+                expect_crash_kills(rc, &jobs, &mut replays, slot, outcome.slots_elapsed);
+            }
             if slot < prev_slot {
                 push(
                     "event-order",
@@ -285,15 +418,21 @@ pub fn certify(
             match *event {
                 TraceEvent::Arrival { slot, job } => {
                     let i = idx.expect("job events carry an id");
-                    if slot != jobs[i].arrival_slot {
+                    if replays[i].shed.is_some() {
+                        push(
+                            "shed-violation",
+                            slot,
+                            Some(job),
+                            "arrival recorded after the job was shed".into(),
+                        );
+                    }
+                    let expected = replays[i].deferred_until.unwrap_or(jobs[i].arrival_slot);
+                    if slot != expected {
                         push(
                             "arrival-violation",
                             slot,
                             Some(job),
-                            format!(
-                                "arrival recorded at {slot}, submitted {}",
-                                jobs[i].arrival_slot
-                            ),
+                            format!("arrival recorded at {slot}, submitted {expected}"),
                         );
                     }
                     replays[i].arrival_event = Some(slot);
@@ -328,6 +467,22 @@ pub fn certify(
                             format!("granted before submission slot {}", j.arrival_slot),
                         );
                     }
+                    if replays[i].shed.is_some() {
+                        push(
+                            "shed-violation",
+                            slot,
+                            Some(job),
+                            "granted after the job was shed".into(),
+                        );
+                    }
+                    if slot < replays[i].retry_gate {
+                        push(
+                            "retry-accounting",
+                            slot,
+                            Some(job),
+                            format!("granted before the backoff slot {}", replays[i].retry_gate),
+                        );
+                    }
                     for &p in &j.preds {
                         match replays[p].finish {
                             Some((f, _)) if f < slot => {}
@@ -347,9 +502,12 @@ pub fn certify(
                             "granted after its finish event".into(),
                         );
                     }
+                    // The engine's parallelism cap was computed at plan
+                    // time, before any straggler inflation of this slot.
+                    let effective = j.actual_work + replays[i].extra_work;
                     let cap = j
                         .parallel_cap
-                        .min(j.actual_work - replays[i].done_work.min(j.actual_work));
+                        .min(effective.saturating_sub(replays[i].done_work));
                     if tasks > cap {
                         push(
                             "parallelism-exceeded",
@@ -358,8 +516,40 @@ pub fn certify(
                             format!("granted {tasks} tasks, cap {cap}"),
                         );
                     }
+                    if let Some(rc) = &rec_ctx {
+                        // First-ever grant of a seeded straggler: the
+                        // ground truth inflates now, and a matching
+                        // Straggler event must follow within this slot.
+                        if replays[i].attempt == 0
+                            && replays[i].done_work == 0
+                            && replays[i].first_grant.is_none()
+                        {
+                            let extra = rc.plan.straggler_extra(job, j.actual_work);
+                            if extra > 0 {
+                                replays[i].extra_work = extra;
+                                replays[i].pending_straggler = Some((slot, extra));
+                                rstats.stragglers += 1;
+                                rstats.straggler_extra_work += extra;
+                            }
+                        }
+                    }
                     replays[i].first_grant.get_or_insert(slot);
                     replays[i].done_work += tasks;
+                    if let Some(rc) = &rec_ctx {
+                        // Seeded task failure due: the attempt's progress
+                        // reached its threshold, so a Kill must follow.
+                        let r = &mut replays[i];
+                        if r.attempt < rc.policy.max_retries {
+                            let effective = j.actual_work + r.extra_work;
+                            if rc
+                                .plan
+                                .attempt_failure(job, r.attempt, effective)
+                                .is_some_and(|fail_at| r.done_work >= fail_at)
+                            {
+                                r.pending_task_kill = Some(slot);
+                            }
+                        }
+                    }
                     *usage.entry(slot).or_insert_with(ResourceVec::zero) += j.per_task * tasks;
                     *grants.entry((slot, job)).or_insert(0) += tasks;
                 }
@@ -400,26 +590,231 @@ pub fn certify(
                             ),
                         );
                     }
-                    if replays[i].done_work < jobs[i].actual_work {
+                    let effective = jobs[i].actual_work + replays[i].extra_work;
+                    if replays[i].done_work < effective {
                         push(
                             "finish-spurious",
                             slot,
                             Some(job),
                             format!(
                                 "finished with {} of {} task-slots done",
-                                replays[i].done_work, jobs[i].actual_work
+                                replays[i].done_work, effective
                             ),
                         );
                     }
+                    if replays[i].shed.is_some() {
+                        push(
+                            "shed-violation",
+                            slot,
+                            Some(job),
+                            "finish event for a shed job".into(),
+                        );
+                    }
                     replays[i].finish = Some((slot, done_work));
+                }
+                TraceEvent::Kill {
+                    slot,
+                    job,
+                    attempt,
+                    wasted,
+                } => {
+                    let i = idx.expect("job events carry an id");
+                    let Some(rc) = &rec_ctx else {
+                        push(
+                            "kill-invalid",
+                            slot,
+                            Some(job),
+                            "kill event without a recovery setup".into(),
+                        );
+                        continue;
+                    };
+                    let r = &mut replays[i];
+                    if attempt != r.attempt {
+                        push(
+                            "kill-accounting",
+                            slot,
+                            Some(job),
+                            format!("killed attempt {attempt}, replay is at {}", r.attempt),
+                        );
+                    }
+                    if wasted != r.done_work {
+                        push(
+                            "kill-accounting",
+                            slot,
+                            Some(job),
+                            format!("kill wasted {wasted}, attempt progress is {}", r.done_work),
+                        );
+                    }
+                    if r.attempt >= rc.policy.max_retries {
+                        push(
+                            "kill-invalid",
+                            slot,
+                            Some(job),
+                            "killed the final permitted attempt".into(),
+                        );
+                    }
+                    // Cause: the kill must be the seeded crash window that
+                    // caught the job running, or a seeded task failure
+                    // whose threshold the attempt's progress reached.
+                    let effective = jobs[i].actual_work + r.extra_work;
+                    let crash_cause = r.expected_crash_kill == Some(slot);
+                    let task_cause = rc
+                        .plan
+                        .attempt_failure(job, r.attempt, effective)
+                        .is_some_and(|fail_at| r.done_work >= fail_at);
+                    if crash_cause {
+                        r.expected_crash_kill = None;
+                        rstats.crash_kills += 1;
+                    } else if task_cause {
+                        rstats.task_failures += 1;
+                    } else {
+                        push(
+                            "kill-invalid",
+                            slot,
+                            Some(job),
+                            "kill matches neither a seeded task failure nor a crash window".into(),
+                        );
+                    }
+                    r.pending_task_kill = None;
+                    rstats.retries += 1;
+                    rstats.wasted_work += r.done_work;
+                    r.wasted += r.done_work;
+                    r.done_work = 0;
+                    r.attempt += 1;
+                    r.retry_gate = slot + 1 + rc.policy.backoff_base * r.attempt as u64;
+                }
+                TraceEvent::Shed { slot, job } => {
+                    let i = idx.expect("job events carry an id");
+                    let Some(rc) = &rec_ctx else {
+                        push(
+                            "shed-violation",
+                            slot,
+                            Some(job),
+                            "shed event without a recovery setup".into(),
+                        );
+                        continue;
+                    };
+                    let r = &mut replays[i];
+                    if rc.policy.shed != ShedPolicy::Shed || !jobs[i].class.is_adhoc() {
+                        push(
+                            "shed-violation",
+                            slot,
+                            Some(job),
+                            "shed outside the shed policy, or of a workflow job".into(),
+                        );
+                    }
+                    if slot != jobs[i].arrival_slot {
+                        push(
+                            "shed-violation",
+                            slot,
+                            Some(job),
+                            format!("shed at {slot}, arrival is {}", jobs[i].arrival_slot),
+                        );
+                    }
+                    if r.first_grant.is_some() || r.shed.is_some() {
+                        push(
+                            "shed-violation",
+                            slot,
+                            Some(job),
+                            "shed after the job ran, or shed twice".into(),
+                        );
+                    }
+                    r.shed = Some(slot);
+                    rstats.shed_jobs += 1;
+                }
+                TraceEvent::Defer { slot, job, until } => {
+                    let i = idx.expect("job events carry an id");
+                    let Some(rc) = &rec_ctx else {
+                        push(
+                            "shed-violation",
+                            slot,
+                            Some(job),
+                            "defer event without a recovery setup".into(),
+                        );
+                        continue;
+                    };
+                    let r = &mut replays[i];
+                    let expected = match rc.policy.shed {
+                        ShedPolicy::Delay { slots } => Some(slot + slots.max(1)),
+                        _ => None,
+                    };
+                    if expected != Some(until)
+                        || slot != jobs[i].arrival_slot
+                        || !jobs[i].class.is_adhoc()
+                        || r.deferred_until.is_some()
+                    {
+                        push(
+                            "shed-violation",
+                            slot,
+                            Some(job),
+                            format!("defer to {until} contradicts the delay policy"),
+                        );
+                    }
+                    r.deferred_until = Some(until);
+                    rstats.delayed_jobs += 1;
+                }
+                TraceEvent::Straggler { slot, job, extra } => {
+                    let i = idx.expect("job events carry an id");
+                    if rec_ctx.is_none() {
+                        push(
+                            "straggler-mismatch",
+                            slot,
+                            Some(job),
+                            "straggler event without a recovery setup".into(),
+                        );
+                        continue;
+                    }
+                    match replays[i].pending_straggler.take() {
+                        Some((s, e)) if s == slot && e == extra => {}
+                        _ => push(
+                            "straggler-mismatch",
+                            slot,
+                            Some(job),
+                            format!("straggler (+{extra}) does not match the seeded expectation"),
+                        ),
+                    }
                 }
                 TraceEvent::Replan { .. } | TraceEvent::PolicyTag { .. } => {}
             }
         }
 
-        // Per-slot capacity conservation against the capacity in force.
+        // Windows opening after the last event but before the run ended
+        // still fire; then every due kill and straggler must have been
+        // discharged by a matching trace event.
+        if let Some(rc) = &mut rec_ctx {
+            expect_crash_kills(rc, &jobs, &mut replays, u64::MAX, outcome.slots_elapsed);
+            for (i, r) in replays.iter().enumerate() {
+                if let Some(s) = r.expected_crash_kill {
+                    push(
+                        "kill-invalid",
+                        s,
+                        Some(jobs[i].id),
+                        "crash window caught the job running but no kill was recorded".into(),
+                    );
+                }
+                if let Some(s) = r.pending_task_kill {
+                    push(
+                        "kill-invalid",
+                        s,
+                        Some(jobs[i].id),
+                        "seeded task failure became due but no kill was recorded".into(),
+                    );
+                }
+                if let Some((s, extra)) = r.pending_straggler {
+                    push(
+                        "straggler-mismatch",
+                        s,
+                        Some(jobs[i].id),
+                        format!("seeded straggler inflation (+{extra}) was not recorded"),
+                    );
+                }
+            }
+        }
+
+        // Per-slot capacity conservation against the capacity in force
+        // (including any open crash window).
         for (&slot, &used) in &usage {
-            let cap = cluster.capacity_at(slot);
+            let cap = cap_at(slot);
             if !used.fits_within(&cap) {
                 push(
                     "capacity-overflow",
@@ -535,6 +930,17 @@ pub fn certify(
                     "completed although a predecessor never finished".into(),
                 ),
             }
+            if out.retries != replays[i].attempt as u64 || out.wasted_work != replays[i].wasted {
+                push(
+                    "retry-accounting",
+                    out.completion_slot,
+                    Some(out.id),
+                    format!(
+                        "outcome reports {} retries / {} wasted, replay has {} / {}",
+                        out.retries, out.wasted_work, replays[i].attempt, replays[i].wasted
+                    ),
+                );
+            }
         }
     }
     for inf in &outcome.in_flight {
@@ -565,8 +971,9 @@ pub fn certify(
                     "finish event for a job reported in flight".into(),
                 );
             }
+            let effective = jobs[i].actual_work + replays[i].extra_work;
             if inf.done_work != replays[i].done_work
-                || inf.remaining_work != jobs[i].actual_work.saturating_sub(replays[i].done_work)
+                || inf.remaining_work != effective.saturating_sub(replays[i].done_work)
             {
                 push(
                     "in-flight-mismatch",
@@ -577,7 +984,18 @@ pub fn certify(
                         inf.done_work,
                         inf.done_work + inf.remaining_work,
                         replays[i].done_work,
-                        jobs[i].actual_work
+                        effective
+                    ),
+                );
+            }
+            if inf.retries != replays[i].attempt as u64 || inf.wasted_work != replays[i].wasted {
+                push(
+                    "retry-accounting",
+                    0,
+                    Some(inf.id),
+                    format!(
+                        "in-flight reports {} retries / {} wasted, replay has {} / {}",
+                        inf.retries, inf.wasted_work, replays[i].attempt, replays[i].wasted
                     ),
                 );
             }
@@ -601,14 +1019,105 @@ pub fn certify(
             }
         }
     }
+    for sj in &outcome.shed {
+        let Some(i) = index_of(sj.id) else {
+            push(
+                "shed-violation",
+                sj.shed_slot,
+                Some(sj.id),
+                "shed job not in the scenario".into(),
+            );
+            continue;
+        };
+        if seen[i] {
+            push(
+                "shed-violation",
+                sj.shed_slot,
+                Some(sj.id),
+                "job is shed and also completed or in flight".into(),
+            );
+        }
+        seen[i] = true;
+        if sj.arrival_slot != jobs[i].arrival_slot {
+            push(
+                "shed-violation",
+                sj.shed_slot,
+                Some(sj.id),
+                format!(
+                    "shed record arrival {} != scenario {}",
+                    sj.arrival_slot, jobs[i].arrival_slot
+                ),
+            );
+        }
+        if !truncated && replays[i].shed != Some(sj.shed_slot) {
+            push(
+                "shed-violation",
+                sj.shed_slot,
+                Some(sj.id),
+                format!(
+                    "outcome sheds at {}, trace sheds at {:?}",
+                    sj.shed_slot, replays[i].shed
+                ),
+            );
+        }
+    }
     for (i, covered) in seen.iter().enumerate() {
         if !covered {
-            push(
-                "completion-mismatch",
-                0,
-                Some(jobs[i].id),
-                "job appears in neither outcomes nor in-flight".into(),
-            );
+            if replays[i].shed.is_some() {
+                push(
+                    "shed-violation",
+                    replays[i].shed.unwrap_or(0),
+                    Some(jobs[i].id),
+                    "shed in the trace but missing from the outcome's shed list".into(),
+                );
+            } else {
+                push(
+                    "completion-mismatch",
+                    0,
+                    Some(jobs[i].id),
+                    "job appears in neither outcomes, in-flight, nor shed".into(),
+                );
+            }
+        }
+    }
+
+    // ---- Recovery counter recount. --------------------------------------
+    if !truncated {
+        match &rec_ctx {
+            Some(_) => {
+                // Infeasibility flags are an engine-side heuristic the
+                // auditor deliberately does not replay.
+                rstats.infeasible_flags = outcome.recovery.infeasible_flags;
+                if rstats != outcome.recovery {
+                    push(
+                        "retry-accounting",
+                        0,
+                        None,
+                        format!(
+                            "recovery counters do not recount: outcome {:?}, replay {:?}",
+                            outcome.recovery, rstats
+                        ),
+                    );
+                }
+            }
+            None => {
+                if !outcome.recovery.is_inert() {
+                    push(
+                        "retry-accounting",
+                        0,
+                        None,
+                        "recovery counters recorded without a recovery setup".into(),
+                    );
+                }
+                if !outcome.shed.is_empty() {
+                    push(
+                        "shed-violation",
+                        0,
+                        None,
+                        "shed jobs recorded without a recovery setup".into(),
+                    );
+                }
+            }
         }
     }
 
@@ -656,14 +1165,14 @@ pub fn certify(
         }
     }
     for (s, cap) in outcome.metrics.slot_capacities.iter().enumerate() {
-        if *cap != cluster.capacity_at(s as u64) {
+        if *cap != cap_at(s as u64) {
             push(
                 "load-mismatch",
                 s as u64,
                 None,
                 format!(
-                    "recorded capacity {cap:?} != cluster {:?}",
-                    cluster.capacity_at(s as u64)
+                    "recorded capacity {cap:?} != effective {:?}",
+                    cap_at(s as u64)
                 ),
             );
         }
@@ -794,7 +1303,8 @@ pub fn certify(
 fn derived_ready(jobs: &[AuditJob], replays: &[Replay], i: usize) -> Option<u64> {
     let j = &jobs[i];
     if j.preds.is_empty() {
-        return Some(j.arrival_slot);
+        // Deferred ad-hoc jobs become runnable at their deferred arrival.
+        return Some(replays[i].deferred_until.unwrap_or(j.arrival_slot));
     }
     j.preds
         .iter()
@@ -913,6 +1423,7 @@ fn recompute_attribution(
 mod tests {
     use super::*;
     use crate::engine::Engine;
+    use crate::faults::RuntimeFaultConfig;
     use crate::job::{AdhocSubmission, WorkflowSubmission};
     use crate::scheduler::{Allocation, Scheduler};
     use crate::state::SimState;
@@ -1031,5 +1542,174 @@ mod tests {
         let report = certify(&cluster, &other, &out, &trace);
         assert!(!report.is_certified());
         assert!(report.has("header-mismatch"));
+    }
+
+    fn chaos_setup() -> RecoverySetup {
+        RecoverySetup::new(
+            RuntimeFaultConfig::none(7)
+                .with_task_failures(0.6)
+                .with_crashes(0.5)
+                .with_crash_period(6)
+                .with_stragglers(0.5, 1.0),
+            RecoveryPolicy::default(),
+        )
+    }
+
+    fn traced_recovery_run(
+        setup: &RecoverySetup,
+        workload: Option<SimWorkload>,
+    ) -> (ClusterConfig, SimWorkload, SimOutcome, DecisionTrace) {
+        let (cluster, default_wl) = scenario();
+        let wl = workload.unwrap_or(default_wl);
+        let (engine, handle) = Engine::new(cluster.clone(), wl.clone(), 300)
+            .unwrap()
+            .with_recovery(setup.clone())
+            .with_trace(4096);
+        let out = engine.run(&mut Greedy).unwrap();
+        (cluster, wl, out, handle.take())
+    }
+
+    fn overload_workload() -> SimWorkload {
+        let mut wl = SimWorkload::default();
+        for i in 0..5u64 {
+            wl.adhoc.push(AdhocSubmission::new(
+                JobSpec::new(format!("a{i}"), 40, 4, ResourceVec::new([1, 512])),
+                i,
+            ));
+        }
+        wl
+    }
+
+    #[test]
+    fn chaos_run_certifies() {
+        let setup = chaos_setup();
+        let (cluster, wl, out, trace) = traced_recovery_run(&setup, None);
+        assert!(
+            out.recovery.task_failures + out.recovery.crash_kills + out.recovery.stragglers > 0,
+            "chaos seed produced no faults: {:?}",
+            out.recovery
+        );
+        let report = certify_with_recovery(&cluster, &wl, &out, &trace, Some(&setup));
+        assert!(report.is_certified(), "{}", report.summary());
+    }
+
+    #[test]
+    fn recovery_with_inert_faults_matches_baseline_bytes() {
+        // A feasible workload: the infeasibility flag (which is allowed to
+        // fire with recovery attached even when faults are inert) stays
+        // quiet, so the outcome must serialize byte-for-byte identically.
+        let (cluster, _) = scenario();
+        let wl = overload_workload();
+        let base = Engine::new(cluster.clone(), wl.clone(), 300)
+            .unwrap()
+            .run(&mut Greedy)
+            .unwrap();
+        let setup = RecoverySetup::new(RuntimeFaultConfig::none(7), RecoveryPolicy::default());
+        let recovered = Engine::new(cluster, wl, 300)
+            .unwrap()
+            .with_recovery(setup)
+            .run(&mut Greedy)
+            .unwrap();
+        assert_eq!(
+            serde_json::to_string(&base).unwrap(),
+            serde_json::to_string(&recovered).unwrap()
+        );
+    }
+
+    #[test]
+    fn shed_policy_run_certifies() {
+        let setup = RecoverySetup::new(
+            RuntimeFaultConfig::none(3),
+            RecoveryPolicy::default()
+                .with_shed(ShedPolicy::Shed)
+                .with_overload(0.5, 1),
+        );
+        let (cluster, wl, out, trace) = traced_recovery_run(&setup, Some(overload_workload()));
+        assert!(out.recovery.shed_jobs > 0, "{:?}", out.recovery);
+        assert_eq!(out.shed.len() as u64, out.recovery.shed_jobs);
+        let report = certify_with_recovery(&cluster, &wl, &out, &trace, Some(&setup));
+        assert!(report.is_certified(), "{}", report.summary());
+    }
+
+    #[test]
+    fn delay_policy_run_certifies() {
+        let setup = RecoverySetup::new(
+            RuntimeFaultConfig::none(3),
+            RecoveryPolicy::default()
+                .with_shed(ShedPolicy::Delay { slots: 2 })
+                .with_overload(0.5, 1),
+        );
+        let (cluster, wl, out, trace) = traced_recovery_run(&setup, Some(overload_workload()));
+        assert!(out.recovery.delayed_jobs > 0, "{:?}", out.recovery);
+        let report = certify_with_recovery(&cluster, &wl, &out, &trace, Some(&setup));
+        assert!(report.is_certified(), "{}", report.summary());
+    }
+
+    #[test]
+    fn kill_without_setup_is_rejected() {
+        let setup = chaos_setup();
+        let (cluster, wl, out, trace) = traced_recovery_run(&setup, None);
+        assert!(
+            trace.events().any(|e| matches!(e, TraceEvent::Kill { .. })),
+            "chaos run produced no kills"
+        );
+        // Auditing the same run *without* the recovery setup must fail.
+        let report = certify(&cluster, &wl, &out, &trace);
+        assert!(report.has("kill-invalid"), "{}", report.summary());
+    }
+
+    #[test]
+    fn corrupted_kill_wasted_is_rejected() {
+        let setup = chaos_setup();
+        let (cluster, wl, out, mut trace) = traced_recovery_run(&setup, None);
+        let ev = trace
+            .events_mut()
+            .iter_mut()
+            .find_map(|e| match e {
+                TraceEvent::Kill { wasted, .. } => Some(wasted),
+                _ => None,
+            })
+            .expect("some kill");
+        *ev += 1;
+        let report = certify_with_recovery(&cluster, &wl, &out, &trace, Some(&setup));
+        assert!(report.has("kill-accounting"), "{}", report.summary());
+    }
+
+    #[test]
+    fn corrupted_recovery_counter_is_rejected() {
+        let setup = chaos_setup();
+        let (cluster, wl, mut out, trace) = traced_recovery_run(&setup, None);
+        out.recovery.retries += 1;
+        let report = certify_with_recovery(&cluster, &wl, &out, &trace, Some(&setup));
+        assert!(report.has("retry-accounting"), "{}", report.summary());
+    }
+
+    #[test]
+    fn injected_shed_is_rejected() {
+        let setup = chaos_setup();
+        let (cluster, wl, out, mut trace) = traced_recovery_run(&setup, None);
+        let job = trace.events().find_map(|e| e.job()).expect("a job");
+        trace
+            .events_mut()
+            .insert(0, TraceEvent::Shed { slot: 0, job });
+        let report = certify_with_recovery(&cluster, &wl, &out, &trace, Some(&setup));
+        assert!(report.has("shed-violation"), "{}", report.summary());
+    }
+
+    #[test]
+    fn injected_straggler_is_rejected() {
+        let setup = chaos_setup();
+        let (cluster, wl, out, mut trace) = traced_recovery_run(&setup, None);
+        let job = trace.events().find_map(|e| e.job()).expect("a job");
+        trace.events_mut().insert(
+            0,
+            TraceEvent::Straggler {
+                slot: 0,
+                job,
+                extra: 5,
+            },
+        );
+        let report = certify_with_recovery(&cluster, &wl, &out, &trace, Some(&setup));
+        assert!(report.has("straggler-mismatch"), "{}", report.summary());
     }
 }

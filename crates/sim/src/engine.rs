@@ -7,12 +7,14 @@
 //! historical linear-scan loop is preserved as [`crate::oracle::OracleEngine`]
 //! and differential tests pin the two to identical outcomes.
 
-use crate::cluster::ClusterConfig;
+use crate::cluster::{CapacityWindow, ClusterConfig};
 use crate::error::SimError;
+use crate::faults::{RecoveryPolicy, RecoverySetup, RuntimeFaultPlan, ShedPolicy};
 use crate::invariants::InvariantChecker;
 use crate::job::{JobClass, JobRuntime, SimWorkload};
 use crate::metrics::{
-    InFlightJob, JobOutcome, Metrics, MissAttribution, NodeSlackUse, WorkflowOutcome,
+    InFlightJob, JobOutcome, Metrics, MissAttribution, NodeSlackUse, RecoveryStats, ShedJob,
+    WorkflowOutcome,
 };
 use crate::placement::NodePool;
 use crate::scheduler::Scheduler;
@@ -58,6 +60,16 @@ pub struct SimOutcome {
     /// consumed the decomposed slack (see [`MissAttribution`]).
     #[serde(default)]
     pub deadline_attribution: Vec<MissAttribution>,
+    /// Mid-run failure/recovery counters (see [`Engine::with_recovery`]).
+    /// All-zero — and omitted from serialization — whenever recovery is
+    /// off or never fired, keeping pre-recovery outcomes byte-identical.
+    #[serde(default, skip_serializing_if = "RecoveryStats::is_inert")]
+    pub recovery: RecoveryStats,
+    /// Ad-hoc jobs dropped by admission control under sustained overload;
+    /// empty (and omitted from serialization) unless the shed policy
+    /// fired. Shed jobs count as neither completed nor in flight.
+    #[serde(default, skip_serializing_if = "crate::serde_skip::empty_vec")]
+    pub shed: Vec<ShedJob>,
 }
 
 impl SimOutcome {
@@ -76,10 +88,34 @@ const EV_ARRIVAL: u8 = 0;
 /// Event kind: a job's dependencies are satisfied (enters the runnable
 /// set).
 const EV_READY: u8 = 1;
+/// Event kind: a killed attempt's backoff expired — the job re-enters the
+/// runnable set, with no fresh `Ready` trace event (the retry slot is
+/// derivable from the `Kill` event and the recovery policy).
+const EV_RETRY: u8 = 2;
 
 /// One pending state change, keyed `(slot, kind, job)`; `Reverse` turns
 /// `BinaryHeap`'s max-heap into the min-heap the run loop pops from.
 type Event = Reverse<(u64, u8, JobId)>;
+
+/// Runtime state of an armed failure/recovery subsystem (see
+/// [`Engine::with_recovery`]).
+struct RecoveryCtx {
+    /// The seeded mid-run fault plan; every verdict is a pure function the
+    /// offline auditor replays identically.
+    plan: RuntimeFaultPlan,
+    /// Retry bounds and degradation rules (sustain clamped to ≥ 1).
+    policy: RecoveryPolicy,
+    /// Materialized node-crash windows, ascending by `from_slot`.
+    windows: Vec<CapacityWindow>,
+    /// First window whose opening has not yet been processed.
+    next_window: usize,
+    /// Consecutive end-of-slot overload observations.
+    overload_streak: u64,
+    /// Counters surfaced as [`SimOutcome::recovery`].
+    stats: RecoveryStats,
+    /// Per-workflow infeasibility flag, set at most once each.
+    flagged: Vec<bool>,
+}
 
 /// Drives a [`Scheduler`] over a [`SimWorkload`] slot by slot.
 ///
@@ -108,6 +144,10 @@ pub struct Engine {
     /// Per workflow, per node: count of predecessors not yet complete. A
     /// node is released the moment its count reaches zero.
     pending_preds: Vec<Vec<usize>>,
+    /// Mid-run failure/recovery context; `None` (the default) keeps every
+    /// recovery branch untaken and the run byte-identical to builds that
+    /// predate the subsystem.
+    recovery: Option<RecoveryCtx>,
 }
 
 impl Engine {
@@ -170,6 +210,11 @@ impl Engine {
                     done_work: 0,
                     completion_slot: None,
                     deadline_slot: submission.job_deadlines.as_ref().map(|v| v[node]),
+                    attempt: 0,
+                    wasted: 0,
+                    retry_at: 0,
+                    shed_slot: None,
+                    deferred: false,
                 });
                 job_ids.push(id);
                 job_nodes.push(Some((workflows.len(), node)));
@@ -194,6 +239,11 @@ impl Engine {
                 done_work: 0,
                 completion_slot: None,
                 deadline_slot: None,
+                attempt: 0,
+                wasted: 0,
+                retry_at: 0,
+                shed_slot: None,
+                deferred: false,
             });
             job_nodes.push(None);
         }
@@ -208,6 +258,7 @@ impl Engine {
             runnable: Default::default(),
             visible: Default::default(),
             incomplete: 0,
+            crash_overlay: Vec::new(),
         };
         // Seed the incremental indices for slot 0 (so views are correct
         // even before `run`) and queue every future state change.
@@ -240,6 +291,7 @@ impl Engine {
             events,
             job_nodes,
             pending_preds,
+            recovery: None,
         })
     }
 
@@ -294,6 +346,55 @@ impl Engine {
     #[must_use]
     pub fn with_nodes(mut self, pool: NodePool) -> Self {
         self.nodes = Some(pool);
+        self
+    }
+
+    /// Arms the mid-run failure/recovery subsystem: `setup.faults` drives
+    /// deterministic task failures, node-crash windows, and straggler
+    /// inflation; `setup.policy` bounds retries and applies graceful
+    /// degradation under sustained overload. An inert setup
+    /// ([`RecoverySetup::is_inert`]) leaves the run — and its serialized
+    /// outcome — byte-identical to one without this call, provided the
+    /// workload never trips the infeasibility detector.
+    #[must_use]
+    pub fn with_recovery(mut self, setup: RecoverySetup) -> Self {
+        let mut policy = setup.policy;
+        // Sustain < 1 would let the controller shed before ever observing
+        // an overloaded slot; clamp like `RecoveryPolicy::with_overload`.
+        policy.sustain_slots = policy.sustain_slots.max(1);
+        // Same horizon rule as `crate::faults::runtime_fault_horizon`, so
+        // the auditor materializes the identical window list offline.
+        let horizon = self
+            .state
+            .workflows
+            .iter()
+            .map(|w| {
+                let wf = &w.submission.workflow;
+                wf.submit_slot() + wf.window_slots()
+            })
+            .chain(
+                self.state
+                    .jobs
+                    .iter()
+                    .filter(|j| j.class.is_adhoc())
+                    .map(|j| j.arrival_slot + 1),
+            )
+            .max()
+            .unwrap_or(0)
+            .max(1);
+        let plan = RuntimeFaultPlan::new(setup.faults);
+        let windows = plan.crash_windows(self.state.cluster.capacity(), horizon);
+        self.state.crash_overlay = windows.clone();
+        let flagged = vec![false; self.state.workflows.len()];
+        self.recovery = Some(RecoveryCtx {
+            plan,
+            policy,
+            windows,
+            next_window: 0,
+            overload_streak: 0,
+            stats: RecoveryStats::default(),
+            flagged,
+        });
         self
     }
 
@@ -356,6 +457,12 @@ impl Engine {
                 return Ok(self.finish(scheduler.telemetry()));
             }
             self.telemetry.slots_simulated += 1;
+            // Node-crash windows opening this slot kill a seeded subset of
+            // the running jobs before the scheduler sees the (shrunken)
+            // capacity. Notify the scheduler once state is consistent.
+            for (id, attempt) in self.process_crash_windows() {
+                scheduler.on_failure(&self.state, id, attempt);
+            }
             let allocation = scheduler.plan_slot(&self.state);
             let now = self.state.now;
 
@@ -428,10 +535,52 @@ impl Engine {
                 self.placement_shortfalls
                     .push(pool.pack(&requests).unplaced_tasks());
             }
+            let mut failed: Vec<(JobId, u32)> = Vec::new();
             for (id, q) in pairs {
                 let idx = self.state.by_id[&id];
+                // Straggler inflation fires at the job's first-ever grant
+                // (attempt 0, no prior progress): the ground truth grows
+                // before this slot's work is applied, and at most once —
+                // kills bump the attempt counter.
+                if let Some(rec) = &mut self.recovery {
+                    let job = &mut self.state.jobs[idx];
+                    if job.attempt == 0 && job.done_work == 0 {
+                        let extra = rec.plan.straggler_extra(id, job.actual_work);
+                        if extra > 0 {
+                            job.actual_work += extra;
+                            rec.stats.stragglers += 1;
+                            rec.stats.straggler_extra_work += extra;
+                            if let Some(ctx) = &self.trace {
+                                ctx.push(TraceEvent::Straggler {
+                                    slot: now,
+                                    job: id,
+                                    extra,
+                                });
+                            }
+                        }
+                    }
+                }
+                self.state.jobs[idx].done_work += q;
+                // A seeded task failure takes precedence over completion:
+                // the attempt dies the slot its cumulative progress first
+                // reaches the failure threshold, even if that grant would
+                // have finished the job. The final permitted attempt is
+                // exempt, so no job is ever lost to task failures.
+                let fails = self.recovery.as_ref().is_some_and(|rec| {
+                    let job = &self.state.jobs[idx];
+                    job.attempt < rec.policy.max_retries
+                        && rec
+                            .plan
+                            .attempt_failure(id, job.attempt, job.actual_work)
+                            .is_some_and(|fail_at| job.done_work >= fail_at)
+                });
+                if fails {
+                    let attempt = self.state.jobs[idx].attempt;
+                    self.kill_job(idx, now, false);
+                    failed.push((id, attempt + 1));
+                    continue;
+                }
                 let job = &mut self.state.jobs[idx];
-                job.done_work += q;
                 if job.done_work >= job.actual_work && job.completion_slot.is_none() {
                     job.completion_slot = Some(now + 1);
                     let done_work = job.done_work;
@@ -448,6 +597,10 @@ impl Engine {
                     self.on_complete(idx, now);
                 }
             }
+            for (id, attempt) in failed {
+                scheduler.on_failure(&self.state, id, attempt);
+            }
+            self.update_degradation();
             self.state.now += 1;
         }
         self.telemetry.wall_nanos = t0.elapsed().as_nanos() as u64;
@@ -462,7 +615,9 @@ impl Engine {
     }
 
     /// Applies every pending event at or before the current slot to the
-    /// incremental visible/runnable indices.
+    /// incremental visible/runnable indices. With recovery armed, ad-hoc
+    /// arrivals pass through admission control here: under sustained
+    /// overload they are shed or deferred instead of admitted.
     fn advance_events(&mut self) {
         while let Some(&Reverse((slot, kind, id))) = self.events.peek() {
             if slot > self.state.now {
@@ -471,21 +626,201 @@ impl Engine {
             self.events.pop();
             self.telemetry.heap_ops += 1;
             self.telemetry.events_processed += 1;
-            let job = &self.state.jobs[self.state.by_id[&id]];
-            if job.is_complete() {
+            let idx = self.state.by_id[&id];
+            let job = &self.state.jobs[idx];
+            if job.is_complete() || job.shed_slot.is_some() {
                 continue;
             }
             let key = (job.arrival_slot, id);
-            if kind == EV_ARRIVAL {
-                self.state.visible.insert(key);
-                if let Some(ctx) = &self.trace {
-                    ctx.push(TraceEvent::Arrival { slot, job: id });
+            let adhoc = job.class.is_adhoc();
+            let deferred = job.deferred;
+            let ready_slot = job.ready_slot;
+            match kind {
+                EV_ARRIVAL => {
+                    if adhoc {
+                        if let Some(rec) = &mut self.recovery {
+                            if rec.overload_streak >= rec.policy.sustain_slots {
+                                match rec.policy.shed {
+                                    ShedPolicy::Shed => {
+                                        self.state.jobs[idx].shed_slot = Some(slot);
+                                        self.state.incomplete -= 1;
+                                        rec.stats.shed_jobs += 1;
+                                        if let Some(ctx) = &self.trace {
+                                            ctx.push(TraceEvent::Shed { slot, job: id });
+                                        }
+                                        continue;
+                                    }
+                                    ShedPolicy::Delay { slots } if !deferred => {
+                                        let until = slot + slots.max(1);
+                                        let job = &mut self.state.jobs[idx];
+                                        job.deferred = true;
+                                        job.ready_slot = Some(until);
+                                        self.events.push(Reverse((until, EV_ARRIVAL, id)));
+                                        self.events.push(Reverse((until, EV_READY, id)));
+                                        self.telemetry.heap_ops += 2;
+                                        rec.stats.delayed_jobs += 1;
+                                        if let Some(ctx) = &self.trace {
+                                            ctx.push(TraceEvent::Defer {
+                                                slot,
+                                                job: id,
+                                                until,
+                                            });
+                                        }
+                                        continue;
+                                    }
+                                    _ => {}
+                                }
+                            }
+                        }
+                    }
+                    self.state.visible.insert(key);
+                    if let Some(ctx) = &self.trace {
+                        ctx.push(TraceEvent::Arrival { slot, job: id });
+                    }
                 }
+                EV_READY => {
+                    // A deferred job's original ready event is stale; the
+                    // re-queued one fires at the deferred arrival instead.
+                    if ready_slot.is_none_or(|r| r > slot) {
+                        continue;
+                    }
+                    self.state.runnable.insert(key);
+                    if let Some(ctx) = &self.trace {
+                        ctx.push(TraceEvent::Ready { slot, job: id });
+                    }
+                }
+                _ => {
+                    // EV_RETRY: the kill's backoff expired; the next
+                    // attempt re-enters the runnable set silently (the
+                    // Kill event plus the policy already pin this slot).
+                    self.state.runnable.insert(key);
+                }
+            }
+        }
+    }
+
+    /// Handles node-crash windows opening at the current slot: each
+    /// running job (positive progress) with retries left is killed with
+    /// probability equal to the crash severity — it was on the capacity
+    /// that just vanished. Returns `(job, next attempt)` pairs so the run
+    /// loop can notify the scheduler once state is consistent.
+    fn process_crash_windows(&mut self) -> Vec<(JobId, u32)> {
+        let mut killed = Vec::new();
+        let now = self.state.now;
+        loop {
+            let Some(rec) = &self.recovery else {
+                return killed;
+            };
+            let Some(w) = rec.windows.get(rec.next_window) else {
+                return killed;
+            };
+            if w.from_slot > now {
+                return killed;
+            }
+            let opens_now = w.from_slot == now;
+            let w_idx = rec.next_window as u64;
+            if opens_now {
+                // Job-id order, so Kill events land deterministically.
+                for idx in 0..self.state.jobs.len() {
+                    let j = &self.state.jobs[idx];
+                    if j.done_work == 0 || j.is_complete() || j.shed_slot.is_some() {
+                        continue;
+                    }
+                    let (id, attempt) = (j.id, j.attempt);
+                    let rec = self.recovery.as_ref().expect("recovery armed");
+                    if attempt < rec.policy.max_retries && rec.plan.crash_kills(w_idx, id) {
+                        self.kill_job(idx, now, true);
+                        killed.push((id, attempt + 1));
+                    }
+                }
+            }
+            self.recovery.as_mut().expect("recovery armed").next_window += 1;
+        }
+    }
+
+    /// Kills the current attempt of the job at `idx`: its progress is
+    /// discarded into `wasted`, the attempt counter bumps, and the job
+    /// leaves the runnable set until its deterministic backoff slot, when
+    /// an [`EV_RETRY`] event re-admits it. `crash` selects which stats
+    /// counter the kill lands in.
+    fn kill_job(&mut self, idx: usize, now: u64, crash: bool) {
+        let rec = self.recovery.as_mut().expect("kill with recovery armed");
+        let job = &mut self.state.jobs[idx];
+        let wasted = job.done_work;
+        let killed_attempt = job.attempt;
+        job.wasted += wasted;
+        job.done_work = 0;
+        job.attempt += 1;
+        let retry_at = now + 1 + rec.policy.backoff_base * job.attempt as u64;
+        job.retry_at = retry_at;
+        rec.stats.retries += 1;
+        rec.stats.wasted_work += wasted;
+        if crash {
+            rec.stats.crash_kills += 1;
+        } else {
+            rec.stats.task_failures += 1;
+        }
+        let key = (job.arrival_slot, job.id);
+        let id = job.id;
+        self.state.runnable.remove(&key);
+        self.events.push(Reverse((retry_at, EV_RETRY, id)));
+        self.telemetry.heap_ops += 1;
+        if let Some(ctx) = &self.trace {
+            ctx.push(TraceEvent::Kill {
+                slot: now,
+                job: id,
+                attempt: killed_attempt,
+                wasted,
+            });
+        }
+    }
+
+    /// End-of-slot degradation bookkeeping: the overload detector feeds
+    /// the admission controller, and workflows whose remaining ground
+    /// truth provably exceeds what the base capacity can deliver before
+    /// their deadline are flagged (once each) in the stats. The flags are
+    /// observability only — they never change scheduling.
+    fn update_degradation(&mut self) {
+        let Some(rec) = &mut self.recovery else {
+            return;
+        };
+        let now = self.state.now;
+        if rec.policy.shed != ShedPolicy::None {
+            let backlog: u64 = self
+                .state
+                .jobs
+                .iter()
+                .filter(|j| {
+                    j.class.is_adhoc()
+                        && j.arrival_slot <= now
+                        && j.shed_slot.is_none()
+                        && !j.is_complete()
+                })
+                .map(|j| j.remaining_actual())
+                .sum();
+            let cores = self.state.capacity_now().dim(0);
+            if backlog as f64 > rec.policy.overload_factor * cores as f64 {
+                rec.overload_streak += 1;
             } else {
-                self.state.runnable.insert(key);
-                if let Some(ctx) = &self.trace {
-                    ctx.push(TraceEvent::Ready { slot, job: id });
-                }
+                rec.overload_streak = 0;
+            }
+        }
+        let base_cores = self.state.cluster.capacity().dim(0);
+        for (w, inst) in self.state.workflows.iter().enumerate() {
+            if rec.flagged[w] || inst.submission.workflow.submit_slot() > now {
+                continue;
+            }
+            let remaining: u64 = inst
+                .job_ids
+                .iter()
+                .map(|id| self.state.jobs[self.state.by_id[id]].remaining_actual())
+                .sum();
+            let deadline = inst.submission.workflow.deadline_slot();
+            // Even granting every core of every remaining slot, the
+            // workflow cannot finish by its deadline: provably infeasible.
+            if remaining > 0 && remaining > base_cores * deadline.saturating_sub(now + 1) {
+                rec.flagged[w] = true;
+                rec.stats.infeasible_flags += 1;
             }
         }
     }
@@ -527,7 +862,18 @@ impl Engine {
         let slots_elapsed = self.state.now;
         let mut job_outcomes: Vec<JobOutcome> = Vec::new();
         let mut in_flight: Vec<InFlightJob> = Vec::new();
+        let mut shed: Vec<ShedJob> = Vec::new();
         for j in &self.state.jobs {
+            if let Some(shed_slot) = j.shed_slot {
+                // Shed jobs never ran: they are neither completed nor in
+                // flight, and never hold a run incomplete.
+                shed.push(ShedJob {
+                    id: j.id,
+                    arrival_slot: j.arrival_slot,
+                    shed_slot,
+                });
+                continue;
+            }
             match j.completion_slot {
                 Some(completion_slot) => job_outcomes.push(JobOutcome {
                     id: j.id,
@@ -536,6 +882,8 @@ impl Engine {
                     ready_slot: j.ready_slot.expect("completed jobs were ready"),
                     completion_slot,
                     deadline_slot: j.deadline_slot,
+                    retries: j.attempt as u64,
+                    wasted_work: j.wasted,
                 }),
                 None => in_flight.push(InFlightJob {
                     id: j.id,
@@ -545,6 +893,8 @@ impl Engine {
                     done_work: j.done_work,
                     remaining_work: j.remaining_actual(),
                     deadline_slot: j.deadline_slot,
+                    retries: j.attempt as u64,
+                    wasted_work: j.wasted,
                 }),
             }
         }
@@ -621,6 +971,8 @@ impl Engine {
             engine_telemetry: self.telemetry,
             in_flight,
             deadline_attribution,
+            recovery: self.recovery.map(|r| r.stats).unwrap_or_default(),
+            shed,
         }
     }
 }

@@ -24,11 +24,33 @@
 //! a bit-identical [`crate::SimOutcome`] — which is what makes differential
 //! testing across schedulers sound. A plan built from
 //! [`FaultConfig::none`] (all intensities zero) is the identity.
+//!
+//! # Mid-run faults
+//!
+//! [`FaultPlan`] perturbs *inputs*; nothing can go wrong once the engine
+//! starts. [`RuntimeFaultPlan`] closes that gap with deterministic,
+//! seed-derived *mid-run* events the engine consults while running:
+//!
+//! * **Task-attempt failures** — an attempt fails once its cumulative work
+//!   crosses a seed-derived threshold; the job's progress is discarded and
+//!   it re-executes after a deterministic backoff.
+//! * **Node crash/recovery windows** — capacity shrinks mid-flight; jobs
+//!   running on the lost capacity may be killed and retried. Unlike the
+//!   static churn of [`FaultConfig::with_static_churn`], these windows are
+//!   *not* visible to schedulers ahead of time.
+//! * **Straggler inflation** — a job's ground-truth work grows beyond its
+//!   estimate the moment it first runs, modelling slow containers.
+//!
+//! Every decision is a pure function of `(seed, job, attempt)` — no RNG
+//! state threads through the engine loop — so outcomes stay bit-identical
+//! across thread counts and replayable by the offline auditor.
+//! [`RecoveryPolicy`] bounds the retries and governs graceful degradation
+//! under sustained overload (shedding or delaying ad-hoc arrivals).
 
-use crate::cluster::ClusterConfig;
+use crate::cluster::{CapacityWindow, ClusterConfig};
 use crate::job::{AdhocSubmission, SimWorkload};
 use crate::trace::FaultRecord;
-use flowtime_dag::JobSpec;
+use flowtime_dag::{JobId, JobSpec, ResourceVec};
 use serde::{Deserialize, Serialize};
 
 /// Intensities of each fault class. All-zero (the [`FaultConfig::none`]
@@ -87,11 +109,26 @@ impl FaultConfig {
         self
     }
 
-    /// Sets churn severity (fraction of capacity removed per window).
+    /// Sets *static* churn severity (fraction of capacity removed per
+    /// window). Static churn is applied **once, before the run**: the
+    /// degraded [`CapacityWindow`]s land in the [`ClusterConfig`], so
+    /// planning schedulers can see them coming via `capacity_at`. For
+    /// churn that surprises running jobs mid-flight, use
+    /// [`RuntimeFaultConfig::with_crashes`] instead — that is the default
+    /// churn path for new experiments.
     #[must_use]
-    pub fn with_churn(mut self, severity: f64) -> Self {
+    pub fn with_static_churn(mut self, severity: f64) -> Self {
         self.churn_severity = severity.clamp(0.0, 0.95);
         self
+    }
+
+    /// Deprecated-in-spirit alias for [`Self::with_static_churn`], kept so
+    /// existing configs and goldens stay byte-identical. The name predates
+    /// the mid-run [`RuntimeFaultPlan`] crash windows; "churn" here means
+    /// the static, pre-run variant.
+    #[must_use]
+    pub fn with_churn(self, severity: f64) -> Self {
+        self.with_static_churn(severity)
     }
 
     /// Sets the number of injected burst jobs.
@@ -319,6 +356,319 @@ impl FaultPlan {
     }
 }
 
+/// Distinct salts keep the runtime-fault decision streams independent: the
+/// same `(job, attempt)` pair feeds several unrelated questions (does the
+/// attempt fail? where? is the job a straggler?) and must get uncorrelated
+/// answers.
+const TASK_SALT: u64 = 0x5157_4641_494C_0001;
+const TASK_POINT_SALT: u64 = 0x5157_4641_494C_0002;
+const CRASH_SALT: u64 = 0x5157_4641_494C_0003;
+const CRASH_KILL_SALT: u64 = 0x5157_4641_494C_0004;
+const STRAGGLER_SALT: u64 = 0x5157_4641_494C_0005;
+
+/// Stateless hash-to-`(0,1)` used by every runtime-fault decision: a
+/// SplitMix64 seeded from `(seed, a, b)`, burned once, then sampled. Pure
+/// and platform-independent, so the engine and the offline auditor
+/// recompute identical verdicts.
+fn hash_unit(seed: u64, a: u64, b: u64) -> f64 {
+    let mut rng = SplitMix64::new(
+        seed ^ a.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ b.wrapping_mul(0xBF58_476D_1CE4_E5B9),
+    );
+    rng.next_u64();
+    rng.unit()
+}
+
+/// Intensities of each *mid-run* fault class. All-zero rates (the
+/// [`RuntimeFaultConfig::none`] default) make the plan inert.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RuntimeFaultConfig {
+    /// Seed from which every mid-run decision is derived.
+    pub seed: u64,
+    /// Probability that a given `(job, attempt)` pair fails before
+    /// completing, in `[0, 1]`. `0.0` disables task failures.
+    pub task_fail_rate: f64,
+    /// Fraction of base capacity lost during each node-crash window, in
+    /// `[0, 1)`. `0.0` disables crash windows.
+    pub crash_severity: f64,
+    /// Mean slots between crash windows (each lasts about a quarter of
+    /// this). Ignored when `crash_severity` is zero.
+    pub crash_period: u64,
+    /// Probability that a job is a straggler, in `[0, 1]`. `0.0` disables
+    /// straggler inflation.
+    pub straggler_rate: f64,
+    /// Fractional work inflation applied to a straggler's ground truth
+    /// (e.g. `0.5` adds 50% extra work).
+    pub straggler_factor: f64,
+}
+
+impl RuntimeFaultConfig {
+    /// No mid-run faults: the resulting plan never fires.
+    pub fn none(seed: u64) -> Self {
+        RuntimeFaultConfig {
+            seed,
+            task_fail_rate: 0.0,
+            crash_severity: 0.0,
+            crash_period: 120,
+            straggler_rate: 0.0,
+            straggler_factor: 0.5,
+        }
+    }
+
+    /// `true` when every rate is zero — the plan cannot change a run.
+    pub fn is_inert(&self) -> bool {
+        self.task_fail_rate <= 0.0 && self.crash_severity <= 0.0 && self.straggler_rate <= 0.0
+    }
+
+    /// Sets the per-attempt task failure probability.
+    #[must_use]
+    pub fn with_task_failures(mut self, rate: f64) -> Self {
+        self.task_fail_rate = rate.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Sets the node-crash severity (fraction of capacity lost per
+    /// window). Crash windows are the mid-run counterpart of
+    /// [`FaultConfig::with_static_churn`]: schedulers cannot foresee them.
+    #[must_use]
+    pub fn with_crashes(mut self, severity: f64) -> Self {
+        self.crash_severity = severity.clamp(0.0, 0.95);
+        self
+    }
+
+    /// Sets the mean slots between crash windows.
+    #[must_use]
+    pub fn with_crash_period(mut self, period: u64) -> Self {
+        self.crash_period = period.max(4);
+        self
+    }
+
+    /// Sets the straggler probability and work-inflation factor.
+    #[must_use]
+    pub fn with_stragglers(mut self, rate: f64, factor: f64) -> Self {
+        self.straggler_rate = rate.clamp(0.0, 1.0);
+        self.straggler_factor = factor.max(0.0);
+        self
+    }
+}
+
+/// How many ad-hoc arrivals to drop or defer under sustained overload.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ShedPolicy {
+    /// Admit everything (no degradation).
+    #[default]
+    None,
+    /// Drop ad-hoc arrivals outright while overloaded.
+    Shed,
+    /// Defer ad-hoc arrivals by a fixed number of slots while overloaded.
+    Delay {
+        /// Slots to push the arrival back by.
+        slots: u64,
+    },
+}
+
+/// Bounds on retries and the graceful-degradation rules applied when
+/// mid-run faults fire. The [`Default`] gives three retries with a linear
+/// one-slot backoff and no admission control.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RecoveryPolicy {
+    /// Maximum retries per job. The final permitted attempt always runs to
+    /// completion (no lost jobs); `0` disables kills entirely.
+    pub max_retries: u32,
+    /// Backoff slots per retry: attempt `a` becomes runnable
+    /// `1 + backoff_base * a` slots after its kill.
+    pub backoff_base: u64,
+    /// Admission control applied to ad-hoc arrivals under sustained
+    /// overload.
+    pub shed: ShedPolicy,
+    /// Overload threshold: the ad-hoc backlog (remaining ground-truth
+    /// work) must exceed `overload_factor x` current core capacity for a
+    /// slot to count as overloaded.
+    pub overload_factor: f64,
+    /// Consecutive overloaded slots required before shedding/delaying
+    /// starts. Clamped to at least 1, so arrivals at slot 0 are never
+    /// shed.
+    pub sustain_slots: u64,
+}
+
+impl Default for RecoveryPolicy {
+    fn default() -> Self {
+        RecoveryPolicy {
+            max_retries: 3,
+            backoff_base: 1,
+            shed: ShedPolicy::None,
+            overload_factor: 4.0,
+            sustain_slots: 10,
+        }
+    }
+}
+
+impl RecoveryPolicy {
+    /// Sets the retry bound.
+    #[must_use]
+    pub fn with_max_retries(mut self, retries: u32) -> Self {
+        self.max_retries = retries;
+        self
+    }
+
+    /// Sets the per-retry backoff base.
+    #[must_use]
+    pub fn with_backoff(mut self, base: u64) -> Self {
+        self.backoff_base = base;
+        self
+    }
+
+    /// Sets the shed policy.
+    #[must_use]
+    pub fn with_shed(mut self, shed: ShedPolicy) -> Self {
+        self.shed = shed;
+        self
+    }
+
+    /// Sets the overload detector (backlog factor and sustain slots).
+    #[must_use]
+    pub fn with_overload(mut self, factor: f64, sustain_slots: u64) -> Self {
+        self.overload_factor = factor.max(0.0);
+        self.sustain_slots = sustain_slots.max(1);
+        self
+    }
+}
+
+/// A mid-run fault plan plus the recovery policy that answers it — the
+/// single value handed to [`crate::Engine::with_recovery`] and to the
+/// auditor's [`crate::audit::certify_with_recovery`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RecoverySetup {
+    /// The mid-run fault intensities.
+    pub faults: RuntimeFaultConfig,
+    /// Retry bounds and degradation rules.
+    pub policy: RecoveryPolicy,
+}
+
+impl RecoverySetup {
+    /// Pairs a fault config with a recovery policy.
+    pub fn new(faults: RuntimeFaultConfig, policy: RecoveryPolicy) -> Self {
+        RecoverySetup { faults, policy }
+    }
+
+    /// `true` when the fault side can never fire; the engine then behaves
+    /// byte-identically to a run without recovery.
+    pub fn is_inert(&self) -> bool {
+        self.faults.is_inert()
+    }
+}
+
+/// The horizon within which crash windows are materialized for a
+/// workload: the latest workflow deadline or ad-hoc arrival. The engine
+/// and the auditor both use this, so their window lists agree.
+pub fn runtime_fault_horizon(workload: &SimWorkload) -> u64 {
+    let wf = workload
+        .workflows
+        .iter()
+        .map(|s| s.workflow.submit_slot() + s.workflow.window_slots())
+        .max()
+        .unwrap_or(0);
+    let adhoc = workload
+        .adhoc
+        .iter()
+        .map(|s| s.arrival_slot + 1)
+        .max()
+        .unwrap_or(0);
+    wf.max(adhoc).max(1)
+}
+
+/// A concrete, seeded mid-run injection plan. Every method is a pure
+/// function of the config and its arguments — the engine consults it
+/// during the run and the auditor replays the identical verdicts offline.
+#[derive(Debug, Clone)]
+pub struct RuntimeFaultPlan {
+    config: RuntimeFaultConfig,
+}
+
+impl RuntimeFaultPlan {
+    /// Builds a plan from a config.
+    pub fn new(config: RuntimeFaultConfig) -> Self {
+        RuntimeFaultPlan { config }
+    }
+
+    /// The underlying configuration.
+    pub fn config(&self) -> &RuntimeFaultConfig {
+        &self.config
+    }
+
+    /// Materializes the node-crash windows over `[0, horizon)` against
+    /// `base` capacity. Same spacing shape as the static churn path, but
+    /// these windows live *outside* the [`ClusterConfig`]: the engine
+    /// overlays them on `capacity_now` only, so planners never foresee
+    /// them.
+    pub fn crash_windows(&self, base: ResourceVec, horizon: u64) -> Vec<CapacityWindow> {
+        let severity = self.config.crash_severity;
+        if severity <= 0.0 || horizon == 0 {
+            return Vec::new();
+        }
+        let period = self.config.crash_period.max(4);
+        let keep = 1.0 - severity.clamp(0.0, 0.95);
+        let degraded = ResourceVec::new(
+            base.as_array()
+                .map(|c| (((c as f64) * keep).floor() as u64).max(1)),
+        );
+        let mut rng = SplitMix64::new(self.config.seed ^ CRASH_SALT);
+        let mut windows = Vec::new();
+        let mut start = rng.below(period);
+        while start < horizon {
+            let len = 1 + rng.below(period / 2).max(period / 4);
+            windows.push(CapacityWindow {
+                from_slot: start,
+                to_slot: start + len,
+                capacity: degraded,
+            });
+            start += period / 2 + rng.below(period);
+        }
+        windows
+    }
+
+    /// Whether `job`, caught in flight when crash window `window_idx`
+    /// opens, is on the lost capacity and killed. Probability equals the
+    /// crash severity.
+    pub fn crash_kills(&self, window_idx: u64, job: JobId) -> bool {
+        let severity = self.config.crash_severity.clamp(0.0, 0.95);
+        severity > 0.0
+            && hash_unit(self.config.seed ^ CRASH_KILL_SALT, window_idx, job.as_u64()) < severity
+    }
+
+    /// Whether attempt `attempt` of `job` fails, and if so after how much
+    /// cumulative work: returns the failure threshold in
+    /// `[1, actual_work]` — the attempt dies in the slot its `done_work`
+    /// first reaches it.
+    pub fn attempt_failure(&self, job: JobId, attempt: u32, actual_work: u64) -> Option<u64> {
+        let rate = self.config.task_fail_rate;
+        if rate <= 0.0 || actual_work == 0 {
+            return None;
+        }
+        if hash_unit(self.config.seed ^ TASK_SALT, job.as_u64(), attempt as u64) >= rate {
+            return None;
+        }
+        let frac = hash_unit(
+            self.config.seed ^ TASK_POINT_SALT,
+            job.as_u64(),
+            attempt as u64,
+        );
+        Some(1 + (frac * (actual_work - 1) as f64) as u64)
+    }
+
+    /// Extra ground-truth work a straggler `job` gains the first time it
+    /// runs; `0` for non-stragglers.
+    pub fn straggler_extra(&self, job: JobId, actual_work: u64) -> u64 {
+        let rate = self.config.straggler_rate;
+        if rate <= 0.0 || actual_work == 0 {
+            return 0;
+        }
+        if hash_unit(self.config.seed ^ STRAGGLER_SALT, job.as_u64(), 0) >= rate {
+            return 0;
+        }
+        (((actual_work as f64) * self.config.straggler_factor).round() as u64).max(1)
+    }
+}
+
 /// SplitMix64: tiny, seedable, platform-independent PRNG. Kept private to
 /// this crate so `flowtime-sim` stays dependency-free.
 #[derive(Debug, Clone)]
@@ -483,6 +833,107 @@ mod tests {
             500,
         );
         assert!(none.is_empty());
+    }
+
+    #[test]
+    fn static_churn_alias_matches_with_churn() {
+        let a = FaultConfig::none(3).with_churn(0.5);
+        let b = FaultConfig::none(3).with_static_churn(0.5);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn inert_runtime_plan_never_fires() {
+        let plan = RuntimeFaultPlan::new(RuntimeFaultConfig::none(42));
+        assert!(plan.config().is_inert());
+        assert!(plan
+            .crash_windows(ResourceVec::new([16, 65_536]), 1_000)
+            .is_empty());
+        for raw in 0..50u64 {
+            let id = JobId::new(raw);
+            assert_eq!(plan.attempt_failure(id, 0, 100), None);
+            assert_eq!(plan.straggler_extra(id, 100), 0);
+            assert!(!plan.crash_kills(0, id));
+        }
+    }
+
+    #[test]
+    fn attempt_failure_is_deterministic_and_bounded() {
+        let plan = RuntimeFaultPlan::new(RuntimeFaultConfig::none(9).with_task_failures(0.5));
+        let mut fired = 0usize;
+        for raw in 0..200u64 {
+            let id = JobId::new(raw);
+            let a = plan.attempt_failure(id, 1, 37);
+            assert_eq!(a, plan.attempt_failure(id, 1, 37));
+            if let Some(fail_at) = a {
+                fired += 1;
+                assert!((1..=37).contains(&fail_at));
+            }
+        }
+        // Roughly half of 200 jobs should fail at rate 0.5.
+        assert!((60..=140).contains(&fired), "fired {fired}");
+        // Different attempts of the same job draw independently.
+        let id = JobId::new(7);
+        let per_attempt: Vec<_> = (0..20).map(|a| plan.attempt_failure(id, a, 37)).collect();
+        assert!(per_attempt.iter().any(Option::is_some));
+        assert!(per_attempt.iter().any(Option::is_none));
+    }
+
+    #[test]
+    fn crash_windows_are_seeded_and_degraded() {
+        let plan = RuntimeFaultPlan::new(
+            RuntimeFaultConfig::none(5)
+                .with_crashes(0.5)
+                .with_crash_period(50),
+        );
+        let base = ResourceVec::new([16, 65_536]);
+        let windows = plan.crash_windows(base, 1_000);
+        assert!(!windows.is_empty());
+        for w in &windows {
+            assert!(w.from_slot < w.to_slot);
+            assert!(w.from_slot < 1_000);
+            assert_eq!(w.capacity, ResourceVec::new([8, 32_768]));
+        }
+        for pair in windows.windows(2) {
+            assert!(pair[0].from_slot < pair[1].from_slot);
+        }
+        assert_eq!(windows, plan.crash_windows(base, 1_000));
+        // Some in-flight jobs are killed, some survive, deterministically.
+        let kills: Vec<bool> = (0..40)
+            .map(|r| plan.crash_kills(0, JobId::new(r)))
+            .collect();
+        assert!(kills.iter().any(|&k| k));
+        assert!(kills.iter().any(|&k| !k));
+        assert_eq!(
+            kills,
+            (0..40)
+                .map(|r| plan.crash_kills(0, JobId::new(r)))
+                .collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn straggler_extra_scales_with_factor() {
+        let plan = RuntimeFaultPlan::new(RuntimeFaultConfig::none(11).with_stragglers(0.3, 0.5));
+        let mut hit = 0usize;
+        for raw in 0..200u64 {
+            let id = JobId::new(raw);
+            let extra = plan.straggler_extra(id, 40);
+            assert_eq!(extra, plan.straggler_extra(id, 40));
+            if extra > 0 {
+                hit += 1;
+                assert_eq!(extra, 20);
+            }
+        }
+        assert!((30..=90).contains(&hit), "hit {hit}");
+    }
+
+    #[test]
+    fn runtime_horizon_covers_deadlines_and_arrivals() {
+        let wl = workload();
+        // Workflow submits at 5 with a 55-slot window; ad-hoc arrival 3.
+        assert_eq!(runtime_fault_horizon(&wl), 60);
+        assert_eq!(runtime_fault_horizon(&SimWorkload::default()), 1);
     }
 
     #[test]

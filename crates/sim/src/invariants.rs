@@ -25,7 +25,9 @@
 //! * `completion-accounting` — a job is marked complete if and only if its
 //!   accumulated work covers its demand;
 //! * `monotone-completion` — the number of completed jobs and the total
-//!   work performed never decrease from slot to slot;
+//!   work performed (surviving progress plus work discarded by mid-run
+//!   kills, which is how retries legally reset `done_work`) never
+//!   decrease from slot to slot;
 //! * `milestone-consistency` — per-workflow job deadlines are consistent
 //!   with the decomposition windows they came from: inside the workflow's
 //!   `[submit, deadline]` window and non-decreasing along DAG edges;
@@ -130,7 +132,10 @@ impl InvariantChecker {
             if job.is_complete() {
                 completed += 1;
             }
-            done_total += job.done_work;
+            // Wasted work from killed attempts counts toward the monotone
+            // total: a kill moves progress from `done_work` to `wasted`
+            // rather than destroying it, so the sum still never regresses.
+            done_total += job.done_work + job.wasted;
         }
         if completed < self.completed_prev || done_total < self.done_prev {
             return Err(Self::violation(now, None, "monotone-completion"));
@@ -183,6 +188,11 @@ impl InvariantChecker {
         }
         let now = state.now();
         for job in &state.jobs {
+            // Shed jobs never ran and never complete; they are reported in
+            // their own outcome bucket, not held to conservation.
+            if job.shed_slot.is_some() {
+                continue;
+            }
             if job.done_work != job.actual_work {
                 return Err(Self::violation(now, Some(job.id), "work-conservation"));
             }

@@ -109,6 +109,18 @@ pub(crate) struct JobRuntime {
     pub completion_slot: Option<u64>,
     /// Per-job milestone deadline (absolute slot), if tracked.
     pub deadline_slot: Option<u64>,
+    /// Zero-based execution attempt (bumped on each mid-run kill).
+    pub attempt: u32,
+    /// Task-slots of work discarded by killed attempts.
+    pub wasted: u64,
+    /// Earliest slot the current attempt may run (retry backoff); `0`
+    /// until the job is first killed.
+    pub retry_at: u64,
+    /// Slot the admission controller dropped this job, if it was shed —
+    /// the job never runs and never completes.
+    pub shed_slot: Option<u64>,
+    /// Arrival already deferred once by the delay shed policy.
+    pub deferred: bool,
 }
 
 impl JobRuntime {
@@ -117,7 +129,10 @@ impl JobRuntime {
     }
 
     pub fn is_runnable(&self, now: u64) -> bool {
-        !self.is_complete() && self.ready_slot.is_some_and(|r| r <= now)
+        !self.is_complete()
+            && self.shed_slot.is_none()
+            && now >= self.retry_at
+            && self.ready_slot.is_some_and(|r| r <= now)
     }
 
     pub fn remaining_actual(&self) -> u64 {
@@ -157,6 +172,11 @@ mod tests {
             done_work: 0,
             completion_slot: None,
             deadline_slot: None,
+            attempt: 0,
+            wasted: 0,
+            retry_at: 0,
+            shed_slot: None,
+            deferred: false,
         }
     }
 

@@ -83,14 +83,19 @@ pub mod telemetry;
 pub mod timeline;
 pub mod trace;
 
-pub use audit::{certify, AuditReport, AuditViolation};
+pub use audit::{certify, certify_with_recovery, AuditReport, AuditViolation};
 pub use cluster::ClusterConfig;
 pub use engine::{Engine, SimOutcome};
 pub use error::SimError;
-pub use faults::{FaultConfig, FaultPlan};
+pub use faults::{
+    runtime_fault_horizon, FaultConfig, FaultPlan, RecoveryPolicy, RecoverySetup,
+    RuntimeFaultConfig, RuntimeFaultPlan, ShedPolicy,
+};
 pub use invariants::InvariantChecker;
 pub use job::{AdhocSubmission, JobClass, SimWorkload, WorkflowSubmission};
-pub use metrics::{InFlightJob, JobOutcome, Metrics, MissAttribution, NodeSlackUse};
+pub use metrics::{
+    InFlightJob, JobOutcome, Metrics, MissAttribution, NodeSlackUse, RecoveryStats, ShedJob,
+};
 #[cfg(any(test, feature = "oracle"))]
 pub use oracle::OracleEngine;
 pub use placement::{NodePool, PackResult};
@@ -104,13 +109,29 @@ pub use trace::{
     DEFAULT_TRACE_CAPACITY,
 };
 
+/// Serde `skip_serializing_if` predicates shared by the outcome types:
+/// every recovery-era field is skipped at its default so outcomes from
+/// runs without mid-run faults stay byte-identical to older ones.
+pub mod serde_skip {
+    /// True for zero (skip the field).
+    pub fn zero_u64(v: &u64) -> bool {
+        *v == 0
+    }
+
+    /// True for an empty vector (skip the field).
+    pub fn empty_vec<T>(v: &[T]) -> bool {
+        v.is_empty()
+    }
+}
+
 /// Convenience re-exports for schedulers and experiment harnesses.
 pub mod prelude {
     pub use crate::job::SimWorkload;
     pub use crate::{
-        certify, AdhocSubmission, Allocation, AuditReport, ClusterConfig, DecisionTrace, Engine,
-        EngineTelemetry, FaultConfig, FaultPlan, InFlightJob, JobClass, JobView, Metrics,
-        MissAttribution, Scheduler, SimError, SimOutcome, SimState, SolverTelemetry, TraceHandle,
-        WorkflowSubmission, WorkflowView,
+        certify, certify_with_recovery, AdhocSubmission, Allocation, AuditReport, ClusterConfig,
+        DecisionTrace, Engine, EngineTelemetry, FaultConfig, FaultPlan, InFlightJob, JobClass,
+        JobView, Metrics, MissAttribution, RecoveryPolicy, RecoverySetup, RecoveryStats,
+        RuntimeFaultConfig, RuntimeFaultPlan, Scheduler, ShedPolicy, SimError, SimOutcome,
+        SimState, SolverTelemetry, TraceHandle, WorkflowSubmission, WorkflowView,
     };
 }

@@ -25,6 +25,12 @@ pub struct JobOutcome {
     pub completion_slot: u64,
     /// Milestone deadline, if tracked.
     pub deadline_slot: Option<u64>,
+    /// Attempts killed by mid-run faults before the job completed.
+    #[serde(default, skip_serializing_if = "crate::serde_skip::zero_u64")]
+    pub retries: u64,
+    /// Task-slots of work discarded by those killed attempts.
+    #[serde(default, skip_serializing_if = "crate::serde_skip::zero_u64")]
+    pub wasted_work: u64,
 }
 
 impl JobOutcome {
@@ -66,6 +72,70 @@ pub struct InFlightJob {
     pub remaining_work: u64,
     /// Milestone deadline, if tracked.
     pub deadline_slot: Option<u64>,
+    /// Attempts killed by mid-run faults so far.
+    #[serde(default, skip_serializing_if = "crate::serde_skip::zero_u64")]
+    pub retries: u64,
+    /// Task-slots of work discarded by those killed attempts.
+    #[serde(default, skip_serializing_if = "crate::serde_skip::zero_u64")]
+    pub wasted_work: u64,
+}
+
+/// An ad-hoc job dropped by admission control under sustained overload —
+/// it never ran and is excluded from job metrics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShedJob {
+    /// Job id.
+    pub id: JobId,
+    /// Original submission slot.
+    pub arrival_slot: u64,
+    /// Slot the admission controller dropped it.
+    pub shed_slot: u64,
+}
+
+/// Per-run rollup of mid-run failure and recovery activity. All-zero (the
+/// [`Default`]) on runs without a recovery setup; serialization skips the
+/// struct entirely in that case so outcomes stay byte-identical.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct RecoveryStats {
+    /// Attempts killed by seed-derived task failures.
+    pub task_failures: u64,
+    /// Attempts killed because a node-crash window caught them in flight.
+    pub crash_kills: u64,
+    /// Total retries scheduled (equals `task_failures + crash_kills`).
+    pub retries: u64,
+    /// Task-slots of work discarded across all killed attempts.
+    pub wasted_work: u64,
+    /// Jobs whose ground truth was inflated by straggler injection.
+    pub stragglers: u64,
+    /// Total extra task-slots added by straggler inflation.
+    pub straggler_extra_work: u64,
+    /// Ad-hoc jobs dropped by admission control.
+    pub shed_jobs: u64,
+    /// Ad-hoc jobs deferred by admission control.
+    pub delayed_jobs: u64,
+    /// Workflows flagged mid-run because their remaining work provably
+    /// exceeded what full capacity could deliver before the deadline.
+    pub infeasible_flags: u64,
+}
+
+impl RecoveryStats {
+    /// True when nothing fired — the serialized outcome omits the field.
+    pub fn is_inert(&self) -> bool {
+        *self == RecoveryStats::default()
+    }
+
+    /// Adds another run's counters into this one (sweep rollups).
+    pub fn accumulate(&mut self, other: &RecoveryStats) {
+        self.task_failures += other.task_failures;
+        self.crash_kills += other.crash_kills;
+        self.retries += other.retries;
+        self.wasted_work += other.wasted_work;
+        self.stragglers += other.stragglers;
+        self.straggler_extra_work += other.straggler_extra_work;
+        self.shed_jobs += other.shed_jobs;
+        self.delayed_jobs += other.delayed_jobs;
+        self.infeasible_flags += other.infeasible_flags;
+    }
 }
 
 /// Final record of one workflow.
@@ -264,6 +334,8 @@ mod tests {
             ready_slot: arrival,
             completion_slot: completion,
             deadline_slot: deadline,
+            retries: 0,
+            wasted_work: 0,
         }
     }
 

@@ -101,6 +101,15 @@ pub trait Scheduler {
         None
     }
 
+    /// Notification that an attempt of `job` was killed by a mid-run
+    /// fault (task failure or node crash) and the job will re-execute as
+    /// attempt `attempt` after its backoff. Called after the kill has been
+    /// applied to `state`, so the job already shows zero done work.
+    /// Plan-driven schedulers should invalidate any plan that counted the
+    /// killed attempt's progress; the default (for greedy schedulers that
+    /// re-derive decisions each slot) does nothing.
+    fn on_failure(&mut self, _state: &SimState, _job: JobId, _attempt: u32) {}
+
     /// Short tag describing the decision regime currently in force (e.g.
     /// `"lp-plan"` vs `"degraded-greedy"` for a solver-backed scheduler
     /// that fell back). Polled by the decision-trace layer, which records

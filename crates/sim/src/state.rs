@@ -92,6 +92,11 @@ pub struct SimState {
     /// Count of jobs not yet complete — lets the engine's run loop test
     /// for termination without scanning every job each slot.
     pub(crate) incomplete: usize,
+    /// Mid-run node-crash windows ([`crate::faults::RuntimeFaultPlan`]).
+    /// Unlike the cluster's own maintenance windows these are *revealed
+    /// only*: they cap [`Self::capacity_now`] but never
+    /// [`Self::capacity_at`], so planning schedulers cannot foresee them.
+    pub(crate) crash_overlay: Vec<crate::cluster::CapacityWindow>,
 }
 
 impl SimState {
@@ -106,13 +111,21 @@ impl SimState {
     }
 
     /// The capacity in force during the *current* slot — what an
-    /// allocation for this slot is validated against.
+    /// allocation for this slot is validated against. Mid-run node
+    /// crashes shrink this below [`Self::capacity_at`]`(now)`: the crash
+    /// overlay is revealed slot by slot, never ahead of time.
     pub fn capacity_now(&self) -> ResourceVec {
-        self.cluster.capacity_at(self.now)
+        let base = self.cluster.capacity_at(self.now);
+        self.crash_overlay
+            .iter()
+            .rev()
+            .find(|w| w.from_slot <= self.now && self.now < w.to_slot)
+            .map_or(base, |w| base.min(&w.capacity))
     }
 
     /// The capacity in force during an arbitrary slot (for planners that
-    /// look ahead across maintenance windows).
+    /// look ahead across maintenance windows). Deliberately excludes
+    /// mid-run crash windows — schedulers must not foresee failures.
     pub fn capacity_at(&self, slot: u64) -> ResourceVec {
         self.cluster.capacity_at(slot)
     }
@@ -177,7 +190,7 @@ impl SimState {
         self.visible.clear();
         self.incomplete = 0;
         for job in &self.jobs {
-            if job.is_complete() {
+            if job.is_complete() || job.shed_slot.is_some() {
                 continue;
             }
             self.incomplete += 1;

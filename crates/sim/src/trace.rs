@@ -30,13 +30,19 @@
 //! # Canonical per-slot event order
 //!
 //! Within one slot the engine records, in order: `Arrival`/`Ready` events
-//! (arrivals first, then readies, each in job-id order), one `Replan` if
-//! the scheduler re-solved, one `PolicyTag` if the decision regime
-//! changed, `Preempt` events (job-id order), then per granted job in id
-//! order a `Start` (first grant only) followed by its `Grant`, and
-//! finally `Finish` events for jobs whose work completed during the slot.
-//! A `Finish` at slot `s` means the job finished at the *end* of `s`; its
-//! `completion_slot` is `s + 1`.
+//! (arrivals first, then readies, each in job-id order; admission-control
+//! `Shed`/`Defer` events appear in place of the suppressed `Arrival`),
+//! `Kill` events for jobs caught by a node-crash window opening this slot
+//! (job-id order), one `Replan` if the scheduler re-solved, one
+//! `PolicyTag` if the decision regime changed, `Preempt` events (job-id
+//! order), then per granted job in id order a `Start` (first grant only)
+//! followed by its `Grant`, and finally — interleaved in granted-job id
+//! order as the work applies — `Straggler` (first grant only), task-kill
+//! `Kill`, and `Finish` events. A `Finish` at slot `s` means the job
+//! finished at the *end* of `s`; its `completion_slot` is `s + 1`. A
+//! killed job re-enters the runnable set at its deterministic backoff
+//! slot without a fresh `Ready` event — the retry slot is derivable from
+//! the `Kill` event and the recovery policy.
 
 use crate::job::JobClass;
 use flowtime_dag::{JobId, ResourceVec};
@@ -161,6 +167,47 @@ pub enum TraceEvent {
         /// Total work accumulated at completion, in task-slots.
         done_work: u64,
     },
+    /// A mid-run straggler inflated the job's ground-truth work at its
+    /// first capacity grant.
+    Straggler {
+        /// Slot of the inflation (the job's first granted slot).
+        slot: u64,
+        /// The job.
+        job: JobId,
+        /// Extra task-slots of work added to the ground truth.
+        extra: u64,
+    },
+    /// An attempt was killed mid-run (task failure or node crash); the
+    /// job's progress resets and it re-enters the runnable set at its
+    /// deterministic backoff slot.
+    Kill {
+        /// Slot of the kill.
+        slot: u64,
+        /// The job.
+        job: JobId,
+        /// The zero-based attempt that was killed.
+        attempt: u32,
+        /// Task-slots of progress discarded with the attempt.
+        wasted: u64,
+    },
+    /// The admission controller dropped an arriving ad-hoc job under
+    /// sustained overload (shed policy `shed`); the job never runs.
+    Shed {
+        /// Slot of the suppressed arrival.
+        slot: u64,
+        /// The job.
+        job: JobId,
+    },
+    /// The admission controller postponed an arriving ad-hoc job under
+    /// sustained overload (shed policy `delay`); it arrives at `until`.
+    Defer {
+        /// Slot of the original arrival.
+        slot: u64,
+        /// The job.
+        job: JobId,
+        /// Slot the deferred arrival lands.
+        until: u64,
+    },
 }
 
 impl TraceEvent {
@@ -174,7 +221,11 @@ impl TraceEvent {
             | TraceEvent::Preempt { slot, .. }
             | TraceEvent::Start { slot, .. }
             | TraceEvent::Grant { slot, .. }
-            | TraceEvent::Finish { slot, .. } => slot,
+            | TraceEvent::Finish { slot, .. }
+            | TraceEvent::Straggler { slot, .. }
+            | TraceEvent::Kill { slot, .. }
+            | TraceEvent::Shed { slot, .. }
+            | TraceEvent::Defer { slot, .. } => slot,
         }
     }
 
@@ -186,7 +237,11 @@ impl TraceEvent {
             | TraceEvent::Preempt { job, .. }
             | TraceEvent::Start { job, .. }
             | TraceEvent::Grant { job, .. }
-            | TraceEvent::Finish { job, .. } => Some(job),
+            | TraceEvent::Finish { job, .. }
+            | TraceEvent::Straggler { job, .. }
+            | TraceEvent::Kill { job, .. }
+            | TraceEvent::Shed { job, .. }
+            | TraceEvent::Defer { job, .. } => Some(job),
             TraceEvent::Replan { .. } | TraceEvent::PolicyTag { .. } => None,
         }
     }

@@ -5,8 +5,8 @@
 //! rendered as a string and re-parsed. Supports the shapes this workspace
 //! uses: named-field structs, tuple structs (newtype included), and enums
 //! with unit, tuple, and struct variants — matching serde's
-//! externally-tagged representation. The only field attribute honoured is
-//! `#[serde(default)]`.
+//! externally-tagged representation. The field attributes honoured are
+//! `#[serde(default)]` and `#[serde(skip_serializing_if = "path")]`.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
@@ -14,6 +14,9 @@ use proc_macro::{Delimiter, TokenStream, TokenTree};
 struct Field {
     name: String,
     default: bool,
+    /// Predicate path from `skip_serializing_if`: when it returns true for
+    /// the field value, serialization omits the entry entirely.
+    skip_if: Option<String>,
 }
 
 #[derive(Debug)]
@@ -117,19 +120,33 @@ fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
     }
 }
 
-/// Consumes leading attributes, reporting whether any is `#[serde(default)]`.
-fn take_attrs(tokens: &[TokenTree], i: &mut usize) -> bool {
+/// Consumes leading attributes, reporting whether any is `#[serde(default)]`
+/// and the predicate path of a `#[serde(skip_serializing_if = "path")]`, if
+/// present. The path sits inside a string literal token, so `::` separators
+/// survive `to_string()` verbatim.
+fn take_attrs(tokens: &[TokenTree], i: &mut usize) -> (bool, Option<String>) {
     let mut default = false;
+    let mut skip_if = None;
     while matches!(tokens.get(*i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
         if let Some(TokenTree::Group(g)) = tokens.get(*i + 1) {
             let body = g.stream().to_string();
-            if body.starts_with("serde") && body.contains("default") {
-                default = true;
+            if body.starts_with("serde") {
+                if body.contains("default") {
+                    default = true;
+                }
+                if let Some(pos) = body.find("skip_serializing_if") {
+                    let rest = &body[pos..];
+                    if let Some(start) = rest.find('"') {
+                        if let Some(len) = rest[start + 1..].find('"') {
+                            skip_if = Some(rest[start + 1..start + 1 + len].to_string());
+                        }
+                    }
+                }
             }
         }
         *i += 2;
     }
-    default
+    (default, skip_if)
 }
 
 fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
@@ -137,7 +154,7 @@ fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
     let mut fields = Vec::new();
     let mut i = 0;
     while i < tokens.len() {
-        let default = take_attrs(&tokens, &mut i);
+        let (default, skip_if) = take_attrs(&tokens, &mut i);
         skip_attrs_and_vis(&tokens, &mut i);
         let Some(TokenTree::Ident(id)) = tokens.get(i) else {
             panic!(
@@ -166,7 +183,11 @@ fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
             i += 1;
         }
         i += 1; // past the comma (or end)
-        fields.push(Field { name, default });
+        fields.push(Field {
+            name,
+            default,
+            skip_if,
+        });
     }
     fields
 }
@@ -237,12 +258,20 @@ fn parse_variants(stream: TokenStream) -> Vec<Variant> {
 fn named_fields_to_map(fields: &[Field], access_prefix: &str) -> String {
     let mut out = String::from("{ let mut __m = ::std::vec::Vec::new(); ");
     for f in fields {
-        out.push_str(&format!(
+        let push = format!(
             "__m.push((::std::string::String::from(\"{n}\"), \
              ::serde::Serialize::to_value(&{p}{n}))); ",
             n = f.name,
             p = access_prefix,
-        ));
+        );
+        match &f.skip_if {
+            Some(path) => out.push_str(&format!(
+                "if !{path}(&{p}{n}) {{ {push} }} ",
+                n = f.name,
+                p = access_prefix,
+            )),
+            None => out.push_str(&push),
+        }
     }
     out.push_str("::serde::Value::Map(__m) }");
     out
