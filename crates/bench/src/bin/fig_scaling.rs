@@ -1,0 +1,274 @@
+//! Solver scaling curve — sparse revised simplex vs dense tableau oracle.
+//!
+//! Solves the Lemma 2 interval leveling family at 100 / 1 000 / 10 000
+//! jobs, cold and warm-started, on both LP engines, recording solve time,
+//! pivot counts, deterministic work units, and an analytic peak-memory
+//! estimate per cell into `results/fig_scaling.json`. Every later PR gets
+//! its solver budget from this curve.
+//!
+//! The dense tableau is `rows × width` of f64, so its memory footprint is
+//! estimated *before* allocating; a scale whose tableau exceeds the memory
+//! cap is recorded as `dnf-memory` instead of thrashing the host, and a
+//! scale whose extrapolated runtime exceeds the time cap as `dnf-time`
+//! (extrapolated quadratically from the previous completed scale). The
+//! sparse engine is always run for real.
+//!
+//! Usage: `fig_scaling [--scales 100,1000,10000] [--reps 3]
+//! [--mem-cap-mb 2048] [--time-cap-s 120] [--check-speedup N]`
+//!
+//! `--check-speedup N` exits nonzero unless the sparse engine is at least
+//! N× faster than the dense engine (cold solve) at the largest scale both
+//! completed — CI uses this as the 100-vs-1k smoke.
+
+use flowtime_bench::scaling::{
+    dense_tableau_bytes, interval_instance, perturbed, sparse_bytes_estimate, ScalingInstance,
+};
+use flowtime_lp::{Basis, SimplexEngine, SimplexOptions};
+use serde::Serialize;
+use std::time::Instant;
+
+const SEED: u64 = 0x51ca11;
+/// Warm chain length: replans measured per warm cell.
+const WARM_STEPS: u64 = 5;
+
+#[derive(Debug, Serialize)]
+struct Cell {
+    jobs: usize,
+    engine: &'static str,
+    mode: &'static str,
+    status: &'static str,
+    time_ms: f64,
+    iterations: u64,
+    work: u64,
+    peak_mem_mb_est: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct ScalingReport {
+    horizon_rule: &'static str,
+    reps: usize,
+    warm_steps: u64,
+    cells: Vec<Cell>,
+}
+
+fn opts(engine: SimplexEngine) -> SimplexOptions {
+    SimplexOptions {
+        engine: Some(engine),
+        ..SimplexOptions::default()
+    }
+}
+
+fn median(mut samples: Vec<f64>) -> f64 {
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let n = samples.len();
+    if n == 0 {
+        return 0.0;
+    }
+    if n % 2 == 1 {
+        samples[n / 2]
+    } else {
+        0.5 * (samples[n / 2 - 1] + samples[n / 2])
+    }
+}
+
+/// Cold solves, `reps` times; returns (median ms, iterations, work).
+fn measure_cold(inst: &ScalingInstance, engine: SimplexEngine, reps: usize) -> (f64, u64, u64) {
+    let o = opts(engine);
+    let mut times = Vec::with_capacity(reps);
+    let mut iters = 0u64;
+    let mut work = 0u64;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        let sol = inst.problem.solve_with(&o).expect("feasible family");
+        times.push(t0.elapsed().as_secs_f64() * 1e3);
+        iters = sol.iterations as u64;
+        work = sol.work;
+        std::hint::black_box(&sol);
+    }
+    (median(times), iters, work)
+}
+
+/// Warm replan chain: base optimum's basis carried through `WARM_STEPS`
+/// perturbed instances; returns (median ms per replan, total iterations,
+/// total work) and panics if any step falls back cold (the family is
+/// designed so repair always succeeds).
+fn measure_warm(inst: &ScalingInstance, engine: SimplexEngine) -> (f64, u64, u64) {
+    let o = opts(engine);
+    let first = inst.problem.solve_warm(&o, None).expect("feasible family");
+    let mut basis: Basis = first.basis;
+    let mut times = Vec::new();
+    let mut iters = 0u64;
+    let mut work = 0u64;
+    for step in 0..WARM_STEPS {
+        let replan = perturbed(inst, step + 1, SEED);
+        let t0 = Instant::now();
+        let res = replan
+            .problem
+            .solve_warm(&o, Some(&basis))
+            .expect("feasible replan");
+        times.push(t0.elapsed().as_secs_f64() * 1e3);
+        assert!(res.warm_used, "replan at step {step} fell back cold");
+        iters += res.solution.iterations as u64;
+        work += res.solution.work;
+        basis = res.basis;
+    }
+    (median(times), iters, work)
+}
+
+fn mb(bytes: u64) -> f64 {
+    bytes as f64 / (1024.0 * 1024.0)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let get = |flag: &str| {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+    };
+    let scales: Vec<usize> = get("--scales")
+        .map(String::as_str)
+        .unwrap_or("100,1000,10000")
+        .split(',')
+        .map(|s| s.trim().parse().expect("--scales wants numbers"))
+        .collect();
+    let reps: usize = get("--reps").map_or(3, |v| v.parse().expect("--reps"));
+    let mem_cap_mb: f64 = get("--mem-cap-mb").map_or(2048.0, |v| v.parse().expect("--mem-cap-mb"));
+    let time_cap_s: f64 = get("--time-cap-s").map_or(120.0, |v| v.parse().expect("--time-cap-s"));
+    let check_speedup: Option<f64> =
+        get("--check-speedup").map(|v| v.parse().expect("--check-speedup"));
+
+    println!("fig_scaling: interval leveling family, horizon = max(24, jobs/4), {reps} reps");
+    println!(
+        "{:>7} {:>7} {:>7}  {:>8}  {:>12} {:>12}  {:>10}",
+        "jobs", "rows", "cols", "engine", "cold (ms)", "warm (ms)", "mem (MB)"
+    );
+
+    let mut cells = Vec::new();
+    // (jobs, cold ms) of the last completed dense scale, for extrapolation.
+    let mut last_dense: Option<(usize, f64)> = None;
+    // (jobs, sparse cold ms, dense cold ms) where both engines completed.
+    let mut speedup_base: Option<(usize, f64, f64)> = None;
+
+    for &jobs in &scales {
+        let inst = interval_instance(jobs, SEED);
+        let sparse_mem = mb(sparse_bytes_estimate(&inst));
+        let dense_mem = mb(dense_tableau_bytes(&inst));
+
+        let (s_cold, s_iters, s_work) = measure_cold(&inst, SimplexEngine::Sparse, reps);
+        let (s_warm, sw_iters, sw_work) = measure_warm(&inst, SimplexEngine::Sparse);
+        cells.push(Cell {
+            jobs,
+            engine: "sparse",
+            mode: "cold",
+            status: "ok",
+            time_ms: s_cold,
+            iterations: s_iters,
+            work: s_work,
+            peak_mem_mb_est: sparse_mem,
+        });
+        cells.push(Cell {
+            jobs,
+            engine: "sparse",
+            mode: "warm",
+            status: "ok",
+            time_ms: s_warm,
+            iterations: sw_iters,
+            work: sw_work,
+            peak_mem_mb_est: sparse_mem,
+        });
+
+        // Dense: gate on estimated memory, then on extrapolated time.
+        let dense_status = if dense_mem > mem_cap_mb {
+            "dnf-memory"
+        } else if let Some((prev_jobs, prev_ms)) = last_dense {
+            let ratio = jobs as f64 / prev_jobs as f64;
+            if prev_ms * ratio * ratio > time_cap_s * 1e3 {
+                "dnf-time"
+            } else {
+                "ok"
+            }
+        } else {
+            "ok"
+        };
+        let (d_cold, d_warm);
+        if dense_status == "ok" {
+            let (cold_ms, d_iters, d_work) = measure_cold(&inst, SimplexEngine::Dense, reps);
+            let (warm_ms, dw_iters, dw_work) = measure_warm(&inst, SimplexEngine::Dense);
+            last_dense = Some((jobs, cold_ms));
+            speedup_base = Some((jobs, s_cold, cold_ms));
+            cells.push(Cell {
+                jobs,
+                engine: "dense",
+                mode: "cold",
+                status: "ok",
+                time_ms: cold_ms,
+                iterations: d_iters,
+                work: d_work,
+                peak_mem_mb_est: dense_mem,
+            });
+            cells.push(Cell {
+                jobs,
+                engine: "dense",
+                mode: "warm",
+                status: "ok",
+                time_ms: warm_ms,
+                iterations: dw_iters,
+                work: dw_work,
+                peak_mem_mb_est: dense_mem,
+            });
+            (d_cold, d_warm) = (format!("{cold_ms:.2}"), format!("{warm_ms:.2}"));
+        } else {
+            for mode in ["cold", "warm"] {
+                cells.push(Cell {
+                    jobs,
+                    engine: "dense",
+                    mode,
+                    status: dense_status,
+                    time_ms: 0.0,
+                    iterations: 0,
+                    work: 0,
+                    peak_mem_mb_est: dense_mem,
+                });
+            }
+            (d_cold, d_warm) = (dense_status.into(), dense_status.into());
+        }
+
+        println!(
+            "{:>7} {:>7} {:>7}  {:>8}  {:>12.2} {:>12.2}  {:>10.1}",
+            jobs, inst.rows, inst.cols, "sparse", s_cold, s_warm, sparse_mem
+        );
+        println!(
+            "{:>7} {:>7} {:>7}  {:>8}  {:>12} {:>12}  {:>10.1}",
+            "", "", "", "dense", d_cold, d_warm, dense_mem
+        );
+    }
+
+    flowtime_bench::report::persist(
+        "fig_scaling",
+        &ScalingReport {
+            horizon_rule: "max(24, jobs/4)",
+            reps,
+            warm_steps: WARM_STEPS,
+            cells,
+        },
+    );
+    println!("report written to results/fig_scaling.json");
+
+    if let Some(floor) = check_speedup {
+        match speedup_base {
+            Some((jobs, sparse_ms, dense_ms)) => {
+                let speedup = dense_ms / sparse_ms.max(1e-9);
+                println!("speedup at {jobs} jobs: {speedup:.1}x (floor {floor}x)");
+                if speedup < floor {
+                    eprintln!("error: sparse engine only {speedup:.1}x faster than dense");
+                    std::process::exit(1);
+                }
+            }
+            None => {
+                eprintln!("error: no scale completed on both engines");
+                std::process::exit(1);
+            }
+        }
+    }
+}

@@ -12,6 +12,7 @@
 
 pub mod experiments;
 pub mod report;
+pub mod scaling;
 pub mod sweep;
 
 pub use experiments::{Algo, SummaryRow};

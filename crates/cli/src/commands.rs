@@ -27,8 +27,9 @@ USAGE:
   flowtime-cli simulate  --trace <trace.jsonl> --scheduler <name>
                          [--out metrics.json] [--outcome-out outcome.json]
                          [--trace-out decisions.jsonl] [--gantt]
-                         [--no-plan-cache] [FAULTS]
-  flowtime-cli compare   --trace <trace.jsonl> [--no-plan-cache] [FAULTS]
+                         [--no-plan-cache] [--lp-backend sparse|dense] [FAULTS]
+  flowtime-cli compare   --trace <trace.jsonl> [--no-plan-cache]
+                         [--lp-backend sparse|dense] [FAULTS]
   flowtime-cli decompose --trace <trace.jsonl> [--index I] [--slack S]
   flowtime-cli audit     --trace <trace.jsonl> --decision-trace <d.jsonl>
                          --outcome <outcome.json> [FAULTS]
@@ -39,6 +40,10 @@ USAGE:
                          [--out NAME] [--bench-threads 1,2,..] [--audit]
 
 SCHEDULERS: flowtime, flowtime-no-ds, edf, fifo, fair, cora, morpheus
+
+LP BACKEND (any command that solves scheduling LPs):
+  --lp-backend B     simplex engine: sparse (revised simplex + LU, default)
+                     or dense (tableau oracle, for differential checking)
 
 FAULTS (deterministic injection, all derived from one seed):
   --fault-seed S     enable fault injection with seed S
@@ -60,9 +65,28 @@ RECOVERY (mid-run failures + retry policy; also need --fault-seed):
   --overload-sustain S   slots of sustained overload before shedding
 ";
 
+/// Applies `--lp-backend`, selecting the process-wide simplex engine for
+/// every LP the subsequent command solves. A typo'd value must error, not
+/// silently run the default engine.
+fn apply_lp_backend(args: &Args) -> CliResult {
+    match args.get("lp-backend") {
+        None => Ok(()),
+        Some("sparse") => {
+            flowtime_lp::set_default_engine(flowtime_lp::SimplexEngine::Sparse);
+            Ok(())
+        }
+        Some("dense") => {
+            flowtime_lp::set_default_engine(flowtime_lp::SimplexEngine::Dense);
+            Ok(())
+        }
+        Some(other) => Err(format!("--lp-backend must be sparse or dense, got `{other}`").into()),
+    }
+}
+
 /// Dispatches a parsed command line.
 pub fn dispatch(argv: &[String]) -> CliResult {
     let args = Args::parse(argv);
+    apply_lp_backend(&args)?;
     match args.positional.first().map(String::as_str) {
         Some("generate") => generate(&args),
         Some("simulate") => simulate(&args),

@@ -34,6 +34,28 @@ pub enum LpError {
         /// The limit that was hit.
         limit: usize,
     },
+    /// The simplex revisited a basis it had already seen while stalled,
+    /// proving it is cycling on a degenerate vertex. Only reported when no
+    /// anti-cycling rescue remains (under Bland's rule, or when the Bland
+    /// fallback is disabled via `stall_limit = usize::MAX`).
+    Cycling {
+        /// Pivots performed before the repeat was detected.
+        iterations: usize,
+    },
+    /// The candidate basis matrix is numerically singular: LU factorization
+    /// found no acceptable pivot in some column, or an eta update's pivot
+    /// element was zero.
+    SingularBasis,
+    /// The factorization self-check `‖B·x − b‖∞` exceeded tolerance after a
+    /// refactorization, indicating corrupted factors or a missed update.
+    /// Results are withheld rather than silently wrong.
+    NumericalInstability {
+        /// The residual that tripped the check.
+        residual: f64,
+    },
+    /// The requested solver engine is not compiled into this build (the
+    /// dense oracle requires the `oracle` feature outside of tests).
+    EngineUnavailable,
 }
 
 impl fmt::Display for LpError {
@@ -53,6 +75,19 @@ impl fmt::Display for LpError {
             LpError::Unbounded => f.write_str("linear program is unbounded"),
             LpError::IterationLimit { limit } => {
                 write!(f, "simplex iteration limit of {limit} exceeded")
+            }
+            LpError::Cycling { iterations } => {
+                write!(f, "simplex cycling detected after {iterations} pivots")
+            }
+            LpError::SingularBasis => f.write_str("basis matrix is numerically singular"),
+            LpError::NumericalInstability { residual } => {
+                write!(
+                    f,
+                    "factorization residual {residual:e} exceeds tolerance; results withheld"
+                )
+            }
+            LpError::EngineUnavailable => {
+                f.write_str("requested LP engine is not compiled into this build")
             }
         }
     }
@@ -76,6 +111,10 @@ mod tests {
             LpError::Infeasible,
             LpError::Unbounded,
             LpError::IterationLimit { limit: 10 },
+            LpError::Cycling { iterations: 7 },
+            LpError::SingularBasis,
+            LpError::NumericalInstability { residual: 1e-3 },
+            LpError::EngineUnavailable,
         ] {
             assert!(!e.to_string().is_empty());
         }

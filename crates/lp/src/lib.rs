@@ -1,4 +1,5 @@
-//! A dense two-phase primal simplex linear-programming solver.
+//! A bounded-variable two-phase primal simplex linear-programming solver
+//! with two interchangeable engines.
 //!
 //! The FlowTime paper (Section V) schedules deadline-aware jobs by solving a
 //! linear program with CPLEX. Mature LP solvers are not available as pure
@@ -8,12 +9,31 @@
 //!   `min cᵀx  s.t.  Ax {≤,=,≥} b,  l ≤ x ≤ u`,
 //!   built incrementally with [`Problem::add_var`] /
 //!   [`Problem::add_constraint`].
-//! * [`simplex::solve`] — a **bounded-variable two-phase primal simplex**
-//!   over a dense tableau. Variable upper bounds are handled implicitly
-//!   (non-basic variables may sit at either bound, via the column-flip
-//!   transformation), so the scheduling LP's per-slot parallelism caps do
-//!   not inflate the row count. Anti-cycling falls back to Bland's rule
-//!   after a stall.
+//! * [`simplex::solve`] — a **bounded-variable two-phase primal simplex**.
+//!   Variable upper bounds are handled implicitly (non-basic variables may
+//!   sit at either bound, via the column-flip transformation), so the
+//!   scheduling LP's per-slot parallelism caps do not inflate the row
+//!   count. Anti-cycling falls back to Bland's rule after a stall, with
+//!   basis-repeat detection surfacing [`LpError::Cycling`] when no rescue
+//!   remains.
+//!
+//! Two engines implement the identical pivot policy and are selected with
+//! [`SimplexEngine`] (per solve via [`SimplexOptions::engine`], or
+//! process-wide via [`set_default_engine`]):
+//!
+//! * **Sparse revised simplex** (default) — the basis is held as a sparse
+//!   LU factorization (Gilbert–Peierls left-looking factorization with
+//!   partial pivoting and nnz-ascending column preorder) updated by a
+//!   product-form eta file with periodic refactorization. Pricing uses
+//!   BTRAN, entering columns FTRAN; a `‖B·β − b‖∞` residual self-check
+//!   guards every refactorization. This exploits the near-banded interval
+//!   structure of the paper's Lemma 2 LPs.
+//! * **[`DenseOracle`]** — the original dense tableau engine, kept
+//!   bit-for-bit intact behind the `oracle` feature (always available under
+//!   `cfg(test)`) as a differential-testing oracle for the sparse path.
+//!
+//! Both engines share the warm-start contract: [`Basis`] export/import and
+//! bounded dual-simplex repair, so cached bases transfer across engines.
 //!
 //! The solver is exact enough for the scheduling LPs of the paper: the
 //! constraint matrices there are totally unimodular (paper Lemma 2), so
@@ -43,11 +63,18 @@
 #![warn(missing_docs)]
 
 pub mod error;
+mod lu;
 pub mod problem;
+mod revised;
 pub mod simplex;
 pub mod solution;
+mod sparse;
 
 pub use error::LpError;
 pub use problem::{Problem, Relation, VarId};
-pub use simplex::{Basis, SimplexOptions, WarmSolveResult};
+#[cfg(any(test, feature = "oracle"))]
+pub use simplex::DenseOracle;
+pub use simplex::{
+    default_engine, set_default_engine, Basis, SimplexEngine, SimplexOptions, WarmSolveResult,
+};
 pub use solution::{Solution, Status};

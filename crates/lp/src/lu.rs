@@ -1,0 +1,459 @@
+//! Sparse LU factorization of the simplex basis with a product-form eta
+//! file.
+//!
+//! The revised simplex never forms `B⁻¹`: it keeps `B = L̂·U` (computed by
+//! a left-looking Gilbert–Peierls elimination) plus a short file of *eta*
+//! columns recording each basis exchange since the last factorization.
+//! `FTRAN` (solve `Bx = b`) and `BTRAN` (solve `Bᵀy = c`) run through the
+//! factors in sparse-friendly column form.
+//!
+//! Pivoting is Markowitz-flavored: columns are eliminated in ascending
+//! nonzero-count order (cheapest first, stable by basis position), and the
+//! pivot row within a column is chosen by maximum magnitude (partial
+//! pivoting, ties to the lowest row). On the Lemma 2 interval LPs the
+//! basis is near-banded, so this ordering keeps fill-in close to zero.
+//!
+//! Rather than Forrest–Tomlin factor updates, basis exchanges append
+//! product-form etas and the factorization is rebuilt from scratch every
+//! [`REFACTOR_EVERY`] exchanges. Each rebuild is followed by a residual
+//! self-check (`‖B·β − b‖∞`) in the solver, so a corrupted factor entry or
+//! a skipped eta surfaces as a typed [`LpError::NumericalInstability`]
+//! instead of a silently wrong plan (see the mutation tests below).
+
+use crate::error::LpError;
+use crate::sparse::CscMatrix;
+
+/// Rebuild the factorization after this many eta updates.
+pub(crate) const REFACTOR_EVERY: usize = 64;
+
+/// Pivot entries at or below this magnitude are treated as zero during
+/// elimination; a column with no admissible pivot makes the basis
+/// singular. Matches the dense warm path's refactorization threshold so
+/// both engines accept the same prescribed bases.
+const PIVOT_TOL: f64 = 1e-7;
+
+/// One product-form update: the basis column at position `r` was replaced,
+/// and `E` differs from the identity only in column `r`, which holds
+/// `w = B⁻¹·a_entering`.
+#[derive(Debug, Clone)]
+pub(crate) struct Eta {
+    /// Basis position whose column was replaced.
+    pub(crate) r: usize,
+    /// `w[r]`, the pivot element.
+    pub(crate) diag: f64,
+    /// Remaining nonzeros of `w` (positions `i ≠ r`).
+    pub(crate) col: Vec<(usize, f64)>,
+}
+
+/// `B = L̂·U` (times the pending eta file), with `L̂` unit-diagonal under
+/// the elimination's row permutation and `U` upper-triangular in step
+/// space.
+#[derive(Debug, Clone)]
+pub(crate) struct Factorization {
+    /// Basis dimension.
+    pub(crate) m: usize,
+    /// Off-diagonal multipliers of `L̂`, per elimination step:
+    /// `(original_row, multiplier)`, sorted by row.
+    pub(crate) l_cols: Vec<Vec<(usize, f64)>>,
+    /// Off-diagonal entries of `U`, per step: `(earlier_step, value)`.
+    pub(crate) u_cols: Vec<Vec<(usize, f64)>>,
+    /// Diagonal of `U`, per step.
+    pub(crate) u_diag: Vec<f64>,
+    /// Elimination step → original row chosen as pivot.
+    pub(crate) pivot_row: Vec<usize>,
+    /// Elimination step → basis position eliminated at that step.
+    pub(crate) col_of_step: Vec<usize>,
+    /// Product-form updates since the last factorization.
+    pub(crate) etas: Vec<Eta>,
+    /// Operation counter (nonzeros touched), for scaling assertions.
+    pub(crate) work: u64,
+    /// Step-space scratch vector reused by `ftran`/`btran`.
+    scratch: Vec<f64>,
+}
+
+impl Factorization {
+    /// Factors the basis `B` whose column at position `r` is column
+    /// `basis[r]` of `a` (in `a`'s *current* orientation).
+    ///
+    /// # Errors
+    ///
+    /// [`LpError::SingularBasis`] when elimination finds no pivot above
+    /// [`PIVOT_TOL`] for some column.
+    pub(crate) fn factor(a: &CscMatrix, basis: &[usize]) -> Result<Factorization, LpError> {
+        let m = basis.len();
+        debug_assert_eq!(a.m, m);
+        let mut order: Vec<usize> = (0..m).collect();
+        order.sort_by_key(|&pos| (a.col_nnz(basis[pos]), pos));
+
+        let mut lu = Factorization {
+            m,
+            l_cols: Vec::with_capacity(m),
+            u_cols: Vec::with_capacity(m),
+            u_diag: Vec::with_capacity(m),
+            pivot_row: Vec::with_capacity(m),
+            col_of_step: Vec::with_capacity(m),
+            etas: Vec::new(),
+            work: 0,
+            scratch: vec![0.0; m],
+        };
+        // Dense scatter workspace with stamp-based sparse reset.
+        let mut val = vec![0.0f64; m];
+        let mut stamp = vec![0u32; m];
+        let mut row_step: Vec<usize> = vec![usize::MAX; m];
+        let mut touched: Vec<usize> = Vec::new();
+        let mut steps: Vec<usize> = Vec::new();
+        let mut dfs: Vec<usize> = Vec::new();
+
+        for (k, &pos) in order.iter().enumerate() {
+            let cur = (k + 1) as u32;
+            touched.clear();
+            steps.clear();
+            // Scatter the column and collect the reachable pivotal steps
+            // (symbolic phase): a row already eliminated at step `t`
+            // scatters into the rows of `l_cols[t]`, transitively.
+            for (r, v) in a.col(basis[pos]) {
+                val[r] = v;
+                if stamp[r] != cur {
+                    stamp[r] = cur;
+                    touched.push(r);
+                    dfs.push(r);
+                }
+            }
+            while let Some(r) = dfs.pop() {
+                let t = row_step[r];
+                if t == usize::MAX {
+                    continue;
+                }
+                steps.push(t);
+                for &(rr, _) in &lu.l_cols[t] {
+                    if stamp[rr] != cur {
+                        stamp[rr] = cur;
+                        val[rr] = 0.0;
+                        touched.push(rr);
+                        dfs.push(rr);
+                    }
+                }
+            }
+            // Numeric phase: apply earlier eliminations in step order. Once
+            // step `t` fires, `val[pivot_row[t]]` is final (later steps
+            // never scatter into an already-pivotal row), so the value read
+            // here is the `U` entry.
+            steps.sort_unstable();
+            let mut u_col: Vec<(usize, f64)> = Vec::with_capacity(steps.len());
+            for &t in &steps {
+                let pv = val[lu.pivot_row[t]];
+                if pv != 0.0 {
+                    u_col.push((t, pv));
+                    for &(rr, l) in &lu.l_cols[t] {
+                        val[rr] -= pv * l;
+                    }
+                    lu.work += lu.l_cols[t].len() as u64;
+                }
+            }
+            // Partial pivoting over the not-yet-pivotal rows of the
+            // pattern: maximum magnitude, ties to the lowest row.
+            let mut pivot: Option<(usize, f64)> = None;
+            for &r in &touched {
+                if row_step[r] != usize::MAX {
+                    continue;
+                }
+                let v = val[r];
+                let better = match pivot {
+                    None => v.abs() > PIVOT_TOL,
+                    Some((pr, pv)) => {
+                        v.abs() > pv.abs() || (v.abs() == pv.abs() && r < pr && v.abs() > PIVOT_TOL)
+                    }
+                };
+                if better {
+                    pivot = Some((r, v));
+                }
+            }
+            let Some((pr, pv)) = pivot else {
+                for &r in &touched {
+                    val[r] = 0.0;
+                }
+                return Err(LpError::SingularBasis);
+            };
+            let mut l_col: Vec<(usize, f64)> = Vec::new();
+            for &r in &touched {
+                if r != pr && row_step[r] == usize::MAX && val[r] != 0.0 {
+                    l_col.push((r, val[r] / pv));
+                }
+                val[r] = 0.0;
+            }
+            l_col.sort_unstable_by_key(|&(r, _)| r);
+            lu.work += (touched.len() + u_col.len()) as u64;
+            lu.l_cols.push(l_col);
+            lu.u_cols.push(u_col);
+            lu.u_diag.push(pv);
+            lu.pivot_row.push(pr);
+            lu.col_of_step.push(pos);
+            row_step[pr] = k;
+        }
+        Ok(lu)
+    }
+
+    /// Solves `Bx = b` in place: `x` enters holding `b` (constraint-row
+    /// space) and leaves holding the basic values by *position*.
+    pub(crate) fn ftran(&mut self, x: &mut [f64]) {
+        debug_assert_eq!(x.len(), self.m);
+        let y = &mut self.scratch;
+        // L̂ solve (forward, row space).
+        for k in 0..self.m {
+            let v = x[self.pivot_row[k]];
+            y[k] = v;
+            if v != 0.0 {
+                for &(r, l) in &self.l_cols[k] {
+                    x[r] -= v * l;
+                }
+                self.work += self.l_cols[k].len() as u64;
+            }
+        }
+        // U solve (backward, step space), scattered to positions. Every
+        // position is written exactly once (col_of_step is a permutation),
+        // so x needs no clearing.
+        for k in (0..self.m).rev() {
+            let z = y[k] / self.u_diag[k];
+            if z != 0.0 {
+                for &(t, u) in &self.u_cols[k] {
+                    y[t] -= u * z;
+                }
+                self.work += self.u_cols[k].len() as u64;
+            }
+            x[self.col_of_step[k]] = z;
+        }
+        // Pending basis exchanges, oldest first.
+        for eta in &self.etas {
+            let t = x[eta.r] / eta.diag;
+            if t != 0.0 {
+                for &(i, w) in &eta.col {
+                    x[i] -= w * t;
+                }
+                self.work += eta.col.len() as u64;
+            }
+            x[eta.r] = t;
+        }
+        self.work += 2 * self.m as u64;
+    }
+
+    /// Solves `Bᵀy = c` in place: `x` enters holding `c` (position space)
+    /// and leaves holding the dual values by constraint row.
+    pub(crate) fn btran(&mut self, x: &mut [f64]) {
+        debug_assert_eq!(x.len(), self.m);
+        // Eta transposes, newest first.
+        for eta in self.etas.iter().rev() {
+            let mut s = x[eta.r];
+            for &(i, w) in &eta.col {
+                s -= w * x[i];
+            }
+            x[eta.r] = s / eta.diag;
+            self.work += eta.col.len() as u64;
+        }
+        // Uᵀ solve (forward, step space).
+        let y = &mut self.scratch;
+        for k in 0..self.m {
+            let mut s = x[self.col_of_step[k]];
+            for &(t, u) in &self.u_cols[k] {
+                s -= u * y[t];
+            }
+            y[k] = s / self.u_diag[k];
+            self.work += self.u_cols[k].len() as u64;
+        }
+        // L̂ᵀ solve (backward): writes x[pivot_row[k]] in descending step
+        // order; every row referenced by l_cols[k] pivots at a later step,
+        // hence is already final.
+        for k in (0..self.m).rev() {
+            let mut s = y[k];
+            for &(r, l) in &self.l_cols[k] {
+                s -= l * x[r];
+            }
+            x[self.pivot_row[k]] = s;
+            self.work += self.l_cols[k].len() as u64;
+        }
+        self.work += 2 * self.m as u64;
+    }
+
+    /// Appends the product-form eta for a basis exchange at position `r`
+    /// with FTRAN'd entering column `w` (dense, position space).
+    ///
+    /// # Errors
+    ///
+    /// [`LpError::SingularBasis`] if the pivot element is numerically zero
+    /// (the ratio tests guarantee it is not on the solver's own paths).
+    pub(crate) fn update(&mut self, r: usize, w: &[f64]) -> Result<(), LpError> {
+        let diag = w[r];
+        if diag.abs() <= 1e-12 {
+            return Err(LpError::SingularBasis);
+        }
+        let col: Vec<(usize, f64)> = w
+            .iter()
+            .enumerate()
+            .filter(|&(i, &v)| i != r && v != 0.0)
+            .map(|(i, &v)| (i, v))
+            .collect();
+        self.work += col.len() as u64 + 1;
+        self.etas.push(Eta { r, diag, col });
+        Ok(())
+    }
+
+    /// Whether enough etas have accumulated to warrant a rebuild.
+    pub(crate) fn needs_refactor(&self) -> bool {
+        self.etas.len() >= REFACTOR_EVERY
+    }
+}
+
+/// `‖B·β − b‖∞` for the basis whose position-`r` column is `a`'s column
+/// `basis[r]`: the solver's post-refactorization self-check. A corrupted
+/// factor or a skipped eta update poisons the incrementally maintained `β`,
+/// which this residual exposes.
+pub(crate) fn basis_residual_inf(a: &CscMatrix, basis: &[usize], beta: &[f64], b: &[f64]) -> f64 {
+    let mut r: Vec<f64> = b.iter().map(|&v| -v).collect();
+    for (pos, &j) in basis.iter().enumerate() {
+        if beta[pos] != 0.0 {
+            a.scatter_col(j, beta[pos], &mut r);
+        }
+    }
+    r.iter().fold(0.0f64, |acc, &v| acc.max(v.abs()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// 4×4 test matrix with an interval-ish pattern; columns 0..4 are the
+    /// basis in natural order.
+    fn sample() -> (CscMatrix, Vec<usize>) {
+        let cols = vec![
+            vec![(0, 2.0), (1, 1.0)],
+            vec![(0, 1.0), (1, 3.0), (2, 1.0)],
+            vec![(2, 4.0), (3, 1.0)],
+            vec![(1, 1.0), (3, 5.0)],
+        ];
+        (CscMatrix::from_columns(4, &cols), vec![0, 1, 2, 3])
+    }
+
+    fn mat_vec(a: &CscMatrix, basis: &[usize], x: &[f64]) -> Vec<f64> {
+        let mut out = vec![0.0; a.m];
+        for (pos, &j) in basis.iter().enumerate() {
+            a.scatter_col(j, x[pos], &mut out);
+        }
+        out
+    }
+
+    #[test]
+    fn ftran_btran_solve_correctly() {
+        let (a, basis) = sample();
+        let mut lu = Factorization::factor(&a, &basis).unwrap();
+        let b = vec![3.0, -1.0, 2.0, 7.0];
+        let mut x = b.clone();
+        lu.ftran(&mut x);
+        let bx = mat_vec(&a, &basis, &x);
+        for (got, want) in bx.iter().zip(b.iter()) {
+            assert!((got - want).abs() < 1e-10, "{got} vs {want}");
+        }
+        // BTRAN: Bᵀy = c  ⇔  yᵀB = cᵀ, i.e. y·(col of B at pos p) = c[p].
+        let c = vec![1.0, 0.5, -2.0, 4.0];
+        let mut y = c.clone();
+        lu.btran(&mut y);
+        for (pos, &j) in basis.iter().enumerate() {
+            let dot = a.col_dot(j, &y);
+            assert!((dot - c[pos]).abs() < 1e-10, "pos {pos}: {dot}");
+        }
+    }
+
+    #[test]
+    fn eta_update_tracks_column_replacement() {
+        let (a, basis) = sample();
+        let mut lu = Factorization::factor(&a, &basis).unwrap();
+        // Replace the basis column at position 2 by a new column
+        // [0, 1, 1, 2] appended to the matrix as column 4.
+        let mut cols: Vec<Vec<(usize, f64)>> = (0..4).map(|j| a.col(j).collect()).collect();
+        cols.push(vec![(1, 1.0), (2, 1.0), (3, 2.0)]);
+        let a2 = CscMatrix::from_columns(4, &cols);
+        let mut w = vec![0.0; 4];
+        a2.scatter_col(4, 1.0, &mut w);
+        lu.ftran(&mut w);
+        lu.update(2, &w).unwrap();
+        let new_basis = vec![0, 1, 4, 3];
+        let b = vec![1.0, 2.0, 3.0, 4.0];
+        let mut x = b.clone();
+        lu.ftran(&mut x);
+        let bx = mat_vec(&a2, &new_basis, &x);
+        for (got, want) in bx.iter().zip(b.iter()) {
+            assert!((got - want).abs() < 1e-10, "{got} vs {want}");
+        }
+        // BTRAN through the eta too.
+        let c = vec![2.0, -1.0, 1.0, 0.0];
+        let mut y = c.clone();
+        lu.btran(&mut y);
+        for (pos, &j) in new_basis.iter().enumerate() {
+            let dot = a2.col_dot(j, &y);
+            assert!((dot - c[pos]).abs() < 1e-10, "pos {pos}: {dot}");
+        }
+    }
+
+    #[test]
+    fn singular_basis_detected() {
+        // Two proportional columns.
+        let cols = vec![vec![(0, 1.0), (1, 2.0)], vec![(0, 2.0), (1, 4.0)]];
+        let a = CscMatrix::from_columns(2, &cols);
+        assert_eq!(
+            Factorization::factor(&a, &[0, 1]).unwrap_err(),
+            LpError::SingularBasis
+        );
+    }
+
+    #[test]
+    fn refactor_counter_trips() {
+        let (a, basis) = sample();
+        let mut lu = Factorization::factor(&a, &basis).unwrap();
+        assert!(!lu.needs_refactor());
+        let mut w = vec![0.0; 4];
+        for _ in 0..REFACTOR_EVERY {
+            w.copy_from_slice(&[1.0, 0.0, 0.0, 0.0]);
+            lu.ftran(&mut w);
+            let w_snapshot = w.clone();
+            // Re-enter the same column: harmless identity-ish etas.
+            lu.update(0, &w_snapshot).unwrap();
+        }
+        assert!(lu.needs_refactor());
+    }
+
+    /// Mutation-negative: corrupting one stored factor entry must be caught
+    /// by the residual self-check, not silently absorbed.
+    #[test]
+    fn corrupted_factor_entry_fails_residual_check() {
+        let (a, basis) = sample();
+        let mut lu = Factorization::factor(&a, &basis).unwrap();
+        let b = vec![3.0, -1.0, 2.0, 7.0];
+        // Baseline: a clean solve passes the check.
+        let mut beta = b.clone();
+        lu.ftran(&mut beta);
+        assert!(basis_residual_inf(&a, &basis, &beta, &b) < 1e-9);
+        // Mutate one U diagonal entry.
+        lu.u_diag[1] += 0.5;
+        let mut beta = b.clone();
+        lu.ftran(&mut beta);
+        let res = basis_residual_inf(&a, &basis, &beta, &b);
+        assert!(res > 1e-3, "corruption slipped through: residual {res}");
+    }
+
+    /// Mutation-negative: skipping an eta update poisons every *later*
+    /// FTRAN; the residual check on the incrementally maintained values
+    /// catches it at the next refactorization point.
+    #[test]
+    fn skipped_eta_update_fails_residual_check() {
+        let (a, basis) = sample();
+        let mut lu = Factorization::factor(&a, &basis).unwrap();
+        let mut cols: Vec<Vec<(usize, f64)>> = (0..4).map(|j| a.col(j).collect()).collect();
+        cols.push(vec![(1, 1.0), (2, 1.0), (3, 2.0)]);
+        let a2 = CscMatrix::from_columns(4, &cols);
+        // Exchange position 2 for column 4 but "forget" lu.update(2, &w).
+        let new_basis = vec![0, 1, 4, 3];
+        let b = vec![1.0, 2.0, 3.0, 4.0];
+        let mut beta = b.clone();
+        lu.ftran(&mut beta); // stale factorization: solves the OLD basis
+        let res = basis_residual_inf(&a2, &new_basis, &beta, &b);
+        assert!(res > 1e-3, "skipped eta slipped through: residual {res}");
+    }
+}

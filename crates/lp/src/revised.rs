@@ -1,0 +1,644 @@
+//! Bounded-variable two-phase *revised* simplex over a sparse LU-factored
+//! basis.
+//!
+//! This engine is trajectory-compatible with the dense tableau oracle in
+//! [`crate::simplex`]: it prices with the same Dantzig→Bland policy, runs
+//! the same ratio test with the same tolerances and tie-breaks, performs
+//! the same bound-flip transformations, and counts iterations identically.
+//! The two engines therefore walk the same pivot sequence (the revised
+//! quantities `B⁻¹a_j`, reduced costs, and basic values are the *same
+//! numbers* the tableau stores explicitly, recomputed through the LU
+//! factors), so warm-start bases are interchangeable and plans downstream
+//! stay bit-identical — the differential suite in `tests/lp_differential.rs`
+//! holds the two engines to that.
+//!
+//! Where the dense tableau spends `O(m·n)` per pivot updating every entry,
+//! this engine spends `O(nnz)`: one BTRAN for pricing, one FTRAN for the
+//! entering column, and an `O(m)` basic-value update. On the Lemma 2
+//! interval LPs (`nnz = O(n)`), that turns each pivot from quadratic to
+//! linear.
+
+use crate::error::LpError;
+use crate::lu::{self, Factorization};
+use crate::problem::Problem;
+use crate::simplex::{
+    auto_iteration_cap, quantize, Basis, CycleDetector, Pricing, RatioOutcome, SimplexOptions,
+    SolverCore, DEGEN_SNAP, PRICE_TIE, RATIO_TIE,
+};
+use crate::solution::{Solution, Status};
+use crate::sparse::SparseForm;
+
+/// The sparse revised-simplex engine ([`crate::SimplexEngine::Sparse`]).
+pub struct SparseRevised;
+
+impl SolverCore for SparseRevised {
+    fn solve_cold(
+        &self,
+        problem: &Problem,
+        options: &SimplexOptions,
+    ) -> Result<(Solution, Basis), LpError> {
+        cold(problem, options)
+    }
+
+    fn try_warm(
+        &self,
+        problem: &Problem,
+        options: &SimplexOptions,
+        start: &Basis,
+    ) -> Option<(Solution, Basis)> {
+        warm(problem, options, start)
+    }
+}
+
+/// Mutable solver state: the standard form, the basis, the incrementally
+/// maintained basic values, and the factorization of the basis.
+struct Rev {
+    f: SparseForm,
+    /// Basic column of each row/position.
+    basis: Vec<usize>,
+    /// Membership mask over all columns.
+    in_basis: Vec<bool>,
+    /// Current basic values (`B⁻¹b`, maintained incrementally exactly like
+    /// the dense tableau's `beta`).
+    beta: Vec<f64>,
+    lu: Factorization,
+    /// Non-LU operation counter (pricing, ratio tests, updates).
+    work: u64,
+}
+
+/// Relative residual bound for the `‖B·β − b‖∞` self-check run at every
+/// refactorization and before results are surfaced.
+const RESIDUAL_TOL: f64 = 1e-6;
+
+fn build_cold(problem: &Problem) -> Result<Rev, LpError> {
+    let f = SparseForm::build(problem)?;
+    let basis: Vec<usize> = (f.art_start..f.width).collect();
+    let mut in_basis = vec![false; f.width];
+    for &b in &basis {
+        in_basis[b] = true;
+    }
+    let beta = f.b.clone(); // all-artificial basis: B = I
+    let lu = Factorization::factor(&f.a, &basis)?;
+    Ok(Rev {
+        f,
+        basis,
+        in_basis,
+        beta,
+        lu,
+        work: 0,
+    })
+}
+
+fn objective(rev: &Rev, phase1: bool) -> f64 {
+    let mut z = if phase1 { 0.0 } else { rev.f.flip_const2 };
+    for (i, &b) in rev.basis.iter().enumerate() {
+        z += rev.f.effective_cost(b, phase1) * rev.beta[i];
+    }
+    z
+}
+
+/// Complements the *basic* variable of row `r` (mirror of the dense
+/// `flip_basic_row`): the storage flip plus the `beta` rebase. The caller
+/// pivots this row immediately afterwards, which is what re-syncs the
+/// factorization (the replacement eta is computed against the pre-flip
+/// basis, and the replaced column's orientation is irrelevant once it has
+/// left).
+fn flip_basic(rev: &mut Rev, r: usize) {
+    let k = rev.basis[r];
+    rev.f.flip_column(k);
+    rev.beta[r] = rev.f.upper[k] - rev.beta[r];
+}
+
+/// Basis exchange at row `r`: column `j` enters with FTRAN'd column `w` and
+/// pivot element `w[r]` (the dense `pivot`, minus the tableau sweep).
+fn pivot(rev: &mut Rev, r: usize, j: usize, w: &[f64]) -> Result<(), LpError> {
+    let step = rev.beta[r] / w[r];
+    apply_pivot(rev, r, j, w, step)
+}
+
+/// Basis exchange after [`flip_basic`] on row `r`: the dense pivot element
+/// is the *negated* `w[r]` (the row was complemented), while the eta update
+/// still uses the original `w` (`B_new = B_old·E(w)` — the leaving column's
+/// in-storage negation does not alter the replaced basis column).
+fn pivot_flipped(rev: &mut Rev, r: usize, j: usize, w: &[f64]) -> Result<(), LpError> {
+    let step = rev.beta[r] / (-w[r]);
+    apply_pivot(rev, r, j, w, step)
+}
+
+fn apply_pivot(rev: &mut Rev, r: usize, j: usize, w: &[f64], step: f64) -> Result<(), LpError> {
+    for (i, &wi) in w.iter().enumerate() {
+        if i == r || wi == 0.0 {
+            continue;
+        }
+        rev.beta[i] -= wi * step;
+        if rev.beta[i] < 0.0 && rev.beta[i] > -1e-9 {
+            rev.beta[i] = 0.0;
+        }
+    }
+    rev.beta[r] = step;
+    rev.lu.update(r, w)?;
+    rev.in_basis[rev.basis[r]] = false;
+    rev.in_basis[j] = true;
+    rev.basis[r] = j;
+    rev.work += w.len() as u64;
+    Ok(())
+}
+
+/// Rebuilds the LU factors from the current basis and runs the residual
+/// self-check on the incrementally maintained `beta`. A corrupted factor or
+/// a skipped eta shows up here as [`LpError::NumericalInstability`] rather
+/// than a silently wrong plan.
+fn refactor(rev: &mut Rev) -> Result<(), LpError> {
+    let carried = rev.lu.work;
+    rev.lu = Factorization::factor(&rev.f.a, &rev.basis)?;
+    rev.lu.work += carried;
+    check_residual(rev)
+}
+
+fn check_residual(rev: &Rev) -> Result<(), LpError> {
+    let residual = lu::basis_residual_inf(&rev.f.a, &rev.basis, &rev.beta, &rev.f.b);
+    let scale = 1.0 + rev.f.b.iter().fold(0.0f64, |a, &v| a.max(v.abs()));
+    if residual / scale <= RESIDUAL_TOL {
+        Ok(())
+    } else {
+        Err(LpError::NumericalInstability { residual })
+    }
+}
+
+fn better_leave(rev: &Rev, current: &RatioOutcome, candidate_row: usize, pricing: Pricing) -> bool {
+    let cand = rev.basis[candidate_row];
+    match current {
+        RatioOutcome::Flip | RatioOutcome::Unbounded => true,
+        RatioOutcome::LeaveLower(r) | RatioOutcome::LeaveUpper(r) => match pricing {
+            Pricing::Bland => cand < rev.basis[*r],
+            Pricing::Dantzig => false,
+        },
+    }
+}
+
+fn run_phase(
+    rev: &mut Rev,
+    phase1: bool,
+    tol: f64,
+    max_iterations: usize,
+    stall_limit: usize,
+    iterations: &mut usize,
+) -> Result<(), LpError> {
+    let m = rev.f.m;
+    let mut pricing = Pricing::Dantzig;
+    let mut stall = 0usize;
+    let mut detector = CycleDetector::new();
+    let mut last_obj = objective(rev, phase1);
+    let mut y = vec![0.0f64; m];
+    let mut w = vec![0.0f64; m];
+    loop {
+        if *iterations >= max_iterations {
+            return Err(LpError::IterationLimit {
+                limit: max_iterations,
+            });
+        }
+        // Price every column from fresh duals (`y = B⁻ᵀc_B`). The dense
+        // engine maintains reduced costs incrementally but refreshes before
+        // declaring optimality; both selections see the same values.
+        for (i, slot) in y.iter_mut().enumerate() {
+            *slot = rev.f.effective_cost(rev.basis[i], phase1);
+        }
+        rev.lu.btran(&mut y);
+        let mut entering: Option<(usize, f64)> = None;
+        for j in 0..rev.f.width {
+            if rev.in_basis[j] || rev.f.upper[j] <= 0.0 || !(phase1 || j < rev.f.art_start) {
+                continue;
+            }
+            let d = rev.f.effective_cost(j, phase1) - rev.f.a.col_dot(j, &y);
+            if d < -tol {
+                match pricing {
+                    // Windowed argmin, mirroring the dense engine: a later
+                    // column must beat the incumbent by more than
+                    // PRICE_TIE to displace it, so exact ties resolve to
+                    // the lowest index on both engines.
+                    Pricing::Dantzig => {
+                        if entering.is_none_or(|(_, bd)| d < bd - PRICE_TIE * (1.0 + bd.abs())) {
+                            entering = Some((j, d));
+                        }
+                    }
+                    Pricing::Bland => {
+                        entering = Some((j, d));
+                        break;
+                    }
+                }
+            }
+        }
+        rev.work += rev.f.a.nnz() as u64 + m as u64;
+        let Some((j, _)) = entering else {
+            return Ok(()); // optimal for this phase
+        };
+
+        // FTRAN the entering column; `w` is the tableau column `B⁻¹a_j`.
+        for v in w.iter_mut() {
+            *v = 0.0;
+        }
+        rev.f.a.scatter_col(j, 1.0, &mut w);
+        rev.lu.ftran(&mut w);
+
+        // Ratio test — same thresholds and tie-breaks as the dense engine.
+        let mut best = rev.f.upper[j];
+        let mut outcome = if best.is_finite() {
+            RatioOutcome::Flip
+        } else {
+            RatioOutcome::Unbounded
+        };
+        for (i, &a) in w.iter().enumerate() {
+            if a > 1e-9 {
+                let numer = rev.beta[i].max(0.0);
+                let ratio = if numer < DEGEN_SNAP { 0.0 } else { numer / a };
+                let tie = RATIO_TIE * (1.0 + best.abs());
+                if ratio < best - tie
+                    || (ratio < best + tie && better_leave(rev, &outcome, i, pricing))
+                {
+                    best = ratio;
+                    outcome = RatioOutcome::LeaveLower(i);
+                }
+            } else if a < -1e-9 {
+                let ub = rev.f.upper[rev.basis[i]];
+                if ub.is_finite() {
+                    let numer = (ub - rev.beta[i]).max(0.0);
+                    let ratio = if numer < DEGEN_SNAP {
+                        0.0
+                    } else {
+                        numer / (-a)
+                    };
+                    let tie = RATIO_TIE * (1.0 + best.abs());
+                    if ratio < best - tie
+                        || (ratio < best + tie && better_leave(rev, &outcome, i, pricing))
+                    {
+                        best = ratio;
+                        outcome = RatioOutcome::LeaveUpper(i);
+                    }
+                }
+            }
+        }
+        rev.work += m as u64;
+
+        match outcome {
+            RatioOutcome::Unbounded => {
+                return if phase1 {
+                    // Cannot happen: phase-1 objective is bounded below by 0.
+                    Err(LpError::Infeasible)
+                } else {
+                    Err(LpError::Unbounded)
+                };
+            }
+            RatioOutcome::Flip => {
+                let u = rev.f.upper[j];
+                for (i, &wi) in w.iter().enumerate() {
+                    if wi != 0.0 {
+                        rev.beta[i] -= wi * u;
+                    }
+                }
+                rev.f.flip_column(j);
+            }
+            RatioOutcome::LeaveLower(r) => pivot(rev, r, j, &w)?,
+            RatioOutcome::LeaveUpper(r) => {
+                flip_basic(rev, r);
+                pivot_flipped(rev, r, j, &w)?;
+            }
+        }
+        *iterations += 1;
+
+        let obj = objective(rev, phase1);
+        if obj < last_obj - 1e-12 {
+            stall = 0;
+            pricing = Pricing::Dantzig;
+            detector.clear();
+        } else {
+            stall += 1;
+            // Cycle detection is armed where a basis repeat is conclusive:
+            // under Bland (deterministic, so a repeat loops forever) and
+            // under Dantzig when the Bland rescue is disabled.
+            if (pricing == Pricing::Bland || stall_limit == usize::MAX)
+                && detector.record(&rev.basis, &rev.f.flipped)
+            {
+                return Err(LpError::Cycling {
+                    iterations: *iterations,
+                });
+            }
+            if stall > stall_limit && pricing != Pricing::Bland {
+                pricing = Pricing::Bland;
+                detector.clear();
+            }
+        }
+        last_obj = obj;
+
+        if rev.lu.needs_refactor() {
+            refactor(rev)?;
+        }
+    }
+}
+
+/// Drives still-basic artificials out after phase 1 (mirror of the dense
+/// sweep): for each artificial row, the first real column with a pivotable
+/// tableau entry enters.
+fn drive_out_artificials(rev: &mut Rev) -> Result<(), LpError> {
+    let m = rev.f.m;
+    let mut rho = vec![0.0f64; m];
+    let mut w = vec![0.0f64; m];
+    for r in 0..m {
+        if rev.basis[r] < rev.f.art_start {
+            continue;
+        }
+        // Row r of B⁻¹A, one sparse dot per column.
+        for v in rho.iter_mut() {
+            *v = 0.0;
+        }
+        rho[r] = 1.0;
+        rev.lu.btran(&mut rho);
+        let found = (0..rev.f.n_real)
+            .find(|&j| rev.f.upper[j] > 0.0 && rev.f.a.col_dot(j, &rho).abs() > 1e-7);
+        rev.work += rev.f.a.nnz() as u64;
+        if let Some(j) = found {
+            for v in w.iter_mut() {
+                *v = 0.0;
+            }
+            rev.f.a.scatter_col(j, 1.0, &mut w);
+            rev.lu.ftran(&mut w);
+            pivot(rev, r, j, &w)?;
+            if rev.lu.needs_refactor() {
+                refactor(rev)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+fn extract_solution(rev: &Rev, problem: &Problem, iterations: usize) -> Solution {
+    let n_struct = problem.num_vars();
+    let mut shifted = vec![0.0f64; rev.f.n_real];
+    for (r, &b) in rev.basis.iter().enumerate() {
+        if b < rev.f.n_real {
+            shifted[b] = rev.beta[r].max(0.0);
+        }
+    }
+    let mut x = vec![0.0f64; n_struct];
+    for (j, slot) in x.iter_mut().enumerate() {
+        let mut v = shifted[j];
+        if rev.f.flipped[j] {
+            v = rev.f.upper[j] - v;
+        }
+        // Clean float fuzz against the original bounds and the grid.
+        *slot = quantize((v + problem.lower[j]).clamp(problem.lower[j], problem.upper[j]));
+    }
+    let objective = problem.objective_at(&x);
+    Solution {
+        status: Status::Optimal,
+        objective,
+        x,
+        iterations,
+        work: rev.work + rev.lu.work,
+    }
+}
+
+fn export_basis(rev: &Rev, n_struct: usize) -> Basis {
+    let rows: Vec<Option<usize>> = rev
+        .basis
+        .iter()
+        .map(|&b| (b < rev.f.art_start).then_some(b))
+        .collect();
+    let mut in_b = vec![false; rev.f.n_real];
+    for &b in &rev.basis {
+        if b < rev.f.art_start {
+            in_b[b] = true;
+        }
+    }
+    let flipped = (0..rev.f.n_real)
+        .map(|j| rev.f.flipped[j] && !in_b[j])
+        .collect();
+    Basis {
+        rows,
+        flipped,
+        n_struct,
+        n_slack: rev.f.n_real - n_struct,
+    }
+}
+
+fn cold(problem: &Problem, options: &SimplexOptions) -> Result<(Solution, Basis), LpError> {
+    let tol = options.tolerance;
+    let mut rev = build_cold(problem)?;
+    let max_iterations = auto_iteration_cap(options, rev.f.m, rev.f.n_real);
+    let mut iterations = 0usize;
+
+    run_phase(
+        &mut rev,
+        true,
+        tol,
+        max_iterations,
+        options.stall_limit,
+        &mut iterations,
+    )?;
+    if objective(&rev, true) > 1e-6 {
+        return Err(LpError::Infeasible);
+    }
+    drive_out_artificials(&mut rev)?;
+    for j in rev.f.art_start..rev.f.width {
+        rev.f.upper[j] = 0.0;
+    }
+    run_phase(
+        &mut rev,
+        false,
+        tol,
+        max_iterations,
+        options.stall_limit,
+        &mut iterations,
+    )?;
+    check_residual(&rev)?;
+    let solution = extract_solution(&rev, problem, iterations);
+    let basis = export_basis(&rev, problem.num_vars());
+    Ok((solution, basis))
+}
+
+/// All basic values within their (working-space) bounds?
+fn primal_feasible(rev: &Rev, tol: f64) -> bool {
+    (0..rev.f.m).all(|r| {
+        let b = rev.beta[r];
+        let ub = rev.f.upper[rev.basis[r]];
+        b >= -tol && (!ub.is_finite() || b <= ub + tol)
+    })
+}
+
+/// Bounded-variable dual simplex on the revised representation, mirroring
+/// the dense `dual_repair` step for step. Returns `None` — caller falls
+/// back to a cold solve — on lost dual feasibility, an unsatisfiable row,
+/// or a stalled repair.
+fn dual_repair(rev: &mut Rev, iterations: &mut usize) -> Option<()> {
+    const FEAS_TOL: f64 = 1e-7;
+    let m = rev.f.m;
+    let step_cap = 4 * m + 50;
+    let mut steps = 0usize;
+    let mut y = vec![0.0f64; m];
+    let mut rho = vec![0.0f64; m];
+    let mut w = vec![0.0f64; m];
+    loop {
+        // Leaving row: largest bound violation (ties: lowest row).
+        let mut worst: Option<(usize, f64, bool)> = None;
+        for r in 0..m {
+            let b = rev.beta[r];
+            let ub = rev.f.upper[rev.basis[r]];
+            let (violation, at_upper) = if b < -FEAS_TOL {
+                (-b, false)
+            } else if ub.is_finite() && b > ub + FEAS_TOL {
+                (b - ub, true)
+            } else {
+                continue;
+            };
+            if worst.is_none_or(|(_, wv, _)| violation > wv) {
+                worst = Some((r, violation, at_upper));
+            }
+        }
+        let Some((r, _, at_upper)) = worst else {
+            return Some(()); // primal feasible again
+        };
+        if steps >= step_cap {
+            return None;
+        }
+        // Price pre-flip: a basic-variable complement leaves reduced costs
+        // unchanged, and the dense engine's post-flip pivot row is exactly
+        // the negated `B⁻¹A` row, handled below via `sgn`.
+        for (i, slot) in y.iter_mut().enumerate() {
+            *slot = rev.f.effective_cost2(rev.basis[i]);
+        }
+        rev.lu.btran(&mut y);
+        for v in rho.iter_mut() {
+            *v = 0.0;
+        }
+        rho[r] = 1.0;
+        rev.lu.btran(&mut rho);
+        rev.work += 2 * rev.f.a.nnz() as u64;
+        let sgn = if at_upper { -1.0 } else { 1.0 };
+        let mut entering: Option<(f64, usize)> = None;
+        for j in 0..rev.f.n_real {
+            if rev.in_basis[j] || rev.f.upper[j] <= 0.0 {
+                continue;
+            }
+            let dj = rev.f.effective_cost2(j) - rev.f.a.col_dot(j, &y);
+            if dj < -1e-7 {
+                return None; // dual feasibility lost: repair unsound
+            }
+            let a = sgn * rev.f.a.col_dot(j, &rho);
+            if a < -1e-9 {
+                let ratio = dj.max(0.0) / -a;
+                let better = match entering {
+                    None => true,
+                    Some((br, bj)) => ratio < br - 1e-12 || (ratio < br + 1e-12 && j < bj),
+                };
+                if better {
+                    entering = Some((ratio, j));
+                }
+            }
+        }
+        let (_, j) = entering?; // no candidate: row unsatisfiable
+        for v in w.iter_mut() {
+            *v = 0.0;
+        }
+        rev.f.a.scatter_col(j, 1.0, &mut w);
+        rev.lu.ftran(&mut w);
+        if at_upper {
+            flip_basic(rev, r);
+            pivot_flipped(rev, r, j, &w).ok()?;
+        } else {
+            pivot(rev, r, j, &w).ok()?;
+        }
+        *iterations += 1;
+        steps += 1;
+        if rev.lu.needs_refactor() {
+            refactor(rev).ok()?;
+        }
+    }
+}
+
+/// Attempts the warm path; `None` means "fall back to a cold solve".
+/// Mirrors the dense `try_warm` contract: same compatibility checks, same
+/// flip restoration, dual repair, phase-2 finish, and final feasibility
+/// safety net — with the greedy tableau refactorization replaced by a
+/// direct LU factorization of the prescribed basis (any nonsingular
+/// arrangement of the prescribed column set reproduces the same vertex).
+fn warm(problem: &Problem, options: &SimplexOptions, start: &Basis) -> Option<(Solution, Basis)> {
+    if !start.fits(problem) {
+        return None;
+    }
+    let mut f = SparseForm::build(problem).ok()?;
+    if start.flipped.len() != f.n_real {
+        return None;
+    }
+    // Range/duplicate check on the prescribed basic columns.
+    let mut prescribed = vec![false; f.n_real];
+    for &col in &start.rows {
+        if let Some(j) = col {
+            if j >= f.n_real || prescribed[j] {
+                return None;
+            }
+            prescribed[j] = true;
+        }
+    }
+    // The warm path never runs phase 1: bar artificials immediately. Rows
+    // whose artificial stays basic get a zero upper bound, so any nonzero
+    // beta there becomes a bound violation for the dual repair.
+    for j in f.art_start..f.width {
+        f.upper[j] = 0.0;
+    }
+    // Restore bound flips of non-basic columns.
+    for (j, &basic) in prescribed.iter().enumerate() {
+        if start.flipped[j] && !basic {
+            if !f.upper[j].is_finite() {
+                return None;
+            }
+            f.flip_column(j);
+        }
+    }
+    let basis: Vec<usize> = start
+        .rows
+        .iter()
+        .enumerate()
+        .map(|(r, col)| col.unwrap_or(f.art_start + r))
+        .collect();
+    let mut in_basis = vec![false; f.width];
+    for &b in &basis {
+        in_basis[b] = true;
+    }
+    // A (near-)singular prescribed basis falls back to the cold solve,
+    // like the dense greedy refactorization's no-progress bail-out.
+    let mut lu = Factorization::factor(&f.a, &basis).ok()?;
+    let mut beta = f.b.clone();
+    lu.ftran(&mut beta);
+    let mut rev = Rev {
+        f,
+        basis,
+        in_basis,
+        beta,
+        lu,
+        work: 0,
+    };
+
+    let tol = options.tolerance;
+    let max_iterations = auto_iteration_cap(options, rev.f.m, rev.f.n_real);
+    let mut iterations = 0usize;
+    if !primal_feasible(&rev, 1e-7) {
+        dual_repair(&mut rev, &mut iterations)?;
+    }
+    run_phase(
+        &mut rev,
+        false,
+        tol,
+        max_iterations,
+        options.stall_limit,
+        &mut iterations,
+    )
+    .ok()?;
+    check_residual(&rev).ok()?;
+    let solution = extract_solution(&rev, problem, iterations);
+    // Safety net: numerical trouble on the warm path must never leak an
+    // infeasible "solution"; the cold path re-solves from scratch instead.
+    if !problem.is_feasible(&solution.x, 1e-6) {
+        return None;
+    }
+    let basis = export_basis(&rev, problem.num_vars());
+    Some((solution, basis))
+}

@@ -1,23 +1,38 @@
-//! Bounded-variable two-phase primal simplex over a dense tableau.
+//! Simplex front end: engine selection, the shared warm-start contract,
+//! and the dense tableau oracle.
 //!
-//! The implementation keeps every non-basic variable at one of its bounds.
-//! Rather than tracking "at upper bound" as a separate state, a variable at
-//! its upper bound is *complemented* (`x ↦ u − x`, a column negation), so all
+//! Two engines implement the bounded-variable two-phase primal simplex:
+//!
+//! * [`SimplexEngine::Sparse`] — the revised simplex over a sparse
+//!   LU-factored basis ([`crate::revised`]), the default.
+//! * [`SimplexEngine::Dense`] — [`DenseOracle`], the original dense
+//!   tableau implementation, kept as a differential-testing oracle behind
+//!   the `oracle` feature (always available inside this crate's tests).
+//!
+//! Both keep every non-basic variable at one of its bounds. Rather than
+//! tracking "at upper bound" as a separate state, a variable at its upper
+//! bound is *complemented* (`x ↦ u − x`, a column negation), so all
 //! non-basic variables sit at zero in the working space — this makes the
 //! ratio test and pivoting identical to the textbook simplex while still
-//! supporting finite upper bounds without extra constraint rows. Bound flips
-//! (the entering variable reaching its own opposite bound) cost one column
-//! negation and no pivot.
+//! supporting finite upper bounds without extra constraint rows. Bound
+//! flips (the entering variable reaching its own opposite bound) cost one
+//! column negation and no pivot.
 //!
-//! Reduced costs are maintained incrementally (`O(n)` per pivot) and
-//! refreshed from scratch periodically — and whenever optimality is about
-//! to be declared — to bound numerical drift. Anti-cycling: Dantzig
-//! pricing by default, switching to Bland's rule (with a fresh cost
-//! vector) after `stall_limit` iterations without objective improvement.
+//! In the dense oracle, reduced costs are maintained incrementally (`O(n)`
+//! per pivot) and refreshed from scratch periodically — and whenever
+//! optimality is about to be declared — to bound numerical drift.
+//! Anti-cycling in both engines: Dantzig pricing by default, switching to
+//! Bland's rule (with a fresh cost vector) after `stall_limit` iterations
+//! without objective improvement, plus basis-repeat detection that turns a
+//! genuine cycle into a typed [`LpError::Cycling`] instead of a hang.
 
 use crate::error::LpError;
 use crate::problem::{Problem, Relation};
-use crate::solution::{Solution, Status};
+use crate::solution::Solution;
+#[cfg(any(test, feature = "oracle"))]
+use crate::solution::Status;
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicU8, Ordering};
 
 /// Tuning knobs for [`solve`].
 #[derive(Debug, Clone)]
@@ -28,8 +43,12 @@ pub struct SimplexOptions {
     /// Feasibility / reduced-cost tolerance.
     pub tolerance: f64,
     /// Iterations without objective improvement before switching to
-    /// Bland's rule.
+    /// Bland's rule. `usize::MAX` disables the Bland rescue, in which case
+    /// a detected basis repeat reports [`LpError::Cycling`].
     pub stall_limit: usize,
+    /// Engine override for this solve; `None` uses the process-wide
+    /// default from [`default_engine`].
+    pub engine: Option<SimplexEngine>,
 }
 
 impl Default for SimplexOptions {
@@ -38,20 +57,167 @@ impl Default for SimplexOptions {
             max_iterations: 0,
             tolerance: 1e-9,
             stall_limit: 200,
+            engine: None,
         }
     }
 }
 
+/// Selects which simplex implementation executes a solve.
+///
+/// Both engines walk the same pivot trajectory (same pricing, ratio test,
+/// tolerances, and tie-breaks), so they are interchangeable — including
+/// warm-start [`Basis`] hand-off between them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SimplexEngine {
+    /// Sparse revised simplex with LU basis factorization (the default).
+    Sparse,
+    /// Dense tableau oracle. Outside this crate's own tests it requires
+    /// the `oracle` cargo feature; without it, selecting `Dense` yields
+    /// [`LpError::EngineUnavailable`].
+    Dense,
+}
+
+/// Process-wide default engine, settable without threading options through
+/// every call site (e.g. from a CLI flag). 0 = Sparse, 1 = Dense.
+static DEFAULT_ENGINE: AtomicU8 = AtomicU8::new(0);
+
+/// Sets the process-wide default [`SimplexEngine`] used when
+/// [`SimplexOptions::engine`] is `None`.
+pub fn set_default_engine(engine: SimplexEngine) {
+    let v = match engine {
+        SimplexEngine::Sparse => 0,
+        SimplexEngine::Dense => 1,
+    };
+    DEFAULT_ENGINE.store(v, Ordering::SeqCst);
+}
+
+/// The current process-wide default [`SimplexEngine`].
+pub fn default_engine() -> SimplexEngine {
+    match DEFAULT_ENGINE.load(Ordering::SeqCst) {
+        0 => SimplexEngine::Sparse,
+        _ => SimplexEngine::Dense,
+    }
+}
+
+/// The engine backend contract: a cold two-phase solve and a warm-start
+/// attempt. `solve`/`solve_with_warm_start` layer the shared fallback
+/// logic on top, so the two entry points behave identically across
+/// engines.
+pub(crate) trait SolverCore {
+    fn solve_cold(
+        &self,
+        problem: &Problem,
+        options: &SimplexOptions,
+    ) -> Result<(Solution, Basis), LpError>;
+    fn try_warm(
+        &self,
+        problem: &Problem,
+        options: &SimplexOptions,
+        start: &Basis,
+    ) -> Option<(Solution, Basis)>;
+}
+
+fn core_for(engine: SimplexEngine) -> Result<&'static dyn SolverCore, LpError> {
+    match engine {
+        SimplexEngine::Sparse => Ok(&crate::revised::SparseRevised),
+        #[cfg(any(test, feature = "oracle"))]
+        SimplexEngine::Dense => Ok(&DenseOracle),
+        #[cfg(not(any(test, feature = "oracle")))]
+        SimplexEngine::Dense => Err(LpError::EngineUnavailable),
+    }
+}
+
+/// Detects basis repeats during objective stalls. Two independently
+/// seeded 64-bit FNV-style hashes of `(basis, flipped)` keep the false
+/// positive probability negligible without storing full basis snapshots.
+pub(crate) struct CycleDetector {
+    seen: HashSet<(u64, u64)>,
+}
+
+impl CycleDetector {
+    pub(crate) fn new() -> Self {
+        CycleDetector {
+            seen: HashSet::new(),
+        }
+    }
+
+    /// Forget all recorded states (called when the objective improves: no
+    /// cycle can span a strict improvement).
+    pub(crate) fn clear(&mut self) {
+        self.seen.clear();
+    }
+
+    /// Records the current basis state; `true` means it was seen before.
+    pub(crate) fn record(&mut self, basis: &[usize], flipped: &[bool]) -> bool {
+        let h1 = hash_state(basis, flipped, 0xcbf2_9ce4_8422_2325);
+        let h2 = hash_state(basis, flipped, 0x9e37_79b9_7f4a_7c15);
+        !self.seen.insert((h1, h2))
+    }
+}
+
+fn hash_state(basis: &[usize], flipped: &[bool], seed: u64) -> u64 {
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = seed;
+    for &b in basis {
+        h = (h ^ (b as u64)).wrapping_mul(PRIME);
+    }
+    for &f in flipped {
+        h = (h ^ (f as u64 + 2)).wrapping_mul(PRIME);
+    }
+    h ^ (h >> 31)
+}
+
 /// Which pricing rule is active.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Pricing {
+pub(crate) enum Pricing {
     Dantzig,
     Bland,
 }
 
+/// Relative tie window for Dantzig pricing. The two engines compute
+/// reduced costs through different arithmetic (incrementally updated
+/// tableau rows vs fresh BTRANs against the LU factors), so columns that
+/// tie in exact arithmetic land a few ulps apart — and scheduling LPs are
+/// full of exact ties (every allocation column costs zero). Treating
+/// candidates within this window of the incumbent minimum as tied and
+/// keeping the lowest-index column makes the pivot trajectory a function
+/// of the instance, not of which engine's rounding noise is on top.
+pub(crate) const PRICE_TIE: f64 = 1e-6;
+
+/// Relative tie window for the ratio test, for the same reason as
+/// [`PRICE_TIE`]: on degenerate vertices many rows tie at ratio zero, and
+/// the computed ratios sit on accumulated-drift noise (up to ~1e-12 after
+/// hundreds of tableau updates) rather than on zero exactly. Rows within
+/// the window are tied; the scan keeps the earliest (under Bland, the
+/// smallest basic index via `better_leave`), identically on both engines.
+/// The window slightly relaxes the blocking test — a basic value may go
+/// negative by up to `window × |pivot|`, well inside the 1e-7 feasibility
+/// tolerance the engines already operate under.
+pub(crate) const RATIO_TIE: f64 = 1e-6;
+
+/// Degenerate-numerator snap for the ratio test. At a degenerate vertex
+/// the blocking basic value is *exactly* zero in exact arithmetic, but the
+/// incrementally maintained values carry accumulated drift (observed up to
+/// ~1e-9 after a few hundred pivots, and different per engine). Numerators
+/// below this threshold are treated as exact zeros so every degenerate row
+/// prices a ratio of exactly 0.0 on both engines and ties resolve purely
+/// by scan order. A genuinely tiny-but-nonzero basic value is driven
+/// negative by at most this amount — inside the 1e-7 feasibility band.
+pub(crate) const DEGEN_SNAP: f64 = 1e-7;
+
+/// Snap an extracted solution value to a 1e-9 grid. After identical pivot
+/// trajectories the two engines' final values still differ in the last
+/// ulps; a value an ulp either side of a rounding boundary (e.g. 2.5)
+/// would then round to different integers downstream. Quantizing both
+/// engines' outputs to the same grid absorbs that noise (it is orders of
+/// magnitude below solver tolerance) and makes rounded plans engine-exact.
+pub(crate) fn quantize(v: f64) -> f64 {
+    (v * 1e9).round() / 1e9
+}
+
 /// Outcome of one ratio test.
 #[derive(Debug, Clone, Copy)]
-enum RatioOutcome {
+pub(crate) enum RatioOutcome {
     /// Entering variable reaches its own upper bound: flip, no pivot.
     Flip,
     /// Basic variable in this row reaches zero: standard pivot.
@@ -62,6 +228,7 @@ enum RatioOutcome {
     Unbounded,
 }
 
+#[cfg(any(test, feature = "oracle"))]
 struct Tableau {
     m: usize,
     /// Structural + slack columns (artificials excluded).
@@ -86,6 +253,7 @@ struct Tableau {
     art_start: usize,
 }
 
+#[cfg(any(test, feature = "oracle"))]
 impl Tableau {
     fn effective_cost2(&self, j: usize) -> f64 {
         if self.flipped[j] {
@@ -223,14 +391,14 @@ impl Tableau {
 #[derive(Debug, Clone, PartialEq)]
 pub struct Basis {
     /// Basic column of each row; `None` = artificial remained basic.
-    rows: Vec<Option<usize>>,
+    pub(crate) rows: Vec<Option<usize>>,
     /// Bound-flip state per structural/slack column (true = at upper).
     /// Only meaningful for columns not in `rows`.
-    flipped: Vec<bool>,
+    pub(crate) flipped: Vec<bool>,
     /// Structural variable count of the originating problem.
-    n_struct: usize,
+    pub(crate) n_struct: usize,
     /// Slack column count of the originating problem.
-    n_slack: usize,
+    pub(crate) n_slack: usize,
 }
 
 impl Basis {
@@ -257,7 +425,7 @@ pub struct WarmSolveResult {
     pub warm_used: bool,
 }
 
-fn count_slacks(problem: &Problem) -> usize {
+pub(crate) fn count_slacks(problem: &Problem) -> usize {
     problem
         .constraints
         .iter()
@@ -269,6 +437,7 @@ fn count_slacks(problem: &Problem) -> usize {
 /// structural variable by its lower bound so domains are `[0, u]`, adds one
 /// slack/surplus column per inequality and one artificial per row,
 /// normalizes rows to `beta >= 0`, and installs the all-artificial basis.
+#[cfg(any(test, feature = "oracle"))]
 fn build_tableau(problem: &Problem) -> Result<Tableau, LpError> {
     let n_struct = problem.num_vars();
     let m = problem.num_constraints();
@@ -345,7 +514,7 @@ fn build_tableau(problem: &Problem) -> Result<Tableau, LpError> {
     })
 }
 
-fn auto_iteration_cap(options: &SimplexOptions, m: usize, n_real: usize) -> usize {
+pub(crate) fn auto_iteration_cap(options: &SimplexOptions, m: usize, n_real: usize) -> usize {
     if options.max_iterations > 0 {
         options.max_iterations
     } else {
@@ -354,6 +523,7 @@ fn auto_iteration_cap(options: &SimplexOptions, m: usize, n_real: usize) -> usiz
 }
 
 /// Reads the structural solution out of an optimal tableau.
+#[cfg(any(test, feature = "oracle"))]
 fn extract_solution(tab: &Tableau, problem: &Problem, iterations: usize) -> Solution {
     let n_struct = problem.num_vars();
     let mut shifted = vec![0.0f64; tab.n_real];
@@ -369,8 +539,8 @@ fn extract_solution(tab: &Tableau, problem: &Problem, iterations: usize) -> Solu
             v = tab.upper[j] - v;
         }
         x[j] = v + problem.lower[j];
-        // Clean float fuzz against the original bounds.
-        x[j] = x[j].clamp(problem.lower[j], problem.upper[j]);
+        // Clean float fuzz against the original bounds and the grid.
+        x[j] = quantize(x[j].clamp(problem.lower[j], problem.upper[j]));
     }
     let objective = problem.objective_at(&x);
     Solution {
@@ -378,6 +548,8 @@ fn extract_solution(tab: &Tableau, problem: &Problem, iterations: usize) -> Solu
         objective,
         x,
         iterations,
+        // The dense tableau touches the full m×width sheet per pivot.
+        work: (iterations as u64) * (tab.m as u64) * (tab.width as u64),
     }
 }
 
@@ -385,6 +557,7 @@ fn extract_solution(tab: &Tableau, problem: &Problem, iterations: usize) -> Solu
 /// for non-basic columns: a basic column's flip history does not affect the
 /// vertex (basic values are read off `beta` either way), and discarding it
 /// keeps the basis a pure vertex description.
+#[cfg(any(test, feature = "oracle"))]
 fn export_basis(tab: &Tableau, n_struct: usize) -> Basis {
     let rows: Vec<Option<usize>> = tab
         .basis
@@ -408,7 +581,8 @@ fn export_basis(tab: &Tableau, n_struct: usize) -> Basis {
     }
 }
 
-/// Solves `problem` by two-phase bounded-variable primal simplex.
+/// Solves `problem` by two-phase bounded-variable primal simplex, using
+/// the engine from [`SimplexOptions::engine`] (or the process default).
 ///
 /// # Errors
 ///
@@ -416,12 +590,51 @@ fn export_basis(tab: &Tableau, n_struct: usize) -> Basis {
 /// * [`LpError::Unbounded`] if the objective is unbounded below.
 /// * [`LpError::IterationLimit`] if the pivot budget is exhausted.
 /// * [`LpError::InvalidBounds`] if some variable has an empty domain.
+/// * [`LpError::Cycling`] if a basis repeat is detected with the Bland
+///   rescue disabled (`stall_limit == usize::MAX`) or under Bland itself.
+/// * [`LpError::EngineUnavailable`] if [`SimplexEngine::Dense`] is
+///   selected without the `oracle` feature.
+/// * [`LpError::NumericalInstability`] if the sparse engine's residual
+///   self-check fails.
 pub fn solve(problem: &Problem, options: &SimplexOptions) -> Result<Solution, LpError> {
-    solve_cold(problem, options).map(|(solution, _)| solution)
+    let engine = options.engine.unwrap_or_else(default_engine);
+    core_for(engine)?
+        .solve_cold(problem, options)
+        .map(|(solution, _)| solution)
+}
+
+/// The dense tableau engine, preserved verbatim as a differential-testing
+/// oracle (selected via [`SimplexEngine::Dense`]; compiled under the
+/// `oracle` feature or in-crate tests).
+#[cfg(any(test, feature = "oracle"))]
+pub struct DenseOracle;
+
+#[cfg(any(test, feature = "oracle"))]
+impl SolverCore for DenseOracle {
+    fn solve_cold(
+        &self,
+        problem: &Problem,
+        options: &SimplexOptions,
+    ) -> Result<(Solution, Basis), LpError> {
+        dense_solve_cold(problem, options)
+    }
+
+    fn try_warm(
+        &self,
+        problem: &Problem,
+        options: &SimplexOptions,
+        start: &Basis,
+    ) -> Option<(Solution, Basis)> {
+        dense_try_warm(problem, options, start)
+    }
 }
 
 /// Cold two-phase solve that also exports the optimal basis.
-fn solve_cold(problem: &Problem, options: &SimplexOptions) -> Result<(Solution, Basis), LpError> {
+#[cfg(any(test, feature = "oracle"))]
+fn dense_solve_cold(
+    problem: &Problem,
+    options: &SimplexOptions,
+) -> Result<(Solution, Basis), LpError> {
     let tol = options.tolerance;
     let mut tab = build_tableau(problem)?;
     let max_iterations = auto_iteration_cap(options, tab.m, tab.n_real);
@@ -493,8 +706,10 @@ pub fn solve_with_warm_start(
     options: &SimplexOptions,
     warm: Option<&Basis>,
 ) -> Result<WarmSolveResult, LpError> {
+    let engine = options.engine.unwrap_or_else(default_engine);
+    let core = core_for(engine)?;
     if let Some(start) = warm {
-        if let Some((solution, basis)) = try_warm(problem, options, start) {
+        if let Some((solution, basis)) = core.try_warm(problem, options, start) {
             return Ok(WarmSolveResult {
                 solution,
                 basis,
@@ -502,7 +717,7 @@ pub fn solve_with_warm_start(
             });
         }
     }
-    let (solution, basis) = solve_cold(problem, options)?;
+    let (solution, basis) = core.solve_cold(problem, options)?;
     Ok(WarmSolveResult {
         solution,
         basis,
@@ -513,7 +728,8 @@ pub fn solve_with_warm_start(
 /// Attempts the warm path; `None` means "fall back to a cold solve"
 /// (covers both basis incompatibility and any in-flight solver error,
 /// which the cold path will re-derive authoritatively).
-fn try_warm(
+#[cfg(any(test, feature = "oracle"))]
+fn dense_try_warm(
     problem: &Problem,
     options: &SimplexOptions,
     start: &Basis,
@@ -620,6 +836,7 @@ fn try_warm(
 }
 
 /// All basic values within their (working-space) bounds?
+#[cfg(any(test, feature = "oracle"))]
 fn primal_feasible(tab: &Tableau, tol: f64) -> bool {
     (0..tab.m).all(|r| {
         let b = tab.beta[r];
@@ -634,6 +851,7 @@ fn primal_feasible(tab: &Tableau, tol: f64) -> bool {
 /// solve — on lost dual feasibility, an unsatisfiable row (primal
 /// infeasibility, which the cold path confirms authoritatively), or a
 /// stalled repair.
+#[cfg(any(test, feature = "oracle"))]
 fn dual_repair(tab: &mut Tableau, iterations: &mut usize) -> Option<()> {
     const FEAS_TOL: f64 = 1e-7;
     let step_cap = 4 * tab.m + 50;
@@ -699,6 +917,7 @@ fn dual_repair(tab: &mut Tableau, iterations: &mut usize) -> Option<()> {
     }
 }
 
+#[cfg(any(test, feature = "oracle"))]
 fn run_phase(
     tab: &mut Tableau,
     phase1: bool,
@@ -709,6 +928,7 @@ fn run_phase(
 ) -> Result<(), LpError> {
     let mut pricing = Pricing::Dantzig;
     let mut stall = 0usize;
+    let mut detector = CycleDetector::new();
     let mut last_obj = tab.objective(phase1);
     // Reduced costs are maintained incrementally (O(n) per pivot) and
     // refreshed from scratch periodically to bound numerical drift.
@@ -736,7 +956,19 @@ fn run_phase(
                 !in_basis[j] && tab.upper[j] > 0.0 && d[j] < -tol && (phase1 || j < tab.art_start)
             });
             match pricing {
-                Pricing::Dantzig => eligible.min_by(|&a, &b| d[a].partial_cmp(&d[b]).unwrap()),
+                // Windowed argmin: a later column must beat the incumbent
+                // by more than PRICE_TIE to displace it, so exact ties
+                // resolve to the lowest index on both engines.
+                Pricing::Dantzig => {
+                    let mut best: Option<(usize, f64)> = None;
+                    for j in eligible {
+                        match best {
+                            Some((_, bd)) if d[j] >= bd - PRICE_TIE * (1.0 + bd.abs()) => {}
+                            _ => best = Some((j, d[j])),
+                        }
+                    }
+                    best.map(|(j, _)| j)
+                }
                 Pricing::Bland => eligible.min(),
             }
         };
@@ -761,9 +993,11 @@ fn run_phase(
         for i in 0..tab.m {
             let a = tab.t[i * tab.width + j];
             if a > 1e-9 {
-                let ratio = (tab.beta[i].max(0.0)) / a;
-                if ratio < best - 1e-12
-                    || (ratio < best + 1e-12 && better_leave(tab, &outcome, i, pricing))
+                let numer = tab.beta[i].max(0.0);
+                let ratio = if numer < DEGEN_SNAP { 0.0 } else { numer / a };
+                let tie = RATIO_TIE * (1.0 + best.abs());
+                if ratio < best - tie
+                    || (ratio < best + tie && better_leave(tab, &outcome, i, pricing))
                 {
                     best = ratio;
                     outcome = RatioOutcome::LeaveLower(i);
@@ -771,9 +1005,15 @@ fn run_phase(
             } else if a < -1e-9 {
                 let ub = tab.upper[tab.basis[i]];
                 if ub.is_finite() {
-                    let ratio = (ub - tab.beta[i]).max(0.0) / (-a);
-                    if ratio < best - 1e-12
-                        || (ratio < best + 1e-12 && better_leave(tab, &outcome, i, pricing))
+                    let numer = (ub - tab.beta[i]).max(0.0);
+                    let ratio = if numer < DEGEN_SNAP {
+                        0.0
+                    } else {
+                        numer / (-a)
+                    };
+                    let tie = RATIO_TIE * (1.0 + best.abs());
+                    if ratio < best - tie
+                        || (ratio < best + tie && better_leave(tab, &outcome, i, pricing))
                     {
                         best = ratio;
                         outcome = RatioOutcome::LeaveUpper(i);
@@ -816,14 +1056,27 @@ fn run_phase(
         if obj < last_obj - 1e-12 {
             stall = 0;
             pricing = Pricing::Dantzig;
+            detector.clear();
         } else {
             stall += 1;
+            // A basis repeat is conclusive where the rule is deterministic
+            // and no rescue remains: under Bland, or under Dantzig with
+            // the Bland rescue disabled. Report it as a typed error
+            // instead of burning the iteration budget.
+            if (pricing == Pricing::Bland || stall_limit == usize::MAX)
+                && detector.record(&tab.basis, &tab.flipped)
+            {
+                return Err(LpError::Cycling {
+                    iterations: *iterations,
+                });
+            }
             if stall > stall_limit && pricing != Pricing::Bland {
                 // Bland's anti-cycling guarantee needs exact reduced-cost
                 // signs: refresh before switching rules.
                 pricing = Pricing::Bland;
                 d = tab.reduced_costs(phase1);
                 since_refresh = 0;
+                detector.clear();
             }
         }
         last_obj = obj;
@@ -834,6 +1087,7 @@ fn run_phase(
 /// entering column had reduced cost `dj_before`: `d ← d − dj · (row r)`
 /// (the post-pivot row, whose entering-column entry is exactly 1, so the
 /// entering column's reduced cost lands on exactly 0).
+#[cfg(any(test, feature = "oracle"))]
 fn update_reduced_costs(d: &mut [f64], tab: &Tableau, r: usize, dj_before: f64) {
     if dj_before == 0.0 {
         return;
@@ -850,6 +1104,7 @@ fn update_reduced_costs(d: &mut [f64], tab: &Tableau, r: usize, dj_before: f64) 
 /// variable index (with flips ranked last); under Dantzig, prefer the row
 /// whose pivot element has larger magnitude for numerical stability — here
 /// approximated by preferring any row over a flip and lower basis index.
+#[cfg(any(test, feature = "oracle"))]
 fn better_leave(
     tab: &Tableau,
     current: &RatioOutcome,
@@ -1271,5 +1526,285 @@ mod tests {
         assert!(p.is_feasible(&sol.x, 1e-6));
         // Origin is feasible (all-≤ with positive rhs), so optimum ≤ 0.
         assert!(sol.objective <= 1e-9);
+    }
+
+    // ---- cross-engine and anti-cycling tests ----
+
+    fn opts_for(engine: SimplexEngine) -> SimplexOptions {
+        SimplexOptions {
+            engine: Some(engine),
+            ..SimplexOptions::default()
+        }
+    }
+
+    /// Beale's classic cycling example (min form): under Dantzig pricing
+    /// with lowest-index ratio ties and no anti-cycling rescue, the
+    /// simplex revisits bases forever at the degenerate origin vertex.
+    fn beale_problem() -> Problem {
+        let mut p = Problem::new();
+        let x = p.add_var(-0.75, 0.0, INF).unwrap();
+        let y = p.add_var(150.0, 0.0, INF).unwrap();
+        let z = p.add_var(-0.02, 0.0, INF).unwrap();
+        let w = p.add_var(6.0, 0.0, INF).unwrap();
+        p.add_constraint(
+            &[(x, 0.25), (y, -60.0), (z, -0.04), (w, 9.0)],
+            Relation::Le,
+            0.0,
+        )
+        .unwrap();
+        p.add_constraint(
+            &[(x, 0.5), (y, -90.0), (z, -0.02), (w, 3.0)],
+            Relation::Le,
+            0.0,
+        )
+        .unwrap();
+        p.add_constraint(&[(z, 1.0)], Relation::Le, 1.0).unwrap();
+        p
+    }
+
+    fn random_instance(seed: u64, n: usize, m: usize) -> Problem {
+        let mut p = Problem::new();
+        let mut vars = Vec::new();
+        let mut state = seed;
+        let mut rnd = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 33) as f64) / (u32::MAX as f64)
+        };
+        for _ in 0..n {
+            let c = rnd() * 4.0 - 2.0;
+            let u = 1.0 + rnd() * 9.0;
+            vars.push(p.add_var(c, 0.0, u).unwrap());
+        }
+        for _ in 0..m {
+            let terms: Vec<_> = vars
+                .iter()
+                .map(|&v| (v, rnd() * 2.0))
+                .filter(|&(_, c)| c > 0.4)
+                .collect();
+            let rhs = 5.0 + rnd() * 20.0;
+            p.add_constraint(&terms, Relation::Le, rhs).unwrap();
+        }
+        p
+    }
+
+    /// A minimal instance (found by randomized search over small integer
+    /// LPs degenerate at the origin) on which this implementation's exact
+    /// pivot rules — Dantzig most-negative entering, lowest-index ratio
+    /// ties — revisit a basis forever when the Bland rescue is disabled.
+    fn cycling_problem() -> Problem {
+        let mut p = Problem::new();
+        let v: Vec<_> = [2.0, -2.0, 0.0, 2.0]
+            .iter()
+            .map(|&c| p.add_var(c, 0.0, INF).unwrap())
+            .collect();
+        for row in [
+            [-1.0, -1.0, -2.0, 2.0],
+            [-3.0, -2.0, 0.0, 1.0],
+            [3.0, -3.0, -1.0, 1.0],
+        ] {
+            let terms: Vec<_> = v
+                .iter()
+                .zip(&row)
+                .filter(|&(_, &c)| c != 0.0)
+                .map(|(&var, &c)| (var, c))
+                .collect();
+            p.add_constraint(&terms, Relation::Le, 0.0).unwrap();
+        }
+        p
+    }
+
+    #[test]
+    fn cycling_reported_when_rescue_disabled() {
+        // Regression for the silent accuracy gap: with the Bland rescue
+        // disabled, a genuine cycle must surface as a typed error on both
+        // engines instead of spinning until the iteration cap.
+        for engine in [SimplexEngine::Sparse, SimplexEngine::Dense] {
+            let opts = SimplexOptions {
+                stall_limit: usize::MAX,
+                ..opts_for(engine)
+            };
+            match solve(&cycling_problem(), &opts) {
+                Err(LpError::Cycling { iterations }) => {
+                    assert!(iterations > 0, "{engine:?}: cycle at pivot 0?")
+                }
+                other => panic!("{engine:?}: expected Cycling, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn cycling_instance_resolves_with_default_options() {
+        // The same instance escapes the cycle under the default Bland
+        // rescue: the LP is actually unbounded along the x2 ray, and both
+        // engines must discover that instead of spinning.
+        for engine in [SimplexEngine::Sparse, SimplexEngine::Dense] {
+            assert_eq!(
+                solve(&cycling_problem(), &opts_for(engine)).unwrap_err(),
+                LpError::Unbounded,
+                "{engine:?}"
+            );
+        }
+        // And the bounded classic (Beale's example) still reaches its
+        // optimum under default options on both engines.
+        for engine in [SimplexEngine::Sparse, SimplexEngine::Dense] {
+            let sol = solve(&beale_problem(), &opts_for(engine)).unwrap();
+            assert_close(sol.objective, -0.05);
+        }
+    }
+
+    /// The engines walk the same pivot trajectory, so they terminate at
+    /// the same vertex; numeric values differ only by accumulation order
+    /// (incremental tableau vs fresh LU solves), i.e. last-ulp noise. The
+    /// downstream bit-identity contract is on *rounded* plans.
+    fn assert_engine_equivalent(s: &Solution, d: &Solution, tag: &str) {
+        assert_eq!(s.iterations, d.iterations, "{tag}: trajectories split");
+        assert!(
+            (s.objective - d.objective).abs() <= 1e-9 * (1.0 + d.objective.abs()),
+            "{tag}: objectives {} vs {}",
+            s.objective,
+            d.objective
+        );
+        assert_eq!(s.x.len(), d.x.len(), "{tag}");
+        for (j, (&a, &b)) in s.x.iter().zip(&d.x).enumerate() {
+            assert!(
+                (a - b).abs() <= 1e-9 * (1.0 + b.abs()),
+                "{tag}: x[{j}] {a} vs {b}"
+            );
+            assert_eq!(
+                a.round() as i64,
+                b.round() as i64,
+                "{tag}: x[{j}] rounds apart"
+            );
+        }
+    }
+
+    #[test]
+    fn engines_agree_on_random_instances() {
+        for seed in [0x12345678u64, 0xdeadbeef, 0x51ce9a7e] {
+            let p = random_instance(seed, 12, 8);
+            let s = solve(&p, &opts_for(SimplexEngine::Sparse)).unwrap();
+            let d = solve(&p, &opts_for(SimplexEngine::Dense)).unwrap();
+            assert_engine_equivalent(&s, &d, &format!("seed {seed:#x}"));
+        }
+    }
+
+    #[test]
+    fn engines_agree_on_warm_chain() {
+        // Replan-like drifting-RHS chain, solved in lockstep on both
+        // engines: every step's solution must match bitwise and the warm
+        // bases must stay interchangeable.
+        let build = |b0: f64, b1: f64| {
+            let mut p = Problem::new();
+            let x = p.add_var(-2.0, 0.0, 8.0).unwrap();
+            let y = p.add_var(-3.0, 0.0, 8.0).unwrap();
+            let z = p.add_var(-1.0, 0.0, 8.0).unwrap();
+            p.add_constraint(&[(x, 1.0), (y, 2.0), (z, 1.0)], Relation::Le, b0)
+                .unwrap();
+            p.add_constraint(&[(x, 2.0), (y, 1.0)], Relation::Le, b1)
+                .unwrap();
+            p.add_constraint(&[(y, 1.0), (z, 1.0)], Relation::Ge, 1.0)
+                .unwrap();
+            p
+        };
+        let mut sparse_basis: Option<Basis> = None;
+        let mut dense_basis: Option<Basis> = None;
+        for step in 0..12 {
+            let b0 = 10.0 + (step % 5) as f64;
+            let b1 = 12.0 - (step % 3) as f64;
+            let p = build(b0, b1);
+            let s =
+                solve_with_warm_start(&p, &opts_for(SimplexEngine::Sparse), sparse_basis.as_ref())
+                    .unwrap();
+            let d =
+                solve_with_warm_start(&p, &opts_for(SimplexEngine::Dense), dense_basis.as_ref())
+                    .unwrap();
+            assert_engine_equivalent(&s.solution, &d.solution, &format!("step {step}"));
+            assert_eq!(s.warm_used, d.warm_used, "step {step}");
+            sparse_basis = Some(s.basis);
+            dense_basis = Some(d.basis);
+        }
+    }
+
+    #[test]
+    fn basis_transfers_between_engines() {
+        // A basis exported by one engine warm-starts the other: the
+        // representation is engine-neutral.
+        let p = random_instance(0xabcdef12, 10, 6);
+        let from_dense = solve_with_warm_start(&p, &opts_for(SimplexEngine::Dense), None).unwrap();
+        let from_sparse =
+            solve_with_warm_start(&p, &opts_for(SimplexEngine::Sparse), None).unwrap();
+        let s_warm = solve_with_warm_start(
+            &p,
+            &opts_for(SimplexEngine::Sparse),
+            Some(&from_dense.basis),
+        )
+        .unwrap();
+        let d_warm = solve_with_warm_start(
+            &p,
+            &opts_for(SimplexEngine::Dense),
+            Some(&from_sparse.basis),
+        )
+        .unwrap();
+        assert!(s_warm.warm_used, "sparse engine rejected a dense basis");
+        assert!(d_warm.warm_used, "dense engine rejected a sparse basis");
+        // A warm start from the other engine's optimal basis lands at the
+        // same optimum (iteration counts differ from the cold solves by
+        // construction, so compare values only).
+        for (warm, cold, tag) in [
+            (&s_warm.solution, &from_dense.solution, "dense->sparse"),
+            (&d_warm.solution, &from_sparse.solution, "sparse->dense"),
+        ] {
+            assert!(
+                (warm.objective - cold.objective).abs() <= 1e-9 * (1.0 + cold.objective.abs()),
+                "{tag}: {} vs {}",
+                warm.objective,
+                cold.objective
+            );
+            for (j, (&a, &b)) in warm.x.iter().zip(&cold.x).enumerate() {
+                assert!(
+                    (a - b).abs() <= 1e-9 * (1.0 + b.abs()),
+                    "{tag}: x[{j}] {a} vs {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dense_engine_handles_key_cases() {
+        let opts = opts_for(SimplexEngine::Dense);
+        let mut p = Problem::new();
+        let x = p.add_var(-3.0, 0.0, INF).unwrap();
+        let y = p.add_var(-5.0, 0.0, INF).unwrap();
+        p.add_constraint(&[(x, 1.0)], Relation::Le, 4.0).unwrap();
+        p.add_constraint(&[(y, 2.0)], Relation::Le, 12.0).unwrap();
+        p.add_constraint(&[(x, 3.0), (y, 2.0)], Relation::Le, 18.0)
+            .unwrap();
+        let sol = solve(&p, &opts).unwrap();
+        assert_close(sol.objective, -36.0);
+
+        let mut inf = Problem::new();
+        let v = inf.add_var(1.0, 0.0, 1.0).unwrap();
+        inf.add_constraint(&[(v, 1.0)], Relation::Ge, 5.0).unwrap();
+        assert_eq!(solve(&inf, &opts).unwrap_err(), LpError::Infeasible);
+
+        let mut unb = Problem::new();
+        let a = unb.add_var(-1.0, 0.0, INF).unwrap();
+        let b = unb.add_var(0.0, 0.0, INF).unwrap();
+        unb.add_constraint(&[(a, 1.0), (b, -1.0)], Relation::Le, 1.0)
+            .unwrap();
+        assert_eq!(solve(&unb, &opts).unwrap_err(), LpError::Unbounded);
+    }
+
+    #[test]
+    fn work_counter_is_positive_and_deterministic() {
+        let p = random_instance(0x7777, 12, 8);
+        let s1 = solve(&p, &opts_for(SimplexEngine::Sparse)).unwrap();
+        let s2 = solve(&p, &opts_for(SimplexEngine::Sparse)).unwrap();
+        assert!(s1.work > 0);
+        assert_eq!(s1.work, s2.work);
+        let d = solve(&p, &opts_for(SimplexEngine::Dense)).unwrap();
+        assert!(d.work > 0);
     }
 }

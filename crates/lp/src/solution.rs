@@ -24,6 +24,11 @@ pub struct Solution {
     pub x: Vec<f64>,
     /// Number of simplex pivots performed (phases 1 and 2 combined).
     pub iterations: usize,
+    /// Abstract work units spent by the engine — a deterministic count of
+    /// arithmetic touched (tableau cells for the dense engine; nonzeros
+    /// priced, factored, and solved for the sparse engine). Comparable
+    /// within an engine across instance sizes, unlike wall-clock time.
+    pub work: u64,
 }
 
 impl Solution {
@@ -57,6 +62,7 @@ mod tests {
             objective: 1.5,
             x: vec![0.0, 2.0000000001],
             iterations: 3,
+            work: 12,
         };
         assert_eq!(sol.value(VarId(1)), 2.0000000001);
         assert_eq!(sol.value_rounded(VarId(1)), 2);
