@@ -1,0 +1,359 @@
+//! `fig_daemon` — open-loop load generation against daemon sessions.
+//!
+//! Measures the `flowtimed` submission path end to end: each worker
+//! thread drives its own in-process loopback session (the same
+//! `handle_line` byte stream the TCP server speaks) with a deterministic
+//! open-loop stream of ad-hoc submissions plus a pair of deadline
+//! workflows, then drains and reports:
+//!
+//! * submission throughput (request lines per wall-clock second),
+//! * admission-to-start latency percentiles in virtual slots (and
+//!   seconds, via the cluster's slot length), taken from decision-trace
+//!   `Start` events,
+//! * replan/plan-cache effort from the solver telemetry.
+//!
+//! Results land in `results/fig_daemon.json`.
+//!
+//! ```text
+//! fig_daemon [--submitters N] [--threads T] [--scheduler NAME] [--check]
+//! ```
+
+use flowtime_bench::report::persist;
+use flowtime_daemon::{Loopback, Session, SessionConfig};
+use flowtime_dag::{JobSpec, ResourceVec, WorkflowBuilder, WorkflowId};
+use flowtime_sim::{
+    AdhocSubmission, ClusterConfig, SimOutcome, SolverTelemetry, TraceEvent, WorkflowSubmission,
+};
+use serde::Serialize;
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// Per-thread virtual cluster.
+fn cluster() -> ClusterConfig {
+    ClusterConfig::new(ResourceVec::new([48, 196_608]), 10.0)
+}
+
+/// Splitmix64 — deterministic, dependency-free stream of arrivals/sizes.
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A deadline workflow exercising the decomposition + plan-cache path.
+fn chain_workflow(id: u64, submit: u64) -> WorkflowSubmission {
+    let mut b = WorkflowBuilder::new(WorkflowId::new(id), format!("wf{id}"));
+    let mut prev = None;
+    for i in 0..6 {
+        let node = b.add_job(JobSpec::new(
+            format!("j{i}"),
+            12,
+            2,
+            ResourceVec::new([1, 2048]),
+        ));
+        if let Some(p) = prev {
+            b.add_dep(p, node).expect("chain edges are acyclic");
+        }
+        prev = Some(node);
+    }
+    WorkflowSubmission::new(b.window(submit, submit + 90).build().expect("valid window"))
+}
+
+struct ThreadReport {
+    submissions: u64,
+    submit_wall_seconds: f64,
+    latencies_slots: Vec<u64>,
+    solver: Option<SolverTelemetry>,
+    trace_dropped: u64,
+    complete: bool,
+}
+
+/// Drives one loopback session with `n_adhoc` open-loop submissions.
+fn drive_session(thread_idx: u64, n_adhoc: u64, scheduler: &str) -> ThreadReport {
+    let session = Session::new(SessionConfig {
+        cluster: cluster(),
+        scheduler: scheduler.to_string(),
+        max_slots: 1_000_000,
+        trace_capacity: 1 << 17,
+        snapshot_path: None,
+    })
+    .expect("valid session config");
+    let mut lb = Loopback::new(session);
+
+    // Build every request line up front so the timed section measures the
+    // daemon path (parse + admission + queueing), not string formatting.
+    let mut rng = 0x5eed_0000 + thread_idx;
+    let mut lines = Vec::with_capacity(n_adhoc as usize + 2);
+    for wf in 0..2u64 {
+        let sub = chain_workflow(thread_idx * 2 + wf + 1, wf * 40);
+        lines.push(format!(
+            "{{\"req\":\"submit_workflow\",\"submission\":{}}}",
+            serde_json::to_string(&sub).expect("workflow serializes")
+        ));
+    }
+    // Open loop: ~6 arrivals per slot — modest sustained overload of the
+    // 48-core cluster, so admission-to-start latency reflects queueing
+    // under contention rather than an idle machine.
+    for i in 0..n_adhoc {
+        let arrival = i / 6;
+        let tasks = 1 + splitmix(&mut rng) % 8;
+        let dur = 1 + splitmix(&mut rng) % 3;
+        let sub = AdhocSubmission::new(
+            JobSpec::new(format!("a{i}"), tasks, dur, ResourceVec::new([1, 1024])),
+            arrival,
+        );
+        lines.push(format!(
+            "{{\"req\":\"submit_adhoc\",\"submission\":{}}}",
+            serde_json::to_string(&sub).expect("adhoc serializes")
+        ));
+    }
+
+    let t0 = Instant::now();
+    for line in &lines {
+        let response = lb.request_line(line);
+        assert!(
+            response.starts_with("{\"ok\":"),
+            "submission rejected: {response}"
+        );
+    }
+    let submit_wall_seconds = t0.elapsed().as_secs_f64();
+
+    let drain = lb.request_line("{\"req\":\"drain\"}");
+    assert!(drain.starts_with("{\"ok\":"), "drain failed: {drain}");
+
+    let session = lb.into_session();
+    let outcome_json = session.outcome_json().expect("drained session");
+    let outcome: SimOutcome =
+        serde_json::from_value(&serde_json::parse(outcome_json).expect("outcome parses"))
+            .expect("outcome deserializes");
+    let trace = session.final_trace().expect("drained session");
+
+    // Admission-to-start: first Start event per ad-hoc job vs its arrival.
+    let mut starts: HashMap<u64, u64> = HashMap::new();
+    for ev in trace.events() {
+        if let TraceEvent::Start { slot, job } = ev {
+            starts.entry(job.as_u64()).or_insert(*slot);
+        }
+    }
+    let mut latencies_slots = Vec::new();
+    for job in &outcome.metrics.jobs {
+        if job.class.is_adhoc() {
+            if let Some(&start) = starts.get(&job.id.as_u64()) {
+                latencies_slots.push(start.saturating_sub(job.arrival_slot));
+            }
+        }
+    }
+
+    ThreadReport {
+        submissions: lines.len() as u64,
+        submit_wall_seconds,
+        latencies_slots,
+        solver: outcome.solver_telemetry.clone(),
+        trace_dropped: trace.dropped(),
+        complete: outcome.is_complete(),
+    }
+}
+
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+#[derive(Serialize)]
+struct LatencySummary {
+    p50: u64,
+    p90: u64,
+    p99: u64,
+    max: u64,
+}
+
+#[derive(Serialize)]
+struct FigDaemonResult {
+    config: FigDaemonConfig,
+    throughput: Throughput,
+    latency_slots: LatencySummary,
+    latency_seconds: LatencySecondsSummary,
+    replans: Replans,
+    trace_dropped: u64,
+    all_sessions_complete: bool,
+}
+
+#[derive(Serialize)]
+struct FigDaemonConfig {
+    submitters: u64,
+    threads: u64,
+    scheduler: String,
+    slot_seconds: f64,
+}
+
+#[derive(Serialize)]
+struct Throughput {
+    submissions: u64,
+    wall_seconds: f64,
+    submissions_per_sec: f64,
+}
+
+#[derive(Serialize)]
+struct LatencySecondsSummary {
+    p50: f64,
+    p90: f64,
+    p99: f64,
+    max: f64,
+}
+
+#[derive(Serialize)]
+struct Replans {
+    total: u64,
+    cache_hits: u64,
+    cache_misses: u64,
+    hit_rate: f64,
+}
+
+fn arg_value(argv: &[String], key: &str) -> Option<String> {
+    argv.iter()
+        .position(|a| a == key)
+        .and_then(|i| argv.get(i + 1))
+        .cloned()
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let submitters: u64 = arg_value(&argv, "--submitters")
+        .map(|v| v.parse().expect("--submitters must be an integer"))
+        .unwrap_or(1000);
+    let threads: u64 = arg_value(&argv, "--threads")
+        .map(|v| v.parse().expect("--threads must be an integer"))
+        .unwrap_or(4)
+        .max(1);
+    let scheduler = arg_value(&argv, "--scheduler").unwrap_or_else(|| "flowtime".to_string());
+    let check = argv.iter().any(|a| a == "--check");
+
+    println!(
+        "fig_daemon: {submitters} submitters across {threads} loopback sessions, scheduler {scheduler}"
+    );
+
+    let per_thread = submitters.div_ceil(threads);
+    let reports: Vec<ThreadReport> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let n = per_thread.min(submitters - (t * per_thread).min(submitters));
+                let scheduler = scheduler.clone();
+                scope.spawn(move || drive_session(t, n, &scheduler))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
+    });
+
+    let submissions: u64 = reports.iter().map(|r| r.submissions).sum();
+    // Open-loop aggregate: every thread submits concurrently, so elapsed
+    // time is the slowest thread's submission phase.
+    let wall_seconds = reports
+        .iter()
+        .map(|r| r.submit_wall_seconds)
+        .fold(0.0f64, f64::max);
+    let mut latencies: Vec<u64> = reports
+        .iter()
+        .flat_map(|r| r.latencies_slots.iter().copied())
+        .collect();
+    latencies.sort_unstable();
+    let trace_dropped: u64 = reports.iter().map(|r| r.trace_dropped).sum();
+    let all_complete = reports.iter().all(|r| r.complete);
+
+    let mut replans = 0u64;
+    let mut cache_hits = 0u64;
+    let mut cache_misses = 0u64;
+    for solver in reports.iter().filter_map(|r| r.solver.as_ref()) {
+        replans += solver.replans;
+        cache_hits += solver.cache_hits_exact + solver.cache_hits_shift;
+        cache_misses += solver.cache_misses;
+    }
+    let hit_rate = if cache_hits + cache_misses > 0 {
+        cache_hits as f64 / (cache_hits + cache_misses) as f64
+    } else {
+        0.0
+    };
+
+    let slot_seconds = cluster().slot_seconds();
+    let lat = LatencySummary {
+        p50: percentile(&latencies, 0.50),
+        p90: percentile(&latencies, 0.90),
+        p99: percentile(&latencies, 0.99),
+        max: latencies.last().copied().unwrap_or(0),
+    };
+    let result = FigDaemonResult {
+        config: FigDaemonConfig {
+            submitters,
+            threads,
+            scheduler: scheduler.clone(),
+            slot_seconds,
+        },
+        throughput: Throughput {
+            submissions,
+            wall_seconds,
+            submissions_per_sec: if wall_seconds > 0.0 {
+                submissions as f64 / wall_seconds
+            } else {
+                0.0
+            },
+        },
+        latency_seconds: LatencySecondsSummary {
+            p50: lat.p50 as f64 * slot_seconds,
+            p90: lat.p90 as f64 * slot_seconds,
+            p99: lat.p99 as f64 * slot_seconds,
+            max: lat.max as f64 * slot_seconds,
+        },
+        latency_slots: lat,
+        replans: Replans {
+            total: replans,
+            cache_hits,
+            cache_misses,
+            hit_rate,
+        },
+        trace_dropped,
+        all_sessions_complete: all_complete,
+    };
+
+    println!(
+        "  throughput: {} submissions in {:.3}s = {:.0}/s",
+        result.throughput.submissions,
+        result.throughput.wall_seconds,
+        result.throughput.submissions_per_sec
+    );
+    println!(
+        "  admission-to-start (slots): p50 {} p90 {} p99 {} max {}",
+        result.latency_slots.p50,
+        result.latency_slots.p90,
+        result.latency_slots.p99,
+        result.latency_slots.max
+    );
+    println!(
+        "  replans: {} total, cache {}/{} hit rate {:.2}",
+        result.replans.total,
+        result.replans.cache_hits,
+        result.replans.cache_hits + result.replans.cache_misses,
+        result.replans.hit_rate
+    );
+    persist("fig_daemon", &result);
+    println!("  wrote results/fig_daemon.json");
+
+    if check {
+        assert!(all_complete, "a session finished with in-flight jobs");
+        assert_eq!(
+            trace_dropped, 0,
+            "trace ring dropped events; raise capacity"
+        );
+        assert!(
+            !latencies.is_empty(),
+            "no ad-hoc start events observed — latency measurement is broken"
+        );
+        println!("  --check: all sessions complete, no trace drops");
+    }
+}

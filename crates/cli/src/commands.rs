@@ -38,8 +38,19 @@ USAGE:
                          [--jobs N] [--adhoc-horizon S] [--seed S]
                          [--workflows N]
                          [--out NAME] [--bench-threads 1,2,..] [--audit]
+  flowtime-cli submit    --connect HOST:PORT
+                         (--adhoc TASKS,DUR[,CORES,MB] [--arrival N]
+                          | --workflow-json FILE)
+  flowtime-cli status    --connect HOST:PORT
+  flowtime-cli drain     --connect HOST:PORT [--out outcome.json]
 
 SCHEDULERS: flowtime, flowtime-no-ds, edf, fifo, fair, cora, morpheus
+
+DAEMON CLIENT (submit/status/drain talk to a running `flowtimed`):
+  --connect HOST:PORT  daemon address (e.g. 127.0.0.1:7171)
+  --adhoc SPEC         ad-hoc job as TASKS,DUR[,CORES,MB] (defaults 1,1024)
+  --arrival N          virtual arrival slot for --adhoc (default: now)
+  --workflow-json F    file holding one serialized WorkflowSubmission
 
 LP BACKEND (any command that solves scheduling LPs):
   --lp-backend B     simplex engine: sparse (revised simplex + LU, default)
@@ -94,6 +105,9 @@ pub fn dispatch(argv: &[String]) -> CliResult {
         Some("decompose") => decompose_cmd(&args),
         Some("audit") => audit_cmd(&args),
         Some("sweep") => sweep_cmd(&args),
+        Some("submit") => daemon_submit(&args),
+        Some("status") => daemon_status(&args),
+        Some("drain") => daemon_drain(&args),
         Some("help") | None => {
             print!("{USAGE}");
             Ok(())
@@ -632,6 +646,110 @@ fn decompose_cmd(args: &Args) -> CliResult {
             w.deadline,
             s.deadline
         );
+    }
+    Ok(())
+}
+
+/// Connects to a running `flowtimed`. All three daemon subcommands share
+/// the `--connect` flag; a typed daemon error surfaces as a nonzero exit
+/// with its error code in the message.
+fn daemon_connect(args: &Args) -> Result<flowtime_daemon::Client, Box<dyn Error>> {
+    let addr = args
+        .get("connect")
+        .ok_or("--connect <host:port> is required")?;
+    Ok(flowtime_daemon::Client::connect(addr)?)
+}
+
+/// Parses `TASKS,DUR[,CORES,MB]` into an ad-hoc job spec.
+fn parse_adhoc_spec(raw: &str) -> Result<flowtime_sim::AdhocSubmission, Box<dyn Error>> {
+    let parts: Vec<&str> = raw.split(',').collect();
+    if parts.len() != 2 && parts.len() != 4 {
+        return Err(format!("--adhoc must be TASKS,DUR or TASKS,DUR,CORES,MB, got `{raw}`").into());
+    }
+    let num = |s: &str, what: &str| -> Result<u64, Box<dyn Error>> {
+        s.trim()
+            .parse()
+            .map_err(|_| format!("--adhoc {what} must be a positive integer, got `{s}`").into())
+    };
+    let tasks = num(parts[0], "TASKS")?;
+    let dur = num(parts[1], "DUR")?;
+    let cores = if parts.len() == 4 {
+        num(parts[2], "CORES")?
+    } else {
+        1
+    };
+    let mb = if parts.len() == 4 {
+        num(parts[3], "MB")?
+    } else {
+        1024
+    };
+    Ok(flowtime_sim::AdhocSubmission::new(
+        flowtime_dag::JobSpec::new("adhoc", tasks, dur, ResourceVec::new([cores, mb])),
+        0,
+    ))
+}
+
+fn daemon_submit(args: &Args) -> CliResult {
+    let mut client = daemon_connect(args)?;
+    let line = if let Some(path) = args.get("workflow-json") {
+        let contents =
+            std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        let trimmed = contents.trim();
+        // Validate locally so a malformed file fails with a parse error
+        // rather than a daemon round trip.
+        serde_json::parse(trimmed).map_err(|e| format!("{path} is not valid JSON: {e}"))?;
+        format!("{{\"req\":\"submit_workflow\",\"submission\":{trimmed}}}")
+    } else if let Some(raw) = args.get("adhoc") {
+        let mut sub = parse_adhoc_spec(raw)?;
+        sub.arrival_slot = if args.has("arrival") {
+            args.get_parsed("arrival", 0u64)?
+        } else {
+            // Default arrival: the daemon's current virtual slot.
+            let status = client.request("{\"req\":\"status\"}")?;
+            status
+                .get("engine")
+                .and_then(|e| e.get("now"))
+                .and_then(|v| match v {
+                    serde_json::Value::U64(n) => Some(*n),
+                    _ => None,
+                })
+                .unwrap_or(0)
+        };
+        format!(
+            "{{\"req\":\"submit_adhoc\",\"submission\":{}}}",
+            serde_json::to_string(&sub)?
+        )
+    } else {
+        return Err("submit needs --adhoc TASKS,DUR[,CORES,MB] or --workflow-json FILE".into());
+    };
+    let body = client.request(&line)?;
+    println!("{}", serde_json::to_string(&body)?);
+    Ok(())
+}
+
+fn daemon_status(args: &Args) -> CliResult {
+    let mut client = daemon_connect(args)?;
+    let body = client.request("{\"req\":\"status\"}")?;
+    println!("{}", serde_json::to_string_pretty(&body)?);
+    Ok(())
+}
+
+fn daemon_drain(args: &Args) -> CliResult {
+    let mut client = daemon_connect(args)?;
+    let summary = client.request("{\"req\":\"drain\"}")?;
+    eprintln!("drained: {}", serde_json::to_string(&summary)?);
+    let outcome = client.request("{\"req\":\"outcome\"}")?;
+    let outcome = outcome
+        .get("outcome")
+        .ok_or("daemon outcome response is missing the `outcome` field")?;
+    let rendered = serde_json::to_string(outcome)?;
+    match args.get("out") {
+        Some(path) => {
+            std::fs::write(path, format!("{rendered}\n"))
+                .map_err(|e| format!("cannot write {path}: {e}"))?;
+            eprintln!("wrote outcome to {path}");
+        }
+        None => println!("{rendered}"),
     }
     Ok(())
 }

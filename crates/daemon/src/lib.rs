@@ -1,0 +1,42 @@
+//! `flowtimed`: a long-running FlowTime scheduling daemon.
+//!
+//! The daemon turns the batch simulation engine into an online service:
+//! clients submit deadline-aware workflows and ad-hoc jobs over
+//! newline-delimited JSON while the engine advances in **virtual time**,
+//! replanning through the FlowTime scheduler stack on every slot
+//! boundary exactly as a batch run would.
+//!
+//! # Layers
+//!
+//! * [`protocol`] — the wire grammar: requests, typed error codes,
+//!   response framing, the line-length cap.
+//! * [`session`] — the state machine: pending-queue submission
+//!   discipline, virtual-clock advancement, cancellation, drain.
+//! * [`snapshot`] — checksummed crash-recovery snapshots; restore
+//!   replays the submission log deterministically.
+//! * [`server`] — transports: the in-process [`server::Loopback`] used
+//!   by the deterministic test harness, and the single-threaded
+//!   non-blocking TCP loop behind the `flowtimed` binary.
+//! * [`client`] — the blocking client used by `flowtime-cli
+//!   submit|status|drain`.
+//!
+//! # Determinism contract
+//!
+//! A session is a pure function of its request-line sequence: no
+//! wall-clock, no threads, no randomness. The submission log a session
+//! records replays through [`flowtime_sim::Engine::from_log`] to a
+//! byte-identical [`flowtime_sim::SimOutcome`], auditor-certified on
+//! both sides — the property the `daemon_differential` and
+//! `daemon_props` suites enforce across every scheduler and fault seed.
+
+pub mod client;
+pub mod protocol;
+pub mod server;
+pub mod session;
+pub mod snapshot;
+
+pub use client::{Client, ClientError};
+pub use protocol::{codes, ProtocolError, Request, MAX_LINE_BYTES};
+pub use server::{handle_line, serve, Loopback};
+pub use session::{Session, SessionConfig};
+pub use snapshot::{SnapshotBody, SnapshotError};

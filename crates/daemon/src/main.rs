@@ -1,0 +1,147 @@
+//! `flowtimed` — the FlowTime online-submission daemon.
+//!
+//! ```text
+//! flowtimed [--listen ADDR] [--scheduler NAME] [--cores N] [--mem-mb N]
+//!           [--slot-seconds F] [--max-slots N] [--trace-capacity N]
+//!           [--snapshot PATH] [--snapshot-every N]
+//! ```
+//!
+//! With `--snapshot PATH`: if the file exists at startup the session is
+//! restored from it (crash recovery); either way the running session
+//! persists a fresh snapshot there every `--snapshot-every` requests and
+//! on explicit `snapshot` requests. All argument errors are typed and
+//! exit nonzero; nothing defaults silently on malformed input.
+
+use flowtime_daemon::{serve, snapshot, Session, SessionConfig};
+use flowtime_dag::ResourceVec;
+use flowtime_sim::ClusterConfig;
+use std::collections::HashMap;
+use std::net::TcpListener;
+use std::process::ExitCode;
+
+/// `--key value` pairs; a bare `--key` holds an empty value.
+fn parse_flags(argv: &[String]) -> Result<HashMap<String, String>, String> {
+    let mut flags = HashMap::new();
+    let mut i = 0;
+    while i < argv.len() {
+        let Some(key) = argv[i].strip_prefix("--") else {
+            return Err(format!("unexpected positional argument `{}`", argv[i]));
+        };
+        let value = argv.get(i + 1).filter(|v| !v.starts_with("--")).cloned();
+        if value.is_some() {
+            i += 1;
+        }
+        flags.insert(key.to_string(), value.unwrap_or_default());
+        i += 1;
+    }
+    Ok(flags)
+}
+
+/// Absent flags yield `default`; present flags must parse — a typo'd
+/// value is an error, never a silent fallback.
+fn get_parsed<T: std::str::FromStr>(
+    flags: &HashMap<String, String>,
+    key: &str,
+    default: T,
+) -> Result<T, String> {
+    match flags.get(key) {
+        None => Ok(default),
+        Some(raw) => raw
+            .parse()
+            .map_err(|_| format!("--{key} requires a valid value, got `{raw}`")),
+    }
+}
+
+fn run() -> Result<(), String> {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.iter().any(|a| a == "--help" || a == "-h") {
+        println!(
+            "flowtimed: FlowTime online-submission daemon\n\n\
+             Options:\n  \
+             --listen ADDR        listen address (default 127.0.0.1:7171)\n  \
+             --scheduler NAME     flowtime|cora|edf|fair|fifo|morpheus (default flowtime)\n  \
+             --cores N            cluster cores (default 64)\n  \
+             --mem-mb N           cluster memory in MB (default 262144)\n  \
+             --slot-seconds F     seconds per scheduling slot (default 10)\n  \
+             --max-slots N        virtual-time horizon (default 100000)\n  \
+             --trace-capacity N   decision-trace ring size (default 4096)\n  \
+             --snapshot PATH      snapshot file; restored at startup if present\n  \
+             --snapshot-every N   snapshot every N requests (default 256, 0 disables)"
+        );
+        return Ok(());
+    }
+    let flags = parse_flags(&argv)?;
+    for key in flags.keys() {
+        if !matches!(
+            key.as_str(),
+            "listen"
+                | "scheduler"
+                | "cores"
+                | "mem-mb"
+                | "slot-seconds"
+                | "max-slots"
+                | "trace-capacity"
+                | "snapshot"
+                | "snapshot-every"
+        ) {
+            return Err(format!("unknown flag --{key}"));
+        }
+    }
+
+    let listen = flags
+        .get("listen")
+        .cloned()
+        .unwrap_or_else(|| "127.0.0.1:7171".to_string());
+    let config = SessionConfig {
+        cluster: ClusterConfig::new(
+            ResourceVec::new([
+                get_parsed(&flags, "cores", 64u64)?,
+                get_parsed(&flags, "mem-mb", 262_144u64)?,
+            ]),
+            get_parsed(&flags, "slot-seconds", 10.0f64)?,
+        ),
+        scheduler: flags
+            .get("scheduler")
+            .cloned()
+            .unwrap_or_else(|| "flowtime".to_string()),
+        max_slots: get_parsed(&flags, "max-slots", 100_000u64)?,
+        trace_capacity: get_parsed(&flags, "trace-capacity", 4096u64)?,
+        snapshot_path: flags.get("snapshot").cloned(),
+    };
+    let snapshot_every = match get_parsed(&flags, "snapshot-every", 256u64)? {
+        0 => None,
+        n => Some(n),
+    };
+
+    let session = match &config.snapshot_path {
+        Some(path) if std::path::Path::new(path).exists() => {
+            let body = snapshot::load(path).map_err(|e| e.to_string())?;
+            let session = Session::restore(body).map_err(|e| e.to_string())?;
+            eprintln!(
+                "flowtimed: restored session from {path} at virtual slot {}",
+                session.now()
+            );
+            session
+        }
+        _ => Session::new(config).map_err(|e| e.to_string())?,
+    };
+
+    let listener = TcpListener::bind(&listen).map_err(|e| format!("cannot bind {listen}: {e}"))?;
+    eprintln!(
+        "flowtimed: listening on {}",
+        listener.local_addr().map_err(|e| e.to_string())?
+    );
+    serve(listener, session, snapshot_every).map_err(|e| format!("server error: {e}"))?;
+    eprintln!("flowtimed: shutdown requested, exiting");
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("flowtimed: error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,627 @@
+//! A daemon session: one online engine run driven by protocol requests.
+//!
+//! # Virtual-time model
+//!
+//! The session owns a virtual clock (the engine's `now`) that advances
+//! **only** through explicit `tick` and `drain` requests — never from
+//! wall-clock time — so a session is a deterministic function of its
+//! request sequence. Submissions are accepted for any arrival slot at or
+//! after `now`, parked in a pending queue, and injected into the engine
+//! exactly when virtual time reaches their arrival slot; until then they
+//! can be cancelled. This queued-injection discipline is what makes the
+//! recorded [`SubmissionLog`] replayable: a batch
+//! [`flowtime_sim::Engine::from_log`] run over the same log materializes
+//! the identical dense job table and produces a byte-identical
+//! [`SimOutcome`].
+//!
+//! # Lifecycle
+//!
+//! `accepting` (submissions + ticks) → `drain` (runs everything to
+//! completion, freezes the outcome and trace) → `drained` (read-only:
+//! `status` / `trace` / `outcome` still served; mutations are typed
+//! errors).
+
+use crate::protocol::{codes, ProtocolError, Request};
+use crate::snapshot::{self, SnapshotBody};
+use flowtime::{
+    CoraScheduler, EdfScheduler, FairScheduler, FifoScheduler, FlowTimeConfig, FlowTimeScheduler,
+    MorpheusScheduler,
+};
+use flowtime_dag::JobId;
+use flowtime_sim::{
+    AdhocSubmission, ClusterConfig, DecisionTrace, LogEntry, OnlineEngine, Scheduler, SimError,
+    SimOutcome, StepOutcome, SubmissionLog, TraceHandle, WorkflowSubmission,
+};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Immutable session parameters, persisted in snapshots.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SessionConfig {
+    /// Cluster the engine simulates.
+    pub cluster: ClusterConfig,
+    /// Scheduler name, resolved through the `Algo` registry
+    /// (`flowtime`, `edf`, `fifo`, `fair`, `cora`, `morpheus`, ...).
+    pub scheduler: String,
+    /// Slot horizon for the underlying engine.
+    pub max_slots: u64,
+    /// Decision-trace ring capacity (events).
+    pub trace_capacity: u64,
+    /// Where `snapshot` requests persist state; `None` disables them.
+    #[serde(default)]
+    pub snapshot_path: Option<String>,
+}
+
+/// A submission accepted but not yet materialized into the engine.
+#[derive(Debug, Clone)]
+enum PendingEntry {
+    Workflow(WorkflowSubmission),
+    Adhoc(AdhocSubmission),
+}
+
+/// Where a logged sequence number currently stands.
+#[derive(Debug, Clone)]
+enum SeqState {
+    /// Accepted, waiting for virtual time to reach `arrival`.
+    Pending(u64),
+    /// Cancelled while pending; will never materialize.
+    Cancelled,
+    /// Materialized into the engine as these job ids.
+    Injected(Vec<JobId>),
+    /// The sequence number belongs to a cancel request itself.
+    CancelRequest,
+}
+
+/// The frozen result of a drained session.
+struct Finished {
+    /// `serde_json::to_string(&outcome)` — the canonical bytes the
+    /// differential harness compares against a batch run.
+    outcome_json: String,
+    outcome: SimOutcome,
+    trace: DecisionTrace,
+}
+
+/// One protocol-driven online run. See the module docs.
+pub struct Session {
+    config: SessionConfig,
+    scheduler: Box<dyn Scheduler>,
+    /// `None` once drained (the engine was consumed by `finish`).
+    online: Option<OnlineEngine>,
+    trace: TraceHandle,
+    /// Pending submissions keyed by `(arrival, seq)` — iteration order is
+    /// exactly the injection (and batch materialization) order.
+    pending: BTreeMap<(u64, u64), PendingEntry>,
+    seq_state: BTreeMap<u64, SeqState>,
+    log: SubmissionLog,
+    next_seq: u64,
+    finished: Option<Finished>,
+}
+
+impl Session {
+    /// Builds a fresh session.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError`] with [`codes::BAD_REQUEST`] for an unknown
+    /// scheduler name.
+    pub fn new(config: SessionConfig) -> Result<Self, ProtocolError> {
+        let scheduler = make_scheduler(&config.scheduler, &config.cluster)?;
+        let (online, trace) = OnlineEngine::new(config.cluster.clone(), config.max_slots)
+            .with_trace(config.trace_capacity as usize);
+        Ok(Session {
+            config,
+            scheduler,
+            online: Some(online),
+            trace,
+            pending: BTreeMap::new(),
+            seq_state: BTreeMap::new(),
+            log: SubmissionLog::new(),
+            next_seq: 0,
+            finished: None,
+        })
+    }
+
+    /// Rebuilds a session from a snapshot body: replays the recorded log
+    /// through a fresh engine, then advances virtual time to the
+    /// snapshotted slot. Determinism makes this exact crash recovery —
+    /// the restored session continues byte-identically.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError`] if the config is invalid or the replay fails
+    /// (which means the snapshot does not describe a reachable state).
+    pub fn restore(body: SnapshotBody) -> Result<Self, ProtocolError> {
+        let mut session = Session::new(body.config)?;
+        for entry in &body.log.entries {
+            match entry {
+                LogEntry::Workflow {
+                    seq, submission, ..
+                } => {
+                    let arrival = submission.workflow.submit_slot();
+                    session
+                        .pending
+                        .insert((arrival, *seq), PendingEntry::Workflow(submission.clone()));
+                    session.seq_state.insert(*seq, SeqState::Pending(arrival));
+                }
+                LogEntry::Adhoc {
+                    seq, submission, ..
+                } => {
+                    let arrival = submission.arrival_slot;
+                    session
+                        .pending
+                        .insert((arrival, *seq), PendingEntry::Adhoc(submission.clone()));
+                    session.seq_state.insert(*seq, SeqState::Pending(arrival));
+                }
+                LogEntry::Cancel { seq, target, .. } => {
+                    let arrival = match session.seq_state.get(target) {
+                        Some(SeqState::Pending(a)) => *a,
+                        _ => {
+                            return Err(ProtocolError::new(
+                                codes::SNAPSHOT_CORRUPT,
+                                format!("cancel of non-pending submission {target} in log"),
+                            ))
+                        }
+                    };
+                    session.pending.remove(&(arrival, *target));
+                    session.seq_state.insert(*target, SeqState::Cancelled);
+                    session.seq_state.insert(*seq, SeqState::CancelRequest);
+                }
+            }
+        }
+        session.log = body.log;
+        session.next_seq = body.next_seq;
+        session.run_to(body.now)?;
+        if session.now() != body.now {
+            return Err(ProtocolError::new(
+                codes::SNAPSHOT_CORRUPT,
+                format!(
+                    "replay reached slot {} but snapshot was taken at {}",
+                    session.now(),
+                    body.now
+                ),
+            ));
+        }
+        Ok(session)
+    }
+
+    /// Current virtual slot.
+    pub fn now(&self) -> u64 {
+        match &self.online {
+            Some(online) => online.now(),
+            None => self
+                .finished
+                .as_ref()
+                .map_or(0, |f| f.outcome.slots_elapsed),
+        }
+    }
+
+    /// True once the session has been drained.
+    pub fn drained(&self) -> bool {
+        self.finished.is_some()
+    }
+
+    /// The serialized `SimOutcome` of a drained session — the canonical
+    /// bytes the differential harness compares.
+    pub fn outcome_json(&self) -> Option<&str> {
+        self.finished.as_ref().map(|f| f.outcome_json.as_str())
+    }
+
+    /// The frozen decision trace of a drained session.
+    pub fn final_trace(&self) -> Option<&DecisionTrace> {
+        self.finished.as_ref().map(|f| &f.trace)
+    }
+
+    /// The recorded submission log (the replay artifact).
+    pub fn log(&self) -> &SubmissionLog {
+        &self.log
+    }
+
+    /// Dispatches one parsed request, returning the `ok`-body JSON.
+    /// `Shutdown` is acknowledged here; closing the transport is the
+    /// server loop's job.
+    ///
+    /// # Errors
+    ///
+    /// A typed [`ProtocolError`] for every failure mode; the session
+    /// never panics on bad input.
+    pub fn handle(&mut self, request: Request) -> Result<String, ProtocolError> {
+        match request {
+            Request::SubmitWorkflow(sub) => self.submit_workflow(*sub),
+            Request::SubmitAdhoc(sub) => self.submit_adhoc(sub),
+            Request::Cancel(seq) => self.cancel(seq),
+            Request::Tick(to) => self.tick(to),
+            Request::Status => self.status(),
+            Request::Query(seq) => self.query(seq),
+            Request::Trace(limit) => self.trace_tail(limit),
+            Request::Drain => self.drain(),
+            Request::Outcome => self.outcome(),
+            Request::Snapshot => self.write_snapshot(),
+            Request::Shutdown => Ok("{\"shutdown\":true}".to_string()),
+        }
+    }
+
+    fn require_accepting(&self) -> Result<(), ProtocolError> {
+        if self.finished.is_some() {
+            return Err(ProtocolError::new(
+                codes::ALREADY_DRAINED,
+                "session is drained; no further mutation is accepted",
+            ));
+        }
+        Ok(())
+    }
+
+    fn check_arrival(&self, arrival: u64) -> Result<(), ProtocolError> {
+        if arrival < self.now() {
+            return Err(ProtocolError::new(
+                codes::LATE_ARRIVAL,
+                format!(
+                    "arrival slot {arrival} is in the past (virtual time is {})",
+                    self.now()
+                ),
+            ));
+        }
+        Ok(())
+    }
+
+    fn submit_workflow(&mut self, submission: WorkflowSubmission) -> Result<String, ProtocolError> {
+        self.require_accepting()?;
+        let arrival = submission.workflow.submit_slot();
+        self.check_arrival(arrival)?;
+        let n = submission.workflow.len();
+        if submission
+            .actual_work
+            .as_ref()
+            .is_some_and(|v| v.len() != n)
+            || submission
+                .job_deadlines
+                .as_ref()
+                .is_some_and(|v| v.len() != n)
+        {
+            return Err(ProtocolError::new(
+                codes::MALFORMED_SUBMISSION,
+                "per-node vector length differs from workflow size",
+            ));
+        }
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.log.entries.push(LogEntry::Workflow {
+            seq,
+            at: self.now(),
+            submission: submission.clone(),
+        });
+        self.pending
+            .insert((arrival, seq), PendingEntry::Workflow(submission));
+        self.seq_state.insert(seq, SeqState::Pending(arrival));
+        Ok(format!(
+            "{{\"sub\":{seq},\"arrival\":{arrival},\"jobs\":{n}}}"
+        ))
+    }
+
+    fn submit_adhoc(&mut self, submission: AdhocSubmission) -> Result<String, ProtocolError> {
+        self.require_accepting()?;
+        let arrival = submission.arrival_slot;
+        self.check_arrival(arrival)?;
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.log.entries.push(LogEntry::Adhoc {
+            seq,
+            at: self.now(),
+            submission: submission.clone(),
+        });
+        self.pending
+            .insert((arrival, seq), PendingEntry::Adhoc(submission));
+        self.seq_state.insert(seq, SeqState::Pending(arrival));
+        Ok(format!(
+            "{{\"sub\":{seq},\"arrival\":{arrival},\"jobs\":1}}"
+        ))
+    }
+
+    fn cancel(&mut self, target: u64) -> Result<String, ProtocolError> {
+        self.require_accepting()?;
+        match self.seq_state.get(&target) {
+            Some(SeqState::Pending(arrival)) => {
+                let arrival = *arrival;
+                self.pending.remove(&(arrival, target));
+                self.seq_state.insert(target, SeqState::Cancelled);
+                let seq = self.next_seq;
+                self.next_seq += 1;
+                self.log.entries.push(LogEntry::Cancel {
+                    seq,
+                    at: self.now(),
+                    target,
+                });
+                Ok(format!("{{\"cancelled\":{target}}}"))
+            }
+            Some(SeqState::Cancelled) => Err(ProtocolError::new(
+                codes::CANCEL_TOO_LATE,
+                format!("submission {target} was already cancelled"),
+            )),
+            Some(SeqState::Injected(_)) => Err(ProtocolError::new(
+                codes::CANCEL_TOO_LATE,
+                format!("submission {target} already materialized into the engine"),
+            )),
+            Some(SeqState::CancelRequest) | None => Err(ProtocolError::new(
+                codes::UNKNOWN_SUBMISSION,
+                format!("no submission with sequence number {target}"),
+            )),
+        }
+    }
+
+    /// Materializes every pending submission whose arrival slot equals
+    /// the current virtual slot, in `(arrival, seq)` order.
+    fn flush_arrivals(&mut self) -> Result<(), ProtocolError> {
+        let online = self
+            .online
+            .as_mut()
+            .expect("flush only runs while accepting");
+        let now = online.now();
+        while let Some((&(arrival, seq), _)) = self.pending.iter().next() {
+            if arrival > now {
+                break;
+            }
+            let entry = self
+                .pending
+                .remove(&(arrival, seq))
+                .expect("key just observed");
+            let ids = match entry {
+                PendingEntry::Workflow(sub) => online.submit_workflow(sub),
+                PendingEntry::Adhoc(sub) => online.submit_adhoc(sub).map(|id| vec![id]),
+            }
+            .map_err(engine_error)?;
+            self.seq_state.insert(seq, SeqState::Injected(ids));
+        }
+        Ok(())
+    }
+
+    /// Advances virtual time to `target`, injecting arrivals on the way
+    /// and burning idle gap slots while future submissions are queued.
+    /// Parks (stops early) when no work remains — the batch run would
+    /// have ended there too.
+    fn run_to(&mut self, target: u64) -> Result<(), ProtocolError> {
+        while self.online.as_ref().expect("running session").now() < target {
+            self.flush_arrivals()?;
+            let online = self.online.as_mut().expect("running session");
+            let step = if online.incomplete() == 0 {
+                if self.pending.is_empty() {
+                    break; // Parked: nothing to simulate until new work.
+                }
+                online.step_idle(&mut *self.scheduler)
+            } else {
+                online.step(&mut *self.scheduler)
+            }
+            .map_err(engine_error)?;
+            match step {
+                StepOutcome::Advanced => {}
+                StepOutcome::Complete => break,
+                StepOutcome::HorizonExhausted => {
+                    return Err(ProtocolError::new(
+                        codes::HORIZON_EXHAUSTED,
+                        format!("slot horizon {} exhausted", self.config.max_slots),
+                    ))
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn tick(&mut self, to: u64) -> Result<String, ProtocolError> {
+        self.require_accepting()?;
+        self.run_to(to)?;
+        let online = self.online.as_ref().expect("running session");
+        Ok(format!(
+            "{{\"now\":{},\"incomplete\":{},\"pending\":{}}}",
+            online.now(),
+            online.incomplete(),
+            self.pending.len()
+        ))
+    }
+
+    /// Runs everything — pending and injected — to completion, then
+    /// freezes the outcome and trace. Idempotent: draining a drained
+    /// session returns the same summary.
+    fn drain(&mut self) -> Result<String, ProtocolError> {
+        if self.finished.is_none() {
+            loop {
+                self.flush_arrivals()?;
+                let online = self.online.as_mut().expect("running session");
+                let step = if online.incomplete() == 0 && !self.pending.is_empty() {
+                    online.step_idle(&mut *self.scheduler)
+                } else {
+                    online.step(&mut *self.scheduler)
+                }
+                .map_err(engine_error)?;
+                match step {
+                    StepOutcome::Advanced => {}
+                    StepOutcome::Complete if self.pending.is_empty() => break,
+                    StepOutcome::Complete => {}
+                    StepOutcome::HorizonExhausted => break, // partial outcome
+                }
+            }
+            let online = self.online.take().expect("running session");
+            let outcome = online.finish(&mut *self.scheduler);
+            let outcome_json = serde_json::to_string(&outcome)
+                .map_err(|e| ProtocolError::new(codes::ENGINE_ERROR, e.to_string()))?;
+            let trace = self.trace.take();
+            self.finished = Some(Finished {
+                outcome_json,
+                outcome,
+                trace,
+            });
+        }
+        let f = self.finished.as_ref().expect("just set");
+        Ok(format!(
+            "{{\"now\":{},\"completed_jobs\":{},\"complete\":{}}}",
+            f.outcome.slots_elapsed,
+            f.outcome.metrics.jobs.len(),
+            f.outcome.is_complete()
+        ))
+    }
+
+    fn status(&mut self) -> Result<String, ProtocolError> {
+        if let Some(f) = &self.finished {
+            return Ok(format!(
+                "{{\"phase\":\"drained\",\"now\":{},\"completed_jobs\":{},\"complete\":{}}}",
+                f.outcome.slots_elapsed,
+                f.outcome.metrics.jobs.len(),
+                f.outcome.is_complete()
+            ));
+        }
+        let online = self.online.as_ref().expect("running session");
+        let st = online.status();
+        let status_json = serde_json::to_string(&st)
+            .map_err(|e| ProtocolError::new(codes::ENGINE_ERROR, e.to_string()))?;
+        let solver = match self.scheduler.telemetry() {
+            Some(t) => serde_json::to_string(&t)
+                .map_err(|e| ProtocolError::new(codes::ENGINE_ERROR, e.to_string()))?,
+            None => "null".to_string(),
+        };
+        Ok(format!(
+            "{{\"phase\":\"accepting\",\"engine\":{status_json},\"solver\":{solver},\"pending\":{},\"logged\":{}}}",
+            self.pending.len(),
+            self.log.len()
+        ))
+    }
+
+    fn query(&mut self, seq: u64) -> Result<String, ProtocolError> {
+        match self.seq_state.get(&seq) {
+            None => Err(ProtocolError::new(
+                codes::UNKNOWN_SUBMISSION,
+                format!("no submission with sequence number {seq}"),
+            )),
+            Some(SeqState::CancelRequest) => {
+                Ok(format!("{{\"sub\":{seq},\"state\":\"cancel-request\"}}"))
+            }
+            Some(SeqState::Pending(arrival)) => Ok(format!(
+                "{{\"sub\":{seq},\"state\":\"pending\",\"arrival\":{arrival}}}"
+            )),
+            Some(SeqState::Cancelled) => Ok(format!("{{\"sub\":{seq},\"state\":\"cancelled\"}}")),
+            Some(SeqState::Injected(ids)) => {
+                let mut jobs = Vec::new();
+                for id in ids {
+                    if let Some(online) = &self.online {
+                        if let Some(p) = online.job_progress(*id) {
+                            jobs.push(serde_json::to_string(&p).map_err(|e| {
+                                ProtocolError::new(codes::ENGINE_ERROR, e.to_string())
+                            })?);
+                        }
+                    } else {
+                        jobs.push(format!("{{\"id\":{}}}", id.as_u64()));
+                    }
+                }
+                Ok(format!(
+                    "{{\"sub\":{seq},\"state\":\"materialized\",\"jobs\":[{}]}}",
+                    jobs.join(",")
+                ))
+            }
+        }
+    }
+
+    fn trace_tail(&mut self, limit: usize) -> Result<String, ProtocolError> {
+        let trace = match &self.finished {
+            Some(f) => f.trace.clone(),
+            None => self.trace.snapshot(),
+        };
+        let events: Vec<&flowtime_sim::TraceEvent> = trace.events().collect();
+        let skip = events.len().saturating_sub(limit);
+        let mut tail = Vec::new();
+        for ev in &events[skip..] {
+            tail.push(
+                serde_json::to_string(ev)
+                    .map_err(|e| ProtocolError::new(codes::ENGINE_ERROR, e.to_string()))?,
+            );
+        }
+        Ok(format!(
+            "{{\"recorded\":{},\"dropped\":{},\"tail\":[{}]}}",
+            trace.recorded(),
+            trace.dropped(),
+            tail.join(",")
+        ))
+    }
+
+    fn outcome(&self) -> Result<String, ProtocolError> {
+        match &self.finished {
+            Some(f) => Ok(format!("{{\"outcome\":{}}}", f.outcome_json)),
+            None => Err(ProtocolError::new(
+                codes::NOT_DRAINED,
+                "outcome is only available after `drain`",
+            )),
+        }
+    }
+
+    /// Persists the session's replayable state to the configured path.
+    pub fn write_snapshot(&self) -> Result<String, ProtocolError> {
+        let path =
+            self.config.snapshot_path.as_ref().ok_or_else(|| {
+                ProtocolError::new(codes::SNAPSHOT_IO, "no snapshot path configured")
+            })?;
+        if self.finished.is_some() {
+            return Err(ProtocolError::new(
+                codes::ALREADY_DRAINED,
+                "drained sessions have nothing left to snapshot",
+            ));
+        }
+        let body = SnapshotBody {
+            config: self.config.clone(),
+            log: self.log.clone(),
+            now: self.now(),
+            next_seq: self.next_seq,
+        };
+        let bytes = snapshot::save(path, &body)
+            .map_err(|e| ProtocolError::new(codes::SNAPSHOT_IO, e.to_string()))?;
+        let path_json = serde_json::to_string(path)
+            .map_err(|e| ProtocolError::new(codes::SNAPSHOT_IO, e.to_string()))?;
+        Ok(format!("{{\"path\":{path_json},\"bytes\":{bytes}}}"))
+    }
+}
+
+/// Resolves a scheduler name, ignoring case and separators, constructing
+/// it exactly as the bench harness's `Algo::make` does — the daemon and
+/// a batch comparison run must start from identical scheduler state for
+/// the differential byte-parity contract to hold.
+fn make_scheduler(
+    name: &str,
+    cluster: &ClusterConfig,
+) -> Result<Box<dyn Scheduler>, ProtocolError> {
+    let norm: String = name
+        .chars()
+        .filter(char::is_ascii_alphanumeric)
+        .collect::<String>()
+        .to_ascii_lowercase();
+    Ok(match norm.as_str() {
+        "flowtime" => Box::new(FlowTimeScheduler::new(
+            cluster.clone(),
+            FlowTimeConfig::default(),
+        )),
+        "flowtimenods" => Box::new(FlowTimeScheduler::new(
+            cluster.clone(),
+            FlowTimeConfig {
+                slack_slots: 0,
+                ..Default::default()
+            },
+        )),
+        "cora" => Box::new(CoraScheduler::new(cluster.clone())),
+        "edf" => Box::new(EdfScheduler::new()),
+        "fair" => Box::new(FairScheduler::new()),
+        "fifo" => Box::new(FifoScheduler::new()),
+        "morpheus" => Box::new(MorpheusScheduler::new(cluster.clone())),
+        _ => {
+            return Err(ProtocolError::new(
+                codes::BAD_REQUEST,
+                format!("unknown scheduler `{name}`"),
+            ))
+        }
+    })
+}
+
+/// Maps an engine error into the protocol's typed form.
+fn engine_error(e: SimError) -> ProtocolError {
+    match e {
+        SimError::MalformedSubmission { .. } => {
+            ProtocolError::new(codes::MALFORMED_SUBMISSION, e.to_string())
+        }
+        SimError::HorizonExhausted { .. } => {
+            ProtocolError::new(codes::HORIZON_EXHAUSTED, e.to_string())
+        }
+        other => ProtocolError::new(codes::ENGINE_ERROR, other.to_string()),
+    }
+}

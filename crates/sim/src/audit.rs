@@ -60,8 +60,9 @@ use crate::engine::SimOutcome;
 use crate::faults::{
     runtime_fault_horizon, RecoveryPolicy, RecoverySetup, RuntimeFaultPlan, ShedPolicy,
 };
-use crate::job::{JobClass, SimWorkload};
+use crate::job::{AdhocSubmission, JobClass, SimWorkload, WorkflowSubmission};
 use crate::metrics::{MissAttribution, NodeSlackUse, RecoveryStats};
+use crate::submission::{EffectiveSubmission, SubmissionLog};
 use crate::trace::{DecisionTrace, TraceEvent};
 use flowtime_dag::{JobId, ResourceVec};
 use std::collections::BTreeMap;
@@ -250,6 +251,44 @@ pub fn certify_with_recovery(
     trace: &DecisionTrace,
     recovery: Option<&RecoverySetup>,
 ) -> AuditReport {
+    certify_table(
+        cluster,
+        build_table(workload),
+        outcome,
+        trace,
+        recovery,
+        runtime_fault_horizon(workload),
+    )
+}
+
+/// Replays `trace` against a recorded [`SubmissionLog`] and re-verifies
+/// `outcome` — the offline certification path for daemon sessions. The
+/// job table is rebuilt from the log alone using the `(arrival slot,
+/// sequence)` id contract of [`crate::Engine::from_log`], so a certified
+/// online run and a certified batch replay of the same log verified the
+/// same dense table. Mid-run recovery is not supported on the online
+/// path, so any recovery event or counter is itself a violation.
+pub fn certify_log(
+    cluster: &ClusterConfig,
+    log: &SubmissionLog,
+    outcome: &SimOutcome,
+    trace: &DecisionTrace,
+) -> AuditReport {
+    certify_table(cluster, build_table_from_log(log), outcome, trace, None, 0)
+}
+
+/// Shared certification core: every check below runs against the
+/// independently-rebuilt `table`, regardless of whether it came from a
+/// batch workload or a submission log. `fault_horizon` is only read when
+/// `recovery` is armed.
+fn certify_table(
+    cluster: &ClusterConfig,
+    table: Result<(Vec<AuditJob>, Vec<AuditWorkflow>), String>,
+    outcome: &SimOutcome,
+    trace: &DecisionTrace,
+    recovery: Option<&RecoverySetup>,
+    fault_horizon: u64,
+) -> AuditReport {
     let mut v: Vec<AuditViolation> = Vec::new();
     let mut push = |code: &'static str, slot: u64, job: Option<JobId>, detail: String| {
         v.push(AuditViolation {
@@ -260,8 +299,8 @@ pub fn certify_with_recovery(
         });
     };
 
-    // ---- Independent job table from the workload alone. ----------------
-    let (jobs, workflows) = match build_table(workload) {
+    // ---- Independent job table from the submissions alone. -------------
+    let (jobs, workflows) = match table {
         Ok(t) => t,
         Err(reason) => {
             push("header-mismatch", 0, None, reason);
@@ -283,7 +322,7 @@ pub fn certify_with_recovery(
         // Same clamp as `Engine::with_recovery`.
         policy.sustain_slots = policy.sustain_slots.max(1);
         let plan = RuntimeFaultPlan::new(setup.faults.clone());
-        let windows = plan.crash_windows(cluster.capacity(), runtime_fault_horizon(workload));
+        let windows = plan.crash_windows(cluster.capacity(), fault_horizon);
         RecoveryAudit {
             plan,
             policy,
@@ -1318,62 +1357,97 @@ fn derived_ready(jobs: &[AuditJob], replays: &[Replay], i: usize) -> Option<u64>
         })
 }
 
-/// Rebuilds the engine's dense job table from the workload alone.
+/// Rebuilds the engine's dense job table from the workload alone,
+/// mirroring [`crate::Engine::new`]'s workflows-then-adhoc id order.
 fn build_table(workload: &SimWorkload) -> Result<(Vec<AuditJob>, Vec<AuditWorkflow>), String> {
     let mut jobs: Vec<AuditJob> = Vec::new();
     let mut workflows: Vec<AuditWorkflow> = Vec::new();
     for sub in &workload.workflows {
-        let wf = &sub.workflow;
-        let n = wf.len();
-        if sub.actual_work.as_ref().is_some_and(|v| v.len() != n)
-            || sub.job_deadlines.as_ref().is_some_and(|v| v.len() != n)
-        {
-            return Err(format!("{}: malformed submission vectors", wf.id()));
-        }
-        let base = jobs.len();
-        for (node, spec) in wf.jobs().iter().enumerate() {
-            jobs.push(AuditJob {
-                id: JobId::new(jobs.len() as u64),
-                class: JobClass::Deadline {
-                    workflow: wf.id(),
-                    node,
-                },
-                per_task: spec.per_task(),
-                parallel_cap: spec.effective_parallel(),
-                actual_work: sub
-                    .actual_work
-                    .as_ref()
-                    .map_or_else(|| spec.work(), |v| v[node]),
-                arrival_slot: wf.submit_slot(),
-                deadline_slot: sub.job_deadlines.as_ref().map(|v| v[node]),
-                preds: wf
-                    .dag()
-                    .predecessors(node)
-                    .iter()
-                    .map(|&p| base + p)
-                    .collect(),
-            });
-        }
-        workflows.push(AuditWorkflow {
-            id: wf.id(),
-            deadline_slot: wf.deadline_slot(),
-            job_idxs: (base..base + n).collect(),
-            milestones: sub.job_deadlines.clone(),
-        });
+        push_workflow_table(&mut jobs, &mut workflows, sub)?;
     }
     for adhoc in &workload.adhoc {
-        jobs.push(AuditJob {
-            id: JobId::new(jobs.len() as u64),
-            class: JobClass::AdHoc,
-            per_task: adhoc.spec.per_task(),
-            parallel_cap: adhoc.spec.effective_parallel(),
-            actual_work: adhoc.spec.work(),
-            arrival_slot: adhoc.arrival_slot,
-            deadline_slot: None,
-            preds: Vec::new(),
-        });
+        push_adhoc_table(&mut jobs, adhoc);
     }
     Ok((jobs, workflows))
+}
+
+/// Rebuilds the dense job table from a submission log, mirroring
+/// [`crate::Engine::from_log`]'s `(arrival slot, sequence)` id order.
+fn build_table_from_log(
+    log: &SubmissionLog,
+) -> Result<(Vec<AuditJob>, Vec<AuditWorkflow>), String> {
+    let mut jobs: Vec<AuditJob> = Vec::new();
+    let mut workflows: Vec<AuditWorkflow> = Vec::new();
+    let effective = log.effective().map_err(|e| e.to_string())?;
+    for entry in effective {
+        match entry {
+            EffectiveSubmission::Workflow(sub) => {
+                push_workflow_table(&mut jobs, &mut workflows, sub)?;
+            }
+            EffectiveSubmission::Adhoc(sub) => push_adhoc_table(&mut jobs, sub),
+        }
+    }
+    Ok((jobs, workflows))
+}
+
+/// Appends one workflow submission's nodes to the audit table.
+fn push_workflow_table(
+    jobs: &mut Vec<AuditJob>,
+    workflows: &mut Vec<AuditWorkflow>,
+    sub: &WorkflowSubmission,
+) -> Result<(), String> {
+    let wf = &sub.workflow;
+    let n = wf.len();
+    if sub.actual_work.as_ref().is_some_and(|v| v.len() != n)
+        || sub.job_deadlines.as_ref().is_some_and(|v| v.len() != n)
+    {
+        return Err(format!("{}: malformed submission vectors", wf.id()));
+    }
+    let base = jobs.len();
+    for (node, spec) in wf.jobs().iter().enumerate() {
+        jobs.push(AuditJob {
+            id: JobId::new(jobs.len() as u64),
+            class: JobClass::Deadline {
+                workflow: wf.id(),
+                node,
+            },
+            per_task: spec.per_task(),
+            parallel_cap: spec.effective_parallel(),
+            actual_work: sub
+                .actual_work
+                .as_ref()
+                .map_or_else(|| spec.work(), |v| v[node]),
+            arrival_slot: wf.submit_slot(),
+            deadline_slot: sub.job_deadlines.as_ref().map(|v| v[node]),
+            preds: wf
+                .dag()
+                .predecessors(node)
+                .iter()
+                .map(|&p| base + p)
+                .collect(),
+        });
+    }
+    workflows.push(AuditWorkflow {
+        id: wf.id(),
+        deadline_slot: wf.deadline_slot(),
+        job_idxs: (base..base + n).collect(),
+        milestones: sub.job_deadlines.clone(),
+    });
+    Ok(())
+}
+
+/// Appends one ad-hoc submission to the audit table.
+fn push_adhoc_table(jobs: &mut Vec<AuditJob>, adhoc: &AdhocSubmission) {
+    jobs.push(AuditJob {
+        id: JobId::new(jobs.len() as u64),
+        class: JobClass::AdHoc,
+        per_task: adhoc.spec.per_task(),
+        parallel_cap: adhoc.spec.effective_parallel(),
+        actual_work: adhoc.spec.work(),
+        arrival_slot: adhoc.arrival_slot,
+        deadline_slot: None,
+        preds: Vec::new(),
+    });
 }
 
 /// Recomputes the deadline-miss attribution from scenario milestones and

@@ -11,7 +11,7 @@ use crate::cluster::{CapacityWindow, ClusterConfig};
 use crate::error::SimError;
 use crate::faults::{RecoveryPolicy, RecoverySetup, RuntimeFaultPlan, ShedPolicy};
 use crate::invariants::InvariantChecker;
-use crate::job::{JobClass, JobRuntime, SimWorkload};
+use crate::job::{AdhocSubmission, JobClass, JobRuntime, SimWorkload, WorkflowSubmission};
 use crate::metrics::{
     InFlightJob, JobOutcome, Metrics, MissAttribution, NodeSlackUse, RecoveryStats, ShedJob,
     WorkflowOutcome,
@@ -84,10 +84,10 @@ impl SimOutcome {
 /// Event kind: a job's submission slot was reached (enters the visible
 /// set). Ordered before [`EV_READY`] within a slot so a job is always
 /// visible by the time it becomes runnable.
-const EV_ARRIVAL: u8 = 0;
+pub(crate) const EV_ARRIVAL: u8 = 0;
 /// Event kind: a job's dependencies are satisfied (enters the runnable
 /// set).
-const EV_READY: u8 = 1;
+pub(crate) const EV_READY: u8 = 1;
 /// Event kind: a killed attempt's backoff expired — the job re-enters the
 /// runnable set, with no fresh `Ready` trace event (the retry slot is
 /// derivable from the `Kill` event and the recovery policy).
@@ -95,7 +95,21 @@ const EV_RETRY: u8 = 2;
 
 /// One pending state change, keyed `(slot, kind, job)`; `Reverse` turns
 /// `BinaryHeap`'s max-heap into the min-heap the run loop pops from.
-type Event = Reverse<(u64, u8, JobId)>;
+pub(crate) type Event = Reverse<(u64, u8, JobId)>;
+
+/// Result of a single [`Engine::step`]: did the engine simulate a slot,
+/// observe completion, or hit its horizon?
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepOutcome {
+    /// One slot was simulated and virtual time advanced by one.
+    Advanced,
+    /// Every known job is complete; the final invariants held. Virtual
+    /// time did not advance. Stepping again after injecting more work
+    /// (see [`crate::OnlineEngine`]) is valid and resumes the run.
+    Complete,
+    /// `max_slots` reached with work still pending; nothing was simulated.
+    HorizonExhausted,
+}
 
 /// Runtime state of an armed failure/recovery subsystem (see
 /// [`Engine::with_recovery`]).
@@ -135,19 +149,138 @@ pub struct Engine {
     /// Decision-trace recording context; `None` (the default) is the
     /// zero-cost path — no event is constructed and no telemetry is
     /// polled when tracing is off.
-    trace: Option<TraceCtx>,
+    pub(crate) trace: Option<TraceCtx>,
     /// Min-heap of pending arrival/readiness events.
-    events: BinaryHeap<Event>,
+    pub(crate) events: BinaryHeap<Event>,
     /// `(workflow index, DAG node)` of each workflow job, by job index;
     /// `None` for ad-hoc jobs.
-    job_nodes: Vec<Option<(usize, usize)>>,
+    pub(crate) job_nodes: Vec<Option<(usize, usize)>>,
     /// Per workflow, per node: count of predecessors not yet complete. A
     /// node is released the moment its count reaches zero.
-    pending_preds: Vec<Vec<usize>>,
+    pub(crate) pending_preds: Vec<Vec<usize>>,
     /// Mid-run failure/recovery context; `None` (the default) keeps every
     /// recovery branch untaken and the run byte-identical to builds that
     /// predate the subsystem.
     recovery: Option<RecoveryCtx>,
+}
+
+/// Incremental builder for the engine's dense job table. Both the batch
+/// constructors ([`Engine::new`], [`Engine::from_log`]) and the online
+/// injection path ([`crate::OnlineEngine`]) funnel through this type, so
+/// the per-submission runtime layout is defined in exactly one place.
+///
+/// `base_job` / `base_workflow` offset the assigned ids, letting the
+/// online engine splice freshly-built rows onto an already-populated
+/// table without disturbing the dense-id contract.
+pub(crate) struct TableBuilder {
+    pub(crate) base_job: u64,
+    pub(crate) base_workflow: usize,
+    pub(crate) jobs: Vec<JobRuntime>,
+    pub(crate) workflows: Vec<WorkflowInstance>,
+    pub(crate) job_nodes: Vec<Option<(usize, usize)>>,
+    pub(crate) pending_preds: Vec<Vec<usize>>,
+}
+
+impl TableBuilder {
+    /// An empty table starting at job id 0, workflow index 0.
+    pub(crate) fn new() -> Self {
+        Self::offset(0, 0)
+    }
+
+    /// An empty table whose first job gets id `base_job` and whose first
+    /// workflow gets index `base_workflow`.
+    pub(crate) fn offset(base_job: u64, base_workflow: usize) -> Self {
+        TableBuilder {
+            base_job,
+            base_workflow,
+            jobs: Vec::new(),
+            workflows: Vec::new(),
+            job_nodes: Vec::new(),
+            pending_preds: Vec::new(),
+        }
+    }
+
+    /// Appends one workflow submission: one job per DAG node, in node
+    /// order, with sources ready at the submit slot.
+    pub(crate) fn push_workflow(&mut self, submission: WorkflowSubmission) -> Result<(), SimError> {
+        let wf = &submission.workflow;
+        let n = wf.len();
+        if let Some(actual) = &submission.actual_work {
+            if actual.len() != n {
+                return Err(SimError::MalformedSubmission {
+                    reason: "actual_work length differs from workflow size",
+                });
+            }
+        }
+        if let Some(dls) = &submission.job_deadlines {
+            if dls.len() != n {
+                return Err(SimError::MalformedSubmission {
+                    reason: "job_deadlines length differs from workflow size",
+                });
+            }
+        }
+        let mut job_ids = Vec::with_capacity(n);
+        let mut preds = Vec::with_capacity(n);
+        for (node, spec) in wf.jobs().iter().enumerate() {
+            let id = JobId::new(self.base_job + self.jobs.len() as u64);
+            let actual_work = submission
+                .actual_work
+                .as_ref()
+                .map_or_else(|| spec.work(), |v| v[node]);
+            let n_preds = wf.dag().predecessors(node).len();
+            self.jobs.push(JobRuntime {
+                id,
+                class: JobClass::Deadline {
+                    workflow: wf.id(),
+                    node,
+                },
+                estimate: spec.clone(),
+                actual_work,
+                arrival_slot: wf.submit_slot(),
+                ready_slot: (n_preds == 0).then_some(wf.submit_slot()),
+                done_work: 0,
+                completion_slot: None,
+                deadline_slot: submission.job_deadlines.as_ref().map(|v| v[node]),
+                attempt: 0,
+                wasted: 0,
+                retry_at: 0,
+                shed_slot: None,
+                deferred: false,
+            });
+            job_ids.push(id);
+            self.job_nodes
+                .push(Some((self.base_workflow + self.workflows.len(), node)));
+            preds.push(n_preds);
+        }
+        self.pending_preds.push(preds);
+        self.workflows.push(WorkflowInstance {
+            submission,
+            job_ids,
+        });
+        Ok(())
+    }
+
+    /// Appends one ad-hoc job, ready at its arrival slot.
+    pub(crate) fn push_adhoc(&mut self, adhoc: AdhocSubmission) {
+        let id = JobId::new(self.base_job + self.jobs.len() as u64);
+        self.jobs.push(JobRuntime {
+            id,
+            class: JobClass::AdHoc,
+            actual_work: adhoc.spec.work(),
+            estimate: adhoc.spec,
+            arrival_slot: adhoc.arrival_slot,
+            ready_slot: Some(adhoc.arrival_slot),
+            done_work: 0,
+            completion_slot: None,
+            deadline_slot: None,
+            attempt: 0,
+            wasted: 0,
+            retry_at: 0,
+            shed_slot: None,
+            deferred: false,
+        });
+        self.job_nodes.push(None);
+    }
 }
 
 impl Engine {
@@ -165,88 +298,57 @@ impl Engine {
         workload: SimWorkload,
         max_slots: u64,
     ) -> Result<Self, SimError> {
-        let mut jobs: Vec<JobRuntime> = Vec::new();
-        let mut workflows: Vec<WorkflowInstance> = Vec::new();
-        let mut job_nodes: Vec<Option<(usize, usize)>> = Vec::new();
-        let mut pending_preds: Vec<Vec<usize>> = Vec::new();
-        let mut next_id = 0u64;
+        let mut table = TableBuilder::new();
         for submission in workload.workflows {
-            let wf = &submission.workflow;
-            let n = wf.len();
-            if let Some(actual) = &submission.actual_work {
-                if actual.len() != n {
-                    return Err(SimError::MalformedSubmission {
-                        reason: "actual_work length differs from workflow size",
-                    });
-                }
-            }
-            if let Some(dls) = &submission.job_deadlines {
-                if dls.len() != n {
-                    return Err(SimError::MalformedSubmission {
-                        reason: "job_deadlines length differs from workflow size",
-                    });
-                }
-            }
-            let mut job_ids = Vec::with_capacity(n);
-            let mut preds = Vec::with_capacity(n);
-            for (node, spec) in wf.jobs().iter().enumerate() {
-                let id = JobId::new(next_id);
-                next_id += 1;
-                let actual_work = submission
-                    .actual_work
-                    .as_ref()
-                    .map_or_else(|| spec.work(), |v| v[node]);
-                let n_preds = wf.dag().predecessors(node).len();
-                jobs.push(JobRuntime {
-                    id,
-                    class: JobClass::Deadline {
-                        workflow: wf.id(),
-                        node,
-                    },
-                    estimate: spec.clone(),
-                    actual_work,
-                    arrival_slot: wf.submit_slot(),
-                    ready_slot: (n_preds == 0).then_some(wf.submit_slot()),
-                    done_work: 0,
-                    completion_slot: None,
-                    deadline_slot: submission.job_deadlines.as_ref().map(|v| v[node]),
-                    attempt: 0,
-                    wasted: 0,
-                    retry_at: 0,
-                    shed_slot: None,
-                    deferred: false,
-                });
-                job_ids.push(id);
-                job_nodes.push(Some((workflows.len(), node)));
-                preds.push(n_preds);
-            }
-            pending_preds.push(preds);
-            workflows.push(WorkflowInstance {
-                submission,
-                job_ids,
-            });
+            table.push_workflow(submission)?;
         }
         for adhoc in workload.adhoc {
-            let id = JobId::new(next_id);
-            next_id += 1;
-            jobs.push(JobRuntime {
-                id,
-                class: JobClass::AdHoc,
-                actual_work: adhoc.spec.work(),
-                estimate: adhoc.spec,
-                arrival_slot: adhoc.arrival_slot,
-                ready_slot: Some(adhoc.arrival_slot),
-                done_work: 0,
-                completion_slot: None,
-                deadline_slot: None,
-                attempt: 0,
-                wasted: 0,
-                retry_at: 0,
-                shed_slot: None,
-                deferred: false,
-            });
-            job_nodes.push(None);
+            table.push_adhoc(adhoc);
         }
+        Ok(Self::assemble(cluster, table, max_slots))
+    }
+
+    /// Builds an engine from a [`SubmissionLog`]: cancelled submissions
+    /// are dropped and job ids are assigned densely in `(arrival slot,
+    /// submission sequence)` order — the same order an online session
+    /// injects them in, which is what makes a batch replay of a recorded
+    /// log byte-identical to the live run.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::MalformedSubmission`] for inconsistent workflow vectors
+    /// or a cancel entry that does not resolve to exactly one earlier
+    /// submission.
+    pub fn from_log(
+        cluster: ClusterConfig,
+        log: &crate::submission::SubmissionLog,
+        max_slots: u64,
+    ) -> Result<Self, SimError> {
+        let mut table = TableBuilder::new();
+        for entry in log.effective()? {
+            match entry {
+                crate::submission::EffectiveSubmission::Workflow(sub) => {
+                    table.push_workflow(sub.clone())?;
+                }
+                crate::submission::EffectiveSubmission::Adhoc(sub) => {
+                    table.push_adhoc(sub.clone());
+                }
+            }
+        }
+        Ok(Self::assemble(cluster, table, max_slots))
+    }
+
+    /// Finishes construction from a fully-populated job table: seeds the
+    /// incremental indices for slot 0 and queues every future state
+    /// change on the event heap.
+    pub(crate) fn assemble(cluster: ClusterConfig, table: TableBuilder, max_slots: u64) -> Self {
+        let TableBuilder {
+            jobs,
+            workflows,
+            job_nodes,
+            pending_preds,
+            ..
+        } = table;
         let by_id: HashMap<JobId, usize> =
             jobs.iter().enumerate().map(|(i, j)| (j.id, i)).collect();
         let mut state = SimState {
@@ -277,7 +379,7 @@ impl Engine {
                 }
             }
         }
-        Ok(Engine {
+        Engine {
             state,
             max_slots,
             slot_loads: Vec::new(),
@@ -292,7 +394,7 @@ impl Engine {
             job_nodes,
             pending_preds,
             recovery: None,
-        })
+        }
     }
 
     /// Enables or disables the extended accounting invariants (see
@@ -412,24 +514,39 @@ impl Engine {
     /// are on, [`SimError::InvariantViolation`].
     pub fn run(mut self, scheduler: &mut dyn Scheduler) -> Result<SimOutcome, SimError> {
         let t0 = Instant::now();
+        self.begin_trace(scheduler.name());
+        loop {
+            match self.step(scheduler, false)? {
+                StepOutcome::Advanced => {}
+                StepOutcome::Complete => {
+                    self.telemetry.wall_nanos = t0.elapsed().as_nanos() as u64;
+                    return Ok(self.finish(scheduler.telemetry()));
+                }
+                StepOutcome::HorizonExhausted => break,
+            }
+        }
+        self.telemetry.wall_nanos = t0.elapsed().as_nanos() as u64;
+        if self.state.incomplete == 0 {
+            self.checker.check_final(&self.state)?;
+        }
+        // Horizon exhausted with jobs in flight: the exact-conservation
+        // final check cannot hold, but every applied slot already passed
+        // the per-slot invariants; report the partial outcome and list the
+        // unfinished jobs instead of dropping them.
+        Ok(self.finish(scheduler.telemetry()))
+    }
+
+    /// Writes the trace header and the slot-0 seed events. A no-op when
+    /// tracing is off. The online engine calls this lazily at its first
+    /// step (once the slot-0 table is final) instead of at construction.
+    pub(crate) fn begin_trace(&self, scheduler_name: &str) {
         if let Some(ctx) = &self.trace {
             ctx.buffer().header = TraceHeader {
-                scheduler: scheduler.name().to_string(),
+                scheduler: scheduler_name.to_string(),
                 capacity: self.state.cluster.capacity(),
                 slot_seconds: self.state.cluster.slot_seconds(),
                 max_slots: self.max_slots,
-                jobs: self
-                    .state
-                    .jobs
-                    .iter()
-                    .map(|j| TraceJobMeta {
-                        id: j.id,
-                        class: j.class,
-                        arrival_slot: j.arrival_slot,
-                        actual_work: j.actual_work,
-                        deadline_slot: j.deadline_slot,
-                    })
-                    .collect(),
+                jobs: self.trace_job_metas(),
             };
             // Slot-0 arrivals and readies are seeded directly into the
             // incremental indices (never through the event heap), so they
@@ -445,16 +562,58 @@ impl Engine {
                 }
             }
         }
-        while self.state.now < self.max_slots {
+    }
+
+    /// The trace header's job table for the current state (see
+    /// [`TraceJobMeta`]). The online engine re-derives this at finish so
+    /// the header covers jobs injected after the header was first written.
+    pub(crate) fn trace_job_metas(&self) -> Vec<TraceJobMeta> {
+        self.state
+            .jobs
+            .iter()
+            .map(|j| TraceJobMeta {
+                id: j.id,
+                class: j.class,
+                arrival_slot: j.arrival_slot,
+                actual_work: j.actual_work,
+                deadline_slot: j.deadline_slot,
+            })
+            .collect()
+    }
+
+    /// Advances the simulation by exactly one iteration of the run loop:
+    /// applies due events, then either observes completion / horizon
+    /// exhaustion (no slot simulated) or simulates one slot and advances
+    /// virtual time.
+    ///
+    /// `force_idle` makes the engine simulate an (empty) slot even when
+    /// every currently-known job is complete — the online path uses this
+    /// to burn gap slots while future-dated submissions are queued, which
+    /// is exactly what a batch run does while it waits for a far-future
+    /// arrival. Observing [`StepOutcome::Complete`] is idempotent and
+    /// resumable: stepping again after injecting more work continues the
+    /// run with identical telemetry to a batch run of the merged table.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Engine::run`].
+    pub(crate) fn step(
+        &mut self,
+        scheduler: &mut dyn Scheduler,
+        force_idle: bool,
+    ) -> Result<StepOutcome, SimError> {
+        if self.state.now >= self.max_slots {
+            return Ok(StepOutcome::HorizonExhausted);
+        }
+        {
             self.advance_events();
             self.telemetry.peak_live_jobs = self
                 .telemetry
                 .peak_live_jobs
                 .max(self.state.visible.len() as u64);
-            if self.state.incomplete == 0 {
+            if self.state.incomplete == 0 && !force_idle {
                 self.checker.check_final(&self.state)?;
-                self.telemetry.wall_nanos = t0.elapsed().as_nanos() as u64;
-                return Ok(self.finish(scheduler.telemetry()));
+                return Ok(StepOutcome::Complete);
             }
             self.telemetry.slots_simulated += 1;
             // Node-crash windows opening this slot kill a seeded subset of
@@ -603,15 +762,7 @@ impl Engine {
             self.update_degradation();
             self.state.now += 1;
         }
-        self.telemetry.wall_nanos = t0.elapsed().as_nanos() as u64;
-        if self.state.incomplete == 0 {
-            self.checker.check_final(&self.state)?;
-        }
-        // Horizon exhausted with jobs in flight: the exact-conservation
-        // final check cannot hold, but every applied slot already passed
-        // the per-slot invariants; report the partial outcome and list the
-        // unfinished jobs instead of dropping them.
-        Ok(self.finish(scheduler.telemetry()))
+        Ok(StepOutcome::Advanced)
     }
 
     /// Applies every pending event at or before the current slot to the

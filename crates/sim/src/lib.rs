@@ -73,19 +73,21 @@ pub mod faults;
 pub mod invariants;
 pub mod job;
 pub mod metrics;
+pub mod online;
 #[cfg(any(test, feature = "oracle"))]
 pub mod oracle;
 pub mod placement;
 pub mod scheduler;
 pub mod state;
+pub mod submission;
 pub mod sweep;
 pub mod telemetry;
 pub mod timeline;
 pub mod trace;
 
-pub use audit::{certify, certify_with_recovery, AuditReport, AuditViolation};
+pub use audit::{certify, certify_log, certify_with_recovery, AuditReport, AuditViolation};
 pub use cluster::ClusterConfig;
-pub use engine::{Engine, SimOutcome};
+pub use engine::{Engine, SimOutcome, StepOutcome};
 pub use error::SimError;
 pub use faults::{
     runtime_fault_horizon, FaultConfig, FaultPlan, RecoveryPolicy, RecoverySetup,
@@ -96,11 +98,13 @@ pub use job::{AdhocSubmission, JobClass, SimWorkload, WorkflowSubmission};
 pub use metrics::{
     InFlightJob, JobOutcome, Metrics, MissAttribution, NodeSlackUse, RecoveryStats, ShedJob,
 };
+pub use online::{OnlineEngine, OnlineStatus};
 #[cfg(any(test, feature = "oracle"))]
 pub use oracle::OracleEngine;
 pub use placement::{NodePool, PackResult};
 pub use scheduler::{Allocation, Scheduler};
 pub use state::{JobView, SimState, WorkflowView};
+pub use submission::{EffectiveSubmission, LogEntry, SubmissionLog};
 pub use sweep::run_cells;
 pub use telemetry::{EngineTelemetry, SolverTelemetry};
 pub use timeline::{Timeline, TimelineEntry};

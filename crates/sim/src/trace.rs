@@ -505,6 +505,13 @@ impl TraceHandle {
     pub fn record_faults(&self, records: &[FaultRecord]) {
         self.buf.borrow_mut().faults.extend_from_slice(records);
     }
+
+    /// Clones the trace recorded so far without disturbing the buffer —
+    /// the daemon's `trace` endpoint peeks mid-run while the engine keeps
+    /// recording.
+    pub fn snapshot(&self) -> DecisionTrace {
+        self.buf.borrow().clone()
+    }
 }
 
 /// Engine-side recording context: the shared buffer plus the incremental

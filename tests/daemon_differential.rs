@@ -1,0 +1,198 @@
+//! Daemon-vs-batch differential: an online `flowtimed` session fed a
+//! faulted workload submission-by-submission must produce a
+//! byte-identical `SimOutcome` (and decision trace) to a batch
+//! `Engine::from_log` run over the submission log the session recorded —
+//! across every Fig. 4 scheduler and a corpus of fault seeds — and the
+//! offline auditor must certify both sides.
+
+mod daemon_util;
+
+use daemon_util::{adhoc_line, drain, loopback, ok, trace_bytes, workflow_line, TRACE_CAPACITY};
+use flowtime_bench::experiments::{faulted_instance, testbed_cluster, Algo, WorkflowExperiment};
+use flowtime_sim::{certify_log, Engine, FaultConfig, SimWorkload};
+
+fn experiment(seed: u64) -> WorkflowExperiment {
+    WorkflowExperiment {
+        workflows: 2,
+        jobs_per_workflow: 6,
+        adhoc_horizon: 60,
+        seed,
+        ..Default::default()
+    }
+}
+
+/// Drives a faulted workload through a loopback daemon session in
+/// submission order, optionally cancelling the submissions whose
+/// sequence numbers appear in `cancel`, then drains.
+fn run_daemon(
+    cluster: flowtime_sim::ClusterConfig,
+    workload: &SimWorkload,
+    algo: Algo,
+    cancel: &[u64],
+) -> (
+    String,
+    flowtime_sim::SimOutcome,
+    flowtime_sim::DecisionTrace,
+    flowtime_sim::SubmissionLog,
+) {
+    let mut lb = loopback(cluster, algo.name());
+    for sub in &workload.workflows {
+        ok(&mut lb, &workflow_line(sub));
+    }
+    for sub in &workload.adhoc {
+        ok(&mut lb, &adhoc_line(sub));
+    }
+    for seq in cancel {
+        ok(&mut lb, &format!("{{\"req\":\"cancel\",\"sub\":{seq}}}"));
+    }
+    let log = lb.session().log().clone();
+    let (bytes, outcome, trace) = drain(lb);
+    (bytes, outcome, trace, log)
+}
+
+/// The core contract over the fault-seed corpus and all six schedulers.
+#[test]
+fn daemon_matches_batch_for_all_schedulers_over_fault_corpus() {
+    for seed in [0u64, 1, 2] {
+        let cluster = testbed_cluster();
+        let (workload, faulted_cluster) =
+            faulted_instance(&experiment(seed), &cluster, FaultConfig::mixed(seed));
+        for algo in Algo::FIG4 {
+            let (daemon_bytes, daemon_outcome, daemon_trace, log) =
+                run_daemon(faulted_cluster.clone(), &workload, algo, &[]);
+
+            let mut scheduler = algo.make(&faulted_cluster);
+            let (engine, handle) = Engine::from_log(faulted_cluster.clone(), &log, 1_000_000)
+                .expect("log replays")
+                .with_trace(TRACE_CAPACITY as usize);
+            let batch_outcome = engine.run(scheduler.as_mut()).expect("batch run succeeds");
+            let batch_bytes = serde_json::to_string(&batch_outcome).expect("outcome serializes");
+            let batch_trace = handle.take();
+
+            assert_eq!(
+                daemon_bytes,
+                batch_bytes,
+                "outcome bytes diverge for {} seed {seed}",
+                algo.name()
+            );
+            assert_eq!(
+                trace_bytes(&daemon_trace),
+                trace_bytes(&batch_trace),
+                "decision traces diverge for {} seed {seed}",
+                algo.name()
+            );
+
+            // Auditor certification on both sides, against the same log.
+            let daemon_report = certify_log(&faulted_cluster, &log, &daemon_outcome, &daemon_trace);
+            assert!(
+                daemon_report.is_certified(),
+                "daemon outcome not certified for {} seed {seed}: {:?}",
+                algo.name(),
+                daemon_report.violations
+            );
+            let batch_report = certify_log(&faulted_cluster, &log, &batch_outcome, &batch_trace);
+            assert!(
+                batch_report.is_certified(),
+                "batch outcome not certified for {} seed {seed}: {:?}",
+                algo.name(),
+                batch_report.violations
+            );
+        }
+    }
+}
+
+/// Cancelled submissions never materialize: a session that cancels some
+/// still-pending submissions replays (via its log, cancellations
+/// included) to the identical bytes, and the cancelled jobs are absent
+/// from the outcome.
+#[test]
+fn cancellation_is_replayed_exactly() {
+    let seed = 1u64;
+    let cluster = testbed_cluster();
+    let (workload, faulted_cluster) =
+        faulted_instance(&experiment(seed), &cluster, FaultConfig::mixed(seed));
+    let n_workflows = workload.workflows.len() as u64;
+    // Cancel two ad-hoc submissions (sequence numbers follow workflows).
+    let cancel = [n_workflows, n_workflows + 3];
+    let algo = Algo::Edf;
+
+    let (daemon_bytes, daemon_outcome, daemon_trace, log) =
+        run_daemon(faulted_cluster.clone(), &workload, algo, &cancel);
+    assert_eq!(
+        log.effective().expect("valid log").len(),
+        workload.workflows.len() + workload.adhoc.len() - cancel.len(),
+        "cancelled submissions must drop out of the effective log"
+    );
+
+    let mut scheduler = algo.make(&faulted_cluster);
+    let (engine, handle) = Engine::from_log(faulted_cluster.clone(), &log, 1_000_000)
+        .expect("log replays")
+        .with_trace(TRACE_CAPACITY as usize);
+    let batch_outcome = engine.run(scheduler.as_mut()).expect("batch run succeeds");
+    assert_eq!(
+        daemon_bytes,
+        serde_json::to_string(&batch_outcome).expect("outcome serializes"),
+        "cancellation-bearing log must replay byte-identically"
+    );
+    assert_eq!(trace_bytes(&daemon_trace), trace_bytes(&handle.take()));
+    assert_eq!(
+        daemon_outcome.metrics.jobs.len(),
+        workload
+            .workflows
+            .iter()
+            .map(|w| w.workflow.len())
+            .sum::<usize>()
+            + workload.adhoc.len()
+            - cancel.len(),
+        "cancelled jobs must not appear in the outcome"
+    );
+
+    let report = certify_log(&faulted_cluster, &log, &daemon_outcome, &daemon_trace);
+    assert!(report.is_certified(), "{:?}", report.violations);
+}
+
+/// Submissions interleaved with `tick` (arriving while the engine is
+/// mid-run, not queued up front) still replay byte-identically: the
+/// session's log is the complete determinism artifact.
+#[test]
+fn mid_run_submission_matches_batch() {
+    let seed = 2u64;
+    let cluster = testbed_cluster();
+    let (workload, faulted_cluster) =
+        faulted_instance(&experiment(seed), &cluster, FaultConfig::mixed(seed));
+    let algo = Algo::FlowTime;
+
+    let mut lb = loopback(faulted_cluster.clone(), algo.name());
+    // Workflows go in up front; the ad-hoc stream arrives online, with
+    // virtual time advanced between batches of submissions.
+    for sub in &workload.workflows {
+        ok(&mut lb, &workflow_line(sub));
+    }
+    let mut adhoc: Vec<_> = workload.adhoc.clone();
+    adhoc.sort_by_key(|s| s.arrival_slot);
+    let mut now = 0u64;
+    for sub in &adhoc {
+        // Advance time close to (but not past) this job's arrival, so
+        // submissions happen genuinely mid-run.
+        if sub.arrival_slot > now + 4 {
+            now = sub.arrival_slot - 2;
+            ok(&mut lb, &format!("{{\"req\":\"tick\",\"to\":{now}}}"));
+        }
+        ok(&mut lb, &adhoc_line(sub));
+    }
+    let log = lb.session().log().clone();
+    let (daemon_bytes, daemon_outcome, daemon_trace) = drain(lb);
+
+    let mut scheduler = algo.make(&faulted_cluster);
+    let (engine, handle) = Engine::from_log(faulted_cluster.clone(), &log, 1_000_000)
+        .expect("log replays")
+        .with_trace(TRACE_CAPACITY as usize);
+    let batch_outcome = engine.run(scheduler.as_mut()).expect("batch run succeeds");
+    assert_eq!(
+        daemon_bytes,
+        serde_json::to_string(&batch_outcome).expect("outcome serializes")
+    );
+    assert_eq!(trace_bytes(&daemon_trace), trace_bytes(&handle.take()));
+    let report = certify_log(&faulted_cluster, &log, &daemon_outcome, &daemon_trace);
+    assert!(report.is_certified(), "{:?}", report.violations);
+}

@@ -1,0 +1,334 @@
+//! Protocol bad-path tests: malformed JSON, unknown requests, oversized
+//! payloads, lifecycle violations, and — over a real TCP socket —
+//! mid-request disconnects and mid-stream line-cap enforcement. Every
+//! failure is a typed error from the closed code catalogue; the daemon
+//! never panics and never tears down the session over one bad client.
+
+mod daemon_util;
+
+use daemon_util::{adhoc_line, err_code, loopback, ok};
+use flowtime_daemon::{codes, serve, Session, SessionConfig, MAX_LINE_BYTES};
+use flowtime_dag::{JobSpec, ResourceVec};
+use flowtime_sim::{AdhocSubmission, ClusterConfig};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+
+fn cluster() -> ClusterConfig {
+    ClusterConfig::new(ResourceVec::new([8, 32_768]), 10.0)
+}
+
+fn adhoc(arrival: u64) -> AdhocSubmission {
+    AdhocSubmission::new(
+        JobSpec::new("a", 2, 1, ResourceVec::new([1, 1024])),
+        arrival,
+    )
+}
+
+#[test]
+fn malformed_and_unknown_requests_are_typed_errors() {
+    let mut lb = loopback(cluster(), "edf");
+    err_code(&mut lb, "{oops", codes::MALFORMED_JSON);
+    err_code(&mut lb, "null", codes::BAD_REQUEST);
+    err_code(&mut lb, "{\"req\":\"frobnicate\"}", codes::UNKNOWN_REQUEST);
+    err_code(&mut lb, "{\"req\":\"tick\"}", codes::BAD_REQUEST);
+    err_code(
+        &mut lb,
+        "{\"req\":\"tick\",\"to\":\"soon\"}",
+        codes::BAD_REQUEST,
+    );
+    err_code(
+        &mut lb,
+        "{\"req\":\"cancel\",\"sub\":-1}",
+        codes::BAD_REQUEST,
+    );
+    err_code(&mut lb, "{\"req\":\"submit_adhoc\"}", codes::BAD_REQUEST);
+    err_code(
+        &mut lb,
+        "{\"req\":\"submit_adhoc\",\"submission\":{\"bogus\":1}}",
+        codes::MALFORMED_SUBMISSION,
+    );
+    let oversized = format!(
+        "{{\"req\":\"status\",\"pad\":\"{}\"}}",
+        "x".repeat(MAX_LINE_BYTES)
+    );
+    err_code(&mut lb, &oversized, codes::OVERSIZED_PAYLOAD);
+    // The session survives all of it.
+    ok(&mut lb, "{\"req\":\"status\"}");
+}
+
+#[test]
+fn lifecycle_violations_are_typed_errors() {
+    let mut lb = loopback(cluster(), "edf");
+    // Unknown scheduler is rejected at session construction.
+    assert!(Session::new(SessionConfig {
+        cluster: cluster(),
+        scheduler: "quantum-annealer".to_string(),
+        max_slots: 100,
+        trace_capacity: 64,
+        snapshot_path: None,
+    })
+    .is_err());
+
+    err_code(&mut lb, "{\"req\":\"outcome\"}", codes::NOT_DRAINED);
+    err_code(
+        &mut lb,
+        "{\"req\":\"cancel\",\"sub\":7}",
+        codes::UNKNOWN_SUBMISSION,
+    );
+    err_code(
+        &mut lb,
+        "{\"req\":\"query\",\"sub\":7}",
+        codes::UNKNOWN_SUBMISSION,
+    );
+    err_code(&mut lb, "{\"req\":\"snapshot\"}", codes::SNAPSHOT_IO);
+
+    ok(&mut lb, &adhoc_line(&adhoc(0)));
+    // The job finishes at slot 1 and the session parks there (the batch
+    // run would have ended); ticking further is a no-op, not an error.
+    let tick = ok(&mut lb, "{\"req\":\"tick\",\"to\":3}");
+    assert!(
+        tick.contains("\"now\":1"),
+        "session should park at 1: {tick}"
+    );
+    // Submitting into already-simulated virtual time.
+    err_code(&mut lb, &adhoc_line(&adhoc(0)), codes::LATE_ARRIVAL);
+    // Cancelling a submission that already materialized.
+    err_code(
+        &mut lb,
+        "{\"req\":\"cancel\",\"sub\":0}",
+        codes::CANCEL_TOO_LATE,
+    );
+
+    // Cancel a pending future submission — then cancelling again is too
+    // late (idempotence is not silent success).
+    ok(&mut lb, &adhoc_line(&adhoc(50)));
+    ok(&mut lb, "{\"req\":\"cancel\",\"sub\":1}");
+    err_code(
+        &mut lb,
+        "{\"req\":\"cancel\",\"sub\":1}",
+        codes::CANCEL_TOO_LATE,
+    );
+
+    ok(&mut lb, "{\"req\":\"drain\"}");
+    // Drained sessions reject all mutation but keep serving reads.
+    err_code(&mut lb, &adhoc_line(&adhoc(99)), codes::ALREADY_DRAINED);
+    err_code(
+        &mut lb,
+        "{\"req\":\"tick\",\"to\":99}",
+        codes::ALREADY_DRAINED,
+    );
+    err_code(
+        &mut lb,
+        "{\"req\":\"cancel\",\"sub\":0}",
+        codes::ALREADY_DRAINED,
+    );
+    ok(&mut lb, "{\"req\":\"status\"}");
+    ok(&mut lb, "{\"req\":\"trace\",\"limit\":4}");
+    ok(&mut lb, "{\"req\":\"outcome\"}");
+    // Drain is idempotent.
+    ok(&mut lb, "{\"req\":\"drain\"}");
+}
+
+#[test]
+fn horizon_exhaustion_is_a_typed_error() {
+    let mut lb = daemon_util::loopback_with_snapshot(cluster(), "edf", None);
+    // A session with a tiny horizon cannot tick past it.
+    let mut tiny = flowtime_daemon::Loopback::new(
+        Session::new(SessionConfig {
+            cluster: cluster(),
+            scheduler: "edf".to_string(),
+            max_slots: 5,
+            trace_capacity: 64,
+            snapshot_path: None,
+        })
+        .expect("valid config"),
+    );
+    // A job needing 10 slots cannot finish inside a 5-slot horizon.
+    let long_job =
+        AdhocSubmission::new(JobSpec::new("long", 1, 10, ResourceVec::new([1, 1024])), 0);
+    ok(&mut tiny, &adhoc_line(&long_job));
+    // Park-aware: ticking an *empty* session is fine (it parks at 0).
+    ok(&mut lb, "{\"req\":\"tick\",\"to\":1000}");
+    err_code(
+        &mut tiny,
+        "{\"req\":\"tick\",\"to\":50}",
+        codes::HORIZON_EXHAUSTED,
+    );
+}
+
+/// The committed protocol transcript: a scripted session covering
+/// submission, cancellation, queries, trace tails, drain, and the
+/// embedded outcome, pinned request-by-request. Any change to the wire
+/// format, the error catalogue, or the engine's serialized outcome shows
+/// up as a diff here. Regenerate after an intentional change with
+/// `GOLDEN_REGEN=1 cargo test --test daemon_protocol golden` (see
+/// EXPERIMENTS.md).
+#[test]
+fn golden_session_transcript() {
+    use flowtime_dag::{WorkflowBuilder, WorkflowId};
+    use flowtime_sim::WorkflowSubmission;
+
+    let mut b = WorkflowBuilder::new(WorkflowId::new(1), "golden");
+    let a = b.add_job(JobSpec::new("a", 4, 2, ResourceVec::new([1, 1024])));
+    let c = b.add_job(JobSpec::new("c", 2, 2, ResourceVec::new([1, 1024])));
+    b.add_dep(a, c).expect("two nodes");
+    let wf = WorkflowSubmission::new(b.window(0, 24).build().expect("valid window"));
+
+    let script = vec![
+        format!(
+            "{{\"req\":\"submit_workflow\",\"submission\":{}}}",
+            serde_json::to_string(&wf).expect("workflow serializes")
+        ),
+        adhoc_line(&adhoc(0)),
+        adhoc_line(&adhoc(6)),
+        adhoc_line(&adhoc(9)),
+        "{\"req\":\"cancel\",\"sub\":3}".to_string(),
+        "{\"req\":\"cancel\",\"sub\":3}".to_string(),
+        "{\"req\":\"query\",\"sub\":0}".to_string(),
+        "{\"req\":\"tick\",\"to\":4}".to_string(),
+        "{\"req\":\"query\",\"sub\":0}".to_string(),
+        "{\"req\":\"status\"}".to_string(),
+        "{\"req\":\"trace\",\"limit\":5}".to_string(),
+        "{\"req\":\"outcome\"}".to_string(),
+        "{\"req\":\"drain\"}".to_string(),
+        "{\"req\":\"outcome\"}".to_string(),
+        "{\"req\":\"status\"}".to_string(),
+    ];
+
+    let mut lb = loopback(cluster(), "flowtime");
+    let mut transcript = String::new();
+    for line in &script {
+        let response = lb.request_line(line);
+        transcript.push_str(&format!(
+            "{{\"send\":{},\"recv\":{}}}\n",
+            serde_json::to_string(line).expect("request escapes"),
+            serde_json::to_string(&response).expect("response escapes")
+        ));
+    }
+
+    let path =
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden/daemon_session.jsonl");
+    if std::env::var("GOLDEN_REGEN").is_ok() {
+        std::fs::write(&path, &transcript).expect("write golden");
+        return;
+    }
+    let golden = std::fs::read_to_string(&path)
+        .expect("golden file missing — regenerate with GOLDEN_REGEN=1");
+    assert_eq!(
+        transcript, golden,
+        "daemon protocol transcript diverged from tests/golden/daemon_session.jsonl; \
+         if the change is intentional, regenerate with GOLDEN_REGEN=1"
+    );
+}
+
+/// Spawns a real TCP daemon; returns the address and its thread handle.
+fn spawn_tcp(scheduler: &str) -> (std::net::SocketAddr, std::thread::JoinHandle<(bool, usize)>) {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind ephemeral port");
+    let addr = listener.local_addr().expect("bound address");
+    let scheduler = scheduler.to_string();
+    // Schedulers are not `Send`, so the session is built inside the
+    // server thread; the thread reports (drained, log length) facts back.
+    let handle = std::thread::spawn(move || {
+        let session = Session::new(SessionConfig {
+            cluster: cluster(),
+            scheduler,
+            max_slots: 1_000_000,
+            trace_capacity: 1 << 12,
+            snapshot_path: None,
+        })
+        .expect("valid config");
+        let session = serve(listener, session, None).expect("server runs");
+        (session.drained(), session.log().len())
+    });
+    (addr, handle)
+}
+
+fn request(stream: &mut TcpStream, line: &str) -> String {
+    stream.write_all(line.as_bytes()).expect("write");
+    stream.write_all(b"\n").expect("write newline");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone stream"));
+    let mut response = String::new();
+    reader.read_line(&mut response).expect("read response");
+    response.trim_end().to_string()
+}
+
+#[test]
+fn tcp_survives_mid_request_disconnects_and_oversized_streams() {
+    let (addr, handle) = spawn_tcp("fifo");
+
+    // Client 1 sends half a request and vanishes.
+    {
+        let mut s = TcpStream::connect(addr).expect("connect");
+        s.write_all(b"{\"req\":\"submit_adhoc\",\"submi")
+            .expect("partial write");
+        // Dropped here: mid-request disconnect.
+    }
+
+    // Client 2 streams an unbounded line: the daemon cuts it off with a
+    // typed error at the cap instead of buffering forever.
+    {
+        let mut s = TcpStream::connect(addr).expect("connect");
+        let chunk = [b'x'; 8192];
+        let mut sent = 0usize;
+        let response = loop {
+            match s.write_all(&chunk) {
+                Ok(()) => {
+                    sent += chunk.len();
+                    assert!(sent < 4 * MAX_LINE_BYTES, "daemon never enforced the cap");
+                }
+                // The daemon closed on us — read whatever it said first.
+                Err(_) => break None,
+            }
+            if sent > MAX_LINE_BYTES + 8192 {
+                break Some(());
+            }
+        };
+        let mut reader = BufReader::new(s.try_clone().expect("clone"));
+        let mut line = String::new();
+        if reader.read_line(&mut line).is_ok() && !line.is_empty() {
+            assert!(
+                line.contains(codes::OVERSIZED_PAYLOAD),
+                "expected oversized-payload, got: {line}"
+            );
+        }
+        let _ = response;
+    }
+
+    // Client 3 still gets clean service after both abuses.
+    {
+        let mut s = TcpStream::connect(addr).expect("connect");
+        let r = request(&mut s, &adhoc_line(&adhoc(0)));
+        assert!(r.starts_with("{\"ok\":"), "submit over TCP failed: {r}");
+        let r = request(&mut s, "{\"req\":\"drain\"}");
+        assert!(r.starts_with("{\"ok\":"), "drain over TCP failed: {r}");
+        let r = request(&mut s, "{\"req\":\"outcome\"}");
+        assert!(
+            r.starts_with("{\"ok\":{\"outcome\":"),
+            "outcome over TCP failed: {r}"
+        );
+        let r = request(&mut s, "{\"req\":\"shutdown\"}");
+        assert!(r.starts_with("{\"ok\":"), "shutdown failed: {r}");
+    }
+
+    // Shutdown returns the session from the server loop, drained.
+    let (drained, _) = handle.join().expect("server thread");
+    assert!(drained);
+}
+
+#[test]
+fn tcp_interleaves_multiple_clients_in_arrival_order() {
+    let (addr, handle) = spawn_tcp("edf");
+    let mut a = TcpStream::connect(addr).expect("connect a");
+    let mut b = TcpStream::connect(addr).expect("connect b");
+    let ra = request(&mut a, &adhoc_line(&adhoc(0)));
+    let rb = request(&mut b, &adhoc_line(&adhoc(2)));
+    // Sequence numbers are global across connections.
+    assert!(ra.contains("\"sub\":0"), "{ra}");
+    assert!(rb.contains("\"sub\":1"), "{rb}");
+    let r = request(&mut a, "{\"req\":\"drain\"}");
+    assert!(r.starts_with("{\"ok\":"), "{r}");
+    let r = request(&mut b, "{\"req\":\"shutdown\"}");
+    assert!(r.starts_with("{\"ok\":"), "{r}");
+    let (_, log_len) = handle.join().expect("server thread");
+    assert_eq!(log_len, 2);
+}

@@ -1,0 +1,162 @@
+//! Snapshot/restore: a session killed mid-run and restored from its
+//! snapshot, then fed the same remaining requests, drains to a
+//! `SimOutcome` byte-identical to the uninterrupted session — and every
+//! form of snapshot corruption is a typed error, never a silently-wrong
+//! session (mutation-negative coverage).
+
+mod daemon_util;
+
+use daemon_util::{adhoc_line, drain, loopback_with_snapshot, ok, trace_bytes, workflow_line};
+use flowtime_bench::experiments::{faulted_instance, testbed_cluster, WorkflowExperiment};
+use flowtime_daemon::{snapshot, Loopback, Session, SnapshotError};
+use flowtime_sim::FaultConfig;
+use std::fs;
+
+fn scripted_requests() -> (flowtime_sim::ClusterConfig, Vec<String>) {
+    let cluster = testbed_cluster();
+    let (workload, faulted_cluster) = faulted_instance(
+        &WorkflowExperiment {
+            workflows: 2,
+            jobs_per_workflow: 5,
+            adhoc_horizon: 50,
+            seed: 42,
+            ..Default::default()
+        },
+        &cluster,
+        FaultConfig::mixed(42),
+    );
+    let mut lines = Vec::new();
+    for sub in &workload.workflows {
+        lines.push(workflow_line(sub));
+    }
+    let mut adhoc = workload.adhoc.clone();
+    adhoc.sort_by_key(|s| s.arrival_slot);
+    // Interleave ticks so the kill point lands genuinely mid-run, and a
+    // cancellation so the log's cancel path crosses the snapshot too.
+    for (i, sub) in adhoc.iter().enumerate() {
+        if i == adhoc.len() / 2 {
+            lines.push("{\"req\":\"tick\",\"to\":12}".to_string());
+        }
+        lines.push(adhoc_line(sub));
+        if i == adhoc.len() / 2 + 2 {
+            // Cancel the submission made two requests ago if still pending
+            // (workflows consumed the first seqs).
+            let seq = workload.workflows.len() + i - 1;
+            lines.push(format!("{{\"req\":\"cancel\",\"sub\":{seq}}}"));
+        }
+    }
+    (faulted_cluster, lines)
+}
+
+#[test]
+fn restore_from_mid_run_snapshot_is_byte_identical() {
+    let dir = std::env::temp_dir().join("flowtime-daemon-snap-test");
+    fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("mid_run.snap").to_string_lossy().into_owned();
+    let (cluster, lines) = scripted_requests();
+    let kill_at = lines.len() * 2 / 3;
+
+    // Uninterrupted session: all requests, then drain.
+    let mut uninterrupted = loopback_with_snapshot(cluster.clone(), "flowtime", Some(path.clone()));
+    for line in &lines {
+        let r = uninterrupted.request_line(line);
+        assert!(
+            !r.contains("engine-error"),
+            "unexpected engine error for {line}: {r}"
+        );
+    }
+    let (expect_bytes, _, expect_trace) = drain(uninterrupted);
+
+    // Killed session: first two-thirds of the requests, snapshot, drop.
+    let mut killed = loopback_with_snapshot(cluster.clone(), "flowtime", Some(path.clone()));
+    for line in &lines[..kill_at] {
+        killed.request_line(line);
+    }
+    ok(&mut killed, "{\"req\":\"snapshot\"}");
+    drop(killed); // The "crash": no drain, session state gone.
+
+    // Restore and feed the remaining requests.
+    let body = snapshot::load(&path).expect("snapshot loads");
+    let restored = Session::restore(body).expect("snapshot restores");
+    let mut resumed = Loopback::new(restored);
+    for line in &lines[kill_at..] {
+        resumed.request_line(line);
+    }
+    let (got_bytes, _, got_trace) = drain(resumed);
+
+    assert_eq!(
+        got_bytes, expect_bytes,
+        "restored session must drain to the uninterrupted outcome bytes"
+    );
+    assert_eq!(
+        trace_bytes(&got_trace),
+        trace_bytes(&expect_trace),
+        "restored session must reproduce the decision trace"
+    );
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn corrupted_snapshots_are_typed_errors() {
+    let dir = std::env::temp_dir().join("flowtime-daemon-snap-corrupt");
+    fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("s.snap").to_string_lossy().into_owned();
+    let (cluster, lines) = scripted_requests();
+
+    let mut lb = loopback_with_snapshot(cluster, "edf", Some(path.clone()));
+    for line in &lines[..4] {
+        lb.request_line(line);
+    }
+    ok(&mut lb, "{\"req\":\"snapshot\"}");
+    let good = fs::read_to_string(&path).unwrap();
+    let body_line = good.lines().nth(1).unwrap().to_string();
+
+    // Bit-flipped body: checksum mismatch.
+    fs::write(&path, good.replace("\"next_seq\":", "\"next_seq\": ")).unwrap();
+    assert!(matches!(
+        snapshot::load(&path),
+        Err(SnapshotError::Checksum { .. })
+    ));
+
+    // Mangled header: format error.
+    fs::write(
+        &path,
+        format!("flowtime-snapshot-v2 fnv1a=0\n{body_line}\n"),
+    )
+    .unwrap();
+    assert!(matches!(
+        snapshot::load(&path),
+        Err(SnapshotError::Format(_))
+    ));
+
+    // Truncated file: format error.
+    fs::write(&path, good.lines().next().unwrap()).unwrap();
+    assert!(matches!(
+        snapshot::load(&path),
+        Err(SnapshotError::Format(_))
+    ));
+
+    // Valid frame, nonsense body: parse error.
+    let nonsense = "{\"not\":\"a snapshot\"}";
+    fs::write(
+        &path,
+        format!(
+            "flowtime-snapshot-v1 fnv1a={:016x}\n{nonsense}\n",
+            snapshot::fnv1a(nonsense.as_bytes())
+        ),
+    )
+    .unwrap();
+    assert!(matches!(
+        snapshot::load(&path),
+        Err(SnapshotError::Parse(_))
+    ));
+
+    // Valid frame and body, but an unreachable state (a `now` the log
+    // cannot replay to): restore rejects it.
+    fs::write(&path, &good).unwrap();
+    let mut body = snapshot::load(&path).expect("good snapshot loads");
+    body.now = 1_000_000_000;
+    assert!(Session::restore(body).is_err());
+
+    let _ = fs::remove_dir_all(&dir);
+}

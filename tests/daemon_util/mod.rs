@@ -1,0 +1,94 @@
+//! Shared helpers for the daemon integration suites: building loopback
+//! sessions, rendering protocol request lines, and extracting the typed
+//! outcome/trace pair from a drained session.
+
+// Each suite compiles this module independently and uses a different
+// subset of the helpers.
+#![allow(dead_code)]
+
+use flowtime_daemon::{Loopback, Session, SessionConfig};
+use flowtime_sim::{AdhocSubmission, ClusterConfig, DecisionTrace, SimOutcome, WorkflowSubmission};
+
+/// Trace ring size used by both sides of every differential comparison.
+pub const TRACE_CAPACITY: u64 = 1 << 18;
+
+/// A loopback session over the given cluster and scheduler.
+pub fn loopback(cluster: ClusterConfig, scheduler: &str) -> Loopback {
+    loopback_with_snapshot(cluster, scheduler, None)
+}
+
+/// A loopback session with an optional snapshot path.
+pub fn loopback_with_snapshot(
+    cluster: ClusterConfig,
+    scheduler: &str,
+    snapshot_path: Option<String>,
+) -> Loopback {
+    Loopback::new(
+        Session::new(SessionConfig {
+            cluster,
+            scheduler: scheduler.to_string(),
+            max_slots: 1_000_000,
+            trace_capacity: TRACE_CAPACITY,
+            snapshot_path,
+        })
+        .expect("valid session config"),
+    )
+}
+
+/// Renders a `submit_workflow` request line.
+pub fn workflow_line(sub: &WorkflowSubmission) -> String {
+    format!(
+        "{{\"req\":\"submit_workflow\",\"submission\":{}}}",
+        serde_json::to_string(sub).expect("workflow serializes")
+    )
+}
+
+/// Renders a `submit_adhoc` request line.
+pub fn adhoc_line(sub: &AdhocSubmission) -> String {
+    format!(
+        "{{\"req\":\"submit_adhoc\",\"submission\":{}}}",
+        serde_json::to_string(sub).expect("adhoc serializes")
+    )
+}
+
+/// Sends a line and asserts the daemon replied `{"ok": ...}`.
+pub fn ok(lb: &mut Loopback, line: &str) -> String {
+    let response = lb.request_line(line);
+    assert!(
+        response.starts_with("{\"ok\":"),
+        "expected ok for `{line}`, got: {response}"
+    );
+    response
+}
+
+/// Sends a line and asserts the daemon replied with the given typed
+/// error code.
+pub fn err_code(lb: &mut Loopback, line: &str, code: &str) {
+    let response = lb.request_line(line);
+    let value = serde_json::parse(&response).expect("response is JSON");
+    let got = value
+        .get("err")
+        .and_then(|e| e.get("code"))
+        .and_then(serde_json::Value::as_str)
+        .unwrap_or_else(|| panic!("expected error for `{line}`, got: {response}"));
+    assert_eq!(got, code, "wrong error code for `{line}`: {response}");
+}
+
+/// Drains the session and returns `(outcome bytes, typed outcome, trace)`.
+pub fn drain(mut lb: Loopback) -> (String, SimOutcome, DecisionTrace) {
+    ok(&mut lb, "{\"req\":\"drain\"}");
+    let session = lb.into_session();
+    let bytes = session.outcome_json().expect("drained").to_string();
+    let outcome: SimOutcome =
+        serde_json::from_value(&serde_json::parse(&bytes).expect("outcome parses"))
+            .expect("outcome deserializes");
+    let trace = session.final_trace().expect("drained").clone();
+    (bytes, outcome, trace)
+}
+
+/// Serializes a trace to its JSONL byte representation.
+pub fn trace_bytes(trace: &DecisionTrace) -> String {
+    let mut buf = Vec::new();
+    trace.write_jsonl(&mut buf).expect("trace serializes");
+    String::from_utf8(buf).expect("trace is utf-8")
+}
