@@ -1,0 +1,49 @@
+//! Review repro: cancel after idle gap-burning vs snapshot restore and
+//! batch parity.
+
+mod daemon_util;
+
+use daemon_util::{adhoc_line, loopback_with_snapshot};
+use flowtime_daemon::{snapshot, Session};
+use flowtime_dag::{JobSpec, ResourceVec};
+use flowtime_sim::{AdhocSubmission, ClusterConfig};
+
+fn cluster() -> ClusterConfig {
+    ClusterConfig::new(ResourceVec::new([8, 65536]), 10.0)
+}
+
+#[test]
+fn restore_after_cancel_of_gap_burned_submission() {
+    let dir = std::env::temp_dir().join("flowtime-review-repro");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("repro.snap").to_string_lossy().into_owned();
+    let mut lb = loopback_with_snapshot(cluster(), "fifo", Some(path.clone()));
+    // Submit an ad-hoc job far in the future (arrival slot 100).
+    let sub = AdhocSubmission {
+        spec: JobSpec::new("a", 1, 1, ResourceVec::new([1, 1024])),
+        arrival_slot: 100,
+    };
+    let r = lb.request_line(&adhoc_line(&sub));
+    println!("submit: {r}");
+    assert!(r.contains("ok"), "{r}");
+    // Tick to slot 10: burns idle slots toward the pending arrival.
+    let r = lb.request_line("{\"req\":\"tick\",\"to\":10}");
+    println!("tick: {r}");
+    assert!(r.contains("\"now\":10"), "{r}");
+    // Cancel the still-pending submission.
+    let r = lb.request_line("{\"req\":\"cancel\",\"sub\":0}");
+    println!("cancel: {r}");
+    assert!(r.contains("ok"), "{r}");
+    // Snapshot the session (now = 10, log = [adhoc, cancel]).
+    let r = lb.request_line("{\"req\":\"snapshot\"}");
+    println!("snapshot: {r}");
+    assert!(r.contains("ok"), "{r}");
+    // Restore must succeed: this is a reachable state.
+    let body = snapshot::load(&path).expect("snapshot loads");
+    let restored = Session::restore(body);
+    match &restored {
+        Ok(s) => println!("restored, now={}", s.now()),
+        Err(e) => println!("RESTORE FAILED: {e}"),
+    }
+    assert!(restored.is_ok(), "restore failed: {:?}", restored.err().map(|e| e.to_string()));
+}
