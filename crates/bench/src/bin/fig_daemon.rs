@@ -78,6 +78,8 @@ fn drive_session(thread_idx: u64, n_adhoc: u64, scheduler: &str) -> ThreadReport
         max_slots: 1_000_000,
         trace_capacity: 1 << 17,
         snapshot_path: None,
+        pods: 0,
+        placer: None,
     })
     .expect("valid session config");
     let mut lb = Loopback::new(session);

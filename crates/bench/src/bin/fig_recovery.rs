@@ -53,6 +53,7 @@ fn main() {
         schedulers: Algo::FIG4.to_vec(),
         fault_seeds: (0..fault_seeds).collect(),
         audit: true,
+        shard: None,
     };
     println!(
         "fig_recovery: deadline misses vs mid-run task-failure rate, \

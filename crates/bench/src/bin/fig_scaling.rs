@@ -48,6 +48,7 @@ struct ScalingReport {
     horizon_rule: &'static str,
     reps: usize,
     warm_steps: u64,
+    host: flowtime_bench::report::HostMeta,
     cells: Vec<Cell>,
 }
 
@@ -250,6 +251,7 @@ fn main() {
             horizon_rule: "max(24, jobs/4)",
             reps,
             warm_steps: WARM_STEPS,
+            host: flowtime_bench::report::host_meta(),
             cells,
         },
     );

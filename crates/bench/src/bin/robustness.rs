@@ -102,6 +102,8 @@ fn main() {
         &[SweepBenchPoint {
             sweep: "robustness_faults".into(),
             threads: sweep.threads,
+            host_parallelism: report::host_parallelism(),
+            pods: 0,
             cells: sweep.cells,
             wall_ms: sweep.wall_ms,
         }],

@@ -355,6 +355,84 @@ pub fn run_outcome_traced_with(
     (outcome, handle.take())
 }
 
+/// Runs `algo` sharded across `shard.pods` pods ([`flowtime_sim::shard`]),
+/// with per-pod engines executed on up to `threads` workers. Each pod gets
+/// its own scheduler instance built against its capacity slice — and
+/// therefore its own plan cache, so warm starts survive sharding without
+/// cross-pod interference.
+///
+/// # Panics
+///
+/// Panics if any pod's engine rejects the scheduler or exhausts the
+/// horizon — same contract as [`run_outcome`], applied per pod.
+pub fn run_sharded_outcome_with(
+    algo: Algo,
+    cluster: &ClusterConfig,
+    workload: &SimWorkload,
+    recovery: Option<&RecoverySetup>,
+    shard: &flowtime_sim::ShardSpec,
+    threads: usize,
+) -> flowtime_sim::ShardedOutcome {
+    let outcome = flowtime_sim::run_sharded(
+        cluster,
+        workload,
+        shard,
+        1_000_000,
+        threads,
+        recovery,
+        |_pod, pod_cluster| algo.make(pod_cluster),
+    )
+    .unwrap_or_else(|e| panic!("{} (sharded) failed: {e}", algo.name()));
+    assert_sharded_complete(algo, &outcome);
+    outcome
+}
+
+/// [`run_sharded_outcome_with`] with one decision trace recorded per pod
+/// (ring bound [`flowtime_sim::DEFAULT_TRACE_CAPACITY`]), for
+/// certification via [`flowtime_sim::certify_sharded`]. The outcome is
+/// bit-identical to the untraced run.
+///
+/// # Panics
+///
+/// Same contract as [`run_sharded_outcome_with`].
+pub fn run_sharded_outcome_traced_with(
+    algo: Algo,
+    cluster: &ClusterConfig,
+    workload: &SimWorkload,
+    recovery: Option<&RecoverySetup>,
+    shard: &flowtime_sim::ShardSpec,
+    threads: usize,
+) -> (
+    flowtime_sim::ShardedOutcome,
+    Vec<flowtime_sim::DecisionTrace>,
+) {
+    let (outcome, traces) = flowtime_sim::run_sharded_traced(
+        cluster,
+        workload,
+        shard,
+        1_000_000,
+        threads,
+        recovery,
+        flowtime_sim::DEFAULT_TRACE_CAPACITY,
+        |_pod, pod_cluster| algo.make(pod_cluster),
+    )
+    .unwrap_or_else(|e| panic!("{} (sharded) failed: {e}", algo.name()));
+    assert_sharded_complete(algo, &outcome);
+    (outcome, traces)
+}
+
+fn assert_sharded_complete(algo: Algo, outcome: &flowtime_sim::ShardedOutcome) {
+    for pod in &outcome.pods {
+        assert!(
+            pod.is_complete(),
+            "{} pod {}: horizon exhausted with {} jobs in flight",
+            algo.name(),
+            pod.pod,
+            pod.in_flight.len()
+        );
+    }
+}
+
 /// One row of the Fig. 4/5 comparison tables.
 #[derive(Debug, Clone, Serialize)]
 pub struct SummaryRow {

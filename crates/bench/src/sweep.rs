@@ -19,7 +19,8 @@ use crate::experiments::{faulted_instance, Algo, WorkflowExperiment};
 use crate::report;
 use flowtime_sim::{
     run_cells, ClusterConfig, EngineTelemetry, FaultConfig, RecoveryPolicy, RecoverySetup,
-    RecoveryStats, RuntimeFaultConfig, ShedPolicy, SimOutcome, SolverTelemetry,
+    RecoveryStats, RuntimeFaultConfig, ShardSpec, ShardedOutcome, ShedPolicy, SimOutcome,
+    SolverTelemetry,
 };
 use serde::Serialize;
 use std::time::Instant;
@@ -186,6 +187,14 @@ pub struct SweepSpec {
     /// rejected cell aborts the sweep. The report's bytes are unchanged by
     /// this flag — auditing only verifies.
     pub audit: bool,
+    /// Pod-level sharding ([`flowtime_sim::shard`]) applied to every cell.
+    /// `None` runs the unsharded engine; `Some` runs each cell as
+    /// `shard.pods` per-pod engines (sequentially inside the cell — the
+    /// sweep grid already saturates the workers) and aggregates per-pod
+    /// outcomes into the cell row. With auditing on, sharded cells are
+    /// certified by [`flowtime_sim::certify_sharded`], including the
+    /// cross-pod conservation checks.
+    pub shard: Option<ShardSpec>,
 }
 
 /// One cell of the expanded grid.
@@ -231,6 +240,10 @@ pub struct SweepCellRow {
     pub overrun_slots: u64,
     /// Slots simulated.
     pub slots_elapsed: u64,
+    /// Number of pods the cell ran sharded across; omitted — keeping
+    /// unsharded report bytes — for unsharded cells.
+    #[serde(skip_serializing_if = "is_zero_usize")]
+    pub pods: usize,
     /// Mid-run failure/recovery counters of the cell (task failures, crash
     /// kills, retries, wasted work, sheds); omitted — keeping pre-recovery
     /// report bytes — when nothing fired.
@@ -305,6 +318,10 @@ pub struct SweepReport {
     pub schedulers: Vec<String>,
     /// The fault-seed axis.
     pub fault_seeds: Vec<u64>,
+    /// The shard configuration every cell ran under; omitted — keeping
+    /// pre-shard report bytes — for unsharded sweeps.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub shard: Option<ShardSpec>,
     /// Per-cell rows in canonical (scenario, scheduler, seed) order.
     pub cells: Vec<SweepCellRow>,
     /// Per-`(scenario, scheduler)` aggregates, same order as the axes.
@@ -333,10 +350,21 @@ pub struct SweepBenchPoint {
     pub sweep: String,
     /// Worker threads used.
     pub threads: usize,
+    /// Logical cores the host offers (`available_parallelism()`), so a
+    /// flat scaling curve recorded on a 1-core box is self-explaining.
+    pub host_parallelism: usize,
+    /// Pods each cell was sharded across (0 = unsharded).
+    #[serde(skip_serializing_if = "is_zero_usize")]
+    pub pods: usize,
     /// Cells executed.
     pub cells: usize,
     /// Wall-clock milliseconds for the whole sweep.
     pub wall_ms: f64,
+}
+
+/// True for zero (skip the field in serialization).
+fn is_zero_usize(v: &usize) -> bool {
+    *v == 0
 }
 
 impl SweepSpec {
@@ -353,6 +381,7 @@ impl SweepSpec {
             schedulers: Algo::FIG4.to_vec(),
             fault_seeds: (0..fault_seeds as u64).collect(),
             audit: false,
+            shard: None,
         }
     }
 
@@ -388,6 +417,48 @@ impl SweepSpec {
         let (workload, cluster) =
             faulted_instance(&exp, &self.cluster, scenario.faults.config(cell.fault_seed));
         let recovery = scenario.recovery.as_ref().map(|p| p.setup(cell.fault_seed));
+        if let Some(shard) = &self.shard {
+            // Pods run sequentially inside the cell (threads = 1): the
+            // sweep grid is already spread across the workers, and nested
+            // parallelism would oversubscribe them.
+            let outcome = if self.audit {
+                let (outcome, traces) = crate::experiments::run_sharded_outcome_traced_with(
+                    cell.algo,
+                    &cluster,
+                    &workload,
+                    recovery.as_ref(),
+                    shard,
+                    1,
+                );
+                let report = flowtime_sim::certify_sharded(
+                    &cluster,
+                    &workload,
+                    shard,
+                    &outcome,
+                    &traces,
+                    recovery.as_ref(),
+                );
+                assert!(
+                    report.is_certified(),
+                    "shard audit rejected {} / {} / seed {}: {}",
+                    scenario.name,
+                    cell.algo.name(),
+                    cell.fault_seed,
+                    report.summary()
+                );
+                outcome
+            } else {
+                crate::experiments::run_sharded_outcome_with(
+                    cell.algo,
+                    &cluster,
+                    &workload,
+                    recovery.as_ref(),
+                    shard,
+                    1,
+                )
+            };
+            return sharded_cell_outcome(scenario, cell, &outcome);
+        }
         let outcome = if self.audit {
             let (outcome, trace) = crate::experiments::run_outcome_traced_with(
                 cell.algo,
@@ -450,6 +521,7 @@ impl SweepSpec {
             scenarios: self.scenarios.clone(),
             schedulers: self.schedulers.iter().map(|a| a.name().into()).collect(),
             fault_seeds: self.fault_seeds.clone(),
+            shard: self.shard.clone(),
             cells: outcomes.iter().map(|o| o.row.clone()).collect(),
             rollups,
         };
@@ -487,6 +559,8 @@ impl SweepSpec {
             points.push(SweepBenchPoint {
                 sweep: name.to_string(),
                 threads: run.threads,
+                host_parallelism: report::host_parallelism(),
+                pods: self.shard.as_ref().map_or(0, |s| s.pods),
                 cells: run.cells,
                 wall_ms: run.wall_ms,
             });
@@ -542,12 +616,90 @@ fn cell_outcome(scenario: &SweepScenario, cell: &SweepCell, outcome: &SimOutcome
             adhoc_turnaround_s: metrics.avg_adhoc_turnaround_seconds().unwrap_or(0.0),
             overrun_slots,
             slots_elapsed: outcome.slots_elapsed,
+            pods: 0,
             recovery: outcome.recovery.clone(),
         },
         adhoc_turnaround_slots,
         top_culprit,
         solver: outcome.solver_telemetry.clone(),
         engine: outcome.engine_telemetry.clone(),
+    }
+}
+
+/// Aggregates one sharded cell's per-pod outcomes into a single row:
+/// counters sum, makespan is the slowest pod's, ad-hoc turnarounds pool
+/// across pods, and telemetry accumulates exactly as [`rollup`] does
+/// across cells.
+fn sharded_cell_outcome(
+    scenario: &SweepScenario,
+    cell: &SweepCell,
+    outcome: &ShardedOutcome,
+) -> CellOutcome {
+    let mut adhoc_turnaround_slots: Vec<u64> = Vec::new();
+    let mut overrun_slots = 0u64;
+    let mut top_culprit: Option<(u64, String)> = None;
+    let mut solver: Option<SolverTelemetry> = None;
+    let mut engine = EngineTelemetry::default();
+    let mut recovery = RecoveryStats::default();
+    let mut slot_seconds = 0.0;
+    for pod in &outcome.pods {
+        slot_seconds = pod.metrics.slot_seconds;
+        adhoc_turnaround_slots.extend(pod.metrics.adhoc_jobs().map(|j| j.turnaround_slots()));
+        overrun_slots += pod
+            .deadline_attribution
+            .iter()
+            .map(|a| a.total_overrun_slots)
+            .sum::<u64>();
+        // Strict `>` keeps the first maximum in (pod, workflow, node)
+        // order, so the pick is deterministic.
+        for a in &pod.deadline_attribution {
+            for c in &a.culprits {
+                if top_culprit
+                    .as_ref()
+                    .is_none_or(|(best, _)| c.overrun_slots > *best)
+                {
+                    top_culprit = Some((c.overrun_slots, format!("{}:n{}", a.workflow, c.node)));
+                }
+            }
+        }
+        if let Some(t) = &pod.solver_telemetry {
+            solver
+                .get_or_insert_with(SolverTelemetry::default)
+                .accumulate(t);
+        }
+        engine.accumulate(&pod.engine_telemetry);
+        recovery.accumulate(&pod.recovery);
+    }
+    adhoc_turnaround_slots.sort_unstable();
+    let adhoc_turnaround_s = if adhoc_turnaround_slots.is_empty() {
+        0.0
+    } else {
+        let sum: u64 = adhoc_turnaround_slots.iter().sum();
+        sum as f64 / adhoc_turnaround_slots.len() as f64 * slot_seconds
+    };
+    CellOutcome {
+        row: SweepCellRow {
+            scenario: scenario.name.clone(),
+            algo: cell.algo.name().to_string(),
+            fault_seed: cell.fault_seed,
+            completed_jobs: outcome.completed_jobs(),
+            deadline_jobs: outcome
+                .pods
+                .iter()
+                .map(|p| p.metrics.deadline_jobs().count())
+                .sum(),
+            job_misses: outcome.job_deadline_misses(),
+            workflow_misses: outcome.workflow_deadline_misses(),
+            adhoc_turnaround_s,
+            overrun_slots,
+            slots_elapsed: outcome.slots_elapsed(),
+            pods: outcome.pods.len(),
+            recovery,
+        },
+        adhoc_turnaround_slots,
+        top_culprit,
+        solver,
+        engine,
     }
 }
 
@@ -626,6 +778,7 @@ mod tests {
             schedulers: vec![Algo::Edf, Algo::Fifo],
             fault_seeds: vec![0, 1],
             audit: false,
+            shard: None,
         }
     }
 
@@ -718,6 +871,53 @@ mod tests {
         let spec = tiny_spec();
         let bytes = serde_json::to_string_pretty(&spec.run(1).report).unwrap();
         assert!(!bytes.contains("\"recovery\""), "inert counters leaked");
+    }
+
+    #[test]
+    fn sharded_sweep_audits_and_stays_thread_deterministic() {
+        let spec = SweepSpec {
+            audit: true,
+            shard: Some(ShardSpec::new(2)),
+            ..tiny_spec()
+        };
+        let run = spec.run(1);
+        for row in &run.report.cells {
+            assert_eq!(row.pods, 2);
+        }
+        assert_eq!(run.report.shard.as_ref().map(|s| s.pods), Some(2));
+        let sequential = serde_json::to_string_pretty(&run.report).unwrap();
+        let parallel = serde_json::to_string_pretty(&spec.run(4).report).unwrap();
+        assert_eq!(sequential, parallel);
+    }
+
+    #[test]
+    fn single_pod_sharded_rows_match_unsharded_rows() {
+        let spec = tiny_spec();
+        let unsharded = spec.run(1).report;
+        let sharded = SweepSpec {
+            shard: Some(ShardSpec::new(1)),
+            ..spec
+        }
+        .run(1)
+        .report;
+        assert_eq!(unsharded.cells.len(), sharded.cells.len());
+        for (u, s) in unsharded.cells.iter().zip(&sharded.cells) {
+            assert_eq!(s.pods, 1);
+            assert_eq!(u.completed_jobs, s.completed_jobs);
+            assert_eq!(u.job_misses, s.job_misses);
+            assert_eq!(u.workflow_misses, s.workflow_misses);
+            assert_eq!(u.overrun_slots, s.overrun_slots);
+            assert_eq!(u.slots_elapsed, s.slots_elapsed);
+            assert_eq!(u.adhoc_turnaround_s, s.adhoc_turnaround_s);
+        }
+    }
+
+    #[test]
+    fn unsharded_reports_serialize_without_shard_fields() {
+        let spec = tiny_spec();
+        let bytes = serde_json::to_string_pretty(&spec.run(1).report).unwrap();
+        assert!(!bytes.contains("\"shard\""), "shard config leaked");
+        assert!(!bytes.contains("\"pods\""), "pod count leaked");
     }
 
     #[test]

@@ -27,7 +27,8 @@ USAGE:
   flowtime-cli simulate  --trace <trace.jsonl> --scheduler <name>
                          [--out metrics.json] [--outcome-out outcome.json]
                          [--trace-out decisions.jsonl] [--gantt]
-                         [--no-plan-cache] [--lp-backend sparse|dense] [FAULTS]
+                         [--no-plan-cache] [--lp-backend sparse|dense]
+                         [--pods K] [--placer P] [FAULTS]
   flowtime-cli compare   --trace <trace.jsonl> [--no-plan-cache]
                          [--lp-backend sparse|dense] [FAULTS]
   flowtime-cli decompose --trace <trace.jsonl> [--index I] [--slack S]
@@ -36,7 +37,7 @@ USAGE:
   flowtime-cli sweep     [--threads N] [--seeds A..B] [--schedulers a,b,..]
                          [--scenarios clean,mixed-faults,chaos:0.2]
                          [--jobs N] [--adhoc-horizon S] [--seed S]
-                         [--workflows N]
+                         [--workflows N] [--pods K] [--placer P]
                          [--out NAME] [--bench-threads 1,2,..] [--audit]
   flowtime-cli submit    --connect HOST:PORT
                          (--adhoc TASKS,DUR[,CORES,MB] [--arrival N]
@@ -51,6 +52,13 @@ DAEMON CLIENT (submit/status/drain talk to a running `flowtimed`):
   --adhoc SPEC         ad-hoc job as TASKS,DUR[,CORES,MB] (defaults 1,1024)
   --arrival N          virtual arrival slot for --adhoc (default: now)
   --workflow-json F    file holding one serialized WorkflowSubmission
+
+SHARDING (simulate and sweep; see DESIGN.md §15):
+  --pods K           partition the cluster into K pods, each running its own
+                     engine + scheduler over its slice of the workload; K=1
+                     is byte-identical to the unsharded engine
+  --placer P         pod placement policy: firstfit, worstfit, or demand
+                     (default demand); requires --pods
 
 LP BACKEND (any command that solves scheduling LPs):
   --lp-backend B     simplex engine: sparse (revised simplex + LU, default)
@@ -256,6 +264,31 @@ fn recovery_setup(args: &Args) -> Result<Option<RecoverySetup>, Box<dyn Error>> 
     Ok(Some(RecoverySetup::new(faults, policy)))
 }
 
+/// Builds the pod-sharding spec from `--pods` / `--placer`. Absent flags
+/// yield `None` (the unsharded path, byte-identical to pre-shard builds);
+/// `--pods 0`, a bare `--pods`, an unknown placer, or `--placer` without
+/// `--pods` are errors, never silent fallbacks.
+fn shard_spec(args: &Args) -> Result<Option<flowtime_sim::ShardSpec>, Box<dyn Error>> {
+    if !args.has("pods") {
+        if args.has("placer") {
+            return Err("--placer requires --pods <K>".into());
+        }
+        return Ok(None);
+    }
+    let pods: usize = args.get_parsed("pods", 1usize)?;
+    if pods == 0 {
+        return Err("--pods must be at least 1".into());
+    }
+    let mut spec = flowtime_sim::ShardSpec::new(pods);
+    if let Some(raw) = args.get("placer") {
+        let placer = flowtime_sim::Placer::parse(raw).ok_or_else(|| {
+            format!("unknown placer `{raw}` (expected firstfit, worstfit, or demand)")
+        })?;
+        spec = spec.with_placer(placer);
+    }
+    Ok(Some(spec))
+}
+
 fn attach_milestones(trace: &mut Trace) {
     let cfg = DecomposeConfig::new(trace.cluster.capacity());
     for sub in &mut trace.workload.workflows {
@@ -343,6 +376,9 @@ fn simulate(args: &Args) -> CliResult {
     attach_milestones(&mut trace);
     apply_faults(args, &mut trace)?;
     let recovery = recovery_setup(args)?;
+    if let Some(shard) = shard_spec(args)? {
+        return simulate_sharded(args, &trace, recovery, &shard);
+    }
     let name = args.get("scheduler").unwrap_or("flowtime");
     let mut scheduler = make_scheduler(name, &trace.cluster, !args.has("no-plan-cache"))?;
     let want_gantt = args.has("gantt");
@@ -405,6 +441,117 @@ fn simulate(args: &Args) -> CliResult {
     if let Some(out) = args.get("out") {
         let file = File::create(out).map_err(|e| format!("cannot create {out}: {e}"))?;
         serde_json::to_writer_pretty(BufWriter::new(file), &metrics)?;
+        println!("full metrics written to {out}");
+    }
+    Ok(())
+}
+
+/// The `--pods K` variant of `simulate`: partitions the cluster, places the
+/// workload, runs one engine per pod (each scheduler gets its own pod-sized
+/// cluster and plan cache), and always self-audits through the sharded
+/// certifier's cross-pod + per-pod checks. With one pod the run is
+/// byte-identical to the unsharded engine, so `--outcome-out` /
+/// `--trace-out` write the pod-0 artifacts directly (CI diffs them against
+/// a plain `simulate`); with several pods the outcome file holds the full
+/// [`flowtime_sim::ShardedOutcome`] and per-pod decision traces / timelines
+/// are not merged, so `--trace-out`, `--gantt`, and `--out` are errors.
+fn simulate_sharded(
+    args: &Args,
+    trace: &Trace,
+    recovery: Option<RecoverySetup>,
+    shard: &flowtime_sim::ShardSpec,
+) -> CliResult {
+    if args.has("gantt") {
+        return Err(
+            "--gantt is not supported with --pods (per-pod timelines are not merged)".into(),
+        );
+    }
+    if shard.pods > 1 && args.has("trace-out") {
+        return Err("--trace-out needs --pods 1 (per-pod decision traces are not merged)".into());
+    }
+    if shard.pods > 1 && args.has("out") {
+        return Err(
+            "--out (metrics) needs --pods 1; use --outcome-out for the full sharded outcome".into(),
+        );
+    }
+    let name = args.get("scheduler").unwrap_or("flowtime");
+    let plan_cache = !args.has("no-plan-cache");
+    // Validate the scheduler name before spending time on the run; the
+    // per-pod factory below can then never fail.
+    make_scheduler(name, &trace.cluster, plan_cache)?;
+    let (outcome, traces) = flowtime_sim::run_sharded_traced(
+        &trace.cluster,
+        &trace.workload,
+        shard,
+        10_000_000,
+        shard.pods,
+        recovery.as_ref(),
+        flowtime_sim::DEFAULT_TRACE_CAPACITY,
+        |_pod, pod_cluster| make_scheduler(name, pod_cluster, plan_cache).expect("name validated"),
+    )?;
+    println!(
+        "{:<16} {} pod(s), placer {}, {} rebalance move(s)",
+        "shard",
+        outcome.placement.pods,
+        outcome.placement.placer.name(),
+        outcome.placement.rebalances.len()
+    );
+    let report = flowtime_sim::certify_sharded(
+        &trace.cluster,
+        &trace.workload,
+        shard,
+        &outcome,
+        &traces,
+        recovery.as_ref(),
+    );
+    println!("{:<16} {}", "audit", report.summary());
+    if !report.is_certified() {
+        for v in &report.violations {
+            eprintln!("  {v}");
+        }
+        return Err("sharded auditor rejected the run (engine bug?)".into());
+    }
+    if let Some(trace_out) = args.get("trace-out") {
+        let decisions = &traces[0];
+        let file =
+            File::create(trace_out).map_err(|e| format!("cannot create {trace_out}: {e}"))?;
+        decisions.write_jsonl(BufWriter::new(file))?;
+        println!(
+            "decision trace ({} events) written to {trace_out}",
+            decisions.recorded()
+        );
+    }
+    if let Some(out) = args.get("outcome-out") {
+        let file = File::create(out).map_err(|e| format!("cannot create {out}: {e}"))?;
+        if shard.pods == 1 {
+            serde_json::to_writer_pretty(BufWriter::new(file), &outcome.pods[0])?;
+        } else {
+            serde_json::to_writer_pretty(BufWriter::new(file), &outcome)?;
+        }
+        println!("full outcome written to {out}");
+    }
+    for (i, pod) in outcome.pods.iter().enumerate() {
+        println!(
+            "{}",
+            summary_line(&format!("{name}[pod {i}]"), &pod.metrics)
+        );
+        if let Some(line) = recovery_line(pod) {
+            println!("{:<16} {}", "", line);
+        }
+    }
+    if outcome.pods.len() > 1 {
+        println!(
+            "{:<16} jobs {:>4}  misses {:>3}  wf-misses {:>2}  slots {:>5}",
+            "total",
+            outcome.completed_jobs(),
+            outcome.job_deadline_misses(),
+            outcome.workflow_deadline_misses(),
+            outcome.slots_elapsed(),
+        );
+    }
+    if let Some(out) = args.get("out") {
+        let file = File::create(out).map_err(|e| format!("cannot create {out}: {e}"))?;
+        serde_json::to_writer_pretty(BufWriter::new(file), &outcome.pods[0].metrics)?;
         println!("full metrics written to {out}");
     }
     Ok(())
@@ -555,6 +702,7 @@ fn sweep_cmd(args: &Args) -> CliResult {
         schedulers,
         fault_seeds,
         audit: args.has("audit"),
+        shard: shard_spec(args)?,
     };
     // Validate the bench axis up front, before spending minutes on the
     // sweep itself.
@@ -1075,6 +1223,163 @@ mod tests {
         // the trace contains kills the clean scenario cannot explain.
         assert!(dispatch(&argv(&plain)).is_err());
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn sharded_single_pod_simulate_matches_unsharded_byte_for_byte() {
+        let dir = std::env::temp_dir().join("flowtime-cli-test-shard1");
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace_path = dir.join("t.jsonl");
+        dispatch(&argv(&[
+            "generate",
+            "--out",
+            trace_path.to_str().unwrap(),
+            "--workflows",
+            "2",
+            "--cores",
+            "64",
+            "--seed",
+            "3",
+        ]))
+        .unwrap();
+        let run = |extra: &[&str], tag: &str| {
+            let outcome = dir.join(format!("{tag}-o.json"));
+            let decisions = dir.join(format!("{tag}-d.jsonl"));
+            let mut a = vec![
+                "simulate",
+                "--trace",
+                trace_path.to_str().unwrap(),
+                "--scheduler",
+                "flowtime",
+                "--outcome-out",
+                outcome.to_str().unwrap(),
+                "--trace-out",
+                decisions.to_str().unwrap(),
+            ];
+            a.extend_from_slice(extra);
+            dispatch(&argv(&a)).unwrap();
+            (
+                std::fs::read_to_string(outcome).unwrap(),
+                std::fs::read_to_string(decisions).unwrap(),
+            )
+        };
+        let (plain_outcome, plain_trace) = run(&[], "plain");
+        let (pod_outcome, pod_trace) = run(&["--pods", "1"], "pod");
+        assert_eq!(
+            plain_outcome, pod_outcome,
+            "--pods 1 outcome must not differ"
+        );
+        assert_eq!(
+            plain_trace, pod_trace,
+            "--pods 1 decision trace must not differ"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn sharded_multi_pod_simulate_writes_certified_sharded_outcome() {
+        let dir = std::env::temp_dir().join("flowtime-cli-test-shardk");
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace_path = dir.join("t.jsonl");
+        let outcome_path = dir.join("o.json");
+        dispatch(&argv(&[
+            "generate",
+            "--out",
+            trace_path.to_str().unwrap(),
+            "--workflows",
+            "2",
+            "--cores",
+            "64",
+            "--seed",
+            "3",
+        ]))
+        .unwrap();
+        dispatch(&argv(&[
+            "simulate",
+            "--trace",
+            trace_path.to_str().unwrap(),
+            "--scheduler",
+            "edf",
+            "--pods",
+            "2",
+            "--placer",
+            "first-fit",
+            "--outcome-out",
+            outcome_path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let raw = std::fs::read_to_string(&outcome_path).unwrap();
+        let outcome: flowtime_sim::ShardedOutcome = serde_json::from_str(&raw).unwrap();
+        assert_eq!(outcome.pods.len(), 2);
+        assert_eq!(outcome.placement.pods, 2);
+        assert_eq!(outcome.placement.placer, flowtime_sim::Placer::FirstFit);
+        assert!(outcome.is_complete());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn sharded_simulate_rejects_bad_flag_combinations() {
+        let dir = std::env::temp_dir().join("flowtime-cli-test-shardbad");
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace_path = dir.join("t.jsonl");
+        dispatch(&argv(&[
+            "generate",
+            "--out",
+            trace_path.to_str().unwrap(),
+            "--workflows",
+            "1",
+            "--cores",
+            "64",
+            "--seed",
+            "3",
+        ]))
+        .unwrap();
+        for bad in [
+            vec!["--pods", "0"],
+            vec!["--pods"],
+            vec!["--pods", "two"],
+            vec!["--placer", "demand"],
+            vec!["--pods", "2", "--placer", "roundrobin"],
+            vec!["--pods", "2", "--gantt"],
+            vec!["--pods", "2", "--trace-out", "/tmp/d.jsonl"],
+            vec!["--pods", "2", "--out", "/tmp/m.json"],
+        ] {
+            let mut a = vec!["simulate", "--trace", trace_path.to_str().unwrap()];
+            a.extend_from_slice(&bad);
+            assert!(dispatch(&argv(&a)).is_err(), "{bad:?} should be rejected");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn sharded_sweep_records_the_shard_spec() {
+        dispatch(&argv(&[
+            "sweep",
+            "--workflows",
+            "1",
+            "--jobs",
+            "4",
+            "--adhoc-horizon",
+            "20",
+            "--seeds",
+            "0..2",
+            "--schedulers",
+            "edf",
+            "--scenarios",
+            "clean",
+            "--pods",
+            "2",
+            "--audit",
+            "--out",
+            "cli-shard-sweep-test",
+        ]))
+        .unwrap();
+        let path = std::path::Path::new("results/cli-shard-sweep-test.json");
+        let written = std::fs::read_to_string(path).unwrap();
+        assert!(written.contains("\"shard\""));
+        assert!(written.contains("\"pods\":2") || written.contains("\"pods\": 2"));
+        let _ = std::fs::remove_file(path);
+        let _ = std::fs::remove_dir("results");
     }
 
     #[test]

@@ -43,6 +43,14 @@ use std::collections::HashMap;
 /// is part of the key: the two backends are *equivalent* on peak ratio but
 /// not bit-identical on plans, and a hit must return exactly what the
 /// requested backend would have produced.
+///
+/// Caches are strictly per-scheduler-instance: there is no interior
+/// sharing, no global state, and `Clone` deep-copies the entry, so two
+/// scheduler instances (two sweep cells, or two pods of a sharded run,
+/// each owning its own scheduler) can never observe each other's plans.
+/// The sharded engine's pods-in-parallel determinism contract leans on
+/// this — a pod's replan sequence is a function of that pod's inputs
+/// alone, regardless of what any other pod solved concurrently.
 #[derive(Debug, Clone, Default)]
 pub struct PlanCache {
     entry: Option<(SolverBackend, LevelingProblem, Plan)>,
@@ -250,6 +258,44 @@ mod tests {
         assert_eq!(
             cache.lookup(&clamped, SolverBackend::default()),
             CacheLookup::Miss
+        );
+    }
+
+    #[test]
+    fn instances_are_independent() {
+        // Two caches model two scheduler instances (two pods): storing in
+        // one never answers probes on the other, and a clone is a deep
+        // copy — clearing or restocking the original leaves it untouched.
+        let p = LevelingProblem {
+            slot_caps: caps(4, 8),
+            jobs: vec![job(1, (0, 4), 8)],
+        };
+        let plan = p.solve(SolverBackend::default()).unwrap();
+        let mut pod_a = PlanCache::new();
+        let mut pod_b = PlanCache::new();
+        pod_a.store(&p, SolverBackend::default(), &plan);
+        assert_eq!(
+            pod_b.lookup(&p, SolverBackend::default()),
+            CacheLookup::Miss,
+            "a pod must never see another pod's plans"
+        );
+        let cloned = pod_a.clone();
+        pod_a.clear();
+        assert_eq!(
+            cloned.lookup(&p, SolverBackend::default()),
+            CacheLookup::Exact(plan.clone()),
+            "a cloned cache owns its entry"
+        );
+        let q = LevelingProblem {
+            slot_caps: caps(4, 8),
+            jobs: vec![job(2, (0, 4), 4)],
+        };
+        let plan_q = q.solve(SolverBackend::default()).unwrap();
+        pod_b.store(&q, SolverBackend::default(), &plan_q);
+        assert_eq!(
+            cloned.lookup(&q, SolverBackend::default()),
+            CacheLookup::Miss,
+            "stores on one instance must not leak into another"
         );
     }
 

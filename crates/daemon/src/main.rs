@@ -3,6 +3,7 @@
 //! ```text
 //! flowtimed [--listen ADDR] [--scheduler NAME] [--cores N] [--mem-mb N]
 //!           [--slot-seconds F] [--max-slots N] [--trace-capacity N]
+//!           [--pods K] [--placer NAME]
 //!           [--snapshot PATH] [--snapshot-every N]
 //! ```
 //!
@@ -65,6 +66,8 @@ fn run() -> Result<(), String> {
              --slot-seconds F     seconds per scheduling slot (default 10)\n  \
              --max-slots N        virtual-time horizon (default 100000)\n  \
              --trace-capacity N   decision-trace ring size (default 4096)\n  \
+             --pods K             shard the cluster into K pods (default 1)\n  \
+             --placer NAME        firstfit|worstfit|demand pod placement (needs --pods > 1)\n  \
              --snapshot PATH      snapshot file; restored at startup if present\n  \
              --snapshot-every N   snapshot every N requests (default 256, 0 disables)"
         );
@@ -81,6 +84,8 @@ fn run() -> Result<(), String> {
                 | "slot-seconds"
                 | "max-slots"
                 | "trace-capacity"
+                | "pods"
+                | "placer"
                 | "snapshot"
                 | "snapshot-every"
         ) {
@@ -107,6 +112,8 @@ fn run() -> Result<(), String> {
         max_slots: get_parsed(&flags, "max-slots", 100_000u64)?,
         trace_capacity: get_parsed(&flags, "trace-capacity", 4096u64)?,
         snapshot_path: flags.get("snapshot").cloned(),
+        pods: get_parsed(&flags, "pods", 0u64)?,
+        placer: flags.get("placer").cloned(),
     };
     let snapshot_every = match get_parsed(&flags, "snapshot-every", 256u64)? {
         0 => None,

@@ -2,17 +2,31 @@
 //!
 //! # Virtual-time model
 //!
-//! The session owns a virtual clock (the engine's `now`) that advances
-//! **only** through explicit `tick` and `drain` requests — never from
-//! wall-clock time — so a session is a deterministic function of its
-//! request sequence. Submissions are accepted for any arrival slot at or
-//! after `now`, parked in a pending queue, and injected into the engine
-//! exactly when virtual time reaches their arrival slot; until then they
-//! can be cancelled. This queued-injection discipline is what makes the
-//! recorded [`SubmissionLog`] replayable: a batch
-//! [`flowtime_sim::Engine::from_log`] run over the same log materializes
-//! the identical dense job table and produces a byte-identical
-//! [`SimOutcome`].
+//! The session owns a virtual clock that advances **only** through
+//! explicit `tick` and `drain` requests — never from wall-clock time — so
+//! a session is a deterministic function of its request sequence.
+//! Submissions are accepted for any arrival slot at or after the clock,
+//! parked in a pending queue, and injected into an engine exactly when
+//! virtual time reaches their arrival slot; until then they can be
+//! cancelled. This queued-injection discipline is what makes the recorded
+//! [`SubmissionLog`] replayable: a batch [`flowtime_sim::Engine::from_log`]
+//! run over the same log materializes the identical dense job table and
+//! produces a byte-identical [`SimOutcome`].
+//!
+//! # Sharding
+//!
+//! With [`SessionConfig::pods`] > 1 the session runs one engine per pod
+//! over the pod's capacity slice ([`flowtime_sim::pod_cluster`]), each with
+//! its own scheduler instance (and plan cache). Submissions are placed at
+//! injection time through the same [`PlacerState`] policy the batch layer
+//! uses, in `(arrival, seq)` order — exactly the order
+//! [`flowtime_sim::place_log`] replays — so a batch run over each per-pod
+//! sub-log reproduces the per-pod outcomes byte-for-byte. A pod with no
+//! work parks (its local clock lags the session clock) and resumes when a
+//! placement lands on it; its local timeline therefore matches the batch
+//! engine's, which also simulates idle gaps only up to its own last
+//! completion. With one pod every code path collapses to the pre-sharding
+//! behavior and all protocol responses are byte-identical to it.
 //!
 //! # Lifecycle
 //!
@@ -29,8 +43,9 @@ use flowtime::{
 };
 use flowtime_dag::JobId;
 use flowtime_sim::{
-    AdhocSubmission, ClusterConfig, DecisionTrace, LogEntry, OnlineEngine, Scheduler, SimError,
-    SimOutcome, StepOutcome, SubmissionLog, TraceHandle, WorkflowSubmission,
+    pod_cluster, AdhocSubmission, ClusterConfig, DecisionTrace, LogEntry, OnlineEngine, Placer,
+    PlacerState, Scheduler, ShardSpec, SimError, SimOutcome, SolverTelemetry, StepOutcome,
+    SubmissionLog, TraceHandle, WorkflowSubmission,
 };
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -50,9 +65,18 @@ pub struct SessionConfig {
     /// Where `snapshot` requests persist state; `None` disables them.
     #[serde(default)]
     pub snapshot_path: Option<String>,
+    /// Number of pods to shard the cluster into; `0` and `1` both mean the
+    /// unsharded single engine. Serialized only when sharded, so unsharded
+    /// snapshots keep their pre-sharding bytes.
+    #[serde(default, skip_serializing_if = "flowtime_sim::serde_skip::zero_u64")]
+    pub pods: u64,
+    /// Placement policy name (`firstfit`, `worstfit`, `demand`); only
+    /// meaningful — and only accepted — with `pods > 1`.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub placer: Option<String>,
 }
 
-/// A submission accepted but not yet materialized into the engine.
+/// A submission accepted but not yet materialized into an engine.
 #[derive(Debug, Clone)]
 enum PendingEntry {
     Workflow(WorkflowSubmission),
@@ -66,28 +90,60 @@ enum SeqState {
     Pending(u64),
     /// Cancelled while pending; will never materialize.
     Cancelled,
-    /// Materialized into the engine as these job ids.
-    Injected(Vec<JobId>),
+    /// Materialized into pod `pod`'s engine as these job ids.
+    Injected { pod: usize, ids: Vec<JobId> },
     /// The sequence number belongs to a cancel request itself.
     CancelRequest,
 }
 
 /// The frozen result of a drained session.
 struct Finished {
-    /// `serde_json::to_string(&outcome)` — the canonical bytes the
-    /// differential harness compares against a batch run.
+    /// For one pod, `serde_json::to_string(&outcome)` — the canonical
+    /// bytes the differential harness compares against a batch run. For
+    /// several pods, `{"pods":[...]}` over the per-pod outcomes (each of
+    /// which is individually batch-comparable).
     outcome_json: String,
-    outcome: SimOutcome,
-    trace: DecisionTrace,
+    outcomes: Vec<SimOutcome>,
+    traces: Vec<DecisionTrace>,
+}
+
+impl Finished {
+    fn now(&self) -> u64 {
+        self.outcomes
+            .iter()
+            .map(|o| o.slots_elapsed)
+            .max()
+            .unwrap_or(0)
+    }
+
+    fn completed_jobs(&self) -> usize {
+        self.outcomes.iter().map(|o| o.metrics.jobs.len()).sum()
+    }
+
+    fn complete(&self) -> bool {
+        self.outcomes.iter().all(SimOutcome::is_complete)
+    }
+}
+
+/// One pod's engine, scheduler, and trace recorder.
+struct PodRuntime {
+    scheduler: Box<dyn Scheduler>,
+    /// `None` once drained (the engine was consumed by `finish`).
+    online: Option<OnlineEngine>,
+    trace: TraceHandle,
 }
 
 /// One protocol-driven online run. See the module docs.
 pub struct Session {
     config: SessionConfig,
-    scheduler: Box<dyn Scheduler>,
-    /// `None` once drained (the engine was consumed by `finish`).
-    online: Option<OnlineEngine>,
-    trace: TraceHandle,
+    /// One entry per pod; a single entry is the unsharded engine.
+    pods: Vec<PodRuntime>,
+    /// Placement state, present only when sharded (`pods.len() > 1`).
+    placer: Option<PlacerState>,
+    /// The session's virtual clock. With one pod this always equals the
+    /// engine's `now`; with several it bounds every pod's local clock
+    /// from above (parked pods lag it).
+    clock: u64,
     /// Pending submissions keyed by `(arrival, seq)` — iteration order is
     /// exactly the injection (and batch materialization) order.
     pending: BTreeMap<(u64, u64), PendingEntry>,
@@ -103,16 +159,48 @@ impl Session {
     /// # Errors
     ///
     /// [`ProtocolError`] with [`codes::BAD_REQUEST`] for an unknown
-    /// scheduler name.
+    /// scheduler name, an unknown placer name, or a placer configured
+    /// without `pods > 1`.
     pub fn new(config: SessionConfig) -> Result<Self, ProtocolError> {
-        let scheduler = make_scheduler(&config.scheduler, &config.cluster)?;
-        let (online, trace) = OnlineEngine::new(config.cluster.clone(), config.max_slots)
-            .with_trace(config.trace_capacity as usize);
+        let pod_count = config.pods.max(1) as usize;
+        let policy = match &config.placer {
+            None => Placer::Demand,
+            Some(name) if pod_count > 1 => Placer::parse(name).ok_or_else(|| {
+                ProtocolError::new(
+                    codes::BAD_REQUEST,
+                    format!("unknown placer `{name}` (firstfit, worstfit, demand)"),
+                )
+            })?,
+            Some(_) => {
+                return Err(ProtocolError::new(
+                    codes::BAD_REQUEST,
+                    "a placer only makes sense with pods > 1",
+                ))
+            }
+        };
+        let mut pods = Vec::with_capacity(pod_count);
+        for i in 0..pod_count {
+            let pc = pod_cluster(&config.cluster, pod_count, i);
+            let scheduler = make_scheduler(&config.scheduler, &pc)?;
+            let (online, trace) =
+                OnlineEngine::new(pc, config.max_slots).with_trace(config.trace_capacity as usize);
+            pods.push(PodRuntime {
+                scheduler,
+                online: Some(online),
+                trace,
+            });
+        }
+        let placer = (pod_count > 1).then(|| {
+            PlacerState::for_cluster(
+                &ShardSpec::new(pod_count).with_placer(policy),
+                &config.cluster,
+            )
+        });
         Ok(Session {
             config,
-            scheduler,
-            online: Some(online),
-            trace,
+            pods,
+            placer,
+            clock: 0,
             pending: BTreeMap::new(),
             seq_state: BTreeMap::new(),
             log: SubmissionLog::new(),
@@ -170,7 +258,7 @@ impl Session {
         }
         session.log = body.log;
         session.next_seq = body.next_seq;
-        session.run_to(body.now)?;
+        session.run_to(body.now, true)?;
         if session.now() != body.now {
             return Err(ProtocolError::new(
                 codes::SNAPSHOT_CORRUPT,
@@ -186,12 +274,9 @@ impl Session {
 
     /// Current virtual slot.
     pub fn now(&self) -> u64 {
-        match &self.online {
-            Some(online) => online.now(),
-            None => self
-                .finished
-                .as_ref()
-                .map_or(0, |f| f.outcome.slots_elapsed),
+        match &self.finished {
+            Some(f) => f.now(),
+            None => self.clock,
         }
     }
 
@@ -200,15 +285,25 @@ impl Session {
         self.finished.is_some()
     }
 
-    /// The serialized `SimOutcome` of a drained session — the canonical
-    /// bytes the differential harness compares.
+    /// The serialized outcome of a drained session — the canonical bytes
+    /// the differential harness compares (see [`Finished::outcome_json`]).
     pub fn outcome_json(&self) -> Option<&str> {
         self.finished.as_ref().map(|f| f.outcome_json.as_str())
     }
 
-    /// The frozen decision trace of a drained session.
+    /// The frozen pod-0 decision trace of a drained session.
     pub fn final_trace(&self) -> Option<&DecisionTrace> {
-        self.finished.as_ref().map(|f| &f.trace)
+        self.finished.as_ref().map(|f| &f.traces[0])
+    }
+
+    /// All frozen per-pod decision traces of a drained session.
+    pub fn final_traces(&self) -> Option<&[DecisionTrace]> {
+        self.finished.as_ref().map(|f| f.traces.as_slice())
+    }
+
+    /// All per-pod outcomes of a drained session, in pod order.
+    pub fn final_outcomes(&self) -> Option<&[SimOutcome]> {
+        self.finished.as_ref().map(|f| f.outcomes.as_slice())
     }
 
     /// The recorded submission log (the replay artifact).
@@ -336,7 +431,7 @@ impl Session {
                 codes::CANCEL_TOO_LATE,
                 format!("submission {target} was already cancelled"),
             )),
-            Some(SeqState::Injected(_)) => Err(ProtocolError::new(
+            Some(SeqState::Injected { .. }) => Err(ProtocolError::new(
                 codes::CANCEL_TOO_LATE,
                 format!("submission {target} already materialized into the engine"),
             )),
@@ -347,58 +442,105 @@ impl Session {
         }
     }
 
-    /// Materializes every pending submission whose arrival slot equals
-    /// the current virtual slot, in `(arrival, seq)` order.
+    /// Materializes every pending submission whose arrival slot has been
+    /// reached by the session clock, in `(arrival, seq)` order — the order
+    /// [`flowtime_sim::place_log`] replays — placing each through the
+    /// sharded placer when one is configured.
     fn flush_arrivals(&mut self) -> Result<(), ProtocolError> {
-        let online = self
-            .online
-            .as_mut()
-            .expect("flush only runs while accepting");
-        let now = online.now();
         while let Some((&(arrival, seq), _)) = self.pending.iter().next() {
-            if arrival > now {
+            if arrival > self.clock {
                 break;
             }
             let entry = self
                 .pending
                 .remove(&(arrival, seq))
                 .expect("key just observed");
+            let pod = match (&mut self.placer, &entry) {
+                (None, _) => 0,
+                (Some(ps), PendingEntry::Workflow(sub)) => ps.place_workflow(sub),
+                (Some(ps), PendingEntry::Adhoc(sub)) => ps.place_adhoc(sub),
+            };
+            let runtime = &mut self.pods[pod];
+            let online = runtime
+                .online
+                .as_mut()
+                .expect("flush only runs while accepting");
             let ids = match entry {
                 PendingEntry::Workflow(sub) => online.submit_workflow(sub),
                 PendingEntry::Adhoc(sub) => online.submit_adhoc(sub).map(|id| vec![id]),
             }
             .map_err(engine_error)?;
-            self.seq_state.insert(seq, SeqState::Injected(ids));
+            self.seq_state.insert(seq, SeqState::Injected { pod, ids });
         }
         Ok(())
     }
 
-    /// Advances virtual time to `target`, injecting arrivals on the way
-    /// and burning idle gap slots while future submissions are queued.
-    /// Parks (stops early) when no work remains — the batch run would
-    /// have ended there too.
-    fn run_to(&mut self, target: u64) -> Result<(), ProtocolError> {
-        while self.online.as_ref().expect("running session").now() < target {
-            self.flush_arrivals()?;
-            let online = self.online.as_mut().expect("running session");
-            let step = if online.incomplete() == 0 {
-                if self.pending.is_empty() {
-                    break; // Parked: nothing to simulate until new work.
+    /// Advances every pod toward the (just-incremented) session clock by
+    /// one round: a pod with incomplete work simulates its next local
+    /// slot; an idle pod burns the gap slot only when it is the sole pod
+    /// and future submissions are queued (the pre-sharding engine's exact
+    /// behavior, and what a batch run whose table holds that future
+    /// arrival would do). Idle pods of a sharded session park instead —
+    /// their local clock lags until a placement lands on them, keeping
+    /// their timeline identical to a batch run over their sub-log.
+    ///
+    /// `force_burn` makes a sole idle pod burn the gap even with an empty
+    /// queue — snapshot replay only (see [`Session::run_to`]).
+    ///
+    /// Returns `false` when a pod hit its slot horizon (nothing was
+    /// simulated for it); the caller decides whether that is an error
+    /// (`tick`) or a partial-outcome stop (`drain`).
+    fn advance_clock_tick(&mut self, force_burn: bool) -> Result<bool, ProtocolError> {
+        let single = self.pods.len() == 1;
+        let burn_gap = force_burn || !self.pending.is_empty();
+        for runtime in &mut self.pods {
+            let online = runtime.online.as_mut().expect("running session");
+            while online.now() < self.clock {
+                let step = if online.incomplete() > 0 {
+                    online.step(&mut *runtime.scheduler)
+                } else if single && burn_gap {
+                    online.step_idle(&mut *runtime.scheduler)
+                } else {
+                    break; // Parked: local time lags until new work arrives.
                 }
-                online.step_idle(&mut *self.scheduler)
-            } else {
-                online.step(&mut *self.scheduler)
+                .map_err(engine_error)?;
+                match step {
+                    StepOutcome::Advanced => {}
+                    StepOutcome::Complete => break,
+                    StepOutcome::HorizonExhausted => return Ok(false),
+                }
             }
-            .map_err(engine_error)?;
-            match step {
-                StepOutcome::Advanced => {}
-                StepOutcome::Complete => break,
-                StepOutcome::HorizonExhausted => {
-                    return Err(ProtocolError::new(
-                        codes::HORIZON_EXHAUSTED,
-                        format!("slot horizon {} exhausted", self.config.max_slots),
-                    ))
-                }
+        }
+        Ok(true)
+    }
+
+    /// Advances virtual time to `target`, injecting arrivals on the way.
+    /// Parks (stops early) when no work remains anywhere — the batch run
+    /// would have ended there too.
+    ///
+    /// `replay` disables parking: during snapshot restore the recorded
+    /// `now` proves the live session reached `target`, even though a
+    /// logged cancel (applied up front on replay) may have emptied the
+    /// queue that justified burning the gap live. The replayed engine
+    /// calls are still identical — a burned slot never observes the
+    /// queue — so the restored session continues byte-identically.
+    fn run_to(&mut self, target: u64, replay: bool) -> Result<(), ProtocolError> {
+        while self.clock < target {
+            self.flush_arrivals()?;
+            let all_idle = self
+                .pods
+                .iter()
+                .all(|p| p.online.as_ref().expect("running session").incomplete() == 0);
+            if !replay && all_idle && self.pending.is_empty() {
+                break; // Parked: nothing to simulate until new work.
+            }
+            self.clock += 1;
+            if !self.advance_clock_tick(replay)? {
+                self.clock -= 1;
+                return Err(ProtocolError::new(
+                    codes::HORIZON_EXHAUSTED,
+                    format!("slot horizon {} exhausted", self.config.max_slots),
+                ));
             }
         }
         Ok(())
@@ -406,12 +548,16 @@ impl Session {
 
     fn tick(&mut self, to: u64) -> Result<String, ProtocolError> {
         self.require_accepting()?;
-        self.run_to(to)?;
-        let online = self.online.as_ref().expect("running session");
+        self.run_to(to, false)?;
+        let incomplete: usize = self
+            .pods
+            .iter()
+            .map(|p| p.online.as_ref().expect("running session").incomplete())
+            .sum();
         Ok(format!(
             "{{\"now\":{},\"incomplete\":{},\"pending\":{}}}",
-            online.now(),
-            online.incomplete(),
+            self.clock,
+            incomplete,
             self.pending.len()
         ))
     }
@@ -423,37 +569,59 @@ impl Session {
         if self.finished.is_none() {
             loop {
                 self.flush_arrivals()?;
-                let online = self.online.as_mut().expect("running session");
-                let step = if online.incomplete() == 0 && !self.pending.is_empty() {
-                    online.step_idle(&mut *self.scheduler)
-                } else {
-                    online.step(&mut *self.scheduler)
+                let all_idle = self
+                    .pods
+                    .iter()
+                    .all(|p| p.online.as_ref().expect("running session").incomplete() == 0);
+                if all_idle && self.pending.is_empty() {
+                    // Mirror the batch engine's final step: observing
+                    // `Complete` runs the exact-conservation final check
+                    // on every pod (a violation is an engine bug and
+                    // surfaces as a typed error, exactly as before).
+                    for runtime in &mut self.pods {
+                        let online = runtime.online.as_mut().expect("running session");
+                        online.step(&mut *runtime.scheduler).map_err(engine_error)?;
+                    }
+                    break;
                 }
-                .map_err(engine_error)?;
-                match step {
-                    StepOutcome::Advanced => {}
-                    StepOutcome::Complete if self.pending.is_empty() => break,
-                    StepOutcome::Complete => {}
-                    StepOutcome::HorizonExhausted => break, // partial outcome
+                self.clock += 1;
+                if !self.advance_clock_tick(false)? {
+                    self.clock -= 1;
+                    break; // Horizon exhausted: freeze the partial outcome.
                 }
             }
-            let online = self.online.take().expect("running session");
-            let outcome = online.finish(&mut *self.scheduler);
-            let outcome_json = serde_json::to_string(&outcome)
-                .map_err(|e| ProtocolError::new(codes::ENGINE_ERROR, e.to_string()))?;
-            let trace = self.trace.take();
+            let mut outcomes = Vec::with_capacity(self.pods.len());
+            let mut traces = Vec::with_capacity(self.pods.len());
+            for runtime in &mut self.pods {
+                let online = runtime.online.take().expect("running session");
+                outcomes.push(online.finish(&mut *runtime.scheduler));
+                traces.push(runtime.trace.take());
+            }
+            let outcome_json = if outcomes.len() == 1 {
+                serde_json::to_string(&outcomes[0])
+                    .map_err(|e| ProtocolError::new(codes::ENGINE_ERROR, e.to_string()))?
+            } else {
+                let mut per = Vec::with_capacity(outcomes.len());
+                for o in &outcomes {
+                    per.push(
+                        serde_json::to_string(o)
+                            .map_err(|e| ProtocolError::new(codes::ENGINE_ERROR, e.to_string()))?,
+                    );
+                }
+                format!("{{\"pods\":[{}]}}", per.join(","))
+            };
             self.finished = Some(Finished {
                 outcome_json,
-                outcome,
-                trace,
+                outcomes,
+                traces,
             });
         }
         let f = self.finished.as_ref().expect("just set");
         Ok(format!(
             "{{\"now\":{},\"completed_jobs\":{},\"complete\":{}}}",
-            f.outcome.slots_elapsed,
-            f.outcome.metrics.jobs.len(),
-            f.outcome.is_complete()
+            f.now(),
+            f.completed_jobs(),
+            f.complete()
         ))
     }
 
@@ -461,22 +629,56 @@ impl Session {
         if let Some(f) = &self.finished {
             return Ok(format!(
                 "{{\"phase\":\"drained\",\"now\":{},\"completed_jobs\":{},\"complete\":{}}}",
-                f.outcome.slots_elapsed,
-                f.outcome.metrics.jobs.len(),
-                f.outcome.is_complete()
+                f.now(),
+                f.completed_jobs(),
+                f.complete()
             ));
         }
-        let online = self.online.as_ref().expect("running session");
-        let st = online.status();
-        let status_json = serde_json::to_string(&st)
-            .map_err(|e| ProtocolError::new(codes::ENGINE_ERROR, e.to_string()))?;
-        let solver = match self.scheduler.telemetry() {
-            Some(t) => serde_json::to_string(&t)
+        if self.pods.len() == 1 {
+            let runtime = &self.pods[0];
+            let online = runtime.online.as_ref().expect("running session");
+            let st = online.status();
+            let status_json = serde_json::to_string(&st)
+                .map_err(|e| ProtocolError::new(codes::ENGINE_ERROR, e.to_string()))?;
+            let solver = match runtime.scheduler.telemetry() {
+                Some(t) => serde_json::to_string(&t)
+                    .map_err(|e| ProtocolError::new(codes::ENGINE_ERROR, e.to_string()))?,
+                None => "null".to_string(),
+            };
+            return Ok(format!(
+                "{{\"phase\":\"accepting\",\"engine\":{status_json},\"solver\":{solver},\"pending\":{},\"logged\":{}}}",
+                self.pending.len(),
+                self.log.len()
+            ));
+        }
+        // Sharded: an aggregate `engine` header (so clients that only read
+        // `engine.now` keep working) plus one full status per pod.
+        let mut incomplete = 0usize;
+        let mut pod_statuses = Vec::with_capacity(self.pods.len());
+        let mut solver: Option<SolverTelemetry> = None;
+        for runtime in &self.pods {
+            let online = runtime.online.as_ref().expect("running session");
+            incomplete += online.incomplete();
+            pod_statuses.push(
+                serde_json::to_string(&online.status())
+                    .map_err(|e| ProtocolError::new(codes::ENGINE_ERROR, e.to_string()))?,
+            );
+            if let Some(t) = runtime.scheduler.telemetry() {
+                match &mut solver {
+                    Some(agg) => agg.accumulate(&t),
+                    None => solver = Some(t),
+                }
+            }
+        }
+        let solver_json = match &solver {
+            Some(t) => serde_json::to_string(t)
                 .map_err(|e| ProtocolError::new(codes::ENGINE_ERROR, e.to_string()))?,
             None => "null".to_string(),
         };
         Ok(format!(
-            "{{\"phase\":\"accepting\",\"engine\":{status_json},\"solver\":{solver},\"pending\":{},\"logged\":{}}}",
+            "{{\"phase\":\"accepting\",\"engine\":{{\"now\":{},\"incomplete\":{incomplete}}},\"pods\":[{}],\"solver\":{solver_json},\"pending\":{},\"logged\":{}}}",
+            self.clock,
+            pod_statuses.join(","),
             self.pending.len(),
             self.log.len()
         ))
@@ -495,10 +697,10 @@ impl Session {
                 "{{\"sub\":{seq},\"state\":\"pending\",\"arrival\":{arrival}}}"
             )),
             Some(SeqState::Cancelled) => Ok(format!("{{\"sub\":{seq},\"state\":\"cancelled\"}}")),
-            Some(SeqState::Injected(ids)) => {
+            Some(SeqState::Injected { pod, ids }) => {
                 let mut jobs = Vec::new();
                 for id in ids {
-                    if let Some(online) = &self.online {
+                    if let Some(online) = &self.pods[*pod].online {
                         if let Some(p) = online.job_progress(*id) {
                             jobs.push(serde_json::to_string(&p).map_err(|e| {
                                 ProtocolError::new(codes::ENGINE_ERROR, e.to_string())
@@ -517,9 +719,11 @@ impl Session {
     }
 
     fn trace_tail(&mut self, limit: usize) -> Result<String, ProtocolError> {
+        // Sharded sessions serve pod 0's trace here; the full per-pod set
+        // is available through [`Session::final_traces`] after drain.
         let trace = match &self.finished {
-            Some(f) => f.trace.clone(),
-            None => self.trace.snapshot(),
+            Some(f) => f.traces[0].clone(),
+            None => self.pods[0].trace.snapshot(),
         };
         let events: Vec<&flowtime_sim::TraceEvent> = trace.events().collect();
         let skip = events.len().saturating_sub(limit);

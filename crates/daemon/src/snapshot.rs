@@ -156,6 +156,8 @@ mod tests {
                 max_slots: 1000,
                 trace_capacity: 64,
                 snapshot_path: None,
+                pods: 0,
+                placer: None,
             },
             log: SubmissionLog::new(),
             now: 17,

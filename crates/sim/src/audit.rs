@@ -45,6 +45,11 @@
 //! | `retry-accounting` | retry counters, backoff gates, or wasted-work totals do not recount |
 //! | `shed-violation` | admission-control events/records contradict the policy or replay |
 //! | `straggler-mismatch` | straggler inflation disagrees with the seeded expectation |
+//! | `shard-pod-count` | sharded artifacts disagree on the pod count, or a pod stamp is wrong |
+//! | `shard-capacity-sum` | per-pod capacity slices do not sum to the cluster capacity |
+//! | `shard-double-place` | a submission is placed on more than one pod |
+//! | `shard-unplaced-job` | a submission is placed on no pod |
+//! | `shard-placement-mismatch` | the recorded placement does not recompute from the scenario (e.g. a dropped rebalance event) |
 //!
 //! Runs recorded with the mid-run failure/recovery subsystem armed
 //! ([`crate::Engine::with_recovery`]) are certified via
@@ -62,6 +67,7 @@ use crate::faults::{
 };
 use crate::job::{AdhocSubmission, JobClass, SimWorkload, WorkflowSubmission};
 use crate::metrics::{MissAttribution, NodeSlackUse, RecoveryStats};
+use crate::shard::{place, pod_cluster, ShardClass, ShardSpec, ShardedOutcome};
 use crate::submission::{EffectiveSubmission, SubmissionLog};
 use crate::trace::{DecisionTrace, TraceEvent};
 use flowtime_dag::{JobId, ResourceVec};
@@ -275,6 +281,174 @@ pub fn certify_log(
     trace: &DecisionTrace,
 ) -> AuditReport {
     certify_table(cluster, build_table_from_log(log), outcome, trace, None, 0)
+}
+
+/// Certifies a sharded run ([`crate::shard::run_sharded_traced`]): the
+/// cross-pod conservation checks below, then a full
+/// [`certify_with_recovery`] of every pod against its own capacity slice
+/// and sub-workload (violations prefixed `pod N:`).
+///
+/// Cross-pod checks, all recomputed from the scenario alone:
+///
+/// * **pod count** — placement, outcomes, traces, and pod stamps must
+///   all agree with `spec.pods` (`shard-pod-count`);
+/// * **capacity conservation** — the per-pod capacities the traces were
+///   recorded against must sum exactly to the cluster capacity
+///   (`shard-capacity-sum`);
+/// * **exactly-once placement** — no submission on two pods
+///   (`shard-double-place`) or on none (`shard-unplaced-job`);
+/// * **placement replay** — recomputing [`place`] from
+///   `(cluster, workload, spec)` must reproduce the recorded
+///   [`crate::shard::PlacementLog`] byte-for-byte, so a tampered
+///   assignment or a dropped rebalance event is caught
+///   (`shard-placement-mismatch`).
+pub fn certify_sharded(
+    cluster: &ClusterConfig,
+    workload: &SimWorkload,
+    spec: &ShardSpec,
+    outcome: &ShardedOutcome,
+    traces: &[DecisionTrace],
+    recovery: Option<&RecoverySetup>,
+) -> AuditReport {
+    let mut report = AuditReport {
+        violations: Vec::new(),
+        attribution: Vec::new(),
+        events_checked: 0,
+    };
+    let push = |r: &mut AuditReport, code: &'static str, detail: String| {
+        r.violations.push(AuditViolation {
+            code,
+            slot: 0,
+            job: None,
+            detail,
+        });
+    };
+
+    // ---- Pod-count agreement across every sharded artifact. -------------
+    for (what, got) in [
+        ("placement", outcome.placement.pods),
+        ("outcome", outcome.pods.len()),
+        ("trace set", traces.len()),
+    ] {
+        if got != spec.pods {
+            push(
+                &mut report,
+                "shard-pod-count",
+                format!("{what} covers {got} pod(s), spec says {}", spec.pods),
+            );
+        }
+    }
+    for (i, pod) in outcome.pods.iter().enumerate() {
+        if pod.pod != i as u64 {
+            push(
+                &mut report,
+                "shard-pod-count",
+                format!("outcome at position {i} is stamped pod {}", pod.pod),
+            );
+        }
+    }
+
+    // ---- Capacity conservation: trace headers record the capacity each
+    // pod actually ran against; their sum must be the whole cluster.
+    if traces.len() == spec.pods {
+        let mut sum = ResourceVec::zero();
+        for t in traces {
+            sum += t.header.capacity;
+        }
+        if sum != cluster.capacity() {
+            push(
+                &mut report,
+                "shard-capacity-sum",
+                format!(
+                    "pod capacities sum to {sum}, cluster has {}",
+                    cluster.capacity()
+                ),
+            );
+        }
+    }
+
+    // ---- Exactly-once placement over the recorded assignments. ----------
+    let mut seen_wf = vec![0usize; workload.workflows.len()];
+    let mut seen_ah = vec![0usize; workload.adhoc.len()];
+    for a in &outcome.placement.assignments {
+        let seen = match a.class {
+            ShardClass::Workflow => seen_wf.get_mut(a.index),
+            ShardClass::Adhoc => seen_ah.get_mut(a.index),
+        };
+        match seen {
+            Some(n) => *n += 1,
+            None => push(
+                &mut report,
+                "shard-unplaced-job",
+                format!(
+                    "assignment references {:?} submission {} outside the workload",
+                    a.class, a.index
+                ),
+            ),
+        }
+    }
+    for (class, seen) in [
+        (ShardClass::Workflow, &seen_wf),
+        (ShardClass::Adhoc, &seen_ah),
+    ] {
+        for (i, &n) in seen.iter().enumerate() {
+            if n > 1 {
+                push(
+                    &mut report,
+                    "shard-double-place",
+                    format!("{class:?} submission {i} is placed {n} times"),
+                );
+            } else if n == 0 {
+                push(
+                    &mut report,
+                    "shard-unplaced-job",
+                    format!("{class:?} submission {i} is placed on no pod"),
+                );
+            }
+        }
+    }
+
+    // ---- Placement replay: the log is a pure function of the scenario.
+    let expected = place(cluster, workload, spec);
+    if expected != outcome.placement {
+        push(
+            &mut report,
+            "shard-placement-mismatch",
+            format!(
+                "recorded placement ({} assignment(s), {} rebalance(s)) does not \
+                 recompute from the scenario ({} assignment(s), {} rebalance(s))",
+                outcome.placement.assignments.len(),
+                outcome.placement.rebalances.len(),
+                expected.assignments.len(),
+                expected.rebalances.len(),
+            ),
+        );
+    }
+
+    // ---- Per-pod certification against each pod's own slice. ------------
+    // Only meaningful when the placement splits cleanly; the structural
+    // violations above already reject corrupt placements.
+    if let Ok(workloads) = outcome.placement.pod_workloads(workload) {
+        if workloads.len() == outcome.pods.len() && workloads.len() == traces.len() {
+            for (i, (pod_workload, (pod_outcome, trace))) in workloads
+                .iter()
+                .zip(outcome.pods.iter().zip(traces.iter()))
+                .enumerate()
+            {
+                let pc = pod_cluster(cluster, spec.pods, i);
+                let sub = certify_with_recovery(&pc, pod_workload, pod_outcome, trace, recovery);
+                report
+                    .violations
+                    .extend(sub.violations.into_iter().map(|mut v| {
+                        v.detail = format!("pod {i}: {}", v.detail);
+                        v
+                    }));
+                report.attribution.extend(sub.attribution);
+                report.events_checked += sub.events_checked;
+            }
+        }
+    }
+    report
 }
 
 /// Shared certification core: every check below runs against the

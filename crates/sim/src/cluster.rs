@@ -92,6 +92,11 @@ impl ClusterConfig {
         !self.windows.is_empty()
     }
 
+    /// The configured capacity overrides, in insertion order.
+    pub fn windows(&self) -> &[CapacityWindow] {
+        &self.windows
+    }
+
     /// Duration of one slot in seconds.
     pub fn slot_seconds(&self) -> f64 {
         self.slot_seconds

@@ -70,6 +70,12 @@ pub struct SimOutcome {
     /// fired. Shed jobs count as neither completed nor in flight.
     #[serde(default, skip_serializing_if = "crate::serde_skip::empty_vec")]
     pub shed: Vec<ShedJob>,
+    /// Pod index this outcome was produced on, for sharded runs
+    /// ([`crate::shard`]). Zero — and omitted from serialization — for
+    /// unsharded runs and for pod 0, keeping K=1 sharded bytes identical
+    /// to the unsharded engine's.
+    #[serde(default, skip_serializing_if = "crate::serde_skip::zero_u64")]
+    pub pod: u64,
 }
 
 impl SimOutcome {
@@ -1124,6 +1130,7 @@ impl Engine {
             deadline_attribution,
             recovery: self.recovery.map(|r| r.stats).unwrap_or_default(),
             shed,
+            pod: 0,
         }
     }
 }

@@ -78,6 +78,7 @@ pub mod online;
 pub mod oracle;
 pub mod placement;
 pub mod scheduler;
+pub mod shard;
 pub mod state;
 pub mod submission;
 pub mod sweep;
@@ -85,7 +86,9 @@ pub mod telemetry;
 pub mod timeline;
 pub mod trace;
 
-pub use audit::{certify, certify_log, certify_with_recovery, AuditReport, AuditViolation};
+pub use audit::{
+    certify, certify_log, certify_sharded, certify_with_recovery, AuditReport, AuditViolation,
+};
 pub use cluster::ClusterConfig;
 pub use engine::{Engine, SimOutcome, StepOutcome};
 pub use error::SimError;
@@ -103,6 +106,10 @@ pub use online::{OnlineEngine, OnlineStatus};
 pub use oracle::OracleEngine;
 pub use placement::{NodePool, PackResult};
 pub use scheduler::{Allocation, Scheduler};
+pub use shard::{
+    place, place_log, pod_cluster, run_sharded, run_sharded_traced, split_capacity, PlacementLog,
+    Placer, PlacerState, PodAssignment, RebalanceEvent, ShardClass, ShardSpec, ShardedOutcome,
+};
 pub use state::{JobView, SimState, WorkflowView};
 pub use submission::{EffectiveSubmission, LogEntry, SubmissionLog};
 pub use sweep::run_cells;

@@ -66,6 +66,8 @@ fn lifecycle_violations_are_typed_errors() {
         max_slots: 100,
         trace_capacity: 64,
         snapshot_path: None,
+        pods: 0,
+        placer: None,
     })
     .is_err());
 
@@ -140,6 +142,8 @@ fn horizon_exhaustion_is_a_typed_error() {
             max_slots: 5,
             trace_capacity: 64,
             snapshot_path: None,
+            pods: 0,
+            placer: None,
         })
         .expect("valid config"),
     );
@@ -235,6 +239,8 @@ fn spawn_tcp(scheduler: &str) -> (std::net::SocketAddr, std::thread::JoinHandle<
             max_slots: 1_000_000,
             trace_capacity: 1 << 12,
             snapshot_path: None,
+            pods: 0,
+            placer: None,
         })
         .expect("valid config");
         let session = serve(listener, session, None).expect("server runs");

@@ -1,0 +1,302 @@
+//! Sharded daemon differential: a `flowtimed` session with `pods = K`
+//! runs one engine per pod behind the same wire protocol, placing each
+//! submission at injection time with the batch layer's placer. The
+//! contract mirrors the unsharded differential: splitting the session's
+//! recorded log with [`flowtime_sim::place_log`] and replaying each
+//! per-pod sub-log through a batch [`Engine::from_log`] over that pod's
+//! capacity slice must reproduce every pod's `SimOutcome` and decision
+//! trace byte-for-byte — including sessions with mid-run ticks,
+//! cancellations, and pods that never receive work. A `pods = 1` session
+//! must be byte-identical to an unsharded one on every response.
+
+mod daemon_util;
+
+use daemon_util::{
+    adhoc_line, loopback, loopback_sharded, loopback_sharded_with_snapshot, ok, trace_bytes,
+    workflow_line, TRACE_CAPACITY,
+};
+use flowtime_bench::experiments::{testbed_cluster, Algo, WorkflowExperiment};
+use flowtime_daemon::{codes, Loopback, Session, SessionConfig};
+use flowtime_sim::{
+    place_log, pod_cluster, DecisionTrace, Engine, ShardSpec, SimOutcome, SimWorkload,
+    SubmissionLog,
+};
+
+fn experiment(seed: u64) -> WorkflowExperiment {
+    WorkflowExperiment {
+        workflows: 3,
+        jobs_per_workflow: 6,
+        adhoc_horizon: 80,
+        seed,
+        ..Default::default()
+    }
+}
+
+/// Drives a workload through a session with mid-run ticks (workflows up
+/// front, the ad-hoc stream arriving online), optionally cancelling, and
+/// returns the log plus the frozen per-pod results.
+fn drive(
+    mut lb: Loopback,
+    workload: &SimWorkload,
+    cancel: &[u64],
+) -> (SubmissionLog, String, Vec<SimOutcome>, Vec<DecisionTrace>) {
+    for sub in &workload.workflows {
+        ok(&mut lb, &workflow_line(sub));
+    }
+    let mut adhoc: Vec<_> = workload.adhoc.clone();
+    adhoc.sort_by_key(|s| s.arrival_slot);
+    let mut now = 0u64;
+    for sub in &adhoc {
+        if sub.arrival_slot > now + 4 {
+            now = sub.arrival_slot - 2;
+            ok(&mut lb, &format!("{{\"req\":\"tick\",\"to\":{now}}}"));
+        }
+        ok(&mut lb, &adhoc_line(sub));
+    }
+    for seq in cancel {
+        ok(&mut lb, &format!("{{\"req\":\"cancel\",\"sub\":{seq}}}"));
+    }
+    let log = lb.session().log().clone();
+    ok(&mut lb, "{\"req\":\"drain\"}");
+    let session = lb.into_session();
+    let bytes = session.outcome_json().expect("drained").to_string();
+    let outcomes = session.final_outcomes().expect("drained").to_vec();
+    let traces = session.final_traces().expect("drained").to_vec();
+    (log, bytes, outcomes, traces)
+}
+
+/// Replays each per-pod sub-log of `log` through a batch engine and
+/// asserts byte-identity with the session's per-pod outcome and trace.
+fn assert_batch_parity(
+    cluster: &flowtime_sim::ClusterConfig,
+    log: &SubmissionLog,
+    algo: Algo,
+    pods: usize,
+    outcomes: &[SimOutcome],
+    traces: &[DecisionTrace],
+) {
+    let spec = ShardSpec::new(pods);
+    let sub_logs = place_log(cluster, log, &spec).expect("log places");
+    assert_eq!(sub_logs.len(), pods);
+    assert_eq!(outcomes.len(), pods);
+    for (pod, sub_log) in sub_logs.iter().enumerate() {
+        let pc = pod_cluster(cluster, pods, pod);
+        let mut scheduler = algo.make(&pc);
+        let (engine, handle) = Engine::from_log(pc, sub_log, 1_000_000)
+            .expect("sub-log replays")
+            .with_trace(TRACE_CAPACITY as usize);
+        let batch = engine.run(scheduler.as_mut()).expect("batch run succeeds");
+        assert_eq!(
+            serde_json::to_string(&outcomes[pod]).expect("outcome serializes"),
+            serde_json::to_string(&batch).expect("outcome serializes"),
+            "pod {pod}/{pods} outcome diverges from its batch replay ({})",
+            algo.name()
+        );
+        assert_eq!(
+            trace_bytes(&traces[pod]),
+            trace_bytes(&handle.take()),
+            "pod {pod}/{pods} trace diverges from its batch replay ({})",
+            algo.name()
+        );
+    }
+}
+
+/// The core sharded contract: per-pod byte-parity with `place_log` +
+/// `Engine::from_log`, for several pod counts, schedulers, and seeds,
+/// with submissions arriving mid-run.
+#[test]
+fn sharded_session_matches_per_pod_batch_replay() {
+    for seed in [0u64, 3] {
+        let cluster = testbed_cluster();
+        let workload = experiment(seed).build(&cluster);
+        for algo in [Algo::FlowTime, Algo::Edf] {
+            for pods in [2usize, 4] {
+                let lb = loopback_sharded(cluster.clone(), algo.name(), pods as u64);
+                let (log, bytes, outcomes, traces) = drive(lb, &workload, &[]);
+                assert!(
+                    bytes.starts_with("{\"pods\":["),
+                    "sharded outcome must be the per-pod array form: {bytes}"
+                );
+                assert_batch_parity(&cluster, &log, algo, pods, &outcomes, &traces);
+                let total: usize = outcomes.iter().map(|o| o.metrics.jobs.len()).sum();
+                assert_eq!(
+                    total,
+                    workload
+                        .workflows
+                        .iter()
+                        .map(|w| w.workflow.len())
+                        .sum::<usize>()
+                        + workload.adhoc.len(),
+                    "every submitted job must land in exactly one pod"
+                );
+            }
+        }
+    }
+}
+
+/// Cancellations in a sharded session never reach any pod: the recorded
+/// log (cancels included) still replays per-pod byte-identically, and the
+/// cancelled jobs are absent from every pod's outcome.
+#[test]
+fn sharded_cancellation_is_replayed_exactly() {
+    let cluster = testbed_cluster();
+    let workload = experiment(1).build(&cluster);
+    let n_workflows = workload.workflows.len() as u64;
+    let cancel = [n_workflows + 1, n_workflows + 4];
+    let pods = 2usize;
+
+    // Queue everything up front so the cancel targets are still pending.
+    let mut lb = loopback_sharded(cluster.clone(), "flowtime", pods as u64);
+    for sub in &workload.workflows {
+        ok(&mut lb, &workflow_line(sub));
+    }
+    for sub in &workload.adhoc {
+        ok(&mut lb, &adhoc_line(sub));
+    }
+    for seq in &cancel {
+        ok(&mut lb, &format!("{{\"req\":\"cancel\",\"sub\":{seq}}}"));
+    }
+    let log = lb.session().log().clone();
+    ok(&mut lb, "{\"req\":\"drain\"}");
+    let session = lb.into_session();
+    let outcomes = session.final_outcomes().expect("drained").to_vec();
+    let traces = session.final_traces().expect("drained").to_vec();
+
+    assert_batch_parity(&cluster, &log, Algo::FlowTime, pods, &outcomes, &traces);
+    let total: usize = outcomes.iter().map(|o| o.metrics.jobs.len()).sum();
+    assert_eq!(
+        total,
+        workload
+            .workflows
+            .iter()
+            .map(|w| w.workflow.len())
+            .sum::<usize>()
+            + workload.adhoc.len()
+            - cancel.len(),
+        "cancelled jobs must not appear in any pod"
+    );
+}
+
+/// `pods: 1` is the unsharded engine, bit for bit: the whole response
+/// stream — submit acks, tick responses, status, drain summary, and the
+/// embedded outcome — matches a `pods: 0` session byte-for-byte.
+#[test]
+fn single_pod_session_is_byte_identical_to_unsharded() {
+    let cluster = testbed_cluster();
+    let workload = experiment(2).build(&cluster);
+    let mut plain = loopback(cluster.clone(), "flowtime");
+    let mut sharded = loopback_sharded(cluster.clone(), "flowtime", 1);
+
+    let mut script = Vec::new();
+    for sub in &workload.workflows {
+        script.push(workflow_line(sub));
+    }
+    for sub in &workload.adhoc {
+        script.push(adhoc_line(sub));
+    }
+    script.push("{\"req\":\"tick\",\"to\":40}".to_string());
+    script.push("{\"req\":\"status\"}".to_string());
+    script.push("{\"req\":\"trace\",\"limit\":8}".to_string());
+    script.push("{\"req\":\"drain\"}".to_string());
+    script.push("{\"req\":\"status\"}".to_string());
+    script.push("{\"req\":\"outcome\"}".to_string());
+    for line in &script {
+        assert_eq!(
+            plain.request_line(line),
+            sharded.request_line(line),
+            "pods=1 response diverges from unsharded for `{line}`"
+        );
+    }
+}
+
+/// A sharded session snapshots and restores exactly: the restored session
+/// drains to the same per-pod bytes as the original.
+#[test]
+fn sharded_snapshot_restores_byte_identically() {
+    let dir = std::env::temp_dir().join("flowtime-daemon-shard-snap");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("sharded.snap");
+    let _ = std::fs::remove_file(&path);
+
+    let cluster = testbed_cluster();
+    let workload = experiment(4).build(&cluster);
+    let mut lb = loopback_sharded_with_snapshot(
+        cluster.clone(),
+        "flowtime",
+        2,
+        Some("firstfit".to_string()),
+        Some(path.to_string_lossy().into_owned()),
+    );
+    for sub in &workload.workflows {
+        ok(&mut lb, &workflow_line(sub));
+    }
+    for sub in &workload.adhoc {
+        ok(&mut lb, &adhoc_line(sub));
+    }
+    ok(&mut lb, "{\"req\":\"tick\",\"to\":30}");
+    ok(&mut lb, "{\"req\":\"snapshot\"}");
+
+    let body = flowtime_daemon::snapshot::load(&path).expect("snapshot loads");
+    assert_eq!(body.config.pods, 2, "pod count must survive the snapshot");
+    assert_eq!(body.config.placer.as_deref(), Some("firstfit"));
+    let mut restored = Loopback::new(Session::restore(body).expect("snapshot restores"));
+
+    ok(&mut lb, "{\"req\":\"drain\"}");
+    ok(&mut restored, "{\"req\":\"drain\"}");
+    assert_eq!(
+        lb.into_session().outcome_json().expect("drained"),
+        restored.into_session().outcome_json().expect("drained"),
+        "restored sharded session must drain to identical bytes"
+    );
+    let _ = std::fs::remove_file(&path);
+}
+
+/// Sharding config errors are typed `bad-request`s at construction, and
+/// unsharded configs keep their pre-sharding serialized form (no `pods` /
+/// `placer` keys), so existing snapshots parse unchanged.
+#[test]
+fn sharding_config_validation_and_serde_compat() {
+    let base = SessionConfig {
+        cluster: testbed_cluster(),
+        scheduler: "edf".to_string(),
+        max_slots: 1000,
+        trace_capacity: 64,
+        snapshot_path: None,
+        pods: 0,
+        placer: None,
+    };
+
+    // A placer without pods > 1 and an unknown placer are both rejected.
+    for (pods, placer) in [
+        (0u64, Some("demand".to_string())),
+        (1, Some("demand".to_string())),
+        (2, Some("round-robin".to_string())),
+    ] {
+        let err = Session::new(SessionConfig {
+            pods,
+            placer,
+            ..base.clone()
+        })
+        .err()
+        .expect("invalid sharding config must be rejected");
+        assert_eq!(err.code, codes::BAD_REQUEST);
+    }
+    // Separator-insensitive placer names are accepted, like the CLI's.
+    Session::new(SessionConfig {
+        pods: 2,
+        placer: Some("First-Fit".to_string()),
+        ..base.clone()
+    })
+    .expect("separator-insensitive placer name");
+
+    // Unsharded configs serialize without the sharding keys.
+    let json = serde_json::to_string(&base).expect("config serializes");
+    assert!(
+        !json.contains("\"pods\"") && !json.contains("\"placer\""),
+        "unsharded config must keep its pre-sharding bytes: {json}"
+    );
+    // And a pre-sharding config document (no such keys) still parses.
+    let legacy: SessionConfig =
+        serde_json::from_value(&serde_json::parse(&json).expect("parses")).expect("deserializes");
+    assert_eq!(legacy, base);
+}

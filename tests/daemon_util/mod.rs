@@ -23,6 +23,23 @@ pub fn loopback_with_snapshot(
     scheduler: &str,
     snapshot_path: Option<String>,
 ) -> Loopback {
+    loopback_sharded_with_snapshot(cluster, scheduler, 0, None, snapshot_path)
+}
+
+/// A loopback session sharded into `pods` pods (0 and 1 both mean the
+/// unsharded engine).
+pub fn loopback_sharded(cluster: ClusterConfig, scheduler: &str, pods: u64) -> Loopback {
+    loopback_sharded_with_snapshot(cluster, scheduler, pods, None, None)
+}
+
+/// The fully general loopback builder: pod count, placer, snapshot path.
+pub fn loopback_sharded_with_snapshot(
+    cluster: ClusterConfig,
+    scheduler: &str,
+    pods: u64,
+    placer: Option<String>,
+    snapshot_path: Option<String>,
+) -> Loopback {
     Loopback::new(
         Session::new(SessionConfig {
             cluster,
@@ -30,6 +47,8 @@ pub fn loopback_with_snapshot(
             max_slots: 1_000_000,
             trace_capacity: TRACE_CAPACITY,
             snapshot_path,
+            pods,
+            placer,
         })
         .expect("valid session config"),
     )

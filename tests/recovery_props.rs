@@ -169,6 +169,7 @@ fn chaos_sweep_is_byte_identical_across_thread_counts() {
         schedulers: Algo::FIG4.to_vec(),
         fault_seeds: vec![0, 1],
         audit: true,
+        shard: None,
     };
     let sequential = serde_json::to_string_pretty(&spec.run(1).report).expect("report serializes");
     assert!(

@@ -45,5 +45,9 @@ fn restore_after_cancel_of_gap_burned_submission() {
         Ok(s) => println!("restored, now={}", s.now()),
         Err(e) => println!("RESTORE FAILED: {e}"),
     }
-    assert!(restored.is_ok(), "restore failed: {:?}", restored.err().map(|e| e.to_string()));
+    assert!(
+        restored.is_ok(),
+        "restore failed: {:?}",
+        restored.err().map(|e| e.to_string())
+    );
 }
