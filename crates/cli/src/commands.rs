@@ -34,6 +34,13 @@ USAGE:
   flowtime-cli decompose --trace <trace.jsonl> [--index I] [--slack S]
   flowtime-cli audit     --trace <trace.jsonl> --decision-trace <d.jsonl>
                          --outcome <outcome.json> [FAULTS]
+  flowtime-cli explain   --trace <trace.jsonl> --decision-trace <d.jsonl>
+                         --outcome <outcome.json> [--out report.json] [FAULTS]
+  flowtime-cli whatif    --trace <trace.jsonl> --decision-trace <d.jsonl>
+                         --outcome <outcome.json> [--scheduler ALT]
+                         [--alt-max-retries N] [--alt-retry-backoff B]
+                         [--alt-shed-policy P] [--alt-pods K] [--alt-placer P]
+                         [--out diff.json] [FAULTS]
   flowtime-cli sweep     [--threads N] [--seeds A..B] [--schedulers a,b,..]
                          [--scenarios clean,mixed-faults,chaos:0.2]
                          [--jobs N] [--adhoc-horizon S] [--seed S]
@@ -59,6 +66,25 @@ SHARDING (simulate and sweep; see DESIGN.md §15):
                      is byte-identical to the unsharded engine
   --placer P         pod placement policy: firstfit, worstfit, or demand
                      (default demand); requires --pods
+  With --pods K>1, `simulate --trace-out d.jsonl` writes one trace per pod
+  (d.jsonl.pod0, d.jsonl.pod1, ...). `audit` and `explain` read the pod
+  provenance stamped in a sharded trace header, so --pods/--placer need not
+  be re-stated (if given, they must agree with the header).
+
+EXPLAIN / WHATIF (see DESIGN.md §16):
+  `explain` diagnoses every missed workflow of a certified run: a typed
+  E00x causal chain whose slack figures balance exactly against the
+  auditor's independent MissAttribution recount. `whatif` replays the
+  recorded scenario under a modified policy and emits a certified
+  two-sided diff (both sides audited; identical policies must no-op).
+  --scheduler ALT        the alt-side scheduler (default: the recorded one)
+  --alt-max-retries N    alt-side retry budget override
+  --alt-retry-backoff B  alt-side backoff base override
+  --alt-shed-policy P    alt-side admission policy: none | shed | delay:N
+  --alt-pods K           run the alt side sharded into K pods
+  --alt-placer P         alt-side placement policy (requires --alt-pods)
+  The slack-factor axis is the scheduler choice itself (flowtime vs
+  flowtime-no-ds). FAULTS/RECOVERY flags describe the recorded base run.
 
 LP BACKEND (any command that solves scheduling LPs):
   --lp-backend B     simplex engine: sparse (revised simplex + LU, default)
@@ -112,6 +138,8 @@ pub fn dispatch(argv: &[String]) -> CliResult {
         Some("compare") => compare(&args),
         Some("decompose") => decompose_cmd(&args),
         Some("audit") => audit_cmd(&args),
+        Some("explain") => explain_cmd(&args),
+        Some("whatif") => whatif_cmd(&args),
         Some("sweep") => sweep_cmd(&args),
         Some("submit") => daemon_submit(&args),
         Some("status") => daemon_status(&args),
@@ -453,8 +481,11 @@ fn simulate(args: &Args) -> CliResult {
 /// byte-identical to the unsharded engine, so `--outcome-out` /
 /// `--trace-out` write the pod-0 artifacts directly (CI diffs them against
 /// a plain `simulate`); with several pods the outcome file holds the full
-/// [`flowtime_sim::ShardedOutcome`] and per-pod decision traces / timelines
-/// are not merged, so `--trace-out`, `--gantt`, and `--out` are errors.
+/// [`flowtime_sim::ShardedOutcome`], `--trace-out d.jsonl` writes one
+/// trace per pod (`d.jsonl.pod0`, `d.jsonl.pod1`, ...; each header carries
+/// its pod provenance, so `audit`/`explain` need no `--pods` re-statement),
+/// and per-pod timelines / metrics are not merged, so `--gantt` and
+/// `--out` are errors.
 fn simulate_sharded(
     args: &Args,
     trace: &Trace,
@@ -465,9 +496,6 @@ fn simulate_sharded(
         return Err(
             "--gantt is not supported with --pods (per-pod timelines are not merged)".into(),
         );
-    }
-    if shard.pods > 1 && args.has("trace-out") {
-        return Err("--trace-out needs --pods 1 (per-pod decision traces are not merged)".into());
     }
     if shard.pods > 1 && args.has("out") {
         return Err(
@@ -512,14 +540,26 @@ fn simulate_sharded(
         return Err("sharded auditor rejected the run (engine bug?)".into());
     }
     if let Some(trace_out) = args.get("trace-out") {
-        let decisions = &traces[0];
-        let file =
-            File::create(trace_out).map_err(|e| format!("cannot create {trace_out}: {e}"))?;
-        decisions.write_jsonl(BufWriter::new(file))?;
-        println!(
-            "decision trace ({} events) written to {trace_out}",
-            decisions.recorded()
-        );
+        if shard.pods == 1 {
+            let decisions = &traces[0];
+            let file =
+                File::create(trace_out).map_err(|e| format!("cannot create {trace_out}: {e}"))?;
+            decisions.write_jsonl(BufWriter::new(file))?;
+            println!(
+                "decision trace ({} events) written to {trace_out}",
+                decisions.recorded()
+            );
+        } else {
+            for (i, decisions) in traces.iter().enumerate() {
+                let path = format!("{trace_out}.pod{i}");
+                let file = File::create(&path).map_err(|e| format!("cannot create {path}: {e}"))?;
+                decisions.write_jsonl(BufWriter::new(file))?;
+                println!(
+                    "decision trace ({} events) written to {path}",
+                    decisions.recorded()
+                );
+            }
+        }
     }
     if let Some(out) = args.get("outcome-out") {
         let file = File::create(out).map_err(|e| format!("cannot create {out}: {e}"))?;
@@ -557,29 +597,125 @@ fn simulate_sharded(
     Ok(())
 }
 
-/// Offline certification: replays a decision trace against the scenario it
-/// claims to describe and the outcome the engine reported, sharing no state
-/// with the engine. The scenario is re-derived exactly as `simulate` does
-/// (same milestone attachment, same fault flags), so pass the same FAULTS
-/// that produced the run.
-fn audit_cmd(args: &Args) -> CliResult {
-    let mut trace = load_trace(args)?;
-    attach_milestones(&mut trace);
-    apply_faults(args, &mut trace)?;
+/// Reads the `--decision-trace` file.
+fn load_decisions(args: &Args) -> Result<flowtime_sim::DecisionTrace, Box<dyn Error>> {
     let dpath = args
         .get("decision-trace")
         .ok_or("--decision-trace <file> is required")?;
     let file = File::open(dpath).map_err(|e| format!("cannot open {dpath}: {e}"))?;
-    let decisions = flowtime_sim::DecisionTrace::read_jsonl(BufReader::new(file))
-        .map_err(|e| format!("malformed decision trace {dpath}: {e}"))?;
+    Ok(
+        flowtime_sim::DecisionTrace::read_jsonl(BufReader::new(file))
+            .map_err(|e| format!("malformed decision trace {dpath}: {e}"))?,
+    )
+}
+
+/// The scenario slice a recorded trace must be verified against: the whole
+/// cluster/workload for an unsharded (or K=1) trace, or the trace's own
+/// pod slice when its header carries a shard provenance stamp. The stamp
+/// makes `--pods`/`--placer` redundant on `audit`/`explain`; if given
+/// anyway they must agree with the header.
+struct AuditScope {
+    cluster: ClusterConfig,
+    workload: flowtime_sim::SimWorkload,
+    pod: Option<(usize, usize)>,
+}
+
+fn audit_scope(
+    args: &Args,
+    trace: &Trace,
+    decisions: &flowtime_sim::DecisionTrace,
+) -> Result<AuditScope, Box<dyn Error>> {
+    let header = &decisions.header;
+    if header.pods <= 1 {
+        if let Some(spec) = shard_spec(args)? {
+            if spec.pods > 1 {
+                return Err(format!(
+                    "--pods {} given, but the decision trace is from an unsharded (or K=1) run",
+                    spec.pods
+                )
+                .into());
+            }
+        }
+        return Ok(AuditScope {
+            cluster: trace.cluster.clone(),
+            workload: trace.workload.clone(),
+            pod: None,
+        });
+    }
+    let pods = header.pods as usize;
+    let pod = header.pod as usize;
+    let placer = flowtime_sim::Placer::parse(&header.placer)
+        .ok_or_else(|| format!("decision trace records unknown placer `{}`", header.placer))?;
+    if let Some(spec) = shard_spec(args)? {
+        if spec.pods != pods || spec.placer != placer {
+            return Err(format!(
+                "--pods {} --placer {} disagree with the trace header (pods={} placer={})",
+                spec.pods,
+                spec.placer.name(),
+                pods,
+                placer.name()
+            )
+            .into());
+        }
+    }
+    let spec = flowtime_sim::ShardSpec::new(pods).with_placer(placer);
+    let placement = flowtime_sim::place(&trace.cluster, &trace.workload, &spec);
+    let mut workloads = placement.pod_workloads(&trace.workload)?;
+    if pod >= workloads.len() {
+        return Err(format!("trace header claims pod {pod} of {pods}, placement disagrees").into());
+    }
+    Ok(AuditScope {
+        cluster: flowtime_sim::pod_cluster(&trace.cluster, pods, pod),
+        workload: workloads.swap_remove(pod),
+        pod: Some((pod, pods)),
+    })
+}
+
+/// Reads `--outcome`, slicing out the right pod when the decision trace is
+/// from a sharded run: the file may hold either the pod's own
+/// [`flowtime_sim::SimOutcome`] or the full
+/// [`flowtime_sim::ShardedOutcome`] `simulate --pods K` writes.
+fn load_outcome(
+    args: &Args,
+    decisions: &flowtime_sim::DecisionTrace,
+) -> Result<flowtime_sim::SimOutcome, Box<dyn Error>> {
     let opath = args.get("outcome").ok_or("--outcome <file> is required")?;
     let raw = std::fs::read_to_string(opath).map_err(|e| format!("cannot open {opath}: {e}"))?;
-    let outcome: flowtime_sim::SimOutcome =
-        serde_json::from_str(&raw).map_err(|e| format!("malformed outcome {opath}: {e}"))?;
+    if decisions.header.pods > 1 {
+        if let Ok(sharded) = serde_json::from_str::<flowtime_sim::ShardedOutcome>(&raw) {
+            let pod = decisions.header.pod as usize;
+            return sharded.pods.into_iter().nth(pod).ok_or_else(|| {
+                format!("{opath} holds a sharded outcome without pod {pod}").into()
+            });
+        }
+    }
+    Ok(serde_json::from_str::<flowtime_sim::SimOutcome>(&raw)
+        .map_err(|e| format!("malformed outcome {opath}: {e}"))?)
+}
+
+/// Offline certification: replays a decision trace against the scenario it
+/// claims to describe and the outcome the engine reported, sharing no state
+/// with the engine. The scenario is re-derived exactly as `simulate` does
+/// (same milestone attachment, same fault flags), so pass the same FAULTS
+/// that produced the run. Traces recorded by sharded runs carry their pod
+/// provenance in the header and are verified against their own pod slice.
+fn audit_cmd(args: &Args) -> CliResult {
+    let mut trace = load_trace(args)?;
+    attach_milestones(&mut trace);
+    apply_faults(args, &mut trace)?;
+    let decisions = load_decisions(args)?;
+    let scope = audit_scope(args, &trace, &decisions)?;
+    let outcome = load_outcome(args, &decisions)?;
     let recovery = recovery_setup(args)?;
+    if let Some((pod, pods)) = scope.pod {
+        println!(
+            "{:<16} verifying pod {pod} of {pods} against its own slice",
+            "shard"
+        );
+    }
     let report = flowtime_sim::certify_with_recovery(
-        &trace.cluster,
-        &trace.workload,
+        &scope.cluster,
+        &scope.workload,
         &outcome,
         &decisions,
         recovery.as_ref(),
@@ -603,6 +739,286 @@ fn audit_cmd(args: &Args) -> CliResult {
                 a.completion_slot - a.deadline_slot
             );
         }
+    }
+    Ok(())
+}
+
+/// Diagnoses every missed workflow of a certified recorded run: the E00x
+/// causal chains of `flowtime_sim::explain`, cross-checked against the
+/// auditor's independent MissAttribution recount. Refuses uncertifiable
+/// runs with a nonzero exit.
+fn explain_cmd(args: &Args) -> CliResult {
+    let mut trace = load_trace(args)?;
+    attach_milestones(&mut trace);
+    apply_faults(args, &mut trace)?;
+    let decisions = load_decisions(args)?;
+    let scope = audit_scope(args, &trace, &decisions)?;
+    let outcome = load_outcome(args, &decisions)?;
+    let recovery = recovery_setup(args)?;
+    let report = flowtime_sim::explain(
+        &scope.cluster,
+        &scope.workload,
+        &outcome,
+        &decisions,
+        recovery.as_ref(),
+    )
+    .map_err(|e| {
+        if let flowtime_sim::ExplainError::Uncertified { violations, .. } = &e {
+            for v in violations {
+                eprintln!("  {v}");
+            }
+        }
+        format!("{e}")
+    })?;
+    println!(
+        "{:<16} {} event(s) checked; {} missed workflow(s), {} with a complete causal chain, {} diagnostic(s)",
+        report.scheduler,
+        report.events_checked,
+        report.missed_workflows(),
+        report.complete_chains(),
+        report.diagnostics(),
+    );
+    for wf in &report.workflows {
+        println!(
+            "  {} missed by {} slot(s) (deadline {}, completed {}), {} slack slot(s) attributed{}",
+            wf.workflow,
+            wf.miss_slots,
+            wf.deadline_slot,
+            wf.completion_slot,
+            wf.total_overrun_slots,
+            if wf.complete {
+                ""
+            } else {
+                " [incomplete chain]"
+            },
+        );
+        for d in &wf.chain {
+            let anchor = match (d.job, d.node) {
+                (Some(job), Some(node)) => format!("{job} node {node} "),
+                _ => String::new(),
+            };
+            let slack = if d.slack_slots > 0 {
+                format!(" (+{} slack)", d.slack_slots)
+            } else {
+                String::new()
+            };
+            println!(
+                "    {} {}slot {}{}: {}",
+                d.code, anchor, d.slot, slack, d.detail
+            );
+        }
+    }
+    if let Some(out) = args.get("out") {
+        let file = File::create(out).map_err(|e| format!("cannot create {out}: {e}"))?;
+        serde_json::to_writer_pretty(BufWriter::new(file), &report)?;
+        println!("explain report written to {out}");
+    }
+    Ok(())
+}
+
+/// Alt-side recovery policy: the base setup with the `--alt-*` overrides
+/// applied. With no override flags the alt side inherits the base setup
+/// unchanged (so a bare `whatif` is an identical-policy no-op check).
+fn alt_recovery_setup(
+    args: &Args,
+    base: Option<&RecoverySetup>,
+) -> Result<Option<RecoverySetup>, Box<dyn Error>> {
+    const ALT_KEYS: [&str; 3] = ["alt-max-retries", "alt-retry-backoff", "alt-shed-policy"];
+    if !ALT_KEYS.iter().any(|k| args.has(k)) {
+        return Ok(base.cloned());
+    }
+    let mut setup = base.cloned().unwrap_or_else(|| {
+        RecoverySetup::new(RuntimeFaultConfig::none(0), RecoveryPolicy::default())
+    });
+    if args.has("alt-max-retries") {
+        setup.policy = setup
+            .policy
+            .clone()
+            .with_max_retries(args.get_parsed("alt-max-retries", 3u32)?);
+    }
+    if args.has("alt-retry-backoff") {
+        setup.policy = setup
+            .policy
+            .clone()
+            .with_backoff(args.get_parsed("alt-retry-backoff", 1u64)?);
+    }
+    if let Some(raw) = args.get("alt-shed-policy") {
+        setup.policy = setup.policy.clone().with_shed(parse_shed_policy(raw)?);
+    }
+    Ok(Some(setup))
+}
+
+/// Counterfactual replay: takes the recorded base run (decision trace +
+/// outcome) and re-runs the same scenario under a modified policy, then
+/// emits the certified two-sided diff of `flowtime_sim::whatif`. Both
+/// sides must certify — an uncertifiable diff is a nonzero exit.
+fn whatif_cmd(args: &Args) -> CliResult {
+    let mut trace = load_trace(args)?;
+    attach_milestones(&mut trace);
+    apply_faults(args, &mut trace)?;
+    let decisions = load_decisions(args)?;
+    if decisions.header.pods > 1 {
+        return Err(
+            "whatif wants an unsharded base recording; re-record with --pods 1 (sharded \
+             alternatives go on the alt side via --alt-pods)"
+                .into(),
+        );
+    }
+    let outcome = load_outcome(args, &decisions)?;
+    let base_recovery = recovery_setup(args)?;
+    let alt_recovery = alt_recovery_setup(args, base_recovery.as_ref())?;
+    // The trace header records the scheduler's display name ("EDF"); the
+    // lowercase form is the CLI name `make_scheduler` accepts. A recording
+    // made with flowtime-no-ds replays as plain flowtime unless the
+    // variant is re-stated with --scheduler.
+    let base_name = decisions.header.scheduler.to_lowercase();
+    let alt_name = args.get("scheduler").unwrap_or(&base_name).to_string();
+    let plan_cache = !args.has("no-plan-cache");
+    let base = flowtime_sim::RunArtifacts {
+        outcome,
+        trace: decisions,
+    };
+
+    let alt_pods: usize = args.get_parsed("alt-pods", 1usize)?;
+    if alt_pods == 0 {
+        return Err("--alt-pods must be at least 1".into());
+    }
+    if args.has("alt-placer") && !args.has("alt-pods") {
+        return Err("--alt-placer requires --alt-pods <K>".into());
+    }
+    let diff = if args.has("alt-pods") {
+        let mut alt_spec = flowtime_sim::ShardSpec::new(alt_pods);
+        if let Some(raw) = args.get("alt-placer") {
+            let placer = flowtime_sim::Placer::parse(raw).ok_or_else(|| {
+                format!("unknown placer `{raw}` (expected firstfit, worstfit, or demand)")
+            })?;
+            alt_spec = alt_spec.with_placer(placer);
+        }
+        make_scheduler(&alt_name, &trace.cluster, plan_cache)?;
+        let (alt_outcome, alt_traces) = flowtime_sim::run_sharded_traced(
+            &trace.cluster,
+            &trace.workload,
+            &alt_spec,
+            10_000_000,
+            alt_spec.pods,
+            alt_recovery.as_ref(),
+            flowtime_sim::DEFAULT_TRACE_CAPACITY,
+            |_pod, pod_cluster| {
+                make_scheduler(&alt_name, pod_cluster, plan_cache).expect("name validated")
+            },
+        )?;
+        // The recorded unsharded base is byte-identical to a K=1 sharded
+        // run, so it slots into the sharded differ as a one-pod side.
+        let base_spec = flowtime_sim::ShardSpec::new(1);
+        let base_sharded = flowtime_sim::ShardedRunArtifacts {
+            outcome: flowtime_sim::ShardedOutcome {
+                placement: flowtime_sim::place(&trace.cluster, &trace.workload, &base_spec),
+                pods: vec![base.outcome],
+            },
+            traces: vec![base.trace],
+        };
+        flowtime_sim::certified_sharded_diff(
+            &trace.cluster,
+            &trace.workload,
+            &base_sharded,
+            &base_spec,
+            base_recovery.as_ref(),
+            &flowtime_sim::ShardedRunArtifacts {
+                outcome: alt_outcome,
+                traces: alt_traces,
+            },
+            &alt_spec,
+            alt_recovery.as_ref(),
+        )
+    } else {
+        let mut alt_scheduler = make_scheduler(&alt_name, &trace.cluster, plan_cache)?;
+        let alt = flowtime_sim::run_policy(
+            &trace.cluster,
+            &trace.workload,
+            10_000_000,
+            flowtime_sim::DEFAULT_TRACE_CAPACITY,
+            alt_recovery.as_ref(),
+            alt_scheduler.as_mut(),
+        )?;
+        flowtime_sim::certified_diff(
+            &trace.cluster,
+            &trace.workload,
+            &base,
+            base_recovery.as_ref(),
+            &alt,
+            alt_recovery.as_ref(),
+        )
+    }
+    .map_err(|e| {
+        let flowtime_sim::WhatIfError::Uncertified { violations, .. } = &e;
+        for v in violations {
+            eprintln!("  {v}");
+        }
+        format!("{e}")
+    })?;
+
+    println!(
+        "whatif: base `{}` vs alt `{}` — {}",
+        diff.base_policy,
+        diff.alt_policy,
+        if diff.identical {
+            "identical (empty diff)".to_string()
+        } else {
+            format!(
+                "{} job row(s), {} workflow row(s)",
+                diff.jobs.len(),
+                diff.workflows.len()
+            )
+        }
+    );
+    let s = &diff.summary;
+    println!(
+        "  job-misses {} -> {}  wf-misses {} -> {}  slots {} -> {}  overrun {} -> {}",
+        s.base_job_misses,
+        s.alt_job_misses,
+        s.base_workflow_misses,
+        s.alt_workflow_misses,
+        s.base_slots_elapsed,
+        s.alt_slots_elapsed,
+        s.base_overrun_slots,
+        s.alt_overrun_slots,
+    );
+    if let Some(d) = &diff.first_divergence {
+        println!(
+            "  first divergence at event {} (slot {}): {} vs {}",
+            d.index,
+            d.slot,
+            d.base_event.as_deref().unwrap_or("<end>"),
+            d.alt_event.as_deref().unwrap_or("<end>"),
+        );
+    }
+    for row in diff.jobs.iter().take(10) {
+        println!(
+            "  {}: completion {:?} -> {:?}  missed {} -> {}{}",
+            row.job,
+            row.base.completion_slot,
+            row.alt.completion_slot,
+            row.base.missed_deadline,
+            row.alt.missed_deadline,
+            row.diverged
+                .as_ref()
+                .map(|d| format!("  (diverged at its event {} slot {})", d.index, d.slot))
+                .unwrap_or_default(),
+        );
+    }
+    if diff.jobs.len() > 10 {
+        println!("  ... {} more job row(s)", diff.jobs.len() - 10);
+    }
+    for row in &diff.workflows {
+        println!(
+            "  {}: completion {:?} -> {:?}  missed {} -> {}",
+            row.workflow, row.base_completion, row.alt_completion, row.base_missed, row.alt_missed,
+        );
+    }
+    if let Some(out) = args.get("out") {
+        let file = File::create(out).map_err(|e| format!("cannot create {out}: {e}"))?;
+        serde_json::to_writer_pretty(BufWriter::new(file), &diff)?;
+        println!("whatif diff written to {out}");
     }
     Ok(())
 }
@@ -1148,6 +1564,268 @@ mod tests {
     }
 
     #[test]
+    fn sharded_trace_out_then_audit_without_restating_pods() {
+        let dir = std::env::temp_dir().join("flowtime-cli-test-shard-audit");
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace_path = dir.join("t.jsonl");
+        let decisions_path = dir.join("d.jsonl");
+        let outcome_path = dir.join("o.json");
+        dispatch(&argv(&[
+            "generate",
+            "--out",
+            trace_path.to_str().unwrap(),
+            "--workflows",
+            "3",
+            "--cores",
+            "64",
+            "--seed",
+            "5",
+        ]))
+        .unwrap();
+        dispatch(&argv(&[
+            "simulate",
+            "--trace",
+            trace_path.to_str().unwrap(),
+            "--scheduler",
+            "edf",
+            "--pods",
+            "2",
+            "--trace-out",
+            decisions_path.to_str().unwrap(),
+            "--outcome-out",
+            outcome_path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        // One trace per pod, each self-describing: the audit needs no
+        // --pods/--placer because the header records the shard provenance.
+        for pod in 0..2 {
+            let pod_trace = format!("{}.pod{pod}", decisions_path.to_str().unwrap());
+            assert!(std::path::Path::new(&pod_trace).exists());
+            dispatch(&argv(&[
+                "audit",
+                "--trace",
+                trace_path.to_str().unwrap(),
+                "--decision-trace",
+                &pod_trace,
+                "--outcome",
+                outcome_path.to_str().unwrap(),
+            ]))
+            .unwrap();
+            // explain reads the same provenance and diagnoses the pod slice.
+            dispatch(&argv(&[
+                "explain",
+                "--trace",
+                trace_path.to_str().unwrap(),
+                "--decision-trace",
+                &pod_trace,
+                "--outcome",
+                outcome_path.to_str().unwrap(),
+            ]))
+            .unwrap();
+        }
+        // Explicit flags are allowed only when they agree with the header.
+        let pod0 = format!("{}.pod0", decisions_path.to_str().unwrap());
+        assert!(dispatch(&argv(&[
+            "audit",
+            "--trace",
+            trace_path.to_str().unwrap(),
+            "--decision-trace",
+            &pod0,
+            "--outcome",
+            outcome_path.to_str().unwrap(),
+            "--pods",
+            "3",
+        ]))
+        .is_err());
+        // A sharded recording cannot seed a whatif base.
+        assert!(dispatch(&argv(&[
+            "whatif",
+            "--trace",
+            trace_path.to_str().unwrap(),
+            "--decision-trace",
+            &pod0,
+            "--outcome",
+            outcome_path.to_str().unwrap(),
+        ]))
+        .is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn explain_round_trip_and_scenario_mismatch() {
+        let dir = std::env::temp_dir().join("flowtime-cli-test-explain");
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace_path = dir.join("t.jsonl");
+        let decisions_path = dir.join("d.jsonl");
+        let outcome_path = dir.join("o.json");
+        let report_path = dir.join("report.json");
+        dispatch(&argv(&[
+            "generate",
+            "--out",
+            trace_path.to_str().unwrap(),
+            "--workflows",
+            "2",
+            "--cores",
+            "64",
+            "--seed",
+            "3",
+        ]))
+        .unwrap();
+        dispatch(&argv(&[
+            "simulate",
+            "--trace",
+            trace_path.to_str().unwrap(),
+            "--scheduler",
+            "fifo",
+            "--trace-out",
+            decisions_path.to_str().unwrap(),
+            "--outcome-out",
+            outcome_path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        dispatch(&argv(&[
+            "explain",
+            "--trace",
+            trace_path.to_str().unwrap(),
+            "--decision-trace",
+            decisions_path.to_str().unwrap(),
+            "--outcome",
+            outcome_path.to_str().unwrap(),
+            "--out",
+            report_path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let report = std::fs::read_to_string(&report_path).unwrap();
+        let parsed: flowtime_sim::ExplainReport = serde_json::from_str(&report).unwrap();
+        assert_eq!(parsed.scheduler.to_lowercase(), "fifo");
+        assert!(parsed.events_checked > 0);
+        // Explaining against a scenario the run never saw must be refused —
+        // the auditor underneath rejects the mismatch.
+        assert!(dispatch(&argv(&[
+            "explain",
+            "--trace",
+            trace_path.to_str().unwrap(),
+            "--decision-trace",
+            decisions_path.to_str().unwrap(),
+            "--outcome",
+            outcome_path.to_str().unwrap(),
+            "--fault-seed",
+            "42",
+            "--submit-delay",
+            "5",
+        ]))
+        .is_err());
+        // Missing inputs are reported, not panicked on.
+        assert!(dispatch(&argv(&["explain", "--trace", trace_path.to_str().unwrap()])).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn whatif_identity_cross_scheduler_and_bad_flags() {
+        let dir = std::env::temp_dir().join("flowtime-cli-test-whatif");
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace_path = dir.join("t.jsonl");
+        let decisions_path = dir.join("d.jsonl");
+        let outcome_path = dir.join("o.json");
+        let diff_path = dir.join("diff.json");
+        dispatch(&argv(&[
+            "generate",
+            "--out",
+            trace_path.to_str().unwrap(),
+            "--workflows",
+            "2",
+            "--cores",
+            "64",
+            "--seed",
+            "3",
+        ]))
+        .unwrap();
+        dispatch(&argv(&[
+            "simulate",
+            "--trace",
+            trace_path.to_str().unwrap(),
+            "--scheduler",
+            "edf",
+            "--trace-out",
+            decisions_path.to_str().unwrap(),
+            "--outcome-out",
+            outcome_path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        // No overrides: the alt side replays the recorded policy, so the
+        // certified diff must be the identical-policy no-op.
+        dispatch(&argv(&[
+            "whatif",
+            "--trace",
+            trace_path.to_str().unwrap(),
+            "--decision-trace",
+            decisions_path.to_str().unwrap(),
+            "--outcome",
+            outcome_path.to_str().unwrap(),
+            "--out",
+            diff_path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let diff: flowtime_sim::WhatIfDiff =
+            serde_json::from_str(&std::fs::read_to_string(&diff_path).unwrap()).unwrap();
+        assert!(diff.identical, "identical policy must be an empty diff");
+        assert!(diff.jobs.is_empty() && diff.first_divergence.is_none());
+        // A different scheduler yields a certified two-sided diff.
+        dispatch(&argv(&[
+            "whatif",
+            "--trace",
+            trace_path.to_str().unwrap(),
+            "--decision-trace",
+            decisions_path.to_str().unwrap(),
+            "--outcome",
+            outcome_path.to_str().unwrap(),
+            "--scheduler",
+            "fifo",
+            "--out",
+            diff_path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let diff: flowtime_sim::WhatIfDiff =
+            serde_json::from_str(&std::fs::read_to_string(&diff_path).unwrap()).unwrap();
+        assert_eq!(diff.base_policy.to_lowercase(), "edf");
+        assert_eq!(diff.alt_policy.to_lowercase(), "fifo");
+        // A sharded alternative diffs at workflow granularity.
+        dispatch(&argv(&[
+            "whatif",
+            "--trace",
+            trace_path.to_str().unwrap(),
+            "--decision-trace",
+            decisions_path.to_str().unwrap(),
+            "--outcome",
+            outcome_path.to_str().unwrap(),
+            "--alt-pods",
+            "2",
+        ]))
+        .unwrap();
+        // Malformed requests are reported, not panicked on.
+        for bad in [
+            vec!["--scheduler", "nonsense"],
+            vec!["--alt-pods", "0"],
+            vec!["--alt-placer", "demand"],
+            vec!["--alt-pods", "2", "--alt-placer", "roundrobin"],
+            vec!["--alt-shed-policy", "nonsense"],
+        ] {
+            let mut a = vec![
+                "whatif",
+                "--trace",
+                trace_path.to_str().unwrap(),
+                "--decision-trace",
+                decisions_path.to_str().unwrap(),
+                "--outcome",
+                outcome_path.to_str().unwrap(),
+            ];
+            a.extend_from_slice(&bad);
+            assert!(dispatch(&argv(&a)).is_err(), "{bad:?} should be rejected");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn simulate_recovery_round_trip_and_bad_paths() {
         let dir = std::env::temp_dir().join("flowtime-cli-test-rec");
         std::fs::create_dir_all(&dir).unwrap();
@@ -1341,7 +2019,6 @@ mod tests {
             vec!["--placer", "demand"],
             vec!["--pods", "2", "--placer", "roundrobin"],
             vec!["--pods", "2", "--gantt"],
-            vec!["--pods", "2", "--trace-out", "/tmp/d.jsonl"],
             vec!["--pods", "2", "--out", "/tmp/m.json"],
         ] {
             let mut a = vec!["simulate", "--trace", trace_path.to_str().unwrap()];

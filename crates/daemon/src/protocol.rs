@@ -20,6 +20,7 @@
 //! | `trace`           | `limit` (optional): tail length          |
 //! | `drain`           | — (run everything to completion)         |
 //! | `outcome`         | — (after drain: the final `SimOutcome`)  |
+//! | `explain`         | — (after drain: per-missed-workflow E00x causal chains) |
 //! | `snapshot`        | — (persist session state now)            |
 //! | `shutdown`        | — (respond, then close the server)       |
 //!
@@ -92,6 +93,9 @@ pub enum Request {
     Drain,
     /// The final serialized `SimOutcome` (after drain).
     Outcome,
+    /// Per-missed-workflow diagnostic chains over the drained session's
+    /// certified artifacts (after drain).
+    Explain,
     /// Persist a snapshot now.
     Snapshot,
     /// Acknowledge, then close the server loop.
@@ -198,6 +202,7 @@ pub fn parse_request(line: &str) -> Result<Request, ProtocolError> {
         }
         "drain" => Ok(Request::Drain),
         "outcome" => Ok(Request::Outcome),
+        "explain" => Ok(Request::Explain),
         "snapshot" => Ok(Request::Snapshot),
         "shutdown" => Ok(Request::Shutdown),
         other => Err(ProtocolError::new(
@@ -261,6 +266,10 @@ mod tests {
         assert!(matches!(
             parse_request("{\"req\":\"cancel\",\"sub\":2}"),
             Ok(Request::Cancel(2))
+        ));
+        assert!(matches!(
+            parse_request("{\"req\":\"explain\"}"),
+            Ok(Request::Explain)
         ));
     }
 

@@ -330,6 +330,7 @@ impl Session {
             Request::Trace(limit) => self.trace_tail(limit),
             Request::Drain => self.drain(),
             Request::Outcome => self.outcome(),
+            Request::Explain => self.explain_report(),
             Request::Snapshot => self.write_snapshot(),
             Request::Shutdown => Ok("{\"shutdown\":true}".to_string()),
         }
@@ -750,6 +751,43 @@ impl Session {
                 "outcome is only available after `drain`",
             )),
         }
+    }
+
+    /// `explain` over a drained session: re-certifies the frozen outcome
+    /// and trace against the recorded submission log, then emits the
+    /// per-missed-workflow E00x causal chains
+    /// ([`flowtime_sim::explain_log`]). Only unsharded sessions can be
+    /// explained in place — the log-replay certifier has no per-pod
+    /// workload slices; sharded sessions export their per-pod traces
+    /// (whose headers carry the pod provenance) for the offline
+    /// `flowtime-cli explain` path instead.
+    fn explain_report(&self) -> Result<String, ProtocolError> {
+        let finished = self.finished.as_ref().ok_or_else(|| {
+            ProtocolError::new(
+                codes::NOT_DRAINED,
+                "explain is only available after `drain`",
+            )
+        })?;
+        if self.pods.len() > 1 {
+            return Err(ProtocolError::new(
+                codes::BAD_REQUEST,
+                "explain serves unsharded sessions; export the per-pod traces and use \
+                 `flowtime-cli explain` (the trace headers carry the pod provenance)",
+            ));
+        }
+        let outcome = finished
+            .outcomes
+            .first()
+            .expect("drained session has an outcome");
+        let trace = finished
+            .traces
+            .first()
+            .expect("drained session has a trace");
+        let report = flowtime_sim::explain_log(&self.config.cluster, &self.log, outcome, trace)
+            .map_err(|e| ProtocolError::new(codes::ENGINE_ERROR, e.to_string()))?;
+        let json = serde_json::to_string(&report)
+            .map_err(|e| ProtocolError::new(codes::ENGINE_ERROR, e.to_string()))?;
+        Ok(format!("{{\"explain\":{json}}}"))
     }
 
     /// Persists the session's replayable state to the configured path.

@@ -347,6 +347,31 @@ pub fn certify_sharded(
             );
         }
     }
+    // Trace headers carry the same provenance stamp (pods/pod/placer) for
+    // K > 1 runs — and must stay unstamped for K = 1, whose bytes are
+    // pinned to the unsharded engine's.
+    for (i, t) in traces.iter().enumerate() {
+        let h = &t.header;
+        let expect_stamp = spec.pods > 1;
+        let stamped =
+            (h.pods, h.pod, h.placer.as_str()) == (spec.pods as u64, i as u64, spec.placer.name());
+        let unstamped = h.pods == 0 && h.pod == 0 && h.placer.is_empty();
+        if (expect_stamp && !stamped) || (!expect_stamp && !unstamped) {
+            push(
+                &mut report,
+                "shard-pod-count",
+                format!(
+                    "trace at position {i} records pods={} pod={} placer=`{}`, \
+                     spec is pods={} placer=`{}`",
+                    h.pods,
+                    h.pod,
+                    h.placer,
+                    spec.pods,
+                    spec.placer.name()
+                ),
+            );
+        }
+    }
 
     // ---- Capacity conservation: trace headers record the capacity each
     // pod actually ran against; their sum must be the whole cluster.

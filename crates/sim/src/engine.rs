@@ -553,6 +553,9 @@ impl Engine {
                 slot_seconds: self.state.cluster.slot_seconds(),
                 max_slots: self.max_slots,
                 jobs: self.trace_job_metas(),
+                // Pod provenance is stamped after the run by the sharding
+                // layer ([`crate::shard`]); the engine itself is pod-blind.
+                ..TraceHeader::default()
             };
             // Slot-0 arrivals and readies are seeded directly into the
             // incremental indices (never through the event heap), so they

@@ -69,6 +69,7 @@ pub mod audit;
 pub mod cluster;
 pub mod engine;
 pub mod error;
+pub mod explain;
 pub mod faults;
 pub mod invariants;
 pub mod job;
@@ -85,6 +86,7 @@ pub mod sweep;
 pub mod telemetry;
 pub mod timeline;
 pub mod trace;
+pub mod whatif;
 
 pub use audit::{
     certify, certify_log, certify_sharded, certify_with_recovery, AuditReport, AuditViolation,
@@ -92,6 +94,9 @@ pub use audit::{
 pub use cluster::ClusterConfig;
 pub use engine::{Engine, SimOutcome, StepOutcome};
 pub use error::SimError;
+pub use explain::{
+    explain, explain_log, Diagnostic, EventRef, ExplainError, ExplainReport, WorkflowExplanation,
+};
 pub use faults::{
     runtime_fault_horizon, FaultConfig, FaultPlan, RecoveryPolicy, RecoverySetup,
     RuntimeFaultConfig, RuntimeFaultPlan, ShedPolicy,
@@ -118,6 +123,11 @@ pub use timeline::{Timeline, TimelineEntry};
 pub use trace::{
     DecisionTrace, FaultRecord, TraceError, TraceEvent, TraceHandle, TraceHeader, TraceJobMeta,
     DEFAULT_TRACE_CAPACITY,
+};
+pub use whatif::{
+    certified_diff, certified_sharded_diff, diff_runs, run_policy, DiffRow, DiffSummary,
+    Divergence, JobFate, RunArtifacts, ShardedRunArtifacts, WhatIfDiff, WhatIfError,
+    WorkflowDiffRow,
 };
 
 /// Serde `skip_serializing_if` predicates shared by the outcome types:

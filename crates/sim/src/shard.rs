@@ -751,7 +751,7 @@ where
         engine = engine.with_recovery(setup.clone());
     }
     let mut scheduler = factory(pod, &pc);
-    let (mut outcome, trace) = match trace_capacity {
+    let (mut outcome, mut trace) = match trace_capacity {
         Some(capacity) => {
             let (engine, handle) = engine.with_trace(capacity);
             let outcome = engine.run(scheduler.as_mut())?;
@@ -760,6 +760,17 @@ where
         None => (engine.run(scheduler.as_mut())?, None),
     };
     outcome.pod = pod as u64;
+    // Stamp pod provenance into the trace header so offline consumers
+    // (audit CLI, explain) can re-derive the shard spec from the trace
+    // alone. K = 1 stays unstamped: its bytes must remain identical to an
+    // unsharded run's.
+    if spec.pods > 1 {
+        if let Some(trace) = trace.as_mut() {
+            trace.header.pods = spec.pods as u64;
+            trace.header.pod = pod as u64;
+            trace.header.placer = spec.placer.name().to_string();
+        }
+    }
     Ok((outcome, trace))
 }
 

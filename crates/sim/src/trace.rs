@@ -86,6 +86,21 @@ pub struct TraceHeader {
     pub max_slots: u64,
     /// Per-job metadata in engine id order.
     pub jobs: Vec<TraceJobMeta>,
+    /// Total pod count of the sharded run ([`crate::shard`]) that produced
+    /// this trace. Zero — and omitted from serialization — for unsharded
+    /// runs and for K = 1 sharded runs, keeping their trace bytes
+    /// identical to pre-shard recordings.
+    #[serde(default, skip_serializing_if = "crate::serde_skip::zero_u64")]
+    pub pods: u64,
+    /// Pod index this trace was recorded on; only meaningful when
+    /// `pods > 1` (pod 0 serializes identically to an unsharded trace
+    /// apart from `pods` and `placer`).
+    #[serde(default, skip_serializing_if = "crate::serde_skip::zero_u64")]
+    pub pod: u64,
+    /// Placement policy ([`crate::Placer`]) of the sharded run, by its
+    /// canonical name; empty — and omitted — when unsharded.
+    #[serde(default, skip_serializing_if = "String::is_empty")]
+    pub placer: String,
 }
 
 /// One scenario rewrite performed by fault injection before the run.
@@ -613,6 +628,7 @@ mod tests {
                 actual_work: 4,
                 deadline_slot: None,
             }],
+            ..TraceHeader::default()
         };
         t.faults.push(FaultRecord {
             kind: "burst".into(),

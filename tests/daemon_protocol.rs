@@ -72,6 +72,7 @@ fn lifecycle_violations_are_typed_errors() {
     .is_err());
 
     err_code(&mut lb, "{\"req\":\"outcome\"}", codes::NOT_DRAINED);
+    err_code(&mut lb, "{\"req\":\"explain\"}", codes::NOT_DRAINED);
     err_code(
         &mut lb,
         "{\"req\":\"cancel\",\"sub\":7}",
@@ -127,8 +128,29 @@ fn lifecycle_violations_are_typed_errors() {
     ok(&mut lb, "{\"req\":\"status\"}");
     ok(&mut lb, "{\"req\":\"trace\",\"limit\":4}");
     ok(&mut lb, "{\"req\":\"outcome\"}");
+    // The drained artifacts re-certify and self-explain: the report body
+    // deserializes as the sim crate's typed ExplainReport.
+    let response = ok(&mut lb, "{\"req\":\"explain\"}");
+    let value = serde_json::parse(&response).expect("explain response is JSON");
+    let body = value
+        .get("ok")
+        .and_then(|o| o.get("explain"))
+        .expect("explain body");
+    let report: flowtime_sim::ExplainReport =
+        serde_json::from_value(body).expect("explain report deserializes");
+    assert!(report.events_checked > 0);
     // Drain is idempotent.
     ok(&mut lb, "{\"req\":\"drain\"}");
+}
+
+#[test]
+fn explain_rejects_sharded_sessions_typed() {
+    let mut lb = daemon_util::loopback_sharded(cluster(), "edf", 2);
+    ok(&mut lb, &adhoc_line(&adhoc(0)));
+    ok(&mut lb, "{\"req\":\"drain\"}");
+    // A sharded session has no in-place log-replay certifier; the typed
+    // error points at the offline per-pod trace path.
+    err_code(&mut lb, "{\"req\":\"explain\"}", codes::BAD_REQUEST);
 }
 
 #[test]
