@@ -19,7 +19,7 @@
 //! ```
 
 use flowtime_bench::report::persist;
-use flowtime_daemon::{Loopback, Session, SessionConfig};
+use flowtime_daemon::{FsyncPolicy, Loopback, Session, SessionConfig, WalConfig};
 use flowtime_dag::{JobSpec, ResourceVec, WorkflowBuilder, WorkflowId};
 use flowtime_sim::{
     AdhocSubmission, ClusterConfig, SimOutcome, SolverTelemetry, TraceEvent, WorkflowSubmission,
@@ -70,9 +70,8 @@ struct ThreadReport {
     complete: bool,
 }
 
-/// Drives one loopback session with `n_adhoc` open-loop submissions.
-fn drive_session(thread_idx: u64, n_adhoc: u64, scheduler: &str) -> ThreadReport {
-    let session = Session::new(SessionConfig {
+fn session_config(scheduler: &str) -> SessionConfig {
+    SessionConfig {
         cluster: cluster(),
         scheduler: scheduler.to_string(),
         max_slots: 1_000_000,
@@ -80,12 +79,12 @@ fn drive_session(thread_idx: u64, n_adhoc: u64, scheduler: &str) -> ThreadReport
         snapshot_path: None,
         pods: 0,
         placer: None,
-    })
-    .expect("valid session config");
-    let mut lb = Loopback::new(session);
+    }
+}
 
-    // Build every request line up front so the timed section measures the
-    // daemon path (parse + admission + queueing), not string formatting.
+/// Builds the request-line stream up front so timed sections measure the
+/// daemon path (parse + admission + queueing), not string formatting.
+fn build_lines(thread_idx: u64, n_adhoc: u64) -> Vec<String> {
     let mut rng = 0x5eed_0000 + thread_idx;
     let mut lines = Vec::with_capacity(n_adhoc as usize + 2);
     for wf in 0..2u64 {
@@ -111,6 +110,14 @@ fn drive_session(thread_idx: u64, n_adhoc: u64, scheduler: &str) -> ThreadReport
             serde_json::to_string(&sub).expect("adhoc serializes")
         ));
     }
+    lines
+}
+
+/// Drives one loopback session with `n_adhoc` open-loop submissions.
+fn drive_session(thread_idx: u64, n_adhoc: u64, scheduler: &str) -> ThreadReport {
+    let session = Session::new(session_config(scheduler)).expect("valid session config");
+    let mut lb = Loopback::new(session);
+    let lines = build_lines(thread_idx, n_adhoc);
 
     let t0 = Instant::now();
     for line in &lines {
@@ -178,6 +185,9 @@ struct LatencySummary {
 struct FigDaemonResult {
     config: FigDaemonConfig,
     throughput: Throughput,
+    /// Single-session throughput under each WAL fsync policy, against the
+    /// `fsync: "off"` (no WAL) baseline.
+    durability: Vec<DurabilityRow>,
     latency_slots: LatencySummary,
     latency_seconds: LatencySecondsSummary,
     replans: Replans,
@@ -198,6 +208,64 @@ struct Throughput {
     submissions: u64,
     wall_seconds: f64,
     submissions_per_sec: f64,
+}
+
+/// One durability datapoint: the same submission stream through a
+/// WAL-backed session under a given fsync policy (`fsync: "off"` is the
+/// non-durable baseline).
+#[derive(Serialize)]
+struct DurabilityRow {
+    fsync: String,
+    submissions: u64,
+    wall_seconds: f64,
+    submissions_per_sec: f64,
+}
+
+/// Measures single-session submission throughput with the WAL enabled
+/// under `fsync` (or disabled for the baseline row).
+fn durability_row(scheduler: &str, n_adhoc: u64, fsync: Option<FsyncPolicy>) -> DurabilityRow {
+    let label = fsync.map_or_else(|| "off".to_string(), |f| f.to_string());
+    let dir = fsync.map(|_| {
+        std::env::temp_dir().join(format!(
+            "flowtime-fig-daemon-wal-{}-{}",
+            std::process::id(),
+            label.replace(':', "-")
+        ))
+    });
+    let mut lb = match (fsync, &dir) {
+        (Some(policy), Some(dir)) => {
+            let _ = std::fs::remove_dir_all(dir);
+            let mut config = WalConfig::new(dir);
+            config.fsync = policy;
+            let (session, _) = Session::recover(session_config(scheduler), config, None)
+                .expect("fresh wal session");
+            Loopback::new(session)
+        }
+        _ => Loopback::new(Session::new(session_config(scheduler)).expect("valid config")),
+    };
+    let lines = build_lines(7, n_adhoc);
+    let t0 = Instant::now();
+    for line in &lines {
+        let response = lb.request_line(line);
+        assert!(response.starts_with("{\"ok\":"), "rejected: {response}");
+    }
+    let wall_seconds = t0.elapsed().as_secs_f64();
+    let drain = lb.request_line("{\"req\":\"drain\"}");
+    assert!(drain.starts_with("{\"ok\":"), "drain failed: {drain}");
+    drop(lb);
+    if let Some(dir) = &dir {
+        let _ = std::fs::remove_dir_all(dir);
+    }
+    DurabilityRow {
+        fsync: label,
+        submissions: lines.len() as u64,
+        wall_seconds,
+        submissions_per_sec: if wall_seconds > 0.0 {
+            lines.len() as f64 / wall_seconds
+        } else {
+            0.0
+        },
+    }
 }
 
 #[derive(Serialize)]
@@ -283,6 +351,19 @@ fn main() {
         0.0
     };
 
+    // Durability cost: the same stream through one WAL-backed session per
+    // fsync policy (smaller n — fsync=always pays a disk sync per append).
+    let durability_n = per_thread.min(500);
+    let durability: Vec<DurabilityRow> = [
+        None,
+        Some(FsyncPolicy::None),
+        Some(FsyncPolicy::Batch(64)),
+        Some(FsyncPolicy::Always),
+    ]
+    .into_iter()
+    .map(|fsync| durability_row(&scheduler, durability_n, fsync))
+    .collect();
+
     let slot_seconds = cluster().slot_seconds();
     let lat = LatencySummary {
         p50: percentile(&latencies, 0.50),
@@ -312,6 +393,7 @@ fn main() {
             p99: lat.p99 as f64 * slot_seconds,
             max: lat.max as f64 * slot_seconds,
         },
+        durability,
         latency_slots: lat,
         replans: Replans {
             total: replans,
@@ -336,6 +418,12 @@ fn main() {
         result.latency_slots.p99,
         result.latency_slots.max
     );
+    for row in &result.durability {
+        println!(
+            "  durability fsync={}: {} submissions in {:.3}s = {:.0}/s",
+            row.fsync, row.submissions, row.wall_seconds, row.submissions_per_sec
+        );
+    }
     println!(
         "  replans: {} total, cache {}/{} hit rate {:.2}",
         result.replans.total,

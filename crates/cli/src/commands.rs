@@ -49,6 +49,7 @@ USAGE:
   flowtime-cli submit    --connect HOST:PORT
                          (--adhoc TASKS,DUR[,CORES,MB] [--arrival N]
                           | --workflow-json FILE)
+                         [--request-id KEY] [--retries N]
   flowtime-cli status    --connect HOST:PORT
   flowtime-cli drain     --connect HOST:PORT [--out outcome.json]
 
@@ -59,6 +60,11 @@ DAEMON CLIENT (submit/status/drain talk to a running `flowtimed`):
   --adhoc SPEC         ad-hoc job as TASKS,DUR[,CORES,MB] (defaults 1,1024)
   --arrival N          virtual arrival slot for --adhoc (default: now)
   --workflow-json F    file holding one serialized WorkflowSubmission
+  --request-id KEY     idempotency key: the daemon dedups resubmissions of
+                       the same key (a `duplicate` reply is a success and
+                       carries the original sequence number)
+  --retries N          retry a submit N times on transport errors with
+                       backoff, reconnecting each time (needs --request-id)
 
 SHARDING (simulate and sweep; see DESIGN.md §15):
   --pods K           partition the cluster into K pods, each running its own
@@ -1254,6 +1260,20 @@ fn parse_adhoc_spec(raw: &str) -> Result<flowtime_sim::AdhocSubmission, Box<dyn 
 }
 
 fn daemon_submit(args: &Args) -> CliResult {
+    let retries = args.get_parsed("retries", 0u64)?;
+    let request_id = args.get("request-id");
+    if retries > 0 && request_id.is_none() {
+        return Err(
+            "--retries needs --request-id: without an idempotency key a \
+                    retried submit can be accepted twice"
+                .into(),
+        );
+    }
+    if let Some(rid) = &request_id {
+        if rid.is_empty() || rid.len() > 256 {
+            return Err("--request-id must be 1..=256 bytes".into());
+        }
+    }
     let mut client = daemon_connect(args)?;
     let line = if let Some(path) = args.get("workflow-json") {
         let contents =
@@ -1286,9 +1306,57 @@ fn daemon_submit(args: &Args) -> CliResult {
     } else {
         return Err("submit needs --adhoc TASKS,DUR[,CORES,MB] or --workflow-json FILE".into());
     };
-    let body = client.request(&line)?;
-    println!("{}", serde_json::to_string(&body)?);
-    Ok(())
+    // Idempotency key: the daemon dedups retries of the same key and
+    // answers `duplicate` with the original sequence number, so a retry
+    // after a lost reply can never double-submit.
+    let line = match &request_id {
+        Some(rid) => line.replacen(
+            ",\"submission\":",
+            &format!(
+                ",\"request_id\":{},\"submission\":",
+                serde_json::to_string(rid)?
+            ),
+            1,
+        ),
+        None => line,
+    };
+    let mut attempt = 0u64;
+    loop {
+        let result: Result<serde_json::Value, Box<dyn Error>> = match attempt {
+            0 => client.request(&line).map_err(|e| e.into()),
+            // A lost reply leaves the connection in an unknown state:
+            // retries reconnect from scratch.
+            _ => daemon_connect(args).and_then(|mut c| c.request(&line).map_err(|e| e.into())),
+        };
+        match result {
+            Ok(body) => {
+                println!("{}", serde_json::to_string(&body)?);
+                return Ok(());
+            }
+            // The original submit was durable; the retry's `duplicate`
+            // reply IS the acknowledgement, carrying the original seq.
+            Err(e) => match e.downcast_ref::<flowtime_daemon::ClientError>() {
+                Some(flowtime_daemon::ClientError::Daemon { code, data, .. })
+                    if code == flowtime_daemon::codes::DUPLICATE =>
+                {
+                    let sub = data
+                        .as_ref()
+                        .and_then(|d| d.get("sub"))
+                        .map(serde_json::to_string)
+                        .transpose()?
+                        .unwrap_or_else(|| "null".to_string());
+                    println!("{{\"sub\":{sub},\"duplicate\":true}}");
+                    return Ok(());
+                }
+                // Transport trouble: back off and retry if allowed.
+                Some(flowtime_daemon::ClientError::Io(_)) if attempt < retries => {
+                    attempt += 1;
+                    std::thread::sleep(std::time::Duration::from_millis(50 << attempt.min(6)));
+                }
+                _ => return Err(e),
+            },
+        }
+    }
 }
 
 fn daemon_status(args: &Args) -> CliResult {
@@ -2141,5 +2209,59 @@ mod tests {
         ]))
         .is_err());
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// `submit --request-id --retries`: a resubmission of the same key is
+    /// answered `duplicate` and treated as success; `--retries` without a
+    /// key is rejected up front.
+    #[test]
+    fn daemon_submit_request_id_dedups_and_retries_need_a_key() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr").to_string();
+        let server = std::thread::spawn(move || {
+            let session = flowtime_daemon::Session::new(flowtime_daemon::SessionConfig {
+                cluster: flowtime_sim::ClusterConfig::new(
+                    flowtime_dag::ResourceVec::new([8, 32_768]),
+                    10.0,
+                ),
+                scheduler: "fifo".to_string(),
+                max_slots: 100_000,
+                trace_capacity: 1 << 12,
+                snapshot_path: None,
+                pods: 0,
+                placer: None,
+            })
+            .expect("config");
+            flowtime_daemon::serve(listener, session, None)
+                .expect("server runs")
+                .log()
+                .len()
+        });
+
+        let submit = |extra: &[&str]| {
+            let mut base = vec![
+                "submit",
+                "--connect",
+                &addr,
+                "--adhoc",
+                "1,10",
+                "--arrival",
+                "0",
+            ];
+            base.extend_from_slice(extra);
+            dispatch(&argv(&base))
+        };
+        submit(&["--request-id", "k1", "--retries", "2"]).expect("first submit");
+        // Same key again: the daemon's `duplicate` reply is a success.
+        submit(&["--request-id", "k1"]).expect("duplicate resubmit is a success");
+        // Retries without an idempotency key are refused client-side.
+        assert!(submit(&["--retries", "2"]).is_err());
+        // A fresh key is a fresh submission.
+        submit(&["--request-id", "k2"]).expect("second submit");
+
+        let mut client = flowtime_daemon::Client::connect(&addr).expect("connect");
+        client.request("{\"req\":\"shutdown\"}").expect("shutdown");
+        let log_len = server.join().expect("server thread");
+        assert_eq!(log_len, 2, "the duplicate never double-submitted");
     }
 }

@@ -22,6 +22,9 @@ pub enum ClientError {
         code: String,
         /// Human-readable detail.
         detail: String,
+        /// Machine-readable payload (e.g. the original sequence number
+        /// carried by a `duplicate` reply), when the error has one.
+        data: Option<Value>,
     },
 }
 
@@ -30,7 +33,9 @@ impl std::fmt::Display for ClientError {
         match self {
             ClientError::Io(e) => write!(f, "connection error: {e}"),
             ClientError::BadResponse(d) => write!(f, "unintelligible response: {d}"),
-            ClientError::Daemon { code, detail } => write!(f, "daemon error [{code}]: {detail}"),
+            ClientError::Daemon { code, detail, .. } => {
+                write!(f, "daemon error [{code}]: {detail}")
+            }
         }
     }
 }
@@ -118,7 +123,8 @@ pub fn parse_response(line: &str) -> Result<Value, ClientError> {
             .and_then(Value::as_str)
             .unwrap_or("")
             .to_string();
-        return Err(ClientError::Daemon { code, detail });
+        let data = err.get("data").cloned();
+        return Err(ClientError::Daemon { code, detail, data });
     }
     Err(ClientError::BadResponse(line.to_string()))
 }

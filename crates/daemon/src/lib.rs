@@ -14,6 +14,10 @@
 //!   discipline, virtual-clock advancement, cancellation, drain.
 //! * [`snapshot`] — checksummed crash-recovery snapshots; restore
 //!   replays the submission log deterministically.
+//! * [`wal`] — the crash-consistent write-ahead log: every accepted
+//!   influence is durable (under a configurable fsync policy) before
+//!   its reply is written; snapshots become compaction points; seeded
+//!   I/O fault injection drives the kill-9 chaos suites.
 //! * [`server`] — transports: the in-process [`server::Loopback`] used
 //!   by the deterministic test harness, and the single-threaded
 //!   non-blocking TCP loop behind the `flowtimed` binary.
@@ -34,9 +38,14 @@ pub mod protocol;
 pub mod server;
 pub mod session;
 pub mod snapshot;
+pub mod wal;
 
 pub use client::{Client, ClientError};
 pub use protocol::{codes, ProtocolError, Request, MAX_LINE_BYTES};
 pub use server::{handle_line, serve, Loopback};
 pub use session::{Session, SessionConfig};
 pub use snapshot::{SnapshotBody, SnapshotError};
+pub use wal::{
+    ChaosKill, DiskFaultPlan, FaultKind, FsyncPolicy, RecoveryReport, Wal, WalConfig, WalError,
+    WalRecord,
+};

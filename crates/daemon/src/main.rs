@@ -5,15 +5,29 @@
 //!           [--slot-seconds F] [--max-slots N] [--trace-capacity N]
 //!           [--pods K] [--placer NAME]
 //!           [--snapshot PATH] [--snapshot-every N]
+//!           [--wal-dir DIR] [--fsync always|batch:N|none]
+//!           [--keep-snapshots N] [--chaos-kill-after N[:BYTES]]
 //! ```
 //!
-//! With `--snapshot PATH`: if the file exists at startup the session is
-//! restored from it (crash recovery); either way the running session
-//! persists a fresh snapshot there every `--snapshot-every` requests and
-//! on explicit `snapshot` requests. All argument errors are typed and
-//! exit nonzero; nothing defaults silently on malformed input.
+//! With `--wal-dir DIR` the daemon is crash-consistent: every accepted
+//! submission, cancel, tick, and drain is appended to a checksummed
+//! write-ahead log (synced per `--fsync`) *before* its reply is written,
+//! and startup recovers the session from the newest valid snapshot in
+//! the directory plus a replay of the WAL tail — torn tails are
+//! truncated at the last valid record and reported, never a panic.
+//! Snapshots (periodic via `--snapshot-every`, or explicit `snapshot`
+//! requests) become WAL compaction points; `--keep-snapshots` bounds the
+//! retained generations. `--chaos-kill-after` is the kill-9 harness's
+//! deterministic crash point: the process aborts during the Nth WAL
+//! append, optionally after writing only BYTES bytes of it.
+//!
+//! With `--snapshot PATH` (and no `--wal-dir`): legacy mode — if the
+//! file exists at startup the session is restored from it; the running
+//! session persists a fresh snapshot there every `--snapshot-every`
+//! requests and on explicit `snapshot` requests. All argument errors are
+//! typed and exit nonzero; nothing defaults silently on malformed input.
 
-use flowtime_daemon::{serve, snapshot, Session, SessionConfig};
+use flowtime_daemon::{serve, snapshot, FsyncPolicy, Session, SessionConfig, WalConfig};
 use flowtime_dag::ResourceVec;
 use flowtime_sim::ClusterConfig;
 use std::collections::HashMap;
@@ -69,7 +83,11 @@ fn run() -> Result<(), String> {
              --pods K             shard the cluster into K pods (default 1)\n  \
              --placer NAME        firstfit|worstfit|demand pod placement (needs --pods > 1)\n  \
              --snapshot PATH      snapshot file; restored at startup if present\n  \
-             --snapshot-every N   snapshot every N requests (default 256, 0 disables)"
+             --snapshot-every N   snapshot every N requests (default 256, 0 disables)\n  \
+             --wal-dir DIR        write-ahead log directory (crash-consistent mode)\n  \
+             --fsync POLICY       always|batch:N|none (default always; needs --wal-dir)\n  \
+             --keep-snapshots N   WAL snapshot generations to retain (default 2)\n  \
+             --chaos-kill-after N[:BYTES]  abort during the Nth WAL append (chaos harness)"
         );
         return Ok(());
     }
@@ -88,6 +106,10 @@ fn run() -> Result<(), String> {
                 | "placer"
                 | "snapshot"
                 | "snapshot-every"
+                | "wal-dir"
+                | "fsync"
+                | "keep-snapshots"
+                | "chaos-kill-after"
         ) {
             return Err(format!("unknown flag --{key}"));
         }
@@ -120,17 +142,66 @@ fn run() -> Result<(), String> {
         n => Some(n),
     };
 
-    let session = match &config.snapshot_path {
-        Some(path) if std::path::Path::new(path).exists() => {
-            let body = snapshot::load(path).map_err(|e| e.to_string())?;
-            let session = Session::restore(body).map_err(|e| e.to_string())?;
-            eprintln!(
-                "flowtimed: restored session from {path} at virtual slot {}",
-                session.now()
-            );
+    let fsync: FsyncPolicy = get_parsed(&flags, "fsync", FsyncPolicy::Always)?;
+    let keep_snapshots = get_parsed(&flags, "keep-snapshots", 2u64)?;
+    if keep_snapshots == 0 {
+        return Err("--keep-snapshots must be at least 1".to_string());
+    }
+    let chaos_kill = match flags.get("chaos-kill-after") {
+        None => None,
+        Some(raw) => Some(
+            raw.parse()
+                .map_err(|e: String| format!("--chaos-kill-after: {e}"))?,
+        ),
+    };
+    for dependent in ["fsync", "keep-snapshots", "chaos-kill-after"] {
+        if flags.contains_key(dependent) && !flags.contains_key("wal-dir") {
+            return Err(format!("--{dependent} requires --wal-dir"));
+        }
+    }
+
+    let session = match flags.get("wal-dir") {
+        Some(dir) => {
+            let mut wal_config = WalConfig::new(dir);
+            wal_config.fsync = fsync;
+            wal_config.keep_snapshots = keep_snapshots;
+            wal_config.chaos_kill = chaos_kill;
+            let (session, report) = Session::recover(config, wal_config, None)
+                .map_err(|e| format!("wal recovery failed: {e}"))?;
+            if report.fresh {
+                eprintln!("flowtimed: started fresh WAL in {dir} (fsync={fsync})");
+            } else {
+                eprintln!(
+                    "flowtimed: recovered from {dir} at virtual slot {} ({} records replayed{}{})",
+                    session.now(),
+                    report.records_replayed,
+                    match &report.snapshot {
+                        Some(s) => format!(", snapshot {s}"),
+                        None => String::new(),
+                    },
+                    match &report.tail {
+                        Some(t) => format!(
+                            ", torn tail truncated at segment {} offset {} ({} bytes dropped: {})",
+                            t.segment, t.offset, t.dropped_bytes, t.defect
+                        ),
+                        None => String::new(),
+                    },
+                );
+            }
             session
         }
-        _ => Session::new(config).map_err(|e| e.to_string())?,
+        None => match &config.snapshot_path {
+            Some(path) if std::path::Path::new(path).exists() => {
+                let body = snapshot::load(path).map_err(|e| e.to_string())?;
+                let session = Session::restore(body).map_err(|e| e.to_string())?;
+                eprintln!(
+                    "flowtimed: restored session from {path} at virtual slot {}",
+                    session.now()
+                );
+                session
+            }
+            _ => Session::new(config).map_err(|e| e.to_string())?,
+        },
     };
 
     let listener = TcpListener::bind(&listen).map_err(|e| format!("cannot bind {listen}: {e}"))?;

@@ -11,8 +11,8 @@
 //!
 //! | `req`             | fields                                   |
 //! |-------------------|------------------------------------------|
-//! | `submit_workflow` | `submission`: a workflow submission      |
-//! | `submit_adhoc`    | `submission`: `{spec, arrival_slot}`     |
+//! | `submit_workflow` | `submission`: a workflow submission; optional `request_id` idempotency key |
+//! | `submit_adhoc`    | `submission`: `{spec, arrival_slot}`; optional `request_id` idempotency key |
 //! | `cancel`          | `sub`: sequence number to cancel         |
 //! | `tick`            | `to`: advance virtual time to this slot  |
 //! | `status`          | —                                        |
@@ -29,6 +29,34 @@
 //! [`flowtime_sim::AdhocSubmission`] — the exact structures batch
 //! scenario files use, so a scenario line can be replayed against a live
 //! daemon unchanged.
+//!
+//! # Durability ordering contract
+//!
+//! When the daemon runs with a write-ahead log (`--wal-dir`), every
+//! state-changing request — `submit_workflow`, `submit_adhoc`, `cancel`,
+//! `tick`, `drain` — is appended to the WAL and made durable under the
+//! configured fsync policy **before** the session mutates its in-memory
+//! state and before the `{"ok":...}` reply is written. The reply is the
+//! durability receipt: an acknowledged request survives a crash, and a
+//! crash can only lose requests that were never acknowledged (plus, under
+//! `--fsync batch:N` or `none`, acknowledged requests whose batch had not
+//! yet synced — a window the operator opted into). If the append fails,
+//! the request is rejected with [`codes::WAL_IO`] and the session state
+//! is untouched — a rejected request never leaves a partial record
+//! durable. Without `--wal-dir` the daemon runs in the legacy
+//! `durability=none` mode: replies promise nothing beyond process
+//! lifetime, exactly as before.
+//!
+//! # Idempotency keys
+//!
+//! `submit_workflow` and `submit_adhoc` accept an optional string field
+//! `request_id`. The first accepted submission carrying a given key wins;
+//! any later submission with the same key — same connection, a client
+//! retry after a timeout, or a replay after daemon restart (the table is
+//! persisted in the WAL and in snapshots) — is answered with a typed
+//! [`codes::DUPLICATE`] error whose `data` field carries
+//! `{"sub":<original sequence number>}`. Clients treat `duplicate` as
+//! success: the work is already accepted under that sequence number.
 
 use flowtime_sim::{AdhocSubmission, WorkflowSubmission};
 use serde_json::Value;
@@ -70,15 +98,28 @@ pub mod codes {
     pub const SNAPSHOT_CORRUPT: &str = "snapshot-corrupt";
     /// The engine rejected a scheduler decision or invariant mid-run.
     pub const ENGINE_ERROR: &str = "engine-error";
+    /// A submission repeated an already-accepted `request_id`; the
+    /// error's `data` field carries `{"sub":N}`, the sequence number the
+    /// original submission was assigned. Clients treat this as success.
+    pub const DUPLICATE: &str = "duplicate";
+    /// The write-ahead log could not make the request durable (I/O
+    /// failure, disk full, or a poisoned WAL). The request was rejected
+    /// and session state is unchanged.
+    pub const WAL_IO: &str = "wal-io";
+    /// The write-ahead log's sealed history failed validation during
+    /// recovery or replay (checksum mismatch outside the crash window,
+    /// or a replayed record inconsistent with the session).
+    pub const WAL_CORRUPT: &str = "wal-corrupt";
 }
 
 /// A parsed request.
 #[derive(Debug, Clone)]
 pub enum Request {
-    /// Submit a workflow (arrival = its `submit_slot`).
-    SubmitWorkflow(Box<WorkflowSubmission>),
-    /// Submit an ad-hoc job.
-    SubmitAdhoc(AdhocSubmission),
+    /// Submit a workflow (arrival = its `submit_slot`), with an optional
+    /// client idempotency key.
+    SubmitWorkflow(Box<WorkflowSubmission>, Option<String>),
+    /// Submit an ad-hoc job, with an optional client idempotency key.
+    SubmitAdhoc(AdhocSubmission, Option<String>),
     /// Cancel a still-pending submission by sequence number.
     Cancel(u64),
     /// Advance virtual time up to the given slot.
@@ -102,13 +143,18 @@ pub enum Request {
     Shutdown,
 }
 
-/// A typed protocol error: a stable code plus human-readable detail.
+/// A typed protocol error: a stable code plus human-readable detail,
+/// plus optional machine-readable `data` (a complete JSON value) for
+/// codes like [`codes::DUPLICATE`] that carry a payload.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ProtocolError {
     /// One of the [`codes`] constants.
     pub code: &'static str,
     /// Human-readable context; never needed for dispatch.
     pub detail: String,
+    /// Optional machine-readable payload, embedded verbatim as the
+    /// error object's `data` field.
+    pub data: Option<String>,
 }
 
 impl ProtocolError {
@@ -117,7 +163,14 @@ impl ProtocolError {
         ProtocolError {
             code,
             detail: detail.into(),
+            data: None,
         }
+    }
+
+    /// Attaches a machine-readable payload (must be complete JSON).
+    pub fn with_data(mut self, data: impl Into<String>) -> Self {
+        self.data = Some(data.into());
+        self
     }
 }
 
@@ -148,6 +201,23 @@ fn u64_field(v: &Value, key: &str) -> Result<u64, ProtocolError> {
     }
 }
 
+/// Extracts the optional `request_id` idempotency key: a non-empty
+/// string of at most 256 bytes when present.
+fn request_id_field(v: &Value) -> Result<Option<String>, ProtocolError> {
+    match v.get("request_id") {
+        None => Ok(None),
+        Some(Value::Str(s)) if !s.is_empty() && s.len() <= 256 => Ok(Some(s.clone())),
+        Some(Value::Str(_)) => Err(ProtocolError::new(
+            codes::BAD_REQUEST,
+            "field `request_id` must be a non-empty string of at most 256 bytes",
+        )),
+        Some(other) => Err(ProtocolError::new(
+            codes::BAD_REQUEST,
+            format!("field `request_id` must be a string, got {}", other.kind()),
+        )),
+    }
+}
+
 /// Parses one request line. Enforces the size cap before parsing.
 ///
 /// # Errors
@@ -174,20 +244,22 @@ pub fn parse_request(line: &str) -> Result<Request, ProtocolError> {
         .ok_or_else(|| ProtocolError::new(codes::BAD_REQUEST, "missing string field `req`"))?;
     match req {
         "submit_workflow" => {
+            let request_id = request_id_field(&value)?;
             let sub = value.get("submission").ok_or_else(|| {
                 ProtocolError::new(codes::BAD_REQUEST, "missing field `submission`")
             })?;
             let submission: WorkflowSubmission = serde_json::from_value(sub)
                 .map_err(|e| ProtocolError::new(codes::MALFORMED_SUBMISSION, e.to_string()))?;
-            Ok(Request::SubmitWorkflow(Box::new(submission)))
+            Ok(Request::SubmitWorkflow(Box::new(submission), request_id))
         }
         "submit_adhoc" => {
+            let request_id = request_id_field(&value)?;
             let sub = value.get("submission").ok_or_else(|| {
                 ProtocolError::new(codes::BAD_REQUEST, "missing field `submission`")
             })?;
             let submission: AdhocSubmission = serde_json::from_value(sub)
                 .map_err(|e| ProtocolError::new(codes::MALFORMED_SUBMISSION, e.to_string()))?;
-            Ok(Request::SubmitAdhoc(submission))
+            Ok(Request::SubmitAdhoc(submission, request_id))
         }
         "cancel" => Ok(Request::Cancel(u64_field(&value, "sub")?)),
         "tick" => Ok(Request::Tick(u64_field(&value, "to")?)),
@@ -220,13 +292,20 @@ pub fn ok_line(body: &str) -> String {
     format!("{{\"ok\":{body}}}")
 }
 
-/// Renders an error response line (no trailing newline).
+/// Renders an error response line (no trailing newline). When the error
+/// carries `data`, it is embedded verbatim as a third field.
 pub fn err_line(err: &ProtocolError) -> String {
     let detail = serde_json::to_string(&err.detail).expect("string serializes");
-    format!(
-        "{{\"err\":{{\"code\":\"{}\",\"detail\":{}}}}}",
-        err.code, detail
-    )
+    match &err.data {
+        Some(data) => format!(
+            "{{\"err\":{{\"code\":\"{}\",\"detail\":{},\"data\":{}}}}}",
+            err.code, detail, data
+        ),
+        None => format!(
+            "{{\"err\":{{\"code\":\"{}\",\"detail\":{}}}}}",
+            err.code, detail
+        ),
+    }
 }
 
 #[cfg(test)]
@@ -270,6 +349,35 @@ mod tests {
         assert!(matches!(
             parse_request("{\"req\":\"explain\"}"),
             Ok(Request::Explain)
+        ));
+    }
+
+    #[test]
+    fn request_id_is_validated() {
+        let e = parse_request("{\"req\":\"submit_adhoc\",\"submission\":{},\"request_id\":7}")
+            .unwrap_err();
+        assert_eq!(e.code, codes::BAD_REQUEST);
+        let e = parse_request("{\"req\":\"submit_adhoc\",\"submission\":{},\"request_id\":\"\"}")
+            .unwrap_err();
+        assert_eq!(e.code, codes::BAD_REQUEST);
+        let long = format!(
+            "{{\"req\":\"submit_adhoc\",\"submission\":{{}},\"request_id\":\"{}\"}}",
+            "k".repeat(257)
+        );
+        let e = parse_request(&long).unwrap_err();
+        assert_eq!(e.code, codes::BAD_REQUEST);
+    }
+
+    #[test]
+    fn error_data_is_embedded_verbatim() {
+        let e = ProtocolError::new(codes::DUPLICATE, "seen before").with_data("{\"sub\":4}");
+        let line = err_line(&e);
+        let v = serde_json::parse(&line).unwrap();
+        let err = v.get("err").unwrap();
+        assert_eq!(err.get("code").unwrap().as_str().unwrap(), "duplicate");
+        assert!(matches!(
+            err.get("data").unwrap().get("sub").unwrap(),
+            Value::U64(4)
         ));
     }
 

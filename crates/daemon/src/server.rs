@@ -219,7 +219,7 @@ fn write_line(stream: &mut TcpStream, line: &str) -> std::io::Result<()> {
     Ok(())
 }
 
-fn maybe_snapshot(session: &Session, handled: u64, snapshot_every: Option<u64>) {
+fn maybe_snapshot(session: &mut Session, handled: u64, snapshot_every: Option<u64>) {
     let Some(every) = snapshot_every else { return };
     if every == 0 || !handled.is_multiple_of(every) || session.drained() {
         return;

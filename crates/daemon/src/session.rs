@@ -37,6 +37,7 @@
 
 use crate::protocol::{codes, ProtocolError, Request};
 use crate::snapshot::{self, SnapshotBody};
+use crate::wal::{self, DiskFaultPlan, RecoveryReport, Wal, WalConfig, WalRecord};
 use flowtime::{
     CoraScheduler, EdfScheduler, FairScheduler, FifoScheduler, FlowTimeConfig, FlowTimeScheduler,
     MorpheusScheduler,
@@ -151,6 +152,12 @@ pub struct Session {
     log: SubmissionLog,
     next_seq: u64,
     finished: Option<Finished>,
+    /// Write-ahead log; when present, every accepted mutation is made
+    /// durable here *before* the session state changes and the reply is
+    /// written (the protocol's durability ordering contract).
+    wal: Option<Wal>,
+    /// Idempotency keys already accepted → the seq each was assigned.
+    request_ids: BTreeMap<String, u64>,
 }
 
 impl Session {
@@ -206,7 +213,103 @@ impl Session {
             log: SubmissionLog::new(),
             next_seq: 0,
             finished: None,
+            wal: None,
+            request_ids: BTreeMap::new(),
         })
+    }
+
+    /// Attaches a write-ahead log. From here on every accepted mutation
+    /// is appended (and synced per the WAL's fsync policy) before the
+    /// session state changes.
+    pub fn attach_wal(&mut self, wal: Wal) {
+        self.wal = Some(wal);
+    }
+
+    /// Whether a write-ahead log is attached.
+    pub fn has_wal(&self) -> bool {
+        self.wal.is_some()
+    }
+
+    /// The idempotency-key table (key → assigned seq), for tests.
+    pub fn request_ids(&self) -> &BTreeMap<String, u64> {
+        &self.request_ids
+    }
+
+    /// Recovers a session from a WAL directory: newest valid snapshot
+    /// plus a replay of the WAL tail (or, without a snapshot, a replay
+    /// from the genesis record). A fresh directory starts a new session
+    /// from `fallback` and writes its genesis record. Recorded
+    /// configuration always wins over `fallback`, mirroring the
+    /// snapshot-restore precedent.
+    ///
+    /// # Errors
+    ///
+    /// A typed [`ProtocolError`] (`wal-io` / `wal-corrupt` /
+    /// `snapshot-corrupt`) — a damaged directory is never a panic.
+    pub fn recover(
+        fallback: SessionConfig,
+        wal_config: WalConfig,
+        faults: Option<DiskFaultPlan>,
+    ) -> Result<(Self, RecoveryReport), ProtocolError> {
+        let recovered = wal::recover_dir(&wal_config, faults).map_err(|e| e.to_protocol())?;
+        let wal::WalRecovered {
+            snapshot,
+            tail,
+            report,
+            mut wal,
+        } = recovered;
+        let mut records = tail.into_iter();
+        let mut session = match snapshot {
+            Some(body) => Session::restore(body)?,
+            None if report.fresh => {
+                let mut session = Session::new(fallback)?;
+                wal.append(&WalRecord::Genesis {
+                    config: session.config.clone(),
+                })
+                .map_err(|e| e.to_protocol())?;
+                session.wal = Some(wal);
+                return Ok((session, report));
+            }
+            None => match records.next() {
+                Some(WalRecord::Genesis { config }) => Session::new(config)?,
+                _ => {
+                    return Err(ProtocolError::new(
+                        codes::WAL_CORRUPT,
+                        "wal segment 1 must open with a genesis record",
+                    ))
+                }
+            },
+        };
+        for record in records {
+            session.apply_wal_record(record)?;
+        }
+        session.wal = Some(wal);
+        Ok((session, report))
+    }
+
+    /// Replays one recovered WAL record into the session. `Tick` and
+    /// `Drain` swallow their (deterministic) runtime errors: the live
+    /// session also replied with an error and kept going, so the
+    /// replayed state still matches it exactly.
+    fn apply_wal_record(&mut self, record: WalRecord) -> Result<(), ProtocolError> {
+        match record {
+            WalRecord::Genesis { .. } => Err(ProtocolError::new(
+                codes::WAL_CORRUPT,
+                "genesis record outside the head of segment 1",
+            )),
+            WalRecord::Entry { entry, request_id } => self.apply_entry(entry, request_id),
+            WalRecord::Tick { to } => {
+                let _ = self.run_to(to, false);
+                Ok(())
+            }
+            WalRecord::Drain { .. } => {
+                if self.finished.is_none() {
+                    let _ = self.drain_inner();
+                }
+                Ok(())
+            }
+            WalRecord::Seal { .. } => Ok(()),
+        }
     }
 
     /// Rebuilds a session from a snapshot body: replays the recorded log
@@ -258,6 +361,7 @@ impl Session {
         }
         session.log = body.log;
         session.next_seq = body.next_seq;
+        session.request_ids = body.request_ids;
         session.run_to(body.now, true)?;
         if session.now() != body.now {
             return Err(ProtocolError::new(
@@ -321,8 +425,8 @@ impl Session {
     /// never panics on bad input.
     pub fn handle(&mut self, request: Request) -> Result<String, ProtocolError> {
         match request {
-            Request::SubmitWorkflow(sub) => self.submit_workflow(*sub),
-            Request::SubmitAdhoc(sub) => self.submit_adhoc(sub),
+            Request::SubmitWorkflow(sub, rid) => self.submit_workflow(*sub, rid),
+            Request::SubmitAdhoc(sub, rid) => self.submit_adhoc(sub, rid),
             Request::Cancel(seq) => self.cancel(seq),
             Request::Tick(to) => self.tick(to),
             Request::Status => self.status(),
@@ -359,8 +463,91 @@ impl Session {
         Ok(())
     }
 
-    fn submit_workflow(&mut self, submission: WorkflowSubmission) -> Result<String, ProtocolError> {
+    /// Rejects a repeated idempotency key with the typed `duplicate`
+    /// reply carrying the original sequence number (clients treat it as
+    /// success — the work is already accepted).
+    fn check_duplicate(&self, request_id: Option<&String>) -> Result<(), ProtocolError> {
+        if let Some(rid) = request_id {
+            if let Some(orig) = self.request_ids.get(rid) {
+                return Err(ProtocolError::new(
+                    codes::DUPLICATE,
+                    format!("request_id already accepted as submission {orig}"),
+                )
+                .with_data(format!("{{\"sub\":{orig}}}")));
+            }
+        }
+        Ok(())
+    }
+
+    /// Makes an accepted influence durable. Without a WAL this is a
+    /// no-op (legacy `durability=none` mode); with one, an append
+    /// failure rejects the request before any state has changed.
+    fn persist(&mut self, record: &WalRecord) -> Result<(), ProtocolError> {
+        match &mut self.wal {
+            Some(wal) => wal.append(record).map_err(|e| e.to_protocol()),
+            None => Ok(()),
+        }
+    }
+
+    /// Applies one validated log entry to the in-memory state — the
+    /// single mutation path shared by live accepts and WAL replay, so a
+    /// recovered session is state-identical to the live one by
+    /// construction.
+    fn apply_entry(
+        &mut self,
+        entry: LogEntry,
+        request_id: Option<String>,
+    ) -> Result<(), ProtocolError> {
+        let seq = entry.seq();
+        if seq != self.next_seq {
+            return Err(ProtocolError::new(
+                codes::WAL_CORRUPT,
+                format!("entry seq {seq} but session expects {}", self.next_seq),
+            ));
+        }
+        match &entry {
+            LogEntry::Workflow { submission, .. } => {
+                let arrival = submission.workflow.submit_slot();
+                self.pending
+                    .insert((arrival, seq), PendingEntry::Workflow(submission.clone()));
+                self.seq_state.insert(seq, SeqState::Pending(arrival));
+            }
+            LogEntry::Adhoc { submission, .. } => {
+                let arrival = submission.arrival_slot;
+                self.pending
+                    .insert((arrival, seq), PendingEntry::Adhoc(submission.clone()));
+                self.seq_state.insert(seq, SeqState::Pending(arrival));
+            }
+            LogEntry::Cancel { target, .. } => {
+                let arrival = match self.seq_state.get(target) {
+                    Some(SeqState::Pending(a)) => *a,
+                    _ => {
+                        return Err(ProtocolError::new(
+                            codes::WAL_CORRUPT,
+                            format!("cancel of non-pending submission {target} in log"),
+                        ))
+                    }
+                };
+                self.pending.remove(&(arrival, *target));
+                self.seq_state.insert(*target, SeqState::Cancelled);
+                self.seq_state.insert(seq, SeqState::CancelRequest);
+            }
+        }
+        self.log.entries.push(entry);
+        self.next_seq = seq + 1;
+        if let Some(rid) = request_id {
+            self.request_ids.insert(rid, seq);
+        }
+        Ok(())
+    }
+
+    fn submit_workflow(
+        &mut self,
+        submission: WorkflowSubmission,
+        request_id: Option<String>,
+    ) -> Result<String, ProtocolError> {
         self.require_accepting()?;
+        self.check_duplicate(request_id.as_ref())?;
         let arrival = submission.workflow.submit_slot();
         self.check_arrival(arrival)?;
         let n = submission.workflow.len();
@@ -379,34 +566,42 @@ impl Session {
             ));
         }
         let seq = self.next_seq;
-        self.next_seq += 1;
-        self.log.entries.push(LogEntry::Workflow {
+        let entry = LogEntry::Workflow {
             seq,
             at: self.now(),
-            submission: submission.clone(),
-        });
-        self.pending
-            .insert((arrival, seq), PendingEntry::Workflow(submission));
-        self.seq_state.insert(seq, SeqState::Pending(arrival));
+            submission,
+        };
+        // Durable before any state change, durable before the reply.
+        self.persist(&WalRecord::Entry {
+            entry: entry.clone(),
+            request_id: request_id.clone(),
+        })?;
+        self.apply_entry(entry, request_id)?;
         Ok(format!(
             "{{\"sub\":{seq},\"arrival\":{arrival},\"jobs\":{n}}}"
         ))
     }
 
-    fn submit_adhoc(&mut self, submission: AdhocSubmission) -> Result<String, ProtocolError> {
+    fn submit_adhoc(
+        &mut self,
+        submission: AdhocSubmission,
+        request_id: Option<String>,
+    ) -> Result<String, ProtocolError> {
         self.require_accepting()?;
+        self.check_duplicate(request_id.as_ref())?;
         let arrival = submission.arrival_slot;
         self.check_arrival(arrival)?;
         let seq = self.next_seq;
-        self.next_seq += 1;
-        self.log.entries.push(LogEntry::Adhoc {
+        let entry = LogEntry::Adhoc {
             seq,
             at: self.now(),
-            submission: submission.clone(),
-        });
-        self.pending
-            .insert((arrival, seq), PendingEntry::Adhoc(submission));
-        self.seq_state.insert(seq, SeqState::Pending(arrival));
+            submission,
+        };
+        self.persist(&WalRecord::Entry {
+            entry: entry.clone(),
+            request_id: request_id.clone(),
+        })?;
+        self.apply_entry(entry, request_id)?;
         Ok(format!(
             "{{\"sub\":{seq},\"arrival\":{arrival},\"jobs\":1}}"
         ))
@@ -415,17 +610,17 @@ impl Session {
     fn cancel(&mut self, target: u64) -> Result<String, ProtocolError> {
         self.require_accepting()?;
         match self.seq_state.get(&target) {
-            Some(SeqState::Pending(arrival)) => {
-                let arrival = *arrival;
-                self.pending.remove(&(arrival, target));
-                self.seq_state.insert(target, SeqState::Cancelled);
-                let seq = self.next_seq;
-                self.next_seq += 1;
-                self.log.entries.push(LogEntry::Cancel {
-                    seq,
+            Some(SeqState::Pending(_)) => {
+                let entry = LogEntry::Cancel {
+                    seq: self.next_seq,
                     at: self.now(),
                     target,
-                });
+                };
+                self.persist(&WalRecord::Entry {
+                    entry: entry.clone(),
+                    request_id: None,
+                })?;
+                self.apply_entry(entry, None)?;
                 Ok(format!("{{\"cancelled\":{target}}}"))
             }
             Some(SeqState::Cancelled) => Err(ProtocolError::new(
@@ -549,6 +744,10 @@ impl Session {
 
     fn tick(&mut self, to: u64) -> Result<String, ProtocolError> {
         self.require_accepting()?;
+        // The clock advance is durable before it happens: a failing
+        // advance (horizon exhaustion) is deterministic, so replaying
+        // the record reproduces the same partial state and same error.
+        self.persist(&WalRecord::Tick { to })?;
         self.run_to(to, false)?;
         let incomplete: usize = self
             .pods
@@ -565,8 +764,18 @@ impl Session {
 
     /// Runs everything — pending and injected — to completion, then
     /// freezes the outcome and trace. Idempotent: draining a drained
-    /// session returns the same summary.
+    /// session returns the same summary (and appends no second WAL
+    /// record).
     fn drain(&mut self) -> Result<String, ProtocolError> {
+        if self.finished.is_none() {
+            self.persist(&WalRecord::Drain { at: self.clock })?;
+        }
+        self.drain_inner()
+    }
+
+    /// The WAL-free drain body, shared by the live path (which persists
+    /// first) and recovery replay (which must not re-persist).
+    fn drain_inner(&mut self) -> Result<String, ProtocolError> {
         if self.finished.is_none() {
             loop {
                 self.flush_arrivals()?;
@@ -790,24 +999,40 @@ impl Session {
         Ok(format!("{{\"explain\":{json}}}"))
     }
 
-    /// Persists the session's replayable state to the configured path.
-    pub fn write_snapshot(&self) -> Result<String, ProtocolError> {
-        let path =
-            self.config.snapshot_path.as_ref().ok_or_else(|| {
-                ProtocolError::new(codes::SNAPSHOT_IO, "no snapshot path configured")
-            })?;
+    /// Persists the session's replayable state. With a WAL attached the
+    /// snapshot is a compaction point in the WAL directory (segment
+    /// sealed and rotated, old generations pruned after the new
+    /// snapshot self-checks); otherwise it goes to the legacy
+    /// `snapshot_path`.
+    pub fn write_snapshot(&mut self) -> Result<String, ProtocolError> {
         if self.finished.is_some() {
             return Err(ProtocolError::new(
                 codes::ALREADY_DRAINED,
                 "drained sessions have nothing left to snapshot",
             ));
         }
-        let body = SnapshotBody {
+        let mut body = SnapshotBody {
             config: self.config.clone(),
             log: self.log.clone(),
             now: self.now(),
             next_seq: self.next_seq,
+            wal_segment: 0,
+            request_ids: self.request_ids.clone(),
         };
+        if let Some(wal) = &mut self.wal {
+            body.wal_segment = wal.segment() + 1;
+            let bytes = snapshot::render(&body)
+                .map_err(|e| ProtocolError::new(codes::SNAPSHOT_IO, e.to_string()))?
+                .len();
+            let path = wal.save_snapshot(&body).map_err(|e| e.to_protocol())?;
+            let path_json = serde_json::to_string(&path.display().to_string())
+                .map_err(|e| ProtocolError::new(codes::SNAPSHOT_IO, e.to_string()))?;
+            return Ok(format!("{{\"path\":{path_json},\"bytes\":{bytes}}}"));
+        }
+        let path =
+            self.config.snapshot_path.as_ref().ok_or_else(|| {
+                ProtocolError::new(codes::SNAPSHOT_IO, "no snapshot path configured")
+            })?;
         let bytes = snapshot::save(path, &body)
             .map_err(|e| ProtocolError::new(codes::SNAPSHOT_IO, e.to_string()))?;
         let path_json = serde_json::to_string(path)

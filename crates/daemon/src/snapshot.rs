@@ -19,8 +19,10 @@
 //! any replay work happens.
 
 use crate::session::SessionConfig;
+use flowtime_sim::serde_skip::zero_u64;
 use flowtime_sim::SubmissionLog;
 use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
 use std::fmt;
 use std::fs;
 use std::io::Write;
@@ -28,6 +30,11 @@ use std::path::Path;
 
 /// Magic prefix of a valid snapshot header line.
 pub const MAGIC: &str = "flowtime-snapshot-v1";
+
+/// Skip-at-default predicate for the idempotency-key table.
+pub fn map_is_empty(m: &BTreeMap<String, u64>) -> bool {
+    m.is_empty()
+}
 
 /// Everything needed to rebuild a session deterministically.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -40,6 +47,15 @@ pub struct SnapshotBody {
     pub now: u64,
     /// Next sequence number to assign.
     pub next_seq: u64,
+    /// First WAL segment *not* covered by this snapshot (0 when the
+    /// session runs without a WAL; skipped then, so legacy snapshot
+    /// bytes are unchanged).
+    #[serde(default, skip_serializing_if = "zero_u64")]
+    pub wal_segment: u64,
+    /// Idempotency keys already seen → the sequence number each was
+    /// assigned. Skipped when empty.
+    #[serde(default, skip_serializing_if = "map_is_empty")]
+    pub request_ids: BTreeMap<String, u64>,
 }
 
 /// Why a snapshot could not be loaded. Each variant maps onto one typed
@@ -82,6 +98,22 @@ pub fn fnv1a(bytes: &[u8]) -> u64 {
     hash
 }
 
+/// Renders the complete two-line snapshot document (header + body) as
+/// the exact bytes [`save`] would write — the WAL's fault-injected
+/// writer goes through this so a snapshot written under a fault plan is
+/// framed identically to one written directly.
+///
+/// # Errors
+///
+/// [`SnapshotError::Parse`] if the body fails to serialize.
+pub fn render(body: &SnapshotBody) -> Result<String, SnapshotError> {
+    let body_line = serde_json::to_string(body).map_err(|e| SnapshotError::Parse(e.to_string()))?;
+    Ok(format!(
+        "{MAGIC} fnv1a={:016x}\n{body_line}\n",
+        fnv1a(body_line.as_bytes())
+    ))
+}
+
 /// Serializes `body` to `path` atomically (write temp file, then rename)
 /// and returns the byte length written.
 ///
@@ -90,11 +122,7 @@ pub fn fnv1a(bytes: &[u8]) -> u64 {
 /// [`SnapshotError::Io`] or [`SnapshotError::Parse`] (serialization).
 pub fn save(path: impl AsRef<Path>, body: &SnapshotBody) -> Result<u64, SnapshotError> {
     let path = path.as_ref();
-    let body_line = serde_json::to_string(body).map_err(|e| SnapshotError::Parse(e.to_string()))?;
-    let contents = format!(
-        "{MAGIC} fnv1a={:016x}\n{body_line}\n",
-        fnv1a(body_line.as_bytes())
-    );
+    let contents = render(body)?;
     let tmp = path.with_extension("tmp");
     {
         let mut f = fs::File::create(&tmp).map_err(SnapshotError::Io)?;
@@ -162,6 +190,8 @@ mod tests {
             log: SubmissionLog::new(),
             now: 17,
             next_seq: 3,
+            wal_segment: 0,
+            request_ids: BTreeMap::new(),
         }
     }
 

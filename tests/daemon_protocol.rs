@@ -360,3 +360,109 @@ fn tcp_interleaves_multiple_clients_in_arrival_order() {
     let (_, log_len) = handle.join().expect("server thread");
     assert_eq!(log_len, 2);
 }
+
+/// Like [`spawn_tcp`] but crash-consistent: the session writes a WAL in
+/// `dir` with `fsync=always`.
+fn spawn_tcp_wal(
+    scheduler: &str,
+    dir: &std::path::Path,
+) -> (std::net::SocketAddr, std::thread::JoinHandle<(bool, usize)>) {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind ephemeral port");
+    let addr = listener.local_addr().expect("bound address");
+    let scheduler = scheduler.to_string();
+    let dir = dir.to_path_buf();
+    let handle = std::thread::spawn(move || {
+        let (session, _report) = Session::recover(
+            daemon_util::session_config(cluster(), &scheduler, 0),
+            daemon_util::wal_config(&dir, flowtime_daemon::FsyncPolicy::Always),
+            None,
+        )
+        .expect("fresh wal session");
+        let session = serve(listener, session, None).expect("server runs");
+        (session.drained(), session.log().len())
+    });
+    (addr, handle)
+}
+
+/// Satellite contract: abusive clients — a mid-request disconnect and an
+/// over-cap streamed line — interleaved with accepted WAL appends leave
+/// NOTHING partial in the durable log. Only acknowledged requests have
+/// records; recovery replays them all with no torn tail.
+#[test]
+fn rejected_requests_leave_no_partial_wal_records() {
+    let dir = daemon_util::wal_dir("tcp-abuse");
+    let (addr, handle) = spawn_tcp_wal("fifo", &dir);
+
+    // Accepted submit #1 → durable record.
+    let mut a = TcpStream::connect(addr).expect("connect a");
+    let r = request(&mut a, &adhoc_line(&adhoc(0)));
+    assert!(r.starts_with("{\"ok\":"), "{r}");
+
+    // Abuse 1: half a request, then vanish. Nothing may hit the WAL.
+    {
+        let mut s = TcpStream::connect(addr).expect("connect");
+        s.write_all(b"{\"req\":\"submit_adhoc\",\"submi")
+            .expect("partial write");
+    }
+
+    // Accepted submit #2, interleaved after the abuse.
+    let r = request(&mut a, &adhoc_line(&adhoc(1)));
+    assert!(r.starts_with("{\"ok\":"), "{r}");
+
+    // Abuse 2: a line streamed past the 1 MiB cap gets the typed
+    // rejection (or a cut connection) — and no WAL record.
+    {
+        let mut s = TcpStream::connect(addr).expect("connect");
+        let chunk = [b'y'; 8192];
+        let mut sent = 0usize;
+        while s.write_all(&chunk).is_ok() {
+            sent += chunk.len();
+            assert!(sent < 4 * MAX_LINE_BYTES, "daemon never enforced the cap");
+            if sent > MAX_LINE_BYTES + 8192 {
+                break;
+            }
+        }
+        let mut reader = BufReader::new(s.try_clone().expect("clone"));
+        let mut line = String::new();
+        if reader.read_line(&mut line).is_ok() && !line.is_empty() {
+            assert!(
+                line.contains(codes::OVERSIZED_PAYLOAD),
+                "expected oversized-payload, got: {line}"
+            );
+        }
+    }
+
+    // Accepted submit #3, then clean shutdown.
+    let r = request(&mut a, &adhoc_line(&adhoc(2)));
+    assert!(r.starts_with("{\"ok\":"), "{r}");
+    let r = request(&mut a, "{\"req\":\"shutdown\"}");
+    assert!(r.starts_with("{\"ok\":"), "{r}");
+    let (_, log_len) = handle.join().expect("server thread");
+    assert_eq!(log_len, 3, "exactly the acknowledged submissions logged");
+
+    // The durable log holds exactly the 3 acknowledged records (plus
+    // genesis), with no torn tail and no trace of the rejected requests.
+    let recovered = flowtime_daemon::wal::recover_dir(
+        &daemon_util::wal_config(&dir, flowtime_daemon::FsyncPolicy::Always),
+        None,
+    )
+    .expect("wal recovers");
+    assert!(
+        recovered.report.tail.is_none(),
+        "no partial record may be durable: {:?}",
+        recovered.report.tail
+    );
+    assert_eq!(
+        recovered.report.records_replayed,
+        4, // genesis + 3 entries
+        "only acknowledged requests are durable"
+    );
+    let (session, _) = Session::recover(
+        daemon_util::session_config(cluster(), "fifo", 0),
+        daemon_util::wal_config(&dir, flowtime_daemon::FsyncPolicy::Always),
+        None,
+    )
+    .expect("session recovers");
+    assert_eq!(session.log().len(), 3);
+    let _ = std::fs::remove_dir_all(&dir);
+}

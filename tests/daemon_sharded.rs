@@ -12,11 +12,11 @@
 mod daemon_util;
 
 use daemon_util::{
-    adhoc_line, loopback, loopback_sharded, loopback_sharded_with_snapshot, ok, trace_bytes,
-    workflow_line, TRACE_CAPACITY,
+    adhoc_line, loopback, loopback_sharded, loopback_sharded_with_snapshot, loopback_wal, ok,
+    session_config, trace_bytes, wal_config, wal_dir, workflow_line, TRACE_CAPACITY,
 };
 use flowtime_bench::experiments::{testbed_cluster, Algo, WorkflowExperiment};
-use flowtime_daemon::{codes, Loopback, Session, SessionConfig};
+use flowtime_daemon::{codes, FsyncPolicy, Loopback, Session, SessionConfig};
 use flowtime_sim::{
     place_log, pod_cluster, DecisionTrace, Engine, ShardSpec, SimOutcome, SimWorkload,
     SubmissionLog,
@@ -299,4 +299,94 @@ fn sharding_config_validation_and_serde_compat() {
     let legacy: SessionConfig =
         serde_json::from_value(&serde_json::parse(&json).expect("parses")).expect("deserializes");
     assert_eq!(legacy, base);
+}
+
+/// A sharded (`pods = 2`) WAL-backed session killed two-thirds through —
+/// with a snapshot compaction point inside the surviving prefix — and
+/// recovered via snapshot + WAL tail replay preserves per-pod
+/// `place_log` parity and drains byte-identically to the uncrashed
+/// sharded run.
+#[test]
+fn sharded_session_recovers_from_wal_with_place_log_parity() {
+    let cluster = testbed_cluster();
+    let workload = experiment(2).build(&cluster);
+    let pods = 2usize;
+
+    // Uncrashed reference run (no WAL).
+    let lb = loopback_sharded(cluster.clone(), "flowtime", pods as u64);
+    let (expect_log, expect_bytes, _expect_outcomes, expect_traces) = drive(lb, &workload, &[]);
+
+    // The same request sequence `drive` issues, rendered up front so it
+    // can be cut at the kill point.
+    let mut lines = Vec::new();
+    for sub in &workload.workflows {
+        lines.push(workflow_line(sub));
+    }
+    let mut adhoc: Vec<_> = workload.adhoc.clone();
+    adhoc.sort_by_key(|s| s.arrival_slot);
+    let mut now = 0u64;
+    for sub in &adhoc {
+        if sub.arrival_slot > now + 4 {
+            now = sub.arrival_slot - 2;
+            lines.push(format!("{{\"req\":\"tick\",\"to\":{now}}}"));
+        }
+        lines.push(adhoc_line(sub));
+    }
+    let kill_at = lines.len() * 2 / 3;
+
+    let dir = wal_dir("sharded");
+    let mut lb = loopback_wal(
+        cluster.clone(),
+        "flowtime",
+        pods as u64,
+        &dir,
+        FsyncPolicy::Always,
+        None,
+    );
+    for (i, line) in lines[..kill_at].iter().enumerate() {
+        ok(&mut lb, line);
+        if i == kill_at / 2 {
+            ok(&mut lb, "{\"req\":\"snapshot\"}");
+        }
+    }
+    drop(lb); // kill -9
+
+    let (session, report) = Session::recover(
+        session_config(cluster.clone(), "flowtime", pods as u64),
+        wal_config(&dir, FsyncPolicy::Always),
+        None,
+    )
+    .expect("sharded recovery succeeds");
+    assert!(
+        report.snapshot.is_some(),
+        "recovery must start from the mid-prefix snapshot"
+    );
+    let mut resumed = Loopback::new(session);
+    for line in &lines[kill_at..] {
+        ok(&mut resumed, line);
+    }
+    let log = resumed.session().log().clone();
+    ok(&mut resumed, "{\"req\":\"drain\"}");
+    let session = resumed.into_session();
+    let bytes = session.outcome_json().expect("drained").to_string();
+    let outcomes = session.final_outcomes().expect("drained").to_vec();
+    let traces = session.final_traces().expect("drained").to_vec();
+
+    assert_eq!(
+        serde_json::to_string(&log).expect("log serializes"),
+        serde_json::to_string(&expect_log).expect("log serializes"),
+        "recovered sharded log diverges"
+    );
+    assert_eq!(bytes, expect_bytes, "sharded outcome bytes diverge");
+    for pod in 0..pods {
+        assert_eq!(
+            trace_bytes(&traces[pod]),
+            trace_bytes(&expect_traces[pod]),
+            "pod {pod} trace diverges after recovery"
+        );
+    }
+    // The recovered session still satisfies the sharded place_log
+    // differential contract.
+    assert_batch_parity(&cluster, &log, Algo::FlowTime, pods, &outcomes, &traces);
+    let _ = std::fs::remove_dir_all(&dir);
 }

@@ -6,8 +6,9 @@
 // subset of the helpers.
 #![allow(dead_code)]
 
-use flowtime_daemon::{Loopback, Session, SessionConfig};
+use flowtime_daemon::{DiskFaultPlan, FsyncPolicy, Loopback, Session, SessionConfig, WalConfig};
 use flowtime_sim::{AdhocSubmission, ClusterConfig, DecisionTrace, SimOutcome, WorkflowSubmission};
+use std::path::{Path, PathBuf};
 
 /// Trace ring size used by both sides of every differential comparison.
 pub const TRACE_CAPACITY: u64 = 1 << 18;
@@ -52,6 +53,56 @@ pub fn loopback_sharded_with_snapshot(
         })
         .expect("valid session config"),
     )
+}
+
+/// A fresh per-test WAL directory under the target temp dir. The caller
+/// owns cleanup (tests usually `remove_dir_all` at the end; a failed
+/// test leaves the directory behind for inspection).
+pub fn wal_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("flowtime-wal-test-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// A [`SessionConfig`] matching the loopback builders (used as the
+/// recovery fallback config).
+pub fn session_config(cluster: ClusterConfig, scheduler: &str, pods: u64) -> SessionConfig {
+    SessionConfig {
+        cluster,
+        scheduler: scheduler.to_string(),
+        max_slots: 1_000_000,
+        trace_capacity: TRACE_CAPACITY,
+        snapshot_path: None,
+        pods,
+        placer: None,
+    }
+}
+
+/// A [`WalConfig`] rooted at `dir` with the given fsync policy and the
+/// durable defaults otherwise.
+pub fn wal_config(dir: &Path, fsync: FsyncPolicy) -> WalConfig {
+    let mut config = WalConfig::new(dir);
+    config.fsync = fsync;
+    config
+}
+
+/// A loopback session recovered from (or freshly created in) the WAL
+/// directory, optionally under a seeded disk-fault plan.
+pub fn loopback_wal(
+    cluster: ClusterConfig,
+    scheduler: &str,
+    pods: u64,
+    dir: &Path,
+    fsync: FsyncPolicy,
+    faults: Option<DiskFaultPlan>,
+) -> Loopback {
+    let (session, _report) = Session::recover(
+        session_config(cluster, scheduler, pods),
+        wal_config(dir, fsync),
+        faults,
+    )
+    .expect("wal recovery succeeds");
+    Loopback::new(session)
 }
 
 /// Renders a `submit_workflow` request line.
