@@ -315,6 +315,11 @@ pub enum FaultKind {
     /// The write fails like a full disk. The append rolls back; the
     /// session reports a typed `wal-io` error and stays consistent.
     DiskFull,
+    /// The next `fsync` at or past this byte offset fails; the bytes
+    /// already written stay in the file. Exercises the append path's
+    /// sync-failure rollback (a rejected request must not be replayed
+    /// after a process-only crash).
+    FsyncFail,
     /// Simulated `kill -9` mid-write: `keep` bytes of the buffer reach
     /// the file, every later operation on any handle fails. With
     /// `lose_unsynced`, bytes written since the last fsync vanish too
@@ -440,10 +445,11 @@ impl FaultableFile {
         if st.crashed {
             return Err(io::Error::other("chaos: process is dead"));
         }
-        let fires = st
-            .plan
-            .get(st.next)
-            .is_some_and(|f| st.bytes_written + buf.len() as u64 > f.at_byte);
+        // Sync-time faults are consumed by `sync`, not here.
+        let fires = st.plan.get(st.next).is_some_and(|f| {
+            !matches!(f.kind, FaultKind::FsyncFail)
+                && st.bytes_written + buf.len() as u64 > f.at_byte
+        });
         if !fires {
             let n = self.file.write(buf)?;
             st.bytes_written += n as u64;
@@ -486,6 +492,13 @@ impl FaultableFile {
             FaultKind::DiskFull => {
                 st.injected.push(format!("disk-full@{}", fault.at_byte));
                 Err(io::Error::other("injected disk full (ENOSPC)"))
+            }
+            // Excluded from `fires`; if reached anyway, write through.
+            FaultKind::FsyncFail => {
+                let n = self.file.write(buf)?;
+                st.bytes_written += n as u64;
+                self.written_len += n as u64;
+                Ok(n)
             }
             FaultKind::Crash {
                 keep,
@@ -531,7 +544,21 @@ impl FaultableFile {
     }
 
     fn sync(&mut self) -> io::Result<()> {
-        check_crashed(&self.faults)?;
+        if let Some(faults) = self.faults.clone() {
+            let mut st = faults.lock().expect("fault plan lock");
+            if st.crashed {
+                return Err(io::Error::other("chaos: process is dead"));
+            }
+            let fires = st.plan.get(st.next).is_some_and(|f| {
+                matches!(f.kind, FaultKind::FsyncFail) && st.bytes_written >= f.at_byte
+            });
+            if fires {
+                let fault = st.plan[st.next];
+                st.next += 1;
+                st.injected.push(format!("fsync-fail@{}", fault.at_byte));
+                return Err(io::Error::other("injected fsync failure"));
+            }
+        }
         self.file.sync_all()?;
         self.synced_len = self.written_len;
         Ok(())
@@ -684,10 +711,13 @@ impl Wal {
     }
 
     /// Appends one record, making it durable per the fsync policy.
-    /// On failure the partial tail is rolled back (truncated) so the
-    /// next append starts on a clean boundary; if even the rollback
-    /// fails the WAL poisons itself rather than ever append after a
-    /// torn record.
+    /// On a write failure the partial tail is rolled back (truncated)
+    /// so the next append starts on a clean boundary; if even the
+    /// rollback fails the WAL poisons itself rather than ever append
+    /// after a torn record. On a *sync* failure the fully written
+    /// record is likewise rolled back (best effort) before the poison
+    /// takes effect, so a request the client saw rejected is not
+    /// replayed after a process-only crash.
     ///
     /// # Errors
     ///
@@ -711,7 +741,18 @@ impl Wal {
             Ok(()) => {
                 self.segment_records += 1;
                 self.unsynced += 1;
-                self.maybe_sync()?;
+                if let Err(e) = self.maybe_sync() {
+                    // The record's bytes are in the file but their
+                    // durability cannot be promised — `sync` has already
+                    // poisoned the WAL. Roll the record back so a
+                    // process-only crash does not replay a request the
+                    // client saw rejected; if the truncate fails too the
+                    // poison already refuses further appends.
+                    self.segment_records -= 1;
+                    self.unsynced -= 1;
+                    let _ = self.file.truncate(start);
+                    return Err(e);
+                }
                 if self.config.segment_max_records > 0
                     && self.segment_records >= self.config.segment_max_records
                 {
@@ -1105,6 +1146,15 @@ pub fn recover_dir(
         }
     };
 
+    // Appends continue in a brand-new segment — never after a truncated
+    // tail, and never into sealed history. `replay_from - 1`, not
+    // `replay_from`: a snapshot may name a `wal_segment` that was never
+    // created (crash between the snapshot-file write and the rotate),
+    // and skipping that number would leave a permanent hole that makes
+    // every later recovery reject the snapshot for missing tail
+    // segments.
+    let mut open_at = max_segment.max(replay_from.saturating_sub(1)) + 1;
+
     // Replay segments `replay_from..=max_segment`, in order, contiguous.
     let mut tail = Vec::new();
     let replayed: Vec<u64> = (replay_from..=max_segment)
@@ -1128,6 +1178,28 @@ pub fn recover_dir(
                     detail: defect,
                 });
             }
+            if scanned.valid_offset == 0 {
+                // The crash hit `open_segment`'s header write: nothing
+                // in the file was ever valid. Truncating it to empty
+                // would leave a segment the *next* recovery classifies
+                // as sealed-history corruption — delete it and reuse
+                // its number instead.
+                fs::remove_file(&path).map_err(WalError::Io)?;
+                report.tail = Some(TailTruncation {
+                    segment: seg,
+                    offset: 0,
+                    dropped_bytes: scanned.total_len,
+                    defect,
+                });
+                open_at = seg;
+                // A torn header on the only segment, with no snapshots,
+                // means nothing valid (not even a genesis) was ever
+                // written: the directory is fresh.
+                if seg == 1 && replayed.len() == 1 && snapshots.is_empty() {
+                    report.fresh = true;
+                }
+                continue;
+            }
             // Torn tail: truncate back to the last valid record.
             fs::OpenOptions::new()
                 .write(true)
@@ -1146,13 +1218,7 @@ pub fn recover_dir(
         tail.extend(scanned.records);
     }
 
-    // Appends continue in a brand-new segment — never after a truncated
-    // tail, and never into sealed history.
-    let wal = open_segment(
-        config.clone(),
-        fault_state,
-        max_segment.max(replay_from) + 1,
-    )?;
+    let wal = open_segment(config.clone(), fault_state, open_at)?;
     Ok(WalRecovered {
         snapshot: chosen.map(|(_, body)| body),
         tail,
@@ -1275,6 +1341,74 @@ mod tests {
             rec.report.tail.is_none(),
             "no defects under transient faults"
         );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fsync_failure_rolls_back_the_rejected_record() {
+        let dir = temp_dir("fsyncfail");
+        // The segment header (~31 bytes) syncs clean; the first append
+        // crosses byte 40 and its fsync fails.
+        let mut wal = create(
+            WalConfig::new(&dir),
+            Some(DiskFaultPlan::single(40, FaultKind::FsyncFail)),
+        )
+        .unwrap();
+        let header_len = fs::metadata(segment_path(&dir, 1)).unwrap().len();
+        let err = wal
+            .append(&WalRecord::Tick { to: 1 })
+            .expect_err("fsync failure must surface");
+        assert!(matches!(err, WalError::Io(_)));
+        // The written-but-unsynced record was rolled back...
+        assert_eq!(fs::metadata(segment_path(&dir, 1)).unwrap().len(), header_len);
+        // ...and the WAL is poisoned against further appends.
+        assert!(matches!(
+            wal.append(&WalRecord::Tick { to: 2 }),
+            Err(WalError::Poisoned(_))
+        ));
+        drop(wal);
+        // A process-only crash must not replay the rejected record.
+        let rec = recover_dir(&WalConfig::new(&dir), None).unwrap();
+        assert!(rec.tail.is_empty(), "rejected record must not replay");
+        assert!(rec.report.tail.is_none(), "rollback left no torn tail");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_header_final_segment_is_deleted_and_its_number_reused() {
+        let dir = temp_dir("tornheader");
+        let mut wal = create(WalConfig::new(&dir), None).unwrap();
+        wal.append(&WalRecord::Tick { to: 1 }).unwrap();
+        drop(wal);
+        // Crash during the next segment's header write.
+        fs::write(segment_path(&dir, 2), b"flowtime-w").unwrap();
+        let rec = recover_dir(&WalConfig::new(&dir), None).unwrap();
+        assert_eq!(rec.tail, vec![WalRecord::Tick { to: 1 }]);
+        let t = rec.report.tail.expect("torn header reported");
+        assert_eq!((t.segment, t.offset), (2, 0));
+        assert!(
+            !segment_path(&dir, 2).exists() || rec.wal.segment() == 2,
+            "the dead file must not linger as an empty segment"
+        );
+        assert_eq!(rec.wal.segment(), 2, "the never-valid number is reused");
+        drop(rec.wal);
+        // The second restart must not classify the remnant as sealed-
+        // history corruption.
+        let rec = recover_dir(&WalConfig::new(&dir), None).unwrap();
+        assert_eq!(rec.tail, vec![WalRecord::Tick { to: 1 }]);
+        assert!(rec.report.tail.is_none());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_header_on_the_only_segment_recovers_fresh() {
+        let dir = temp_dir("tornfirst");
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(segment_path(&dir, 1), b"flowtime-w").unwrap();
+        let rec = recover_dir(&WalConfig::new(&dir), None).unwrap();
+        assert!(rec.tail.is_empty());
+        assert!(rec.report.fresh, "nothing valid was ever written");
+        assert_eq!(rec.wal.segment(), 1);
         let _ = fs::remove_dir_all(&dir);
     }
 

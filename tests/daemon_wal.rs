@@ -574,6 +574,108 @@ fn drained_session_recovers_drained() {
     let _ = fs::remove_dir_all(&dir);
 }
 
+/// A crash *between* the snapshot-file write and the rotate leaves a
+/// snapshot naming a `wal_segment` that was never created. Recovery
+/// must not skip that number: two restarts later the directory must
+/// still be a complete recovery line with the drained outcome
+/// byte-identical to the uncrashed run (the unfixed numbering left a
+/// permanent segment hole that failed the second restart with
+/// `segment ... is missing from the replay range`).
+#[test]
+fn snapshot_crash_before_rotate_never_leaves_a_segment_hole() {
+    let (cluster, lines) = scripted(9, "hole");
+    let (expect_bytes, expect_trace, _) = uncrashed(&cluster, "edf", &lines);
+    let dir = wal_dir("snapshot-hole");
+    let mid = lines.len() / 2;
+    let mut lb = loopback_wal(cluster.clone(), "edf", 0, &dir, FsyncPolicy::Always, None);
+    for line in &lines[..mid] {
+        let r = lb.request_line(line);
+        assert!(r.starts_with("{\"ok\":"), "{r}");
+    }
+    ok(&mut lb, "{\"req\":\"snapshot\"}");
+    drop(lb); // kill -9
+    // Reconstruct the crash window: snap-000001 says wal_segment=2,
+    // but segment 2 was never created.
+    let (_, snaps) = list_dir(&dir);
+    assert_eq!(snaps, vec![1], "one snapshot generation on disk");
+    fs::remove_file(dir.join("wal-000002.log")).expect("rotated segment existed");
+
+    // Restart #1 must open segment 2, not skip to 3.
+    let (session, report) = Session::recover(
+        session_config(cluster.clone(), "edf", 0),
+        wal_config(&dir, FsyncPolicy::Always),
+        None,
+    )
+    .expect("first recovery succeeds");
+    assert!(report.snapshot.is_some(), "the snapshot is still usable");
+    let mut resumed = Loopback::new(session);
+    for line in &lines[mid..] {
+        let r = resumed.request_line(line);
+        assert!(r.starts_with("{\"ok\":"), "{r}");
+    }
+    drop(resumed); // kill -9 again
+
+    // Restart #2: every acknowledged record must still be recoverable.
+    let (session, _) = Session::recover(
+        session_config(cluster, "edf", 0),
+        wal_config(&dir, FsyncPolicy::Always),
+        None,
+    )
+    .expect("second recovery succeeds — no segment hole");
+    let (bytes, _, trace) = drain(Loopback::new(session));
+    assert_eq!(bytes, expect_bytes);
+    assert_eq!(trace_bytes(&trace), expect_trace);
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// A crash during the next segment's *header* write leaves a file with
+/// no valid prefix. Recovery deletes it and reuses the number; the
+/// second restart must not classify the remnant as sealed-history
+/// corruption (the unfixed path truncated it to an empty file that
+/// made the next startup fail with `WalError::Corrupt`).
+#[test]
+fn torn_segment_header_survives_two_restarts() {
+    let (cluster, lines) = scripted(10, "tornhdr");
+    let (expect_bytes, expect_trace, _) = uncrashed(&cluster, "edf", &lines);
+    let dir = wal_dir("torn-header");
+    let mid = lines.len() / 2;
+    let mut lb = loopback_wal(cluster.clone(), "edf", 0, &dir, FsyncPolicy::Always, None);
+    for line in &lines[..mid] {
+        let r = lb.request_line(line);
+        assert!(r.starts_with("{\"ok\":"), "{r}");
+    }
+    drop(lb); // kill -9
+    // A rotation crashed mid-header-write.
+    fs::write(dir.join("wal-000002.log"), b"flowtime-w").unwrap();
+
+    let (session, report) = Session::recover(
+        session_config(cluster.clone(), "edf", 0),
+        wal_config(&dir, FsyncPolicy::Always),
+        None,
+    )
+    .expect("first recovery tolerates the torn header");
+    let t = report.tail.expect("torn header reported as a truncation");
+    assert_eq!((t.segment, t.offset), (2, 0));
+    let mut resumed = Loopback::new(session);
+    for line in &lines[mid..] {
+        let r = resumed.request_line(line);
+        assert!(r.starts_with("{\"ok\":"), "{r}");
+    }
+    drop(resumed); // kill -9 again
+
+    let (session, report) = Session::recover(
+        session_config(cluster, "edf", 0),
+        wal_config(&dir, FsyncPolicy::Always),
+        None,
+    )
+    .expect("second recovery succeeds — the remnant is not sealed corruption");
+    assert!(report.tail.is_none(), "clean shutdownless restart, no defect");
+    let (bytes, _, trace) = drain(Loopback::new(session));
+    assert_eq!(bytes, expect_bytes);
+    assert_eq!(trace_bytes(&trace), expect_trace);
+    let _ = fs::remove_dir_all(&dir);
+}
+
 /// Lists `(segments, snapshots)` by number, ascending.
 fn list_dir(dir: &Path) -> (Vec<u64>, Vec<u64>) {
     let mut segments = Vec::new();
